@@ -1,0 +1,294 @@
+use crate::params::{ACCUMULATOR_BITS, COUNTER_BITS};
+use rapidnn_memristor::AdderTree;
+
+/// Shift-add decomposition of one counter value (§4.1.1).
+///
+/// A pre-stored value repeating `count` times contributes
+/// `count · value`, realised as shifted copies of the value:
+///
+/// * powers of two become single shifts (`4·v = v << 2`);
+/// * other counts split into powers of two (`9 = 8 + 1`);
+/// * the *longest run of 1s* optimisation rewrites a run as one larger
+///   shift minus one (`15 = 16 − 1`), trading an addition for a
+///   subtraction.
+///
+/// Returns `(additive_shifts, subtractive_shifts)`: the counter equals
+/// `Σ 2^a − Σ 2^s` over the returned shift amounts.
+pub fn decompose_counter(count: u32) -> (Vec<u32>, Vec<u32>) {
+    if count == 0 {
+        return (Vec::new(), Vec::new());
+    }
+    // Find the longest run of consecutive 1 bits.
+    let mut best_run = 0u32;
+    let mut best_start = 0u32;
+    let mut run = 0u32;
+    for bit in 0..32 {
+        if (count >> bit) & 1 == 1 {
+            run += 1;
+            if run > best_run {
+                best_run = run;
+                best_start = bit + 1 - run;
+            }
+        } else {
+            run = 0;
+        }
+    }
+    // Runs of length >= 3 pay off: k additions become 1 add + 1 subtract.
+    if best_run >= 3 {
+        let mut adds = vec![best_start + best_run];
+        let mut subs = vec![best_start];
+        let remainder = count - (((1u64 << (best_start + best_run)) - (1u64 << best_start)) as u32);
+        let (mut rest_adds, rest_subs) = decompose_counter(remainder);
+        adds.append(&mut rest_adds);
+        subs.extend(rest_subs);
+        (adds, subs)
+    } else {
+        // Plain power-of-two split.
+        let adds = (0..32).filter(|&b| (count >> b) & 1 == 1).collect();
+        (adds, Vec::new())
+    }
+}
+
+/// Number of adder-tree operands a decomposed counter produces.
+pub fn operand_count(count: u32) -> usize {
+    let (adds, subs) = decompose_counter(count);
+    adds.len() + subs.len()
+}
+
+/// Result of one neuron's in-memory weighted accumulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccumulateReport {
+    /// The accumulated sum (fixed-point arithmetic, converted back).
+    pub sum: f32,
+    /// Cycles of the parallel counting phase (§4.1.1).
+    pub counting_cycles: u64,
+    /// Cycles of the shift-add / carry-save adder phase (§4.1.2).
+    pub adder_cycles: u64,
+    /// Total operands fed to the adder tree.
+    pub operands: usize,
+}
+
+impl AccumulateReport {
+    /// Total cycles of both phases.
+    pub fn cycles(&self) -> u64 {
+        self.counting_cycles + self.adder_cycles
+    }
+}
+
+/// The RNA weighted-accumulation unit (§4.1).
+///
+/// Instead of adding an incoming value per edge, the unit counts how often
+/// each pre-stored product occurs (parallel counters, one per crossbar
+/// slot), rewrites each counter as a few shifted copies of the product,
+/// and adds everything in a NOR-built carry-save tree.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WeightedAccumulator {
+    /// Fixed-point fractional bits used to model crossbar arithmetic.
+    fraction_bits: u32,
+}
+
+impl WeightedAccumulator {
+    /// Creates an accumulator with `fraction_bits` of fixed-point
+    /// precision (the crossbar operates on binary words).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `fraction_bits` is zero or above 24.
+    pub fn new(fraction_bits: u32) -> Self {
+        assert!(
+            (1..=24).contains(&fraction_bits),
+            "fraction bits must be in 1..=24"
+        );
+        WeightedAccumulator { fraction_bits }
+    }
+
+    /// Accumulates `(pre-stored value, counter)` pairs.
+    ///
+    /// Returns the sum plus the cycle model:
+    ///
+    /// * counting phase: with one buffer per distinct weight, one index is
+    ///   consumed per buffer per cycle, so the phase costs
+    ///   `max(counter)` cycles, bounded below by the number of slots
+    ///   drained (at least one cycle per non-zero slot);
+    /// * adder phase: predicted carry-save tree cycles for the decomposed
+    ///   operand count.
+    pub fn accumulate(&self, slots: &[(f32, u32)]) -> AccumulateReport {
+        let scale = (1u64 << self.fraction_bits) as f64;
+        // Decompose each counter into shifted copies of its value; model
+        // arithmetic in fixed point to mirror the crossbar words. Negative
+        // products are handled as magnitude + sign (two's-complement in
+        // hardware); the adder tree operates on magnitudes per sign class.
+        let mut positive: Vec<u64> = Vec::new();
+        let mut negative: Vec<u64> = Vec::new();
+        let mut max_counter = 0u32;
+        for &(value, count) in slots {
+            if count == 0 {
+                continue;
+            }
+            // Counters saturate at their physical width (12 bits).
+            let count = count.min((1 << COUNTER_BITS) - 1);
+            max_counter = max_counter.max(count);
+            let magnitude = (value.abs() as f64 * scale).round() as u64;
+            let (adds, subs) = decompose_counter(count);
+            for shift in adds {
+                let term = magnitude << shift;
+                if value >= 0.0 {
+                    positive.push(term);
+                } else {
+                    negative.push(term);
+                }
+            }
+            for shift in subs {
+                let term = magnitude << shift;
+                if value >= 0.0 {
+                    negative.push(term);
+                } else {
+                    positive.push(term);
+                }
+            }
+        }
+        let operand_total = positive.len() + negative.len();
+        // Wide enough to never wrap in the model; hardware cost still uses
+        // the architectural ACCUMULATOR_BITS width below.
+        let tree = AdderTree::new(48);
+        let pos = tree.add_all(&positive);
+        let neg = tree.add_all(&negative);
+        let sum = (pos.sum as f64 - neg.sum as f64) / scale;
+
+        let nonzero_slots = slots.iter().filter(|&&(_, c)| c > 0).count() as u64;
+        let counting_cycles = u64::from(max_counter).max(nonzero_slots);
+        // The architectural adder runs at ACCUMULATOR_BITS width; derive
+        // stage counts from the executed trees but the ripple term from
+        // the architectural width.
+        let arch = AdderTree::new(ACCUMULATOR_BITS);
+        let adder_cycles = if operand_total <= 1 {
+            0
+        } else {
+            (pos.csa_stages + neg.csa_stages) * rapidnn_memristor::STAGE_CYCLES
+                + u64::from(ACCUMULATOR_BITS) * rapidnn_memristor::RIPPLE_CYCLES_PER_BIT
+        };
+        let _ = arch;
+        AccumulateReport {
+            sum: sum as f32,
+            counting_cycles,
+            adder_cycles,
+            operands: operand_total,
+        }
+    }
+
+    /// Convenience: accumulates raw per-edge products by first building
+    /// the slot counters (what the counting hardware does).
+    pub fn accumulate_edges(&self, products: &[f32]) -> AccumulateReport {
+        let mut slots: Vec<(f32, u32)> = Vec::new();
+        for &p in products {
+            match slots.iter_mut().find(|(v, _)| (*v - p).abs() < f32::EPSILON) {
+                Some((_, c)) => *c += 1,
+                None => slots.push((p, 1)),
+            }
+        }
+        self.accumulate(&slots)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn value_of(adds: &[u32], subs: &[u32]) -> i64 {
+        adds.iter().map(|&s| 1i64 << s).sum::<i64>()
+            - subs.iter().map(|&s| 1i64 << s).sum::<i64>()
+    }
+
+    #[test]
+    fn decomposition_reconstructs_every_count() {
+        for count in 0u32..=4096 {
+            let (adds, subs) = decompose_counter(count);
+            assert_eq!(value_of(&adds, &subs), count as i64, "count {count}");
+        }
+    }
+
+    #[test]
+    fn paper_examples() {
+        // count 4 -> shift by two (single term).
+        let (adds, subs) = decompose_counter(4);
+        assert_eq!((adds.as_slice(), subs.as_slice()), (&[2u32][..], &[][..]));
+        // count 9 -> 8 + 1.
+        let (adds, subs) = decompose_counter(9);
+        assert_eq!(adds, vec![0, 3]);
+        assert!(subs.is_empty());
+        // count 15 -> 16 - 1 (longest run of 1s).
+        let (adds, subs) = decompose_counter(15);
+        assert_eq!((adds.as_slice(), subs.as_slice()), (&[4u32][..], &[0u32][..]));
+    }
+
+    #[test]
+    fn long_runs_use_fewer_operands() {
+        // 0b111111 = 63: plain split needs 6 operands, run trick needs 2.
+        assert_eq!(operand_count(63), 2);
+        assert!(operand_count(0b101010) <= 3);
+    }
+
+    #[test]
+    fn accumulate_matches_direct_sum() {
+        let acc = WeightedAccumulator::new(16);
+        let slots = [(0.5f32, 3u32), (-0.25, 7), (1.125, 1), (2.0, 15)];
+        let expected: f32 = slots.iter().map(|&(v, c)| v * c as f32).sum();
+        let report = acc.accumulate(&slots);
+        assert!(
+            (report.sum - expected).abs() < 1e-3,
+            "{} vs {expected}",
+            report.sum
+        );
+    }
+
+    #[test]
+    fn accumulate_edges_builds_counters() {
+        let acc = WeightedAccumulator::new(16);
+        let products = [0.5f32, 0.5, 0.5, -1.0, 0.25];
+        let report = acc.accumulate_edges(&products);
+        let expected: f32 = products.iter().sum();
+        assert!((report.sum - expected).abs() < 1e-3);
+    }
+
+    #[test]
+    fn empty_and_zero_counts_are_free() {
+        let acc = WeightedAccumulator::new(16);
+        let report = acc.accumulate(&[]);
+        assert_eq!(report.sum, 0.0);
+        assert_eq!(report.cycles(), 0);
+        let report = acc.accumulate(&[(1.0, 0)]);
+        assert_eq!(report.sum, 0.0);
+        assert_eq!(report.adder_cycles, 0);
+    }
+
+    #[test]
+    fn counting_cycles_track_max_counter() {
+        let acc = WeightedAccumulator::new(16);
+        let report = acc.accumulate(&[(1.0, 100), (2.0, 3)]);
+        assert_eq!(report.counting_cycles, 100);
+    }
+
+    #[test]
+    fn counter_saturates_at_12_bits() {
+        let acc = WeightedAccumulator::new(8);
+        let report = acc.accumulate(&[(1.0, 10_000)]);
+        assert!((report.sum - 4095.0).abs() < 1.0, "{}", report.sum);
+    }
+
+    #[test]
+    fn shift_add_beats_serial_addition() {
+        // Adding v 255 times serially needs 255 additions; the decomposed
+        // form needs 2 operands (256 - 1).
+        assert_eq!(operand_count(255), 2);
+        let acc = WeightedAccumulator::new(16);
+        let report = acc.accumulate(&[(0.125, 255)]);
+        assert!((report.sum - 31.875).abs() < 1e-3);
+        assert!(report.operands <= 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction bits")]
+    fn rejects_zero_fraction_bits() {
+        let _ = WeightedAccumulator::new(0);
+    }
+}

@@ -1,0 +1,133 @@
+//! Area accounting for Figure 14's breakdowns.
+//!
+//! The RNA-internal split derives directly from Table 1. The system-level
+//! split additionally needs the data-block memory, I/O buffering and
+//! controller areas, which Table 1 does not list; those three constants
+//! are calibrated so the default chip reproduces Figure 14's composition
+//! (RNA ≈ 56.7 %, memory ≈ 38.2 %, buffer ≈ 3.4 %, controller ≈ 1.7 %,
+//! others ≈ 1.2 %) — see EXPERIMENTS.md for the comparison.
+
+use crate::params::{
+    ACTIVATION_AREA_UM2, COUNTER_AREA_UM2, CROSSBAR_AREA_UM2, ENCODER_AREA_UM2, RNA_AREA_UM2,
+};
+
+/// Data-block crossbar memory holding the input dataset, mm²
+/// (calibrated to Figure 14).
+pub const DATA_BLOCKS_AREA_MM2: f64 = 82.8;
+/// Broadcast buffers and I/O, mm² (calibrated to Figure 14).
+pub const IO_BUFFER_AREA_MM2: f64 = 7.37;
+/// Controller, mm² (calibrated to Figure 14).
+pub const CONTROLLER_AREA_MM2: f64 = 3.68;
+/// MUXes, decoders and other glue, mm² (calibrated to Figure 14).
+pub const MISC_AREA_MM2: f64 = 2.6;
+
+/// A labelled area composition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AreaBreakdown {
+    entries: Vec<(&'static str, f64)>,
+}
+
+impl AreaBreakdown {
+    /// The `(label, mm²-or-µm²)` entries.
+    pub fn entries(&self) -> &[(&'static str, f64)] {
+        &self.entries
+    }
+
+    /// Total area in the entries' unit.
+    pub fn total(&self) -> f64 {
+        self.entries.iter().map(|(_, a)| a).sum()
+    }
+
+    /// `(label, fraction)` pairs.
+    pub fn fractions(&self) -> Vec<(&'static str, f64)> {
+        let total = self.total();
+        self.entries
+            .iter()
+            .map(|&(label, area)| (label, if total > 0.0 { area / total } else { 0.0 }))
+            .collect()
+    }
+
+    /// Fraction of a named entry (0 when absent).
+    pub fn fraction_of(&self, label: &str) -> f64 {
+        self.fractions()
+            .into_iter()
+            .find(|(l, _)| *l == label)
+            .map(|(_, f)| f)
+            .unwrap_or(0.0)
+    }
+}
+
+/// System-level area composition of the default 32-tile chip plus its
+/// data blocks (Figure 14, left).
+pub fn system_area_breakdown() -> AreaBreakdown {
+    let rna_mm2 = 32.0 * 1000.0 * RNA_AREA_UM2 / 1e6;
+    AreaBreakdown {
+        entries: vec![
+            ("rna", rna_mm2),
+            ("memory", DATA_BLOCKS_AREA_MM2),
+            ("buffer", IO_BUFFER_AREA_MM2),
+            ("controller", CONTROLLER_AREA_MM2),
+            ("others", MISC_AREA_MM2),
+        ],
+    }
+}
+
+/// Area composition inside one RNA block (Figure 14, right), from
+/// Table 1's block areas.
+pub fn rna_area_breakdown() -> AreaBreakdown {
+    let other = (RNA_AREA_UM2
+        - CROSSBAR_AREA_UM2
+        - COUNTER_AREA_UM2
+        - ACTIVATION_AREA_UM2
+        - ENCODER_AREA_UM2)
+        .max(0.0);
+    AreaBreakdown {
+        entries: vec![
+            ("crossbar", CROSSBAR_AREA_UM2),
+            ("counter", COUNTER_AREA_UM2),
+            ("activation", ACTIVATION_AREA_UM2),
+            ("encoding", ENCODER_AREA_UM2),
+            ("other", other),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn system_fractions_reproduce_figure14_shape() {
+        let breakdown = system_area_breakdown();
+        let rna = breakdown.fraction_of("rna");
+        let memory = breakdown.fraction_of("memory");
+        assert!((rna - 0.567).abs() < 0.02, "rna fraction {rna}");
+        assert!((memory - 0.382).abs() < 0.02, "memory fraction {memory}");
+        assert!(breakdown.fraction_of("buffer") < 0.05);
+        assert!(breakdown.fraction_of("controller") < 0.03);
+    }
+
+    #[test]
+    fn rna_crossbar_dominates() {
+        let breakdown = rna_area_breakdown();
+        let crossbar = breakdown.fraction_of("crossbar");
+        assert!(crossbar > 0.8, "crossbar fraction {crossbar}");
+        // The two AM blocks together are a small share — the paper's point
+        // that the lookup-table functionality is nearly free in area.
+        let ams = breakdown.fraction_of("activation") + breakdown.fraction_of("encoding");
+        assert!(ams < 0.12, "AM fraction {ams}");
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        for breakdown in [system_area_breakdown(), rna_area_breakdown()] {
+            let total: f64 = breakdown.fractions().iter().map(|(_, f)| f).sum();
+            assert!((total - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fraction_of_unknown_label_is_zero() {
+        assert_eq!(system_area_breakdown().fraction_of("nope"), 0.0);
+    }
+}

@@ -1,0 +1,208 @@
+/// The hardware block classes used in the paper's breakdowns
+/// (Figures 13 and 14).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BlockClass {
+    /// Weighted accumulation: product crossbar + counters + adder tree.
+    WeightedAccumulation,
+    /// Activation-function AM block.
+    Activation,
+    /// Encoding / pooling AM block.
+    Encoding,
+    /// Pooling neurons (Type 2 models only).
+    Pooling,
+    /// Broadcast buffer, controller, MUXes, decoders.
+    Other,
+}
+
+impl BlockClass {
+    /// All classes in presentation order.
+    pub const ALL: [BlockClass; 5] = [
+        BlockClass::WeightedAccumulation,
+        BlockClass::Activation,
+        BlockClass::Encoding,
+        BlockClass::Pooling,
+        BlockClass::Other,
+    ];
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            BlockClass::WeightedAccumulation => "weighted accu.",
+            BlockClass::Activation => "activation func.",
+            BlockClass::Encoding => "encoding",
+            BlockClass::Pooling => "pooling",
+            BlockClass::Other => "others",
+        }
+    }
+}
+
+/// Per-class accounting of energy and time.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct BlockBreakdown {
+    /// Energy in picojoules per class, indexed like [`BlockClass::ALL`].
+    pub energy_pj: [f64; 5],
+    /// Time in nanoseconds per class, indexed like [`BlockClass::ALL`].
+    pub time_ns: [f64; 5],
+}
+
+impl BlockBreakdown {
+    /// Adds energy/time to a class.
+    pub fn add(&mut self, class: BlockClass, energy_pj: f64, time_ns: f64) {
+        let idx = BlockClass::ALL
+            .iter()
+            .position(|&c| c == class)
+            .expect("class is in ALL");
+        self.energy_pj[idx] += energy_pj;
+        self.time_ns[idx] += time_ns;
+    }
+
+    /// Total energy across classes, pJ.
+    pub fn total_energy_pj(&self) -> f64 {
+        self.energy_pj.iter().sum()
+    }
+
+    /// Total time across classes, ns.
+    pub fn total_time_ns(&self) -> f64 {
+        self.time_ns.iter().sum()
+    }
+
+    /// Energy fraction per class (zeros when total is zero).
+    pub fn energy_fractions(&self) -> [f64; 5] {
+        let total = self.total_energy_pj();
+        if total <= 0.0 {
+            return [0.0; 5];
+        }
+        let mut out = [0.0; 5];
+        for (o, &e) in out.iter_mut().zip(&self.energy_pj) {
+            *o = e / total;
+        }
+        out
+    }
+
+    /// Time fraction per class (zeros when total is zero).
+    pub fn time_fractions(&self) -> [f64; 5] {
+        let total = self.total_time_ns();
+        if total <= 0.0 {
+            return [0.0; 5];
+        }
+        let mut out = [0.0; 5];
+        for (o, &t) in out.iter_mut().zip(&self.time_ns) {
+            *o = t / total;
+        }
+        out
+    }
+
+    /// Merges another breakdown into this one.
+    pub fn merge(&mut self, other: &BlockBreakdown) {
+        for i in 0..5 {
+            self.energy_pj[i] += other.energy_pj[i];
+            self.time_ns[i] += other.time_ns[i];
+        }
+    }
+}
+
+/// Top-level hardware cost of one inference.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct HardwareReport {
+    /// End-to-end latency of one inference, ns (layers traversed
+    /// sequentially).
+    pub latency_ns: f64,
+    /// Pipeline initiation interval, ns: the slowest stage, which bounds
+    /// throughput once the layer pipeline is full (§4.3).
+    pub pipeline_interval_ns: f64,
+    /// Total energy of one inference, pJ.
+    pub energy_pj: f64,
+    /// Energy/time breakdown per block class.
+    pub breakdown: BlockBreakdown,
+    /// Multiply-accumulate operation count of the network (for GOPS).
+    pub mac_ops: u64,
+}
+
+impl HardwareReport {
+    /// Throughput in inferences per second once the pipeline is full.
+    pub fn throughput_per_s(&self) -> f64 {
+        if self.pipeline_interval_ns <= 0.0 {
+            return 0.0;
+        }
+        1e9 / self.pipeline_interval_ns
+    }
+
+    /// Effective compute rate in GOPS (2 ops per MAC), pipelined.
+    pub fn gops(&self) -> f64 {
+        if self.pipeline_interval_ns <= 0.0 {
+            return 0.0;
+        }
+        2.0 * self.mac_ops as f64 / self.pipeline_interval_ns
+    }
+
+    /// Energy per inference in microjoules.
+    pub fn energy_uj(&self) -> f64 {
+        self.energy_pj / 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_accumulates_and_fractions() {
+        let mut b = BlockBreakdown::default();
+        b.add(BlockClass::WeightedAccumulation, 75.0, 150.0);
+        b.add(BlockClass::Activation, 10.0, 20.0);
+        b.add(BlockClass::Other, 15.0, 30.0);
+        assert_eq!(b.total_energy_pj(), 100.0);
+        assert_eq!(b.total_time_ns(), 200.0);
+        let fr = b.energy_fractions();
+        assert!((fr[0] - 0.75).abs() < 1e-9);
+        assert!((fr[4] - 0.15).abs() < 1e-9);
+        let tf = b.time_fractions();
+        assert!((tf[0] - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_breakdown_has_zero_fractions() {
+        let b = BlockBreakdown::default();
+        assert_eq!(b.energy_fractions(), [0.0; 5]);
+        assert_eq!(b.time_fractions(), [0.0; 5]);
+    }
+
+    #[test]
+    fn merge_sums_classes() {
+        let mut a = BlockBreakdown::default();
+        a.add(BlockClass::Encoding, 5.0, 1.0);
+        let mut b = BlockBreakdown::default();
+        b.add(BlockClass::Encoding, 7.0, 2.0);
+        a.merge(&b);
+        assert_eq!(a.energy_pj[2], 12.0);
+        assert_eq!(a.time_ns[2], 3.0);
+    }
+
+    #[test]
+    fn report_derives_throughput_and_gops() {
+        let report = HardwareReport {
+            latency_ns: 1000.0,
+            pipeline_interval_ns: 500.0,
+            energy_pj: 2e6,
+            breakdown: BlockBreakdown::default(),
+            mac_ops: 1_000_000,
+        };
+        assert!((report.throughput_per_s() - 2e6).abs() < 1.0);
+        assert!((report.gops() - 4000.0).abs() < 1e-6);
+        assert!((report.energy_uj() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_interval_is_guarded() {
+        let report = HardwareReport::default();
+        assert_eq!(report.throughput_per_s(), 0.0);
+        assert_eq!(report.gops(), 0.0);
+    }
+
+    #[test]
+    fn labels_cover_all_classes() {
+        for class in BlockClass::ALL {
+            assert!(!class.label().is_empty());
+        }
+    }
+}

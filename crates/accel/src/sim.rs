@@ -1,0 +1,421 @@
+use crate::metrics::{BlockBreakdown, BlockClass, HardwareReport};
+use crate::params::{AcceleratorConfig, BUFFER_POWER_MW};
+use crate::rna::{neuron_cost, RnaCost};
+use rapidnn_core::{ReinterpretedNetwork, Stage, StageKind};
+use rapidnn_ndcam::SearchCost;
+
+/// Hardware cost of one pipeline stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageCost {
+    /// Stage label (`dense`, `conv`, `maxpool`, …).
+    pub label: &'static str,
+    /// Neurons mapped onto RNA blocks (0 for pooling stages).
+    pub neurons: usize,
+    /// Number of sequential waves needed when neurons exceed the RNA
+    /// capacity.
+    pub waves: u64,
+    /// Stage latency in nanoseconds.
+    pub latency_ns: f64,
+    /// Stage energy in picojoules.
+    pub energy_pj: f64,
+    /// Per-class breakdown.
+    pub breakdown: BlockBreakdown,
+}
+
+/// Result of simulating one inference on the accelerator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimulationReport {
+    /// Aggregate metrics.
+    pub hardware: HardwareReport,
+    /// Per-stage costs in pipeline order.
+    pub stages: Vec<StageCost>,
+    /// The configuration simulated.
+    pub config: AcceleratorConfig,
+}
+
+impl SimulationReport {
+    /// Energy-delay product in pJ·ns (Figure 12's metric).
+    pub fn edp(&self) -> f64 {
+        self.hardware.energy_pj * self.hardware.latency_ns
+    }
+
+    /// Compute efficiency in GOPS per mm².
+    pub fn gops_per_mm2(&self) -> f64 {
+        self.hardware.gops() / self.config.total_area_mm2()
+    }
+
+    /// Power efficiency in GOPS per watt, using the average power actually
+    /// drawn during an inference.
+    pub fn gops_per_w(&self) -> f64 {
+        let avg_power_w = if self.hardware.latency_ns > 0.0 {
+            (self.hardware.energy_pj / self.hardware.latency_ns) / 1000.0
+        } else {
+            return 0.0;
+        };
+        self.hardware.gops() / avg_power_w.max(1e-9)
+    }
+}
+
+/// Maps a reinterpreted network onto the accelerator and accounts cycles
+/// and energy (§4.3).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Simulator {
+    config: AcceleratorConfig,
+}
+
+impl Simulator {
+    /// Creates a simulator for the given configuration.
+    pub fn new(config: AcceleratorConfig) -> Self {
+        Simulator { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &AcceleratorConfig {
+        &self.config
+    }
+
+    /// Simulates one inference of `model`.
+    pub fn simulate(&self, model: &ReinterpretedNetwork) -> SimulationReport {
+        let mut stages = Vec::new();
+        let mut mac_ops = 0u64;
+        self.walk(model.stages(), &mut stages, &mut mac_ops);
+
+        let (breakdown, latency_ns, energy_pj, interval) =
+            self.aggregate(&stages);
+
+        SimulationReport {
+            hardware: HardwareReport {
+                latency_ns,
+                pipeline_interval_ns: interval,
+                energy_pj,
+                breakdown,
+                mac_ops,
+            },
+            stages,
+            config: self.config,
+        }
+    }
+
+    fn walk(&self, model_stages: &[Stage], out: &mut Vec<StageCost>, mac_ops: &mut u64) {
+        for stage in model_stages {
+            match stage {
+                Stage::Neuron(neuron) => {
+                    let kind = neuron.kind();
+                    let neurons = kind.neuron_count();
+                    let edges = kind.edges_per_neuron();
+                    *mac_ops += (neurons * edges) as u64;
+                    let w = neuron
+                        .weight_codebooks()
+                        .iter()
+                        .map(rapidnn_core::Codebook::len)
+                        .max()
+                        .unwrap_or(1);
+                    let u = neuron.input_codebook().len();
+                    let act_rows = neuron.activation().rows();
+                    let enc_rows = neuron.encoder().map_or(0, |e| e.rows());
+                    let cost = neuron_cost(edges, w, u, act_rows, enc_rows);
+                    out.push(self.neuron_stage_cost(
+                        match kind {
+                            StageKind::Dense { .. } => "dense",
+                            StageKind::Conv { .. } => "conv",
+                        },
+                        neurons,
+                        u,
+                        &cost,
+                    ));
+                }
+                Stage::MaxPool(g) => {
+                    let outputs = g.in_channels * g.out_pixels();
+                    let window = g.kernel_h * g.kernel_w;
+                    // Write the window into the encoder CAM, then one
+                    // search (§4.2.1): window + 1 cycles.
+                    let latency = (window + 1) as f64 * self.config.cycle_ns();
+                    let search = SearchCost::for_search(window, 8, 1);
+                    let energy = outputs as f64 * (search.energy_fj / 1000.0 + 0.2);
+                    let mut b = BlockBreakdown::default();
+                    b.add(BlockClass::Pooling, energy, latency);
+                    out.push(StageCost {
+                        label: "maxpool",
+                        neurons: 0,
+                        waves: 1,
+                        latency_ns: latency,
+                        energy_pj: energy,
+                        breakdown: b,
+                    });
+                }
+                Stage::AvgPool { geometry: g, .. } => {
+                    let outputs = g.in_channels * g.out_pixels();
+                    let window = g.kernel_h * g.kernel_w;
+                    // In-memory addition of the window (§4.2.1): reuse the
+                    // adder model via a tiny neuron cost.
+                    let cost = neuron_cost(window, window, window, 1, 1);
+                    let latency = cost.cycles() as f64 * self.config.cycle_ns();
+                    let energy = outputs as f64 * cost.energy_pj();
+                    let mut b = BlockBreakdown::default();
+                    b.add(BlockClass::Pooling, energy, latency);
+                    out.push(StageCost {
+                        label: "avgpool",
+                        neurons: 0,
+                        waves: 1,
+                        latency_ns: latency,
+                        energy_pj: energy,
+                        breakdown: b,
+                    });
+                }
+                Stage::Residual { branch, .. } => {
+                    self.walk(branch, out, mac_ops);
+                    // The join is one in-memory addition over the skip
+                    // FIFO values (§4.3).
+                    let cost = neuron_cost(2, 2, 2, 1, 1);
+                    let latency = cost.cycles() as f64 * self.config.cycle_ns();
+                    let mut b = BlockBreakdown::default();
+                    b.add(BlockClass::WeightedAccumulation, cost.energy_pj(), latency);
+                    out.push(StageCost {
+                        label: "residual-join",
+                        neurons: 0,
+                        waves: 1,
+                        latency_ns: latency,
+                        energy_pj: cost.energy_pj(),
+                        breakdown: b,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Folds per-stage costs into totals. The pipeline initiation
+    /// interval is the slowest stage while every stage can be resident on
+    /// its own RNAs; once the network overcommits the chip
+    /// (`total neurons > capacity`), stages time-share the same RNAs and
+    /// the interval degrades to the full latency (§4.3's pipeline only
+    /// overlaps layers mapped to distinct blocks).
+    fn aggregate(&self, stages: &[StageCost]) -> (BlockBreakdown, f64, f64, f64) {
+        let mut breakdown = BlockBreakdown::default();
+        let mut latency_ns = 0.0;
+        let mut energy_pj = 0.0;
+        let mut slowest: f64 = 0.0;
+        let mut total_neurons = 0usize;
+        for stage in stages {
+            breakdown.merge(&stage.breakdown);
+            latency_ns += stage.latency_ns;
+            energy_pj += stage.energy_pj;
+            slowest = slowest.max(stage.latency_ns);
+            total_neurons += stage.neurons;
+        }
+        let interval = if total_neurons <= self.config.effective_neuron_capacity() {
+            slowest
+        } else {
+            latency_ns
+        };
+        (breakdown, latency_ns, energy_pj, interval)
+    }
+
+    /// Simulates a network given only per-layer shapes
+    /// `(neurons, edges)` and uniform codebook sizes — used to project
+    /// cost onto real-scale topologies whose trainable substitutes are
+    /// reduced (DESIGN.md §5).
+    pub fn simulate_shapes(
+        &self,
+        shapes: &[(usize, usize)],
+        weight_clusters: usize,
+        input_clusters: usize,
+    ) -> SimulationReport {
+        let mut stages = Vec::new();
+        let mut mac_ops = 0u64;
+        for (i, &(neurons, edges)) in shapes.iter().enumerate() {
+            mac_ops += (neurons * edges) as u64;
+            let enc_rows = if i + 1 == shapes.len() { 0 } else { input_clusters };
+            let cost = neuron_cost(edges, weight_clusters, input_clusters, 1, enc_rows);
+            stages.push(self.neuron_stage_cost("layer", neurons, input_clusters, &cost));
+        }
+        let (breakdown, latency_ns, energy_pj, interval) =
+            self.aggregate(&stages);
+        SimulationReport {
+            hardware: HardwareReport {
+                latency_ns,
+                pipeline_interval_ns: interval,
+                energy_pj,
+                breakdown,
+                mac_ops,
+            },
+            stages,
+            config: self.config,
+        }
+    }
+
+    fn neuron_stage_cost(
+        &self,
+        label: &'static str,
+        neurons: usize,
+        next_codebook: usize,
+        per_neuron: &RnaCost,
+    ) -> StageCost {
+        let capacity = self.config.effective_neuron_capacity().max(1);
+        let waves = (neurons as u64).div_ceil(capacity as u64).max(1);
+        // Sharing serialises the neurons multiplexed onto one RNA.
+        let share_factor = 1.0 / (1.0 - self.config.rna_sharing);
+        let neuron_latency = per_neuron.cycles() as f64 * self.config.cycle_ns();
+        let compute_latency = waves as f64 * neuron_latency * share_factor;
+
+        // Bit-serial broadcast of encoded outputs into the tile buffer
+        // (§4.3): bits = ceil(log2(u_next)); all RNAs of a tile write in
+        // parallel.
+        let bits = (usize::BITS - next_codebook.saturating_sub(1).leading_zeros()).max(1) as f64;
+        let transfer_latency = bits * self.config.cycle_ns() * waves as f64;
+        let tiles_active = (neurons as f64
+            / self.config.rnas_per_tile as f64)
+            .ceil()
+            .min((self.config.chips * self.config.tiles_per_chip) as f64)
+            .max(1.0);
+        let transfer_energy = BUFFER_POWER_MW * transfer_latency * tiles_active;
+
+        let mut breakdown = BlockBreakdown::default();
+        for (i, class) in crate::metrics::BlockClass::ALL.iter().enumerate() {
+            let e = per_neuron.breakdown.energy_pj[i] * neurons as f64;
+            let t = per_neuron.breakdown.time_ns[i] * waves as f64 * share_factor;
+            if e > 0.0 || t > 0.0 {
+                breakdown.add(*class, e, t);
+            }
+        }
+        // Buffer + controller overheads land in Other.
+        let compute_energy: f64 = per_neuron.energy_pj() * neurons as f64;
+        let controller_energy = 0.05 * compute_energy;
+        breakdown.add(
+            BlockClass::Other,
+            transfer_energy + controller_energy,
+            transfer_latency,
+        );
+
+        StageCost {
+            label,
+            neurons,
+            waves,
+            latency_ns: compute_latency + transfer_latency,
+            energy_pj: compute_energy + transfer_energy + controller_energy,
+            breakdown,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rapidnn_core::ReinterpretOptions;
+    use rapidnn_data::SyntheticSpec;
+    use rapidnn_nn::{topology, Network};
+    use rapidnn_tensor::SeededRng;
+
+    fn tiny_model(rng: &mut SeededRng, w: usize, u: usize) -> ReinterpretedNetwork {
+        let data = SyntheticSpec::new(12, 3, 2.0).generate(40, rng).unwrap();
+        let mut net: Network = topology::mlp(12, &[16], 3, rng).unwrap();
+        let options = ReinterpretOptions {
+            weight_clusters: w,
+            input_clusters: u,
+            ..ReinterpretOptions::default()
+        };
+        ReinterpretedNetwork::build(&mut net, data.inputs(), &options, rng).unwrap()
+    }
+
+    #[test]
+    fn simulation_produces_positive_costs() {
+        let mut rng = SeededRng::new(1);
+        let model = tiny_model(&mut rng, 8, 8);
+        let report = Simulator::new(AcceleratorConfig::default()).simulate(&model);
+        assert!(report.hardware.latency_ns > 0.0);
+        assert!(report.hardware.energy_pj > 0.0);
+        assert!(report.hardware.mac_ops > 0);
+        assert_eq!(report.stages.len(), 2);
+        assert!(report.hardware.pipeline_interval_ns <= report.hardware.latency_ns);
+    }
+
+    #[test]
+    fn smaller_codebooks_are_faster_and_cheaper() {
+        // Figure 11's trend: smaller encoded sets → more energy-efficient
+        // and faster computation.
+        let mut rng = SeededRng::new(2);
+        let small = Simulator::new(AcceleratorConfig::default())
+            .simulate(&tiny_model(&mut rng, 4, 4));
+        let mut rng = SeededRng::new(2);
+        let large = Simulator::new(AcceleratorConfig::default())
+            .simulate(&tiny_model(&mut rng, 64, 64));
+        assert!(small.hardware.latency_ns <= large.hardware.latency_ns);
+        assert!(small.hardware.energy_pj < large.hardware.energy_pj);
+    }
+
+    #[test]
+    fn more_chips_do_not_slow_down() {
+        let mut rng = SeededRng::new(3);
+        let model = tiny_model(&mut rng, 8, 8);
+        let one = Simulator::new(AcceleratorConfig::with_chips(1)).simulate(&model);
+        let eight = Simulator::new(AcceleratorConfig::with_chips(8)).simulate(&model);
+        assert!(eight.hardware.latency_ns <= one.hardware.latency_ns);
+    }
+
+    #[test]
+    fn sharing_trades_latency_for_density() {
+        let mut rng = SeededRng::new(4);
+        let model = tiny_model(&mut rng, 8, 8);
+        let base = Simulator::new(AcceleratorConfig::default()).simulate(&model);
+        let shared =
+            Simulator::new(AcceleratorConfig::default().with_sharing(0.3)).simulate(&model);
+        assert!(shared.hardware.latency_ns > base.hardware.latency_ns);
+        // Compute efficiency (GOPS/mm²) should not get worse by sharing at
+        // fixed area... per Table 4 sharing *improves* GOPS/mm² because a
+        // smaller chip serves the same net; at fixed chip size latency
+        // grows, so we check density via effective capacity instead.
+        assert!(
+            shared.config.effective_neuron_capacity() > base.config.effective_neuron_capacity()
+        );
+    }
+
+    #[test]
+    fn weighted_accumulation_dominates_breakdown() {
+        let mut rng = SeededRng::new(5);
+        let model = tiny_model(&mut rng, 64, 64);
+        let report = Simulator::new(AcceleratorConfig::default()).simulate(&model);
+        let fr = report.hardware.breakdown.energy_fractions();
+        assert!(fr[0] > 0.5, "weighted accumulation fraction {}", fr[0]);
+    }
+
+    #[test]
+    fn efficiency_metrics_are_finite_and_positive() {
+        let mut rng = SeededRng::new(6);
+        let model = tiny_model(&mut rng, 16, 16);
+        let report = Simulator::new(AcceleratorConfig::default()).simulate(&model);
+        assert!(report.edp() > 0.0);
+        assert!(report.gops_per_mm2() > 0.0);
+        assert!(report.gops_per_w() > 0.0);
+        assert!(report.hardware.throughput_per_s() > 0.0);
+    }
+
+    #[test]
+    fn cnn_model_accounts_pooling() {
+        let mut rng = SeededRng::new(7);
+        let mut net = Network::new(2 * 6 * 6);
+        net.push(
+            rapidnn_nn::Conv2d::new(2, 6, 6, 3, 3, 1, rapidnn_nn::Padding::Same, &mut rng)
+                .unwrap(),
+        );
+        net.push(rapidnn_nn::ActivationLayer::new(
+            rapidnn_nn::Activation::Relu,
+        ));
+        net.push(rapidnn_nn::MaxPool2d::new(3, 6, 6, 2).unwrap());
+        net.push(rapidnn_nn::Dense::new(27, 4, &mut rng));
+        let data = SyntheticSpec::new(72, 4, 2.0).generate(30, &mut rng).unwrap();
+        let model = ReinterpretedNetwork::build(
+            &mut net,
+            data.inputs(),
+            &ReinterpretOptions {
+                weight_clusters: 8,
+                input_clusters: 8,
+                ..ReinterpretOptions::default()
+            },
+            &mut rng,
+        )
+        .unwrap();
+        let report = Simulator::new(AcceleratorConfig::default()).simulate(&model);
+        let pooling_energy = report.hardware.breakdown.energy_pj[3];
+        assert!(pooling_energy > 0.0);
+        assert!(report.stages.iter().any(|s| s.label == "maxpool"));
+    }
+}

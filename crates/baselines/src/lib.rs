@@ -1,0 +1,37 @@
+//! Analytic performance/energy/area models of the accelerators RAPIDNN is
+//! compared against (§5.5): an NVIDIA GTX 1080 GPU, DaDianNao, ISAAC,
+//! PipeLayer, Eyeriss and SnaPEA.
+//!
+//! The comparator systems are closed designs; the paper itself evaluates
+//! them from the best configurations reported in their original
+//! publications. This crate does the same: each baseline is an
+//! [`AcceleratorModel`] with a peak compute rate, a workload-dependent
+//! utilisation, a power draw and a die area — enough to compute the
+//! latency and energy of any [`Workload`]. Peak/efficiency anchors come
+//! from the papers (e.g. ISAAC 479.0 GOPS/mm², 380.7 GOPS/W; PipeLayer
+//! 1485.1 GOPS/mm², 142.9 GOPS/W, quoted in §5.5); utilisation constants
+//! are calibration parameters documented in DESIGN.md §4.
+//!
+//! # Examples
+//!
+//! ```
+//! use rapidnn_baselines::{gpu_gtx1080, Workload, WorkloadKind};
+//!
+//! let gpu = gpu_gtx1080();
+//! let mnist = Workload::new("MNIST", 668_160, WorkloadKind::DenseMlp);
+//! assert!(gpu.latency_s(&mnist) > 0.0);
+//! assert!(gpu.energy_j(&mnist) > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod model;
+mod workload;
+
+pub use model::{
+    dadiannao, eyeriss, gpu_gtx1080, isaac, pipelayer, snapea, AcceleratorModel,
+};
+pub use workload::{
+    imagenet_layer_shapes, imagenet_workloads, workload_of, LayerShape, Workload, WorkloadKind,
+};

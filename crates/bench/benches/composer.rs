@@ -1,0 +1,135 @@
+//! Benchmarks of the DNN-composer kernels: k-means clustering, codebook
+//! construction (flat and tree), activation-table builds and full-network
+//! reinterpretation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rapidnn::composer::kmeans::{cluster, cluster_naive_init, KmeansConfig};
+use rapidnn::composer::{
+    ActivationTable, Codebook, QuantizationScheme, ReinterpretOptions, ReinterpretedNetwork,
+    TreeCodebook,
+};
+use rapidnn::data::SyntheticSpec;
+use rapidnn::nn::{topology, Activation};
+use rapidnn::tensor::SeededRng;
+use std::hint::black_box;
+
+fn population(n: usize) -> Vec<f32> {
+    let mut rng = SeededRng::new(42);
+    (0..n).map(|_| rng.normal()).collect()
+}
+
+fn bench_kmeans(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kmeans");
+    let values = population(8192);
+    for &k in &[4usize, 16, 64] {
+        group.bench_with_input(BenchmarkId::new("plus_plus", k), &k, |b, &k| {
+            let mut rng = SeededRng::new(1);
+            b.iter(|| {
+                cluster(black_box(&values), k, &KmeansConfig::default(), &mut rng).unwrap()
+            });
+        });
+    }
+    // Ablation: naive init vs k-means++ (DESIGN.md §6).
+    group.bench_function("naive_init_64", |b| {
+        let mut rng = SeededRng::new(1);
+        b.iter(|| {
+            cluster_naive_init(black_box(&values), 64, &KmeansConfig::default(), &mut rng)
+                .unwrap()
+        });
+    });
+    group.finish();
+}
+
+fn bench_codebooks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codebook");
+    let values = population(4096);
+    group.bench_function("flat_64", |b| {
+        let mut rng = SeededRng::new(2);
+        b.iter(|| Codebook::from_kmeans(black_box(&values), 64, &mut rng).unwrap());
+    });
+    group.bench_function("tree_depth6", |b| {
+        let mut rng = SeededRng::new(2);
+        b.iter(|| TreeCodebook::build(black_box(&values), 6, &mut rng).unwrap());
+    });
+    let cb = Codebook::from_kmeans(&values, 64, &mut SeededRng::new(3)).unwrap();
+    group.bench_function("encode_4096", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for &v in &values {
+                acc += u32::from(cb.encode(black_box(v)));
+            }
+            acc
+        });
+    });
+    group.finish();
+}
+
+fn bench_activation_tables(c: &mut Criterion) {
+    let mut group = c.benchmark_group("activation_table");
+    // Ablation: uniform vs non-linear placement (DESIGN.md §6).
+    for (name, scheme) in [
+        ("uniform", QuantizationScheme::Uniform),
+        ("nonlinear", QuantizationScheme::NonLinear),
+    ] {
+        group.bench_function(format!("build_sigmoid_64_{name}"), |b| {
+            b.iter(|| {
+                ActivationTable::build(Activation::Sigmoid, -8.0, 8.0, 64, scheme).unwrap()
+            });
+        });
+    }
+    let table = ActivationTable::build(
+        Activation::Sigmoid,
+        -8.0,
+        8.0,
+        64,
+        QuantizationScheme::NonLinear,
+    )
+    .unwrap();
+    group.bench_function("lookup_x1000", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f32;
+            for i in 0..1000 {
+                acc += table.lookup(black_box(i as f32 * 0.016 - 8.0));
+            }
+            acc
+        });
+    });
+    group.finish();
+}
+
+fn bench_reinterpretation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reinterpret");
+    group.sample_size(10);
+    let mut rng = SeededRng::new(5);
+    let data = SyntheticSpec::new(784, 10, 1.0)
+        .generate(32, &mut rng)
+        .unwrap();
+    let net = topology::mlp(784, &[128, 128], 10, &mut rng).unwrap();
+    group.bench_function("mlp_784_128_128_10_w16u16", |b| {
+        b.iter(|| {
+            let mut clone = net.clone();
+            ReinterpretedNetwork::build(
+                &mut clone,
+                black_box(data.inputs()),
+                &ReinterpretOptions {
+                    weight_clusters: 16,
+                    input_clusters: 16,
+                    max_sample_rows: 16,
+                    ..ReinterpretOptions::default()
+                },
+                &mut rng,
+            )
+            .unwrap()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_kmeans,
+    bench_codebooks,
+    bench_activation_tables,
+    bench_reinterpretation
+);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Benchmarks of inference paths: float forward passes versus
+//! encoded-domain (table-lookup) inference, per benchmark class.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rapidnn::composer::{ReinterpretOptions, ReinterpretedNetwork};
+use rapidnn::data::SyntheticSpec;
+use rapidnn::nn::{topology, Network};
+use rapidnn::tensor::{SeededRng, Shape, Tensor};
+use std::hint::black_box;
+
+struct Prepared {
+    float: Network,
+    encoded: ReinterpretedNetwork,
+    sample: Vec<f32>,
+    batch: Tensor,
+}
+
+fn prepare_mlp() -> Prepared {
+    let mut rng = SeededRng::new(7);
+    let data = SyntheticSpec::new(784, 10, 1.0).generate(24, &mut rng).unwrap();
+    let mut float = topology::mlp(784, &[128, 128], 10, &mut rng).unwrap();
+    let encoded = ReinterpretedNetwork::build(
+        &mut float,
+        data.inputs(),
+        &ReinterpretOptions {
+            weight_clusters: 16,
+            input_clusters: 16,
+            max_sample_rows: 16,
+            ..ReinterpretOptions::default()
+        },
+        &mut rng,
+    )
+    .unwrap();
+    let sample = data.sample(0).into_vec();
+    let batch = Tensor::from_vec(
+        Shape::matrix(8, 784),
+        data.inputs().as_slice()[..8 * 784].to_vec(),
+    )
+    .unwrap();
+    Prepared {
+        float,
+        encoded,
+        sample,
+        batch,
+    }
+}
+
+fn bench_float_vs_encoded(c: &mut Criterion) {
+    let mut group = c.benchmark_group("inference");
+    let mut prep = prepare_mlp();
+
+    group.bench_function("float_forward_batch8", |b| {
+        b.iter(|| prep.float.forward(black_box(&prep.batch)).unwrap());
+    });
+    group.bench_function("encoded_sample", |b| {
+        b.iter(|| prep.encoded.infer_sample(black_box(&prep.sample)).unwrap());
+    });
+    group.bench_function("encoded_batch8", |b| {
+        b.iter(|| prep.encoded.infer_batch(black_box(&prep.batch)).unwrap());
+    });
+    group.bench_function("encode_input_784", |b| {
+        b.iter(|| prep.encoded.encode_input(black_box(&prep.sample)));
+    });
+    group.finish();
+}
+
+fn bench_cnn_encoded(c: &mut Criterion) {
+    let mut group = c.benchmark_group("inference_cnn");
+    group.sample_size(10);
+    let mut rng = SeededRng::new(8);
+    let data = SyntheticSpec::new(3 * 32 * 32, 10, 1.0)
+        .generate(16, &mut rng)
+        .unwrap();
+    let mut float = topology::cifar_cnn_scaled(10, 16, &mut rng).unwrap();
+    let encoded = ReinterpretedNetwork::build(
+        &mut float,
+        data.inputs(),
+        &ReinterpretOptions {
+            weight_clusters: 8,
+            input_clusters: 8,
+            max_sample_rows: 8,
+            ..ReinterpretOptions::default()
+        },
+        &mut rng,
+    )
+    .unwrap();
+    let sample = data.sample(0).into_vec();
+    group.bench_function("encoded_cnn_sample", |b| {
+        b.iter(|| encoded.infer_sample(black_box(&sample)).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_float_vs_encoded, bench_cnn_encoded);
+criterion_main!(benches);

@@ -1,0 +1,108 @@
+//! Benchmarks of the in-memory compute substrates: MAGIC NOR gates,
+//! crossbar row operations, NOR-built adder trees, NDCAM searches and the
+//! counter-based weighted accumulator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rapidnn::accel::{decompose_counter, WeightedAccumulator};
+use rapidnn::memristor::{nor, AdderTree, Crossbar};
+use rapidnn::ndcam::NdcamArray;
+use rapidnn::tensor::SeededRng;
+use std::hint::black_box;
+
+fn bench_nor_logic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nor_logic");
+    group.bench_function("full_adder_bit", |b| {
+        b.iter(|| {
+            let mut ctx = nor::NorContext::new();
+            nor::full_adder(&mut ctx, black_box(true), black_box(false), black_box(true))
+        });
+    });
+    group.bench_function("ripple_add_32bit", |b| {
+        b.iter(|| nor::ripple_add(black_box(123_456), black_box(654_321), 32));
+    });
+    group.bench_function("carry_save_32bit", |b| {
+        b.iter(|| nor::carry_save(black_box(111), black_box(222), black_box(333), 32));
+    });
+    group.finish();
+}
+
+fn bench_crossbar(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crossbar");
+    let row = vec![true; 1024];
+    group.bench_function("write_row_1k", |b| {
+        let mut xb = Crossbar::new(8, 1024);
+        b.iter(|| xb.write_row(0, black_box(&row)));
+    });
+    group.bench_function("nor_rows_1k", |b| {
+        let mut xb = Crossbar::new(8, 1024);
+        xb.write_row(0, &row);
+        xb.write_row(1, &vec![false; 1024]);
+        b.iter(|| xb.nor_rows(black_box(0), black_box(1), 2));
+    });
+    group.finish();
+}
+
+fn bench_adder_tree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adder_tree");
+    let mut rng = SeededRng::new(1);
+    for &n in &[16usize, 64, 256] {
+        let operands: Vec<u64> = (0..n).map(|_| rng.index(1 << 12) as u64).collect();
+        group.bench_with_input(BenchmarkId::new("add_all", n), &operands, |b, ops| {
+            let tree = AdderTree::new(16);
+            b.iter(|| tree.add_all(black_box(ops)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_ndcam(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ndcam");
+    let mut rng = SeededRng::new(2);
+    for &rows in &[16usize, 64] {
+        let values: Vec<u64> = (0..rows).map(|_| rng.index(256) as u64).collect();
+        let cam = NdcamArray::from_values(&values, 8).unwrap();
+        group.bench_with_input(BenchmarkId::new("nearest", rows), &cam, |b, cam| {
+            b.iter(|| cam.search_nearest(black_box(137)));
+        });
+        group.bench_with_input(BenchmarkId::new("weighted", rows), &cam, |b, cam| {
+            b.iter(|| cam.search_weighted(black_box(137)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_weighted_accumulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("weighted_accumulation");
+    group.bench_function("decompose_counter_4095", |b| {
+        b.iter(|| decompose_counter(black_box(4095)));
+    });
+    let mut rng = SeededRng::new(3);
+    let slots: Vec<(f32, u32)> = (0..256)
+        .map(|_| (rng.normal(), 1 + rng.index(15) as u32))
+        .collect();
+    group.bench_function("accumulate_256_slots", |b| {
+        let acc = WeightedAccumulator::new(16);
+        b.iter(|| acc.accumulate(black_box(&slots)));
+    });
+    // Ablation (DESIGN.md §6): the counter path versus naively adding each
+    // repeated product.
+    let expanded: Vec<f32> = slots
+        .iter()
+        .flat_map(|&(v, c)| std::iter::repeat_n(v, c as usize))
+        .collect();
+    group.bench_function("accumulate_serial_equivalent", |b| {
+        let acc = WeightedAccumulator::new(16);
+        b.iter(|| acc.accumulate_edges(black_box(&expanded)));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_nor_logic,
+    bench_crossbar,
+    bench_adder_tree,
+    bench_ndcam,
+    bench_weighted_accumulation
+);
+criterion_main!(benches);

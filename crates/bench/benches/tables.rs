@@ -1,0 +1,88 @@
+//! Benchmarks behind the paper's tables: Table 1 (hardware parameter
+//! derivation), Table 2 workload construction, Table 3 (composer
+//! iteration cost) and Table 4 (RNA-sharing transformation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rapidnn::accel::AcceleratorConfig;
+use rapidnn::composer::{quantize_network_weights, ReinterpretOptions, ReinterpretedNetwork};
+use rapidnn::data::{benchmark_dataset, SyntheticSpec};
+use rapidnn::nn::topology::{self, Benchmark};
+use rapidnn::tensor::SeededRng;
+use std::hint::black_box;
+
+fn bench_table1_parameters(c: &mut Criterion) {
+    c.bench_function("table1/area_power_derivation", |b| {
+        b.iter(|| {
+            let cfg = AcceleratorConfig::default();
+            black_box((cfg.total_area_mm2(), cfg.max_power_w(), cfg.total_rnas()))
+        });
+    });
+}
+
+fn bench_table2_workloads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    group.bench_function("dataset_mnist_300", |b| {
+        b.iter(|| {
+            let mut rng = SeededRng::new(1);
+            benchmark_dataset(Benchmark::Mnist, 300, &mut rng).unwrap()
+        });
+    });
+    group.bench_function("build_full_mnist_topology", |b| {
+        b.iter(|| {
+            let mut rng = SeededRng::new(1);
+            Benchmark::Mnist.build(&mut rng).unwrap()
+        });
+    });
+    group.finish();
+}
+
+fn bench_table3_composer_iteration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3");
+    group.sample_size(10);
+    let mut rng = SeededRng::new(2);
+    let net = topology::mlp(256, &[64], 10, &mut rng).unwrap();
+    group.bench_function("weight_clustering_iteration", |b| {
+        b.iter(|| {
+            let mut clone = net.clone();
+            quantize_network_weights(&mut clone, 16, &mut rng).unwrap();
+            clone
+        });
+    });
+    group.finish();
+}
+
+fn bench_table4_sharing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4");
+    group.sample_size(10);
+    let mut rng = SeededRng::new(3);
+    let data = SyntheticSpec::new(3 * 32 * 32, 10, 1.0)
+        .generate(8, &mut rng)
+        .unwrap();
+    let mut net = topology::cifar_cnn_scaled(10, 16, &mut rng).unwrap();
+    let model = ReinterpretedNetwork::build(
+        &mut net,
+        data.inputs(),
+        &ReinterpretOptions {
+            weight_clusters: 8,
+            input_clusters: 8,
+            max_sample_rows: 8,
+            ..ReinterpretOptions::default()
+        },
+        &mut rng,
+    )
+    .unwrap();
+    group.bench_function("with_rna_sharing_30pct", |b| {
+        b.iter(|| model.with_rna_sharing(black_box(0.3), &mut rng));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_table1_parameters,
+    bench_table2_workloads,
+    bench_table3_composer_iteration,
+    bench_table4_sharing
+);
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! Criterion benchmark harness for the RAPIDNN reproduction.
+//!
+//! This crate contains no library code; the benchmarks live under
+//! `benches/` — `composer`, `inference`, `memory_substrate`, `tables` and
+//! `figures` — and are driven by `cargo bench`.

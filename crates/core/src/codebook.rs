@@ -1,0 +1,246 @@
+use crate::kmeans::{cluster, KmeansConfig};
+use crate::{CoreError, Result};
+use rapidnn_tensor::SeededRng;
+
+/// A sorted set of representative values ("best representatives", §2.2)
+/// together with nearest-value encoding.
+///
+/// Invariants maintained by every constructor:
+///
+/// * values are strictly ascending (sorted and deduplicated);
+/// * at least one value is present.
+///
+/// Because values are sorted, comparisons over *encoded indices* order the
+/// same way as comparisons over the underlying real values — the property
+/// that lets the accelerator run max pooling directly on encoded data
+/// (§3.1, "the codebook values in each level are sorted before encoding").
+#[derive(Debug, Clone, PartialEq)]
+pub struct Codebook {
+    values: Vec<f32>,
+}
+
+impl Codebook {
+    /// Creates a codebook from raw representative values; they are sorted
+    /// and deduplicated.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidCodebook`] when `values` is empty or
+    /// contains non-finite entries.
+    pub fn new(mut values: Vec<f32>) -> Result<Self> {
+        if values.is_empty() {
+            return Err(CoreError::InvalidCodebook("no representative values".into()));
+        }
+        if values.iter().any(|v| !v.is_finite()) {
+            return Err(CoreError::InvalidCodebook(
+                "representative values must be finite".into(),
+            ));
+        }
+        values.sort_by(f32::total_cmp);
+        values.dedup();
+        Ok(Codebook { values })
+    }
+
+    /// Builds a codebook by k-means clustering `population` into at most
+    /// `k` representatives.
+    ///
+    /// # Errors
+    ///
+    /// Propagates clustering errors (empty population, zero `k`).
+    pub fn from_kmeans(population: &[f32], k: usize, rng: &mut SeededRng) -> Result<Self> {
+        let clustering = cluster(population, k, &KmeansConfig::default(), rng)?;
+        Codebook::new(clustering.centroids)
+    }
+
+    /// The representative values, ascending.
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// Number of representatives.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Always `false`: codebooks hold at least one value.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Number of bits needed to address a representative
+    /// (`ceil(log2(len))`, at least 1).
+    pub fn bits(&self) -> u32 {
+        (usize::BITS - (self.values.len() - 1).leading_zeros()).max(1)
+    }
+
+    /// Encodes `value` as the index of its nearest representative
+    /// (ties resolve to the smaller representative).
+    pub fn encode(&self, value: f32) -> u16 {
+        // Binary search over the sorted axis, then compare neighbours.
+        let idx = match self
+            .values
+            .binary_search_by(|probe| probe.total_cmp(&value))
+        {
+            Ok(i) => i,
+            Err(insertion) => {
+                if insertion == 0 {
+                    0
+                } else if insertion >= self.values.len() {
+                    self.values.len() - 1
+                } else {
+                    let lo = insertion - 1;
+                    let hi = insertion;
+                    if (value - self.values[lo]).abs() <= (self.values[hi] - value).abs() {
+                        lo
+                    } else {
+                        hi
+                    }
+                }
+            }
+        };
+        idx as u16
+    }
+
+    /// Decodes an index back to its representative value.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `code` is out of range — encoded data is internal to the
+    /// pipeline, so an out-of-range code is a logic error, not input error.
+    pub fn decode(&self, code: u16) -> f32 {
+        self.values[code as usize]
+    }
+
+    /// Quantizes `value` to its nearest representative (encode + decode).
+    pub fn quantize(&self, value: f32) -> f32 {
+        self.decode(self.encode(value))
+    }
+
+    /// Quantizes every element of a slice in place.
+    pub fn quantize_slice(&self, values: &mut [f32]) {
+        for v in values {
+            *v = self.quantize(*v);
+        }
+    }
+
+    /// Mean squared quantization error over `values`.
+    pub fn quantization_mse(&self, values: &[f32]) -> f64 {
+        if values.is_empty() {
+            return 0.0;
+        }
+        values
+            .iter()
+            .map(|&v| ((v - self.quantize(v)) as f64).powi(2))
+            .sum::<f64>()
+            / values.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn book() -> Codebook {
+        Codebook::new(vec![0.45, -1.25, 0.2, -0.5]).unwrap()
+    }
+
+    #[test]
+    fn values_are_sorted_and_deduped() {
+        let cb = Codebook::new(vec![3.0, 1.0, 2.0, 1.0]).unwrap();
+        assert_eq!(cb.values(), &[1.0, 2.0, 3.0]);
+        assert_eq!(cb.len(), 3);
+    }
+
+    #[test]
+    fn rejects_empty_and_nonfinite() {
+        assert!(Codebook::new(vec![]).is_err());
+        assert!(Codebook::new(vec![f32::NAN]).is_err());
+        assert!(Codebook::new(vec![f32::INFINITY]).is_err());
+    }
+
+    #[test]
+    fn encode_finds_nearest() {
+        // Paper Figure 3a: representatives {-1.25, -0.5, 0.2, 0.45};
+        // a = 1.2 encodes to the largest (0.45, index 3), b = 0.33 to 0.45?
+        // No: |0.33-0.2| = 0.13 < |0.33-0.45| = 0.12 -> actually 0.45 wins.
+        let cb = book();
+        assert_eq!(cb.values(), &[-1.25, -0.5, 0.2, 0.45]);
+        assert_eq!(cb.encode(1.2), 3);
+        assert_eq!(cb.encode(-9.0), 0);
+        assert_eq!(cb.encode(0.2), 2);
+        assert_eq!(cb.encode(-0.9), 0); // closer to -1.25 than -0.5? |-0.9+1.25|=0.35, |-0.9+0.5|=0.4 -> index 0
+        assert_eq!(cb.encode(-0.6), 1);
+    }
+
+    #[test]
+    fn encode_ties_resolve_low() {
+        let cb = Codebook::new(vec![0.0, 2.0]).unwrap();
+        assert_eq!(cb.encode(1.0), 0);
+    }
+
+    #[test]
+    fn decode_round_trips_representatives() {
+        let cb = book();
+        for (i, &v) in cb.values().iter().enumerate() {
+            assert_eq!(cb.encode(v), i as u16);
+            assert_eq!(cb.decode(i as u16), v);
+        }
+    }
+
+    #[test]
+    fn quantize_is_idempotent() {
+        let cb = book();
+        for &x in &[-3.0f32, -0.7, 0.0, 0.3, 9.0] {
+            let q = cb.quantize(x);
+            assert_eq!(cb.quantize(q), q);
+        }
+    }
+
+    #[test]
+    fn bits_cover_all_indices() {
+        assert_eq!(Codebook::new(vec![1.0]).unwrap().bits(), 1);
+        assert_eq!(Codebook::new(vec![1.0, 2.0]).unwrap().bits(), 1);
+        assert_eq!(Codebook::new(vec![1.0, 2.0, 3.0]).unwrap().bits(), 2);
+        assert_eq!(
+            Codebook::new((0..64).map(|i| i as f32).collect())
+                .unwrap()
+                .bits(),
+            6
+        );
+        assert_eq!(
+            Codebook::new((0..65).map(|i| i as f32).collect())
+                .unwrap()
+                .bits(),
+            7
+        );
+    }
+
+    #[test]
+    fn encoded_order_matches_value_order() {
+        // The max-pooling enabler: sorting property.
+        let cb = book();
+        let samples = [-2.0f32, -1.0, -0.4, 0.1, 0.3, 2.0];
+        for pair in samples.windows(2) {
+            assert!(cb.encode(pair[0]) <= cb.encode(pair[1]));
+        }
+    }
+
+    #[test]
+    fn kmeans_codebook_reduces_mse_with_size() {
+        let mut rng = SeededRng::new(6);
+        let population: Vec<f32> = (0..2000).map(|_| rng.normal()).collect();
+        let small = Codebook::from_kmeans(&population, 4, &mut rng).unwrap();
+        let large = Codebook::from_kmeans(&population, 32, &mut rng).unwrap();
+        assert!(large.quantization_mse(&population) < small.quantization_mse(&population));
+    }
+
+    #[test]
+    fn quantize_slice_maps_everything_onto_codebook() {
+        let cb = book();
+        let mut values = vec![-2.0f32, 0.0, 1.0];
+        cb.quantize_slice(&mut values);
+        for v in values {
+            assert!(cb.values().contains(&v));
+        }
+    }
+}

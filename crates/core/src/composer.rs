@@ -1,0 +1,431 @@
+use crate::codebook::Codebook;
+use crate::lut::QuantizationScheme;
+use crate::reinterpret::{ReinterpretOptions, ReinterpretedNetwork, StageKind};
+use crate::{CoreError, Result};
+use rapidnn_data::Dataset;
+use rapidnn_nn::{Layer, LayerKind, Network, Trainer, TrainerConfig};
+use rapidnn_tensor::SeededRng;
+
+/// Configuration of the DNN composer (Figure 4).
+///
+/// Mirrors the paper's knobs: `w` weight clusters, `u` input clusters, `q`
+/// activation rows, tolerance `ε`, the retraining budget, and the input
+/// sampling rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ComposerConfig {
+    /// Number of weight representatives per codebook (`w`).
+    pub weight_clusters: usize,
+    /// Number of input representatives per codebook (`u`).
+    pub input_clusters: usize,
+    /// Activation lookup-table rows (`q`, 64 in the paper's evaluation).
+    pub activation_rows: usize,
+    /// Activation-table point placement.
+    pub scheme: QuantizationScheme,
+    /// Model ReLU with the exact comparator block instead of a table.
+    pub relu_comparator: bool,
+    /// Maximum cluster → retrain iterations (5 in the paper).
+    pub max_iterations: usize,
+    /// Accuracy-loss tolerance `ε`; iteration stops once `Δe <= ε`
+    /// (the paper sets `ε = 0`).
+    pub epsilon: f32,
+    /// Retraining epochs per iteration (Table 3 uses 5 for the small apps,
+    /// 1 for ImageNet-class models).
+    pub retrain_epochs: usize,
+    /// Cap on sample rows used when clustering per-layer inputs — the
+    /// paper samples as little as 2 % of the training data (§3.1).
+    pub max_sample_rows: usize,
+    /// Trainer hyper-parameters used for retraining.
+    pub trainer: TrainerConfig,
+}
+
+impl Default for ComposerConfig {
+    fn default() -> Self {
+        ComposerConfig {
+            weight_clusters: 64,
+            input_clusters: 64,
+            activation_rows: 64,
+            scheme: QuantizationScheme::NonLinear,
+            relu_comparator: true,
+            max_iterations: 5,
+            epsilon: 0.0,
+            retrain_epochs: 2,
+            max_sample_rows: 64,
+            trainer: TrainerConfig::default(),
+        }
+    }
+}
+
+impl ComposerConfig {
+    /// Sets the weight-cluster count `w`.
+    pub fn with_weights(mut self, w: usize) -> Self {
+        self.weight_clusters = w;
+        self
+    }
+
+    /// Sets the input-cluster count `u`.
+    pub fn with_inputs(mut self, u: usize) -> Self {
+        self.input_clusters = u;
+        self
+    }
+
+    /// Sets the activation lookup-table row count `q`.
+    pub fn with_activation_rows(mut self, q: usize) -> Self {
+        self.activation_rows = q;
+        self
+    }
+
+    /// Sets the iteration budget.
+    pub fn with_max_iterations(mut self, iterations: usize) -> Self {
+        self.max_iterations = iterations;
+        self
+    }
+
+    /// Sets the retraining epochs per iteration.
+    pub fn with_retrain_epochs(mut self, epochs: usize) -> Self {
+        self.retrain_epochs = epochs;
+        self
+    }
+
+    /// Sets the accuracy tolerance `ε`.
+    pub fn with_epsilon(mut self, epsilon: f32) -> Self {
+        self.epsilon = epsilon;
+        self
+    }
+
+    fn reinterpret_options(&self) -> ReinterpretOptions {
+        ReinterpretOptions {
+            weight_clusters: self.weight_clusters,
+            input_clusters: self.input_clusters,
+            activation_rows: self.activation_rows,
+            scheme: self.scheme,
+            relu_comparator: self.relu_comparator,
+            max_sample_rows: self.max_sample_rows,
+        }
+    }
+}
+
+/// Metrics of one cluster → estimate → retrain iteration (Figure 6d).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IterationReport {
+    /// Iteration index (0-based).
+    pub iteration: usize,
+    /// Error rate of the reinterpreted model on the validation set.
+    pub clustered_error: f32,
+    /// `Δe = e_clustered − e_baseline`.
+    pub delta_e: f32,
+    /// Whether a retraining pass followed this estimate.
+    pub retrained: bool,
+}
+
+/// Result of [`Composer::compose`].
+#[derive(Debug, Clone)]
+pub struct ComposeOutcome {
+    /// The best reinterpreted model found across iterations.
+    pub reinterpreted: ReinterpretedNetwork,
+    /// Float-baseline validation error before composition.
+    pub baseline_error: f32,
+    /// Validation error of the returned model.
+    pub final_error: f32,
+    /// `Δe` of the returned model.
+    pub delta_e: f32,
+    /// Per-iteration history.
+    pub iterations: Vec<IterationReport>,
+}
+
+/// The DNN composer: parameter clustering, quality management and network
+/// retraining (§3, Figure 4).
+#[derive(Debug, Clone)]
+pub struct Composer {
+    config: ComposerConfig,
+}
+
+impl Composer {
+    /// Creates a composer with the given configuration.
+    pub fn new(config: ComposerConfig) -> Self {
+        Composer { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ComposerConfig {
+        &self.config
+    }
+
+    /// Runs the full cluster → estimate-error → retrain loop on a trained
+    /// network and returns the best reinterpreted model.
+    ///
+    /// The float network is mutated: its weights end up clustered (and
+    /// possibly retrained), matching Figure 6c.
+    ///
+    /// # Errors
+    ///
+    /// Propagates clustering, topology and training errors.
+    pub fn compose(
+        &self,
+        network: &mut Network,
+        train: &Dataset,
+        validation: &Dataset,
+        rng: &mut SeededRng,
+    ) -> Result<ComposeOutcome> {
+        if self.config.max_iterations == 0 {
+            return Err(CoreError::InvalidClustering(
+                "composer needs at least one iteration".into(),
+            ));
+        }
+        let baseline_error = network.evaluate(validation.inputs(), validation.labels())?;
+        let options = self.config.reinterpret_options();
+        let mut trainer = Trainer::new(self.config.trainer, rng);
+
+        let mut iterations = Vec::new();
+        let mut best: Option<(f32, ReinterpretedNetwork)> = None;
+
+        for iteration in 0..self.config.max_iterations {
+            // Parameter clustering: replace float weights with their
+            // cluster centroids so retraining starts from the clustered
+            // distribution (Figure 6b).
+            quantize_network_weights(
+                network,
+                self.config.weight_clusters,
+                rng,
+            )?;
+            // Build the memory-based model and estimate its error (§3.2).
+            let reinterpreted =
+                ReinterpretedNetwork::build(network, train.inputs(), &options, rng)?;
+            let clustered_error = reinterpreted.evaluate(validation)?;
+            let delta_e = clustered_error - baseline_error;
+
+            let is_better = best
+                .as_ref()
+                .map(|(err, _)| clustered_error < *err)
+                .unwrap_or(true);
+            if is_better {
+                best = Some((clustered_error, reinterpreted));
+            }
+
+            let satisfied = delta_e <= self.config.epsilon;
+            let last_iteration = iteration + 1 == self.config.max_iterations;
+            let retrain = !satisfied && !last_iteration;
+            iterations.push(IterationReport {
+                iteration,
+                clustered_error,
+                delta_e,
+                retrained: retrain,
+            });
+            if !retrain {
+                break;
+            }
+            trainer.fit(
+                network,
+                train.inputs(),
+                train.labels(),
+                self.config.retrain_epochs,
+            )?;
+        }
+
+        let (final_error, reinterpreted) = best.expect("at least one iteration ran");
+        Ok(ComposeOutcome {
+            reinterpreted,
+            baseline_error,
+            final_error,
+            delta_e: final_error - baseline_error,
+            iterations,
+        })
+    }
+}
+
+/// Replaces every weighted layer's weights with their k-means centroids
+/// (weight clustering, §3.2). Recurses into residual branches.
+///
+/// # Errors
+///
+/// Propagates clustering errors.
+pub fn quantize_network_weights(
+    network: &mut Network,
+    clusters: usize,
+    rng: &mut SeededRng,
+) -> Result<()> {
+    quantize_layers(network.layers_mut(), clusters, rng)
+}
+
+fn quantize_layers(
+    layers: &mut [Box<dyn Layer>],
+    clusters: usize,
+    rng: &mut SeededRng,
+) -> Result<()> {
+    for layer in layers {
+        match layer.kind() {
+            LayerKind::Dense { .. } => {
+                let mut params = layer.params();
+                let weights = params[0].value.as_mut_slice();
+                let codebook = Codebook::from_kmeans(weights, clusters, rng)?;
+                codebook.quantize_slice(weights);
+            }
+            LayerKind::Conv2d {
+                geometry,
+                out_channels,
+            } => {
+                let kind = StageKind::Conv {
+                    geometry,
+                    out_channels,
+                };
+                let patch_len = kind.edges_per_neuron();
+                let mut params = layer.params();
+                let weights = params[0].value.as_mut_slice();
+                for oc in 0..out_channels {
+                    let row = &mut weights[oc * patch_len..(oc + 1) * patch_len];
+                    let codebook = Codebook::from_kmeans(row, clusters, rng)?;
+                    codebook.quantize_slice(row);
+                }
+            }
+            LayerKind::Residual => {
+                if let Some(branch) = layer.branch_mut() {
+                    quantize_layers(branch, clusters, rng)?;
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rapidnn_data::SyntheticSpec;
+    use rapidnn_nn::topology;
+
+    fn setup(rng: &mut SeededRng) -> (Network, Dataset, Dataset) {
+        let data = SyntheticSpec::new(12, 3, 2.2).generate(200, rng).unwrap();
+        let (train, val) = data.split(0.75);
+        let mut net = topology::mlp(12, &[20], 3, rng).unwrap();
+        let mut trainer = Trainer::new(TrainerConfig::default(), rng);
+        trainer
+            .fit(&mut net, train.inputs(), train.labels(), 25)
+            .unwrap();
+        (net, train, val)
+    }
+
+    #[test]
+    fn compose_returns_model_near_baseline() {
+        let mut rng = SeededRng::new(21);
+        let (mut net, train, val) = setup(&mut rng);
+        let composer = Composer::new(
+            ComposerConfig::default()
+                .with_weights(16)
+                .with_inputs(16)
+                .with_max_iterations(3),
+        );
+        let outcome = composer.compose(&mut net, &train, &val, &mut rng).unwrap();
+        assert!(
+            outcome.delta_e <= 0.12,
+            "delta_e too high: {}",
+            outcome.delta_e
+        );
+        assert!(!outcome.iterations.is_empty());
+        assert!(outcome.iterations.len() <= 3);
+        assert_eq!(
+            outcome.final_error - outcome.baseline_error,
+            outcome.delta_e
+        );
+    }
+
+    #[test]
+    fn iteration_stops_when_epsilon_satisfied() {
+        let mut rng = SeededRng::new(22);
+        let (mut net, train, val) = setup(&mut rng);
+        // Generous epsilon: must stop after the first iteration.
+        let composer = Composer::new(
+            ComposerConfig::default()
+                .with_weights(32)
+                .with_inputs(32)
+                .with_epsilon(1.0)
+                .with_max_iterations(5),
+        );
+        let outcome = composer.compose(&mut net, &train, &val, &mut rng).unwrap();
+        assert_eq!(outcome.iterations.len(), 1);
+        assert!(!outcome.iterations[0].retrained);
+    }
+
+    #[test]
+    fn zero_iterations_is_rejected() {
+        let mut rng = SeededRng::new(23);
+        let (mut net, train, val) = setup(&mut rng);
+        let composer = Composer::new(ComposerConfig::default().with_max_iterations(0));
+        assert!(composer.compose(&mut net, &train, &val, &mut rng).is_err());
+    }
+
+    #[test]
+    fn quantize_collapses_weight_distribution() {
+        // Figure 6b: after clustering, the layer's weights take at most
+        // `clusters` distinct values.
+        let mut rng = SeededRng::new(24);
+        let (mut net, _, _) = setup(&mut rng);
+        quantize_network_weights(&mut net, 8, &mut rng).unwrap();
+        for layer in net.layers_mut() {
+            if layer.kind().is_weighted() {
+                let params = layer.params();
+                let mut distinct: Vec<f32> = params[0].value.as_slice().to_vec();
+                distinct.sort_by(f32::total_cmp);
+                distinct.dedup();
+                assert!(distinct.len() <= 8, "{} distinct values", distinct.len());
+            }
+        }
+    }
+
+    #[test]
+    fn retraining_improves_or_matches_first_estimate() {
+        let mut rng = SeededRng::new(25);
+        let (mut net, train, val) = setup(&mut rng);
+        // Aggressively small codebooks so the first clustering hurts and
+        // retraining has something to recover.
+        let composer = Composer::new(
+            ComposerConfig::default()
+                .with_weights(4)
+                .with_inputs(8)
+                .with_epsilon(-1.0) // never satisfied: always retrain
+                .with_max_iterations(4)
+                .with_retrain_epochs(4),
+        );
+        let outcome = composer.compose(&mut net, &train, &val, &mut rng).unwrap();
+        let first = outcome.iterations.first().unwrap().clustered_error;
+        assert!(
+            outcome.final_error <= first + 1e-6,
+            "final {} vs first {first}",
+            outcome.final_error
+        );
+        assert_eq!(outcome.iterations.len(), 4);
+    }
+
+    #[test]
+    fn builder_methods_set_fields() {
+        let c = ComposerConfig::default()
+            .with_weights(7)
+            .with_inputs(9)
+            .with_activation_rows(11)
+            .with_epsilon(0.5)
+            .with_retrain_epochs(3)
+            .with_max_iterations(2);
+        assert_eq!(c.weight_clusters, 7);
+        assert_eq!(c.input_clusters, 9);
+        assert_eq!(c.activation_rows, 11);
+        assert_eq!(c.epsilon, 0.5);
+        assert_eq!(c.retrain_epochs, 3);
+        assert_eq!(c.max_iterations, 2);
+    }
+
+    #[test]
+    fn quantize_recurses_into_residual_branches() {
+        let mut rng = SeededRng::new(26);
+        let mut net = Network::new(4);
+        net.push(rapidnn_nn::Residual::new(vec![Box::new(
+            rapidnn_nn::Dense::new(4, 4, &mut rng),
+        )]));
+        quantize_network_weights(&mut net, 4, &mut rng).unwrap();
+        let layer = &mut net.layers_mut()[0];
+        let branch = layer.branch_mut().unwrap();
+        let params = branch[0].params();
+        let mut distinct: Vec<f32> = params[0].value.as_slice().to_vec();
+        distinct.sort_by(f32::total_cmp);
+        distinct.dedup();
+        assert!(distinct.len() <= 4);
+    }
+}

@@ -1,0 +1,81 @@
+use rapidnn_nn::NnError;
+use rapidnn_tensor::TensorError;
+use std::error::Error;
+use std::fmt;
+
+/// Error type for composer operations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// An underlying tensor operation failed.
+    Tensor(TensorError),
+    /// An underlying network operation failed.
+    Nn(NnError),
+    /// Clustering was asked for more clusters than is representable or for
+    /// an empty sample.
+    InvalidClustering(String),
+    /// A codebook lookup received data the codebook cannot encode.
+    InvalidCodebook(String),
+    /// The float network has a structure the composer cannot reinterpret.
+    UnsupportedTopology(String),
+    /// Encoded inference received a batch inconsistent with the model.
+    InvalidBatch(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Tensor(e) => write!(f, "tensor error: {e}"),
+            CoreError::Nn(e) => write!(f, "network error: {e}"),
+            CoreError::InvalidClustering(msg) => write!(f, "invalid clustering: {msg}"),
+            CoreError::InvalidCodebook(msg) => write!(f, "invalid codebook: {msg}"),
+            CoreError::UnsupportedTopology(msg) => write!(f, "unsupported topology: {msg}"),
+            CoreError::InvalidBatch(msg) => write!(f, "invalid batch: {msg}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Tensor(e) => Some(e),
+            CoreError::Nn(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for CoreError {
+    fn from(e: TensorError) -> Self {
+        CoreError::Tensor(e)
+    }
+}
+
+impl From<NnError> for CoreError {
+    fn from(e: NnError) -> Self {
+        CoreError::Nn(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        let e = CoreError::InvalidClustering("empty sample".into());
+        assert!(e.to_string().contains("empty sample"));
+        assert!(Error::source(&e).is_none());
+
+        let e: CoreError = TensorError::Empty("x").into();
+        assert!(Error::source(&e).is_some());
+        let e: CoreError = NnError::MissingForwardCache("dense").into();
+        assert!(Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

@@ -1,0 +1,67 @@
+//! RAPIDNN DNN composer — the paper's primary software contribution.
+//!
+//! The composer reinterprets a trained floating-point network into a form
+//! where *every* operation is a finite table lookup, which is what lets the
+//! RAPIDNN accelerator execute the whole network inside memory:
+//!
+//! 1. [`kmeans`] — 1-D k-means (k-means++ init) finds the "best
+//!    representative" values of each layer's weights and inputs (§3.1);
+//! 2. [`Codebook`] / [`TreeCodebook`] — sorted codebooks and the
+//!    multi-level tree codebook that lets one artifact serve many
+//!    precisions (Figure 5);
+//! 3. [`ProductTable`] — the `w x u` pre-computed multiplication table
+//!    stored in each RNA crossbar (Figure 3);
+//! 4. [`ActivationTable`] / [`EncoderTable`] — nearest-distance lookup
+//!    tables for activation functions and for re-encoding neuron outputs
+//!    into the next layer's input codebook (Figure 2c/d);
+//! 5. [`ReinterpretedNetwork`] — the encoded-domain model, functionally
+//!    identical to what the accelerator computes;
+//! 6. [`Composer`] — the cluster → estimate error → retrain loop (§3.2,
+//!    Figure 4).
+//!
+//! # Examples
+//!
+//! ```
+//! use rapidnn_core::{Composer, ComposerConfig};
+//! use rapidnn_data::SyntheticSpec;
+//! use rapidnn_nn::topology;
+//! use rapidnn_tensor::SeededRng;
+//!
+//! let mut rng = SeededRng::new(1);
+//! let data = SyntheticSpec::new(8, 2, 2.0).generate(60, &mut rng)?;
+//! let (train, val) = data.split(0.8);
+//! let mut net = topology::mlp(8, &[16], 2, &mut rng)?;
+//!
+//! let config = ComposerConfig::default().with_weights(8).with_inputs(8);
+//! let composer = Composer::new(config);
+//! let outcome = composer.compose(&mut net, &train, &val, &mut rng)?;
+//! assert!(!outcome.reinterpreted.stages().is_empty());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod codebook;
+mod composer;
+mod error;
+pub mod kmeans;
+mod lut;
+mod product;
+mod reinterpret;
+mod tree;
+
+pub use codebook::Codebook;
+pub use composer::{
+    quantize_network_weights, ComposeOutcome, Composer, ComposerConfig, IterationReport,
+};
+pub use error::CoreError;
+pub use lut::{ActivationTable, EncoderTable, QuantizationScheme};
+pub use product::ProductTable;
+pub use reinterpret::{
+    EncodedBatch, NeuronStage, ReinterpretOptions, ReinterpretedNetwork, Stage, StageKind,
+};
+pub use tree::TreeCodebook;
+
+/// Convenient result alias used across the crate.
+pub type Result<T> = std::result::Result<T, CoreError>;

@@ -1,0 +1,171 @@
+use crate::codebook::Codebook;
+
+/// Pre-computed `w x u` multiplication table (Figure 3).
+///
+/// Row `i` holds the products of weight representative `i` with every input
+/// representative; the accelerator stores this table in the RNA crossbar
+/// and fetches `table[w_code][x_code]` instead of multiplying. Because both
+/// operands arrive already encoded, no input-side search is needed — "the
+/// input tables can simply be replaced by wires" (§2.2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProductTable {
+    weight_count: usize,
+    input_count: usize,
+    /// Row-major `weight_count x input_count` products.
+    products: Vec<f32>,
+}
+
+impl ProductTable {
+    /// Builds the table from a weight codebook and an input codebook.
+    pub fn build(weights: &Codebook, inputs: &Codebook) -> Self {
+        let weight_count = weights.len();
+        let input_count = inputs.len();
+        let mut products = Vec::with_capacity(weight_count * input_count);
+        for &w in weights.values() {
+            for &x in inputs.values() {
+                products.push(w * x);
+            }
+        }
+        ProductTable {
+            weight_count,
+            input_count,
+            products,
+        }
+    }
+
+    /// Number of weight representatives (rows).
+    pub fn weight_count(&self) -> usize {
+        self.weight_count
+    }
+
+    /// Number of input representatives (columns).
+    pub fn input_count(&self) -> usize {
+        self.input_count
+    }
+
+    /// Number of stored products (`w·u`, the crossbar row count).
+    pub fn len(&self) -> usize {
+        self.products.len()
+    }
+
+    /// `true` when the table holds no products (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.products.is_empty()
+    }
+
+    /// Fetches the pre-computed product of weight code `w` and input code
+    /// `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either code is out of range; encoded data is internal,
+    /// so this is a logic error rather than input error.
+    pub fn fetch(&self, w: u16, x: u16) -> f32 {
+        debug_assert!((w as usize) < self.weight_count, "weight code in range");
+        assert!((x as usize) < self.input_count, "input code in range");
+        self.products[w as usize * self.input_count + x as usize]
+    }
+
+    /// Flat index of `(w, x)` in the crossbar — the pre-stored-value slot
+    /// whose counter the accumulation unit increments (§4.1).
+    pub fn slot(&self, w: u16, x: u16) -> usize {
+        w as usize * self.input_count + x as usize
+    }
+
+    /// Product stored at a flat slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `slot` is out of range.
+    pub fn product_at(&self, slot: usize) -> f32 {
+        self.products[slot]
+    }
+
+    /// Approximate memory footprint of the table in bytes, assuming the
+    /// given fixed-point width per stored product.
+    pub fn storage_bytes(&self, bits_per_entry: u32) -> usize {
+        (self.products.len() * bits_per_entry as usize).div_ceil(8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn books() -> (Codebook, Codebook) {
+        (
+            Codebook::new(vec![-1.25, -0.5, 0.2, 0.45]).unwrap(),
+            Codebook::new(vec![0.2, 0.3, 0.4]).unwrap(),
+        )
+    }
+
+    #[test]
+    fn fetch_matches_real_products() {
+        let (w, x) = books();
+        let table = ProductTable::build(&w, &x);
+        assert_eq!(table.weight_count(), 4);
+        assert_eq!(table.input_count(), 3);
+        assert_eq!(table.len(), 12);
+        for (wi, &wv) in w.values().iter().enumerate() {
+            for (xi, &xv) in x.values().iter().enumerate() {
+                assert_eq!(table.fetch(wi as u16, xi as u16), wv * xv);
+            }
+        }
+    }
+
+    #[test]
+    fn figure3_example() {
+        // a = 1.2 encodes to 0.45 (last), b = 0.33 encodes to 0.3; the
+        // fetched product approximates 1.2 * 0.33 = 0.396 with 0.45 * 0.3.
+        let (w, x) = books();
+        let table = ProductTable::build(&w, &x);
+        let wa = w.encode(1.2);
+        let xb = x.encode(0.33);
+        let approx = table.fetch(wa, xb);
+        assert!((approx - 0.45 * 0.3).abs() < 1e-6);
+        assert!((approx - 1.2 * 0.33).abs() < 0.3);
+    }
+
+    #[test]
+    fn slots_are_unique_per_pair() {
+        let (w, x) = books();
+        let table = ProductTable::build(&w, &x);
+        let mut seen = std::collections::HashSet::new();
+        for wi in 0..4u16 {
+            for xi in 0..3u16 {
+                assert!(seen.insert(table.slot(wi, xi)));
+            }
+        }
+        assert_eq!(seen.len(), table.len());
+    }
+
+    #[test]
+    fn product_at_matches_fetch() {
+        let (w, x) = books();
+        let table = ProductTable::build(&w, &x);
+        for wi in 0..4u16 {
+            for xi in 0..3u16 {
+                assert_eq!(table.product_at(table.slot(wi, xi)), table.fetch(wi, xi));
+            }
+        }
+    }
+
+    #[test]
+    fn storage_bytes_rounds_up() {
+        let (w, x) = books();
+        let table = ProductTable::build(&w, &x);
+        // 12 entries * 16 bits = 24 bytes.
+        assert_eq!(table.storage_bytes(16), 24);
+        // 12 entries * 10 bits = 120 bits = 15 bytes.
+        assert_eq!(table.storage_bytes(10), 15);
+        assert!(!table.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "input code")]
+    fn fetch_panics_on_bad_code() {
+        let (w, x) = books();
+        let table = ProductTable::build(&w, &x);
+        let _ = table.fetch(0, 99);
+    }
+}

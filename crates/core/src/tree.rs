@@ -1,0 +1,246 @@
+use crate::codebook::Codebook;
+use crate::kmeans::{cluster, KmeansConfig};
+use crate::{CoreError, Result};
+use rapidnn_tensor::SeededRng;
+
+/// Multi-level (tree) codebook built by recursive two-way k-means
+/// (Figure 5).
+///
+/// Level `d` holds `2^d` representatives; deeper levels refine their parent
+/// clusters. Because 1-D k-means clusters are contiguous intervals, the
+/// children of a smaller parent are all smaller than the children of a
+/// larger parent, so each level's sorted order is consistent with every
+/// other level — the encoding of a value at level `d` is the `d`-bit prefix
+/// of its encoding at any deeper level (Figure 5b).
+///
+/// A single `TreeCodebook` artifact therefore serves every precision from
+/// 1 bit up to `depth` bits; the accelerator configurator just picks a
+/// level ("an adjustable parameter is utilized to select the level of the
+/// codebook tree", §3.3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TreeCodebook {
+    /// `levels[d]` holds the centroids of level `d+1` (so `levels[0]` has
+    /// up to 2 entries), each sorted ascending.
+    levels: Vec<Vec<f32>>,
+}
+
+impl TreeCodebook {
+    /// Builds a tree codebook of the given `depth` (levels of 2, 4, …,
+    /// `2^depth` representatives) over `population`.
+    ///
+    /// Sparse leaf populations may yield fewer representatives at deep
+    /// levels; levels are still valid codebooks.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `population` is empty or `depth` is zero.
+    pub fn build(population: &[f32], depth: usize, rng: &mut SeededRng) -> Result<Self> {
+        if population.is_empty() {
+            return Err(CoreError::InvalidClustering(
+                "cannot build a tree codebook over an empty population".into(),
+            ));
+        }
+        if depth == 0 {
+            return Err(CoreError::InvalidClustering(
+                "tree depth must be at least 1".into(),
+            ));
+        }
+        let mut sorted = population.to_vec();
+        sorted.sort_by(f32::total_cmp);
+
+        // Segments of the sorted axis, refined level by level.
+        let mut segments: Vec<Vec<f32>> = vec![sorted];
+        let mut levels = Vec::with_capacity(depth);
+        let config = KmeansConfig::default();
+        for _ in 0..depth {
+            let mut next_segments = Vec::with_capacity(segments.len() * 2);
+            let mut level = Vec::with_capacity(segments.len() * 2);
+            for segment in &segments {
+                let clustering = cluster(segment, 2, &config, rng)?;
+                if clustering.centroids.len() == 1 {
+                    // Degenerate segment: keep it whole.
+                    level.push(clustering.centroids[0]);
+                    next_segments.push(segment.clone());
+                    continue;
+                }
+                // Split the segment at the midpoint between the two
+                // centroids; 1-D clusters are contiguous intervals.
+                let boundary =
+                    (clustering.centroids[0] + clustering.centroids[1]) / 2.0;
+                let split = segment.partition_point(|&v| v <= boundary).max(1);
+                let (lo, hi) = segment.split_at(split.min(segment.len() - 1).max(1));
+                // Recompute exact means of the two halves for stability.
+                let mean = |s: &[f32]| s.iter().map(|&v| v as f64).sum::<f64>() / s.len() as f64;
+                level.push(mean(lo) as f32);
+                level.push(mean(hi) as f32);
+                next_segments.push(lo.to_vec());
+                next_segments.push(hi.to_vec());
+            }
+            levels.push(level);
+            segments = next_segments;
+        }
+        Ok(TreeCodebook { levels })
+    }
+
+    /// Number of levels.
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The codebook at `level` (1-based bit count: level 1 ⇒ ≤2 values).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `level` is zero or exceeds the depth.
+    pub fn level(&self, level: usize) -> Result<Codebook> {
+        if level == 0 || level > self.levels.len() {
+            return Err(CoreError::InvalidCodebook(format!(
+                "level {level} outside 1..={}",
+                self.levels.len()
+            )));
+        }
+        Codebook::new(self.levels[level - 1].clone())
+    }
+
+    /// The deepest (most precise) codebook.
+    pub fn finest(&self) -> Codebook {
+        self.level(self.levels.len())
+            .expect("depth >= 1 by construction")
+    }
+
+    /// The codebook whose size is closest to (but not above, when
+    /// possible) `k` representatives.
+    pub fn level_for_size(&self, k: usize) -> Codebook {
+        let mut best = 1;
+        for lvl in 1..=self.levels.len() {
+            if self.levels[lvl - 1].len() <= k.max(1) {
+                best = lvl;
+            }
+        }
+        self.level(best).expect("chosen level is valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn population(rng: &mut SeededRng) -> Vec<f32> {
+        let mut values = Vec::new();
+        for &c in &[-2.1f32, 0.9, 2.3, 4.0] {
+            for _ in 0..200 {
+                values.push(c + 0.05 * rng.normal());
+            }
+        }
+        values
+    }
+
+    #[test]
+    fn levels_double_in_size() {
+        let mut rng = SeededRng::new(1);
+        let pop = population(&mut rng);
+        let tree = TreeCodebook::build(&pop, 3, &mut rng).unwrap();
+        assert_eq!(tree.depth(), 3);
+        assert_eq!(tree.level(1).unwrap().len(), 2);
+        assert_eq!(tree.level(2).unwrap().len(), 4);
+        assert_eq!(tree.level(3).unwrap().len(), 8);
+    }
+
+    #[test]
+    fn deeper_levels_reduce_quantization_error() {
+        let mut rng = SeededRng::new(2);
+        let pop = population(&mut rng);
+        let tree = TreeCodebook::build(&pop, 4, &mut rng).unwrap();
+        let mut last = f64::INFINITY;
+        for lvl in 1..=4 {
+            let cb = tree.level(lvl).unwrap();
+            let mse = cb.quantization_mse(&pop);
+            assert!(mse <= last + 1e-12, "level {lvl}: {mse} > {last}");
+            last = mse;
+        }
+    }
+
+    #[test]
+    fn prefix_property_holds() {
+        // Encoding at level d must be the d-bit prefix of encoding at the
+        // deepest level (Figure 5b).
+        let mut rng = SeededRng::new(3);
+        let pop = population(&mut rng);
+        let depth = 4;
+        let tree = TreeCodebook::build(&pop, depth, &mut rng).unwrap();
+        let finest = tree.finest();
+        // Only exact when every level has full 2^d entries.
+        if (1..=depth).any(|l| tree.level(l).unwrap().len() != 1 << l) {
+            return;
+        }
+        for &v in pop.iter().step_by(37) {
+            let deep_code = finest.encode(v) as usize;
+            for lvl in 1..depth {
+                let cb = tree.level(lvl).unwrap();
+                let code = cb.encode(v) as usize;
+                assert_eq!(
+                    code,
+                    deep_code >> (depth - lvl),
+                    "value {v}: level {lvl} code {code} vs deep {deep_code}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_degenerate_input() {
+        let mut rng = SeededRng::new(0);
+        assert!(TreeCodebook::build(&[], 2, &mut rng).is_err());
+        assert!(TreeCodebook::build(&[1.0], 0, &mut rng).is_err());
+    }
+
+    #[test]
+    fn constant_population_collapses_gracefully() {
+        let mut rng = SeededRng::new(0);
+        let pop = vec![3.0f32; 100];
+        let tree = TreeCodebook::build(&pop, 3, &mut rng).unwrap();
+        for lvl in 1..=3 {
+            let cb = tree.level(lvl).unwrap();
+            assert_eq!(cb.values(), &[3.0]);
+        }
+    }
+
+    #[test]
+    fn level_selection_by_size() {
+        let mut rng = SeededRng::new(7);
+        let pop = population(&mut rng);
+        let tree = TreeCodebook::build(&pop, 5, &mut rng).unwrap();
+        assert!(tree.level_for_size(4).len() <= 4);
+        assert!(tree.level_for_size(16).len() <= 16);
+        assert!(tree.level_for_size(16).len() > tree.level_for_size(4).len());
+    }
+
+    #[test]
+    fn level_bounds_are_checked() {
+        let mut rng = SeededRng::new(7);
+        let tree = TreeCodebook::build(&[1.0, 2.0, 3.0], 2, &mut rng).unwrap();
+        assert!(tree.level(0).is_err());
+        assert!(tree.level(3).is_err());
+    }
+
+    #[test]
+    fn example_from_figure5_shape() {
+        // {-2.1, 1.9} -> {{-3.0, -1.2}, {0.9, 2.3}}-style refinement: check
+        // the first level brackets the population mean split.
+        let mut rng = SeededRng::new(11);
+        let mut pop = Vec::new();
+        for &c in &[-3.0f32, -1.2, 0.9, 2.3] {
+            for _ in 0..100 {
+                pop.push(c + 0.02 * rng.normal());
+            }
+        }
+        let tree = TreeCodebook::build(&pop, 2, &mut rng).unwrap();
+        let l1 = tree.level(1).unwrap();
+        let l2 = tree.level(2).unwrap();
+        assert!((l1.values()[0] - (-2.1)).abs() < 0.2);
+        assert!((l1.values()[1] - 1.6).abs() < 0.2);
+        for (got, want) in l2.values().iter().zip(&[-3.0f32, -1.2, 0.9, 2.3]) {
+            assert!((got - want).abs() < 0.1, "{got} vs {want}");
+        }
+    }
+}

@@ -1,0 +1,238 @@
+use rapidnn_tensor::{SeededRng, Shape, Tensor};
+
+/// A labelled classification dataset: a `samples x features` input matrix
+/// plus one class label per row.
+///
+/// `Dataset` is the hand-off type between the data generators, the trainer
+/// and the composer's input-sampling step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    inputs: Tensor,
+    labels: Vec<usize>,
+    classes: usize,
+}
+
+impl Dataset {
+    /// Creates a dataset from an input matrix and labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `inputs` is not rank 2, the row count differs from
+    /// `labels.len()`, or any label is `>= classes`.
+    pub fn new(inputs: Tensor, labels: Vec<usize>, classes: usize) -> Self {
+        assert_eq!(inputs.shape().rank(), 2, "dataset inputs must be rank 2");
+        assert_eq!(
+            inputs.shape().dims()[0],
+            labels.len(),
+            "row count must match label count"
+        );
+        assert!(
+            labels.iter().all(|&l| l < classes),
+            "labels must be < classes"
+        );
+        Dataset {
+            inputs,
+            labels,
+            classes,
+        }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// `true` when the dataset holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Feature width per sample.
+    pub fn features(&self) -> usize {
+        self.inputs.shape().dim(1).unwrap_or(0)
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// The full `samples x features` input matrix.
+    pub fn inputs(&self) -> &Tensor {
+        &self.inputs
+    }
+
+    /// The label per row.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// One sample row as a fresh rank-1 tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is out of range.
+    pub fn sample(&self, index: usize) -> Tensor {
+        let f = self.features();
+        Tensor::from_slice(&self.inputs.as_slice()[index * f..(index + 1) * f])
+    }
+
+    /// Splits into `(first, second)` where `first` holds `fraction` of the
+    /// samples (rounded down, clamped to `[0, len]`).
+    pub fn split(&self, fraction: f32) -> (Dataset, Dataset) {
+        let n = self.len();
+        let cut = ((n as f32 * fraction) as usize).min(n);
+        (self.subset(0..cut), self.subset(cut..n))
+    }
+
+    /// Dataset restricted to a contiguous row range.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range exceeds the dataset.
+    pub fn subset(&self, range: std::ops::Range<usize>) -> Dataset {
+        let f = self.features();
+        let inputs = Tensor::from_vec(
+            Shape::matrix(range.len(), f),
+            self.inputs.as_slice()[range.start * f..range.end * f].to_vec(),
+        )
+        .expect("volume matches by construction");
+        Dataset {
+            inputs,
+            labels: self.labels[range].to_vec(),
+            classes: self.classes,
+        }
+    }
+
+    /// Random subset of `count` samples (without replacement).
+    pub fn sample_subset(&self, count: usize, rng: &mut SeededRng) -> Dataset {
+        let picks = rng.sample_indices(self.len(), count);
+        let f = self.features();
+        let mut xs = Vec::with_capacity(picks.len() * f);
+        let mut labels = Vec::with_capacity(picks.len());
+        for &i in &picks {
+            xs.extend_from_slice(&self.inputs.as_slice()[i * f..(i + 1) * f]);
+            labels.push(self.labels[i]);
+        }
+        Dataset {
+            inputs: Tensor::from_vec(Shape::matrix(picks.len(), f), xs)
+                .expect("volume matches by construction"),
+            labels,
+            classes: self.classes,
+        }
+    }
+
+    /// Iterator over `(inputs, labels)` mini-batches of at most
+    /// `batch_size` rows, in row order.
+    pub fn batches(&self, batch_size: usize) -> Batches<'_> {
+        Batches {
+            dataset: self,
+            batch_size: batch_size.max(1),
+            cursor: 0,
+        }
+    }
+}
+
+/// Iterator over dataset mini-batches; see [`Dataset::batches`].
+#[derive(Debug)]
+pub struct Batches<'a> {
+    dataset: &'a Dataset,
+    batch_size: usize,
+    cursor: usize,
+}
+
+impl Iterator for Batches<'_> {
+    type Item = (Tensor, Vec<usize>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.cursor >= self.dataset.len() {
+            return None;
+        }
+        let end = (self.cursor + self.batch_size).min(self.dataset.len());
+        let chunk = self.dataset.subset(self.cursor..end);
+        self.cursor = end;
+        Some((chunk.inputs.clone(), chunk.labels))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        let inputs = Tensor::from_vec(
+            Shape::matrix(4, 2),
+            vec![0., 1., 2., 3., 4., 5., 6., 7.],
+        )
+        .unwrap();
+        Dataset::new(inputs, vec![0, 1, 0, 1], 2)
+    }
+
+    #[test]
+    fn accessors() {
+        let d = toy();
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.features(), 2);
+        assert_eq!(d.classes(), 2);
+        assert!(!d.is_empty());
+        assert_eq!(d.sample(2).as_slice(), &[4., 5.]);
+    }
+
+    #[test]
+    fn split_partitions_rows() {
+        let d = toy();
+        let (a, b) = d.split(0.5);
+        assert_eq!(a.len(), 2);
+        assert_eq!(b.len(), 2);
+        assert_eq!(a.labels(), &[0, 1]);
+        assert_eq!(b.sample(0).as_slice(), &[4., 5.]);
+    }
+
+    #[test]
+    fn split_extremes() {
+        let d = toy();
+        let (a, b) = d.split(0.0);
+        assert!(a.is_empty());
+        assert_eq!(b.len(), 4);
+        let (a, b) = d.split(1.0);
+        assert_eq!(a.len(), 4);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn sample_subset_respects_count() {
+        let d = toy();
+        let mut rng = SeededRng::new(0);
+        let s = d.sample_subset(2, &mut rng);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.features(), 2);
+        // Over-asking saturates.
+        let all = d.sample_subset(10, &mut rng);
+        assert_eq!(all.len(), 4);
+    }
+
+    #[test]
+    fn batches_cover_everything_once() {
+        let d = toy();
+        let batches: Vec<_> = d.batches(3).collect();
+        assert_eq!(batches.len(), 2);
+        assert_eq!(batches[0].1.len(), 3);
+        assert_eq!(batches[1].1.len(), 1);
+        let total: usize = batches.iter().map(|(_, l)| l.len()).sum();
+        assert_eq!(total, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "label")]
+    fn rejects_out_of_range_labels() {
+        let inputs = Tensor::zeros(Shape::matrix(1, 1));
+        let _ = Dataset::new(inputs, vec![5], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row count")]
+    fn rejects_mismatched_lengths() {
+        let inputs = Tensor::zeros(Shape::matrix(2, 1));
+        let _ = Dataset::new(inputs, vec![0], 2);
+    }
+}

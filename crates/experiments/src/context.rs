@@ -1,0 +1,289 @@
+//! Shared infrastructure for the experiment harness: sizing, app
+//! preparation (train-once float models) and text-table rendering.
+
+use rapidnn::composer::{Composer, ComposerConfig};
+use rapidnn::data::{benchmark_dataset, Dataset};
+use rapidnn::nn::topology::Benchmark;
+use rapidnn::nn::{Network, Trainer, TrainerConfig};
+use rapidnn::tensor::SeededRng;
+
+/// Experiment-wide knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct Ctx {
+    /// `--full`: run the paper-sized topologies (slow); default is a
+    /// reduced-size run that preserves every trend.
+    pub full: bool,
+    /// Base seed; every experiment derives from it deterministically.
+    pub seed: u64,
+}
+
+impl Ctx {
+    /// Network shrink factor for a benchmark under the current sizing.
+    /// 100-class CNNs keep more width — a narrower head cannot separate
+    /// 100 classes at all.
+    pub fn reduction(&self, benchmark: Benchmark) -> usize {
+        if self.full {
+            1
+        } else if benchmark.is_type2() {
+            if benchmark == Benchmark::ImageNet {
+                2
+            } else if benchmark.classes() >= 100 {
+                4
+            } else {
+                8
+            }
+        } else {
+            4
+        }
+    }
+
+    /// Synthetic sample count for a benchmark under the current sizing:
+    /// many-class benchmarks need several samples per class.
+    pub fn samples(&self, benchmark: Benchmark) -> usize {
+        let base = if self.full { 600 } else { 320 };
+        base.max(benchmark.classes() * if self.full { 10 } else { 7 })
+    }
+
+    /// Baseline training epochs (CNNs converge later than the MLPs).
+    pub fn train_epochs(&self, benchmark: Benchmark) -> usize {
+        match (self.full, benchmark.is_type2()) {
+            (true, true) => 24,
+            (true, false) => 15,
+            (false, true) => 20,
+            (false, false) => 8,
+        }
+    }
+
+    /// Validation rows kept for quality estimation; capped so encoded
+    /// inference sweeps stay fast (the paper likewise cross-validates on
+    /// "a portion of the original data", §3.2).
+    pub fn validation_rows(&self) -> usize {
+        if self.full {
+            240
+        } else {
+            160
+        }
+    }
+}
+
+/// A trained float model plus its data splits — the starting point of
+/// every accuracy experiment. Cloning the network lets one trained model
+/// feed many composer configurations.
+#[derive(Debug, Clone)]
+#[allow(dead_code)] // `benchmark` is part of the public record even where unused
+pub struct TrainedApp {
+    /// Which benchmark this is.
+    pub benchmark: Benchmark,
+    /// The trained float network.
+    pub network: Network,
+    /// Training split.
+    pub train: Dataset,
+    /// Validation split.
+    pub validation: Dataset,
+    /// Float validation error (the paper's `e_baseline`).
+    pub baseline_error: f32,
+}
+
+/// Trains the float model for `benchmark` under the context sizing.
+pub fn prepare_app(benchmark: Benchmark, ctx: &Ctx, rng: &mut SeededRng) -> TrainedApp {
+    let data = benchmark_dataset(benchmark, ctx.samples(benchmark), rng)
+        .expect("dataset generation cannot fail for valid specs");
+    let val_rows = ctx.validation_rows().min(data.len() / 3);
+    let cut = data.len() - val_rows;
+    let train = data.subset(0..cut);
+    let validation = data.subset(cut..data.len());
+    let mut network = benchmark
+        .build_reduced(ctx.reduction(benchmark), rng)
+        .expect("topology construction");
+    // CNN substitutes train with Adam (DESIGN.md §5): plain SGD+momentum
+    // occasionally stalls on the 100-class uniform-logit plateau with so
+    // little synthetic data. Training is plateau-fragile on these tiny
+    // sets, so the harness retries over a small learning-rate ladder when
+    // a run fails to leave chance level — only the float baseline's
+    // training procedure changes, never the composer.
+    let epochs = ctx.train_epochs(benchmark);
+    if benchmark.is_type2() {
+        let chance = 1.0 - 1.0 / benchmark.classes() as f32;
+        let mut best: Option<(f32, Network)> = None;
+        for &lr in &[0.005f32, 0.01, 0.02] {
+            let mut candidate = network.clone();
+            let mut trainer = Trainer::new(
+                TrainerConfig {
+                    learning_rate: lr,
+                    lr_decay: 0.97,
+                    adam: true,
+                    ..TrainerConfig::default()
+                },
+                rng,
+            );
+            trainer
+                .fit(&mut candidate, train.inputs(), train.labels(), epochs)
+                .expect("training");
+            let train_err = candidate
+                .evaluate(train.inputs(), train.labels())
+                .expect("evaluation");
+            let improved = best
+                .as_ref()
+                .map(|(err, _)| train_err < *err)
+                .unwrap_or(true);
+            if improved {
+                best = Some((train_err, candidate));
+            }
+            // Stop as soon as a run clearly escaped chance level.
+            if best.as_ref().map(|(e, _)| *e).unwrap_or(1.0) < 0.5 * chance {
+                break;
+            }
+        }
+        network = best.expect("at least one attempt ran").1;
+    } else {
+        let mut trainer = Trainer::new(TrainerConfig::default(), rng);
+        trainer
+            .fit(&mut network, train.inputs(), train.labels(), epochs)
+            .expect("training");
+    }
+    let baseline_error = network
+        .evaluate(validation.inputs(), validation.labels())
+        .expect("evaluation");
+    TrainedApp {
+        benchmark,
+        network,
+        train,
+        validation,
+        baseline_error,
+    }
+}
+
+impl TrainedApp {
+    /// Composes a copy of the trained model with `(w, u)` codebooks and
+    /// returns `(Δe, reinterpreted model)`.
+    pub fn compose_with(
+        &self,
+        w: usize,
+        u: usize,
+        iterations: usize,
+        rng: &mut SeededRng,
+    ) -> (f32, rapidnn::composer::ReinterpretedNetwork) {
+        let mut net = self.network.clone();
+        let config = ComposerConfig::default()
+            .with_weights(w)
+            .with_inputs(u)
+            .with_max_iterations(iterations.max(1))
+            .with_retrain_epochs(1);
+        let outcome = Composer::new(config)
+            .compose(&mut net, &self.train, &self.validation, rng)
+            .expect("composition");
+        (outcome.delta_e, outcome.reinterpreted)
+    }
+}
+
+/// Builds full-topology reinterpreted models for *performance* studies.
+///
+/// Accuracy experiments run on reduced networks (training a full CIFAR
+/// CNN on a laptop-scale synthetic set would be wasteful), but hardware
+/// cost depends only on the model *structure* — neuron counts, fan-ins
+/// and codebook sizes — which needs no training. This helper builds the
+/// paper-sized topology untrained and reinterprets it with the requested
+/// codebook sizes, giving the simulator the exact layer dimensions the
+/// paper evaluates.
+#[derive(Debug)]
+pub struct PerformanceModeler {
+    network: Network,
+    sample: rapidnn::tensor::Tensor,
+}
+
+impl PerformanceModeler {
+    /// Prepares the full topology for `benchmark`.
+    pub fn new(benchmark: Benchmark, rng: &mut SeededRng) -> Self {
+        let network = benchmark.build(rng).expect("topology construction");
+        // A handful of rows is enough to give the input clustering a
+        // realistic value distribution.
+        let data = benchmark_dataset(benchmark, 8, rng).expect("dataset");
+        PerformanceModeler {
+            network,
+            sample: data.inputs().clone(),
+        }
+    }
+
+    /// Reinterprets the full topology with `(w, u)` codebooks.
+    pub fn model(
+        &self,
+        w: usize,
+        u: usize,
+        rng: &mut SeededRng,
+    ) -> rapidnn::composer::ReinterpretedNetwork {
+        let mut net = self.network.clone();
+        let options = rapidnn::composer::ReinterpretOptions {
+            weight_clusters: w,
+            input_clusters: u,
+            max_sample_rows: 8,
+            ..rapidnn::composer::ReinterpretOptions::default()
+        };
+        rapidnn::composer::ReinterpretedNetwork::build(&mut net, &self.sample, &options, rng)
+            .expect("reinterpretation")
+    }
+
+    /// Op-count workload of the full topology.
+    pub fn workload(&self, name: &str) -> rapidnn::baselines::Workload {
+        rapidnn::baselines::workload_of(name, &self.network)
+    }
+}
+
+/// Renders an aligned text table: a header row plus data rows.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let line = |out: &mut String, cells: &[String]| {
+        for (i, cell) in cells.iter().enumerate().take(cols) {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            out.push_str(&format!("{cell:<width$}", width = widths[i]));
+        }
+        out.push('\n');
+    };
+    line(
+        &mut out,
+        &headers.iter().map(|h| h.to_string()).collect::<Vec<_>>(),
+    );
+    let rule: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+    out.push_str(&"-".repeat(rule));
+    out.push('\n');
+    for row in rows {
+        line(&mut out, row);
+    }
+    out
+}
+
+/// Formats a ratio as `N.Nx`.
+pub fn fmt_factor(f: f64) -> String {
+    if f >= 100.0 {
+        format!("{f:.0}x")
+    } else if f >= 10.0 {
+        format!("{f:.1}x")
+    } else {
+        format!("{f:.2}x")
+    }
+}
+
+/// Formats a fraction as a percentage.
+pub fn fmt_pct(f: f64) -> String {
+    format!("{:.1}%", 100.0 * f)
+}
+
+/// Formats bytes with binary prefixes.
+pub fn fmt_bytes(bytes: usize) -> String {
+    const UNITS: [&str; 4] = ["B", "KB", "MB", "GB"];
+    let mut value = bytes as f64;
+    let mut unit = 0;
+    while value >= 1024.0 && unit < UNITS.len() - 1 {
+        value /= 1024.0;
+        unit += 1;
+    }
+    format!("{value:.1}{}", UNITS[unit])
+}

@@ -1,0 +1,41 @@
+//! Figure 14 — RAPIDNN area breakdown: system level and inside one RNA.
+
+use crate::context::{fmt_pct, render_table, Ctx};
+use rapidnn::accel::{rna_area_breakdown, system_area_breakdown};
+
+pub fn run(_ctx: &Ctx) {
+    println!("\n=== Figure 14: area breakdown ===\n");
+
+    let system = system_area_breakdown();
+    let rows: Vec<Vec<String>> = system
+        .fractions()
+        .into_iter()
+        .zip(system.entries())
+        .map(|((label, fraction), (_, mm2))| {
+            vec![label.to_string(), format!("{mm2:.1} mm2"), fmt_pct(fraction)]
+        })
+        .collect();
+    println!("system level");
+    println!("{}", render_table(&["component", "area", "share"], &rows));
+
+    let rna = rna_area_breakdown();
+    let rows: Vec<Vec<String>> = rna
+        .fractions()
+        .into_iter()
+        .zip(rna.entries())
+        .map(|((label, fraction), (_, um2))| {
+            vec![label.to_string(), format!("{um2:.1} um2"), fmt_pct(fraction)]
+        })
+        .collect();
+    println!("inside one RNA block (Table 1 areas)");
+    println!("{}", render_table(&["component", "area", "share"], &rows));
+
+    println!(
+        "shape check (paper): RNA 56.7% / memory 38.2% / buffer 3.4% /\n\
+         controller 1.7%; inside the RNA the product crossbar dominates\n\
+         (87.8% in the paper, which folds the counters into the crossbar\n\
+         datapath; split out here as crossbar+counter = 95.7%), while the\n\
+         two AM lookup blocks stay a small share — the paper's point that\n\
+         table-lookup functionality is nearly free in area"
+    );
+}

@@ -1,0 +1,109 @@
+//! `rapidnn-experiments` — regenerates every table and figure of the
+//! RAPIDNN evaluation (§5).
+//!
+//! ```text
+//! rapidnn-experiments <experiment> [--full] [--seed N]
+//!
+//! experiments:
+//!   table1  RAPIDNN hardware parameters
+//!   table2  DNN models and baseline error rates
+//!   table3  composer (reinterpretation) overhead
+//!   table4  RNA sharing: quality loss and compute efficiency
+//!   fig6    weight distributions and retraining convergence
+//!   fig10   accuracy loss vs input/weight cluster counts
+//!   fig11   energy & speedup vs GPU across (w, u) configurations
+//!   fig12   EDP and memory usage vs allowed accuracy loss
+//!   fig13   energy/time breakdown by hardware block
+//!   fig14   area breakdown
+//!   fig15   comparison with PIM accelerators (DaDianNao/ISAAC/PipeLayer)
+//!   fig16   comparison with ASIC accelerators (Eyeriss/SnaPEA)
+//!   ndcam   NDCAM vs CMOS reference point and search fidelity (§4.2.2)
+//!   all     everything above, in order
+//! ```
+//!
+//! Reduced-size topologies are the default so the full suite runs in
+//! minutes; pass `--full` for the paper-sized networks.
+
+mod context;
+mod fig10;
+mod fig11;
+mod fig12;
+mod fig13;
+mod fig14;
+mod fig15;
+mod fig16;
+mod fig6;
+mod ndcam_ref;
+mod table1;
+mod table2;
+mod table3;
+mod table4;
+
+use context::Ctx;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut experiment = None;
+    let mut full = false;
+    let mut seed = 42u64;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--full" => full = true,
+            "--seed" => {
+                seed = iter
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--seed needs an integer"));
+            }
+            name if experiment.is_none() && !name.starts_with('-') => {
+                experiment = Some(name.to_string());
+            }
+            other => usage(&format!("unknown argument {other}")),
+        }
+    }
+    let experiment = experiment.unwrap_or_else(|| "all".to_string());
+    let ctx = Ctx { full, seed };
+
+    let start = std::time::Instant::now();
+    match experiment.as_str() {
+        "table1" => table1::run(&ctx),
+        "table2" => table2::run(&ctx),
+        "table3" => table3::run(&ctx),
+        "table4" => table4::run(&ctx),
+        "fig6" => fig6::run(&ctx),
+        "fig10" => fig10::run(&ctx),
+        "fig11" => fig11::run(&ctx),
+        "fig12" => fig12::run(&ctx),
+        "fig13" => fig13::run(&ctx),
+        "fig14" => fig14::run(&ctx),
+        "fig15" => fig15::run(&ctx),
+        "fig16" => fig16::run(&ctx),
+        "ndcam" => ndcam_ref::run(&ctx),
+        "all" => {
+            table1::run(&ctx);
+            table2::run(&ctx);
+            table3::run(&ctx);
+            table4::run(&ctx);
+            fig6::run(&ctx);
+            fig10::run(&ctx);
+            fig11::run(&ctx);
+            fig12::run(&ctx);
+            fig13::run(&ctx);
+            fig14::run(&ctx);
+            fig15::run(&ctx);
+            fig16::run(&ctx);
+            ndcam_ref::run(&ctx);
+        }
+        other => usage(&format!("unknown experiment {other}")),
+    }
+    eprintln!("\n[{experiment} finished in {:.1?}]", start.elapsed());
+}
+
+fn usage(message: &str) -> ! {
+    eprintln!("error: {message}");
+    eprintln!(
+        "usage: rapidnn-experiments <table1|table2|table3|table4|fig6|fig10|fig11|fig12|fig13|fig14|fig15|fig16|ndcam|all> [--full] [--seed N]"
+    );
+    std::process::exit(2);
+}

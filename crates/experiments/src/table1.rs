@@ -1,0 +1,79 @@
+//! Table 1 — RAPIDNN hardware parameters, regenerated from the model
+//! constants in `rapidnn::accel::params`.
+
+use crate::context::{render_table, Ctx};
+use rapidnn::accel::params;
+
+pub fn run(_ctx: &Ctx) {
+    println!("\n=== Table 1: RAPIDNN parameters ===\n");
+    let rows = vec![
+        vec![
+            "Crossbar".into(),
+            "1K*1K".into(),
+            format!("{:.0}um2", params::CROSSBAR_AREA_UM2),
+            format!("{:.1}mW", params::CROSSBAR_POWER_MW),
+        ],
+        vec![
+            "Counter".into(),
+            format!("1k*{}-bits", params::COUNTER_BITS),
+            format!("{:.1}um2", params::COUNTER_AREA_UM2),
+            format!("{:.1}mW", params::COUNTER_POWER_MW),
+        ],
+        vec![
+            "Activation".into(),
+            "64-rows".into(),
+            format!("{:.1}um2", params::ACTIVATION_AREA_UM2),
+            format!("{:.1}mW", params::ACTIVATION_POWER_MW),
+        ],
+        vec![
+            "Encoder".into(),
+            "64-rows".into(),
+            format!("{:.1}um2", params::ENCODER_AREA_UM2),
+            format!("{:.1}mW", params::ENCODER_POWER_MW),
+        ],
+        vec![
+            "Total RNA".into(),
+            String::new(),
+            format!("{:.0}um2", params::RNA_AREA_UM2),
+            format!("{:.1}mW", params::RNA_POWER_MW),
+        ],
+    ];
+    println!("{}", render_table(&["1-RNA block", "Size", "Area", "Power"], &rows));
+
+    let cfg = rapidnn::accel::AcceleratorConfig::default();
+    let rows = vec![
+        vec![
+            "RNAs".into(),
+            "1k".into(),
+            format!(
+                "{:.2}mm2",
+                cfg.rnas_per_tile as f64 * params::RNA_AREA_UM2 / 1e6
+            ),
+            format!("{:.1}W", params::TILE_POWER_W),
+        ],
+        vec![
+            "Buffer".into(),
+            "1K-reg".into(),
+            format!("{:.1}um2", params::BUFFER_AREA_UM2),
+            format!("{:.1}mW", params::BUFFER_POWER_MW),
+        ],
+        vec![
+            "Total Tile".into(),
+            String::new(),
+            format!("{:.2}mm2", params::TILE_AREA_MM2),
+            format!("{:.1}W", params::TILE_POWER_W),
+        ],
+        vec![
+            "Total Chip (32-Tiles)".into(),
+            String::new(),
+            format!("{:.1}mm2", cfg.total_area_mm2()),
+            format!("{:.1}W", cfg.max_power_w()),
+        ],
+    ];
+    println!("{}", render_table(&["Tile", "Size", "Area", "Power"], &rows));
+    println!(
+        "paper: chip 124.1mm2 / 153.6W; model reproduces {:.1}mm2 / {:.1}W",
+        cfg.total_area_mm2(),
+        cfg.max_power_w()
+    );
+}

@@ -1,0 +1,47 @@
+//! Table 2 — DNN models and baseline error rates.
+//!
+//! Topologies follow the paper exactly; error rates are measured on the
+//! seeded *synthetic* stand-in datasets (DESIGN.md §5), so the absolute
+//! values differ from the paper's while the relative difficulty ordering
+//! (MNIST/HAR easy, CIFAR-100/ImageNet hard) is preserved.
+
+use crate::context::{fmt_pct, prepare_app, render_table, Ctx};
+use rapidnn::nn::topology::Benchmark;
+use rapidnn::tensor::SeededRng;
+
+fn topology_string(benchmark: Benchmark) -> &'static str {
+    match benchmark {
+        Benchmark::Mnist => "IN:784, FC:512, FC:512, FC:10",
+        Benchmark::Isolet => "IN:617, FC:512, FC:512, FC:26",
+        Benchmark::Har => "IN:561, FC:512, FC:512, FC:19",
+        Benchmark::Cifar10 => "IN:32x32x3, CV:32, PL:2x2, CV:64, CV:64, FC:512, FC:10",
+        Benchmark::Cifar100 => "IN:32x32x3, CV:32, PL:2x2, CV:64, CV:64, FC:512, FC:100",
+        Benchmark::ImageNet => "scaled VGG/ResNet-family substitute (DESIGN.md §5)",
+        _ => "unknown",
+    }
+}
+
+pub fn run(ctx: &Ctx) {
+    println!("\n=== Table 2: DNN models and baseline error rates ===\n");
+    let mut rows = Vec::new();
+    for benchmark in Benchmark::ALL {
+        let mut rng = SeededRng::new(ctx.seed ^ benchmark.name().len() as u64);
+        let app = prepare_app(benchmark, ctx, &mut rng);
+        rows.push(vec![
+            benchmark.name().to_string(),
+            topology_string(benchmark).to_string(),
+            fmt_pct(app.baseline_error as f64),
+            fmt_pct(benchmark.paper_error() as f64),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["Dataset", "Network Topology", "Error (synthetic)", "Error (paper)"],
+            &rows
+        )
+    );
+    if !ctx.full {
+        println!("(reduced-size networks; pass --full for the paper topologies)");
+    }
+}

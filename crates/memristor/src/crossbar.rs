@@ -1,0 +1,222 @@
+/// Cycle and energy accounting of a crossbar's in-memory operations.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CrossbarStats {
+    /// Cycles spent on NOR execution (1 per NOR step; a step applies to a
+    /// whole row in parallel).
+    pub nor_cycles: u64,
+    /// Cycles spent writing rows.
+    pub write_cycles: u64,
+    /// Cycles spent reading rows.
+    pub read_cycles: u64,
+    /// Energy in femtojoules.
+    pub energy_fj: f64,
+}
+
+impl CrossbarStats {
+    /// Total cycles of all operation classes.
+    pub fn total_cycles(&self) -> u64 {
+        self.nor_cycles + self.write_cycles + self.read_cycles
+    }
+}
+
+/// Energy of one NOR step per participating column, in femtojoules.
+///
+/// Derived from Table 1: a 1K×1K crossbar draws 3.7 mW at 1 GHz, i.e.
+/// 3.7 pJ per fully-active cycle, ≈ 3.6 fJ per column.
+pub(crate) const NOR_ENERGY_PER_COL_FJ: f64 = 3.6;
+/// Energy of writing one cell, in femtojoules.
+pub(crate) const WRITE_ENERGY_PER_CELL_FJ: f64 = 10.0;
+/// Energy of reading one cell, in femtojoules.
+pub(crate) const READ_ENERGY_PER_CELL_FJ: f64 = 1.0;
+
+/// Bit-level crossbar memory supporting MAGIC-style row-parallel NOR.
+///
+/// Rows are bit-vectors; a NOR *step* combines two source rows into a
+/// destination row, element-wise across every column simultaneously — the
+/// in-memory SIMD that makes the 13-cycle addition stage independent of
+/// operand width (§4.1.2).
+///
+/// The crossbar tracks cycles and energy so higher-level blocks can report
+/// hardware cost without re-deriving it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Crossbar {
+    rows: usize,
+    cols: usize,
+    bits: Vec<bool>,
+    stats: CrossbarStats,
+}
+
+impl Crossbar {
+    /// Creates a zeroed crossbar of `rows x cols` cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either dimension is zero.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "crossbar dimensions must be positive");
+        Crossbar {
+            rows,
+            cols,
+            bits: vec![false; rows * cols],
+            stats: CrossbarStats::default(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Accumulated cycle/energy statistics.
+    pub fn stats(&self) -> CrossbarStats {
+        self.stats
+    }
+
+    /// Resets the statistics counters (contents untouched).
+    pub fn reset_stats(&mut self) {
+        self.stats = CrossbarStats::default();
+    }
+
+    /// Writes a row of bits (costs one cycle).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `row` is out of range or `bits.len() != cols`.
+    pub fn write_row(&mut self, row: usize, bits: &[bool]) {
+        assert!(row < self.rows, "row {row} out of range");
+        assert_eq!(bits.len(), self.cols, "row width mismatch");
+        self.bits[row * self.cols..(row + 1) * self.cols].copy_from_slice(bits);
+        self.stats.write_cycles += 1;
+        self.stats.energy_fj += WRITE_ENERGY_PER_CELL_FJ * self.cols as f64;
+    }
+
+    /// Reads a row of bits (costs one cycle).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `row` is out of range.
+    pub fn read_row(&mut self, row: usize) -> Vec<bool> {
+        assert!(row < self.rows, "row {row} out of range");
+        self.stats.read_cycles += 1;
+        self.stats.energy_fj += READ_ENERGY_PER_CELL_FJ * self.cols as f64;
+        self.bits[row * self.cols..(row + 1) * self.cols].to_vec()
+    }
+
+    /// Reads a single cell without cycle cost (debug/verification aid).
+    pub fn peek(&self, row: usize, col: usize) -> bool {
+        self.bits[row * self.cols + col]
+    }
+
+    /// Executes one MAGIC NOR step: `dst[c] = !(a[c] | b[c])` for every
+    /// column `c`, in a single cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any row index is out of range or `dst` aliases a source
+    /// (MAGIC requires a separate pre-SET output row).
+    pub fn nor_rows(&mut self, a: usize, b: usize, dst: usize) {
+        assert!(a < self.rows && b < self.rows && dst < self.rows);
+        assert!(dst != a && dst != b, "MAGIC NOR output must be a distinct row");
+        for c in 0..self.cols {
+            let va = self.bits[a * self.cols + c];
+            let vb = self.bits[b * self.cols + c];
+            self.bits[dst * self.cols + c] = !(va | vb);
+        }
+        self.stats.nor_cycles += 1;
+        self.stats.energy_fj += NOR_ENERGY_PER_COL_FJ * self.cols as f64;
+    }
+
+    /// Executes a NOT as `NOR(a, a)` into `dst` (one cycle).
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Self::nor_rows`].
+    pub fn not_row(&mut self, a: usize, dst: usize) {
+        assert!(a < self.rows && dst < self.rows);
+        assert!(dst != a, "MAGIC NOT output must be a distinct row");
+        for c in 0..self.cols {
+            let va = self.bits[a * self.cols + c];
+            self.bits[dst * self.cols + c] = !va;
+        }
+        self.stats.nor_cycles += 1;
+        self.stats.energy_fj += NOR_ENERGY_PER_COL_FJ * self.cols as f64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bits(pattern: &[u8]) -> Vec<bool> {
+        pattern.iter().map(|&b| b != 0).collect()
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let mut xb = Crossbar::new(4, 8);
+        let row = bits(&[1, 0, 1, 1, 0, 0, 1, 0]);
+        xb.write_row(2, &row);
+        assert_eq!(xb.read_row(2), row);
+        assert_eq!(xb.stats().write_cycles, 1);
+        assert_eq!(xb.stats().read_cycles, 1);
+    }
+
+    #[test]
+    fn nor_is_columnwise() {
+        let mut xb = Crossbar::new(4, 4);
+        xb.write_row(0, &bits(&[0, 0, 1, 1]));
+        xb.write_row(1, &bits(&[0, 1, 0, 1]));
+        xb.nor_rows(0, 1, 2);
+        assert_eq!(xb.read_row(2), bits(&[1, 0, 0, 0]));
+        assert_eq!(xb.stats().nor_cycles, 1);
+    }
+
+    #[test]
+    fn not_is_nor_with_self() {
+        let mut xb = Crossbar::new(3, 4);
+        xb.write_row(0, &bits(&[1, 0, 1, 0]));
+        xb.not_row(0, 1);
+        assert_eq!(xb.read_row(1), bits(&[0, 1, 0, 1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct row")]
+    fn nor_rejects_aliased_output() {
+        let mut xb = Crossbar::new(3, 2);
+        xb.nor_rows(0, 1, 0);
+    }
+
+    #[test]
+    fn energy_scales_with_columns() {
+        let mut small = Crossbar::new(3, 8);
+        let mut large = Crossbar::new(3, 64);
+        small.write_row(0, &[false; 8]);
+        large.write_row(0, &[false; 64]);
+        small.nor_rows(0, 1, 2);
+        large.nor_rows(0, 1, 2);
+        assert!(large.stats().energy_fj > small.stats().energy_fj);
+    }
+
+    #[test]
+    fn reset_stats_clears_counters() {
+        let mut xb = Crossbar::new(3, 2);
+        xb.write_row(0, &bits(&[1, 1]));
+        xb.nor_rows(0, 1, 2);
+        assert!(xb.stats().total_cycles() > 0);
+        xb.reset_stats();
+        assert_eq!(xb.stats(), CrossbarStats::default());
+        // Contents survive.
+        assert!(xb.peek(0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dimensions_rejected() {
+        let _ = Crossbar::new(0, 4);
+    }
+}

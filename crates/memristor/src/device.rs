@@ -1,0 +1,246 @@
+use rapidnn_tensor::SeededRng;
+
+/// Resistive state of a single-level memristor cell.
+///
+/// RAPIDNN deliberately uses *single-level* cells ("commonly used
+/// single-level memristor devices, e.g., Intel 3D Xpoint") rather than the
+/// multi-level cells of analog PIM designs, because two-state devices are
+/// reliable enough for commercialisation (§1, §6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeviceState {
+    /// Low-resistance state, logic `1` (`R_ON`).
+    On,
+    /// High-resistance state, logic `0` (`R_OFF`).
+    Off,
+}
+
+impl DeviceState {
+    /// Logic value of the state.
+    pub fn as_bit(self) -> bool {
+        matches!(self, DeviceState::On)
+    }
+
+    /// State for a logic value.
+    pub fn from_bit(bit: bool) -> Self {
+        if bit {
+            DeviceState::On
+        } else {
+            DeviceState::Off
+        }
+    }
+}
+
+/// Nominal parameters of the memristor device (VTEAM-style threshold
+/// switching, after Kvatinsky et al. [45/54]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceConfig {
+    /// Low (ON) resistance in ohms.
+    pub r_on: f64,
+    /// High (OFF) resistance in ohms; the paper selects a device with a
+    /// large OFF/ON ratio.
+    pub r_off: f64,
+    /// SET threshold voltage in volts (positive polarity switches ON).
+    pub v_set: f64,
+    /// RESET threshold voltage in volts (negative polarity switches OFF).
+    pub v_reset: f64,
+    /// Relative process variation (1 sigma) applied to thresholds; the
+    /// paper validates at 10 %.
+    pub variation: f64,
+}
+
+impl Default for DeviceConfig {
+    fn default() -> Self {
+        DeviceConfig {
+            r_on: 10e3,
+            r_off: 10e6,
+            v_set: 1.0,
+            v_reset: -1.0,
+            variation: 0.10,
+        }
+    }
+}
+
+/// Behavioural model of one bipolar threshold-switching memristor.
+///
+/// The model captures exactly what the MAGIC-NOR and CAM circuits rely on:
+/// the device holds one of two resistance states and flips when the applied
+/// voltage crosses its (variation-perturbed) threshold.
+///
+/// # Examples
+///
+/// ```
+/// use rapidnn_memristor::{Device, DeviceConfig, DeviceState};
+/// use rapidnn_tensor::SeededRng;
+///
+/// let mut rng = SeededRng::new(1);
+/// let mut cell = Device::sample(&DeviceConfig::default(), &mut rng);
+/// cell.apply_voltage(1.5);
+/// assert_eq!(cell.state(), DeviceState::On);
+/// cell.apply_voltage(-1.5);
+/// assert_eq!(cell.state(), DeviceState::Off);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Device {
+    state: DeviceState,
+    v_set: f64,
+    v_reset: f64,
+    r_on: f64,
+    r_off: f64,
+}
+
+impl Device {
+    /// Creates a device with *nominal* thresholds (no variation).
+    pub fn nominal(config: &DeviceConfig) -> Self {
+        Device {
+            state: DeviceState::Off,
+            v_set: config.v_set,
+            v_reset: config.v_reset,
+            r_on: config.r_on,
+            r_off: config.r_off,
+        }
+    }
+
+    /// Samples a device instance with Gaussian threshold variation — one
+    /// draw of the paper's Monte-Carlo analysis.
+    pub fn sample(config: &DeviceConfig, rng: &mut SeededRng) -> Self {
+        let mut jitter =
+            |nominal: f64| nominal * (1.0 + config.variation * rng.normal() as f64);
+        Device {
+            state: DeviceState::Off,
+            v_set: jitter(config.v_set).max(0.05),
+            v_reset: jitter(config.v_reset).min(-0.05),
+            r_on: config.r_on,
+            r_off: config.r_off,
+        }
+    }
+
+    /// Current resistive state.
+    pub fn state(&self) -> DeviceState {
+        self.state
+    }
+
+    /// Current resistance in ohms.
+    pub fn resistance(&self) -> f64 {
+        match self.state {
+            DeviceState::On => self.r_on,
+            DeviceState::Off => self.r_off,
+        }
+    }
+
+    /// Effective SET threshold after variation.
+    pub fn v_set(&self) -> f64 {
+        self.v_set
+    }
+
+    /// Effective RESET threshold after variation.
+    pub fn v_reset(&self) -> f64 {
+        self.v_reset
+    }
+
+    /// Applies a voltage pulse; the device switches when the pulse crosses
+    /// its threshold ("the output device switches … whenever the voltage
+    /// across the device exceeds a threshold", §4.1.2).
+    pub fn apply_voltage(&mut self, volts: f64) {
+        if volts >= self.v_set {
+            self.state = DeviceState::On;
+        } else if volts <= self.v_reset {
+            self.state = DeviceState::Off;
+        }
+    }
+
+    /// Forces a state (used for memory writes).
+    pub fn write(&mut self, state: DeviceState) {
+        self.state = state;
+    }
+
+    /// Executes a two-input MAGIC NOR with this device as the output cell:
+    /// the output is pre-SET to ON, then the input devices' conductances
+    /// divide the execution voltage; any ON input drives the output
+    /// voltage above `v_reset`'s magnitude and RESETs it.
+    pub fn magic_nor(&mut self, a: DeviceState, b: DeviceState) {
+        self.state = DeviceState::On; // initialisation cycle
+        let any_input_on = a.as_bit() || b.as_bit();
+        // Voltage-divider outcome: an ON input produces a large negative
+        // drop across the (pre-SET) output, resetting it.
+        let effective_drop = if any_input_on { self.v_reset * 1.5 } else { self.v_reset * 0.4 };
+        self.apply_voltage(effective_drop);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn states_map_to_bits() {
+        assert!(DeviceState::On.as_bit());
+        assert!(!DeviceState::Off.as_bit());
+        assert_eq!(DeviceState::from_bit(true), DeviceState::On);
+        assert_eq!(DeviceState::from_bit(false), DeviceState::Off);
+    }
+
+    #[test]
+    fn switching_respects_thresholds() {
+        let mut d = Device::nominal(&DeviceConfig::default());
+        assert_eq!(d.state(), DeviceState::Off);
+        d.apply_voltage(0.5); // below threshold: no switch
+        assert_eq!(d.state(), DeviceState::Off);
+        d.apply_voltage(1.0);
+        assert_eq!(d.state(), DeviceState::On);
+        d.apply_voltage(-0.5); // below reset magnitude
+        assert_eq!(d.state(), DeviceState::On);
+        d.apply_voltage(-1.2);
+        assert_eq!(d.state(), DeviceState::Off);
+    }
+
+    #[test]
+    fn resistance_tracks_state() {
+        let cfg = DeviceConfig::default();
+        let mut d = Device::nominal(&cfg);
+        assert_eq!(d.resistance(), cfg.r_off);
+        d.write(DeviceState::On);
+        assert_eq!(d.resistance(), cfg.r_on);
+        // Large OFF/ON ratio, as the paper requires.
+        assert!(cfg.r_off / cfg.r_on >= 100.0);
+    }
+
+    #[test]
+    fn magic_nor_truth_table() {
+        let mut out = Device::nominal(&DeviceConfig::default());
+        for (a, b, expected) in [
+            (false, false, true),
+            (false, true, false),
+            (true, false, false),
+            (true, true, false),
+        ] {
+            out.magic_nor(DeviceState::from_bit(a), DeviceState::from_bit(b));
+            assert_eq!(out.state().as_bit(), expected, "NOR({a},{b})");
+        }
+    }
+
+    #[test]
+    fn monte_carlo_nor_survives_ten_percent_variation() {
+        // Mirrors the paper's 5000-run Monte-Carlo robustness check: with
+        // 10 % threshold variation, MAGIC NOR must stay correct.
+        let cfg = DeviceConfig::default();
+        let mut rng = SeededRng::new(42);
+        for _ in 0..5000 {
+            let mut out = Device::sample(&cfg, &mut rng);
+            for (a, b) in [(false, false), (false, true), (true, false), (true, true)] {
+                out.magic_nor(DeviceState::from_bit(a), DeviceState::from_bit(b));
+                assert_eq!(out.state().as_bit(), !(a || b));
+            }
+        }
+    }
+
+    #[test]
+    fn sampled_thresholds_differ_but_keep_polarity() {
+        let cfg = DeviceConfig::default();
+        let mut rng = SeededRng::new(7);
+        let a = Device::sample(&cfg, &mut rng);
+        let b = Device::sample(&cfg, &mut rng);
+        assert_ne!(a.v_set(), b.v_set());
+        assert!(a.v_set() > 0.0 && b.v_set() > 0.0);
+        assert!(a.v_reset() < 0.0 && b.v_reset() < 0.0);
+    }
+}

@@ -1,0 +1,44 @@
+//! Single-level memristor substrate: device model, bit-level crossbar,
+//! MAGIC NOR in-memory logic, and NOR-built adders.
+//!
+//! RAPIDNN's weighted-accumulation block performs *all* arithmetic inside a
+//! memristive crossbar by composing MAGIC-style NOR operations — the only
+//! primitive a bipolar resistive memory needs (§4.1.2, refs [41–44]). This
+//! crate rebuilds that stack from the device up:
+//!
+//! * [`Device`] — a VTEAM-flavoured threshold-switching single-level cell
+//!   with seeded process variation (the paper verifies circuits under 10 %
+//!   variation with 5000 Monte-Carlo runs);
+//! * [`Crossbar`] — a bit-addressable memory whose rows can be combined
+//!   with single-cycle NOR operations, with cycle/energy accounting;
+//! * [`nor`] — NOR-only gate library (NOT/OR/AND/XOR/full adder) with
+//!   verified gate counts; a full adder costs 12 NOR steps, so one
+//!   crossbar addition stage costs 13 cycles (1 output-initialisation
+//!   cycle + 12 NOR cycles), matching the paper's "each stage takes 13
+//!   cycles";
+//! * [`AdderTree`] — the carry-save reduction that adds `w·u` partial
+//!   values in `O(log k)` 13-cycle stages plus a final `13·N`-cycle
+//!   carry-propagate stage (§4.1.2).
+//!
+//! # Examples
+//!
+//! ```
+//! use rapidnn_memristor::AdderTree;
+//!
+//! let tree = AdderTree::new(16);
+//! let report = tree.add_all(&[3, 5, 7, 11, 13]);
+//! assert_eq!(report.sum, 39);
+//! assert!(report.csa_stages >= 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod adder;
+mod crossbar;
+mod device;
+pub mod nor;
+
+pub use adder::{AdderReport, AdderTree, RIPPLE_CYCLES_PER_BIT, STAGE_CYCLES};
+pub use crossbar::{Crossbar, CrossbarStats};
+pub use device::{Device, DeviceConfig, DeviceState};

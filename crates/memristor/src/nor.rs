@@ -1,0 +1,210 @@
+//! NOR-only gate library with serial-step accounting.
+//!
+//! MAGIC gives a memristive crossbar exactly one logic primitive: NOR.
+//! Everything else — NOT, OR, AND, XOR, full adders — is composed from it
+//! (§4.1.2, refs [41–43]). This module builds that composition and *counts
+//! serial NOR steps*, which is what determines crossbar latency: steps
+//! apply to whole rows in parallel, so an N-bit carry-save addition stage
+//! costs the same number of steps as a 1-bit one.
+//!
+//! The verified costs ground the paper's timing model:
+//! a full adder takes [`FULL_ADDER_STEPS`] = 12 serial NOR steps, so a
+//! 13-cycle stage = 1 output-initialisation cycle + 12 NOR cycles.
+
+/// Serial NOR steps of the full adder built by [`full_adder`].
+pub const FULL_ADDER_STEPS: u64 = 12;
+
+/// Execution context counting serial NOR steps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NorContext {
+    steps: u64,
+}
+
+impl NorContext {
+    /// Creates a fresh context.
+    pub fn new() -> Self {
+        NorContext::default()
+    }
+
+    /// Serial NOR steps executed so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// The primitive: logical NOR, one step.
+    pub fn nor(&mut self, a: bool, b: bool) -> bool {
+        self.steps += 1;
+        !(a | b)
+    }
+
+    /// NOT via `NOR(a, a)` — 1 step.
+    pub fn not(&mut self, a: bool) -> bool {
+        self.nor(a, a)
+    }
+
+    /// OR via `NOT(NOR(a, b))` — 2 steps.
+    pub fn or(&mut self, a: bool, b: bool) -> bool {
+        let n = self.nor(a, b);
+        self.not(n)
+    }
+
+    /// AND via `NOR(NOT a, NOT b)` — 3 steps.
+    pub fn and(&mut self, a: bool, b: bool) -> bool {
+        let na = self.not(a);
+        let nb = self.not(b);
+        self.nor(na, nb)
+    }
+
+    /// XOR via `NOR(NOR(a, b), AND(a, b))` — 5 steps.
+    pub fn xor(&mut self, a: bool, b: bool) -> bool {
+        let n1 = self.nor(a, b);
+        let n2 = self.and(a, b);
+        self.nor(n1, n2)
+    }
+}
+
+/// One-bit full adder composed purely of NOR steps.
+///
+/// Returns `(sum, carry_out)` and consumes exactly [`FULL_ADDER_STEPS`]
+/// steps: first XOR (5), second XOR sharing its AND with the carry (5),
+/// carry OR (2).
+pub fn full_adder(ctx: &mut NorContext, a: bool, b: bool, cin: bool) -> (bool, bool) {
+    // x1 = a XOR b, keeping AND(a, b) for the carry.
+    let n1 = ctx.nor(a, b);
+    let na = ctx.not(a);
+    let nb = ctx.not(b);
+    let and_ab = ctx.nor(na, nb);
+    let x1 = ctx.nor(n1, and_ab);
+    // sum = x1 XOR cin, keeping AND(x1, cin).
+    let n2 = ctx.nor(x1, cin);
+    let nx1 = ctx.not(x1);
+    let ncin = ctx.not(cin);
+    let and_x1c = ctx.nor(nx1, ncin);
+    let sum = ctx.nor(n2, and_x1c);
+    // cout = AND(a, b) OR AND(x1, cin).
+    let ncarry = ctx.nor(and_ab, and_x1c);
+    let cout = ctx.not(ncarry);
+    (sum, cout)
+}
+
+/// Adds two `width`-bit numbers by rippling [`full_adder`] through the bit
+/// positions; returns `(sum, steps)` where the sum wraps modulo
+/// `2^width`.
+pub fn ripple_add(a: u64, b: u64, width: u32) -> (u64, u64) {
+    let mut ctx = NorContext::new();
+    let mut carry = false;
+    let mut sum = 0u64;
+    for i in 0..width {
+        let (s, c) = full_adder(&mut ctx, (a >> i) & 1 == 1, (b >> i) & 1 == 1, carry);
+        if s {
+            sum |= 1 << i;
+        }
+        carry = c;
+    }
+    (sum, ctx.steps())
+}
+
+/// Carry-save step: reduces three `width`-bit numbers to a sum word and a
+/// carry word (shifted left by one). The crossbar performs all bit
+/// positions of this step in parallel, so its latency is one full-adder
+/// depth regardless of `width`.
+pub fn carry_save(a: u64, b: u64, c: u64, width: u32) -> (u64, u64) {
+    let mut ctx = NorContext::new();
+    let mut sum = 0u64;
+    let mut carry = 0u64;
+    for i in 0..width {
+        let (s, co) = full_adder(
+            &mut ctx,
+            (a >> i) & 1 == 1,
+            (b >> i) & 1 == 1,
+            (c >> i) & 1 == 1,
+        );
+        if s {
+            sum |= 1 << i;
+        }
+        if co && i + 1 < width {
+            carry |= 1 << (i + 1);
+        }
+    }
+    (sum, carry)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_gates_match_boolean_algebra() {
+        let mut ctx = NorContext::new();
+        for a in [false, true] {
+            for b in [false, true] {
+                assert_eq!(ctx.nor(a, b), !(a | b));
+                assert_eq!(ctx.or(a, b), a | b);
+                assert_eq!(ctx.and(a, b), a & b);
+                assert_eq!(ctx.xor(a, b), a ^ b);
+            }
+            assert_eq!(ctx.not(a), !a);
+        }
+    }
+
+    #[test]
+    fn gate_costs_are_stable() {
+        let mut ctx = NorContext::new();
+        ctx.not(true);
+        assert_eq!(ctx.steps(), 1);
+        let mut ctx = NorContext::new();
+        ctx.or(true, false);
+        assert_eq!(ctx.steps(), 2);
+        let mut ctx = NorContext::new();
+        ctx.and(true, false);
+        assert_eq!(ctx.steps(), 3);
+        let mut ctx = NorContext::new();
+        ctx.xor(true, false);
+        assert_eq!(ctx.steps(), 5);
+    }
+
+    #[test]
+    fn full_adder_truth_table_and_cost() {
+        for a in [false, true] {
+            for b in [false, true] {
+                for cin in [false, true] {
+                    let mut ctx = NorContext::new();
+                    let (sum, cout) = full_adder(&mut ctx, a, b, cin);
+                    let total = a as u8 + b as u8 + cin as u8;
+                    assert_eq!(sum, total & 1 == 1, "sum({a},{b},{cin})");
+                    assert_eq!(cout, total >= 2, "cout({a},{b},{cin})");
+                    assert_eq!(ctx.steps(), FULL_ADDER_STEPS);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn full_adder_fits_the_papers_13_cycle_stage() {
+        // 1 initialisation cycle + FULL_ADDER_STEPS NOR cycles = 13.
+        assert_eq!(1 + FULL_ADDER_STEPS, 13);
+    }
+
+    #[test]
+    fn ripple_add_matches_integer_addition() {
+        for &(a, b) in &[(0u64, 0u64), (1, 1), (123, 456), (u16::MAX as u64, 1)] {
+            let (sum, steps) = ripple_add(a, b, 32);
+            assert_eq!(sum, (a + b) & 0xFFFF_FFFF);
+            assert_eq!(steps, 32 * FULL_ADDER_STEPS);
+        }
+    }
+
+    #[test]
+    fn ripple_add_wraps_at_width() {
+        let (sum, _) = ripple_add(0xFF, 1, 8);
+        assert_eq!(sum, 0);
+    }
+
+    #[test]
+    fn carry_save_preserves_the_sum() {
+        for &(a, b, c) in &[(5u64, 9, 13), (0, 0, 0), (255, 255, 255), (1000, 1, 23)] {
+            let (s, carry) = carry_save(a, b, c, 32);
+            assert_eq!(s + carry, a + b + c, "csa({a},{b},{c})");
+        }
+    }
+}

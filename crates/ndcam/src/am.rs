@@ -1,0 +1,134 @@
+use crate::array::{NdcamArray, SearchHit};
+use crate::NdcamError;
+
+/// Associative-memory block: an [`NdcamArray`] of keys plus a payload per
+/// row (Figure 7b/c).
+///
+/// This is the hardware form of both RAPIDNN lookup tables:
+///
+/// * **activation function** — keys are quantized pre-activation values
+///   `y`, payloads are the activation outputs `z`;
+/// * **encoder** — keys are the next layer's input representatives,
+///   payloads are their encoded indices.
+///
+/// A lookup is one nearest-distance search followed by one payload-row
+/// read from the attached crossbar.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AmBlock<P> {
+    cam: NdcamArray,
+    payloads: Vec<P>,
+}
+
+impl<P: Clone> AmBlock<P> {
+    /// Creates an AM block from parallel key and payload arrays.
+    ///
+    /// # Errors
+    ///
+    /// Propagates CAM construction errors and rejects mismatched payload
+    /// counts.
+    pub fn new(keys: &[u64], width: u32, payloads: Vec<P>) -> Result<Self, NdcamError> {
+        let cam = NdcamArray::from_values(keys, width)?;
+        if payloads.len() != cam.rows() {
+            return Err(NdcamError::PayloadMismatch {
+                rows: cam.rows(),
+                payloads: payloads.len(),
+            });
+        }
+        Ok(AmBlock { cam, payloads })
+    }
+
+    /// The underlying CAM.
+    pub fn cam(&self) -> &NdcamArray {
+        &self.cam
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.cam.rows()
+    }
+
+    /// Looks up the payload whose key is nearest to `query`, returning the
+    /// payload and the search metadata.
+    pub fn lookup(&self, query: u64) -> (P, SearchHit) {
+        let hit = self.cam.search_nearest(query);
+        (self.payloads[hit.row].clone(), hit)
+    }
+
+    /// Circuit-faithful lookup using the staged weighted-match search.
+    pub fn lookup_weighted(&self, query: u64) -> (P, SearchHit) {
+        let hit = self.cam.search_weighted(query);
+        (self.payloads[hit.row].clone(), hit)
+    }
+
+    /// Payload of the row holding the maximum key (max pooling reuses the
+    /// encoder AM block this way, §4.2.1).
+    pub fn max_payload(&self) -> (P, SearchHit) {
+        let hit = self.cam.search_max();
+        (self.payloads[hit.row].clone(), hit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sigmoid_block() -> AmBlock<f32> {
+        // Keys: quantized pre-activations mapped to u64 by offsetting;
+        // payloads: sigmoid outputs.
+        let keys: Vec<u64> = (0..16).map(|i| i * 16).collect();
+        let payloads: Vec<f32> = keys
+            .iter()
+            .map(|&k| {
+                let y = (k as f32 - 128.0) / 32.0;
+                1.0 / (1.0 + (-y).exp())
+            })
+            .collect();
+        AmBlock::new(&keys, 8, payloads).unwrap()
+    }
+
+    #[test]
+    fn lookup_returns_nearest_rows_payload() {
+        let block = sigmoid_block();
+        let (z, hit) = block.lookup(130);
+        assert_eq!(hit.value, 128);
+        assert!((z - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn payload_count_is_validated() {
+        assert_eq!(
+            AmBlock::new(&[1, 2, 3], 8, vec![0.0f32; 2]),
+            Err(NdcamError::PayloadMismatch {
+                rows: 3,
+                payloads: 2
+            })
+        );
+    }
+
+    #[test]
+    fn weighted_lookup_agrees_on_exact_keys() {
+        let block = sigmoid_block();
+        for &k in block.cam().values() {
+            let (a, _) = block.lookup(k);
+            let (b, _) = block.lookup_weighted(k);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn max_payload_for_pooling() {
+        let block = AmBlock::new(&[12, 200, 7], 8, vec!["a", "b", "c"]).unwrap();
+        let (payload, hit) = block.max_payload();
+        assert_eq!(payload, "b");
+        assert_eq!(hit.value, 200);
+    }
+
+    #[test]
+    fn lookup_reports_search_cost() {
+        let block = sigmoid_block();
+        let (_, hit) = block.lookup(42);
+        assert!(hit.cost.latency_ns > 0.0);
+        assert!(hit.cost.energy_fj > 0.0);
+        assert_eq!(hit.stages, 1);
+    }
+}

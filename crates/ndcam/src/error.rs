@@ -1,0 +1,66 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for NDCAM construction and search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NdcamError {
+    /// The array was given no rows.
+    Empty,
+    /// A stored value does not fit the configured bit width.
+    ValueTooWide {
+        /// The offending value.
+        value: u64,
+        /// Configured width in bits.
+        width: u32,
+    },
+    /// An unsupported bit width was requested.
+    InvalidWidth(u32),
+    /// Payload table and CAM disagree in row count.
+    PayloadMismatch {
+        /// CAM rows.
+        rows: usize,
+        /// Payload entries supplied.
+        payloads: usize,
+    },
+}
+
+impl fmt::Display for NdcamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NdcamError::Empty => write!(f, "ndcam needs at least one row"),
+            NdcamError::ValueTooWide { value, width } => {
+                write!(f, "value {value} does not fit in {width} bits")
+            }
+            NdcamError::InvalidWidth(w) => write!(f, "unsupported bit width {w}"),
+            NdcamError::PayloadMismatch { rows, payloads } => {
+                write!(f, "{payloads} payloads supplied for {rows} cam rows")
+            }
+        }
+    }
+}
+
+impl Error for NdcamError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(NdcamError::Empty.to_string().contains("row"));
+        assert!(NdcamError::ValueTooWide { value: 300, width: 8 }
+            .to_string()
+            .contains("300"));
+        assert!(NdcamError::InvalidWidth(99).to_string().contains("99"));
+        assert!(NdcamError::PayloadMismatch { rows: 4, payloads: 3 }
+            .to_string()
+            .contains('4'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NdcamError>();
+    }
+}

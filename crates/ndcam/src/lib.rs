@@ -1,0 +1,48 @@
+//! Nearest-distance content-addressable memory (NDCAM) and the
+//! associative-memory (AM) blocks built on it.
+//!
+//! RAPIDNN's activation-function and encoding/pooling units are lookup
+//! tables implemented as a CAM that finds the *closest* stored value to a
+//! query, paired with a crossbar holding each row's payload (§4.2).
+//! This crate models that hardware:
+//!
+//! * [`NdcamArray`] — the CAM proper. Its cells work *inversely* to a
+//!   conventional CAM (a match discharges the match line, Figure 8), so
+//!   the row that discharges fastest is the best match; per-bit access
+//!   transistors sized `2x` per significance turn the discharge current
+//!   into a *bit-weighted* similarity, giving a precise-search
+//!   approximation of smallest absolute distance. 32-bit words are
+//!   searched as four pipelined 8-bit stages, MSB first.
+//! * [`DischargeModel`] — the timing/energy model (0.5 ns per search,
+//!   920 fJ and 24 µm² for the 4×4 max-pool reference point vs 1.2 ns /
+//!   378 fJ / 374 µm² for CMOS, §4.2.2), with a Monte-Carlo variation
+//!   check mirroring the paper's HSPICE analysis.
+//! * [`AmBlock`] — NDCAM + payload crossbar = the lookup-table block used
+//!   for activation functions and encoders.
+//!
+//! # Examples
+//!
+//! ```
+//! use rapidnn_ndcam::NdcamArray;
+//!
+//! let cam = NdcamArray::from_values(&[10, 20, 30, 250], 8)?;
+//! assert_eq!(cam.search_nearest(22).row, 1);
+//! assert_eq!(cam.search_max().row, 3);
+//! # Ok::<(), rapidnn_ndcam::NdcamError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod am;
+mod array;
+mod error;
+mod timing;
+
+pub use am::AmBlock;
+pub use array::{NdcamArray, SearchHit};
+pub use error::NdcamError;
+pub use timing::{
+    ndcam_area_um2, BlockReference, DischargeModel, SearchCost, CMOS_MAXPOOL_REFERENCE,
+    NDCAM_MAXPOOL_REFERENCE,
+};

@@ -1,0 +1,240 @@
+use rapidnn_tensor::SeededRng;
+
+/// Measured reference point for one hardware block (area, latency,
+/// energy) as reported by the paper's post-layout simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlockReference {
+    /// Area in square micrometres.
+    pub area_um2: f64,
+    /// Latency in nanoseconds.
+    pub latency_ns: f64,
+    /// Energy per operation in femtojoules.
+    pub energy_fj: f64,
+}
+
+/// NDCAM implementing a 4×4 max pool: 24 µm², 0.5 ns, 920 fJ (§4.2.2).
+pub const NDCAM_MAXPOOL_REFERENCE: BlockReference = BlockReference {
+    area_um2: 24.0,
+    latency_ns: 0.5,
+    energy_fj: 920.0,
+};
+
+/// The same function in CMOS: 374 µm², 1.2 ns, 378 fJ (§4.2.2).
+pub const CMOS_MAXPOOL_REFERENCE: BlockReference = BlockReference {
+    area_um2: 374.0,
+    latency_ns: 1.2,
+    energy_fj: 378.0,
+};
+
+/// Rows of the paper's 4×4 max-pool reference search.
+const REFERENCE_ROWS: f64 = 16.0;
+/// Pipeline stages of the reference search (8-bit encoded values).
+const REFERENCE_STAGES: f64 = 1.0;
+
+/// Latency and energy of one NDCAM search.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SearchCost {
+    /// Latency in nanoseconds.
+    pub latency_ns: f64,
+    /// Energy in femtojoules.
+    pub energy_fj: f64,
+}
+
+impl SearchCost {
+    /// Cost of a search over `rows` rows, `width` bits, `stages` pipeline
+    /// stages, scaled from the 4×4 max-pool reference point: energy scales
+    /// with the number of match lines (rows) and stages; latency with the
+    /// stage count (each stage is one 0.5 ns search cycle).
+    pub fn for_search(rows: usize, _width: u32, stages: u32) -> Self {
+        SearchCost {
+            latency_ns: NDCAM_MAXPOOL_REFERENCE.latency_ns * stages as f64 / REFERENCE_STAGES,
+            energy_fj: NDCAM_MAXPOOL_REFERENCE.energy_fj * (rows as f64 / REFERENCE_ROWS)
+                * (stages as f64 / REFERENCE_STAGES),
+        }
+    }
+
+    /// Adds two costs (sequential composition).
+    pub fn plus(self, other: SearchCost) -> SearchCost {
+        SearchCost {
+            latency_ns: self.latency_ns + other.latency_ns,
+            energy_fj: self.energy_fj + other.energy_fj,
+        }
+    }
+}
+
+/// Estimated NDCAM area for `rows` rows of `width` bits, scaled from the
+/// 24 µm² 4×4 reference (16 rows × 8 bits).
+pub fn ndcam_area_um2(rows: usize, width: u32) -> f64 {
+    NDCAM_MAXPOOL_REFERENCE.area_um2 * (rows as f64 / REFERENCE_ROWS) * (width as f64 / 8.0)
+}
+
+/// Analog discharge-timing model of one search stage.
+///
+/// Match lines are precharged; matched cells discharge them with a
+/// bit-weighted current, so the line with the *highest* weighted match
+/// score crosses the sense threshold first (inverse-cell scheme, Figure 8).
+/// The model answers the paper's key circuit question: with 10 % process
+/// variation, are two adjacent scores still distinguishable within one
+/// 8-bit stage?
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DischargeModel {
+    /// Nominal unit discharge current (arbitrary units; only ratios
+    /// matter).
+    pub unit_current: f64,
+    /// Match-line capacitance (arbitrary units).
+    pub capacitance: f64,
+    /// Relative per-cell current variation (1 sigma).
+    pub variation: f64,
+}
+
+impl Default for DischargeModel {
+    fn default() -> Self {
+        DischargeModel {
+            unit_current: 1.0,
+            capacitance: 100.0,
+            variation: 0.10,
+        }
+    }
+}
+
+impl DischargeModel {
+    /// Discharge time of a match line whose weighted match score is
+    /// `score` (sum of `2^i` over matched bit positions), with sampled
+    /// variation. Higher score → faster discharge. A zero score never
+    /// discharges (`f64::INFINITY`).
+    pub fn discharge_time(&self, score: u64, rng: &mut SeededRng) -> f64 {
+        if score == 0 {
+            return f64::INFINITY;
+        }
+        let current = self.unit_current
+            * score as f64
+            * (1.0 + self.variation * rng.normal() as f64).max(0.05);
+        self.capacitance / current
+    }
+
+    /// Monte-Carlo check that the winner of a stage is decided correctly:
+    /// samples `trials` races between match lines scoring `lo` and `hi`
+    /// and returns the fraction in which the higher score discharges
+    /// first. The paper's HSPICE analysis (5000 runs, 10 % variation)
+    /// establishes that decisions inside an 8-bit stage are reliable —
+    /// i.e. races whose scores differ at a *significant* bit — which is
+    /// why wider words are pipelined into 8-bit stages instead of sized
+    /// up.
+    pub fn separability(&self, lo: u64, hi: u64, trials: usize, rng: &mut SeededRng) -> f64 {
+        let mut correct = 0usize;
+        for _ in 0..trials {
+            let slow = self.discharge_time(lo, rng);
+            let fast = self.discharge_time(hi, rng);
+            if fast < slow {
+                correct += 1;
+            }
+        }
+        correct as f64 / trials.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_points_match_the_paper() {
+        assert_eq!(NDCAM_MAXPOOL_REFERENCE.area_um2, 24.0);
+        assert_eq!(NDCAM_MAXPOOL_REFERENCE.latency_ns, 0.5);
+        assert_eq!(NDCAM_MAXPOOL_REFERENCE.energy_fj, 920.0);
+        assert_eq!(CMOS_MAXPOOL_REFERENCE.area_um2, 374.0);
+        // NDCAM wins area and latency; CMOS wins per-op energy, exactly as
+        // reported. (Computed through a function so the comparison is not
+        // constant-folded away.)
+        let wins = |a: f64, b: f64| a < b;
+        assert!(wins(
+            NDCAM_MAXPOOL_REFERENCE.area_um2,
+            CMOS_MAXPOOL_REFERENCE.area_um2
+        ));
+        assert!(wins(
+            NDCAM_MAXPOOL_REFERENCE.latency_ns,
+            CMOS_MAXPOOL_REFERENCE.latency_ns
+        ));
+    }
+
+    #[test]
+    fn reference_search_cost_reproduces_the_reference() {
+        let cost = SearchCost::for_search(16, 8, 1);
+        assert!((cost.latency_ns - 0.5).abs() < 1e-9);
+        assert!((cost.energy_fj - 920.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cost_scales_with_rows_and_stages() {
+        let small = SearchCost::for_search(16, 8, 1);
+        let wide = SearchCost::for_search(64, 8, 1);
+        let deep = SearchCost::for_search(16, 32, 4);
+        assert!((wide.energy_fj / small.energy_fj - 4.0).abs() < 1e-9);
+        assert!((deep.latency_ns / small.latency_ns - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn costs_compose() {
+        let a = SearchCost {
+            latency_ns: 1.0,
+            energy_fj: 10.0,
+        };
+        let b = SearchCost {
+            latency_ns: 0.5,
+            energy_fj: 5.0,
+        };
+        let c = a.plus(b);
+        assert_eq!(c.latency_ns, 1.5);
+        assert_eq!(c.energy_fj, 15.0);
+    }
+
+    #[test]
+    fn area_scales_from_reference() {
+        assert!((ndcam_area_um2(16, 8) - 24.0).abs() < 1e-9);
+        assert!((ndcam_area_um2(64, 8) - 96.0).abs() < 1e-9);
+        assert!((ndcam_area_um2(16, 32) - 96.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn higher_scores_discharge_faster_nominally() {
+        let model = DischargeModel {
+            variation: 0.0,
+            ..DischargeModel::default()
+        };
+        let mut rng = SeededRng::new(0);
+        let t1 = model.discharge_time(1, &mut rng);
+        let t128 = model.discharge_time(128, &mut rng);
+        assert!(t128 < t1);
+        assert_eq!(model.discharge_time(0, &mut rng), f64::INFINITY);
+    }
+
+    #[test]
+    fn monte_carlo_separability_mirrors_hspice_finding() {
+        // 5000-run Monte-Carlo at 10 % variation, as in the paper. Races
+        // decided at a significant bit (score ratio >= 2) are reliable;
+        // as the ratio approaches 1 the decision degrades toward a coin
+        // flip — the reason searches are pipelined into 8-bit stages where
+        // the MSB-first elimination keeps decisions at significant bits.
+        let model = DischargeModel::default();
+        let mut rng = SeededRng::new(5000);
+        let msb_race = model.separability(128, 255, 5000, &mut rng);
+        assert!(msb_race > 0.99, "msb-race separability {msb_race}");
+        let marginal = model.separability(200, 220, 5000, &mut rng);
+        let hopeless = model.separability(254, 255, 5000, &mut rng);
+        assert!(
+            msb_race > marginal && marginal > hopeless,
+            "separability not monotone: {msb_race} / {marginal} / {hopeless}"
+        );
+        assert!(hopeless < 0.65, "lsb-race separability {hopeless}");
+    }
+
+    #[test]
+    fn zero_variation_races_are_deterministic() {
+        let model = DischargeModel {
+            variation: 0.0,
+            ..DischargeModel::default()
+        };
+        let mut rng = SeededRng::new(1);
+        assert_eq!(model.separability(254, 255, 100, &mut rng), 1.0);
+    }
+}

@@ -1,0 +1,220 @@
+use crate::layer::{Layer, LayerKind, Mode, ParamSet};
+use crate::{NnError, Result};
+use rapidnn_tensor::Tensor;
+
+/// Scalar nonlinearity applied element-wise by [`ActivationLayer`].
+///
+/// The RAPIDNN composer approximates each of these with a nearest-distance
+/// lookup table; the exact closed forms below are the references those
+/// tables are checked against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Activation {
+    /// Rectified linear unit, `max(0, x)`.
+    Relu,
+    /// Logistic sigmoid, `1 / (1 + e^-x)`.
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Softsign, `x / (1 + |x|)`.
+    Softsign,
+    /// Identity (used by the encoding-only virtual input layer).
+    Identity,
+}
+
+impl Activation {
+    /// Evaluates the activation at `x`.
+    pub fn apply(self, x: f32) -> f32 {
+        match self {
+            Activation::Relu => x.max(0.0),
+            Activation::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+            Activation::Tanh => x.tanh(),
+            Activation::Softsign => x / (1.0 + x.abs()),
+            Activation::Identity => x,
+        }
+    }
+
+    /// Derivative of the activation expressed in terms of the *input* `x`.
+    pub fn derivative(self, x: f32) -> f32 {
+        match self {
+            Activation::Relu => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Sigmoid => {
+                let s = self.apply(x);
+                s * (1.0 - s)
+            }
+            Activation::Tanh => 1.0 - x.tanh().powi(2),
+            Activation::Softsign => {
+                let d = 1.0 + x.abs();
+                1.0 / (d * d)
+            }
+            Activation::Identity => 1.0,
+        }
+    }
+
+    /// `true` when the function saturates for large `|x|`, which lets the
+    /// composer clamp the lookup-table domain (points `A`/`B` in Figure 2c).
+    pub fn saturates(self) -> bool {
+        matches!(
+            self,
+            Activation::Sigmoid | Activation::Tanh | Activation::Softsign
+        )
+    }
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Activation::Relu => "relu",
+            Activation::Sigmoid => "sigmoid",
+            Activation::Tanh => "tanh",
+            Activation::Softsign => "softsign",
+            Activation::Identity => "identity",
+        }
+    }
+}
+
+impl std::fmt::Display for Activation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A layer applying an [`Activation`] element-wise.
+#[derive(Debug, Clone)]
+pub struct ActivationLayer {
+    activation: Activation,
+    cached_input: Option<Tensor>,
+}
+
+impl ActivationLayer {
+    /// Creates an activation layer.
+    pub fn new(activation: Activation) -> Self {
+        ActivationLayer {
+            activation,
+            cached_input: None,
+        }
+    }
+
+    /// The wrapped activation function.
+    pub fn activation(&self) -> Activation {
+        self.activation
+    }
+}
+
+impl Layer for ActivationLayer {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        if mode == Mode::Train {
+            self.cached_input = Some(input.clone());
+        }
+        Ok(input.map(|v| self.activation.apply(v)))
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Result<Tensor> {
+        let input = self
+            .cached_input
+            .as_ref()
+            .ok_or(NnError::MissingForwardCache("activation"))?;
+        Ok(grad.zip(input, |g, x| g * self.activation.derivative(x))?)
+    }
+
+    fn params(&mut self) -> Vec<ParamSet<'_>> {
+        Vec::new()
+    }
+
+    fn kind(&self) -> LayerKind {
+        LayerKind::Activation(self.activation)
+    }
+
+    fn output_features(&self, input_features: usize) -> usize {
+        input_features
+    }
+
+    fn clone_layer(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rapidnn_tensor::Shape;
+
+    #[test]
+    fn closed_forms_match_known_points() {
+        assert_eq!(Activation::Relu.apply(-3.0), 0.0);
+        assert_eq!(Activation::Relu.apply(2.0), 2.0);
+        assert!((Activation::Sigmoid.apply(0.0) - 0.5).abs() < 1e-6);
+        assert!((Activation::Tanh.apply(0.0)).abs() < 1e-6);
+        assert!((Activation::Softsign.apply(1.0) - 0.5).abs() < 1e-6);
+        assert_eq!(Activation::Identity.apply(7.5), 7.5);
+    }
+
+    #[test]
+    fn derivatives_match_finite_differences() {
+        let eps = 1e-3;
+        for act in [
+            Activation::Sigmoid,
+            Activation::Tanh,
+            Activation::Softsign,
+            Activation::Identity,
+        ] {
+            for &x in &[-2.0f32, -0.5, 0.3, 1.7] {
+                let numeric = (act.apply(x + eps) - act.apply(x - eps)) / (2.0 * eps);
+                let analytic = act.derivative(x);
+                assert!(
+                    (numeric - analytic).abs() < 1e-2,
+                    "{act:?} at {x}: {numeric} vs {analytic}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn relu_derivative_is_step() {
+        assert_eq!(Activation::Relu.derivative(-1.0), 0.0);
+        assert_eq!(Activation::Relu.derivative(1.0), 1.0);
+    }
+
+    #[test]
+    fn saturation_classification() {
+        assert!(Activation::Sigmoid.saturates());
+        assert!(Activation::Tanh.saturates());
+        assert!(Activation::Softsign.saturates());
+        assert!(!Activation::Relu.saturates());
+        assert!(!Activation::Identity.saturates());
+    }
+
+    #[test]
+    fn layer_forward_backward_round_trip() {
+        let mut layer = ActivationLayer::new(Activation::Relu);
+        let x = Tensor::from_vec(Shape::matrix(1, 4), vec![-1.0, 2.0, -3.0, 4.0]).unwrap();
+        let y = layer.forward(&x, Mode::Train).unwrap();
+        assert_eq!(y.as_slice(), &[0.0, 2.0, 0.0, 4.0]);
+        let g = Tensor::from_vec(Shape::matrix(1, 4), vec![1.0; 4]).unwrap();
+        let gx = layer.backward(&g).unwrap();
+        assert_eq!(gx.as_slice(), &[0.0, 1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn backward_without_forward_errors() {
+        let mut layer = ActivationLayer::new(Activation::Relu);
+        let g = Tensor::from_slice(&[1.0]);
+        assert!(matches!(
+            layer.backward(&g),
+            Err(NnError::MissingForwardCache(_))
+        ));
+    }
+
+    #[test]
+    fn eval_mode_does_not_cache() {
+        let mut layer = ActivationLayer::new(Activation::Relu);
+        let x = Tensor::from_slice(&[1.0]);
+        layer.forward(&x, Mode::Eval).unwrap();
+        assert!(layer.backward(&x).is_err());
+    }
+}

@@ -1,0 +1,136 @@
+use crate::layer::{Layer, LayerKind, Mode, ParamSet};
+use crate::{NnError, Result};
+use rapidnn_tensor::{SeededRng, Tensor};
+
+/// Inverted-dropout layer.
+///
+/// During training each element is zeroed with probability `rate` and
+/// survivors are scaled by `1 / (1 - rate)` so activations keep their
+/// expected magnitude; during inference the layer is the identity. The
+/// paper applies dropout with rate 0.5 to fully connected layers.
+#[derive(Debug, Clone)]
+pub struct Dropout {
+    rate: f32,
+    rng: SeededRng,
+    cached_mask: Option<Tensor>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with the given drop `rate` in `[0, 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `rate` is outside `[0, 1)`.
+    pub fn new(rate: f32, rng: &mut SeededRng) -> Self {
+        assert!((0.0..1.0).contains(&rate), "dropout rate must be in [0, 1)");
+        Dropout {
+            rate,
+            rng: rng.fork(),
+            cached_mask: None,
+        }
+    }
+
+    /// Drop probability.
+    pub fn rate(&self) -> f32 {
+        self.rate
+    }
+}
+
+impl Layer for Dropout {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        match mode {
+            Mode::Eval => Ok(input.clone()),
+            Mode::Train => {
+                let keep = 1.0 - self.rate;
+                let scale = 1.0 / keep;
+                let mut mask = Tensor::zeros(input.shape().clone());
+                for m in mask.as_mut_slice() {
+                    *m = if self.rng.chance(keep) { scale } else { 0.0 };
+                }
+                let out = input.mul(&mask)?;
+                self.cached_mask = Some(mask);
+                Ok(out)
+            }
+        }
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Result<Tensor> {
+        let mask = self
+            .cached_mask
+            .as_ref()
+            .ok_or(NnError::MissingForwardCache("dropout"))?;
+        Ok(grad.mul(mask)?)
+    }
+
+    fn params(&mut self) -> Vec<ParamSet<'_>> {
+        Vec::new()
+    }
+
+    fn kind(&self) -> LayerKind {
+        LayerKind::Dropout(self.rate)
+    }
+
+    fn output_features(&self, input_features: usize) -> usize {
+        input_features
+    }
+
+    fn clone_layer(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rapidnn_tensor::Shape;
+
+    #[test]
+    fn eval_mode_is_identity() {
+        let mut rng = SeededRng::new(0);
+        let mut layer = Dropout::new(0.5, &mut rng);
+        let x = Tensor::from_slice(&[1.0, 2.0, 3.0]);
+        assert_eq!(layer.forward(&x, Mode::Eval).unwrap(), x);
+    }
+
+    #[test]
+    fn train_mode_zeroes_and_rescales() {
+        let mut rng = SeededRng::new(1);
+        let mut layer = Dropout::new(0.5, &mut rng);
+        let x = Tensor::ones(Shape::matrix(1, 1000));
+        let y = layer.forward(&x, Mode::Train).unwrap();
+        let zeros = y.as_slice().iter().filter(|&&v| v == 0.0).count();
+        let survivors = y.as_slice().iter().filter(|&&v| (v - 2.0).abs() < 1e-6).count();
+        assert_eq!(zeros + survivors, 1000);
+        assert!((400..600).contains(&zeros), "{zeros} zeros");
+        // Expected magnitude preserved within tolerance.
+        assert!((y.mean() - 1.0).abs() < 0.15);
+    }
+
+    #[test]
+    fn backward_uses_same_mask() {
+        let mut rng = SeededRng::new(2);
+        let mut layer = Dropout::new(0.5, &mut rng);
+        let x = Tensor::ones(Shape::matrix(1, 64));
+        let y = layer.forward(&x, Mode::Train).unwrap();
+        let g = Tensor::ones(Shape::matrix(1, 64));
+        let dx = layer.backward(&g).unwrap();
+        // Gradient must be zero exactly where the output was zeroed.
+        for (o, d) in y.as_slice().iter().zip(dx.as_slice()) {
+            assert_eq!(*o == 0.0, *d == 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dropout rate")]
+    fn rejects_rate_one() {
+        let mut rng = SeededRng::new(0);
+        let _ = Dropout::new(1.0, &mut rng);
+    }
+
+    #[test]
+    fn backward_without_forward_errors() {
+        let mut rng = SeededRng::new(0);
+        let mut layer = Dropout::new(0.5, &mut rng);
+        assert!(layer.backward(&Tensor::from_slice(&[1.0])).is_err());
+    }
+}

@@ -1,0 +1,94 @@
+use rapidnn_tensor::TensorError;
+use std::error::Error;
+use std::fmt;
+
+/// Error type for neural-network construction, training and inference.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NnError {
+    /// An underlying tensor operation failed.
+    Tensor(TensorError),
+    /// A layer received input whose feature width differs from what it was
+    /// built for.
+    FeatureMismatch {
+        /// Name of the offending layer.
+        layer: &'static str,
+        /// Feature width the layer expects.
+        expected: usize,
+        /// Feature width it received.
+        actual: usize,
+    },
+    /// `backward` was called before `forward` populated the cache.
+    MissingForwardCache(&'static str),
+    /// Labels and inputs disagree in batch size, or a label is out of range.
+    InvalidLabels(String),
+    /// The network has no layers or an otherwise unusable configuration.
+    InvalidNetwork(String),
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::Tensor(e) => write!(f, "tensor error: {e}"),
+            NnError::FeatureMismatch {
+                layer,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "layer {layer} expects {expected} input features, received {actual}"
+            ),
+            NnError::MissingForwardCache(layer) => {
+                write!(f, "backward called on {layer} before forward")
+            }
+            NnError::InvalidLabels(msg) => write!(f, "invalid labels: {msg}"),
+            NnError::InvalidNetwork(msg) => write!(f, "invalid network: {msg}"),
+        }
+    }
+}
+
+impl Error for NnError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            NnError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for NnError {
+    fn from(e: TensorError) -> Self {
+        NnError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = NnError::FeatureMismatch {
+            layer: "dense",
+            expected: 4,
+            actual: 7,
+        };
+        assert!(e.to_string().contains("dense"));
+        assert!(e.to_string().contains('4'));
+        assert!(e.to_string().contains('7'));
+    }
+
+    #[test]
+    fn tensor_errors_convert_and_chain() {
+        let te = TensorError::Empty("input");
+        let ne: NnError = te.clone().into();
+        assert_eq!(ne, NnError::Tensor(te));
+        assert!(Error::source(&ne).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NnError>();
+    }
+}

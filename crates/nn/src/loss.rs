@@ -1,0 +1,195 @@
+//! Softmax cross-entropy loss for classification heads.
+//!
+//! The paper's output layers apply softmax; combining softmax with
+//! cross-entropy yields the numerically stable gradient `probs - onehot`.
+
+use crate::{NnError, Result};
+use rapidnn_tensor::{Shape, Tensor};
+
+/// Row-wise softmax of a `batch x classes` logit matrix.
+///
+/// Uses the max-subtraction trick for numerical stability.
+///
+/// # Errors
+///
+/// Returns an error when `logits` is not rank 2.
+pub fn softmax(logits: &Tensor) -> Result<Tensor> {
+    if logits.shape().rank() != 2 {
+        return Err(NnError::InvalidNetwork(format!(
+            "softmax expects a batch x classes matrix, got {}",
+            logits.shape()
+        )));
+    }
+    let (batch, classes) = (logits.shape().dims()[0], logits.shape().dims()[1]);
+    let mut out = vec![0.0f32; batch * classes];
+    for b in 0..batch {
+        let row = &logits.as_slice()[b * classes..(b + 1) * classes];
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut denom = 0.0;
+        for (o, &v) in out[b * classes..(b + 1) * classes].iter_mut().zip(row) {
+            let e = (v - max).exp();
+            *o = e;
+            denom += e;
+        }
+        for o in &mut out[b * classes..(b + 1) * classes] {
+            *o /= denom;
+        }
+    }
+    Ok(Tensor::from_vec(Shape::matrix(batch, classes), out)?)
+}
+
+/// Mean cross-entropy loss and its gradient with respect to the logits.
+///
+/// Returns `(loss, d_logits)` where `d_logits = (softmax - onehot) / batch`.
+///
+/// # Errors
+///
+/// Returns [`NnError::InvalidLabels`] when `labels` and `logits` disagree in
+/// batch size or a label exceeds the class count.
+pub fn cross_entropy_with_logits(logits: &Tensor, labels: &[usize]) -> Result<(f32, Tensor)> {
+    let probs = softmax(logits)?;
+    let (batch, classes) = (logits.shape().dims()[0], logits.shape().dims()[1]);
+    if labels.len() != batch {
+        return Err(NnError::InvalidLabels(format!(
+            "{} labels for batch of {batch}",
+            labels.len()
+        )));
+    }
+    let mut loss = 0.0f32;
+    let mut grad = probs.clone().into_vec();
+    for (b, &label) in labels.iter().enumerate() {
+        if label >= classes {
+            return Err(NnError::InvalidLabels(format!(
+                "label {label} out of range for {classes} classes"
+            )));
+        }
+        let p = probs.as_slice()[b * classes + label].max(1e-12);
+        loss -= p.ln();
+        grad[b * classes + label] -= 1.0;
+    }
+    let scale = 1.0 / batch as f32;
+    for g in &mut grad {
+        *g *= scale;
+    }
+    Ok((
+        loss * scale,
+        Tensor::from_vec(Shape::matrix(batch, classes), grad)?,
+    ))
+}
+
+/// Fraction of rows whose argmax differs from the label — the paper's
+/// error-rate metric ("ratio of misclassified data to the total testing
+/// dataset").
+///
+/// # Errors
+///
+/// Returns [`NnError::InvalidLabels`] when the batch sizes disagree.
+pub fn error_rate(logits: &Tensor, labels: &[usize]) -> Result<f32> {
+    let (batch, classes) = (logits.shape().dims()[0], logits.shape().dims()[1]);
+    if labels.len() != batch {
+        return Err(NnError::InvalidLabels(format!(
+            "{} labels for batch of {batch}",
+            labels.len()
+        )));
+    }
+    if batch == 0 {
+        return Ok(0.0);
+    }
+    let mut wrong = 0usize;
+    for (b, &label) in labels.iter().enumerate() {
+        let row = &logits.as_slice()[b * classes..(b + 1) * classes];
+        let mut best = 0usize;
+        for (i, &v) in row.iter().enumerate() {
+            if v > row[best] {
+                best = i;
+            }
+        }
+        if best != label {
+            wrong += 1;
+        }
+    }
+    Ok(wrong as f32 / batch as f32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let logits =
+            Tensor::from_vec(Shape::matrix(2, 3), vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0]).unwrap();
+        let p = softmax(&logits).unwrap();
+        for b in 0..2 {
+            let row_sum: f32 = p.as_slice()[b * 3..(b + 1) * 3].iter().sum();
+            assert!((row_sum - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant_and_stable() {
+        let a = Tensor::from_vec(Shape::matrix(1, 3), vec![1.0, 2.0, 3.0]).unwrap();
+        let b = Tensor::from_vec(Shape::matrix(1, 3), vec![1001.0, 1002.0, 1003.0]).unwrap();
+        let pa = softmax(&a).unwrap();
+        let pb = softmax(&b).unwrap();
+        for (x, y) in pa.as_slice().iter().zip(pb.as_slice()) {
+            assert!((x - y).abs() < 1e-5);
+            assert!(x.is_finite());
+        }
+    }
+
+    #[test]
+    fn cross_entropy_of_confident_correct_prediction_is_small() {
+        let logits = Tensor::from_vec(Shape::matrix(1, 2), vec![10.0, -10.0]).unwrap();
+        let (loss, _) = cross_entropy_with_logits(&logits, &[0]).unwrap();
+        assert!(loss < 1e-3);
+        let (loss_wrong, _) = cross_entropy_with_logits(&logits, &[1]).unwrap();
+        assert!(loss_wrong > 5.0);
+    }
+
+    #[test]
+    fn gradient_is_probs_minus_onehot_over_batch() {
+        let logits = Tensor::from_vec(Shape::matrix(1, 2), vec![0.0, 0.0]).unwrap();
+        let (_, grad) = cross_entropy_with_logits(&logits, &[0]).unwrap();
+        assert!((grad.as_slice()[0] - (-0.5)).abs() < 1e-5);
+        assert!((grad.as_slice()[1] - 0.5).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let logits =
+            Tensor::from_vec(Shape::matrix(2, 3), vec![0.3, -0.2, 0.9, 1.0, 0.0, -1.0]).unwrap();
+        let labels = [2usize, 0];
+        let (loss, grad) = cross_entropy_with_logits(&logits, &labels).unwrap();
+        let eps = 1e-3;
+        for flat in 0..6 {
+            let mut bumped = logits.clone();
+            bumped.as_mut_slice()[flat] += eps;
+            let (loss2, _) = cross_entropy_with_logits(&bumped, &labels).unwrap();
+            let numeric = (loss2 - loss) / eps;
+            assert!(
+                (numeric - grad.as_slice()[flat]).abs() < 1e-2,
+                "entry {flat}"
+            );
+        }
+    }
+
+    #[test]
+    fn error_rate_counts_misclassifications() {
+        let logits = Tensor::from_vec(
+            Shape::matrix(3, 2),
+            vec![1.0, 0.0, 0.0, 1.0, 1.0, 0.0],
+        )
+        .unwrap();
+        assert_eq!(error_rate(&logits, &[0, 1, 1]).unwrap(), 1.0 / 3.0);
+        assert_eq!(error_rate(&logits, &[0, 1, 0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn label_validation() {
+        let logits = Tensor::zeros(Shape::matrix(2, 2));
+        assert!(cross_entropy_with_logits(&logits, &[0]).is_err());
+        assert!(cross_entropy_with_logits(&logits, &[0, 5]).is_err());
+        assert!(error_rate(&logits, &[0]).is_err());
+    }
+}

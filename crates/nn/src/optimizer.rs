@@ -1,0 +1,273 @@
+use crate::network::Network;
+
+/// Adam optimizer (Kingma & Ba) — an adaptive alternative to [`Sgd`].
+///
+/// The paper trains with SGD+momentum on the real datasets; on the small
+/// synthetic substitutes the 100-class CNNs occasionally stall on the
+/// uniform-logit plateau under plain SGD, so the trainer can switch to
+/// Adam for those models (a substitution documented in DESIGN.md §5 —
+/// only the float baseline's training is affected, not the composer).
+#[derive(Debug, Clone)]
+pub struct Adam {
+    learning_rate: f32,
+    beta1: f32,
+    beta2: f32,
+    epsilon: f32,
+    step: u64,
+    first: Vec<Vec<f32>>,
+    second: Vec<Vec<f32>>,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer with the usual `(0.9, 0.999)` betas.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the learning rate is not positive.
+    pub fn new(learning_rate: f32) -> Self {
+        assert!(learning_rate > 0.0, "learning rate must be positive");
+        Adam {
+            learning_rate,
+            beta1: 0.9,
+            beta2: 0.999,
+            epsilon: 1e-8,
+            step: 0,
+            first: Vec::new(),
+            second: Vec::new(),
+        }
+    }
+
+    /// Current learning rate.
+    pub fn learning_rate(&self) -> f32 {
+        self.learning_rate
+    }
+
+    /// Rescales the learning rate.
+    pub fn set_learning_rate(&mut self, learning_rate: f32) {
+        assert!(learning_rate > 0.0, "learning rate must be positive");
+        self.learning_rate = learning_rate;
+    }
+
+    /// Applies one Adam update using the gradients stored in the layers.
+    pub fn step(&mut self, network: &mut Network) {
+        self.step += 1;
+        let bias1 = 1.0 - self.beta1.powi(self.step as i32);
+        let bias2 = 1.0 - self.beta2.powi(self.step as i32);
+        let mut param_index = 0;
+        for layer in network.layers_mut() {
+            for param in layer.params() {
+                if param_index >= self.first.len() {
+                    self.first.push(vec![0.0; param.value.len()]);
+                    self.second.push(vec![0.0; param.value.len()]);
+                }
+                if self.first[param_index].len() != param.value.len() {
+                    self.first[param_index] = vec![0.0; param.value.len()];
+                    self.second[param_index] = vec![0.0; param.value.len()];
+                }
+                let m = &mut self.first[param_index];
+                let v = &mut self.second[param_index];
+                let values = param.value.as_mut_slice();
+                let grads = param.grad.as_slice();
+                for (((w, &g), mi), vi) in
+                    values.iter_mut().zip(grads).zip(m.iter_mut()).zip(v.iter_mut())
+                {
+                    *mi = self.beta1 * *mi + (1.0 - self.beta1) * g;
+                    *vi = self.beta2 * *vi + (1.0 - self.beta2) * g * g;
+                    let m_hat = *mi / bias1;
+                    let v_hat = *vi / bias2;
+                    *w -= self.learning_rate * m_hat / (v_hat.sqrt() + self.epsilon);
+                }
+                param_index += 1;
+            }
+        }
+    }
+}
+
+/// Stochastic gradient descent with classical momentum.
+///
+/// The paper trains every model "using stochastic gradient descent with
+/// momentum" (§5.2); this is that optimizer. Velocities are keyed by the
+/// parameter's position in the network's layer/parameter traversal order,
+/// which is stable for a fixed topology.
+///
+/// # Examples
+///
+/// ```
+/// use rapidnn_nn::{Dense, Network, Sgd};
+/// use rapidnn_tensor::{SeededRng, Shape, Tensor};
+///
+/// let mut rng = SeededRng::new(0);
+/// let mut net = Network::new(2);
+/// net.push(Dense::new(2, 2, &mut rng));
+/// let x = Tensor::from_vec(Shape::matrix(4, 2), vec![0.5; 8])?;
+/// net.train_batch(&x, &[0, 1, 0, 1])?;
+/// let mut sgd = Sgd::new(0.05, 0.9);
+/// sgd.step(&mut net);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    learning_rate: f32,
+    momentum: f32,
+    clip_norm: f32,
+    velocities: Vec<Vec<f32>>,
+}
+
+impl Sgd {
+    /// Creates an optimizer with the given learning rate and momentum
+    /// coefficient (0 disables momentum).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the learning rate is not positive or momentum is outside
+    /// `[0, 1)`.
+    pub fn new(learning_rate: f32, momentum: f32) -> Self {
+        assert!(learning_rate > 0.0, "learning rate must be positive");
+        assert!(
+            (0.0..1.0).contains(&momentum),
+            "momentum must be in [0, 1)"
+        );
+        Sgd {
+            learning_rate,
+            momentum,
+            clip_norm: 5.0,
+            velocities: Vec::new(),
+        }
+    }
+
+    /// Sets the per-parameter gradient-norm clip (0 disables clipping).
+    /// Clipping keeps mini-batch SGD stable on the small synthetic
+    /// datasets where occasional batches produce outsized gradients.
+    pub fn set_clip_norm(&mut self, clip_norm: f32) {
+        self.clip_norm = clip_norm.max(0.0);
+    }
+
+    /// Current learning rate.
+    pub fn learning_rate(&self) -> f32 {
+        self.learning_rate
+    }
+
+    /// Rescales the learning rate (for simple decay schedules).
+    pub fn set_learning_rate(&mut self, learning_rate: f32) {
+        assert!(learning_rate > 0.0, "learning rate must be positive");
+        self.learning_rate = learning_rate;
+    }
+
+    /// Applies one update step using the gradients currently stored in the
+    /// network's layers: `v ← μ·v − η·g`, `w ← w + v`.
+    pub fn step(&mut self, network: &mut Network) {
+        let mut param_index = 0;
+        for layer in network.layers_mut() {
+            for param in layer.params() {
+                if param_index >= self.velocities.len() {
+                    self.velocities.push(vec![0.0; param.value.len()]);
+                }
+                let velocity = &mut self.velocities[param_index];
+                if velocity.len() != param.value.len() {
+                    // Topology changed under us; restart this slot.
+                    *velocity = vec![0.0; param.value.len()];
+                }
+                let values = param.value.as_mut_slice();
+                let grads = param.grad.as_slice();
+                // Gradient-norm clipping for stability.
+                let mut scale = 1.0f32;
+                if self.clip_norm > 0.0 {
+                    let norm = grads.iter().map(|g| g * g).sum::<f32>().sqrt();
+                    if norm > self.clip_norm {
+                        scale = self.clip_norm / norm;
+                    }
+                }
+                for ((w, &g), v) in values.iter_mut().zip(grads).zip(velocity.iter_mut()) {
+                    *v = self.momentum * *v - self.learning_rate * g * scale;
+                    *w += *v;
+                }
+                param_index += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Dense, Mode};
+    use rapidnn_tensor::{SeededRng, Shape, Tensor};
+
+    #[test]
+    fn step_moves_weights_against_gradient() {
+        let mut rng = SeededRng::new(0);
+        let mut net = Network::new(2);
+        net.push(Dense::new(2, 1, &mut rng));
+        let x = Tensor::from_vec(Shape::matrix(1, 2), vec![1.0, 1.0]).unwrap();
+
+        // Capture initial weight.
+        let w_before = match net.layers_mut()[0].params().first() {
+            Some(p) => p.value.as_slice().to_vec(),
+            None => unreachable!(),
+        };
+
+        // Manually set a positive gradient on the weights.
+        {
+            let mut layer_params = net.layers_mut()[0].params();
+            let p = &mut layer_params[0];
+            for g in p.grad.as_mut_slice() {
+                *g = 1.0;
+            }
+        }
+        let mut sgd = Sgd::new(0.1, 0.0);
+        sgd.step(&mut net);
+        let w_after = match net.layers_mut()[0].params().first() {
+            Some(p) => p.value.as_slice().to_vec(),
+            None => unreachable!(),
+        };
+        for (before, after) in w_before.iter().zip(&w_after) {
+            assert!((after - (before - 0.1)).abs() < 1e-6);
+        }
+        let _ = net.layers_mut()[0].forward(&x, Mode::Eval).unwrap();
+    }
+
+    #[test]
+    fn momentum_accumulates_velocity() {
+        let mut rng = SeededRng::new(0);
+        let mut net = Network::new(1);
+        net.push(Dense::new(1, 1, &mut rng));
+
+        let set_grad = |net: &mut Network| {
+            let mut params = net.layers_mut()[0].params();
+            for g in params[0].grad.as_mut_slice() {
+                *g = 1.0;
+            }
+            for g in params[1].grad.as_mut_slice() {
+                *g = 0.0;
+            }
+        };
+
+        let read_w = |net: &mut Network| net.layers_mut()[0].params()[0].value.as_slice()[0];
+
+        let mut sgd = Sgd::new(0.1, 0.9);
+        let w0 = read_w(&mut net);
+        set_grad(&mut net);
+        sgd.step(&mut net);
+        let w1 = read_w(&mut net);
+        set_grad(&mut net);
+        sgd.step(&mut net);
+        let w2 = read_w(&mut net);
+
+        let step1 = w0 - w1; // 0.1
+        let step2 = w1 - w2; // 0.9*0.1 + 0.1 = 0.19
+        assert!((step1 - 0.1).abs() < 1e-6);
+        assert!((step2 - 0.19).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "learning rate")]
+    fn rejects_zero_learning_rate() {
+        let _ = Sgd::new(0.0, 0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "momentum")]
+    fn rejects_momentum_of_one() {
+        let _ = Sgd::new(0.1, 1.0);
+    }
+}

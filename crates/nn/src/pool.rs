@@ -1,0 +1,324 @@
+use crate::layer::{Layer, LayerKind, Mode, ParamSet};
+use crate::{NnError, Result};
+use rapidnn_tensor::{Conv2dGeometry, Padding, Shape, Tensor};
+
+/// Which reduction a pooling layer applies over each window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PoolKind {
+    /// Maximum over the window (the accelerator implements this by a
+    /// single-cycle NDCAM search over encoded values).
+    Max,
+    /// Mean over the window (the accelerator implements this with its
+    /// in-memory adder and offline weight normalisation).
+    Average,
+}
+
+/// Shared implementation behind [`MaxPool2d`] and [`AvgPool2d`].
+#[derive(Debug, Clone)]
+struct Pool2d {
+    kind: PoolKind,
+    geometry: Conv2dGeometry,
+    /// Flat argmax index per (batch, channel, output pixel), training only.
+    cached_argmax: Vec<usize>,
+    cached_batch: usize,
+}
+
+/// 2-D max pooling over non-overlapping (or strided) windows.
+#[derive(Debug, Clone)]
+pub struct MaxPool2d(Pool2d);
+
+/// 2-D average pooling over non-overlapping (or strided) windows.
+#[derive(Debug, Clone)]
+pub struct AvgPool2d(Pool2d);
+
+impl MaxPool2d {
+    /// Creates a max-pooling layer with a square `window`, stride equal to
+    /// the window (the paper's `PL:2x2` convention).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the window does not fit the input.
+    pub fn new(channels: usize, height: usize, width: usize, window: usize) -> Result<Self> {
+        Ok(MaxPool2d(Pool2d::new(
+            PoolKind::Max,
+            channels,
+            height,
+            width,
+            window,
+        )?))
+    }
+
+    /// The resolved window geometry.
+    pub fn geometry(&self) -> &Conv2dGeometry {
+        &self.0.geometry
+    }
+}
+
+impl AvgPool2d {
+    /// Creates an average-pooling layer with a square `window`, stride equal
+    /// to the window.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the window does not fit the input.
+    pub fn new(channels: usize, height: usize, width: usize, window: usize) -> Result<Self> {
+        Ok(AvgPool2d(Pool2d::new(
+            PoolKind::Average,
+            channels,
+            height,
+            width,
+            window,
+        )?))
+    }
+
+    /// The resolved window geometry.
+    pub fn geometry(&self) -> &Conv2dGeometry {
+        &self.0.geometry
+    }
+}
+
+impl Pool2d {
+    fn new(
+        kind: PoolKind,
+        channels: usize,
+        height: usize,
+        width: usize,
+        window: usize,
+    ) -> Result<Self> {
+        let geometry =
+            Conv2dGeometry::new(channels, height, width, window, window, window, Padding::Valid)?;
+        Ok(Pool2d {
+            kind,
+            geometry,
+            cached_argmax: Vec::new(),
+            cached_batch: 0,
+        })
+    }
+
+    fn in_features(&self) -> usize {
+        self.geometry.input_shape().volume()
+    }
+
+    fn out_features(&self) -> usize {
+        self.geometry.in_channels * self.geometry.out_pixels()
+    }
+
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        let in_features = self.in_features();
+        if input.shape().rank() != 2 || input.shape().dims()[1] != in_features {
+            return Err(NnError::FeatureMismatch {
+                layer: "pool2d",
+                expected: in_features,
+                actual: input.shape().dim(1).unwrap_or(0),
+            });
+        }
+        let g = &self.geometry;
+        let batch = input.shape().dims()[0];
+        let (c, h, w) = (g.in_channels, g.in_height, g.in_width);
+        let out_features = self.out_features();
+        let mut out = vec![0.0f32; batch * out_features];
+        let window_len = (g.kernel_h * g.kernel_w) as f32;
+        if mode == Mode::Train {
+            self.cached_argmax = vec![0; batch * out_features];
+            self.cached_batch = batch;
+        }
+        for b in 0..batch {
+            let sample = &input.as_slice()[b * in_features..(b + 1) * in_features];
+            for ch in 0..c {
+                for oy in 0..g.out_height {
+                    for ox in 0..g.out_width {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_idx = 0usize;
+                        let mut acc = 0.0f32;
+                        for kh in 0..g.kernel_h {
+                            for kw in 0..g.kernel_w {
+                                let iy = oy * g.stride + kh;
+                                let ix = ox * g.stride + kw;
+                                let idx = ch * h * w + iy * w + ix;
+                                let v = sample[idx];
+                                acc += v;
+                                if v > best {
+                                    best = v;
+                                    best_idx = idx;
+                                }
+                            }
+                        }
+                        let o = ch * g.out_pixels() + oy * g.out_width + ox;
+                        out[b * out_features + o] = match self.kind {
+                            PoolKind::Max => best,
+                            PoolKind::Average => acc / window_len,
+                        };
+                        if mode == Mode::Train {
+                            self.cached_argmax[b * out_features + o] = best_idx;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(Tensor::from_vec(Shape::matrix(batch, out_features), out)?)
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Result<Tensor> {
+        if self.cached_batch == 0 {
+            return Err(NnError::MissingForwardCache("pool2d"));
+        }
+        let batch = grad.shape().dims()[0];
+        let in_features = self.in_features();
+        let out_features = self.out_features();
+        let g = &self.geometry;
+        let mut dx = vec![0.0f32; batch * in_features];
+        let window_len = (g.kernel_h * g.kernel_w) as f32;
+        for b in 0..batch {
+            for o in 0..out_features {
+                let gv = grad.as_slice()[b * out_features + o];
+                match self.kind {
+                    PoolKind::Max => {
+                        let idx = self.cached_argmax[b * out_features + o];
+                        dx[b * in_features + idx] += gv;
+                    }
+                    PoolKind::Average => {
+                        // Distribute uniformly over the window.
+                        let ch = o / g.out_pixels();
+                        let p = o % g.out_pixels();
+                        let oy = p / g.out_width;
+                        let ox = p % g.out_width;
+                        for kh in 0..g.kernel_h {
+                            for kw in 0..g.kernel_w {
+                                let iy = oy * g.stride + kh;
+                                let ix = ox * g.stride + kw;
+                                let idx =
+                                    ch * g.in_height * g.in_width + iy * g.in_width + ix;
+                                dx[b * in_features + idx] += gv / window_len;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(Tensor::from_vec(Shape::matrix(batch, in_features), dx)?)
+    }
+}
+
+macro_rules! impl_pool_layer {
+    ($ty:ident, $is_max:expr) => {
+        impl Layer for $ty {
+            fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+                self.0.forward(input, mode)
+            }
+
+            fn backward(&mut self, grad: &Tensor) -> Result<Tensor> {
+                self.0.backward(grad)
+            }
+
+            fn params(&mut self) -> Vec<ParamSet<'_>> {
+                Vec::new()
+            }
+
+            fn kind(&self) -> LayerKind {
+                LayerKind::Pool2d {
+                    geometry: self.0.geometry,
+                    is_max: $is_max,
+                }
+            }
+
+            fn output_features(&self, _input_features: usize) -> usize {
+                self.0.out_features()
+            }
+
+            fn clone_layer(&self) -> Box<dyn Layer> {
+                Box::new(self.clone())
+            }
+        }
+    };
+}
+
+impl_pool_layer!(MaxPool2d, true);
+impl_pool_layer!(AvgPool2d, false);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maxpool_forward_picks_maxima() {
+        let mut pool = MaxPool2d::new(1, 4, 4, 2).unwrap();
+        let x = Tensor::from_vec(
+            Shape::matrix(1, 16),
+            vec![
+                1., 2., 5., 6., //
+                3., 4., 7., 8., //
+                9., 10., 13., 14., //
+                11., 12., 15., 16.,
+            ],
+        )
+        .unwrap();
+        let y = pool.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(y.as_slice(), &[4., 8., 12., 16.]);
+    }
+
+    #[test]
+    fn avgpool_forward_averages() {
+        let mut pool = AvgPool2d::new(1, 2, 2, 2).unwrap();
+        let x = Tensor::from_vec(Shape::matrix(1, 4), vec![1., 2., 3., 6.]).unwrap();
+        let y = pool.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(y.as_slice(), &[3.0]);
+    }
+
+    #[test]
+    fn maxpool_backward_routes_to_argmax() {
+        let mut pool = MaxPool2d::new(1, 2, 2, 2).unwrap();
+        let x = Tensor::from_vec(Shape::matrix(1, 4), vec![1., 9., 3., 4.]).unwrap();
+        pool.forward(&x, Mode::Train).unwrap();
+        let g = Tensor::from_vec(Shape::matrix(1, 1), vec![5.0]).unwrap();
+        let dx = pool.backward(&g).unwrap();
+        assert_eq!(dx.as_slice(), &[0., 5., 0., 0.]);
+    }
+
+    #[test]
+    fn avgpool_backward_distributes_uniformly() {
+        let mut pool = AvgPool2d::new(1, 2, 2, 2).unwrap();
+        let x = Tensor::ones(Shape::matrix(1, 4));
+        pool.forward(&x, Mode::Train).unwrap();
+        let g = Tensor::from_vec(Shape::matrix(1, 1), vec![4.0]).unwrap();
+        let dx = pool.backward(&g).unwrap();
+        assert_eq!(dx.as_slice(), &[1., 1., 1., 1.]);
+    }
+
+    #[test]
+    fn channels_pool_independently() {
+        let mut pool = MaxPool2d::new(2, 2, 2, 2).unwrap();
+        let x = Tensor::from_vec(
+            Shape::matrix(1, 8),
+            vec![1., 2., 3., 4., 10., 20., 30., 40.],
+        )
+        .unwrap();
+        let y = pool.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(y.as_slice(), &[4., 40.]);
+    }
+
+    #[test]
+    fn rejects_wrong_width_and_missing_cache() {
+        let mut pool = MaxPool2d::new(1, 4, 4, 2).unwrap();
+        assert!(pool
+            .forward(&Tensor::ones(Shape::matrix(1, 15)), Mode::Eval)
+            .is_err());
+        assert!(pool
+            .backward(&Tensor::ones(Shape::matrix(1, 4)))
+            .is_err());
+    }
+
+    #[test]
+    fn kind_describes_pooling() {
+        let pool = MaxPool2d::new(1, 4, 4, 2).unwrap();
+        assert!(matches!(
+            pool.kind(),
+            LayerKind::Pool2d { is_max: true, .. }
+        ));
+        let pool = AvgPool2d::new(1, 4, 4, 2).unwrap();
+        assert!(matches!(
+            pool.kind(),
+            LayerKind::Pool2d { is_max: false, .. }
+        ));
+        assert_eq!(pool.output_features(16), 4);
+    }
+}

@@ -1,0 +1,352 @@
+//! Builders for the paper's Table 2 benchmark topologies.
+//!
+//! Each builder returns an untrained [`Network`] matching the layer plan in
+//! Table 2 plus a [`Benchmark`] descriptor used throughout the experiment
+//! harness. The three MLPs (MNIST, ISOLET, HAR) are reproduced exactly; the
+//! CIFAR CNN follows Table 2's
+//! `CV32·3x3, PL2x2, CV64·3x3, CV64·3x3, FC512, FC10(100)` plan. The
+//! ImageNet-class networks (AlexNet/VGG/GoogLeNet/ResNet families) are
+//! represented two ways:
+//!
+//! * trainable *scaled* networks (reduced spatial resolution) used for the
+//!   accuracy studies, and
+//! * exact op-count descriptors in `rapidnn-baselines::workload` used for
+//!   the performance model —
+//!
+//! a substitution documented in `DESIGN.md` §5.
+
+use crate::activation::{Activation, ActivationLayer};
+use crate::conv2d::Conv2d;
+use crate::dense::Dense;
+use crate::dropout::Dropout;
+use crate::network::Network;
+use crate::pool::MaxPool2d;
+use crate::residual::Residual;
+use crate::Result;
+use rapidnn_tensor::{Padding, SeededRng};
+
+/// The six benchmark applications of the paper's evaluation (§5.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Benchmark {
+    /// Handwriting classification, MLP 784-512-512-10.
+    Mnist,
+    /// Voice recognition, MLP 617-512-512-26.
+    Isolet,
+    /// Activity recognition, MLP 561-512-512-19.
+    Har,
+    /// Object recognition, CNN on 32x32x3, 10 classes.
+    Cifar10,
+    /// Object recognition, CNN on 32x32x3, 100 classes.
+    Cifar100,
+    /// Image classification at ImageNet scale (scaled substitute network).
+    ImageNet,
+}
+
+impl Benchmark {
+    /// All six benchmarks in the paper's presentation order.
+    pub const ALL: [Benchmark; 6] = [
+        Benchmark::Mnist,
+        Benchmark::Isolet,
+        Benchmark::Har,
+        Benchmark::Cifar10,
+        Benchmark::Cifar100,
+        Benchmark::ImageNet,
+    ];
+
+    /// Display name used in tables and figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Benchmark::Mnist => "MNIST",
+            Benchmark::Isolet => "ISOLET",
+            Benchmark::Har => "HAR",
+            Benchmark::Cifar10 => "CIFAR-10",
+            Benchmark::Cifar100 => "CIFAR-100",
+            Benchmark::ImageNet => "ImageNet",
+        }
+    }
+
+    /// Input feature width of the trainable network.
+    pub fn input_features(self) -> usize {
+        match self {
+            Benchmark::Mnist => 784,
+            Benchmark::Isolet => 617,
+            Benchmark::Har => 561,
+            Benchmark::Cifar10 | Benchmark::Cifar100 => 3 * 32 * 32,
+            // Scaled substitute: 3x32x32 input standing in for 3x224x224.
+            Benchmark::ImageNet => 3 * 32 * 32,
+        }
+    }
+
+    /// Number of classes.
+    pub fn classes(self) -> usize {
+        match self {
+            Benchmark::Mnist => 10,
+            Benchmark::Isolet => 26,
+            Benchmark::Har => 19,
+            Benchmark::Cifar10 => 10,
+            Benchmark::Cifar100 => 100,
+            // Scaled substitute uses 100 classes for tractability.
+            Benchmark::ImageNet => 100,
+        }
+    }
+
+    /// Baseline error rate reported in Table 2 (fractional). For ImageNet
+    /// this is VGG-16's 28.5 % top-1 error, the network Figure 10 uses.
+    pub fn paper_error(self) -> f32 {
+        match self {
+            Benchmark::Mnist => 0.015,
+            Benchmark::Isolet => 0.036,
+            Benchmark::Har => 0.017,
+            Benchmark::Cifar10 => 0.144,
+            Benchmark::Cifar100 => 0.423,
+            Benchmark::ImageNet => 0.285,
+        }
+    }
+
+    /// `true` for "Type 2" applications (convolution + pooling models);
+    /// `false` for the fully connected "Type 1" MLPs (§5.4.1).
+    pub fn is_type2(self) -> bool {
+        matches!(
+            self,
+            Benchmark::Cifar10 | Benchmark::Cifar100 | Benchmark::ImageNet
+        )
+    }
+
+    /// Builds the untrained network for this benchmark.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors (impossible geometry).
+    pub fn build(self, rng: &mut SeededRng) -> Result<Network> {
+        match self {
+            Benchmark::Mnist => mlp(784, &[512, 512], 10, rng),
+            Benchmark::Isolet => mlp(617, &[512, 512], 26, rng),
+            Benchmark::Har => mlp(561, &[512, 512], 19, rng),
+            Benchmark::Cifar10 => cifar_cnn(10, rng),
+            Benchmark::Cifar100 => cifar_cnn(100, rng),
+            Benchmark::ImageNet => imagenet_scaled(100, rng),
+        }
+    }
+
+    /// Builds a *reduced* variant of the network (hidden widths and channel
+    /// counts divided by `factor`) for fast tests and examples.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors.
+    pub fn build_reduced(self, factor: usize, rng: &mut SeededRng) -> Result<Network> {
+        let f = factor.max(1);
+        match self {
+            Benchmark::Mnist => mlp(784, &[512 / f, 512 / f], 10, rng),
+            Benchmark::Isolet => mlp(617, &[512 / f, 512 / f], 26, rng),
+            Benchmark::Har => mlp(561, &[512 / f, 512 / f], 19, rng),
+            Benchmark::Cifar10 => cifar_cnn_scaled(10, f, rng),
+            Benchmark::Cifar100 => cifar_cnn_scaled(100, f, rng),
+            Benchmark::ImageNet => imagenet_scaled_with(100, f, rng),
+        }
+    }
+}
+
+impl std::fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Builds a ReLU MLP with dropout 0.5 on hidden layers, per §5.2.
+///
+/// # Errors
+///
+/// Never fails today; returns `Result` for uniformity with CNN builders.
+pub fn mlp(
+    inputs: usize,
+    hidden: &[usize],
+    classes: usize,
+    rng: &mut SeededRng,
+) -> Result<Network> {
+    let mut net = Network::new(inputs);
+    let mut width = inputs;
+    for &h in hidden {
+        net.push(Dense::new(width, h, rng));
+        net.push(ActivationLayer::new(Activation::Relu));
+        net.push(Dropout::new(0.5, rng));
+        width = h;
+    }
+    net.push(Dense::new(width, classes, rng));
+    Ok(net)
+}
+
+/// Table 2 CIFAR CNN:
+/// `CV 32·3x3 → PL 2x2 → CV 64·3x3 → CV 64·3x3 → FC 512 → FC classes`.
+///
+/// # Errors
+///
+/// Propagates geometry errors.
+pub fn cifar_cnn(classes: usize, rng: &mut SeededRng) -> Result<Network> {
+    cifar_cnn_scaled(classes, 1, rng)
+}
+
+/// CIFAR CNN with channel counts divided by `factor` (≥1).
+///
+/// # Errors
+///
+/// Propagates geometry errors.
+pub fn cifar_cnn_scaled(classes: usize, factor: usize, rng: &mut SeededRng) -> Result<Network> {
+    let f = factor.max(1);
+    let c1 = (32 / f).max(2);
+    let c2 = (64 / f).max(2);
+    let fc = (512 / f).max(8);
+
+    let mut net = Network::new(3 * 32 * 32);
+    // CV 32x3x3 on 3x32x32, same padding keeps 32x32.
+    let conv1 = Conv2d::new(3, 32, 32, c1, 3, 1, Padding::Same, rng)?;
+    net.push(conv1);
+    net.push(ActivationLayer::new(Activation::Relu));
+    // PL 2x2 -> 16x16.
+    net.push(MaxPool2d::new(c1, 32, 32, 2)?);
+    // CV 64x3x3 twice on 16x16.
+    net.push(Conv2d::new(c1, 16, 16, c2, 3, 1, Padding::Same, rng)?);
+    net.push(ActivationLayer::new(Activation::Relu));
+    net.push(Conv2d::new(c2, 16, 16, c2, 3, 1, Padding::Same, rng)?);
+    net.push(ActivationLayer::new(Activation::Relu));
+    // Second pool keeps the dense head tractable.
+    net.push(MaxPool2d::new(c2, 16, 16, 2)?);
+    // FC 512 -> FC classes with dropout.
+    net.push(Dense::new(c2 * 8 * 8, fc, rng));
+    net.push(ActivationLayer::new(Activation::Relu));
+    net.push(Dropout::new(0.5, rng));
+    net.push(Dense::new(fc, classes, rng));
+    Ok(net)
+}
+
+/// Scaled ImageNet-class substitute: a VGG-flavoured CNN on a 3x32x32 grid
+/// with one residual block, standing in for the AlexNet/VGG/GoogLeNet/
+/// ResNet family in the accuracy studies (DESIGN.md §5).
+///
+/// # Errors
+///
+/// Propagates geometry errors.
+pub fn imagenet_scaled(classes: usize, rng: &mut SeededRng) -> Result<Network> {
+    imagenet_scaled_with(classes, 1, rng)
+}
+
+/// [`imagenet_scaled`] with channel counts and dense widths divided by
+/// `factor` (class count untouched), for fast tests and reduced sweeps.
+///
+/// # Errors
+///
+/// Propagates geometry errors.
+pub fn imagenet_scaled_with(
+    classes: usize,
+    factor: usize,
+    rng: &mut SeededRng,
+) -> Result<Network> {
+    let f = factor.max(1);
+    let c1 = (16 / f).max(2);
+    let c2 = (32 / f).max(4);
+    let fc = (256 / f).max(16);
+    let mut net = Network::new(3 * 32 * 32);
+    net.push(Conv2d::new(3, 32, 32, c1, 3, 1, Padding::Same, rng)?);
+    net.push(ActivationLayer::new(Activation::Relu));
+    net.push(MaxPool2d::new(c1, 32, 32, 2)?);
+    net.push(Conv2d::new(c1, 16, 16, c2, 3, 1, Padding::Same, rng)?);
+    net.push(ActivationLayer::new(Activation::Relu));
+    net.push(MaxPool2d::new(c2, 16, 16, 2)?);
+    // Residual block at c2 x 8 x 8, mirroring ResNet-style skip connections
+    // the RAPIDNN controller supports via input FIFOs.
+    net.push(Residual::new(vec![
+        Box::new(Conv2d::new(c2, 8, 8, c2, 3, 1, Padding::Same, rng)?),
+        Box::new(ActivationLayer::new(Activation::Relu)),
+    ]));
+    net.push(MaxPool2d::new(c2, 8, 8, 2)?);
+    net.push(Dense::new(c2 * 4 * 4, fc, rng));
+    net.push(ActivationLayer::new(Activation::Relu));
+    net.push(Dropout::new(0.5, rng));
+    net.push(Dense::new(fc, classes, rng));
+    Ok(net)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rapidnn_tensor::{Shape, Tensor};
+
+    #[test]
+    fn table2_mlp_shapes() {
+        let mut rng = SeededRng::new(0);
+        for (bench, classes) in [
+            (Benchmark::Mnist, 10),
+            (Benchmark::Isolet, 26),
+            (Benchmark::Har, 19),
+        ] {
+            let net = bench.build(&mut rng).unwrap();
+            assert_eq!(net.output_features(), classes, "{bench}");
+            assert_eq!(net.input_features(), bench.input_features());
+        }
+    }
+
+    #[test]
+    fn cifar_cnn_forward_shape() {
+        let mut rng = SeededRng::new(0);
+        // Reduced network to keep the test fast.
+        let mut net = cifar_cnn_scaled(10, 8, &mut rng).unwrap();
+        let x = Tensor::zeros(Shape::matrix(2, 3 * 32 * 32));
+        let y = net.forward(&x).unwrap();
+        assert_eq!(y.shape().dims(), &[2, 10]);
+    }
+
+    #[test]
+    fn imagenet_scaled_forward_shape() {
+        let mut rng = SeededRng::new(0);
+        let mut net = imagenet_scaled(100, &mut rng).unwrap();
+        let x = Tensor::zeros(Shape::matrix(1, 3 * 32 * 32));
+        let y = net.forward(&x).unwrap();
+        assert_eq!(y.shape().dims(), &[1, 100]);
+    }
+
+    #[test]
+    fn benchmark_metadata_is_consistent() {
+        for bench in Benchmark::ALL {
+            assert!(!bench.name().is_empty());
+            assert!(bench.classes() >= 10);
+            assert!(bench.paper_error() > 0.0 && bench.paper_error() < 0.5);
+        }
+        assert!(!Benchmark::Mnist.is_type2());
+        assert!(Benchmark::Cifar10.is_type2());
+        assert!(Benchmark::ImageNet.is_type2());
+    }
+
+    #[test]
+    fn reduced_networks_shrink() {
+        let mut rng = SeededRng::new(0);
+        let full = Benchmark::Mnist.build(&mut rng).unwrap();
+        let small = Benchmark::Mnist.build_reduced(8, &mut rng).unwrap();
+        // Count dense parameters.
+        let count = |net: &Network| -> usize {
+            net.kinds()
+                .iter()
+                .map(|k| match k {
+                    crate::LayerKind::Dense { inputs, outputs } => inputs * outputs,
+                    _ => 0,
+                })
+                .sum()
+        };
+        assert!(count(&small) < count(&full) / 4);
+    }
+
+    #[test]
+    fn mlp_topology_matches_plan() {
+        let mut rng = SeededRng::new(0);
+        let net = mlp(100, &[50, 25], 5, &mut rng).unwrap();
+        let kinds = net.kinds();
+        let dense_fans: Vec<(usize, usize)> = kinds
+            .iter()
+            .filter_map(|k| match k {
+                crate::LayerKind::Dense { inputs, outputs } => Some((*inputs, *outputs)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(dense_fans, vec![(100, 50), (50, 25), (25, 5)]);
+    }
+}

@@ -1,0 +1,51 @@
+//! RAPIDNN: neuron-to-memory transformation for DNN acceleration —
+//! a from-scratch Rust reproduction of the HPCA 2020 paper.
+//!
+//! This facade crate re-exports every subsystem of the workspace and adds
+//! the end-to-end [`Pipeline`] that strings them together: train a float
+//! model → compose it into the encoded-domain (table-lookup) form →
+//! simulate it on the RAPIDNN accelerator → compare against the baseline
+//! accelerator models.
+//!
+//! # Crate map
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`tensor`] | `rapidnn-tensor` | tensors, GEMM, im2col, stats, seeded RNG |
+//! | [`nn`] | `rapidnn-nn` | layers, losses, SGD trainer, Table 2 topologies |
+//! | [`data`] | `rapidnn-data` | synthetic benchmark datasets |
+//! | [`composer`] | `rapidnn-core` | k-means codebooks, LUT operators, reinterpretation, retraining |
+//! | [`memristor`] | `rapidnn-memristor` | device model, crossbar, NOR logic, adder trees |
+//! | [`ndcam`] | `rapidnn-ndcam` | nearest-distance CAM and AM blocks |
+//! | [`accel`] | `rapidnn-accel` | RNA/tile/chip simulator, Table 1 parameters |
+//! | [`baselines`] | `rapidnn-baselines` | GPU / DaDianNao / ISAAC / PipeLayer / Eyeriss / SnaPEA models |
+//!
+//! # Examples
+//!
+//! ```
+//! use rapidnn::{Pipeline, PipelineConfig};
+//! use rapidnn::tensor::SeededRng;
+//!
+//! let mut rng = SeededRng::new(7);
+//! let config = PipelineConfig::tiny_for_tests();
+//! let report = Pipeline::new(config).run(&mut rng)?;
+//! assert!(report.compose.delta_e < 0.5);
+//! assert!(report.simulation.hardware.latency_ns > 0.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod pipeline;
+
+pub use pipeline::{Pipeline, PipelineConfig, PipelineReport};
+
+pub use rapidnn_accel as accel;
+pub use rapidnn_baselines as baselines;
+pub use rapidnn_core as composer;
+pub use rapidnn_data as data;
+pub use rapidnn_memristor as memristor;
+pub use rapidnn_ndcam as ndcam;
+pub use rapidnn_nn as nn;
+pub use rapidnn_tensor as tensor;

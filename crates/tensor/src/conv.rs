@@ -1,0 +1,271 @@
+use crate::{Result, Shape, Tensor, TensorError};
+
+/// Zero-padding policy for 2-D convolutions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Padding {
+    /// No padding: output shrinks by `kernel - 1`.
+    Valid,
+    /// Pad so that (with stride 1) the output matches the input size.
+    Same,
+}
+
+/// Resolved geometry of a 2-D convolution or pooling window sweep.
+///
+/// Construct with [`Conv2dGeometry::new`]; all downstream kernels (im2col,
+/// pooling, the accelerator's layer mapper) consume the resolved output
+/// sizes from here so they can never disagree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Conv2dGeometry {
+    /// Input channel count.
+    pub in_channels: usize,
+    /// Input height.
+    pub in_height: usize,
+    /// Input width.
+    pub in_width: usize,
+    /// Kernel height.
+    pub kernel_h: usize,
+    /// Kernel width.
+    pub kernel_w: usize,
+    /// Vertical and horizontal stride.
+    pub stride: usize,
+    /// Resolved top/left padding in pixels.
+    pub pad: usize,
+    /// Resolved output height.
+    pub out_height: usize,
+    /// Resolved output width.
+    pub out_width: usize,
+}
+
+impl Conv2dGeometry {
+    /// Resolves a convolution geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidGeometry`] when the stride is zero, the
+    /// kernel is empty, or the kernel does not fit in the padded input.
+    pub fn new(
+        in_channels: usize,
+        in_height: usize,
+        in_width: usize,
+        kernel_h: usize,
+        kernel_w: usize,
+        stride: usize,
+        padding: Padding,
+    ) -> Result<Self> {
+        if stride == 0 {
+            return Err(TensorError::InvalidGeometry("stride must be positive".into()));
+        }
+        if kernel_h == 0 || kernel_w == 0 {
+            return Err(TensorError::InvalidGeometry("kernel must be non-empty".into()));
+        }
+        let pad = match padding {
+            Padding::Valid => 0,
+            Padding::Same => kernel_h.max(kernel_w) / 2,
+        };
+        let padded_h = in_height + 2 * pad;
+        let padded_w = in_width + 2 * pad;
+        if padded_h < kernel_h || padded_w < kernel_w {
+            return Err(TensorError::InvalidGeometry(format!(
+                "kernel {kernel_h}x{kernel_w} exceeds padded input {padded_h}x{padded_w}"
+            )));
+        }
+        let out_height = (padded_h - kernel_h) / stride + 1;
+        let out_width = (padded_w - kernel_w) / stride + 1;
+        Ok(Conv2dGeometry {
+            in_channels,
+            in_height,
+            in_width,
+            kernel_h,
+            kernel_w,
+            stride,
+            pad,
+            out_height,
+            out_width,
+        })
+    }
+
+    /// Number of output pixels per channel.
+    pub fn out_pixels(&self) -> usize {
+        self.out_height * self.out_width
+    }
+
+    /// Number of input values gathered per output pixel
+    /// (`in_channels * kernel_h * kernel_w`).
+    pub fn patch_len(&self) -> usize {
+        self.in_channels * self.kernel_h * self.kernel_w
+    }
+
+    /// Expected input shape (`C x H x W`).
+    pub fn input_shape(&self) -> Shape {
+        Shape::chw(self.in_channels, self.in_height, self.in_width)
+    }
+}
+
+/// Rearranges an image tensor into a patch matrix for GEMM-based
+/// convolution.
+///
+/// The input must be `C x H x W`; the output is a
+/// `patch_len x out_pixels` matrix where column `p` holds the receptive
+/// field of output pixel `p` (channel-major, then kernel row, then kernel
+/// column). Out-of-bounds positions introduced by padding read as zero.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when `input` does not match the
+/// geometry's input shape.
+///
+/// # Examples
+///
+/// ```
+/// use rapidnn_tensor::{im2col, Conv2dGeometry, Padding, Shape, Tensor};
+///
+/// let geom = Conv2dGeometry::new(1, 2, 2, 2, 2, 1, Padding::Valid)?;
+/// let img = Tensor::from_vec(Shape::chw(1, 2, 2), vec![1., 2., 3., 4.])?;
+/// let cols = im2col(&img, &geom)?;
+/// assert_eq!(cols.shape().dims(), &[4, 1]);
+/// assert_eq!(cols.as_slice(), &[1., 2., 3., 4.]);
+/// # Ok::<(), rapidnn_tensor::TensorError>(())
+/// ```
+pub fn im2col(input: &Tensor, geom: &Conv2dGeometry) -> Result<Tensor> {
+    if input.shape() != &geom.input_shape() {
+        return Err(TensorError::ShapeMismatch {
+            left: input.shape().dims().to_vec(),
+            right: geom.input_shape().dims().to_vec(),
+        });
+    }
+    let data = input.as_slice();
+    let (c, h, w) = (geom.in_channels, geom.in_height, geom.in_width);
+    let patch_len = geom.patch_len();
+    let out_pixels = geom.out_pixels();
+    let mut cols = vec![0.0f32; patch_len * out_pixels];
+
+    let mut patch_row = 0;
+    for ch in 0..c {
+        for kh in 0..geom.kernel_h {
+            for kw in 0..geom.kernel_w {
+                for oy in 0..geom.out_height {
+                    let iy = (oy * geom.stride + kh) as isize - geom.pad as isize;
+                    for ox in 0..geom.out_width {
+                        let ix = (ox * geom.stride + kw) as isize - geom.pad as isize;
+                        let p = oy * geom.out_width + ox;
+                        let value = if iy >= 0 && ix >= 0 && (iy as usize) < h && (ix as usize) < w
+                        {
+                            data[ch * h * w + iy as usize * w + ix as usize]
+                        } else {
+                            0.0
+                        };
+                        cols[patch_row * out_pixels + p] = value;
+                    }
+                }
+                patch_row += 1;
+            }
+        }
+    }
+    Tensor::from_vec(Shape::matrix(patch_len, out_pixels), cols)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_geometry_shrinks_output() {
+        let g = Conv2dGeometry::new(3, 32, 32, 3, 3, 1, Padding::Valid).unwrap();
+        assert_eq!((g.out_height, g.out_width), (30, 30));
+        assert_eq!(g.patch_len(), 27);
+    }
+
+    #[test]
+    fn same_geometry_preserves_output_with_stride_one() {
+        let g = Conv2dGeometry::new(1, 28, 28, 3, 3, 1, Padding::Same).unwrap();
+        assert_eq!((g.out_height, g.out_width), (28, 28));
+    }
+
+    #[test]
+    fn stride_two_halves_output() {
+        let g = Conv2dGeometry::new(1, 8, 8, 2, 2, 2, Padding::Valid).unwrap();
+        assert_eq!((g.out_height, g.out_width), (4, 4));
+    }
+
+    #[test]
+    fn rejects_impossible_geometry() {
+        assert!(Conv2dGeometry::new(1, 2, 2, 3, 3, 1, Padding::Valid).is_err());
+        assert!(Conv2dGeometry::new(1, 4, 4, 2, 2, 0, Padding::Valid).is_err());
+        assert!(Conv2dGeometry::new(1, 4, 4, 0, 2, 1, Padding::Valid).is_err());
+    }
+
+    #[test]
+    fn im2col_gathers_receptive_fields() {
+        // 1x3x3 image, 2x2 kernel, stride 1, valid: 4 patches of 4 values.
+        let g = Conv2dGeometry::new(1, 3, 3, 2, 2, 1, Padding::Valid).unwrap();
+        let img = Tensor::from_vec(
+            Shape::chw(1, 3, 3),
+            vec![1., 2., 3., 4., 5., 6., 7., 8., 9.],
+        )
+        .unwrap();
+        let cols = im2col(&img, &g).unwrap();
+        assert_eq!(cols.shape().dims(), &[4, 4]);
+        // Patch 0 (top-left) down the first column: 1,2,4,5.
+        assert_eq!(cols.get(&[0, 0]), Some(1.0));
+        assert_eq!(cols.get(&[1, 0]), Some(2.0));
+        assert_eq!(cols.get(&[2, 0]), Some(4.0));
+        assert_eq!(cols.get(&[3, 0]), Some(5.0));
+        // Patch 3 (bottom-right): 5,6,8,9.
+        assert_eq!(cols.get(&[0, 3]), Some(5.0));
+        assert_eq!(cols.get(&[3, 3]), Some(9.0));
+    }
+
+    #[test]
+    fn im2col_zero_pads() {
+        let g = Conv2dGeometry::new(1, 2, 2, 3, 3, 1, Padding::Same).unwrap();
+        let img = Tensor::ones(Shape::chw(1, 2, 2));
+        let cols = im2col(&img, &g).unwrap();
+        // Top-left output pixel: kernel hangs over the border, so its first
+        // row/column of the patch is zero.
+        assert_eq!(cols.get(&[0, 0]), Some(0.0));
+        assert_eq!(cols.get(&[4, 0]), Some(1.0));
+    }
+
+    #[test]
+    fn im2col_validates_input_shape() {
+        let g = Conv2dGeometry::new(1, 3, 3, 2, 2, 1, Padding::Valid).unwrap();
+        let wrong = Tensor::zeros(Shape::chw(2, 3, 3));
+        assert!(im2col(&wrong, &g).is_err());
+    }
+
+    #[test]
+    fn gemm_convolution_matches_direct() {
+        use crate::SeededRng;
+        // Convolution via im2col x GEMM must equal a direct sliding-window
+        // computation.
+        let mut rng = SeededRng::new(21);
+        let g = Conv2dGeometry::new(2, 5, 5, 3, 3, 1, Padding::Valid).unwrap();
+        let img = rng.uniform_tensor(Shape::chw(2, 5, 5), -1.0, 1.0);
+        let kernels = rng.uniform_tensor(Shape::matrix(4, g.patch_len()), -1.0, 1.0);
+
+        let cols = im2col(&img, &g).unwrap();
+        let out = kernels.matmul(&cols).unwrap();
+
+        for oc in 0..4 {
+            for oy in 0..g.out_height {
+                for ox in 0..g.out_width {
+                    let mut acc = 0.0;
+                    for ic in 0..2 {
+                        for kh in 0..3 {
+                            for kw in 0..3 {
+                                let iv = img.get(&[ic, oy + kh, ox + kw]).unwrap();
+                                let kv = kernels
+                                    .get(&[oc, ic * 9 + kh * 3 + kw])
+                                    .unwrap();
+                                acc += iv * kv;
+                            }
+                        }
+                    }
+                    let got = out.get(&[oc, oy * g.out_width + ox]).unwrap();
+                    assert!((acc - got).abs() < 1e-4);
+                }
+            }
+        }
+    }
+}

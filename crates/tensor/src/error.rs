@@ -1,0 +1,123 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type returned by fallible tensor operations.
+///
+/// All variants carry enough context to diagnose the failing call without a
+/// debugger; the `Display` form is a lowercase sentence per the Rust API
+/// guidelines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TensorError {
+    /// The number of elements supplied does not match the requested shape.
+    LengthMismatch {
+        /// Number of elements the shape requires.
+        expected: usize,
+        /// Number of elements actually supplied.
+        actual: usize,
+    },
+    /// Two tensors participating in an element-wise operation have
+    /// different shapes.
+    ShapeMismatch {
+        /// Shape of the left-hand operand.
+        left: Vec<usize>,
+        /// Shape of the right-hand operand.
+        right: Vec<usize>,
+    },
+    /// The inner dimensions of a matrix product do not agree.
+    MatmulDimensions {
+        /// `(rows, cols)` of the left operand.
+        left: (usize, usize),
+        /// `(rows, cols)` of the right operand.
+        right: (usize, usize),
+    },
+    /// A tensor with the wrong rank was supplied.
+    RankMismatch {
+        /// Rank required by the operation.
+        expected: usize,
+        /// Rank of the supplied tensor.
+        actual: usize,
+    },
+    /// An index is outside the bounds of the tensor.
+    IndexOutOfBounds {
+        /// Offending flat index.
+        index: usize,
+        /// Number of elements in the tensor.
+        len: usize,
+    },
+    /// A convolution geometry is impossible (e.g. kernel larger than the
+    /// padded input).
+    InvalidGeometry(String),
+    /// An empty tensor was supplied where at least one element is required.
+    Empty(&'static str),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::LengthMismatch { expected, actual } => write!(
+                f,
+                "data length {actual} does not match shape volume {expected}"
+            ),
+            TensorError::ShapeMismatch { left, right } => {
+                write!(f, "shape mismatch between {left:?} and {right:?}")
+            }
+            TensorError::MatmulDimensions { left, right } => write!(
+                f,
+                "cannot multiply {}x{} matrix by {}x{} matrix",
+                left.0, left.1, right.0, right.1
+            ),
+            TensorError::RankMismatch { expected, actual } => {
+                write!(f, "expected rank {expected} tensor, found rank {actual}")
+            }
+            TensorError::IndexOutOfBounds { index, len } => {
+                write!(f, "index {index} out of bounds for tensor of {len} elements")
+            }
+            TensorError::InvalidGeometry(msg) => write!(f, "invalid geometry: {msg}"),
+            TensorError::Empty(what) => write!(f, "{what} must not be empty"),
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_nonempty() {
+        let errors = [
+            TensorError::LengthMismatch {
+                expected: 4,
+                actual: 3,
+            },
+            TensorError::ShapeMismatch {
+                left: vec![2, 2],
+                right: vec![3],
+            },
+            TensorError::MatmulDimensions {
+                left: (2, 3),
+                right: (4, 2),
+            },
+            TensorError::RankMismatch {
+                expected: 2,
+                actual: 1,
+            },
+            TensorError::IndexOutOfBounds { index: 9, len: 4 },
+            TensorError::InvalidGeometry("kernel exceeds input".into()),
+            TensorError::Empty("codebook"),
+        ];
+        for err in errors {
+            let text = err.to_string();
+            assert!(!text.is_empty());
+            assert!(text.chars().next().unwrap().is_lowercase() || text.starts_with(char::is_numeric));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

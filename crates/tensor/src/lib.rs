@@ -1,0 +1,46 @@
+//! Dense tensor substrate for the RAPIDNN reproduction.
+//!
+//! This crate provides the minimal numerical foundation that the rest of the
+//! workspace builds on: an owned, contiguous, row-major [`Tensor`] of `f32`
+//! values together with the kernels a small deep-learning stack needs
+//! (GEMM, im2col convolution, reductions, seeded random initialisation and
+//! distribution statistics).
+//!
+//! It deliberately implements everything from scratch — the reproduction may
+//! not depend on an external ML ecosystem — while keeping the API close to
+//! what `ndarray` users would expect.
+//!
+//! # Examples
+//!
+//! ```
+//! use rapidnn_tensor::{Shape, Tensor};
+//!
+//! let a = Tensor::from_vec(Shape::matrix(2, 3), vec![1., 2., 3., 4., 5., 6.])?;
+//! let b = Tensor::ones(Shape::matrix(3, 2));
+//! let c = a.matmul(&b)?;
+//! assert_eq!(c.shape().dims(), &[2, 2]);
+//! assert_eq!(c.as_slice(), &[6., 6., 15., 15.]);
+//! # Ok::<(), rapidnn_tensor::TensorError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod conv;
+mod error;
+mod matmul;
+mod random;
+mod shape;
+mod stats;
+mod tensor;
+
+pub use conv::{im2col, Conv2dGeometry, Padding};
+pub use error::TensorError;
+pub use matmul::{gemm, matvec};
+pub use random::{Initializer, SeededRng};
+pub use shape::Shape;
+pub use stats::{histogram, Histogram, Summary};
+pub use tensor::Tensor;
+
+/// Convenient result alias used across the tensor crate.
+pub type Result<T> = std::result::Result<T, TensorError>;

@@ -1,0 +1,196 @@
+use crate::{Result, Shape, Tensor, TensorError};
+
+/// Block size used by the cache-blocked GEMM kernel.
+const BLOCK: usize = 32;
+
+/// General matrix-matrix product `C = A · B` for rank-2 tensors.
+///
+/// Uses a simple cache-blocked i-k-j loop nest, which is both branch-light
+/// and numerically identical to the naive triple loop.
+///
+/// # Errors
+///
+/// * [`TensorError::RankMismatch`] when either operand is not rank 2.
+/// * [`TensorError::MatmulDimensions`] when the inner dimensions disagree.
+///
+/// # Examples
+///
+/// ```
+/// use rapidnn_tensor::{gemm, Shape, Tensor};
+///
+/// let a = Tensor::from_vec(Shape::matrix(1, 2), vec![1.0, 2.0])?;
+/// let b = Tensor::from_vec(Shape::matrix(2, 1), vec![3.0, 4.0])?;
+/// assert_eq!(gemm(&a, &b)?.as_slice(), &[11.0]);
+/// # Ok::<(), rapidnn_tensor::TensorError>(())
+/// ```
+pub fn gemm(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    if a.shape().rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: a.shape().rank(),
+        });
+    }
+    if b.shape().rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: b.shape().rank(),
+        });
+    }
+    let (m, ka) = (a.shape().dims()[0], a.shape().dims()[1]);
+    let (kb, n) = (b.shape().dims()[0], b.shape().dims()[1]);
+    if ka != kb {
+        return Err(TensorError::MatmulDimensions {
+            left: (m, ka),
+            right: (kb, n),
+        });
+    }
+
+    let lhs = a.as_slice();
+    let rhs = b.as_slice();
+    let mut out = vec![0.0f32; m * n];
+
+    for ib in (0..m).step_by(BLOCK) {
+        for kb_start in (0..ka).step_by(BLOCK) {
+            for jb in (0..n).step_by(BLOCK) {
+                let i_end = (ib + BLOCK).min(m);
+                let k_end = (kb_start + BLOCK).min(ka);
+                let j_end = (jb + BLOCK).min(n);
+                for i in ib..i_end {
+                    for k in kb_start..k_end {
+                        let aik = lhs[i * ka + k];
+                        if aik == 0.0 {
+                            continue;
+                        }
+                        let row = &rhs[k * n + jb..k * n + j_end];
+                        let dst = &mut out[i * n + jb..i * n + j_end];
+                        for (d, &r) in dst.iter_mut().zip(row) {
+                            *d += aik * r;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(Shape::matrix(m, n), out)
+}
+
+/// Matrix-vector product `y = A · x`.
+///
+/// # Errors
+///
+/// * [`TensorError::RankMismatch`] when `a` is not rank 2 or `x` not rank 1.
+/// * [`TensorError::MatmulDimensions`] when `A`'s column count differs from
+///   `x`'s length.
+pub fn matvec(a: &Tensor, x: &Tensor) -> Result<Tensor> {
+    if a.shape().rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: a.shape().rank(),
+        });
+    }
+    if x.shape().rank() != 1 {
+        return Err(TensorError::RankMismatch {
+            expected: 1,
+            actual: x.shape().rank(),
+        });
+    }
+    let (m, k) = (a.shape().dims()[0], a.shape().dims()[1]);
+    if k != x.len() {
+        return Err(TensorError::MatmulDimensions {
+            left: (m, k),
+            right: (x.len(), 1),
+        });
+    }
+    let lhs = a.as_slice();
+    let v = x.as_slice();
+    let mut out = vec![0.0f32; m];
+    for (i, o) in out.iter_mut().enumerate() {
+        let row = &lhs[i * k..(i + 1) * k];
+        *o = row.iter().zip(v).map(|(&a, &b)| a * b).sum();
+    }
+    Tensor::from_vec(Shape::vector(m), out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = (a.shape().dims()[0], a.shape().dims()[1]);
+        let n = b.shape().dims()[1];
+        let mut out = vec![0.0; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                for p in 0..k {
+                    out[i * n + j] += a.as_slice()[i * k + p] * b.as_slice()[p * n + j];
+                }
+            }
+        }
+        Tensor::from_vec(Shape::matrix(m, n), out).unwrap()
+    }
+
+    #[test]
+    fn gemm_matches_naive_on_odd_sizes() {
+        use crate::SeededRng;
+        let mut rng = SeededRng::new(7);
+        for &(m, k, n) in &[(1, 1, 1), (3, 5, 2), (33, 34, 35), (64, 1, 17)] {
+            let a = rng.uniform_tensor(Shape::matrix(m, k), -1.0, 1.0);
+            let b = rng.uniform_tensor(Shape::matrix(k, n), -1.0, 1.0);
+            let fast = gemm(&a, &b).unwrap();
+            let slow = naive(&a, &b);
+            for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
+                assert!((x - y).abs() < 1e-4, "{x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_rejects_bad_shapes() {
+        let a = Tensor::zeros(Shape::matrix(2, 3));
+        let b = Tensor::zeros(Shape::matrix(4, 2));
+        assert!(matches!(
+            gemm(&a, &b),
+            Err(TensorError::MatmulDimensions { .. })
+        ));
+        let v = Tensor::zeros(Shape::vector(3));
+        assert!(matches!(gemm(&v, &b), Err(TensorError::RankMismatch { .. })));
+        assert!(matches!(gemm(&a, &v), Err(TensorError::RankMismatch { .. })));
+    }
+
+    #[test]
+    fn matvec_matches_gemm() {
+        use crate::SeededRng;
+        let mut rng = SeededRng::new(3);
+        let a = rng.uniform_tensor(Shape::matrix(5, 7), -1.0, 1.0);
+        let x = rng.uniform_tensor(Shape::vector(7), -1.0, 1.0);
+        let xm = x.reshape(Shape::matrix(7, 1)).unwrap();
+        let via_gemm = gemm(&a, &xm).unwrap();
+        let direct = matvec(&a, &x).unwrap();
+        for (p, q) in direct.as_slice().iter().zip(via_gemm.as_slice()) {
+            assert!((p - q).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn matvec_rejects_bad_shapes() {
+        let a = Tensor::zeros(Shape::matrix(2, 3));
+        let x = Tensor::zeros(Shape::vector(4));
+        assert!(matvec(&a, &x).is_err());
+        let m = Tensor::zeros(Shape::matrix(3, 1));
+        assert!(matvec(&a, &m).is_err());
+    }
+
+    #[test]
+    fn identity_round_trip() {
+        let mut eye = Tensor::zeros(Shape::matrix(4, 4));
+        for i in 0..4 {
+            eye.set(&[i, i], 1.0).unwrap();
+        }
+        let x = Tensor::from_vec(
+            Shape::matrix(4, 2),
+            (0..8).map(|i| i as f32).collect(),
+        )
+        .unwrap();
+        assert_eq!(gemm(&eye, &x).unwrap(), x);
+    }
+}

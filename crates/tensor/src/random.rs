@@ -1,0 +1,235 @@
+use crate::{Shape, Tensor};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Weight-initialisation schemes supported by [`SeededRng::init_tensor`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Initializer {
+    /// Uniform Xavier/Glorot initialisation: `U(-l, l)` with
+    /// `l = sqrt(6 / (fan_in + fan_out))`. Suited to sigmoid/tanh layers.
+    XavierUniform,
+    /// Gaussian He initialisation: `N(0, sqrt(2 / fan_in))`. Suited to ReLU
+    /// layers.
+    HeNormal,
+    /// All zeros (used for biases).
+    Zeros,
+}
+
+/// Deterministic random source shared across the workspace.
+///
+/// Every stochastic component (weight init, dataset synthesis, sampling,
+/// Monte-Carlo variation) takes a `SeededRng` so experiments replay
+/// bit-identically.
+///
+/// # Examples
+///
+/// ```
+/// use rapidnn_tensor::{SeededRng, Shape};
+///
+/// let mut a = SeededRng::new(42);
+/// let mut b = SeededRng::new(42);
+/// assert_eq!(
+///     a.uniform_tensor(Shape::vector(4), 0.0, 1.0),
+///     b.uniform_tensor(Shape::vector(4), 0.0, 1.0),
+/// );
+/// ```
+#[derive(Debug, Clone)]
+pub struct SeededRng {
+    rng: StdRng,
+}
+
+impl SeededRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        SeededRng {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derives an independent child generator; useful for splitting one
+    /// experiment seed into per-component streams.
+    pub fn fork(&mut self) -> Self {
+        SeededRng::new(self.rng.random())
+    }
+
+    /// Uniform sample in `[low, high)`.
+    pub fn uniform(&mut self, low: f32, high: f32) -> f32 {
+        self.rng.random_range(low..high)
+    }
+
+    /// Standard-normal sample via Box–Muller.
+    pub fn normal(&mut self) -> f32 {
+        let u1: f32 = self.rng.random_range(f32::EPSILON..1.0);
+        let u2: f32 = self.rng.random_range(0.0..1.0);
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+    }
+
+    /// Normal sample with the given mean and standard deviation.
+    pub fn normal_with(&mut self, mean: f32, std_dev: f32) -> f32 {
+        mean + std_dev * self.normal()
+    }
+
+    /// Uniform integer in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bound` is zero.
+    pub fn index(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "index bound must be positive");
+        self.rng.random_range(0..bound)
+    }
+
+    /// Bernoulli trial with success probability `p`.
+    pub fn chance(&mut self, p: f32) -> bool {
+        self.rng.random_range(0.0..1.0) < p
+    }
+
+    /// Tensor of uniform samples in `[low, high)`.
+    pub fn uniform_tensor(&mut self, shape: Shape, low: f32, high: f32) -> Tensor {
+        let volume = shape.volume();
+        let data = (0..volume).map(|_| self.uniform(low, high)).collect();
+        Tensor::from_vec(shape, data).expect("volume matches by construction")
+    }
+
+    /// Tensor of normal samples.
+    pub fn normal_tensor(&mut self, shape: Shape, mean: f32, std_dev: f32) -> Tensor {
+        let volume = shape.volume();
+        let data = (0..volume).map(|_| self.normal_with(mean, std_dev)).collect();
+        Tensor::from_vec(shape, data).expect("volume matches by construction")
+    }
+
+    /// Tensor initialised with the given scheme.
+    ///
+    /// `fan_in`/`fan_out` are the layer fan counts used by Xavier/He.
+    pub fn init_tensor(
+        &mut self,
+        shape: Shape,
+        init: Initializer,
+        fan_in: usize,
+        fan_out: usize,
+    ) -> Tensor {
+        match init {
+            Initializer::XavierUniform => {
+                let limit = (6.0 / (fan_in + fan_out).max(1) as f32).sqrt();
+                self.uniform_tensor(shape, -limit, limit)
+            }
+            Initializer::HeNormal => {
+                let std_dev = (2.0 / fan_in.max(1) as f32).sqrt();
+                self.normal_tensor(shape, 0.0, std_dev)
+            }
+            Initializer::Zeros => Tensor::zeros(shape),
+        }
+    }
+
+    /// Chooses `count` distinct indices from `[0, bound)` (reservoir
+    /// sampling). When `count >= bound`, returns all indices in order.
+    pub fn sample_indices(&mut self, bound: usize, count: usize) -> Vec<usize> {
+        if count >= bound {
+            return (0..bound).collect();
+        }
+        let mut reservoir: Vec<usize> = (0..count).collect();
+        for i in count..bound {
+            let j = self.index(i + 1);
+            if j < count {
+                reservoir[j] = i;
+            }
+        }
+        reservoir
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.index(i + 1);
+            items.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SeededRng::new(1);
+        let mut b = SeededRng::new(1);
+        for _ in 0..16 {
+            assert_eq!(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+        }
+    }
+
+    #[test]
+    fn different_seed_different_stream() {
+        let mut a = SeededRng::new(1);
+        let mut b = SeededRng::new(2);
+        let va: Vec<f32> = (0..8).map(|_| a.uniform(0.0, 1.0)).collect();
+        let vb: Vec<f32> = (0..8).map(|_| b.uniform(0.0, 1.0)).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn normal_has_sane_moments() {
+        let mut rng = SeededRng::new(99);
+        let n = 20_000;
+        let samples: Vec<f32> = (0..n).map(|_| rng.normal()).collect();
+        let mean = samples.iter().sum::<f32>() / n as f32;
+        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn xavier_respects_limit() {
+        let mut rng = SeededRng::new(5);
+        let t = rng.init_tensor(Shape::matrix(10, 10), Initializer::XavierUniform, 10, 10);
+        let limit = (6.0f32 / 20.0).sqrt();
+        assert!(t.as_slice().iter().all(|v| v.abs() <= limit));
+    }
+
+    #[test]
+    fn zeros_initializer_is_zero() {
+        let mut rng = SeededRng::new(5);
+        let t = rng.init_tensor(Shape::vector(8), Initializer::Zeros, 1, 1);
+        assert!(t.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn sample_indices_are_distinct_and_in_range() {
+        let mut rng = SeededRng::new(11);
+        let picks = rng.sample_indices(100, 20);
+        assert_eq!(picks.len(), 20);
+        let mut sorted = picks.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 20);
+        assert!(picks.iter().all(|&i| i < 100));
+    }
+
+    #[test]
+    fn sample_indices_saturates() {
+        let mut rng = SeededRng::new(11);
+        assert_eq!(rng.sample_indices(5, 10), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SeededRng::new(4);
+        let mut items: Vec<usize> = (0..50).collect();
+        rng.shuffle(&mut items);
+        let mut sorted = items.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fork_produces_independent_streams() {
+        let mut parent = SeededRng::new(8);
+        let mut child = parent.fork();
+        // The child stream must be deterministic given the parent seed.
+        let mut parent2 = SeededRng::new(8);
+        let mut child2 = parent2.fork();
+        assert_eq!(child.uniform(0.0, 1.0), child2.uniform(0.0, 1.0));
+    }
+}

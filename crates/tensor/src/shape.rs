@@ -1,0 +1,190 @@
+use std::fmt;
+
+/// Dimensions of a [`crate::Tensor`], stored outermost-first (row-major).
+///
+/// A `Shape` is a small value type: cheap to clone, comparable, hashable.
+///
+/// # Examples
+///
+/// ```
+/// use rapidnn_tensor::Shape;
+///
+/// let s = Shape::new(vec![2, 3, 4]);
+/// assert_eq!(s.volume(), 24);
+/// assert_eq!(s.rank(), 3);
+/// assert_eq!(s.strides(), vec![12, 4, 1]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Shape {
+    dims: Vec<usize>,
+}
+
+impl Shape {
+    /// Creates a shape from explicit dimensions.
+    pub fn new(dims: Vec<usize>) -> Self {
+        Shape { dims }
+    }
+
+    /// Shape of a scalar (rank 0, volume 1).
+    pub fn scalar() -> Self {
+        Shape { dims: Vec::new() }
+    }
+
+    /// Shape of a rank-1 tensor with `len` elements.
+    pub fn vector(len: usize) -> Self {
+        Shape { dims: vec![len] }
+    }
+
+    /// Shape of a `rows x cols` matrix.
+    pub fn matrix(rows: usize, cols: usize) -> Self {
+        Shape {
+            dims: vec![rows, cols],
+        }
+    }
+
+    /// Shape of a `channels x height x width` image volume.
+    pub fn chw(channels: usize, height: usize, width: usize) -> Self {
+        Shape {
+            dims: vec![channels, height, width],
+        }
+    }
+
+    /// The dimensions, outermost first.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of elements (product of all dimensions; 1 for scalars).
+    pub fn volume(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Row-major strides matching these dimensions.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1; self.dims.len()];
+        for i in (0..self.dims.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.dims[i + 1];
+        }
+        strides
+    }
+
+    /// Dimension `axis`, or `None` when the axis does not exist.
+    pub fn dim(&self, axis: usize) -> Option<usize> {
+        self.dims.get(axis).copied()
+    }
+
+    /// Converts a multi-dimensional index into a flat row-major offset.
+    ///
+    /// Returns `None` when `index` has the wrong rank or any coordinate is
+    /// out of range.
+    pub fn flatten_index(&self, index: &[usize]) -> Option<usize> {
+        if index.len() != self.dims.len() {
+            return None;
+        }
+        let mut flat = 0;
+        for ((&i, &d), stride) in index.iter().zip(&self.dims).zip(self.strides()) {
+            if i >= d {
+                return None;
+            }
+            flat += i * stride;
+        }
+        Some(flat)
+    }
+
+    /// Returns `true` when both shapes have the same volume, regardless of
+    /// how the dimensions are factored (useful for reshape checks).
+    pub fn same_volume(&self, other: &Shape) -> bool {
+        self.volume() == other.volume()
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.dims.iter().enumerate() {
+            if i > 0 {
+                write!(f, "x")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims.to_vec())
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(dims: [usize; N]) -> Self {
+        Shape::new(dims.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_has_volume_one() {
+        let s = Shape::scalar();
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.volume(), 1);
+        assert_eq!(s.flatten_index(&[]), Some(0));
+    }
+
+    #[test]
+    fn strides_are_row_major() {
+        assert_eq!(Shape::new(vec![4, 3, 2]).strides(), vec![6, 2, 1]);
+        assert_eq!(Shape::vector(7).strides(), vec![1]);
+    }
+
+    #[test]
+    fn flatten_index_matches_manual_computation() {
+        let s = Shape::new(vec![2, 3, 4]);
+        assert_eq!(s.flatten_index(&[1, 2, 3]), Some(12 + 2 * 4 + 3));
+        assert_eq!(s.flatten_index(&[0, 0, 0]), Some(0));
+    }
+
+    #[test]
+    fn flatten_index_rejects_bad_indices() {
+        let s = Shape::matrix(2, 3);
+        assert_eq!(s.flatten_index(&[2, 0]), None);
+        assert_eq!(s.flatten_index(&[0, 3]), None);
+        assert_eq!(s.flatten_index(&[0]), None);
+    }
+
+    #[test]
+    fn display_renders_dimensions() {
+        assert_eq!(Shape::chw(3, 32, 32).to_string(), "[3x32x32]");
+        assert_eq!(Shape::scalar().to_string(), "[]");
+    }
+
+    #[test]
+    fn conversion_from_arrays_and_slices() {
+        let a: Shape = [2, 2].into();
+        let b: Shape = vec![2, 2].into();
+        let c: Shape = (&[2usize, 2][..]).into();
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+    }
+
+    #[test]
+    fn same_volume_ignores_factoring() {
+        assert!(Shape::matrix(2, 6).same_volume(&Shape::chw(3, 2, 2)));
+        assert!(!Shape::vector(5).same_volume(&Shape::vector(6)));
+    }
+}

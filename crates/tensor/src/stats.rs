@@ -1,0 +1,188 @@
+/// Descriptive statistics of a sample (used for weight-distribution
+/// analyses such as the paper's Figure 6).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f32,
+    /// Population standard deviation.
+    pub std_dev: f32,
+    /// Smallest sample.
+    pub min: f32,
+    /// Largest sample.
+    pub max: f32,
+}
+
+impl Summary {
+    /// Computes summary statistics of `values`.
+    ///
+    /// Returns the default (all-zero) summary for an empty slice.
+    pub fn of(values: &[f32]) -> Self {
+        if values.is_empty() {
+            return Summary::default();
+        }
+        let count = values.len();
+        let mean = values.iter().sum::<f32>() / count as f32;
+        let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / count as f32;
+        let min = values.iter().copied().fold(f32::INFINITY, f32::min);
+        let max = values.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        Summary {
+            count,
+            mean,
+            std_dev: var.sqrt(),
+            min,
+            max,
+        }
+    }
+}
+
+/// A fixed-width histogram over a closed interval.
+///
+/// Used to reproduce the weight-distribution plots (Figure 6a–c): the
+/// clustered distribution collapses into a few spikes, which shows up as a
+/// small number of non-empty bins.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f32,
+    hi: f32,
+    counts: Vec<usize>,
+}
+
+impl Histogram {
+    /// Lower edge of the histogram domain.
+    pub fn lo(&self) -> f32 {
+        self.lo
+    }
+
+    /// Upper edge of the histogram domain.
+    pub fn hi(&self) -> f32 {
+        self.hi
+    }
+
+    /// Per-bin sample counts.
+    pub fn counts(&self) -> &[usize] {
+        &self.counts
+    }
+
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Number of bins containing at least one sample.
+    pub fn occupied_bins(&self) -> usize {
+        self.counts.iter().filter(|&&c| c > 0).count()
+    }
+
+    /// Total number of binned samples.
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// Centre of bin `i`, or `None` when `i` is out of range.
+    pub fn bin_center(&self, i: usize) -> Option<f32> {
+        if i >= self.counts.len() {
+            return None;
+        }
+        let width = (self.hi - self.lo) / self.counts.len() as f32;
+        Some(self.lo + (i as f32 + 0.5) * width)
+    }
+
+    /// Renders the histogram as rows of `center count` text, one per bin.
+    pub fn to_rows(&self) -> Vec<(f32, usize)> {
+        (0..self.bins())
+            .map(|i| (self.bin_center(i).expect("bin in range"), self.counts[i]))
+            .collect()
+    }
+}
+
+/// Builds a histogram of `values` with `bins` equal-width bins spanning the
+/// sample range (or `[0, 1]` for an empty/degenerate sample).
+///
+/// Samples on the upper edge fall into the last bin.
+///
+/// # Panics
+///
+/// Panics when `bins` is zero.
+pub fn histogram(values: &[f32], bins: usize) -> Histogram {
+    assert!(bins > 0, "histogram needs at least one bin");
+    let summary = Summary::of(values);
+    let (lo, hi) = if values.is_empty() || summary.min == summary.max {
+        (summary.min, summary.min + 1.0)
+    } else {
+        (summary.min, summary.max)
+    };
+    let mut counts = vec![0usize; bins];
+    let width = (hi - lo) / bins as f32;
+    for &v in values {
+        let mut idx = ((v - lo) / width) as usize;
+        if idx >= bins {
+            idx = bins - 1;
+        }
+        counts[idx] += 1;
+    }
+    Histogram { lo, hi, counts }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_empty_is_default() {
+        assert_eq!(Summary::of(&[]), Summary::default());
+    }
+
+    #[test]
+    fn summary_matches_hand_computation() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.count, 4);
+        assert_eq!(s.mean, 2.5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert!((s.std_dev - 1.118_034).abs() < 1e-5);
+    }
+
+    #[test]
+    fn histogram_bins_all_samples() {
+        let values: Vec<f32> = (0..100).map(|i| i as f32 / 10.0).collect();
+        let h = histogram(&values, 10);
+        assert_eq!(h.total(), 100);
+        assert_eq!(h.bins(), 10);
+        assert_eq!(h.occupied_bins(), 10);
+    }
+
+    #[test]
+    fn upper_edge_lands_in_last_bin() {
+        let h = histogram(&[0.0, 1.0], 4);
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.counts()[3], 1);
+    }
+
+    #[test]
+    fn degenerate_sample_does_not_divide_by_zero() {
+        let h = histogram(&[2.0, 2.0, 2.0], 5);
+        assert_eq!(h.total(), 3);
+        assert_eq!(h.occupied_bins(), 1);
+    }
+
+    #[test]
+    fn clustered_values_occupy_few_bins() {
+        // Mirrors Figure 6: after clustering to 4 centroids, a fine-grained
+        // histogram has at most 4 occupied bins.
+        let clustered = [-0.4f32, -0.4, -0.1, -0.1, 0.1, 0.1, 0.3, 0.3];
+        let h = histogram(&clustered, 64);
+        assert!(h.occupied_bins() <= 4);
+    }
+
+    #[test]
+    fn bin_centers_are_monotone() {
+        let h = histogram(&[0.0, 10.0], 5);
+        let centers: Vec<f32> = (0..5).map(|i| h.bin_center(i).unwrap()).collect();
+        for w in centers.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        assert_eq!(h.bin_center(5), None);
+    }
+}

@@ -1,0 +1,86 @@
+//! A tour of the hardware substrates, bottom-up: memristor device →
+//! MAGIC NOR → in-memory adder tree → NDCAM search → counter-based
+//! weighted accumulation — each exercised standalone, mirroring §4.
+//!
+//! ```sh
+//! cargo run --release --example hardware_tour
+//! ```
+
+use rapidnn::accel::{decompose_counter, WeightedAccumulator};
+use rapidnn::memristor::{nor, AdderTree, Device, DeviceConfig, DeviceState};
+use rapidnn::ndcam::{AmBlock, DischargeModel, NdcamArray};
+use rapidnn::tensor::SeededRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = SeededRng::new(1);
+
+    // 1. A single-level memristor cell switching by threshold (§4.1.2).
+    let mut cell = Device::sample(&DeviceConfig::default(), &mut rng);
+    cell.apply_voltage(1.5);
+    assert_eq!(cell.state(), DeviceState::On);
+    println!(
+        "device: SET at {:.2}V, RESET at {:.2}V, R_off/R_on = {:.0}",
+        cell.v_set(),
+        cell.v_reset(),
+        DeviceConfig::default().r_off / DeviceConfig::default().r_on
+    );
+
+    // 2. Everything from NOR: a full adder in 12 serial NOR steps, so one
+    //    crossbar addition stage costs 13 cycles (init + 12).
+    let mut ctx = nor::NorContext::new();
+    let (sum, carry) = nor::full_adder(&mut ctx, true, true, false);
+    println!(
+        "full adder from NOR only: 1+1 = carry {} sum {}, {} serial steps",
+        carry as u8, sum as u8,
+        ctx.steps()
+    );
+
+    // 3. Carry-save adder tree: add 100 numbers in log-depth stages.
+    let tree = AdderTree::new(16);
+    let operands: Vec<u64> = (1..=100).collect();
+    let report = tree.add_all(&operands);
+    println!(
+        "adder tree: Σ1..100 = {} in {} CSA stages + ripple = {} cycles",
+        report.sum, report.csa_stages, report.cycles
+    );
+
+    // 4. NDCAM: nearest-distance search in a single 0.5 ns operation.
+    let cam = NdcamArray::from_values(&[12, 60, 130, 200], 8)?;
+    let hit = cam.search_nearest(140);
+    println!(
+        "ndcam: nearest to 140 is {} (row {}), {:.1} ns / {:.0} fJ",
+        hit.value, hit.row, hit.cost.latency_ns, hit.cost.energy_fj
+    );
+    println!(
+        "ndcam fidelity: weighted {:.0}% vs plain hamming {:.0}%",
+        100.0 * cam.fidelity(256),
+        100.0 * cam.fidelity_hamming(256)
+    );
+    let model = DischargeModel::default();
+    println!(
+        "match-line race 128-vs-255 correct {:.1}% of 5000 variation draws",
+        100.0 * model.separability(128, 255, 5000, &mut rng)
+    );
+
+    // 5. AM block: an activation lookup table as CAM + payload crossbar.
+    let keys: Vec<u64> = (0..8).map(|i| i * 32).collect();
+    let payloads: Vec<f32> = keys.iter().map(|&k| (k as f32 / 255.0).tanh()).collect();
+    let am = AmBlock::new(&keys, 8, payloads)?;
+    let (z, _) = am.lookup(100);
+    println!("am block: activation lookup at y=100 -> z={z:.3}");
+
+    // 6. Counter-based weighted accumulation (§4.1): count, decompose,
+    //    shift-add.
+    let (adds, subs) = decompose_counter(15);
+    println!(
+        "counter 15 decomposes to +2^{:?} -2^{:?} (the 16-1 trick)",
+        adds, subs
+    );
+    let acc = WeightedAccumulator::new(16);
+    let result = acc.accumulate(&[(0.5, 15), (-0.25, 4), (1.0, 9)]);
+    println!(
+        "weighted accumulation: sum {:.3} in {} counting + {} adder cycles",
+        result.sum, result.counting_cycles, result.adder_cycles
+    );
+    Ok(())
+}

@@ -1,0 +1,70 @@
+//! Quickstart: the whole RAPIDNN flow in one page.
+//!
+//! Trains a small float model on synthetic data, reinterprets it with the
+//! DNN composer (k-means codebooks + lookup tables), runs encoded
+//! inference, and simulates the accelerator to get latency/energy.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use rapidnn::{Pipeline, PipelineConfig};
+use rapidnn::tensor::SeededRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = SeededRng::new(2020);
+
+    // A reduced MNIST-class run: data -> train -> compose -> simulate.
+    let mut config = PipelineConfig::tiny_for_tests().with_clusters(16, 16);
+    config.reduction = 8;
+    config.samples = 300;
+    config.train_epochs = 8;
+    let report = Pipeline::new(config).run(&mut rng)?;
+
+    println!("RAPIDNN quickstart — {}", report.benchmark);
+    println!(
+        "float baseline error      : {:.2}%",
+        100.0 * report.compose.baseline_error
+    );
+    println!(
+        "reinterpreted model error : {:.2}%  (Δe = {:+.2}%)",
+        100.0 * report.compose.final_error,
+        100.0 * report.compose.delta_e
+    );
+    println!(
+        "composer iterations       : {}",
+        report.compose.iterations.len()
+    );
+    println!(
+        "accelerator latency       : {:.1} ns/inference ({} MACs)",
+        report.simulation.hardware.latency_ns, report.workload.mac_ops()
+    );
+    println!(
+        "accelerator energy        : {:.2} µJ/inference",
+        report.simulation.hardware.energy_uj()
+    );
+    println!(
+        "pipelined throughput      : {:.0} inferences/s",
+        report.simulation.hardware.throughput_per_s()
+    );
+    println!(
+        "table memory              : {} bytes",
+        report.compose.reinterpreted.memory_bytes()
+    );
+
+    // The encoded model is a plain value — run a single sample by hand.
+    let sample = report.validation.sample(0);
+    let logits = report.compose.reinterpreted.infer_sample(sample.as_slice())?;
+    let predicted = logits
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    println!(
+        "sample 0: predicted class {} (label {})",
+        predicted,
+        report.validation.labels()[0]
+    );
+    Ok(())
+}

@@ -1,0 +1,5 @@
+//! Workspace-root package: hosts the runnable examples under `examples/`
+//! and the cross-crate integration tests under `tests/`. All functionality
+//! lives in the member crates; use the [`rapidnn`] facade crate.
+
+pub use rapidnn;

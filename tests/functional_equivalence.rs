@@ -1,0 +1,161 @@
+//! Functional-equivalence tests between the software view of the
+//! reinterpreted model and the hardware building blocks: what the RNA
+//! datapath computes must match the composer's encoded-domain semantics.
+
+use rapidnn::accel::WeightedAccumulator;
+use rapidnn::composer::{ActivationTable, Codebook, EncoderTable, ProductTable};
+use rapidnn::memristor::AdderTree;
+use rapidnn::ndcam::{AmBlock, NdcamArray};
+use rapidnn::nn::Activation;
+use rapidnn::tensor::SeededRng;
+
+/// Builds a random (weight, input) codebook pair plus encoded edges.
+fn random_neuron(
+    rng: &mut SeededRng,
+    edges: usize,
+    w: usize,
+    u: usize,
+) -> (Codebook, Codebook, Vec<(u16, u16)>) {
+    let weights = Codebook::from_kmeans(
+        &(0..200).map(|_| rng.normal()).collect::<Vec<_>>(),
+        w,
+        rng,
+    )
+    .unwrap();
+    let inputs = Codebook::from_kmeans(
+        &(0..200).map(|_| rng.normal().abs()).collect::<Vec<_>>(),
+        u,
+        rng,
+    )
+    .unwrap();
+    let pairs = (0..edges)
+        .map(|_| {
+            (
+                rng.index(weights.len()) as u16,
+                rng.index(inputs.len()) as u16,
+            )
+        })
+        .collect();
+    (weights, inputs, pairs)
+}
+
+#[test]
+fn counter_accumulation_matches_serial_product_sum() {
+    // The counter + shift-add + CSA-tree path (§4.1) must compute the same
+    // weighted sum as naively fetching and adding every product.
+    let mut rng = SeededRng::new(3);
+    for trial in 0..10 {
+        let (wcb, xcb, pairs) = random_neuron(&mut rng, 64 + trial * 37, 8, 8);
+        let table = ProductTable::build(&wcb, &xcb);
+
+        // Serial reference: fetch per edge, accumulate.
+        let serial: f32 = pairs.iter().map(|&(w, x)| table.fetch(w, x)).sum();
+
+        // Hardware path: counters per slot, decompose, add in-memory.
+        let mut counters = vec![0u32; table.len()];
+        for &(w, x) in &pairs {
+            counters[table.slot(w, x)] += 1;
+        }
+        let slots: Vec<(f32, u32)> = counters
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(slot, &c)| (table.product_at(slot), c))
+            .collect();
+        let acc = WeightedAccumulator::new(16);
+        let report = acc.accumulate(&slots);
+        assert!(
+            (report.sum - serial).abs() < 0.05,
+            "trial {trial}: {} vs {serial}",
+            report.sum
+        );
+        assert!(report.cycles() > 0);
+    }
+}
+
+#[test]
+fn ndcam_lookup_matches_encoder_table_semantics() {
+    // The encoder AM block must produce the same codes as the composer's
+    // EncoderTable (nearest representative), for queries quantized to the
+    // CAM's fixed-point grid.
+    let codebook = Codebook::new(vec![-1.0, -0.25, 0.3, 0.9]).unwrap();
+    let encoder = EncoderTable::new(codebook.clone());
+
+    // Map [-2, 2] onto 8-bit keys for the CAM.
+    let to_key = |v: f32| (((v + 2.0) / 4.0 * 255.0).clamp(0.0, 255.0)) as u64;
+    let keys: Vec<u64> = codebook.values().iter().map(|&v| to_key(v)).collect();
+    let payloads: Vec<u16> = (0..codebook.len() as u16).collect();
+    let am = AmBlock::new(&keys, 8, payloads).unwrap();
+
+    let mut rng = SeededRng::new(9);
+    for _ in 0..200 {
+        let z = rng.uniform(-1.8, 1.8);
+        let software = encoder.encode(z);
+        let (hardware, _) = am.lookup(to_key(z));
+        // They may differ only when z is almost exactly between two
+        // representatives and the 8-bit grid rounds the other way.
+        if software != hardware {
+            let d_soft = (codebook.decode(software) - z).abs();
+            let d_hard = (codebook.decode(hardware) - z).abs();
+            assert!(
+                (d_soft - d_hard).abs() < 0.02,
+                "disagreement not a rounding tie: z={z}, {software} vs {hardware}"
+            );
+        }
+    }
+}
+
+#[test]
+fn max_pool_on_codes_equals_max_pool_on_values() {
+    // Sorted codebooks: the CAM max-search over encoded values must select
+    // the same element as a float max over decoded values.
+    let codebook = Codebook::new(vec![-0.9, -0.2, 0.15, 0.8, 1.4]).unwrap();
+    let mut rng = SeededRng::new(4);
+    for _ in 0..100 {
+        let values: Vec<f32> = (0..9).map(|_| rng.uniform(-1.5, 1.5)).collect();
+        let codes: Vec<u64> = values.iter().map(|&v| codebook.encode(v) as u64).collect();
+        let cam = NdcamArray::from_values(&codes, 8).unwrap();
+        let hit = cam.search_max();
+        let max_quantized = values
+            .iter()
+            .map(|&v| codebook.quantize(v))
+            .fold(f32::NEG_INFINITY, f32::max);
+        assert_eq!(codebook.decode(hit.value as u16), max_quantized);
+    }
+}
+
+#[test]
+fn nor_adder_tree_matches_integer_sums_at_scale() {
+    let tree = AdderTree::new(24);
+    let mut rng = SeededRng::new(6);
+    for _ in 0..20 {
+        let n = 1 + rng.index(200);
+        let operands: Vec<u64> = (0..n).map(|_| rng.index(1 << 14) as u64).collect();
+        let expected: u64 = operands.iter().sum::<u64>() & ((1 << 24) - 1);
+        assert_eq!(tree.add_all(&operands).sum, expected);
+    }
+}
+
+#[test]
+fn activation_table_matches_reference_activation_within_quantization() {
+    for activation in [Activation::Sigmoid, Activation::Tanh, Activation::Softsign] {
+        let table = ActivationTable::build(
+            activation,
+            -6.0,
+            6.0,
+            64,
+            rapidnn::composer::QuantizationScheme::NonLinear,
+        )
+        .unwrap();
+        let mut rng = SeededRng::new(11);
+        for _ in 0..500 {
+            let y = rng.uniform(-6.0, 6.0);
+            let approx = table.lookup(y);
+            let exact = activation.apply(y);
+            assert!(
+                (approx - exact).abs() < 0.08,
+                "{activation:?}({y}): {approx} vs {exact}"
+            );
+        }
+    }
+}
