@@ -181,7 +181,10 @@ impl WeightedAccumulator {
     pub fn accumulate_edges(&self, products: &[f32]) -> AccumulateReport {
         let mut slots: Vec<(f32, u32)> = Vec::new();
         for &p in products {
-            match slots.iter_mut().find(|(v, _)| (*v - p).abs() < f32::EPSILON) {
+            match slots
+                .iter_mut()
+                .find(|(v, _)| (*v - p).abs() < f32::EPSILON)
+            {
                 Some((_, c)) => *c += 1,
                 None => slots.push((p, 1)),
             }
@@ -195,8 +198,7 @@ mod tests {
     use super::*;
 
     fn value_of(adds: &[u32], subs: &[u32]) -> i64 {
-        adds.iter().map(|&s| 1i64 << s).sum::<i64>()
-            - subs.iter().map(|&s| 1i64 << s).sum::<i64>()
+        adds.iter().map(|&s| 1i64 << s).sum::<i64>() - subs.iter().map(|&s| 1i64 << s).sum::<i64>()
     }
 
     #[test]
@@ -218,7 +220,10 @@ mod tests {
         assert!(subs.is_empty());
         // count 15 -> 16 - 1 (longest run of 1s).
         let (adds, subs) = decompose_counter(15);
-        assert_eq!((adds.as_slice(), subs.as_slice()), (&[4u32][..], &[0u32][..]));
+        assert_eq!(
+            (adds.as_slice(), subs.as_slice()),
+            (&[4u32][..], &[0u32][..])
+        );
     }
 
     #[test]

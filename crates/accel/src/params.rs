@@ -148,12 +148,16 @@ mod tests {
     #[test]
     fn table1_block_sums_are_consistent() {
         // Crossbar + counter + activation + encoder ≈ RNA total.
-        let parts =
-            CROSSBAR_AREA_UM2 + COUNTER_AREA_UM2 + ACTIVATION_AREA_UM2 + ENCODER_AREA_UM2;
-        assert!((parts - RNA_AREA_UM2).abs() / RNA_AREA_UM2 < 0.01, "{parts}");
-        let power =
-            CROSSBAR_POWER_MW + COUNTER_POWER_MW + ACTIVATION_POWER_MW + ENCODER_POWER_MW;
-        assert!((power - RNA_POWER_MW).abs() / RNA_POWER_MW < 0.01, "{power}");
+        let parts = CROSSBAR_AREA_UM2 + COUNTER_AREA_UM2 + ACTIVATION_AREA_UM2 + ENCODER_AREA_UM2;
+        assert!(
+            (parts - RNA_AREA_UM2).abs() / RNA_AREA_UM2 < 0.01,
+            "{parts}"
+        );
+        let power = CROSSBAR_POWER_MW + COUNTER_POWER_MW + ACTIVATION_POWER_MW + ENCODER_POWER_MW;
+        assert!(
+            (power - RNA_POWER_MW).abs() / RNA_POWER_MW < 0.01,
+            "{power}"
+        );
     }
 
     #[test]

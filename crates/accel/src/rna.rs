@@ -1,7 +1,6 @@
 use crate::metrics::{BlockBreakdown, BlockClass};
 use crate::params::{
-    ACCUMULATOR_BITS, ACTIVATION_POWER_MW, COUNTER_POWER_MW, CROSSBAR_POWER_MW,
-    ENCODER_POWER_MW,
+    ACCUMULATOR_BITS, ACTIVATION_POWER_MW, COUNTER_POWER_MW, CROSSBAR_POWER_MW, ENCODER_POWER_MW,
 };
 use rapidnn_memristor::{AdderTree, RIPPLE_CYCLES_PER_BIT, STAGE_CYCLES};
 use rapidnn_ndcam::SearchCost;
@@ -77,7 +76,9 @@ pub fn neuron_cost(
     }
     // Counting: one index per weight buffer per cycle (§4.1.1); buckets
     // are roughly balanced so the deepest buffer holds ~edges/w entries.
-    let counting_cycles = (edges as u64).div_ceil(weight_clusters.max(1) as u64).max(1);
+    let counting_cycles = (edges as u64)
+        .div_ceil(weight_clusters.max(1) as u64)
+        .max(1);
 
     // Adder tree over the decomposed counters (§4.1.2).
     let slots = weight_clusters * input_clusters;
@@ -98,8 +99,7 @@ pub fn neuron_cost(
     // mW × ns = pJ at our 1 GHz clock (1 cycle = 1 ns). The AM blocks draw
     // their Table 1 power for the whole neuron-evaluation window (they are
     // part of the active RNA), plus the per-search dynamic energy.
-    let window =
-        (counting_cycles + adder_cycles + activation_cycles + encoding_cycles) as f64;
+    let window = (counting_cycles + adder_cycles + activation_cycles + encoding_cycles) as f64;
     breakdown.add(
         BlockClass::WeightedAccumulation,
         COUNTER_POWER_MW * counting_cycles as f64 + CROSSBAR_POWER_MW * adder_cycles as f64,

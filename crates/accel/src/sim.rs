@@ -80,8 +80,7 @@ impl Simulator {
         let mut mac_ops = 0u64;
         self.walk(model.stages(), &mut stages, &mut mac_ops);
 
-        let (breakdown, latency_ns, energy_pj, interval) =
-            self.aggregate(&stages);
+        let (breakdown, latency_ns, energy_pj, interval) = self.aggregate(&stages);
 
         SimulationReport {
             hardware: HardwareReport {
@@ -224,12 +223,15 @@ impl Simulator {
         let mut mac_ops = 0u64;
         for (i, &(neurons, edges)) in shapes.iter().enumerate() {
             mac_ops += (neurons * edges) as u64;
-            let enc_rows = if i + 1 == shapes.len() { 0 } else { input_clusters };
+            let enc_rows = if i + 1 == shapes.len() {
+                0
+            } else {
+                input_clusters
+            };
             let cost = neuron_cost(edges, weight_clusters, input_clusters, 1, enc_rows);
             stages.push(self.neuron_stage_cost("layer", neurons, input_clusters, &cost));
         }
-        let (breakdown, latency_ns, energy_pj, interval) =
-            self.aggregate(&stages);
+        let (breakdown, latency_ns, energy_pj, interval) = self.aggregate(&stages);
         SimulationReport {
             hardware: HardwareReport {
                 latency_ns,
@@ -262,8 +264,7 @@ impl Simulator {
         // parallel.
         let bits = (usize::BITS - next_codebook.saturating_sub(1).leading_zeros()).max(1) as f64;
         let transfer_latency = bits * self.config.cycle_ns() * waves as f64;
-        let tiles_active = (neurons as f64
-            / self.config.rnas_per_tile as f64)
+        let tiles_active = (neurons as f64 / self.config.rnas_per_tile as f64)
             .ceil()
             .min((self.config.chips * self.config.tiles_per_chip) as f64)
             .max(1.0);
@@ -333,11 +334,11 @@ mod tests {
         // Figure 11's trend: smaller encoded sets → more energy-efficient
         // and faster computation.
         let mut rng = SeededRng::new(2);
-        let small = Simulator::new(AcceleratorConfig::default())
-            .simulate(&tiny_model(&mut rng, 4, 4));
+        let small =
+            Simulator::new(AcceleratorConfig::default()).simulate(&tiny_model(&mut rng, 4, 4));
         let mut rng = SeededRng::new(2);
-        let large = Simulator::new(AcceleratorConfig::default())
-            .simulate(&tiny_model(&mut rng, 64, 64));
+        let large =
+            Simulator::new(AcceleratorConfig::default()).simulate(&tiny_model(&mut rng, 64, 64));
         assert!(small.hardware.latency_ns <= large.hardware.latency_ns);
         assert!(small.hardware.energy_pj < large.hardware.energy_pj);
     }
@@ -393,15 +394,16 @@ mod tests {
         let mut rng = SeededRng::new(7);
         let mut net = Network::new(2 * 6 * 6);
         net.push(
-            rapidnn_nn::Conv2d::new(2, 6, 6, 3, 3, 1, rapidnn_nn::Padding::Same, &mut rng)
-                .unwrap(),
+            rapidnn_nn::Conv2d::new(2, 6, 6, 3, 3, 1, rapidnn_nn::Padding::Same, &mut rng).unwrap(),
         );
         net.push(rapidnn_nn::ActivationLayer::new(
             rapidnn_nn::Activation::Relu,
         ));
         net.push(rapidnn_nn::MaxPool2d::new(3, 6, 6, 2).unwrap());
         net.push(rapidnn_nn::Dense::new(27, 4, &mut rng));
-        let data = SyntheticSpec::new(72, 4, 2.0).generate(30, &mut rng).unwrap();
+        let data = SyntheticSpec::new(72, 4, 2.0)
+            .generate(30, &mut rng)
+            .unwrap();
         let model = ReinterpretedNetwork::build(
             &mut net,
             data.inputs(),

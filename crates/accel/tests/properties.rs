@@ -1,29 +1,34 @@
 //! Property-based tests of the accelerator's accumulation unit and cost
 //! model invariants.
 
-use proptest::prelude::*;
 use rapidnn_accel::{decompose_counter, neuron_cost, AcceleratorConfig, WeightedAccumulator};
+use rapidnn_prop::{check, usize_in, DEFAULT_CASES};
 
-proptest! {
-    /// The counter decomposition reconstructs every 12-bit-feasible count
-    /// and never produces more operands than the plain binary split.
-    #[test]
-    fn decomposition_exact_and_economical(count in 1u32..(1 << 14)) {
+/// The counter decomposition reconstructs every 12-bit-feasible count
+/// and never produces more operands than the plain binary split.
+#[test]
+fn decomposition_exact_and_economical() {
+    check(DEFAULT_CASES, |rng| {
+        let count = usize_in(rng, 1, 1 << 14) as u32;
         let (adds, subs) = decompose_counter(count);
         let value: i64 = adds.iter().map(|&s| 1i64 << s).sum::<i64>()
             - subs.iter().map(|&s| 1i64 << s).sum::<i64>();
-        prop_assert_eq!(value, count as i64);
+        assert_eq!(value, count as i64);
         let plain = count.count_ones() as usize;
-        prop_assert!(adds.len() + subs.len() <= plain.max(2));
-    }
+        assert!(adds.len() + subs.len() <= plain.max(2));
+    });
+}
 
-    /// Weighted accumulation equals the exact weighted sum within
-    /// fixed-point tolerance, at any precision from 8 to 20 bits.
-    #[test]
-    fn accumulation_precision_scales(
-        slots in proptest::collection::vec((-2.0f32..2.0, 0u32..32), 1..16),
-        bits in 8u32..20,
-    ) {
+/// Weighted accumulation equals the exact weighted sum within
+/// fixed-point tolerance, at any precision from 8 to 20 bits.
+#[test]
+fn accumulation_precision_scales() {
+    check(DEFAULT_CASES, |rng| {
+        let n = usize_in(rng, 1, 16);
+        let slots: Vec<(f32, u32)> = (0..n)
+            .map(|_| (rng.uniform(-2.0, 2.0), usize_in(rng, 0, 32) as u32))
+            .collect();
+        let bits = usize_in(rng, 8, 20) as u32;
         let acc = WeightedAccumulator::new(bits);
         let expected: f32 = slots.iter().map(|&(v, c)| v * c as f32).sum();
         let got = acc.accumulate(&slots).sum;
@@ -31,47 +36,59 @@ proptest! {
         // (error <= 0.5 LSB) and that error is multiplied by its counter.
         let lsb = 1.0 / (1u64 << bits) as f32;
         let total_count: u32 = slots.iter().map(|&(_, c)| c).sum();
-        prop_assert!(
+        assert!(
             (got - expected).abs() <= lsb * (0.5 * total_count as f32 + 2.0) + 1e-4,
             "{} vs {} at {} bits",
             got,
             expected,
             bits
         );
-    }
+    });
+}
 
-    /// Neuron cost is monotone in fan-in: more edges never cost fewer
-    /// cycles or less energy.
-    #[test]
-    fn neuron_cost_monotone_in_edges(
-        edges in 1usize..2048,
-        extra in 1usize..512,
-        w in 2usize..64,
-        u in 2usize..64,
-    ) {
+/// Neuron cost is monotone in fan-in: more edges never cost fewer
+/// cycles or less energy.
+#[test]
+fn neuron_cost_monotone_in_edges() {
+    check(DEFAULT_CASES, |rng| {
+        let edges = usize_in(rng, 1, 2048);
+        let extra = usize_in(rng, 1, 512);
+        let w = usize_in(rng, 2, 64);
+        let u = usize_in(rng, 2, 64);
         let small = neuron_cost(edges, w, u, 64, u);
         let large = neuron_cost(edges + extra, w, u, 64, u);
-        prop_assert!(large.cycles() >= small.cycles());
-        prop_assert!(large.energy_pj() >= small.energy_pj() - 1e-9);
-    }
+        assert!(large.cycles() >= small.cycles());
+        assert!(large.energy_pj() >= small.energy_pj() - 1e-9);
+    });
+}
 
-    /// Chip capacity and area scale linearly with chips; sharing only
-    /// increases capacity.
-    #[test]
-    fn config_scaling(chips in 1usize..16, sharing in 0.0f64..0.9) {
+/// Chip capacity and area scale linearly with chips; sharing only
+/// increases capacity.
+#[test]
+fn config_scaling() {
+    check(DEFAULT_CASES, |rng| {
+        let chips = usize_in(rng, 1, 16);
+        let sharing = rng.uniform(0.0, 0.9) as f64;
         let base = AcceleratorConfig::with_chips(chips);
-        prop_assert_eq!(base.total_rnas(), chips * 32 * 1000);
+        assert_eq!(base.total_rnas(), chips * 32 * 1000);
         let shared = base.with_sharing(sharing);
-        prop_assert!(shared.effective_neuron_capacity() >= base.total_rnas());
+        assert!(shared.effective_neuron_capacity() >= base.total_rnas());
         let more = AcceleratorConfig::with_chips(chips + 1);
-        prop_assert!(more.total_area_mm2() > base.total_area_mm2());
-        prop_assert!(more.max_power_w() > base.max_power_w());
-    }
+        assert!(more.total_area_mm2() > base.total_area_mm2());
+        assert!(more.max_power_w() > base.max_power_w());
+    });
+}
 
-    /// Counting cycles match the ceil(edges / w) buffer-drain model.
-    #[test]
-    fn counting_cycles_model(edges in 1usize..4096, w in 1usize..128) {
+/// Counting cycles match the ceil(edges / w) buffer-drain model.
+#[test]
+fn counting_cycles_model() {
+    check(DEFAULT_CASES, |rng| {
+        let edges = usize_in(rng, 1, 4096);
+        let w = usize_in(rng, 1, 128);
         let cost = neuron_cost(edges, w, 16, 64, 16);
-        prop_assert_eq!(cost.counting_cycles, (edges as u64).div_ceil(w as u64).max(1));
-    }
+        assert_eq!(
+            cost.counting_cycles,
+            (edges as u64).div_ceil(w as u64).max(1)
+        );
+    });
 }

@@ -29,9 +29,7 @@
 mod model;
 mod workload;
 
-pub use model::{
-    dadiannao, eyeriss, gpu_gtx1080, isaac, pipelayer, snapea, AcceleratorModel,
-};
+pub use model::{dadiannao, eyeriss, gpu_gtx1080, isaac, pipelayer, snapea, AcceleratorModel};
 pub use workload::{
     imagenet_layer_shapes, imagenet_workloads, workload_of, LayerShape, Workload, WorkloadKind,
 };

@@ -189,10 +189,7 @@ mod tests {
         let mut rng = SeededRng::new(0);
         let net = topology::mlp(784, &[512, 512], 10, &mut rng).unwrap();
         let w = workload_of("MNIST", &net);
-        assert_eq!(
-            w.mac_ops(),
-            (784 * 512 + 512 * 512 + 512 * 10) as u64
-        );
+        assert_eq!(w.mac_ops(), (784 * 512 + 512 * 512 + 512 * 10) as u64);
         assert_eq!(w.kind(), WorkloadKind::DenseMlp);
         assert_eq!(w.ops(), 2 * w.mac_ops());
     }

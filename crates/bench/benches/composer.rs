@@ -2,7 +2,6 @@
 //! construction (flat and tree), activation-table builds and full-network
 //! reinterpretation.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rapidnn::composer::kmeans::{cluster, cluster_naive_init, KmeansConfig};
 use rapidnn::composer::{
     ActivationTable, Codebook, QuantizationScheme, ReinterpretOptions, ReinterpretedNetwork,
@@ -11,6 +10,7 @@ use rapidnn::composer::{
 use rapidnn::data::SyntheticSpec;
 use rapidnn::nn::{topology, Activation};
 use rapidnn::tensor::SeededRng;
+use rapidnn_bench::{BenchmarkId, Criterion};
 use std::hint::black_box;
 
 fn population(n: usize) -> Vec<f32> {
@@ -24,17 +24,14 @@ fn bench_kmeans(c: &mut Criterion) {
     for &k in &[4usize, 16, 64] {
         group.bench_with_input(BenchmarkId::new("plus_plus", k), &k, |b, &k| {
             let mut rng = SeededRng::new(1);
-            b.iter(|| {
-                cluster(black_box(&values), k, &KmeansConfig::default(), &mut rng).unwrap()
-            });
+            b.iter(|| cluster(black_box(&values), k, &KmeansConfig::default(), &mut rng).unwrap());
         });
     }
     // Ablation: naive init vs k-means++ (DESIGN.md §6).
     group.bench_function("naive_init_64", |b| {
         let mut rng = SeededRng::new(1);
         b.iter(|| {
-            cluster_naive_init(black_box(&values), 64, &KmeansConfig::default(), &mut rng)
-                .unwrap()
+            cluster_naive_init(black_box(&values), 64, &KmeansConfig::default(), &mut rng).unwrap()
         });
     });
     group.finish();
@@ -71,10 +68,8 @@ fn bench_activation_tables(c: &mut Criterion) {
         ("uniform", QuantizationScheme::Uniform),
         ("nonlinear", QuantizationScheme::NonLinear),
     ] {
-        group.bench_function(format!("build_sigmoid_64_{name}"), |b| {
-            b.iter(|| {
-                ActivationTable::build(Activation::Sigmoid, -8.0, 8.0, 64, scheme).unwrap()
-            });
+        group.bench_function(&format!("build_sigmoid_64_{name}"), |b| {
+            b.iter(|| ActivationTable::build(Activation::Sigmoid, -8.0, 8.0, 64, scheme).unwrap());
         });
     }
     let table = ActivationTable::build(
@@ -125,11 +120,9 @@ fn bench_reinterpretation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(
-    benches,
+rapidnn_bench::bench_main!(
     bench_kmeans,
     bench_codebooks,
     bench_activation_tables,
     bench_reinterpretation
 );
-criterion_main!(benches);

@@ -3,7 +3,6 @@
 //! (Figure 16), EDP configuration search step (Figure 12) and the
 //! baseline analytic models.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rapidnn::accel::{AcceleratorConfig, Simulator};
 use rapidnn::baselines::{
     dadiannao, gpu_gtx1080, imagenet_layer_shapes, isaac, pipelayer, Workload, WorkloadKind,
@@ -12,6 +11,7 @@ use rapidnn::composer::{ReinterpretOptions, ReinterpretedNetwork};
 use rapidnn::data::SyntheticSpec;
 use rapidnn::nn::topology;
 use rapidnn::tensor::SeededRng;
+use rapidnn_bench::{BenchmarkId, Criterion};
 use std::hint::black_box;
 
 fn model_for_sim() -> ReinterpretedNetwork {
@@ -98,10 +98,8 @@ fn bench_edp_search_step(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(
-    benches,
+rapidnn_bench::bench_main!(
     bench_simulation,
     bench_baseline_models,
     bench_edp_search_step
 );
-criterion_main!(benches);

@@ -1,11 +1,11 @@
 //! Benchmarks of inference paths: float forward passes versus
 //! encoded-domain (table-lookup) inference, per benchmark class.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use rapidnn::composer::{ReinterpretOptions, ReinterpretedNetwork};
 use rapidnn::data::SyntheticSpec;
 use rapidnn::nn::{topology, Network};
 use rapidnn::tensor::{SeededRng, Shape, Tensor};
+use rapidnn_bench::Criterion;
 use std::hint::black_box;
 
 struct Prepared {
@@ -17,7 +17,9 @@ struct Prepared {
 
 fn prepare_mlp() -> Prepared {
     let mut rng = SeededRng::new(7);
-    let data = SyntheticSpec::new(784, 10, 1.0).generate(24, &mut rng).unwrap();
+    let data = SyntheticSpec::new(784, 10, 1.0)
+        .generate(24, &mut rng)
+        .unwrap();
     let mut float = topology::mlp(784, &[128, 128], 10, &mut rng).unwrap();
     let encoded = ReinterpretedNetwork::build(
         &mut float,
@@ -91,5 +93,4 @@ fn bench_cnn_encoded(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_float_vs_encoded, bench_cnn_encoded);
-criterion_main!(benches);
+rapidnn_bench::bench_main!(bench_float_vs_encoded, bench_cnn_encoded);

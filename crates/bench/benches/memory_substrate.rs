@@ -2,11 +2,11 @@
 //! crossbar row operations, NOR-built adder trees, NDCAM searches and the
 //! counter-based weighted accumulator.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rapidnn::accel::{decompose_counter, WeightedAccumulator};
 use rapidnn::memristor::{nor, AdderTree, Crossbar};
 use rapidnn::ndcam::NdcamArray;
 use rapidnn::tensor::SeededRng;
+use rapidnn_bench::{BenchmarkId, Criterion};
 use std::hint::black_box;
 
 fn bench_nor_logic(c: &mut Criterion) {
@@ -97,12 +97,10 @@ fn bench_weighted_accumulation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(
-    benches,
+rapidnn_bench::bench_main!(
     bench_nor_logic,
     bench_crossbar,
     bench_adder_tree,
     bench_ndcam,
     bench_weighted_accumulation
 );
-criterion_main!(benches);

@@ -2,12 +2,12 @@
 //! derivation), Table 2 workload construction, Table 3 (composer
 //! iteration cost) and Table 4 (RNA-sharing transformation).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use rapidnn::accel::AcceleratorConfig;
 use rapidnn::composer::{quantize_network_weights, ReinterpretOptions, ReinterpretedNetwork};
 use rapidnn::data::{benchmark_dataset, SyntheticSpec};
 use rapidnn::nn::topology::{self, Benchmark};
 use rapidnn::tensor::SeededRng;
+use rapidnn_bench::Criterion;
 use std::hint::black_box;
 
 fn bench_table1_parameters(c: &mut Criterion) {
@@ -78,11 +78,9 @@ fn bench_table4_sharing(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(
-    benches,
+rapidnn_bench::bench_main!(
     bench_table1_parameters,
     bench_table2_workloads,
     bench_table3_composer_iteration,
     bench_table4_sharing
 );
-criterion_main!(benches);

@@ -1,5 +1,210 @@
-//! Criterion benchmark harness for the RAPIDNN reproduction.
+//! Std-only benchmark harness for the RAPIDNN reproduction.
 //!
-//! This crate contains no library code; the benchmarks live under
+//! A minimal, dependency-free stand-in for criterion: the benchmarks under
 //! `benches/` — `composer`, `inference`, `memory_substrate`, `tables` and
-//! `figures` — and are driven by `cargo bench`.
+//! `figures` — register closures with [`Criterion::bench_function`] and the
+//! harness times them over a warmup + measurement loop, reporting mean/min
+//! wall time per iteration. Run with `cargo bench`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Drives one benchmark's timing loop.
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`: a short warmup, then `sample_size` measured
+    /// samples of adaptively-batched iterations.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Warmup and batch sizing: aim for samples of >= ~1 ms.
+        let warmup_start = Instant::now();
+        let mut batch = 1usize;
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= Duration::from_millis(1)
+                || warmup_start.elapsed() > Duration::from_millis(200)
+            {
+                break;
+            }
+            batch = batch.saturating_mul(2);
+        }
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            self.samples.push(t.elapsed() / batch as u32);
+        }
+    }
+}
+
+/// Top-level harness; runs benchmarks as they are registered and prints
+/// per-benchmark timings.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Criterion {
+    /// Creates a harness with the default sample count.
+    pub fn new() -> Self {
+        Criterion { sample_size: 20 }
+    }
+
+    /// Registers and immediately runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, self.sample_size, &mut f);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            prefix: name.to_string(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion::new()
+    }
+}
+
+/// A named group of benchmarks sharing a sample-size override.
+pub struct BenchmarkGroup<'a> {
+    prefix: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the measured sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Registers and immediately runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(
+            &format!("{}/{}", self.prefix, name),
+            self.sample_size,
+            &mut f,
+        );
+        self
+    }
+
+    /// Registers and runs one parameterised benchmark.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(
+            &format!("{}/{}", self.prefix, id.label),
+            self.sample_size,
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group (provided for criterion API parity).
+    pub fn finish(&mut self) {}
+}
+
+/// A benchmark name with a parameter suffix (criterion API parity).
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id rendered as `name/parameter`.
+    pub fn new(name: &str, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+}
+
+fn run_one(name: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut samples = Vec::with_capacity(sample_size);
+    let mut bencher = Bencher {
+        samples: &mut samples,
+        sample_size,
+    };
+    f(&mut bencher);
+    if samples.is_empty() {
+        println!("{name:<48} (no samples)");
+        return;
+    }
+    samples.sort();
+    let min = samples[0];
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    println!(
+        "{name:<48} mean {:>12} min {:>12} ({} samples)",
+        format_duration(mean),
+        format_duration(min),
+        samples.len()
+    );
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Declares the `main` entry point running the listed bench functions —
+/// a drop-in for `criterion_group!` + `criterion_main!`.
+#[macro_export]
+macro_rules! bench_main {
+    ($($func:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::new();
+            $($func(&mut criterion);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = Criterion::new();
+        // Should complete quickly and not panic.
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(2);
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.finish();
+    }
+
+    #[test]
+    fn format_duration_scales() {
+        assert!(format_duration(Duration::from_nanos(10)).ends_with("ns"));
+        assert!(format_duration(Duration::from_micros(10)).ends_with("µs"));
+        assert!(format_duration(Duration::from_millis(10)).ends_with("ms"));
+        assert!(format_duration(Duration::from_secs(10)).ends_with("s"));
+    }
+}

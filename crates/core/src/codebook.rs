@@ -29,7 +29,9 @@ impl Codebook {
     /// contains non-finite entries.
     pub fn new(mut values: Vec<f32>) -> Result<Self> {
         if values.is_empty() {
-            return Err(CoreError::InvalidCodebook("no representative values".into()));
+            return Err(CoreError::InvalidCodebook(
+                "no representative values".into(),
+            ));
         }
         if values.iter().any(|v| !v.is_finite()) {
             return Err(CoreError::InvalidCodebook(

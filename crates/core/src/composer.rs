@@ -182,11 +182,7 @@ impl Composer {
             // Parameter clustering: replace float weights with their
             // cluster centroids so retraining starts from the clustered
             // distribution (Figure 6b).
-            quantize_network_weights(
-                network,
-                self.config.weight_clusters,
-                rng,
-            )?;
+            quantize_network_weights(network, self.config.weight_clusters, rng)?;
             // Build the memory-based model and estimate its error (§3.2).
             let reinterpreted =
                 ReinterpretedNetwork::build(network, train.inputs(), &options, rng)?;

@@ -103,8 +103,7 @@ pub fn cluster(
         let mut wcss = 0.0f64;
         let mut c = 0usize;
         for &v in sorted {
-            while c + 1 < centroids.len()
-                && (v - centroids[c + 1]).abs() < (v - centroids[c]).abs()
+            while c + 1 < centroids.len() && (v - centroids[c + 1]).abs() < (v - centroids[c]).abs()
             {
                 c += 1;
             }
@@ -145,8 +144,7 @@ fn sorted_wcss(sorted: &[f32], centroids: &[f32]) -> f64 {
     let mut c = 0usize;
     let mut total = 0.0f64;
     for &v in sorted {
-        while c + 1 < centroids.len() && (v - centroids[c + 1]).abs() < (v - centroids[c]).abs()
-        {
+        while c + 1 < centroids.len() && (v - centroids[c + 1]).abs() < (v - centroids[c]).abs() {
             c += 1;
         }
         total += ((v - centroids[c]) as f64).powi(2);
@@ -227,8 +225,7 @@ pub fn cluster_naive_init(
         let mut wcss = 0.0f64;
         let mut c = 0usize;
         for &v in &sorted {
-            while c + 1 < centroids.len()
-                && (v - centroids[c + 1]).abs() < (v - centroids[c]).abs()
+            while c + 1 < centroids.len() && (v - centroids[c + 1]).abs() < (v - centroids[c]).abs()
             {
                 c += 1;
             }

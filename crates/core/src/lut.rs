@@ -113,6 +113,17 @@ impl ActivationTable {
         self.exact_comparator
     }
 
+    /// Sorted query coordinates (`y` in Figure 2c) — exposed so compiled
+    /// artifacts can flatten the table.
+    pub fn inputs(&self) -> &[f32] {
+        &self.inputs
+    }
+
+    /// Output per query coordinate (`z`), aligned with [`Self::inputs`].
+    pub fn outputs(&self) -> &[f32] {
+        &self.outputs
+    }
+
     /// Evaluates the table at `y` — nearest stored input point wins.
     pub fn lookup(&self, y: f32) -> f32 {
         if self.exact_comparator {
@@ -195,10 +206,7 @@ fn curvature_points(activation: Activation, lo: f32, hi: f32, rows: usize) -> Ve
     let mut i = 0;
     while points.len() < rows && i < rows {
         let candidate = lo + (hi - lo) * (i as f32 + 0.5) / rows as f32;
-        if points
-            .iter()
-            .all(|&p| (p - candidate).abs() > f32::EPSILON)
-        {
+        if points.iter().all(|&p| (p - candidate).abs() > f32::EPSILON) {
             points.push(candidate);
             points.sort_by(f32::total_cmp);
         }

@@ -53,6 +53,12 @@ impl ProductTable {
         self.products.is_empty()
     }
 
+    /// The raw row-major `weight_count x input_count` product buffer —
+    /// what a compiled-artifact flattener copies out verbatim.
+    pub fn products(&self) -> &[f32] {
+        &self.products
+    }
+
     /// Fetches the pre-computed product of weight code `w` and input code
     /// `x`.
     ///

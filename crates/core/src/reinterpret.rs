@@ -123,14 +123,20 @@ impl NeuronStage {
         &self.weight_codes
     }
 
+    /// Float bias per output neuron group (dense output / conv channel).
+    pub fn bias(&self) -> &[f32] {
+        &self.bias
+    }
+
+    /// Code used for zero-padding in conv stages.
+    pub fn zero_code(&self) -> u16 {
+        self.zero_code
+    }
+
     /// Approximate on-accelerator memory footprint in bytes: product
     /// tables + weight codes + the two AM blocks.
     pub fn memory_bytes(&self) -> usize {
-        let product_bits: usize = self
-            .product_tables
-            .iter()
-            .map(|t| t.len() * 32)
-            .sum();
+        let product_bits: usize = self.product_tables.iter().map(|t| t.len() * 32).sum();
         let code_bits = self.weight_codes.len() * self.weight_codebooks[0].bits() as usize;
         let act_bits = self.activation.rows() * 64;
         let enc_bits = self.encoder.as_ref().map_or(0, |e| e.rows() * 64);
@@ -176,19 +182,15 @@ impl NeuronStage {
                             let mut k = 0usize;
                             for ic in 0..c {
                                 for kh in 0..g.kernel_h {
-                                    let iy =
-                                        (oy * g.stride + kh) as isize - g.pad as isize;
+                                    let iy = (oy * g.stride + kh) as isize - g.pad as isize;
                                     for kw in 0..g.kernel_w {
-                                        let ix = (ox * g.stride + kw) as isize
-                                            - g.pad as isize;
+                                        let ix = (ox * g.stride + kw) as isize - g.pad as isize;
                                         let xcode = if iy >= 0
                                             && ix >= 0
                                             && (iy as usize) < h
                                             && (ix as usize) < w
                                         {
-                                            codes[ic * h * w
-                                                + iy as usize * w
-                                                + ix as usize]
+                                            codes[ic * h * w + iy as usize * w + ix as usize]
                                         } else {
                                             self.zero_code
                                         };
@@ -416,8 +418,7 @@ impl ReinterpretedNetwork {
             options: *options,
             rng,
         };
-        let (stages, first_codebook) =
-            builder.build_stages(network.layers_mut(), &sample, true)?;
+        let (stages, first_codebook) = builder.build_stages(network.layers_mut(), &sample, true)?;
         let first_codebook = first_codebook.ok_or_else(|| {
             CoreError::UnsupportedTopology("network has no weighted layers".into())
         })?;
@@ -451,7 +452,10 @@ impl ReinterpretedNetwork {
 
     /// Encodes one raw sample into the first stage's codebook.
     pub fn encode_input(&self, sample: &[f32]) -> Vec<u16> {
-        sample.iter().map(|&v| self.virtual_encoder.encode(v)).collect()
+        sample
+            .iter()
+            .map(|&v| self.virtual_encoder.encode(v))
+            .collect()
     }
 
     /// Encodes a `batch x features` matrix through the virtual input
@@ -551,11 +555,7 @@ impl ReinterpretedNetwork {
     /// fully connected layer have lookup tables with the exact same
     /// entries") — so only convolution stages accrue quality loss, which
     /// is why loss grows with sharing in Table 4's CNN workloads.
-    pub fn with_rna_sharing(
-        &self,
-        fraction: f64,
-        rng: &mut rapidnn_tensor::SeededRng,
-    ) -> Self {
+    pub fn with_rna_sharing(&self, fraction: f64, rng: &mut rapidnn_tensor::SeededRng) -> Self {
         let mut shared = self.clone();
         let fraction = fraction.clamp(0.0, 0.9);
         if fraction > 0.0 {
@@ -672,11 +672,7 @@ fn run_stage(stage: &Stage, flow: Flow) -> Result<Flow> {
                     skip.len()
                 )));
             }
-            let joined: Vec<f32> = branch_out
-                .iter()
-                .zip(&skip)
-                .map(|(a, b)| a + b)
-                .collect();
+            let joined: Vec<f32> = branch_out.iter().zip(&skip).map(|(a, b)| a + b).collect();
             Ok(match join_encoder {
                 Some(enc) => Flow::Codes(joined.iter().map(|&v| enc.encode(v)).collect()),
                 None => Flow::Floats(joined),
@@ -793,15 +789,12 @@ impl Builder<'_> {
                     let pre_activation = layers[i].forward(&current, Mode::Eval)?;
                     // Peek at the following activation (skipping nothing —
                     // activation follows immediately in our topologies).
-                    let (activation_fn, consumed) = match layers.get(i + 1).map(|l| l.kind())
-                    {
+                    let (activation_fn, consumed) = match layers.get(i + 1).map(|l| l.kind()) {
                         Some(LayerKind::Activation(a)) => (a, 1usize),
                         _ => (Activation::Identity, 0),
                     };
-                    let activation = self.build_activation_table(
-                        activation_fn,
-                        pre_activation.as_slice(),
-                    )?;
+                    let activation =
+                        self.build_activation_table(activation_fn, pre_activation.as_slice())?;
                     // Advance the observation through activation (+dropout
                     // is identity at eval).
                     current = if consumed == 1 {
@@ -842,15 +835,10 @@ impl Builder<'_> {
                 LayerKind::Residual => {
                     let branch_input = current.clone();
                     current = layers[i].forward(&current, Mode::Eval)?;
-                    let branch = layers[i]
-                        .branch_mut()
-                        .ok_or_else(|| {
-                            CoreError::UnsupportedTopology(
-                                "residual layer exposes no branch".into(),
-                            )
-                        })?;
-                    let (stages, first_cb) =
-                        self.build_stages(branch, &branch_input, true)?;
+                    let branch = layers[i].branch_mut().ok_or_else(|| {
+                        CoreError::UnsupportedTopology("residual layer exposes no branch".into())
+                    })?;
+                    let (stages, first_cb) = self.build_stages(branch, &branch_input, true)?;
                     protos.push(Proto::Residual {
                         stages,
                         input_codebook: first_cb,
@@ -884,11 +872,14 @@ impl Builder<'_> {
         let mut stages = Vec::with_capacity(count);
         for idx in 0..count {
             let target = next_codebook(&protos, idx);
-            let proto = std::mem::replace(&mut protos[idx], Proto::MaxPool(
-                // Placeholder; replaced value is never read again.
-                Conv2dGeometry::new(1, 1, 1, 1, 1, 1, rapidnn_tensor::Padding::Valid)
-                    .expect("trivial geometry"),
-            ));
+            let proto = std::mem::replace(
+                &mut protos[idx],
+                Proto::MaxPool(
+                    // Placeholder; replaced value is never read again.
+                    Conv2dGeometry::new(1, 1, 1, 1, 1, 1, rapidnn_tensor::Padding::Valid)
+                        .expect("trivial geometry"),
+                ),
+            );
             match proto {
                 Proto::Neuron {
                     kind,
@@ -926,9 +917,7 @@ impl Builder<'_> {
                         .iter()
                         .rev()
                         .find_map(|s| match s {
-                            Stage::Neuron(n) => {
-                                n.encoder().map(|e| e.target().clone())
-                            }
+                            Stage::Neuron(n) => n.encoder().map(|e| e.target().clone()),
                             Stage::Residual {
                                 join_encoder: Some(e),
                                 ..
@@ -1062,9 +1051,7 @@ mod tests {
     use rapidnn_nn::{topology, Trainer, TrainerConfig};
     use rapidnn_tensor::SeededRng;
 
-    fn trained_mlp(
-        rng: &mut SeededRng,
-    ) -> (Network, rapidnn_data::Dataset, rapidnn_data::Dataset) {
+    fn trained_mlp(rng: &mut SeededRng) -> (Network, rapidnn_data::Dataset, rapidnn_data::Dataset) {
         let data = SyntheticSpec::new(10, 3, 2.5).generate(150, rng).unwrap();
         let (train, val) = data.split(0.8);
         let mut net = topology::mlp(10, &[24], 3, rng).unwrap();
@@ -1144,9 +1131,8 @@ mod tests {
     fn infer_sample_validates_width() {
         let mut rng = SeededRng::new(4);
         let (mut net, train, _) = trained_mlp(&mut rng);
-        let model =
-            ReinterpretedNetwork::build(&mut net, train.inputs(), &options(8, 8), &mut rng)
-                .unwrap();
+        let model = ReinterpretedNetwork::build(&mut net, train.inputs(), &options(8, 8), &mut rng)
+            .unwrap();
         assert!(model.infer_sample(&[0.0; 3]).is_err());
         assert_eq!(model.infer_sample(&[0.0; 10]).unwrap().len(), 3);
     }
@@ -1155,10 +1141,9 @@ mod tests {
     fn memory_grows_with_cluster_count() {
         let mut rng = SeededRng::new(5);
         let (mut net, train, _) = trained_mlp(&mut rng);
-        let small =
-            ReinterpretedNetwork::build(&mut net, train.inputs(), &options(4, 4), &mut rng)
-                .unwrap()
-                .memory_bytes();
+        let small = ReinterpretedNetwork::build(&mut net, train.inputs(), &options(4, 4), &mut rng)
+            .unwrap()
+            .memory_bytes();
         let large =
             ReinterpretedNetwork::build(&mut net, train.inputs(), &options(64, 64), &mut rng)
                 .unwrap()
@@ -1172,17 +1157,17 @@ mod tests {
         // Tiny CNN: conv(2ch 6x6) -> relu -> maxpool2 -> dense -> out.
         let mut net = Network::new(2 * 6 * 6);
         net.push(
-            rapidnn_nn::Conv2d::new(2, 6, 6, 3, 3, 1, rapidnn_nn::Padding::Same, &mut rng)
-                .unwrap(),
+            rapidnn_nn::Conv2d::new(2, 6, 6, 3, 3, 1, rapidnn_nn::Padding::Same, &mut rng).unwrap(),
         );
         net.push(rapidnn_nn::ActivationLayer::new(Activation::Relu));
         net.push(rapidnn_nn::MaxPool2d::new(3, 6, 6, 2).unwrap());
         net.push(rapidnn_nn::Dense::new(3 * 3 * 3, 4, &mut rng));
 
-        let data = SyntheticSpec::new(72, 4, 2.0).generate(40, &mut rng).unwrap();
+        let data = SyntheticSpec::new(72, 4, 2.0)
+            .generate(40, &mut rng)
+            .unwrap();
         let model =
-            ReinterpretedNetwork::build(&mut net, data.inputs(), &options(8, 8), &mut rng)
-                .unwrap();
+            ReinterpretedNetwork::build(&mut net, data.inputs(), &options(8, 8), &mut rng).unwrap();
         assert_eq!(model.stages().len(), 3);
         assert!(matches!(model.stages()[1], Stage::MaxPool(_)));
         let out = model.infer_sample(&vec![0.1; 72]).unwrap();
@@ -1201,10 +1186,11 @@ mod tests {
         ]));
         net.push(rapidnn_nn::Dense::new(5, 2, &mut rng));
 
-        let data = SyntheticSpec::new(6, 2, 2.0).generate(40, &mut rng).unwrap();
+        let data = SyntheticSpec::new(6, 2, 2.0)
+            .generate(40, &mut rng)
+            .unwrap();
         let model =
-            ReinterpretedNetwork::build(&mut net, data.inputs(), &options(8, 8), &mut rng)
-                .unwrap();
+            ReinterpretedNetwork::build(&mut net, data.inputs(), &options(8, 8), &mut rng).unwrap();
         assert_eq!(model.stages().len(), 3);
         assert!(matches!(model.stages()[1], Stage::Residual { .. }));
         let out = model.infer_sample(&[0.5; 6]).unwrap();
@@ -1245,10 +1231,11 @@ mod tests {
         );
         net.push(rapidnn_nn::ActivationLayer::new(Activation::Relu));
         net.push(rapidnn_nn::Dense::new(8 * 36, 4, &mut rng));
-        let data = SyntheticSpec::new(72, 4, 2.0).generate(30, &mut rng).unwrap();
+        let data = SyntheticSpec::new(72, 4, 2.0)
+            .generate(30, &mut rng)
+            .unwrap();
         let model =
-            ReinterpretedNetwork::build(&mut net, data.inputs(), &options(8, 8), &mut rng)
-                .unwrap();
+            ReinterpretedNetwork::build(&mut net, data.inputs(), &options(8, 8), &mut rng).unwrap();
         let shared = model.with_rna_sharing(0.5, &mut rng);
         // At least one conv channel now shares a donor codebook.
         match (&model.stages()[0], &shared.stages()[0]) {
@@ -1271,9 +1258,8 @@ mod tests {
     fn zero_sharing_is_identity() {
         let mut rng = SeededRng::new(33);
         let (mut net, train, _) = trained_mlp(&mut rng);
-        let model =
-            ReinterpretedNetwork::build(&mut net, train.inputs(), &options(8, 8), &mut rng)
-                .unwrap();
+        let model = ReinterpretedNetwork::build(&mut net, train.inputs(), &options(8, 8), &mut rng)
+            .unwrap();
         let same = model.with_rna_sharing(0.0, &mut rng);
         assert_eq!(same.memory_bytes(), model.memory_bytes());
     }
@@ -1282,17 +1268,16 @@ mod tests {
     fn encode_batch_round_trips_with_encode_input() {
         let mut rng = SeededRng::new(41);
         let (mut net, train, _) = trained_mlp(&mut rng);
-        let model =
-            ReinterpretedNetwork::build(&mut net, train.inputs(), &options(8, 8), &mut rng)
-                .unwrap();
+        let model = ReinterpretedNetwork::build(&mut net, train.inputs(), &options(8, 8), &mut rng)
+            .unwrap();
         let batch = model.encode_batch(train.inputs()).unwrap();
         assert_eq!(batch.batch(), train.len());
         assert_eq!(batch.features(), 10);
-        assert_eq!(batch.row(0), model.encode_input(&train.sample(0).into_vec()));
         assert_eq!(
-            batch.transfer_bits(4),
-            (train.len() * 10 * 4) as u64
+            batch.row(0),
+            model.encode_input(&train.sample(0).into_vec())
         );
+        assert_eq!(batch.transfer_bits(4), (train.len() * 10 * 4) as u64);
         // Width validation.
         let wrong = Tensor::zeros(rapidnn_tensor::Shape::matrix(2, 3));
         assert!(model.encode_batch(&wrong).is_err());
@@ -1306,10 +1291,11 @@ mod tests {
         net.push(rapidnn_nn::Dense::new(4, 6, &mut rng));
         net.push(rapidnn_nn::ActivationLayer::new(Activation::Sigmoid));
         net.push(rapidnn_nn::Dense::new(6, 2, &mut rng));
-        let data = SyntheticSpec::new(4, 2, 2.0).generate(30, &mut rng).unwrap();
+        let data = SyntheticSpec::new(4, 2, 2.0)
+            .generate(30, &mut rng)
+            .unwrap();
         let model =
-            ReinterpretedNetwork::build(&mut net, data.inputs(), &options(8, 8), &mut rng)
-                .unwrap();
+            ReinterpretedNetwork::build(&mut net, data.inputs(), &options(8, 8), &mut rng).unwrap();
         match &model.stages()[0] {
             Stage::Neuron(s) => {
                 assert!(!s.activation().is_exact());

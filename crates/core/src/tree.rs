@@ -65,8 +65,7 @@ impl TreeCodebook {
                 }
                 // Split the segment at the midpoint between the two
                 // centroids; 1-D clusters are contiguous intervals.
-                let boundary =
-                    (clustering.centroids[0] + clustering.centroids[1]) / 2.0;
+                let boundary = (clustering.centroids[0] + clustering.centroids[1]) / 2.0;
                 let split = segment.partition_point(|&v| v <= boundary).max(1);
                 let (lo, hi) = segment.split_at(split.min(segment.len() - 1).max(1));
                 // Recompute exact means of the two halves for stability.

@@ -1,31 +1,29 @@
 //! Property-based tests of the composer's core invariants.
 
-use proptest::prelude::*;
 use rapidnn_core::kmeans::{cluster, wcss, KmeansConfig};
 use rapidnn_core::{ActivationTable, Codebook, EncoderTable, QuantizationScheme, TreeCodebook};
 use rapidnn_nn::Activation;
-use rapidnn_tensor::SeededRng;
+use rapidnn_prop::{check, usize_in, vec_f32, DEFAULT_CASES};
 
-proptest! {
-    /// k-means centroids always land inside the sample's hull and WCSS is
-    /// no worse than the single-mean solution.
-    #[test]
-    fn kmeans_centroids_bounded_and_useful(
-        values in proptest::collection::vec(-50.0f32..50.0, 4..128),
-        k in 1usize..12,
-        seed in any::<u64>(),
-    ) {
-        let mut rng = SeededRng::new(seed);
-        let result = cluster(&values, k, &KmeansConfig::default(), &mut rng).unwrap();
+/// k-means centroids always land inside the sample's hull and WCSS is
+/// no worse than the single-mean solution.
+#[test]
+fn kmeans_centroids_bounded_and_useful() {
+    check(DEFAULT_CASES, |rng| {
+        let len = usize_in(rng, 4, 128);
+        let values = vec_f32(rng, len, -50.0, 50.0);
+        let k = usize_in(rng, 1, 12);
+        let mut fork = rng.fork();
+        let result = cluster(&values, k, &KmeansConfig::default(), &mut fork).unwrap();
         let lo = values.iter().copied().fold(f32::INFINITY, f32::min);
         let hi = values.iter().copied().fold(f32::NEG_INFINITY, f32::max);
         for &c in &result.centroids {
-            prop_assert!(c >= lo - 1e-4 && c <= hi + 1e-4);
+            assert!(c >= lo - 1e-4 && c <= hi + 1e-4);
         }
         // WCSS(k clusters) <= WCSS(1 mean), up to f32/f64 rounding.
         let mean = values.iter().sum::<f32>() / values.len() as f32;
         let single = wcss(&values, &[mean]);
-        prop_assert!(
+        assert!(
             result.wcss <= single * (1.0 + 1e-5) + 1e-3,
             "{} vs {}",
             result.wcss,
@@ -33,16 +31,18 @@ proptest! {
         );
         // Centroids sorted ascending.
         for pair in result.centroids.windows(2) {
-            prop_assert!(pair[0] < pair[1]);
+            assert!(pair[0] < pair[1]);
         }
-    }
+    });
+}
 
-    /// Encoding picks the true nearest representative.
-    #[test]
-    fn encode_is_nearest(
-        values in proptest::collection::vec(-20.0f32..20.0, 1..24),
-        query in -25.0f32..25.0,
-    ) {
+/// Encoding picks the true nearest representative.
+#[test]
+fn encode_is_nearest() {
+    check(DEFAULT_CASES, |rng| {
+        let len = usize_in(rng, 1, 24);
+        let values = vec_f32(rng, len, -20.0, 20.0);
+        let query = rng.uniform(-25.0, 25.0);
         let cb = Codebook::new(values).unwrap();
         let picked = cb.decode(cb.encode(query));
         let best = cb
@@ -50,16 +50,18 @@ proptest! {
             .iter()
             .map(|&v| (v - query).abs())
             .fold(f32::INFINITY, f32::min);
-        prop_assert!(((picked - query).abs() - best).abs() < 1e-5);
-    }
+        assert!(((picked - query).abs() - best).abs() < 1e-5);
+    });
+}
 
-    /// Quantization error never exceeds half the largest gap between
-    /// adjacent representatives (for queries inside the codebook's range).
-    #[test]
-    fn quantization_error_bounded_by_gaps(
-        values in proptest::collection::vec(-20.0f32..20.0, 2..24),
-        t in 0.0f32..1.0,
-    ) {
+/// Quantization error never exceeds half the largest gap between
+/// adjacent representatives (for queries inside the codebook's range).
+#[test]
+fn quantization_error_bounded_by_gaps() {
+    check(DEFAULT_CASES, |rng| {
+        let len = usize_in(rng, 2, 24);
+        let values = vec_f32(rng, len, -20.0, 20.0);
+        let t = rng.uniform(0.0, 1.0);
         let cb = Codebook::new(values).unwrap();
         let lo = cb.values()[0];
         let hi = *cb.values().last().unwrap();
@@ -69,32 +71,35 @@ proptest! {
             .windows(2)
             .map(|w| w[1] - w[0])
             .fold(0.0f32, f32::max);
-        prop_assert!((cb.quantize(query) - query).abs() <= max_gap / 2.0 + 1e-5);
-    }
+        assert!((cb.quantize(query) - query).abs() <= max_gap / 2.0 + 1e-5);
+    });
+}
 
-    /// Tree codebooks: every level is sorted, levels at most double.
-    #[test]
-    fn tree_levels_structured(seed in any::<u64>(), depth in 1usize..5) {
-        let mut rng = SeededRng::new(seed);
+/// Tree codebooks: every level is sorted, levels at most double.
+#[test]
+fn tree_levels_structured() {
+    check(DEFAULT_CASES, |rng| {
+        let depth = usize_in(rng, 1, 5);
         let population: Vec<f32> = (0..200).map(|_| rng.normal()).collect();
-        let tree = TreeCodebook::build(&population, depth, &mut rng).unwrap();
+        let tree = TreeCodebook::build(&population, depth, rng).unwrap();
         let mut last_len = 0usize;
         for level in 1..=depth {
             let cb = tree.level(level).unwrap();
-            prop_assert!(cb.len() <= 1 << level);
-            prop_assert!(cb.len() >= last_len.max(1));
+            assert!(cb.len() <= 1 << level);
+            assert!(cb.len() >= last_len.max(1));
             last_len = cb.len();
         }
-    }
+    });
+}
 
-    /// Activation tables are monotone for monotone activations and stay
-    /// within the activation's output range.
-    #[test]
-    fn activation_table_monotone_and_bounded(
-        rows in 4usize..64,
-        a in -6.0f32..6.0,
-        b in -6.0f32..6.0,
-    ) {
+/// Activation tables are monotone for monotone activations and stay
+/// within the activation's output range.
+#[test]
+fn activation_table_monotone_and_bounded() {
+    check(DEFAULT_CASES, |rng| {
+        let rows = usize_in(rng, 4, 64);
+        let a = rng.uniform(-6.0, 6.0);
+        let b = rng.uniform(-6.0, 6.0);
         let table = ActivationTable::build(
             Activation::Sigmoid,
             -8.0,
@@ -104,20 +109,22 @@ proptest! {
         )
         .unwrap();
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-        prop_assert!(table.lookup(lo) <= table.lookup(hi) + 1e-6);
+        assert!(table.lookup(lo) <= table.lookup(hi) + 1e-6);
         let z = table.lookup(a);
-        prop_assert!((0.0..=1.0).contains(&z));
-    }
+        assert!((0.0..=1.0).contains(&z));
+    });
+}
 
-    /// Encoder tables commute with their codebook: encode ∘ decode = id.
-    #[test]
-    fn encoder_table_round_trip(
-        values in proptest::collection::vec(-5.0f32..5.0, 1..16),
-    ) {
+/// Encoder tables commute with their codebook: encode ∘ decode = id.
+#[test]
+fn encoder_table_round_trip() {
+    check(DEFAULT_CASES, |rng| {
+        let len = usize_in(rng, 1, 16);
+        let values = vec_f32(rng, len, -5.0, 5.0);
         let cb = Codebook::new(values).unwrap();
         let table = EncoderTable::new(cb.clone());
         for code in 0..cb.len() as u16 {
-            prop_assert_eq!(table.encode(table.decode(code)), code);
+            assert_eq!(table.encode(table.decode(code)), code);
         }
-    }
+    });
 }

@@ -160,11 +160,8 @@ mod tests {
     use super::*;
 
     fn toy() -> Dataset {
-        let inputs = Tensor::from_vec(
-            Shape::matrix(4, 2),
-            vec![0., 1., 2., 3., 4., 5., 6., 7.],
-        )
-        .unwrap();
+        let inputs =
+            Tensor::from_vec(Shape::matrix(4, 2), vec![0., 1., 2., 3., 4., 5., 6., 7.]).unwrap();
         Dataset::new(inputs, vec![0, 1, 0, 1], 2)
     }
 

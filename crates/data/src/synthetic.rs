@@ -130,10 +130,8 @@ impl SyntheticSpec {
                                 let x1 = (x0 + 1).min(COARSE - 1);
                                 let top = coarse[y0][x0] * (1.0 - tx) + coarse[y0][x1] * tx;
                                 let bottom = coarse[y1][x0] * (1.0 - tx) + coarse[y1][x1] * tx;
-                                m[class * self.features
-                                    + ch * height * width
-                                    + y * width
-                                    + x] = top * (1.0 - ty) + bottom * ty;
+                                m[class * self.features + ch * height * width + y * width + x] =
+                                    top * (1.0 - ty) + bottom * ty;
                             }
                         }
                     }

@@ -39,10 +39,7 @@ pub fn run(ctx: &Ctx) {
                 });
             }
         }
-        let min_delta = grid
-            .iter()
-            .map(|p| p.delta_e)
-            .fold(f32::INFINITY, f32::min);
+        let min_delta = grid.iter().map(|p| p.delta_e).fold(f32::INFINITY, f32::min);
 
         // For each budget, pick the min-EDP config meeting it.
         let mut rows = Vec::new();
@@ -68,7 +65,13 @@ pub fn run(ctx: &Ctx) {
         println!(
             "{}",
             render_table(
-                &["Δe budget", "best config", "normalized EDP", "memory", "achieved Δe"],
+                &[
+                    "Δe budget",
+                    "best config",
+                    "normalized EDP",
+                    "memory",
+                    "achieved Δe"
+                ],
                 &rows
             )
         );

@@ -25,7 +25,10 @@ pub fn run(ctx: &Ctx) {
         }
     }
 
-    for (label, breakdown) in [("Type 1 (FC models)", &type1), ("Type 2 (CNN models)", &type2)] {
+    for (label, breakdown) in [
+        ("Type 1 (FC models)", &type1),
+        ("Type 2 (CNN models)", &type2),
+    ] {
         let energy = breakdown.energy_fractions();
         let time = breakdown.time_fractions();
         let rows: Vec<Vec<String>> = BlockClass::ALL

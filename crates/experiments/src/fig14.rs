@@ -12,7 +12,11 @@ pub fn run(_ctx: &Ctx) {
         .into_iter()
         .zip(system.entries())
         .map(|((label, fraction), (_, mm2))| {
-            vec![label.to_string(), format!("{mm2:.1} mm2"), fmt_pct(fraction)]
+            vec![
+                label.to_string(),
+                format!("{mm2:.1} mm2"),
+                fmt_pct(fraction),
+            ]
         })
         .collect();
     println!("system level");
@@ -24,7 +28,11 @@ pub fn run(_ctx: &Ctx) {
         .into_iter()
         .zip(rna.entries())
         .map(|((label, fraction), (_, um2))| {
-            vec![label.to_string(), format!("{um2:.1} um2"), fmt_pct(fraction)]
+            vec![
+                label.to_string(),
+                format!("{um2:.1} um2"),
+                fmt_pct(fraction),
+            ]
         })
         .collect();
     println!("inside one RNA block (Table 1 areas)");

@@ -19,8 +19,8 @@ use rapidnn::tensor::SeededRng;
 pub fn rapidnn_point(report: &SimulationReport) -> (f64, f64) {
     let neurons: usize = report.stages.iter().map(|s| s.neurons).sum();
     let tiles = report.config.chips * report.config.tiles_per_chip;
-    let replicas = (report.config.effective_neuron_capacity() / neurons.max(1))
-        .clamp(1, tiles.max(1)) as f64;
+    let replicas =
+        (report.config.effective_neuron_capacity() / neurons.max(1)).clamp(1, tiles.max(1)) as f64;
     let latency_s = report.hardware.pipeline_interval_ns * 1e-9 / replicas;
     let energy_j = report.hardware.energy_pj * 1e-12;
     (latency_s, energy_j)
@@ -78,10 +78,18 @@ pub fn run(ctx: &Ctx) {
     }
 
     let mut mean_s = vec!["geo-mean".to_string()];
-    mean_s.extend(geo_speed.iter().map(|&v| fmt_factor((v / apps as f64).exp())));
+    mean_s.extend(
+        geo_speed
+            .iter()
+            .map(|&v| fmt_factor((v / apps as f64).exp())),
+    );
     speed_rows.push(mean_s);
     let mut mean_e = vec!["geo-mean".to_string()];
-    mean_e.extend(geo_energy.iter().map(|&v| fmt_factor((v / apps as f64).exp())));
+    mean_e.extend(
+        geo_energy
+            .iter()
+            .map(|&v| fmt_factor((v / apps as f64).exp())),
+    );
     energy_rows.push(mean_e);
 
     let headers = [

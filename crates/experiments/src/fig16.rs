@@ -13,7 +13,9 @@ use rapidnn::accel::{AcceleratorConfig, Simulator};
 use rapidnn::baselines::{eyeriss, imagenet_layer_shapes, imagenet_workloads, snapea};
 
 pub fn run(_ctx: &Ctx) {
-    println!("\n=== Figure 16: RAPIDNN vs ASIC accelerators (normalized to Eyeriss, iso-area) ===\n");
+    println!(
+        "\n=== Figure 16: RAPIDNN vs ASIC accelerators (normalized to Eyeriss, iso-area) ===\n"
+    );
     let eyeriss = eyeriss();
     let snapea = snapea();
     let config = AcceleratorConfig::default();

@@ -97,7 +97,11 @@ pub fn run(ctx: &Ctx) {
         "{}",
         render_table(&["iteration", "clustered error", "Δe", "retrained"], &rows)
     );
-    let first = outcome.iterations.first().map(|i| i.clustered_error).unwrap_or(0.0);
+    let first = outcome
+        .iterations
+        .first()
+        .map(|i| i.clustered_error)
+        .unwrap_or(0.0);
     println!(
         "shape check: error decreases (or holds) across iterations, as in Figure 6d\n\
          (first {:.1}% -> best {:.1}%)",

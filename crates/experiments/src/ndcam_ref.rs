@@ -3,9 +3,7 @@
 //! pipeline-stage decision.
 
 use crate::context::{render_table, Ctx};
-use rapidnn::ndcam::{
-    DischargeModel, NdcamArray, CMOS_MAXPOOL_REFERENCE, NDCAM_MAXPOOL_REFERENCE,
-};
+use rapidnn::ndcam::{DischargeModel, NdcamArray, CMOS_MAXPOOL_REFERENCE, NDCAM_MAXPOOL_REFERENCE};
 use rapidnn::tensor::SeededRng;
 
 pub fn run(ctx: &Ctx) {
@@ -24,11 +22,13 @@ pub fn run(ctx: &Ctx) {
             format!("{:.0}fJ", CMOS_MAXPOOL_REFERENCE.energy_fj),
         ],
     ];
-    println!("{}", render_table(&["design", "area", "latency", "energy"], &rows));
+    println!(
+        "{}",
+        render_table(&["design", "area", "latency", "energy"], &rows)
+    );
 
     // Weighted vs plain-Hamming search fidelity on a codebook-like array.
-    let cam = NdcamArray::from_values(&[5, 40, 64, 101, 130, 170, 200, 240], 8)
-        .expect("valid cam");
+    let cam = NdcamArray::from_values(&[5, 40, 64, 101, 130, 170, 200, 240], 8).expect("valid cam");
     println!(
         "precise-search fidelity (8-row codebook, 256 queries):\n\
          bit-weighted {:.1}%  vs plain Hamming {:.1}%\n",

@@ -38,7 +38,10 @@ pub fn run(_ctx: &Ctx) {
             format!("{:.1}mW", params::RNA_POWER_MW),
         ],
     ];
-    println!("{}", render_table(&["1-RNA block", "Size", "Area", "Power"], &rows));
+    println!(
+        "{}",
+        render_table(&["1-RNA block", "Size", "Area", "Power"], &rows)
+    );
 
     let cfg = rapidnn::accel::AcceleratorConfig::default();
     let rows = vec![
@@ -70,7 +73,10 @@ pub fn run(_ctx: &Ctx) {
             format!("{:.1}W", cfg.max_power_w()),
         ],
     ];
-    println!("{}", render_table(&["Tile", "Size", "Area", "Power"], &rows));
+    println!(
+        "{}",
+        render_table(&["Tile", "Size", "Area", "Power"], &rows)
+    );
     println!(
         "paper: chip 124.1mm2 / 153.6W; model reproduces {:.1}mm2 / {:.1}W",
         cfg.total_area_mm2(),

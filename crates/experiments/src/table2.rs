@@ -37,7 +37,12 @@ pub fn run(ctx: &Ctx) {
     println!(
         "{}",
         render_table(
-            &["Dataset", "Network Topology", "Error (synthetic)", "Error (paper)"],
+            &[
+                "Dataset",
+                "Network Topology",
+                "Error (synthetic)",
+                "Error (paper)"
+            ],
             &rows
         )
     );

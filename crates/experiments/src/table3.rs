@@ -14,7 +14,11 @@ pub fn run(ctx: &Ctx) {
         let mut rng = SeededRng::new(ctx.seed ^ 0x7ab1e3 ^ benchmark.name().len() as u64);
         let app = prepare_app(benchmark, ctx, &mut rng);
         // Paper budget: 5 epochs for the small apps, 1 for ImageNet-class.
-        let epochs = if benchmark == Benchmark::ImageNet { 1 } else { 5 };
+        let epochs = if benchmark == Benchmark::ImageNet {
+            1
+        } else {
+            5
+        };
         let mut net = app.network.clone();
         let config = ComposerConfig::default()
             .with_weights(16)

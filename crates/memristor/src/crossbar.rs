@@ -121,7 +121,10 @@ impl Crossbar {
     /// (MAGIC requires a separate pre-SET output row).
     pub fn nor_rows(&mut self, a: usize, b: usize, dst: usize) {
         assert!(a < self.rows && b < self.rows && dst < self.rows);
-        assert!(dst != a && dst != b, "MAGIC NOR output must be a distinct row");
+        assert!(
+            dst != a && dst != b,
+            "MAGIC NOR output must be a distinct row"
+        );
         for c in 0..self.cols {
             let va = self.bits[a * self.cols + c];
             let vb = self.bits[b * self.cols + c];

@@ -103,8 +103,7 @@ impl Device {
     /// Samples a device instance with Gaussian threshold variation — one
     /// draw of the paper's Monte-Carlo analysis.
     pub fn sample(config: &DeviceConfig, rng: &mut SeededRng) -> Self {
-        let mut jitter =
-            |nominal: f64| nominal * (1.0 + config.variation * rng.normal() as f64);
+        let mut jitter = |nominal: f64| nominal * (1.0 + config.variation * rng.normal() as f64);
         Device {
             state: DeviceState::Off,
             v_set: jitter(config.v_set).max(0.05),
@@ -162,7 +161,11 @@ impl Device {
         let any_input_on = a.as_bit() || b.as_bit();
         // Voltage-divider outcome: an ON input produces a large negative
         // drop across the (pre-SET) output, resetting it.
-        let effective_drop = if any_input_on { self.v_reset * 1.5 } else { self.v_reset * 0.4 };
+        let effective_drop = if any_input_on {
+            self.v_reset * 1.5
+        } else {
+            self.v_reset * 0.4
+        };
         self.apply_voltage(effective_drop);
     }
 }

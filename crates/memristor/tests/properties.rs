@@ -1,66 +1,89 @@
 //! Property-based tests of the memristor substrate's arithmetic and
 //! timing invariants.
 
-use proptest::prelude::*;
 use rapidnn_memristor::nor::{carry_save, full_adder, ripple_add, NorContext, FULL_ADDER_STEPS};
 use rapidnn_memristor::{AdderTree, Crossbar, RIPPLE_CYCLES_PER_BIT, STAGE_CYCLES};
+use rapidnn_prop::{any_u64, check, usize_in, DEFAULT_CASES};
 
-proptest! {
-    /// Ripple addition through NOR-built full adders equals integer
-    /// addition modulo the word width.
-    #[test]
-    fn ripple_add_is_modular_addition(a in any::<u32>(), b in any::<u32>(), width in 1u32..33) {
-        let mask = if width == 32 { u32::MAX as u64 } else { (1u64 << width) - 1 };
+/// Ripple addition through NOR-built full adders equals integer
+/// addition modulo the word width.
+#[test]
+fn ripple_add_is_modular_addition() {
+    check(DEFAULT_CASES, |rng| {
+        let a = (any_u64(rng) & u32::MAX as u64) as u32;
+        let b = (any_u64(rng) & u32::MAX as u64) as u32;
+        let width = usize_in(rng, 1, 33) as u32;
+        let mask = if width == 32 {
+            u32::MAX as u64
+        } else {
+            (1u64 << width) - 1
+        };
         let (sum, steps) = ripple_add(a as u64 & mask, b as u64 & mask, width);
-        prop_assert_eq!(sum, (a as u64 + b as u64) & mask);
-        prop_assert_eq!(steps, u64::from(width) * FULL_ADDER_STEPS);
-    }
+        assert_eq!(sum, (a as u64 + b as u64) & mask);
+        assert_eq!(steps, u64::from(width) * FULL_ADDER_STEPS);
+    });
+}
 
-    /// Carry-save preserves sums for any operand triple.
-    #[test]
-    fn carry_save_preserves_sum(a in 0u64..(1 << 20), b in 0u64..(1 << 20), c in 0u64..(1 << 20)) {
+/// Carry-save preserves sums for any operand triple.
+#[test]
+fn carry_save_preserves_sum() {
+    check(DEFAULT_CASES, |rng| {
+        let a = usize_in(rng, 0, 1 << 20) as u64;
+        let b = usize_in(rng, 0, 1 << 20) as u64;
+        let c = usize_in(rng, 0, 1 << 20) as u64;
         let (s, carry) = carry_save(a, b, c, 40);
-        prop_assert_eq!(s + carry, a + b + c);
-    }
+        assert_eq!(s + carry, a + b + c);
+    });
+}
 
-    /// The full adder costs exactly 12 NOR steps for every input pattern.
-    #[test]
-    fn full_adder_cost_is_input_independent(a: bool, b: bool, cin: bool) {
-        let mut ctx = NorContext::new();
-        let (sum, cout) = full_adder(&mut ctx, a, b, cin);
-        let total = a as u8 + b as u8 + cin as u8;
-        prop_assert_eq!(sum, total & 1 == 1);
-        prop_assert_eq!(cout, total >= 2);
-        prop_assert_eq!(ctx.steps(), FULL_ADDER_STEPS);
+/// The full adder costs exactly 12 NOR steps for every input pattern.
+#[test]
+fn full_adder_cost_is_input_independent() {
+    for a in [false, true] {
+        for b in [false, true] {
+            for cin in [false, true] {
+                let mut ctx = NorContext::new();
+                let (sum, cout) = full_adder(&mut ctx, a, b, cin);
+                let total = a as u8 + b as u8 + cin as u8;
+                assert_eq!(sum, total & 1 == 1);
+                assert_eq!(cout, total >= 2);
+                assert_eq!(ctx.steps(), FULL_ADDER_STEPS);
+            }
+        }
     }
+}
 
-    /// The adder tree equals the integer sum and its cycle model follows
-    /// the paper's 13-cycle-stage + 13·N-ripple formula.
-    #[test]
-    fn adder_tree_sum_and_cycles(
-        operands in proptest::collection::vec(0u64..(1 << 10), 2..80),
-        width in 12u32..32,
-    ) {
+/// The adder tree equals the integer sum and its cycle model follows
+/// the paper's 13-cycle-stage + 13·N-ripple formula.
+#[test]
+fn adder_tree_sum_and_cycles() {
+    check(DEFAULT_CASES, |rng| {
+        let n = usize_in(rng, 2, 80);
+        let operands: Vec<u64> = (0..n).map(|_| usize_in(rng, 0, 1 << 10) as u64).collect();
+        let width = usize_in(rng, 12, 32) as u32;
         let tree = AdderTree::new(width);
         let report = tree.add_all(&operands);
         let mask = (1u64 << width) - 1;
-        prop_assert_eq!(report.sum, operands.iter().sum::<u64>() & mask);
-        prop_assert_eq!(
+        assert_eq!(report.sum, operands.iter().sum::<u64>() & mask);
+        assert_eq!(
             report.cycles,
             report.csa_stages * STAGE_CYCLES + u64::from(width) * RIPPLE_CYCLES_PER_BIT
         );
-        prop_assert_eq!(tree.predicted_stages(operands.len()), report.csa_stages);
-    }
+        assert_eq!(tree.predicted_stages(operands.len()), report.csa_stages);
+    });
+}
 
-    /// Crossbar NOR is exactly columnwise !(a|b) and each step costs one
-    /// cycle.
-    #[test]
-    fn crossbar_nor_semantics(
-        a_bits in proptest::collection::vec(any::<bool>(), 1..64),
-        b_pattern in any::<u64>(),
-    ) {
-        let cols = a_bits.len();
-        let b_bits: Vec<bool> = (0..cols).map(|i| (b_pattern >> (i % 64)) & 1 == 1).collect();
+/// Crossbar NOR is exactly columnwise !(a|b) and each step costs one
+/// cycle.
+#[test]
+fn crossbar_nor_semantics() {
+    check(DEFAULT_CASES, |rng| {
+        let cols = usize_in(rng, 1, 64);
+        let a_bits: Vec<bool> = (0..cols).map(|_| rng.chance(0.5)).collect();
+        let b_pattern = any_u64(rng);
+        let b_bits: Vec<bool> = (0..cols)
+            .map(|i| (b_pattern >> (i % 64)) & 1 == 1)
+            .collect();
         let mut xb = Crossbar::new(3, cols);
         xb.write_row(0, &a_bits);
         xb.write_row(1, &b_bits);
@@ -68,20 +91,19 @@ proptest! {
         xb.nor_rows(0, 1, 2);
         let out = xb.read_row(2);
         for ((o, &a), &b) in out.iter().zip(&a_bits).zip(&b_bits) {
-            prop_assert_eq!(*o, !(a | b));
+            assert_eq!(*o, !(a | b));
         }
-        prop_assert_eq!(xb.stats().nor_cycles, before + 1);
-    }
+        assert_eq!(xb.stats().nor_cycles, before + 1);
+    });
+}
 
-    /// De Morgan holds when built from crossbar NOR/NOT rows:
-    /// NOT(NOR(a,b)) == OR(a,b).
-    #[test]
-    fn crossbar_de_morgan(
-        a_bits in proptest::collection::vec(any::<bool>(), 1..32),
-        seed in any::<u64>(),
-    ) {
-        let cols = a_bits.len();
-        let mut rng = rapidnn_tensor::SeededRng::new(seed);
+/// De Morgan holds when built from crossbar NOR/NOT rows:
+/// NOT(NOR(a,b)) == OR(a,b).
+#[test]
+fn crossbar_de_morgan() {
+    check(DEFAULT_CASES, |rng| {
+        let cols = usize_in(rng, 1, 32);
+        let a_bits: Vec<bool> = (0..cols).map(|_| rng.chance(0.5)).collect();
         let b_bits: Vec<bool> = (0..cols).map(|_| rng.chance(0.5)).collect();
         let mut xb = Crossbar::new(4, cols);
         xb.write_row(0, &a_bits);
@@ -90,7 +112,7 @@ proptest! {
         xb.not_row(2, 3);
         let or = xb.read_row(3);
         for ((o, &a), &b) in or.iter().zip(&a_bits).zip(&b_bits) {
-            prop_assert_eq!(*o, a | b);
+            assert_eq!(*o, a | b);
         }
-    }
+    });
 }

@@ -49,13 +49,19 @@ mod tests {
     #[test]
     fn displays_are_informative() {
         assert!(NdcamError::Empty.to_string().contains("row"));
-        assert!(NdcamError::ValueTooWide { value: 300, width: 8 }
-            .to_string()
-            .contains("300"));
+        assert!(NdcamError::ValueTooWide {
+            value: 300,
+            width: 8
+        }
+        .to_string()
+        .contains("300"));
         assert!(NdcamError::InvalidWidth(99).to_string().contains("99"));
-        assert!(NdcamError::PayloadMismatch { rows: 4, payloads: 3 }
-            .to_string()
-            .contains('4'));
+        assert!(NdcamError::PayloadMismatch {
+            rows: 4,
+            payloads: 3
+        }
+        .to_string()
+        .contains('4'));
     }
 
     #[test]

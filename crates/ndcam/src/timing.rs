@@ -48,7 +48,8 @@ impl SearchCost {
     pub fn for_search(rows: usize, _width: u32, stages: u32) -> Self {
         SearchCost {
             latency_ns: NDCAM_MAXPOOL_REFERENCE.latency_ns * stages as f64 / REFERENCE_STAGES,
-            energy_fj: NDCAM_MAXPOOL_REFERENCE.energy_fj * (rows as f64 / REFERENCE_ROWS)
+            energy_fj: NDCAM_MAXPOOL_REFERENCE.energy_fj
+                * (rows as f64 / REFERENCE_ROWS)
                 * (stages as f64 / REFERENCE_STAGES),
         }
     }

@@ -1,78 +1,91 @@
 //! Property-based tests of the NDCAM search semantics and cost model.
 
-use proptest::prelude::*;
 use rapidnn_ndcam::{ndcam_area_um2, AmBlock, NdcamArray, SearchCost};
+use rapidnn_prop::{check, usize_in, DEFAULT_CASES};
 
-proptest! {
-    /// The reference nearest search is an exact argmin of absolute
-    /// distance, for any stored values and query.
-    #[test]
-    fn nearest_is_argmin(
-        values in proptest::collection::vec(0u64..(1 << 12), 1..32),
-        query in 0u64..(1 << 12),
-    ) {
+/// The reference nearest search is an exact argmin of absolute
+/// distance, for any stored values and query.
+#[test]
+fn nearest_is_argmin() {
+    check(DEFAULT_CASES, |rng| {
+        let n = usize_in(rng, 1, 32);
+        let values: Vec<u64> = (0..n).map(|_| usize_in(rng, 0, 1 << 12) as u64).collect();
+        let query = usize_in(rng, 0, 1 << 12) as u64;
         let cam = NdcamArray::from_values(&values, 12).unwrap();
         let hit = cam.search_nearest(query);
         let best = values.iter().map(|&v| v.abs_diff(query)).min().unwrap();
-        prop_assert_eq!(hit.value.abs_diff(query), best);
-        prop_assert_eq!(hit.value, values[hit.row]);
-    }
+        assert_eq!(hit.value.abs_diff(query), best);
+        assert_eq!(hit.value, values[hit.row]);
+    });
+}
 
-    /// Both circuit searches resolve stored keys exactly.
-    #[test]
-    fn stored_keys_resolve_exactly(
-        values in proptest::collection::vec(0u64..256, 1..24),
-    ) {
+/// Both circuit searches resolve stored keys exactly.
+#[test]
+fn stored_keys_resolve_exactly() {
+    check(DEFAULT_CASES, |rng| {
+        let n = usize_in(rng, 1, 24);
+        let values: Vec<u64> = (0..n).map(|_| usize_in(rng, 0, 256) as u64).collect();
         let cam = NdcamArray::from_values(&values, 8).unwrap();
-        for (i, &v) in values.iter().enumerate() {
+        for &v in &values {
             // With duplicate keys any row holding the value is correct.
-            prop_assert_eq!(cam.search_weighted(v).value, v);
-            prop_assert_eq!(cam.search_hamming(v).value, v);
-            let _ = i;
+            assert_eq!(cam.search_weighted(v).value, v);
+            assert_eq!(cam.search_hamming(v).value, v);
         }
-    }
+    });
+}
 
-    /// Max/min searches agree with slice max/min.
-    #[test]
-    fn max_min_agree_with_slice(
-        values in proptest::collection::vec(0u64..(1 << 16), 1..40),
-    ) {
+/// Max/min searches agree with slice max/min.
+#[test]
+fn max_min_agree_with_slice() {
+    check(DEFAULT_CASES, |rng| {
+        let n = usize_in(rng, 1, 40);
+        let values: Vec<u64> = (0..n).map(|_| usize_in(rng, 0, 1 << 16) as u64).collect();
         let cam = NdcamArray::from_values(&values, 16).unwrap();
-        prop_assert_eq!(cam.search_max().value, *values.iter().max().unwrap());
-        prop_assert_eq!(cam.search_min().value, *values.iter().min().unwrap());
-    }
+        assert_eq!(cam.search_max().value, *values.iter().max().unwrap());
+        assert_eq!(cam.search_min().value, *values.iter().min().unwrap());
+    });
+}
 
-    /// Search cost scales linearly in rows and stages and never comes out
-    /// non-positive.
-    #[test]
-    fn search_cost_scales(rows in 1usize..512, stages in 1u32..8) {
+/// Search cost scales linearly in rows and stages and never comes out
+/// non-positive.
+#[test]
+fn search_cost_scales() {
+    check(DEFAULT_CASES, |rng| {
+        let rows = usize_in(rng, 1, 512);
+        let stages = usize_in(rng, 1, 8) as u32;
         let cost = SearchCost::for_search(rows, 8 * stages, stages);
-        prop_assert!(cost.latency_ns > 0.0);
-        prop_assert!(cost.energy_fj > 0.0);
+        assert!(cost.latency_ns > 0.0);
+        assert!(cost.energy_fj > 0.0);
         let double = SearchCost::for_search(rows * 2, 8 * stages, stages);
-        prop_assert!((double.energy_fj / cost.energy_fj - 2.0).abs() < 1e-9);
-        prop_assert_eq!(double.latency_ns, cost.latency_ns);
-    }
+        assert!((double.energy_fj / cost.energy_fj - 2.0).abs() < 1e-9);
+        assert_eq!(double.latency_ns, cost.latency_ns);
+    });
+}
 
-    /// Area model is linear in rows and width.
-    #[test]
-    fn area_is_linear(rows in 1usize..256, width in 1u32..64) {
+/// Area model is linear in rows and width.
+#[test]
+fn area_is_linear() {
+    check(DEFAULT_CASES, |rng| {
+        let rows = usize_in(rng, 1, 256);
+        let width = usize_in(rng, 1, 64) as u32;
         let a = ndcam_area_um2(rows, width);
-        prop_assert!(a > 0.0);
-        prop_assert!((ndcam_area_um2(rows * 2, width) - 2.0 * a).abs() < 1e-9);
-        prop_assert!((ndcam_area_um2(rows, width * 2) - 2.0 * a).abs() < 1e-9);
-    }
+        assert!(a > 0.0);
+        assert!((ndcam_area_um2(rows * 2, width) - 2.0 * a).abs() < 1e-9);
+        assert!((ndcam_area_um2(rows, width * 2) - 2.0 * a).abs() < 1e-9);
+    });
+}
 
-    /// AM blocks return the payload of the nearest key.
-    #[test]
-    fn am_block_payload_tracks_key(
-        keys in proptest::collection::vec(0u64..256, 1..16),
-        query in 0u64..256,
-    ) {
+/// AM blocks return the payload of the nearest key.
+#[test]
+fn am_block_payload_tracks_key() {
+    check(DEFAULT_CASES, |rng| {
+        let n = usize_in(rng, 1, 16);
+        let keys: Vec<u64> = (0..n).map(|_| usize_in(rng, 0, 256) as u64).collect();
+        let query = usize_in(rng, 0, 256) as u64;
         let payloads: Vec<usize> = (0..keys.len()).collect();
         let am = AmBlock::new(&keys, 8, payloads).unwrap();
         let (payload, hit) = am.lookup(query);
-        prop_assert_eq!(payload, hit.row);
-        prop_assert_eq!(keys[hit.row], hit.value);
-    }
+        assert_eq!(payload, hit.row);
+        assert_eq!(keys[hit.row], hit.value);
+    });
 }

@@ -39,8 +39,15 @@ impl Conv2d {
         padding: Padding,
         rng: &mut SeededRng,
     ) -> Result<Self> {
-        let geometry =
-            Conv2dGeometry::new(in_channels, in_height, in_width, kernel, kernel, stride, padding)?;
+        let geometry = Conv2dGeometry::new(
+            in_channels,
+            in_height,
+            in_width,
+            kernel,
+            kernel,
+            stride,
+            padding,
+        )?;
         let patch_len = geometry.patch_len();
         let weights = rng.init_tensor(
             Shape::matrix(out_channels, patch_len),
@@ -162,8 +169,7 @@ impl Layer for Conv2d {
             for oc in 0..self.out_channels {
                 let bias = self.bias.as_slice()[oc];
                 for p in 0..pixels {
-                    out[b * out_features + oc * pixels + p] =
-                        y.as_slice()[oc * pixels + p] + bias;
+                    out[b * out_features + oc * pixels + p] = y.as_slice()[oc * pixels + p] + bias;
                 }
             }
             if mode == Mode::Train {
@@ -258,9 +264,7 @@ mod tests {
         let mut layer = Conv2d::new(1, 3, 3, 1, 2, 1, Padding::Valid, rng).unwrap();
         // Kernel [[1, 0], [0, 0]] picks the top-left of each window.
         layer
-            .set_weights(
-                Tensor::from_vec(Shape::matrix(1, 4), vec![1.0, 0.0, 0.0, 0.0]).unwrap(),
-            )
+            .set_weights(Tensor::from_vec(Shape::matrix(1, 4), vec![1.0, 0.0, 0.0, 0.0]).unwrap())
             .unwrap();
         layer
     }
@@ -336,9 +340,7 @@ mod tests {
     fn backward_before_forward_errors() {
         let mut rng = SeededRng::new(0);
         let mut layer = layer_2x2_identityish(&mut rng);
-        assert!(layer
-            .backward(&Tensor::ones(Shape::matrix(1, 4)))
-            .is_err());
+        assert!(layer.backward(&Tensor::ones(Shape::matrix(1, 4))).is_err());
     }
 
     #[test]

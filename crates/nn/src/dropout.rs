@@ -99,7 +99,11 @@ mod tests {
         let x = Tensor::ones(Shape::matrix(1, 1000));
         let y = layer.forward(&x, Mode::Train).unwrap();
         let zeros = y.as_slice().iter().filter(|&&v| v == 0.0).count();
-        let survivors = y.as_slice().iter().filter(|&&v| (v - 2.0).abs() < 1e-6).count();
+        let survivors = y
+            .as_slice()
+            .iter()
+            .filter(|&&v| (v - 2.0).abs() < 1e-6)
+            .count();
         assert_eq!(zeros + survivors, 1000);
         assert!((400..600).contains(&zeros), "{zeros} zeros");
         // Expected magnitude preserved within tolerance.

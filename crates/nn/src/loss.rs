@@ -176,11 +176,8 @@ mod tests {
 
     #[test]
     fn error_rate_counts_misclassifications() {
-        let logits = Tensor::from_vec(
-            Shape::matrix(3, 2),
-            vec![1.0, 0.0, 0.0, 1.0, 1.0, 0.0],
-        )
-        .unwrap();
+        let logits =
+            Tensor::from_vec(Shape::matrix(3, 2), vec![1.0, 0.0, 0.0, 1.0, 1.0, 0.0]).unwrap();
         assert_eq!(error_rate(&logits, &[0, 1, 1]).unwrap(), 1.0 / 3.0);
         assert_eq!(error_rate(&logits, &[0, 1, 0]).unwrap(), 0.0);
     }

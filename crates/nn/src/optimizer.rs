@@ -68,8 +68,11 @@ impl Adam {
                 let v = &mut self.second[param_index];
                 let values = param.value.as_mut_slice();
                 let grads = param.grad.as_slice();
-                for (((w, &g), mi), vi) in
-                    values.iter_mut().zip(grads).zip(m.iter_mut()).zip(v.iter_mut())
+                for (((w, &g), mi), vi) in values
+                    .iter_mut()
+                    .zip(grads)
+                    .zip(m.iter_mut())
+                    .zip(v.iter_mut())
                 {
                     *mi = self.beta1 * *mi + (1.0 - self.beta1) * g;
                     *vi = self.beta2 * *vi + (1.0 - self.beta2) * g * g;
@@ -123,10 +126,7 @@ impl Sgd {
     /// `[0, 1)`.
     pub fn new(learning_rate: f32, momentum: f32) -> Self {
         assert!(learning_rate > 0.0, "learning rate must be positive");
-        assert!(
-            (0.0..1.0).contains(&momentum),
-            "momentum must be in [0, 1)"
-        );
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0, 1)");
         Sgd {
             learning_rate,
             momentum,

@@ -85,8 +85,15 @@ impl Pool2d {
         width: usize,
         window: usize,
     ) -> Result<Self> {
-        let geometry =
-            Conv2dGeometry::new(channels, height, width, window, window, window, Padding::Valid)?;
+        let geometry = Conv2dGeometry::new(
+            channels,
+            height,
+            width,
+            window,
+            window,
+            window,
+            Padding::Valid,
+        )?;
         Ok(Pool2d {
             kind,
             geometry,
@@ -186,8 +193,7 @@ impl Pool2d {
                             for kw in 0..g.kernel_w {
                                 let iy = oy * g.stride + kh;
                                 let ix = ox * g.stride + kw;
-                                let idx =
-                                    ch * g.in_height * g.in_width + iy * g.in_width + ix;
+                                let idx = ch * g.in_height * g.in_width + iy * g.in_width + ix;
                                 dx[b * in_features + idx] += gv / window_len;
                             }
                         }
@@ -302,9 +308,7 @@ mod tests {
         assert!(pool
             .forward(&Tensor::ones(Shape::matrix(1, 15)), Mode::Eval)
             .is_err());
-        assert!(pool
-            .backward(&Tensor::ones(Shape::matrix(1, 4)))
-            .is_err());
+        assert!(pool.backward(&Tensor::ones(Shape::matrix(1, 4))).is_err());
     }
 
     #[test]

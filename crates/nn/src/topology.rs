@@ -237,11 +237,7 @@ pub fn imagenet_scaled(classes: usize, rng: &mut SeededRng) -> Result<Network> {
 /// # Errors
 ///
 /// Propagates geometry errors.
-pub fn imagenet_scaled_with(
-    classes: usize,
-    factor: usize,
-    rng: &mut SeededRng,
-) -> Result<Network> {
+pub fn imagenet_scaled_with(classes: usize, factor: usize, rng: &mut SeededRng) -> Result<Network> {
     let f = factor.max(1);
     let c1 = (16 / f).max(2);
     let c2 = (32 / f).max(4);

@@ -211,10 +211,7 @@ mod tests {
             xs.push(cx + angle.cos() + 0.05 * rng.normal());
             xs.push(cy + sign * angle.sin() + 0.05 * rng.normal());
         }
-        (
-            Tensor::from_vec(Shape::matrix(n, 2), xs).unwrap(),
-            labels,
-        )
+        (Tensor::from_vec(Shape::matrix(n, 2), xs).unwrap(), labels)
     }
 
     #[test]
@@ -277,7 +274,12 @@ mod tests {
             net.push(ActivationLayer::new(Activation::Relu));
             net.push(Dense::new(8, 2, &mut rng));
             let mut trainer = Trainer::new(TrainerConfig::default(), &mut rng);
-            trainer.fit(&mut net, &x, &labels, 5).unwrap().last().unwrap().mean_loss
+            trainer
+                .fit(&mut net, &x, &labels, 5)
+                .unwrap()
+                .last()
+                .unwrap()
+                .mean_loss
         };
         assert_eq!(run(77), run(77));
         assert_ne!(run(77), run(78));

@@ -1,43 +1,46 @@
 //! Property-based tests for the neural-network substrate.
 
-use proptest::prelude::*;
 use rapidnn_nn::{loss, Activation, ActivationLayer, Dense, Layer, Mode, Network};
-use rapidnn_tensor::{SeededRng, Shape, Tensor};
+use rapidnn_prop::{check, usize_in, vec_f32, DEFAULT_CASES};
+use rapidnn_tensor::{Shape, Tensor};
 
-proptest! {
-    /// Softmax outputs are a probability distribution for any finite
-    /// logits.
-    #[test]
-    fn softmax_is_a_distribution(
-        logits in proptest::collection::vec(-50.0f32..50.0, 1..16),
-    ) {
-        let n = logits.len();
+/// Softmax outputs are a probability distribution for any finite
+/// logits.
+#[test]
+fn softmax_is_a_distribution() {
+    check(DEFAULT_CASES, |rng| {
+        let n = usize_in(rng, 1, 16);
+        let logits = vec_f32(rng, n, -50.0, 50.0);
         let t = Tensor::from_vec(Shape::matrix(1, n), logits).unwrap();
         let p = loss::softmax(&t).unwrap();
         let sum: f32 = p.as_slice().iter().sum();
-        prop_assert!((sum - 1.0).abs() < 1e-4);
-        prop_assert!(p.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
-    }
+        assert!((sum - 1.0).abs() < 1e-4);
+        assert!(p.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    });
+}
 
-    /// Cross-entropy is non-negative and zero only for perfect confidence.
-    #[test]
-    fn cross_entropy_nonnegative(
-        logits in proptest::collection::vec(-10.0f32..10.0, 2..8),
-        label_pick in any::<u32>(),
-    ) {
-        let n = logits.len();
-        let label = label_pick as usize % n;
+/// Cross-entropy is non-negative and zero only for perfect confidence.
+#[test]
+fn cross_entropy_nonnegative() {
+    check(DEFAULT_CASES, |rng| {
+        let n = usize_in(rng, 2, 8);
+        let logits = vec_f32(rng, n, -10.0, 10.0);
+        let label = usize_in(rng, 0, n);
         let t = Tensor::from_vec(Shape::matrix(1, n), logits).unwrap();
         let (loss_value, grad) = loss::cross_entropy_with_logits(&t, &[label]).unwrap();
-        prop_assert!(loss_value >= 0.0);
+        assert!(loss_value >= 0.0);
         // Gradient rows sum to ~0 (probabilities minus a one-hot).
         let gsum: f32 = grad.as_slice().iter().sum();
-        prop_assert!(gsum.abs() < 1e-4);
-    }
+        assert!(gsum.abs() < 1e-4);
+    });
+}
 
-    /// Activations are monotone non-decreasing (all of ours are).
-    #[test]
-    fn activations_are_monotone(a in -10.0f32..10.0, b in -10.0f32..10.0) {
+/// Activations are monotone non-decreasing (all of ours are).
+#[test]
+fn activations_are_monotone() {
+    check(DEFAULT_CASES, |rng| {
+        let a = rng.uniform(-10.0, 10.0);
+        let b = rng.uniform(-10.0, 10.0);
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
         for act in [
             Activation::Relu,
@@ -46,25 +49,30 @@ proptest! {
             Activation::Softsign,
             Activation::Identity,
         ] {
-            prop_assert!(act.apply(lo) <= act.apply(hi) + 1e-6, "{act:?}");
+            assert!(act.apply(lo) <= act.apply(hi) + 1e-6, "{act:?}");
         }
-    }
+    });
+}
 
-    /// Saturating activations stay within their ranges.
-    #[test]
-    fn activation_ranges(x in -1000.0f32..1000.0) {
-        prop_assert!(Activation::Sigmoid.apply(x) >= 0.0);
-        prop_assert!(Activation::Sigmoid.apply(x) <= 1.0);
-        prop_assert!(Activation::Tanh.apply(x).abs() <= 1.0);
-        prop_assert!(Activation::Softsign.apply(x).abs() < 1.0);
-        prop_assert!(Activation::Relu.apply(x) >= 0.0);
-    }
+/// Saturating activations stay within their ranges.
+#[test]
+fn activation_ranges() {
+    check(DEFAULT_CASES, |rng| {
+        let x = rng.uniform(-1000.0, 1000.0);
+        assert!(Activation::Sigmoid.apply(x) >= 0.0);
+        assert!(Activation::Sigmoid.apply(x) <= 1.0);
+        assert!(Activation::Tanh.apply(x).abs() <= 1.0);
+        assert!(Activation::Softsign.apply(x).abs() < 1.0);
+        assert!(Activation::Relu.apply(x) >= 0.0);
+    });
+}
 
-    /// A dense layer is affine: f(ax) - f(0) = a (f(x) - f(0)).
-    #[test]
-    fn dense_layer_is_affine(seed in any::<u64>(), scale in -3.0f32..3.0) {
-        let mut rng = SeededRng::new(seed);
-        let mut layer = Dense::new(5, 3, &mut rng);
+/// A dense layer is affine: f(ax) - f(0) = a (f(x) - f(0)).
+#[test]
+fn dense_layer_is_affine() {
+    check(DEFAULT_CASES, |rng| {
+        let scale = rng.uniform(-3.0, 3.0);
+        let mut layer = Dense::new(5, 3, rng);
         let x = rng.uniform_tensor(Shape::matrix(1, 5), -1.0, 1.0);
         let zero = Tensor::zeros(Shape::matrix(1, 5));
         let f0 = layer.forward(&zero, Mode::Eval).unwrap();
@@ -73,37 +81,41 @@ proptest! {
         for i in 0..3 {
             let lhs = fsx.as_slice()[i] - f0.as_slice()[i];
             let rhs = scale * (fx.as_slice()[i] - f0.as_slice()[i]);
-            prop_assert!((lhs - rhs).abs() < 1e-2, "{lhs} vs {rhs}");
+            assert!((lhs - rhs).abs() < 1e-2, "{lhs} vs {rhs}");
         }
-    }
+    });
+}
 
-    /// Cloned networks produce identical outputs — the invariant the
-    /// composer's configuration sweeps rely on.
-    #[test]
-    fn cloned_network_is_functionally_identical(seed in any::<u64>()) {
-        let mut rng = SeededRng::new(seed);
+/// Cloned networks produce identical outputs — the invariant the
+/// composer's configuration sweeps rely on.
+#[test]
+fn cloned_network_is_functionally_identical() {
+    check(DEFAULT_CASES, |rng| {
         let mut net = Network::new(6);
-        net.push(Dense::new(6, 8, &mut rng));
+        net.push(Dense::new(6, 8, rng));
         net.push(ActivationLayer::new(Activation::Tanh));
-        net.push(Dense::new(8, 3, &mut rng));
+        net.push(Dense::new(8, 3, rng));
         let mut clone = net.clone();
         let x = rng.uniform_tensor(Shape::matrix(3, 6), -1.0, 1.0);
-        prop_assert_eq!(net.forward(&x).unwrap(), clone.forward(&x).unwrap());
-    }
+        assert_eq!(net.forward(&x).unwrap(), clone.forward(&x).unwrap());
+    });
+}
 
-    /// Error rate is always a fraction and zero when predictions match.
-    #[test]
-    fn error_rate_bounds(labels in proptest::collection::vec(0usize..4, 1..16)) {
-        let n = labels.len();
+/// Error rate is always a fraction and zero when predictions match.
+#[test]
+fn error_rate_bounds() {
+    check(DEFAULT_CASES, |rng| {
+        let n = usize_in(rng, 1, 16);
+        let labels: Vec<usize> = (0..n).map(|_| usize_in(rng, 0, 4)).collect();
         // Construct logits predicting exactly the labels.
         let mut data = vec![0.0f32; n * 4];
         for (i, &l) in labels.iter().enumerate() {
             data[i * 4 + l] = 5.0;
         }
         let logits = Tensor::from_vec(Shape::matrix(n, 4), data).unwrap();
-        prop_assert_eq!(loss::error_rate(&logits, &labels).unwrap(), 0.0);
+        assert_eq!(loss::error_rate(&logits, &labels).unwrap(), 0.0);
         // Shifting every label by 1 makes them all wrong.
         let wrong: Vec<usize> = labels.iter().map(|&l| (l + 1) % 4).collect();
-        prop_assert_eq!(loss::error_rate(&logits, &wrong).unwrap(), 1.0);
-    }
+        assert_eq!(loss::error_rate(&logits, &wrong).unwrap(), 1.0);
+    });
 }

@@ -1,0 +1,118 @@
+//! Minimal deterministic property-testing helpers.
+//!
+//! A std-only stand-in for `proptest`, so the workspace builds with no
+//! external dependencies. Properties are closures over a [`SeededRng`];
+//! [`check`] runs them across many derived seeds and, on failure, reports
+//! the offending seed so the case replays deterministically:
+//!
+//! ```
+//! use rapidnn_prop::{check, vec_f32};
+//!
+//! check(64, |rng| {
+//!     let v = vec_f32(rng, 8, -10.0, 10.0);
+//!     let doubled: Vec<f32> = v.iter().map(|x| x * 2.0).collect();
+//!     for (a, b) in v.iter().zip(&doubled) {
+//!         assert_eq!(a * 2.0, *b);
+//!     }
+//! });
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use rapidnn_tensor::SeededRng;
+
+/// Default number of cases used by the workspace's property suites.
+pub const DEFAULT_CASES: u64 = 64;
+
+/// Runs `property` against `cases` deterministic seeds.
+///
+/// Each case gets its own [`SeededRng`] derived from the case index, so a
+/// failure message like `property failed at case 17 (seed 17)` can be
+/// replayed with `SeededRng::new(17)`.
+///
+/// # Panics
+///
+/// Re-raises the property's panic after printing the failing seed.
+pub fn check<F>(cases: u64, property: F)
+where
+    F: Fn(&mut SeededRng),
+{
+    for case in 0..cases {
+        let mut rng = SeededRng::new(case);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            property(&mut rng);
+        }));
+        if let Err(payload) = outcome {
+            eprintln!("property failed at case {case} (replay with SeededRng::new({case}))");
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// Uniform `f32` vector generator in `[low, high)`.
+pub fn vec_f32(rng: &mut SeededRng, len: usize, low: f32, high: f32) -> Vec<f32> {
+    (0..len).map(|_| rng.uniform(low, high)).collect()
+}
+
+/// Uniform integer in `[low, high)` (half-open, like a `Range<usize>`).
+///
+/// # Panics
+///
+/// Panics when the range is empty.
+pub fn usize_in(rng: &mut SeededRng, low: usize, high: usize) -> usize {
+    assert!(low < high, "usize_in requires a non-empty range");
+    low + rng.index(high - low)
+}
+
+/// Uniform `u16` code in `[0, bound)`.
+pub fn code_in(rng: &mut SeededRng, bound: u16) -> u16 {
+    rng.index(bound as usize) as u16
+}
+
+/// An arbitrary 64-bit seed (for properties that fork their own streams).
+pub fn any_u64(rng: &mut SeededRng) -> u64 {
+    // Compose a full-width value from two independent draws.
+    let hi = rng.index(u32::MAX as usize) as u64;
+    let lo = rng.index(u32::MAX as usize) as u64;
+    (hi << 32) | lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_runs_every_case() {
+        let counter = std::cell::Cell::new(0u64);
+        check(10, |_| counter.set(counter.get() + 1));
+        assert_eq!(counter.get(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn check_propagates_failures() {
+        check(4, |rng| {
+            if rng.chance(2.0) {
+                panic!("boom");
+            }
+        });
+    }
+
+    #[test]
+    fn usize_in_respects_bounds() {
+        check(32, |rng| {
+            let v = usize_in(rng, 3, 9);
+            assert!((3..9).contains(&v));
+        });
+    }
+
+    #[test]
+    fn vec_f32_has_requested_length_and_range() {
+        check(16, |rng| {
+            let v = vec_f32(rng, 12, -1.0, 1.0);
+            assert_eq!(v.len(), 12);
+            assert!(v.iter().all(|x| (-1.0..1.0).contains(x)));
+        });
+    }
+}

@@ -19,6 +19,7 @@
 //! | [`ndcam`] | `rapidnn-ndcam` | nearest-distance CAM and AM blocks |
 //! | [`accel`] | `rapidnn-accel` | RNA/tile/chip simulator, Table 1 parameters |
 //! | [`baselines`] | `rapidnn-baselines` | GPU / DaDianNao / ISAAC / PipeLayer / Eyeriss / SnaPEA models |
+//! | [`serve`] | `rapidnn-serve` | compiled-model artifacts, batched multi-threaded serving engine |
 //!
 //! # Examples
 //!
@@ -48,4 +49,5 @@ pub use rapidnn_data as data;
 pub use rapidnn_memristor as memristor;
 pub use rapidnn_ndcam as ndcam;
 pub use rapidnn_nn as nn;
+pub use rapidnn_serve as serve;
 pub use rapidnn_tensor as tensor;

@@ -81,6 +81,19 @@ pub struct PipelineReport {
     pub validation: Dataset,
 }
 
+impl PipelineReport {
+    /// Flattens the composed model into a deployable serving artifact
+    /// (see [`rapidnn_serve::CompiledModel`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`rapidnn_serve::ArtifactError`] when the model uses a
+    /// construct the artifact format cannot express.
+    pub fn compile(&self) -> Result<rapidnn_serve::CompiledModel, rapidnn_serve::ArtifactError> {
+        rapidnn_serve::CompiledModel::from_reinterpreted(&self.compose.reinterpreted)
+    }
+}
+
 /// End-to-end driver: synth data → train float model → compose → simulate.
 ///
 /// # Examples
@@ -129,7 +142,12 @@ impl Pipeline {
             TrainerConfig::default()
         };
         let mut trainer = Trainer::new(trainer_config, rng);
-        trainer.fit(&mut network, train.inputs(), train.labels(), cfg.train_epochs)?;
+        trainer.fit(
+            &mut network,
+            train.inputs(),
+            train.labels(),
+            cfg.train_epochs,
+        )?;
 
         let composer = Composer::new(cfg.composer);
         let compose = composer.compose(&mut network, &train, &validation, rng)?;
@@ -175,6 +193,24 @@ mod tests {
             (r.compose.final_error, r.simulation.hardware.latency_ns)
         };
         assert_eq!(run(5), run(5));
+    }
+
+    #[test]
+    fn compiled_model_matches_pipeline_inference() {
+        let mut rng = SeededRng::new(17);
+        let report = Pipeline::new(PipelineConfig::tiny_for_tests())
+            .run(&mut rng)
+            .unwrap();
+        let compiled = report.compile().unwrap();
+        let model = &report.compose.reinterpreted;
+        assert_eq!(compiled.input_features(), model.input_features());
+        for i in 0..report.validation.len().min(8) {
+            let sample = report.validation.sample(i).into_vec();
+            assert_eq!(
+                compiled.infer(&sample).unwrap(),
+                model.infer_sample(&sample).unwrap(),
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,1469 @@
+//! Compiled-model artifacts.
+//!
+//! [`CompiledModel`] flattens a [`ReinterpretedNetwork`] — nested stages,
+//! per-stage codebooks, product tables, activation/encoder LUTs — into two
+//! contiguous pools (`floats`, `codes`) plus a linear op program. The flat
+//! layout is cache-friendly for serving and trivially serializable: the
+//! binary format is a hand-rolled, versioned, checksummed little-endian
+//! encoding with no dependencies beyond `std`.
+//!
+//! Loading performs *full static validation* (span bounds, code-domain
+//! chaining, flow-kind state machine, width tracking), so
+//! [`CompiledModel::infer`] never panics on any artifact that decoded
+//! successfully — corrupt bytes surface as typed [`ArtifactError`]s.
+//!
+//! Inference over the flattened program is bit-for-bit identical to
+//! [`ReinterpretedNetwork::infer_sample`]: the nearest-representative
+//! search, activation lookup, and accumulation order are replicated
+//! exactly.
+
+use crate::error::{ArtifactError, Result, ServeError};
+use rapidnn_core::{ActivationTable, ReinterpretedNetwork, Stage, StageKind};
+use rapidnn_nn::Activation;
+use std::path::Path;
+
+/// File magic: `RNNA` ("RapidNN Artifact").
+pub const MAGIC: [u8; 4] = *b"RNNA";
+/// Current artifact format version.
+pub const FORMAT_VERSION: u32 = 1;
+/// Upper bound on any single dimension/extent, keeping index arithmetic
+/// far away from overflow on 32-bit-and-up targets.
+const MAX_EXTENT: u64 = 1 << 31;
+
+/// A `(start, len)` view into one of the model's pools.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Span {
+    start: usize,
+    len: usize,
+}
+
+impl Span {
+    fn slice<'a, T>(&self, pool: &'a [T]) -> &'a [T] {
+        &pool[self.start..self.start + self.len]
+    }
+}
+
+/// A flattened `w x u` product table inside the float pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct TableRef {
+    offset: usize,
+    weight_count: usize,
+    input_count: usize,
+}
+
+impl TableRef {
+    #[inline]
+    fn fetch(&self, floats: &[f32], w: u16, x: u16) -> f32 {
+        floats[self.offset + w as usize * self.input_count + x as usize]
+    }
+}
+
+/// Activation step of a neuron op.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum ActRef {
+    /// Exact pass-through (output stage logits).
+    Identity,
+    /// Exact comparator ReLU.
+    Relu,
+    /// Nearest-input lookup table (`inputs` sorted, aligned with
+    /// `outputs`), both spans into the float pool.
+    Lookup { inputs: Span, outputs: Span },
+}
+
+impl ActRef {
+    /// Mirrors `ActivationTable::lookup` exactly.
+    #[inline]
+    fn apply(&self, floats: &[f32], y: f32) -> f32 {
+        match self {
+            ActRef::Identity => y,
+            ActRef::Relu => y.max(0.0),
+            ActRef::Lookup { inputs, outputs } => {
+                let xs = inputs.slice(floats);
+                let idx = match xs.binary_search_by(|p| p.total_cmp(&y)) {
+                    Ok(i) => i,
+                    Err(ins) => {
+                        if ins == 0 {
+                            0
+                        } else if ins >= xs.len() {
+                            xs.len() - 1
+                        } else if (y - xs[ins - 1]).abs() <= (xs[ins] - y).abs() {
+                            ins - 1
+                        } else {
+                            ins
+                        }
+                    }
+                };
+                outputs.slice(floats)[idx]
+            }
+        }
+    }
+}
+
+/// Convolution / pooling window geometry, mirroring
+/// `rapidnn_tensor::Conv2dGeometry` field-for-field so artifacts do not
+/// depend on that type's layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Geom {
+    in_channels: usize,
+    in_height: usize,
+    in_width: usize,
+    kernel_h: usize,
+    kernel_w: usize,
+    stride: usize,
+    pad: usize,
+    out_height: usize,
+    out_width: usize,
+}
+
+impl Geom {
+    fn from_geometry(g: &rapidnn_tensor::Conv2dGeometry) -> Self {
+        Geom {
+            in_channels: g.in_channels,
+            in_height: g.in_height,
+            in_width: g.in_width,
+            kernel_h: g.kernel_h,
+            kernel_w: g.kernel_w,
+            stride: g.stride,
+            pad: g.pad,
+            out_height: g.out_height,
+            out_width: g.out_width,
+        }
+    }
+
+    fn in_volume(&self) -> usize {
+        self.in_channels * self.in_height * self.in_width
+    }
+
+    fn out_pixels(&self) -> usize {
+        self.out_height * self.out_width
+    }
+
+    fn patch_len(&self) -> usize {
+        self.in_channels * self.kernel_h * self.kernel_w
+    }
+}
+
+/// One step of the flattened inference program.
+///
+/// Residual stages are linearized: `ResidualBegin` snapshots the decoded
+/// skip values onto a runtime stack, the branch's ops follow inline, and
+/// `ResidualEnd` pops the snapshot and joins.
+#[derive(Debug, Clone, PartialEq)]
+enum Op {
+    Dense {
+        inputs: usize,
+        outputs: usize,
+        weight_codes: Span,
+        bias: Span,
+        table: TableRef,
+        act: ActRef,
+        encoder: Option<Span>,
+    },
+    Conv {
+        geom: Geom,
+        out_channels: usize,
+        weight_codes: Span,
+        bias: Span,
+        tables: Vec<TableRef>,
+        zero_code: u16,
+        act: ActRef,
+        encoder: Option<Span>,
+    },
+    MaxPool(Geom),
+    AvgPool {
+        geom: Geom,
+        codebook: Span,
+    },
+    ResidualBegin {
+        skip_codebook: Span,
+    },
+    ResidualEnd {
+        encoder: Option<Span>,
+    },
+}
+
+/// A [`ReinterpretedNetwork`] flattened into contiguous pools plus a
+/// linear op program — the deployable, serializable serving artifact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledModel {
+    input_features: usize,
+    output_features: usize,
+    /// Virtual input-layer codebook (sorted values) in the float pool.
+    virtual_encoder: Span,
+    ops: Vec<Op>,
+    /// All f32 data: codebooks, product tables, LUTs, biases.
+    floats: Vec<f32>,
+    /// All encoded weights.
+    codes: Vec<u16>,
+}
+
+/// Per-sample data flowing through the op program.
+enum Flow {
+    Codes(Vec<u16>),
+    Floats(Vec<f32>),
+}
+
+impl CompiledModel {
+    /// Flattens a reinterpreted network into a compiled model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArtifactError::Unsupported`] when the network uses a
+    /// construct the artifact format cannot express (e.g. an exact
+    /// activation other than ReLU/identity), and
+    /// [`ArtifactError::Malformed`] if the flattened program fails its own
+    /// validation (which would indicate a bug, not bad input).
+    pub fn from_reinterpreted(network: &ReinterpretedNetwork) -> Result<Self, ArtifactError> {
+        let mut fl = Flattener::default();
+        let virtual_encoder = fl.push_floats(network.virtual_encoder().target().values());
+        for stage in network.stages() {
+            fl.flatten_stage(stage)?;
+        }
+        let model = CompiledModel {
+            input_features: network.input_features(),
+            output_features: network.output_features(),
+            virtual_encoder,
+            ops: fl.ops,
+            floats: fl.floats,
+            codes: fl.codes,
+        };
+        model.validate()?;
+        Ok(model)
+    }
+
+    /// Input feature width.
+    pub fn input_features(&self) -> usize {
+        self.input_features
+    }
+
+    /// Output feature width (class count).
+    pub fn output_features(&self) -> usize {
+        self.output_features
+    }
+
+    /// Number of ops in the flattened program.
+    pub fn op_count(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Total bytes held by the two pools (the dominant footprint).
+    pub fn pool_bytes(&self) -> usize {
+        self.floats.len() * 4 + self.codes.len() * 2
+    }
+
+    /// Runs encoded inference on one sample, returning the output logits.
+    ///
+    /// Bit-for-bit identical to
+    /// [`ReinterpretedNetwork::infer_sample`] on the source network.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidInput`] when `sample` has the wrong
+    /// width. Never panics on a validated model.
+    pub fn infer(&self, sample: &[f32]) -> Result<Vec<f32>> {
+        if sample.len() != self.input_features {
+            return Err(ServeError::InvalidInput(format!(
+                "sample has {} features, expected {}",
+                sample.len(),
+                self.input_features
+            )));
+        }
+        let book = self.virtual_encoder.slice(&self.floats);
+        let mut flow = Flow::Codes(sample.iter().map(|&v| nearest(book, v)).collect());
+        let mut skips: Vec<Vec<f32>> = Vec::new();
+        for op in &self.ops {
+            flow = self.run_op(op, flow, &mut skips)?;
+        }
+        match flow {
+            Flow::Floats(f) => Ok(f),
+            Flow::Codes(_) => Err(ServeError::Artifact(ArtifactError::Malformed(
+                "program ended in encoded domain".into(),
+            ))),
+        }
+    }
+
+    /// Runs inference over `batch x features` row-major inputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidInput`] when the input length is not a
+    /// multiple of the model's feature width.
+    pub fn infer_batch(&self, inputs: &[f32]) -> Result<Vec<Vec<f32>>> {
+        if self.input_features == 0 || !inputs.len().is_multiple_of(self.input_features) {
+            return Err(ServeError::InvalidInput(format!(
+                "{} values is not a whole number of {}-feature rows",
+                inputs.len(),
+                self.input_features
+            )));
+        }
+        inputs
+            .chunks(self.input_features)
+            .map(|row| self.infer(row))
+            .collect()
+    }
+
+    fn run_op(&self, op: &Op, flow: Flow, skips: &mut Vec<Vec<f32>>) -> Result<Flow> {
+        let floats = &self.floats;
+        match op {
+            Op::Dense {
+                inputs,
+                outputs,
+                weight_codes,
+                bias,
+                table,
+                act,
+                encoder,
+            } => {
+                let codes = expect_codes(flow)?;
+                let wcodes = weight_codes.slice(&self.codes);
+                let bias = bias.slice(floats);
+                let mut out = Vec::with_capacity(*outputs);
+                for o in 0..*outputs {
+                    let row = &wcodes[o * inputs..(o + 1) * inputs];
+                    let mut acc = bias[o];
+                    for (w, x) in row.iter().zip(&codes) {
+                        acc += table.fetch(floats, *w, *x);
+                    }
+                    out.push(acc);
+                }
+                Ok(self.finish_neuron(out, act, encoder))
+            }
+            Op::Conv {
+                geom: g,
+                out_channels,
+                weight_codes,
+                bias,
+                tables,
+                zero_code,
+                act,
+                encoder,
+            } => {
+                let codes = expect_codes(flow)?;
+                let wcodes = weight_codes.slice(&self.codes);
+                let bias = bias.slice(floats);
+                let patch_len = g.patch_len();
+                let pixels = g.out_pixels();
+                let mut out = vec![0.0f32; out_channels * pixels];
+                let (c, h, w) = (g.in_channels, g.in_height, g.in_width);
+                for oc in 0..*out_channels {
+                    let table = &tables[oc];
+                    let wrow = &wcodes[oc * patch_len..(oc + 1) * patch_len];
+                    for oy in 0..g.out_height {
+                        for ox in 0..g.out_width {
+                            let mut acc = bias[oc];
+                            let mut k = 0usize;
+                            for ic in 0..c {
+                                for kh in 0..g.kernel_h {
+                                    let iy = (oy * g.stride + kh) as isize - g.pad as isize;
+                                    for kw in 0..g.kernel_w {
+                                        let ix = (ox * g.stride + kw) as isize - g.pad as isize;
+                                        let xcode = if iy >= 0
+                                            && ix >= 0
+                                            && (iy as usize) < h
+                                            && (ix as usize) < w
+                                        {
+                                            codes[ic * h * w + iy as usize * w + ix as usize]
+                                        } else {
+                                            *zero_code
+                                        };
+                                        acc += table.fetch(floats, wrow[k], xcode);
+                                        k += 1;
+                                    }
+                                }
+                            }
+                            out[oc * pixels + oy * g.out_width + ox] = acc;
+                        }
+                    }
+                }
+                Ok(self.finish_neuron(out, act, encoder))
+            }
+            Op::MaxPool(g) => Ok(match flow {
+                Flow::Codes(c) => Flow::Codes(pool(g, &c, |a, b| if a >= b { a } else { b })),
+                Flow::Floats(f) => Flow::Floats(pool(g, &f, f32::max)),
+            }),
+            Op::AvgPool { geom, codebook } => {
+                let book = codebook.slice(floats);
+                match flow {
+                    Flow::Codes(c) => {
+                        let decoded: Vec<f32> = c.iter().map(|&x| book[x as usize]).collect();
+                        let averaged = avg_pool(geom, &decoded);
+                        Ok(Flow::Codes(
+                            averaged.iter().map(|&v| nearest(book, v)).collect(),
+                        ))
+                    }
+                    Flow::Floats(f) => Ok(Flow::Floats(avg_pool(geom, &f))),
+                }
+            }
+            Op::ResidualBegin { skip_codebook } => {
+                let codes = expect_codes(flow)?;
+                let book = skip_codebook.slice(floats);
+                skips.push(codes.iter().map(|&c| book[c as usize]).collect());
+                Ok(Flow::Codes(codes))
+            }
+            Op::ResidualEnd { encoder } => {
+                let branch_out = match flow {
+                    Flow::Floats(f) => f,
+                    Flow::Codes(_) => {
+                        return Err(ServeError::Artifact(ArtifactError::Malformed(
+                            "residual join received encoded values".into(),
+                        )))
+                    }
+                };
+                let skip = skips.pop().ok_or_else(|| {
+                    ServeError::Artifact(ArtifactError::Malformed(
+                        "residual join without matching begin".into(),
+                    ))
+                })?;
+                let joined: Vec<f32> = branch_out.iter().zip(&skip).map(|(a, b)| a + b).collect();
+                Ok(match encoder {
+                    Some(enc) => {
+                        let book = enc.slice(floats);
+                        Flow::Codes(joined.iter().map(|&v| nearest(book, v)).collect())
+                    }
+                    None => Flow::Floats(joined),
+                })
+            }
+        }
+    }
+
+    fn finish_neuron(&self, accumulated: Vec<f32>, act: &ActRef, encoder: &Option<Span>) -> Flow {
+        let activated: Vec<f32> = accumulated
+            .iter()
+            .map(|&y| act.apply(&self.floats, y))
+            .collect();
+        match encoder {
+            Some(enc) => {
+                let book = enc.slice(&self.floats);
+                Flow::Codes(activated.iter().map(|&z| nearest(book, z)).collect())
+            }
+            None => Flow::Floats(activated),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Serialization
+    // ------------------------------------------------------------------
+
+    /// Serializes the model: `RNNA` magic, format version, payload length,
+    /// payload, FNV-1a 64 checksum — all little-endian.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut payload = Vec::new();
+        write_u64(&mut payload, self.input_features as u64);
+        write_u64(&mut payload, self.output_features as u64);
+        write_u64(&mut payload, self.floats.len() as u64);
+        for &f in &self.floats {
+            payload.extend_from_slice(&f.to_le_bytes());
+        }
+        write_u64(&mut payload, self.codes.len() as u64);
+        for &c in &self.codes {
+            payload.extend_from_slice(&c.to_le_bytes());
+        }
+        write_span(&mut payload, self.virtual_encoder);
+        write_u64(&mut payload, self.ops.len() as u64);
+        for op in &self.ops {
+            write_op(&mut payload, op);
+        }
+
+        let mut out = Vec::with_capacity(4 + 4 + 8 + payload.len() + 8);
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        write_u64(&mut out, payload.len() as u64);
+        out.extend_from_slice(&payload);
+        write_u64(&mut out, fnv1a64(&payload));
+        out
+    }
+
+    /// Decodes and fully validates an artifact.
+    ///
+    /// # Errors
+    ///
+    /// Any corruption surfaces as a typed [`ArtifactError`] — bad magic,
+    /// unknown version, truncation, checksum mismatch, or structural
+    /// inconsistency. This function never panics.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, ArtifactError> {
+        let mut r = Reader::new(bytes);
+        let magic = r.take(4)?;
+        if magic != MAGIC {
+            return Err(ArtifactError::BadMagic);
+        }
+        let version = r.u32()?;
+        if version != FORMAT_VERSION {
+            return Err(ArtifactError::UnsupportedVersion(version));
+        }
+        let payload_len = r.usize()?;
+        let payload = r.take(payload_len)?.to_vec();
+        let stored = r.u64()?;
+        if r.remaining() != 0 {
+            return Err(ArtifactError::Malformed(format!(
+                "{} trailing bytes after checksum",
+                r.remaining()
+            )));
+        }
+        let actual = fnv1a64(&payload);
+        if stored != actual {
+            return Err(ArtifactError::ChecksumMismatch {
+                expected: stored,
+                actual,
+            });
+        }
+
+        let mut p = Reader::new(&payload);
+        let input_features = p.extent()?;
+        let output_features = p.extent()?;
+        let nfloats = p.extent()?;
+        // Bound the allocation by the bytes actually present.
+        p.ensure(nfloats.checked_mul(4).ok_or_else(too_large)?)?;
+        let mut floats = Vec::with_capacity(nfloats);
+        for _ in 0..nfloats {
+            floats.push(p.f32()?);
+        }
+        let ncodes = p.extent()?;
+        p.ensure(ncodes.checked_mul(2).ok_or_else(too_large)?)?;
+        let mut codes = Vec::with_capacity(ncodes);
+        for _ in 0..ncodes {
+            codes.push(p.u16()?);
+        }
+        let virtual_encoder = read_span(&mut p)?;
+        let nops = p.extent()?;
+        // Each op costs at least its 1-byte tag.
+        p.ensure(nops)?;
+        let mut ops = Vec::with_capacity(nops);
+        for _ in 0..nops {
+            ops.push(read_op(&mut p)?);
+        }
+        if p.remaining() != 0 {
+            return Err(ArtifactError::Malformed(format!(
+                "{} trailing bytes in payload",
+                p.remaining()
+            )));
+        }
+
+        let model = CompiledModel {
+            input_features,
+            output_features,
+            virtual_encoder,
+            ops,
+            floats,
+            codes,
+        };
+        model.validate()?;
+        Ok(model)
+    }
+
+    /// Writes the serialized artifact to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
+        std::fs::write(path, self.to_bytes())?;
+        Ok(())
+    }
+
+    /// Reads and validates an artifact from `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors and [`ArtifactError`]s.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self> {
+        let bytes = std::fs::read(path)?;
+        Ok(Self::from_bytes(&bytes)?)
+    }
+
+    // ------------------------------------------------------------------
+    // Validation
+    // ------------------------------------------------------------------
+
+    /// Statically checks the whole program so that `infer` can index the
+    /// pools without bounds failures: span ranges, weight codes vs table
+    /// rows, the Codes/Floats flow state machine, code-domain chaining
+    /// (every code producible upstream is in range downstream), and width
+    /// tracking through every op.
+    fn validate(&self) -> Result<(), ArtifactError> {
+        let check_floats = |s: Span| -> Result<(), ArtifactError> {
+            let end = s.start.checked_add(s.len).ok_or_else(too_large)?;
+            if end > self.floats.len() {
+                return Err(malformed(format!(
+                    "float span {}+{} exceeds pool of {}",
+                    s.start,
+                    s.len,
+                    self.floats.len()
+                )));
+            }
+            Ok(())
+        };
+        let check_codebook = |s: Span| -> Result<(), ArtifactError> {
+            check_floats(s)?;
+            if s.len == 0 {
+                return Err(malformed("empty codebook"));
+            }
+            Ok(())
+        };
+        let check_act = |act: &ActRef| -> Result<(), ArtifactError> {
+            if let ActRef::Lookup { inputs, outputs } = act {
+                check_floats(*inputs)?;
+                check_floats(*outputs)?;
+                if inputs.len == 0 || inputs.len != outputs.len {
+                    return Err(malformed("activation lookup spans empty or misaligned"));
+                }
+            }
+            Ok(())
+        };
+        let check_table = |t: &TableRef, domain: usize| -> Result<(), ArtifactError> {
+            if t.weight_count == 0 || t.input_count == 0 {
+                return Err(malformed("empty product table"));
+            }
+            let len = t
+                .weight_count
+                .checked_mul(t.input_count)
+                .ok_or_else(too_large)?;
+            check_floats(Span {
+                start: t.offset,
+                len,
+            })?;
+            if t.input_count < domain {
+                return Err(malformed(format!(
+                    "product table addresses {} input codes, upstream domain is {domain}",
+                    t.input_count
+                )));
+            }
+            Ok(())
+        };
+        let check_weight_codes = |s: Span, expected: usize| -> Result<(), ArtifactError> {
+            let end = s.start.checked_add(s.len).ok_or_else(too_large)?;
+            if end > self.codes.len() {
+                return Err(malformed(format!(
+                    "code span {}+{} exceeds pool of {}",
+                    s.start,
+                    s.len,
+                    self.codes.len()
+                )));
+            }
+            if s.len != expected {
+                return Err(malformed(format!(
+                    "weight-code span holds {} codes, expected {expected}",
+                    s.len
+                )));
+            }
+            Ok(())
+        };
+
+        if self.input_features == 0 {
+            return Err(malformed("zero input features"));
+        }
+        check_codebook(self.virtual_encoder)?;
+
+        // Flow state machine: (width, Some(domain) while encoded).
+        let mut width = self.input_features;
+        let mut domain: Option<usize> = Some(self.virtual_encoder.len);
+        // Widths captured by open ResidualBegins.
+        let mut residual_widths: Vec<usize> = Vec::new();
+
+        for (i, op) in self.ops.iter().enumerate() {
+            let at = |msg: String| malformed(format!("op {i}: {msg}"));
+            match op {
+                Op::Dense {
+                    inputs,
+                    outputs,
+                    weight_codes,
+                    bias,
+                    table,
+                    act,
+                    encoder,
+                } => {
+                    let d = domain.ok_or_else(|| at("dense op on decoded values".into()))?;
+                    if *inputs != width {
+                        return Err(at(format!(
+                            "dense expects {inputs} inputs, flow width is {width}"
+                        )));
+                    }
+                    if *outputs == 0 {
+                        return Err(at("dense has zero outputs".into()));
+                    }
+                    check_table(table, d)?;
+                    let expected = inputs.checked_mul(*outputs).ok_or_else(too_large)?;
+                    check_weight_codes(*weight_codes, expected)?;
+                    if let Some(&bad) = weight_codes
+                        .slice(&self.codes)
+                        .iter()
+                        .find(|&&c| c as usize >= table.weight_count)
+                    {
+                        return Err(at(format!(
+                            "weight code {bad} out of range for {}-row table",
+                            table.weight_count
+                        )));
+                    }
+                    if bias.len != *outputs {
+                        return Err(at(format!(
+                            "bias holds {} values, expected {outputs}",
+                            bias.len
+                        )));
+                    }
+                    check_floats(*bias)?;
+                    check_act(act)?;
+                    if let Some(enc) = encoder {
+                        check_codebook(*enc)?;
+                        domain = Some(enc.len);
+                    } else {
+                        domain = None;
+                    }
+                    width = *outputs;
+                }
+                Op::Conv {
+                    geom,
+                    out_channels,
+                    weight_codes,
+                    bias,
+                    tables,
+                    zero_code,
+                    act,
+                    encoder,
+                } => {
+                    let d = domain.ok_or_else(|| at("conv op on decoded values".into()))?;
+                    validate_geom(geom).map_err(&at)?;
+                    if geom.in_volume() != width {
+                        return Err(at(format!(
+                            "conv expects {} inputs, flow width is {width}",
+                            geom.in_volume()
+                        )));
+                    }
+                    if *out_channels == 0 || tables.len() != *out_channels {
+                        return Err(at(format!(
+                            "{} tables for {out_channels} output channels",
+                            tables.len()
+                        )));
+                    }
+                    if *zero_code as usize >= d {
+                        return Err(at(format!(
+                            "zero code {zero_code} out of range for domain {d}"
+                        )));
+                    }
+                    let patch_len = geom.patch_len();
+                    let expected = out_channels.checked_mul(patch_len).ok_or_else(too_large)?;
+                    check_weight_codes(*weight_codes, expected)?;
+                    for (oc, table) in tables.iter().enumerate() {
+                        check_table(table, d)?;
+                        let row =
+                            &weight_codes.slice(&self.codes)[oc * patch_len..(oc + 1) * patch_len];
+                        if let Some(&bad) = row.iter().find(|&&c| c as usize >= table.weight_count)
+                        {
+                            return Err(at(format!(
+                                "channel {oc} weight code {bad} out of range for {}-row table",
+                                table.weight_count
+                            )));
+                        }
+                    }
+                    if bias.len != *out_channels {
+                        return Err(at(format!(
+                            "bias holds {} values, expected {out_channels}",
+                            bias.len
+                        )));
+                    }
+                    check_floats(*bias)?;
+                    check_act(act)?;
+                    width = out_channels
+                        .checked_mul(geom.out_pixels())
+                        .ok_or_else(too_large)?;
+                    if width == 0 {
+                        return Err(at("conv produces zero outputs".into()));
+                    }
+                    if let Some(enc) = encoder {
+                        check_codebook(*enc)?;
+                        domain = Some(enc.len);
+                    } else {
+                        domain = None;
+                    }
+                }
+                Op::MaxPool(geom) => {
+                    validate_geom(geom).map_err(&at)?;
+                    if geom.in_volume() != width {
+                        return Err(at(format!(
+                            "pool expects {} inputs, flow width is {width}",
+                            geom.in_volume()
+                        )));
+                    }
+                    width = geom
+                        .in_channels
+                        .checked_mul(geom.out_pixels())
+                        .ok_or_else(too_large)?;
+                }
+                Op::AvgPool { geom, codebook } => {
+                    validate_geom(geom).map_err(&at)?;
+                    if geom.in_volume() != width {
+                        return Err(at(format!(
+                            "pool expects {} inputs, flow width is {width}",
+                            geom.in_volume()
+                        )));
+                    }
+                    check_codebook(*codebook)?;
+                    if let Some(d) = domain {
+                        if codebook.len < d {
+                            return Err(at(format!(
+                                "avg-pool codebook holds {} values, domain is {d}",
+                                codebook.len
+                            )));
+                        }
+                        domain = Some(codebook.len);
+                    }
+                    width = geom
+                        .in_channels
+                        .checked_mul(geom.out_pixels())
+                        .ok_or_else(too_large)?;
+                }
+                Op::ResidualBegin { skip_codebook } => {
+                    let d = domain.ok_or_else(|| at("residual begin on decoded values".into()))?;
+                    check_codebook(*skip_codebook)?;
+                    if skip_codebook.len < d {
+                        return Err(at(format!(
+                            "skip codebook holds {} values, domain is {d}",
+                            skip_codebook.len
+                        )));
+                    }
+                    residual_widths.push(width);
+                }
+                Op::ResidualEnd { encoder } => {
+                    if domain.is_some() {
+                        return Err(at("residual join on encoded values".into()));
+                    }
+                    let skip_width = residual_widths
+                        .pop()
+                        .ok_or_else(|| at("residual join without matching begin".into()))?;
+                    if skip_width != width {
+                        return Err(at(format!(
+                            "branch width {width} differs from skip width {skip_width}"
+                        )));
+                    }
+                    if let Some(enc) = encoder {
+                        check_codebook(*enc)?;
+                        domain = Some(enc.len);
+                    }
+                }
+            }
+        }
+        if !residual_widths.is_empty() {
+            return Err(malformed("unclosed residual begin"));
+        }
+        if domain.is_some() {
+            return Err(malformed("program ends in encoded domain"));
+        }
+        if width != self.output_features {
+            return Err(malformed(format!(
+                "program produces {width} outputs, header says {}",
+                self.output_features
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Nearest-representative search over a sorted codebook, replicating
+/// `Codebook::encode` exactly (ties resolve to the smaller value).
+#[inline]
+fn nearest(values: &[f32], value: f32) -> u16 {
+    let idx = match values.binary_search_by(|probe| probe.total_cmp(&value)) {
+        Ok(i) => i,
+        Err(insertion) => {
+            if insertion == 0 {
+                0
+            } else if insertion >= values.len() {
+                values.len() - 1
+            } else {
+                let lo = insertion - 1;
+                let hi = insertion;
+                if (value - values[lo]).abs() <= (values[hi] - value).abs() {
+                    lo
+                } else {
+                    hi
+                }
+            }
+        }
+    };
+    idx as u16
+}
+
+fn expect_codes(flow: Flow) -> Result<Vec<u16>> {
+    match flow {
+        Flow::Codes(c) => Ok(c),
+        Flow::Floats(_) => Err(ServeError::Artifact(ArtifactError::Malformed(
+            "neuron op received decoded values".into(),
+        ))),
+    }
+}
+
+/// Windowed reduction in the same iteration order as the pipeline's
+/// `pool` helper (channel, output row, output column, kernel row, kernel
+/// column).
+fn pool<T: Copy>(g: &Geom, data: &[T], combine: impl Fn(T, T) -> T) -> Vec<T> {
+    let (c, h, w) = (g.in_channels, g.in_height, g.in_width);
+    let mut out = Vec::with_capacity(c * g.out_pixels());
+    for ch in 0..c {
+        for oy in 0..g.out_height {
+            for ox in 0..g.out_width {
+                let mut acc: Option<T> = None;
+                for kh in 0..g.kernel_h {
+                    for kw in 0..g.kernel_w {
+                        let v = data[ch * h * w + (oy * g.stride + kh) * w + ox * g.stride + kw];
+                        acc = Some(match acc {
+                            Some(a) => combine(a, v),
+                            None => v,
+                        });
+                    }
+                }
+                out.push(acc.expect("window is non-empty"));
+            }
+        }
+    }
+    out
+}
+
+fn avg_pool(g: &Geom, data: &[f32]) -> Vec<f32> {
+    let summed = pool(g, data, |a, b| a + b);
+    let n = (g.kernel_h * g.kernel_w) as f32;
+    summed.into_iter().map(|v| v / n).collect()
+}
+
+/// Checks a decoded geometry against the same invariants
+/// `Conv2dGeometry::new` establishes, including recomputing the output
+/// dimensions, plus an extent cap so index arithmetic cannot overflow.
+/// Pools read `data[ch*h*w + (oy*stride+kh)*w + ox*stride+kw]` without
+/// padding, so the kernel sweep must stay in bounds with `pad = 0`;
+/// convolutions handle padding explicitly at runtime.
+fn validate_geom(g: &Geom) -> Result<(), String> {
+    let dims = [
+        g.in_channels,
+        g.in_height,
+        g.in_width,
+        g.kernel_h,
+        g.kernel_w,
+        g.stride,
+    ];
+    if dims.contains(&0) {
+        return Err("geometry has a zero dimension".into());
+    }
+    let all = [
+        g.in_channels,
+        g.in_height,
+        g.in_width,
+        g.kernel_h,
+        g.kernel_w,
+        g.stride,
+        g.pad,
+        g.out_height,
+        g.out_width,
+    ];
+    if all.iter().any(|&d| d as u64 > MAX_EXTENT) {
+        return Err("geometry dimension too large".into());
+    }
+    let padded_h = g.in_height + 2 * g.pad;
+    let padded_w = g.in_width + 2 * g.pad;
+    if padded_h < g.kernel_h || padded_w < g.kernel_w {
+        return Err("kernel larger than padded input".into());
+    }
+    if g.out_height != (padded_h - g.kernel_h) / g.stride + 1
+        || g.out_width != (padded_w - g.kernel_w) / g.stride + 1
+    {
+        return Err("output dimensions inconsistent with geometry".into());
+    }
+    // Volumes must fit comfortably.
+    let volume = g.in_channels as u64 * g.in_height as u64 * g.in_width as u64;
+    let out_volume = g.in_channels as u64 * g.out_height as u64 * g.out_width as u64;
+    let patch = g.in_channels as u64 * g.kernel_h as u64 * g.kernel_w as u64;
+    if volume > MAX_EXTENT || out_volume > MAX_EXTENT || patch > MAX_EXTENT {
+        return Err("geometry volume too large".into());
+    }
+    Ok(())
+}
+
+fn malformed(msg: impl Into<String>) -> ArtifactError {
+    ArtifactError::Malformed(msg.into())
+}
+
+fn too_large() -> ArtifactError {
+    ArtifactError::Malformed("size overflow".into())
+}
+
+/// FNV-1a 64-bit hash — cheap, dependency-free corruption detection.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+// ----------------------------------------------------------------------
+// Binary encoding helpers
+// ----------------------------------------------------------------------
+
+fn write_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn write_span(out: &mut Vec<u8>, s: Span) {
+    write_u64(out, s.start as u64);
+    write_u64(out, s.len as u64);
+}
+
+fn write_opt_span(out: &mut Vec<u8>, s: &Option<Span>) {
+    match s {
+        Some(s) => {
+            out.push(1);
+            write_span(out, *s);
+        }
+        None => out.push(0),
+    }
+}
+
+fn write_table(out: &mut Vec<u8>, t: &TableRef) {
+    write_u64(out, t.offset as u64);
+    write_u64(out, t.weight_count as u64);
+    write_u64(out, t.input_count as u64);
+}
+
+fn write_act(out: &mut Vec<u8>, act: &ActRef) {
+    match act {
+        ActRef::Identity => out.push(0),
+        ActRef::Relu => out.push(1),
+        ActRef::Lookup { inputs, outputs } => {
+            out.push(2);
+            write_span(out, *inputs);
+            write_span(out, *outputs);
+        }
+    }
+}
+
+fn write_geom(out: &mut Vec<u8>, g: &Geom) {
+    for v in [
+        g.in_channels,
+        g.in_height,
+        g.in_width,
+        g.kernel_h,
+        g.kernel_w,
+        g.stride,
+        g.pad,
+        g.out_height,
+        g.out_width,
+    ] {
+        write_u64(out, v as u64);
+    }
+}
+
+fn write_op(out: &mut Vec<u8>, op: &Op) {
+    match op {
+        Op::Dense {
+            inputs,
+            outputs,
+            weight_codes,
+            bias,
+            table,
+            act,
+            encoder,
+        } => {
+            out.push(0);
+            write_u64(out, *inputs as u64);
+            write_u64(out, *outputs as u64);
+            write_span(out, *weight_codes);
+            write_span(out, *bias);
+            write_table(out, table);
+            write_act(out, act);
+            write_opt_span(out, encoder);
+        }
+        Op::Conv {
+            geom,
+            out_channels,
+            weight_codes,
+            bias,
+            tables,
+            zero_code,
+            act,
+            encoder,
+        } => {
+            out.push(1);
+            write_geom(out, geom);
+            write_u64(out, *out_channels as u64);
+            write_span(out, *weight_codes);
+            write_span(out, *bias);
+            write_u64(out, tables.len() as u64);
+            for t in tables {
+                write_table(out, t);
+            }
+            out.extend_from_slice(&zero_code.to_le_bytes());
+            write_act(out, act);
+            write_opt_span(out, encoder);
+        }
+        Op::MaxPool(geom) => {
+            out.push(2);
+            write_geom(out, geom);
+        }
+        Op::AvgPool { geom, codebook } => {
+            out.push(3);
+            write_geom(out, geom);
+            write_span(out, *codebook);
+        }
+        Op::ResidualBegin { skip_codebook } => {
+            out.push(4);
+            write_span(out, *skip_codebook);
+        }
+        Op::ResidualEnd { encoder } => {
+            out.push(5);
+            write_opt_span(out, encoder);
+        }
+    }
+}
+
+/// Little-endian cursor with typed truncation errors.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn ensure(&self, needed: usize) -> Result<(), ArtifactError> {
+        if self.remaining() < needed {
+            return Err(ArtifactError::Truncated {
+                needed,
+                available: self.remaining(),
+            });
+        }
+        Ok(())
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ArtifactError> {
+        self.ensure(n)?;
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, ArtifactError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, ArtifactError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Result<u32, ArtifactError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, ArtifactError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn f32(&mut self) -> Result<f32, ArtifactError> {
+        Ok(f32::from_le_bytes(self.u32()?.to_le_bytes()))
+    }
+
+    fn usize(&mut self) -> Result<usize, ArtifactError> {
+        usize::try_from(self.u64()?).map_err(|_| too_large())
+    }
+
+    /// A length/count/dimension field, capped so later arithmetic on it
+    /// cannot overflow.
+    fn extent(&mut self) -> Result<usize, ArtifactError> {
+        let v = self.u64()?;
+        if v > MAX_EXTENT {
+            return Err(too_large());
+        }
+        Ok(v as usize)
+    }
+}
+
+fn read_span(r: &mut Reader<'_>) -> Result<Span, ArtifactError> {
+    let start = r.usize()?;
+    let len = r.extent()?;
+    Ok(Span { start, len })
+}
+
+fn read_opt_span(r: &mut Reader<'_>) -> Result<Option<Span>, ArtifactError> {
+    match r.u8()? {
+        0 => Ok(None),
+        1 => Ok(Some(read_span(r)?)),
+        t => Err(malformed(format!("bad option tag {t}"))),
+    }
+}
+
+fn read_table(r: &mut Reader<'_>) -> Result<TableRef, ArtifactError> {
+    Ok(TableRef {
+        offset: r.usize()?,
+        weight_count: r.extent()?,
+        input_count: r.extent()?,
+    })
+}
+
+fn read_act(r: &mut Reader<'_>) -> Result<ActRef, ArtifactError> {
+    match r.u8()? {
+        0 => Ok(ActRef::Identity),
+        1 => Ok(ActRef::Relu),
+        2 => Ok(ActRef::Lookup {
+            inputs: read_span(r)?,
+            outputs: read_span(r)?,
+        }),
+        t => Err(malformed(format!("bad activation tag {t}"))),
+    }
+}
+
+fn read_geom(r: &mut Reader<'_>) -> Result<Geom, ArtifactError> {
+    Ok(Geom {
+        in_channels: r.extent()?,
+        in_height: r.extent()?,
+        in_width: r.extent()?,
+        kernel_h: r.extent()?,
+        kernel_w: r.extent()?,
+        stride: r.extent()?,
+        pad: r.extent()?,
+        out_height: r.extent()?,
+        out_width: r.extent()?,
+    })
+}
+
+fn read_op(r: &mut Reader<'_>) -> Result<Op, ArtifactError> {
+    match r.u8()? {
+        0 => Ok(Op::Dense {
+            inputs: r.extent()?,
+            outputs: r.extent()?,
+            weight_codes: read_span(r)?,
+            bias: read_span(r)?,
+            table: read_table(r)?,
+            act: read_act(r)?,
+            encoder: read_opt_span(r)?,
+        }),
+        1 => {
+            let geom = read_geom(r)?;
+            let out_channels = r.extent()?;
+            let weight_codes = read_span(r)?;
+            let bias = read_span(r)?;
+            let ntables = r.extent()?;
+            // Each table costs 24 bytes on the wire.
+            r.ensure(ntables.checked_mul(24).ok_or_else(too_large)?)?;
+            let mut tables = Vec::with_capacity(ntables);
+            for _ in 0..ntables {
+                tables.push(read_table(r)?);
+            }
+            Ok(Op::Conv {
+                geom,
+                out_channels,
+                weight_codes,
+                bias,
+                tables,
+                zero_code: r.u16()?,
+                act: read_act(r)?,
+                encoder: read_opt_span(r)?,
+            })
+        }
+        2 => Ok(Op::MaxPool(read_geom(r)?)),
+        3 => Ok(Op::AvgPool {
+            geom: read_geom(r)?,
+            codebook: read_span(r)?,
+        }),
+        4 => Ok(Op::ResidualBegin {
+            skip_codebook: read_span(r)?,
+        }),
+        5 => Ok(Op::ResidualEnd {
+            encoder: read_opt_span(r)?,
+        }),
+        t => Err(malformed(format!("bad op tag {t}"))),
+    }
+}
+
+// ----------------------------------------------------------------------
+// Flattening
+// ----------------------------------------------------------------------
+
+#[derive(Default)]
+struct Flattener {
+    floats: Vec<f32>,
+    codes: Vec<u16>,
+    ops: Vec<Op>,
+}
+
+impl Flattener {
+    fn push_floats(&mut self, values: &[f32]) -> Span {
+        let start = self.floats.len();
+        self.floats.extend_from_slice(values);
+        Span {
+            start,
+            len: values.len(),
+        }
+    }
+
+    fn push_codes(&mut self, values: &[u16]) -> Span {
+        let start = self.codes.len();
+        self.codes.extend_from_slice(values);
+        Span {
+            start,
+            len: values.len(),
+        }
+    }
+
+    fn push_table(&mut self, table: &rapidnn_core::ProductTable) -> TableRef {
+        let span = self.push_floats(table.products());
+        TableRef {
+            offset: span.start,
+            weight_count: table.weight_count(),
+            input_count: table.input_count(),
+        }
+    }
+
+    fn flatten_act(&mut self, act: &ActivationTable) -> Result<ActRef, ArtifactError> {
+        if act.is_exact() {
+            return match act.activation() {
+                Activation::Relu => Ok(ActRef::Relu),
+                Activation::Identity => Ok(ActRef::Identity),
+                other => Err(ArtifactError::Unsupported(format!(
+                    "exact activation {other:?} has no compiled form"
+                ))),
+            };
+        }
+        Ok(ActRef::Lookup {
+            inputs: self.push_floats(act.inputs()),
+            outputs: self.push_floats(act.outputs()),
+        })
+    }
+
+    fn flatten_stage(&mut self, stage: &Stage) -> Result<(), ArtifactError> {
+        match stage {
+            Stage::Neuron(s) => {
+                let weight_codes = self.push_codes(s.weight_codes());
+                let bias = self.push_floats(s.bias());
+                let act = self.flatten_act(s.activation())?;
+                let encoder = s.encoder().map(|e| self.push_floats(e.target().values()));
+                match *s.kind() {
+                    StageKind::Dense { inputs, outputs } => {
+                        let table = self.push_table(&s.product_tables()[0]);
+                        self.ops.push(Op::Dense {
+                            inputs,
+                            outputs,
+                            weight_codes,
+                            bias,
+                            table,
+                            act,
+                            encoder,
+                        });
+                    }
+                    StageKind::Conv {
+                        geometry,
+                        out_channels,
+                    } => {
+                        let tables = s
+                            .product_tables()
+                            .iter()
+                            .map(|t| self.push_table(t))
+                            .collect();
+                        self.ops.push(Op::Conv {
+                            geom: Geom::from_geometry(&geometry),
+                            out_channels,
+                            weight_codes,
+                            bias,
+                            tables,
+                            zero_code: s.zero_code(),
+                            act,
+                            encoder,
+                        });
+                    }
+                }
+            }
+            Stage::MaxPool(g) => self.ops.push(Op::MaxPool(Geom::from_geometry(g))),
+            Stage::AvgPool { geometry, codebook } => {
+                let codebook = self.push_floats(codebook.values());
+                self.ops.push(Op::AvgPool {
+                    geom: Geom::from_geometry(geometry),
+                    codebook,
+                });
+            }
+            Stage::Residual {
+                branch,
+                input_codebook,
+                join_encoder,
+            } => {
+                let skip_codebook = self.push_floats(input_codebook.values());
+                self.ops.push(Op::ResidualBegin { skip_codebook });
+                for inner in branch {
+                    self.flatten_stage(inner)?;
+                }
+                let encoder = join_encoder
+                    .as_ref()
+                    .map(|e| self.push_floats(e.target().values()));
+                self.ops.push(Op::ResidualEnd { encoder });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a64_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn nearest_matches_codebook_semantics() {
+        let values = [-1.25f32, -0.5, 0.2, 0.45];
+        assert_eq!(nearest(&values, 1.2), 3);
+        assert_eq!(nearest(&values, -9.0), 0);
+        assert_eq!(nearest(&values, 0.2), 2);
+        assert_eq!(nearest(&values, -0.9), 0);
+        assert_eq!(nearest(&values, -0.6), 1);
+        // Ties resolve low.
+        assert_eq!(nearest(&[0.0, 2.0], 1.0), 0);
+    }
+
+    #[test]
+    fn reader_reports_truncation() {
+        let mut r = Reader::new(&[1, 2, 3]);
+        assert!(matches!(
+            r.u64(),
+            Err(ArtifactError::Truncated {
+                needed: 8,
+                available: 3
+            })
+        ));
+    }
+
+    #[test]
+    fn from_bytes_rejects_garbage() {
+        assert!(matches!(
+            CompiledModel::from_bytes(b"nope"),
+            Err(ArtifactError::BadMagic | ArtifactError::Truncated { .. })
+        ));
+        assert!(matches!(
+            CompiledModel::from_bytes(b"XXXXXXXXXXXXXXXXXXXX"),
+            Err(ArtifactError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn from_bytes_rejects_future_version() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.extend_from_slice(&99u32.to_le_bytes());
+        bytes.extend_from_slice(&0u64.to_le_bytes());
+        bytes.extend_from_slice(&fnv1a64(&[]).to_le_bytes());
+        assert!(matches!(
+            CompiledModel::from_bytes(&bytes),
+            Err(ArtifactError::UnsupportedVersion(99))
+        ));
+    }
+}

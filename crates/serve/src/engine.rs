@@ -1,0 +1,345 @@
+//! Batched, multi-threaded serving engine.
+//!
+//! [`Engine::start`] spins up a worker pool over a bounded request queue.
+//! Each worker gathers a dynamic batch — up to
+//! [`EngineConfig::max_batch_size`] requests, waiting at most
+//! [`EngineConfig::max_wait`] for stragglers — then runs the compiled
+//! model outside the lock and answers each request through its own
+//! channel. Backpressure is explicit: [`Engine::try_submit`] returns
+//! [`ServeError::QueueFull`] instead of buffering without bound, while
+//! [`Engine::submit`] blocks until space frees up. Shutdown drains the
+//! queue before the workers exit, so every accepted request is answered.
+
+use crate::artifact::CompiledModel;
+use crate::error::{Result, ServeError};
+use crate::metrics::{Metrics, ServerStats};
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for [`Engine::start`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Worker threads; `0` sizes the pool to available parallelism.
+    pub workers: usize,
+    /// Maximum queued (accepted but unserved) requests.
+    pub queue_capacity: usize,
+    /// Most requests a worker executes per batch.
+    pub max_batch_size: usize,
+    /// Longest a worker holds a partial batch waiting for more work.
+    pub max_wait: Duration,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            workers: 0,
+            queue_capacity: 1024,
+            max_batch_size: 32,
+            max_wait: Duration::from_millis(1),
+        }
+    }
+}
+
+impl EngineConfig {
+    fn resolved_workers(&self) -> usize {
+        if self.workers > 0 {
+            return self.workers;
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+}
+
+/// One queued request.
+struct Job {
+    input: Vec<f32>,
+    reply: mpsc::Sender<Result<Vec<f32>>>,
+    enqueued: Instant,
+}
+
+/// Queue state guarded by the mutex.
+struct QueueState {
+    jobs: VecDeque<Job>,
+    shutting_down: bool,
+}
+
+struct Shared {
+    state: Mutex<QueueState>,
+    /// Signalled when work arrives or shutdown begins.
+    work_ready: Condvar,
+    /// Signalled when queue space frees up.
+    space_ready: Condvar,
+}
+
+/// Handle to one in-flight request; redeem it with [`Ticket::wait`].
+#[derive(Debug)]
+pub struct Ticket {
+    reply: mpsc::Receiver<Result<Vec<f32>>>,
+}
+
+impl Ticket {
+    /// Blocks until the response arrives.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the inference error, or [`ServeError::ShuttingDown`] if
+    /// the engine died before answering.
+    pub fn wait(self) -> Result<Vec<f32>> {
+        self.reply.recv().unwrap_or(Err(ServeError::ShuttingDown))
+    }
+
+    /// Blocks until the response arrives or `timeout` elapses; `None` on
+    /// timeout.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<Vec<f32>>> {
+        match self.reply.recv_timeout(timeout) {
+            Ok(result) => Some(result),
+            Err(mpsc::RecvTimeoutError::Timeout) => None,
+            Err(mpsc::RecvTimeoutError::Disconnected) => Some(Err(ServeError::ShuttingDown)),
+        }
+    }
+}
+
+/// A running inference server over one [`CompiledModel`].
+pub struct Engine {
+    shared: Arc<Shared>,
+    metrics: Arc<Metrics>,
+    model: Arc<CompiledModel>,
+    workers: Vec<JoinHandle<()>>,
+    queue_capacity: usize,
+}
+
+impl Engine {
+    /// Starts the worker pool and returns the serving handle.
+    pub fn start(model: CompiledModel, config: EngineConfig) -> Engine {
+        let worker_count = config.resolved_workers();
+        let queue_capacity = config.queue_capacity.max(1);
+        let max_batch = config.max_batch_size.max(1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                shutting_down: false,
+            }),
+            work_ready: Condvar::new(),
+            space_ready: Condvar::new(),
+        });
+        let metrics = Arc::new(Metrics::new());
+        let model = Arc::new(model);
+        let workers = (0..worker_count)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                let metrics = Arc::clone(&metrics);
+                let model = Arc::clone(&model);
+                let max_wait = config.max_wait;
+                std::thread::spawn(move || worker_loop(shared, metrics, model, max_batch, max_wait))
+            })
+            .collect();
+        Engine {
+            shared,
+            metrics,
+            model,
+            workers,
+            queue_capacity,
+        }
+    }
+
+    /// The model being served.
+    pub fn model(&self) -> &CompiledModel {
+        &self.model
+    }
+
+    /// Worker-pool size.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Submits a request without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidInput`] for a width mismatch (checked before
+    /// enqueueing), [`ServeError::QueueFull`] when the bounded queue is at
+    /// capacity, [`ServeError::ShuttingDown`] after shutdown began.
+    pub fn try_submit(&self, input: Vec<f32>) -> Result<Ticket> {
+        self.check_width(&input)?;
+        let mut state = lock_state(&self.shared);
+        if state.shutting_down {
+            return Err(ServeError::ShuttingDown);
+        }
+        if state.jobs.len() >= self.queue_capacity {
+            self.metrics.record_rejected();
+            return Err(ServeError::QueueFull);
+        }
+        Ok(self.enqueue(&mut state, input))
+    }
+
+    /// Submits a request, blocking while the queue is full.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidInput`] for a width mismatch,
+    /// [`ServeError::ShuttingDown`] after shutdown began.
+    pub fn submit(&self, input: Vec<f32>) -> Result<Ticket> {
+        self.check_width(&input)?;
+        let mut state = lock_state(&self.shared);
+        loop {
+            if state.shutting_down {
+                return Err(ServeError::ShuttingDown);
+            }
+            if state.jobs.len() < self.queue_capacity {
+                return Ok(self.enqueue(&mut state, input));
+            }
+            state = self
+                .shared
+                .space_ready
+                .wait(state)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    fn check_width(&self, input: &[f32]) -> Result<()> {
+        if input.len() != self.model.input_features() {
+            return Err(ServeError::InvalidInput(format!(
+                "request has {} features, model expects {}",
+                input.len(),
+                self.model.input_features()
+            )));
+        }
+        Ok(())
+    }
+
+    fn enqueue(&self, state: &mut QueueState, input: Vec<f32>) -> Ticket {
+        let (tx, rx) = mpsc::channel();
+        state.jobs.push_back(Job {
+            input,
+            reply: tx,
+            enqueued: Instant::now(),
+        });
+        self.metrics.record_submit(state.jobs.len());
+        self.shared.work_ready.notify_one();
+        Ticket { reply: rx }
+    }
+
+    /// Current metrics snapshot.
+    pub fn stats(&self) -> ServerStats {
+        self.metrics.snapshot()
+    }
+
+    /// Stops accepting requests, drains the queue, joins the workers, and
+    /// returns the final stats. Every request accepted before the call is
+    /// still answered.
+    pub fn shutdown(mut self) -> ServerStats {
+        self.begin_shutdown();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        self.metrics.snapshot()
+    }
+
+    fn begin_shutdown(&self) {
+        let mut state = lock_state(&self.shared);
+        state.shutting_down = true;
+        drop(state);
+        self.shared.work_ready.notify_all();
+        self.shared.space_ready.notify_all();
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        if self.workers.is_empty() {
+            return;
+        }
+        self.begin_shutdown();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("workers", &self.workers.len())
+            .field("queue_capacity", &self.queue_capacity)
+            .field("input_features", &self.model.input_features())
+            .finish()
+    }
+}
+
+fn lock_state(shared: &Shared) -> std::sync::MutexGuard<'_, QueueState> {
+    // A worker can only panic between batches with the lock released, so
+    // a poisoned mutex still guards consistent state.
+    shared.state.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn worker_loop(
+    shared: Arc<Shared>,
+    metrics: Arc<Metrics>,
+    model: Arc<CompiledModel>,
+    max_batch: usize,
+    max_wait: Duration,
+) {
+    loop {
+        let batch = {
+            let mut state = lock_state(&shared);
+            // Sleep until there is work; exit only once the queue has
+            // drained after shutdown.
+            loop {
+                if !state.jobs.is_empty() {
+                    break;
+                }
+                if state.shutting_down {
+                    return;
+                }
+                state = shared
+                    .work_ready
+                    .wait(state)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+            // Gather a dynamic batch, holding out up to `max_wait` for
+            // stragglers while below `max_batch`.
+            let mut batch = Vec::new();
+            let deadline = Instant::now() + max_wait;
+            loop {
+                while batch.len() < max_batch {
+                    match state.jobs.pop_front() {
+                        Some(job) => batch.push(job),
+                        None => break,
+                    }
+                }
+                if batch.len() >= max_batch || state.shutting_down {
+                    break;
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let (next, timeout) = shared
+                    .work_ready
+                    .wait_timeout(state, deadline - now)
+                    .unwrap_or_else(|e| e.into_inner());
+                state = next;
+                if timeout.timed_out() && state.jobs.is_empty() {
+                    break;
+                }
+            }
+            metrics.set_queue_depth(state.jobs.len());
+            batch
+        };
+        shared.space_ready.notify_all();
+        if batch.is_empty() {
+            continue;
+        }
+        metrics.record_batch(batch.len());
+        for job in batch {
+            let result = model.infer(&job.input);
+            metrics.record_completion(job.enqueued.elapsed(), result.is_ok());
+            // The requester may have dropped its ticket; that's fine.
+            let _ = job.reply.send(result);
+        }
+    }
+}

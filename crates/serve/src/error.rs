@@ -1,0 +1,111 @@
+use std::fmt;
+
+/// Errors raised while decoding or validating a compiled-model artifact.
+///
+/// Every variant is a *typed* failure: corrupt bytes (truncation, bit
+/// flips, bad headers, inconsistent structure) must surface here and never
+/// as a panic.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ArtifactError {
+    /// The buffer does not start with the `RNNA` magic.
+    BadMagic,
+    /// The format version is newer than this build understands.
+    UnsupportedVersion(u32),
+    /// The buffer ended before a field could be read.
+    Truncated {
+        /// Bytes the decoder needed.
+        needed: usize,
+        /// Bytes that remained.
+        available: usize,
+    },
+    /// The payload checksum does not match the trailer.
+    ChecksumMismatch {
+        /// Checksum recorded in the artifact.
+        expected: u64,
+        /// Checksum recomputed over the payload.
+        actual: u64,
+    },
+    /// The bytes decoded but describe an inconsistent model (bad spans,
+    /// out-of-range codes, width mismatches, unbalanced residuals, ...).
+    Malformed(String),
+    /// The in-memory model uses a construct the artifact format cannot
+    /// express (raised at compile time, not load time).
+    Unsupported(String),
+}
+
+impl fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArtifactError::BadMagic => write!(f, "not a RAPIDNN artifact (bad magic)"),
+            ArtifactError::UnsupportedVersion(v) => {
+                write!(f, "unsupported artifact version {v}")
+            }
+            ArtifactError::Truncated { needed, available } => write!(
+                f,
+                "artifact truncated: needed {needed} bytes, {available} available"
+            ),
+            ArtifactError::ChecksumMismatch { expected, actual } => write!(
+                f,
+                "artifact checksum mismatch: stored {expected:#018x}, computed {actual:#018x}"
+            ),
+            ArtifactError::Malformed(msg) => write!(f, "malformed artifact: {msg}"),
+            ArtifactError::Unsupported(msg) => write!(f, "unsupported model: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {}
+
+/// Errors surfaced by the serving runtime.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// Artifact encode/decode/validation failure.
+    Artifact(ArtifactError),
+    /// A request's input does not match the model (wrong feature width).
+    InvalidInput(String),
+    /// The bounded request queue is at capacity (backpressure signal).
+    QueueFull,
+    /// The engine is shutting down and no longer accepts requests.
+    ShuttingDown,
+    /// Filesystem I/O while saving or loading an artifact.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Artifact(e) => write!(f, "artifact error: {e}"),
+            ServeError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+            ServeError::QueueFull => write!(f, "request queue is full"),
+            ServeError::ShuttingDown => write!(f, "engine is shutting down"),
+            ServeError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Artifact(e) => Some(e),
+            ServeError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ArtifactError> for ServeError {
+    fn from(e: ArtifactError) -> Self {
+        ServeError::Artifact(e)
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T, E = ServeError> = std::result::Result<T, E>;

@@ -1,0 +1,58 @@
+//! RAPIDNN serving runtime: compiled-model artifacts plus a batched,
+//! multi-threaded inference engine.
+//!
+//! The composer (`rapidnn-core`) produces a
+//! [`ReinterpretedNetwork`](rapidnn_core::ReinterpretedNetwork) — a nest
+//! of stages, codebooks, and lookup tables convenient for analysis but
+//! not for deployment. This crate adds the deployment half:
+//!
+//! * [`artifact`] — [`CompiledModel`] flattens the reinterpreted network
+//!   into two contiguous pools plus a linear op program, serializable to
+//!   a versioned, checksummed, std-only binary format. Inference over
+//!   the flat program is bit-for-bit identical to the source network.
+//! * [`engine`] — [`Engine`] serves a compiled model from a worker pool
+//!   with a bounded queue, dynamic batching, explicit backpressure
+//!   ([`ServeError::QueueFull`]) and draining shutdown.
+//! * [`metrics`] — [`Metrics`]/[`ServerStats`]: throughput and
+//!   queue-depth counters plus a log-scale latency histogram.
+//!
+//! # Examples
+//!
+//! ```
+//! use rapidnn_core::{Composer, ComposerConfig};
+//! use rapidnn_data::SyntheticSpec;
+//! use rapidnn_nn::topology;
+//! use rapidnn_serve::{CompiledModel, Engine, EngineConfig};
+//! use rapidnn_tensor::SeededRng;
+//!
+//! let mut rng = SeededRng::new(7);
+//! let data = SyntheticSpec::new(8, 2, 2.0).generate(60, &mut rng)?;
+//! let (train, val) = data.split(0.8);
+//! let mut net = topology::mlp(8, &[16], 2, &mut rng)?;
+//! let config = ComposerConfig::default().with_weights(8).with_inputs(8);
+//! let outcome = Composer::new(config).compose(&mut net, &train, &val, &mut rng)?;
+//!
+//! // Compile, round-trip through bytes, and serve.
+//! let model = CompiledModel::from_reinterpreted(&outcome.reinterpreted)?;
+//! let bytes = model.to_bytes();
+//! let model = CompiledModel::from_bytes(&bytes)?;
+//! let engine = Engine::start(model, EngineConfig::default());
+//! let ticket = engine.try_submit(val.sample(0).into_vec())?;
+//! assert_eq!(ticket.wait()?.len(), 2);
+//! let stats = engine.shutdown();
+//! assert_eq!(stats.completed, 1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod artifact;
+pub mod engine;
+mod error;
+pub mod metrics;
+
+pub use artifact::{CompiledModel, FORMAT_VERSION, MAGIC};
+pub use engine::{Engine, EngineConfig, Ticket};
+pub use error::{ArtifactError, Result, ServeError};
+pub use metrics::{Metrics, ServerStats};

@@ -1,0 +1,271 @@
+//! Serving metrics: lock-free counters plus a log-scale latency histogram.
+//!
+//! All recording paths are atomic (relaxed ordering — metrics tolerate
+//! torn cross-counter reads), so workers never contend on a lock to
+//! report. [`Metrics::snapshot`] folds everything into a [`ServerStats`]
+//! value for display.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Number of power-of-two latency buckets; bucket `i` covers
+/// `[2^i, 2^(i+1))` nanoseconds, which spans nanoseconds to centuries.
+const BUCKETS: usize = 64;
+
+/// Shared, thread-safe metrics sink for a serving engine.
+#[derive(Debug)]
+pub struct Metrics {
+    started: Instant,
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    rejected: AtomicU64,
+    failed: AtomicU64,
+    batches: AtomicU64,
+    batched_requests: AtomicU64,
+    queue_depth: AtomicU64,
+    peak_queue_depth: AtomicU64,
+    latency_sum_ns: AtomicU64,
+    latency_buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Metrics {
+    /// Creates an empty sink; uptime counts from this instant.
+    pub fn new() -> Self {
+        Metrics {
+            started: Instant::now(),
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            batched_requests: AtomicU64::new(0),
+            queue_depth: AtomicU64::new(0),
+            peak_queue_depth: AtomicU64::new(0),
+            latency_sum_ns: AtomicU64::new(0),
+            latency_buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Records an accepted request and the queue depth it observed.
+    pub fn record_submit(&self, queue_depth: usize) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        self.set_queue_depth(queue_depth);
+    }
+
+    /// Records a rejected (queue-full) request.
+    pub fn record_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one gathered batch of `size` requests.
+    pub fn record_batch(&self, size: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batched_requests
+            .fetch_add(size as u64, Ordering::Relaxed);
+    }
+
+    /// Records a completed request with its end-to-end latency.
+    pub fn record_completion(&self, latency: Duration, ok: bool) {
+        if ok {
+            self.completed.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.failed.fetch_add(1, Ordering::Relaxed);
+        }
+        let ns = u64::try_from(latency.as_nanos()).unwrap_or(u64::MAX);
+        self.latency_sum_ns.fetch_add(ns, Ordering::Relaxed);
+        let bucket = (ns.max(1).ilog2() as usize).min(BUCKETS - 1);
+        self.latency_buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Updates the current queue-depth gauge (and its high-water mark).
+    pub fn set_queue_depth(&self, depth: usize) {
+        let depth = depth as u64;
+        self.queue_depth.store(depth, Ordering::Relaxed);
+        self.peak_queue_depth.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Folds the counters into a point-in-time snapshot.
+    pub fn snapshot(&self) -> ServerStats {
+        let completed = self.completed.load(Ordering::Relaxed);
+        let failed = self.failed.load(Ordering::Relaxed);
+        let batches = self.batches.load(Ordering::Relaxed);
+        let batched = self.batched_requests.load(Ordering::Relaxed);
+        let uptime = self.started.elapsed();
+        let finished = completed + failed;
+        let buckets: Vec<u64> = self
+            .latency_buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let mean_latency = self
+            .latency_sum_ns
+            .load(Ordering::Relaxed)
+            .checked_div(finished)
+            .map(Duration::from_nanos)
+            .unwrap_or(Duration::ZERO);
+        ServerStats {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed,
+            failed,
+            rejected: self.rejected.load(Ordering::Relaxed),
+            batches,
+            mean_batch_size: if batches == 0 {
+                0.0
+            } else {
+                batched as f64 / batches as f64
+            },
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            peak_queue_depth: self.peak_queue_depth.load(Ordering::Relaxed),
+            mean_latency,
+            p50_latency: percentile(&buckets, finished, 0.50),
+            p90_latency: percentile(&buckets, finished, 0.90),
+            p99_latency: percentile(&buckets, finished, 0.99),
+            throughput_rps: if uptime.as_secs_f64() > 0.0 {
+                finished as f64 / uptime.as_secs_f64()
+            } else {
+                0.0
+            },
+            uptime,
+        }
+    }
+}
+
+/// Upper bound of the bucket containing the requested quantile.
+fn percentile(buckets: &[u64], total: u64, q: f64) -> Duration {
+    if total == 0 {
+        return Duration::ZERO;
+    }
+    let rank = ((total as f64 * q).ceil() as u64).clamp(1, total);
+    let mut seen = 0u64;
+    for (i, &count) in buckets.iter().enumerate() {
+        seen += count;
+        if seen >= rank {
+            let bound = if i + 1 >= 64 {
+                u64::MAX
+            } else {
+                1u64 << (i + 1)
+            };
+            return Duration::from_nanos(bound);
+        }
+    }
+    Duration::ZERO
+}
+
+/// Point-in-time view of a serving engine's counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerStats {
+    /// Requests accepted into the queue.
+    pub submitted: u64,
+    /// Requests served successfully.
+    pub completed: u64,
+    /// Requests that finished with an error.
+    pub failed: u64,
+    /// Requests bounced with [`crate::ServeError::QueueFull`].
+    pub rejected: u64,
+    /// Batches executed by the workers.
+    pub batches: u64,
+    /// Mean requests per executed batch.
+    pub mean_batch_size: f64,
+    /// Queue depth at the last submit/drain.
+    pub queue_depth: u64,
+    /// High-water mark of the queue depth.
+    pub peak_queue_depth: u64,
+    /// Mean end-to-end latency over finished requests.
+    pub mean_latency: Duration,
+    /// Median latency (bucket upper bound, 2x log-scale resolution).
+    pub p50_latency: Duration,
+    /// 90th-percentile latency.
+    pub p90_latency: Duration,
+    /// 99th-percentile latency.
+    pub p99_latency: Duration,
+    /// Finished requests per second of uptime.
+    pub throughput_rps: f64,
+    /// Time since the metrics sink was created.
+    pub uptime: Duration,
+}
+
+impl std::fmt::Display for ServerStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} ok / {} failed / {} rejected of {} submitted | {} batches (mean {:.1}) | \
+             queue {} (peak {}) | latency mean {:?} p50 {:?} p90 {:?} p99 {:?} | {:.0} req/s",
+            self.completed,
+            self.failed,
+            self.rejected,
+            self.submitted,
+            self.batches,
+            self.mean_batch_size,
+            self.queue_depth,
+            self.peak_queue_depth,
+            self.mean_latency,
+            self.p50_latency,
+            self.p90_latency,
+            self.p99_latency,
+            self.throughput_rps,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = Metrics::new();
+        m.record_submit(3);
+        m.record_submit(7);
+        m.record_rejected();
+        m.record_batch(2);
+        m.record_completion(Duration::from_micros(10), true);
+        m.record_completion(Duration::from_micros(20), false);
+        let s = m.snapshot();
+        assert_eq!(s.submitted, 2);
+        assert_eq!(s.completed, 1);
+        assert_eq!(s.failed, 1);
+        assert_eq!(s.rejected, 1);
+        assert_eq!(s.batches, 1);
+        assert_eq!(s.mean_batch_size, 2.0);
+        assert_eq!(s.peak_queue_depth, 7);
+        assert!(s.mean_latency >= Duration::from_micros(10));
+    }
+
+    #[test]
+    fn percentiles_track_bucket_bounds() {
+        let m = Metrics::new();
+        for _ in 0..99 {
+            m.record_completion(Duration::from_nanos(100), true);
+        }
+        m.record_completion(Duration::from_millis(10), true);
+        let s = m.snapshot();
+        assert!(s.p50_latency <= Duration::from_nanos(256));
+        assert!(s.p99_latency <= Duration::from_nanos(256));
+        // The single slow request shows up above p99.
+        assert!(s.p50_latency < Duration::from_millis(1));
+    }
+
+    #[test]
+    fn empty_snapshot_is_zeroed() {
+        let s = Metrics::new().snapshot();
+        assert_eq!(s.completed, 0);
+        assert_eq!(s.p99_latency, Duration::ZERO);
+        assert_eq!(s.mean_latency, Duration::ZERO);
+        assert_eq!(s.mean_batch_size, 0.0);
+    }
+
+    #[test]
+    fn display_is_single_line() {
+        let m = Metrics::new();
+        m.record_completion(Duration::from_micros(5), true);
+        let line = m.snapshot().to_string();
+        assert!(!line.contains('\n'));
+        assert!(line.contains("req/s"));
+    }
+}

@@ -1,0 +1,226 @@
+//! Artifact round-trip, equivalence and corruption properties.
+//!
+//! The load-time contract under test: any byte buffer — truncated,
+//! bit-flipped, or adversarially structured with a valid checksum — either
+//! decodes to a model whose `infer` matches the source network bit for
+//! bit, or fails with a typed [`ArtifactError`]. It never panics.
+
+use rapidnn_core::{ReinterpretOptions, ReinterpretedNetwork};
+use rapidnn_data::SyntheticSpec;
+use rapidnn_nn::{
+    Activation, ActivationLayer, AvgPool2d, Conv2d, Dense, MaxPool2d, Network, Residual,
+};
+use rapidnn_prop::{check, usize_in, vec_f32};
+use rapidnn_serve::{ArtifactError, CompiledModel, FORMAT_VERSION, MAGIC};
+use rapidnn_tensor::{Padding, SeededRng};
+
+fn options() -> ReinterpretOptions {
+    ReinterpretOptions {
+        weight_clusters: 8,
+        input_clusters: 8,
+        ..ReinterpretOptions::default()
+    }
+}
+
+/// Untrained dense network with a sigmoid (lookup-table) hidden layer.
+fn mlp_model(rng: &mut SeededRng) -> ReinterpretedNetwork {
+    let mut net = Network::new(6);
+    net.push(Dense::new(6, 10, rng));
+    net.push(ActivationLayer::new(Activation::Sigmoid));
+    net.push(Dense::new(10, 3, rng));
+    let data = SyntheticSpec::new(6, 3, 2.0).generate(40, rng).unwrap();
+    ReinterpretedNetwork::build(&mut net, data.inputs(), &options(), rng).unwrap()
+}
+
+/// Conv network exercising both pool kinds and the ReLU comparator.
+fn cnn_model(rng: &mut SeededRng) -> ReinterpretedNetwork {
+    let mut net = Network::new(2 * 8 * 8);
+    net.push(Conv2d::new(2, 8, 8, 3, 3, 1, Padding::Same, rng).unwrap());
+    net.push(ActivationLayer::new(Activation::Relu));
+    net.push(MaxPool2d::new(3, 8, 8, 2).unwrap());
+    net.push(Conv2d::new(3, 4, 4, 2, 3, 1, Padding::Same, rng).unwrap());
+    net.push(ActivationLayer::new(Activation::Relu));
+    net.push(AvgPool2d::new(2, 4, 4, 2).unwrap());
+    net.push(Dense::new(2 * 2 * 2, 4, rng));
+    let data = SyntheticSpec::new(128, 4, 2.0).generate(30, rng).unwrap();
+    ReinterpretedNetwork::build(&mut net, data.inputs(), &options(), rng).unwrap()
+}
+
+/// Network with a residual skip connection.
+fn residual_model(rng: &mut SeededRng) -> ReinterpretedNetwork {
+    let mut net = Network::new(6);
+    net.push(Dense::new(6, 5, rng));
+    net.push(ActivationLayer::new(Activation::Relu));
+    net.push(Residual::new(vec![
+        Box::new(Dense::new(5, 5, rng)),
+        Box::new(ActivationLayer::new(Activation::Relu)),
+    ]));
+    net.push(Dense::new(5, 2, rng));
+    let data = SyntheticSpec::new(6, 2, 2.0).generate(40, rng).unwrap();
+    ReinterpretedNetwork::build(&mut net, data.inputs(), &options(), rng).unwrap()
+}
+
+fn assert_bit_identical(
+    model: &ReinterpretedNetwork,
+    compiled: &CompiledModel,
+    rng: &mut SeededRng,
+) {
+    for _ in 0..16 {
+        let sample = vec_f32(rng, model.input_features(), -3.0, 3.0);
+        let expected = model.infer_sample(&sample).unwrap();
+        let actual = compiled.infer(&sample).unwrap();
+        assert_eq!(actual, expected, "compiled inference diverged");
+    }
+}
+
+#[test]
+fn compiled_mlp_matches_source_bit_for_bit() {
+    check(8, |rng| {
+        let model = mlp_model(rng);
+        let compiled = CompiledModel::from_reinterpreted(&model).unwrap();
+        assert_bit_identical(&model, &compiled, rng);
+    });
+}
+
+#[test]
+fn compiled_cnn_matches_source_bit_for_bit() {
+    let mut rng = SeededRng::new(101);
+    let model = cnn_model(&mut rng);
+    let compiled = CompiledModel::from_reinterpreted(&model).unwrap();
+    assert_bit_identical(&model, &compiled, &mut rng);
+}
+
+#[test]
+fn compiled_residual_matches_source_bit_for_bit() {
+    let mut rng = SeededRng::new(102);
+    let model = residual_model(&mut rng);
+    let compiled = CompiledModel::from_reinterpreted(&model).unwrap();
+    assert_bit_identical(&model, &compiled, &mut rng);
+}
+
+#[test]
+fn batch_inference_matches_per_sample() {
+    let mut rng = SeededRng::new(103);
+    let model = mlp_model(&mut rng);
+    let compiled = CompiledModel::from_reinterpreted(&model).unwrap();
+    let flat = vec_f32(&mut rng, 5 * compiled.input_features(), -2.0, 2.0);
+    let rows = compiled.infer_batch(&flat).unwrap();
+    assert_eq!(rows.len(), 5);
+    for (i, row) in rows.iter().enumerate() {
+        let sample = &flat[i * compiled.input_features()..(i + 1) * compiled.input_features()];
+        assert_eq!(row, &compiled.infer(sample).unwrap());
+    }
+    assert!(compiled.infer_batch(&flat[1..]).is_err());
+}
+
+#[test]
+fn round_trip_preserves_every_topology() {
+    let mut rng = SeededRng::new(104);
+    for model in [
+        mlp_model(&mut rng),
+        cnn_model(&mut rng),
+        residual_model(&mut rng),
+    ] {
+        let compiled = CompiledModel::from_reinterpreted(&model).unwrap();
+        let restored = CompiledModel::from_bytes(&compiled.to_bytes()).unwrap();
+        assert_eq!(restored, compiled);
+        assert_bit_identical(&model, &restored, &mut rng);
+    }
+}
+
+#[test]
+fn save_and_load_round_trip_through_disk() {
+    let mut rng = SeededRng::new(105);
+    let model = mlp_model(&mut rng);
+    let compiled = CompiledModel::from_reinterpreted(&model).unwrap();
+    let path = std::env::temp_dir().join(format!("rapidnn-artifact-{}.rnna", std::process::id()));
+    compiled.save(&path).unwrap();
+    let restored = CompiledModel::load(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    assert_eq!(restored, compiled);
+}
+
+#[test]
+fn every_truncation_is_a_typed_error() {
+    let mut rng = SeededRng::new(106);
+    let bytes = CompiledModel::from_reinterpreted(&mlp_model(&mut rng))
+        .unwrap()
+        .to_bytes();
+    // Every strict prefix must fail without panicking.
+    for len in 0..bytes.len() {
+        match CompiledModel::from_bytes(&bytes[..len]) {
+            Err(
+                ArtifactError::Truncated { .. }
+                | ArtifactError::BadMagic
+                | ArtifactError::ChecksumMismatch { .. }
+                | ArtifactError::Malformed(_),
+            ) => {}
+            Err(other) => panic!("unexpected error at prefix {len}: {other}"),
+            Ok(_) => panic!("prefix {len} of {} decoded successfully", bytes.len()),
+        }
+    }
+}
+
+#[test]
+fn bit_flips_are_always_detected() {
+    let mut rng = SeededRng::new(107);
+    let model = mlp_model(&mut rng);
+    let compiled = CompiledModel::from_reinterpreted(&model).unwrap();
+    let bytes = compiled.to_bytes();
+    check(rapidnn_prop::DEFAULT_CASES, |rng| {
+        let mut corrupt = bytes.clone();
+        let pos = usize_in(rng, 0, corrupt.len());
+        let bit = usize_in(rng, 0, 8);
+        corrupt[pos] ^= 1 << bit;
+        // Any single-bit flip hits the magic, version, length, payload
+        // (checksummed) or the checksum itself — all typed failures.
+        assert!(CompiledModel::from_bytes(&corrupt).is_err());
+    });
+}
+
+#[test]
+fn adversarial_payloads_with_valid_checksums_never_panic() {
+    // Random garbage framed as a well-formed artifact (correct magic,
+    // version, length and checksum) must be rejected by structural
+    // validation, not by a panic.
+    check(128, |rng| {
+        let payload_len = usize_in(rng, 0, 256);
+        let payload: Vec<u8> = (0..payload_len)
+            .map(|_| usize_in(rng, 0, 256) as u8)
+            .collect();
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        bytes.extend_from_slice(&fnv(&payload).to_le_bytes());
+        assert!(CompiledModel::from_bytes(&bytes).is_err());
+    });
+}
+
+#[test]
+fn bad_magic_and_future_version_are_typed() {
+    assert!(matches!(
+        CompiledModel::from_bytes(b"LAYRxxxxxxxxxxxxxxxxxxxx"),
+        Err(ArtifactError::BadMagic)
+    ));
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&MAGIC);
+    bytes.extend_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
+    bytes.extend_from_slice(&0u64.to_le_bytes());
+    bytes.extend_from_slice(&fnv(&[]).to_le_bytes());
+    assert!(matches!(
+        CompiledModel::from_bytes(&bytes),
+        Err(ArtifactError::UnsupportedVersion(v)) if v == FORMAT_VERSION + 1
+    ));
+}
+
+/// Local FNV-1a 64 copy so tests can frame adversarial payloads.
+fn fnv(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}

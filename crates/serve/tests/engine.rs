@@ -1,0 +1,209 @@
+//! Engine concurrency smoke tests: exactness under parallel load,
+//! backpressure, draining shutdown, and input validation.
+
+use rapidnn_core::{ReinterpretOptions, ReinterpretedNetwork};
+use rapidnn_data::SyntheticSpec;
+use rapidnn_nn::{Activation, ActivationLayer, Dense, Network};
+use rapidnn_prop::vec_f32;
+use rapidnn_serve::{CompiledModel, Engine, EngineConfig, ServeError};
+use rapidnn_tensor::SeededRng;
+use std::sync::Arc;
+use std::time::Duration;
+
+const FEATURES: usize = 6;
+
+fn compiled_model(rng: &mut SeededRng) -> CompiledModel {
+    let mut net = Network::new(FEATURES);
+    net.push(Dense::new(FEATURES, 12, rng));
+    net.push(ActivationLayer::new(Activation::Sigmoid));
+    net.push(Dense::new(12, 3, rng));
+    let data = SyntheticSpec::new(FEATURES, 3, 2.0)
+        .generate(40, rng)
+        .unwrap();
+    let options = ReinterpretOptions {
+        weight_clusters: 8,
+        input_clusters: 8,
+        ..ReinterpretOptions::default()
+    };
+    let model = ReinterpretedNetwork::build(&mut net, data.inputs(), &options, rng).unwrap();
+    CompiledModel::from_reinterpreted(&model).unwrap()
+}
+
+#[test]
+fn concurrent_load_is_exact_and_complete() {
+    const THREADS: usize = 8;
+    const PER_THREAD: usize = 40;
+
+    let mut rng = SeededRng::new(1);
+    let model = compiled_model(&mut rng);
+    let reference = model.clone();
+    let engine = Arc::new(Engine::start(
+        model,
+        EngineConfig {
+            workers: 4,
+            queue_capacity: 64,
+            max_batch_size: 8,
+            max_wait: Duration::from_micros(200),
+        },
+    ));
+
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let engine = Arc::clone(&engine);
+            std::thread::spawn(move || {
+                let mut rng = SeededRng::new(1000 + t as u64);
+                let mut results = Vec::with_capacity(PER_THREAD);
+                for _ in 0..PER_THREAD {
+                    let input = vec_f32(&mut rng, FEATURES, -2.0, 2.0);
+                    // Blocking submit: backpressure, never lost requests.
+                    let ticket = engine.submit(input.clone()).unwrap();
+                    results.push((input, ticket.wait().unwrap()));
+                }
+                results
+            })
+        })
+        .collect();
+
+    let mut total = 0usize;
+    for handle in handles {
+        for (input, output) in handle.join().unwrap() {
+            assert_eq!(
+                output,
+                reference.infer(&input).unwrap(),
+                "concurrent result diverged from single-threaded inference"
+            );
+            total += 1;
+        }
+    }
+    assert_eq!(total, THREADS * PER_THREAD);
+
+    let engine = Arc::into_inner(engine).expect("all workers returned their handles");
+    let stats = engine.shutdown();
+    assert_eq!(stats.submitted, (THREADS * PER_THREAD) as u64);
+    assert_eq!(stats.completed, (THREADS * PER_THREAD) as u64);
+    assert_eq!(stats.failed, 0);
+    assert!(stats.batches >= 1);
+    assert!(stats.mean_batch_size >= 1.0);
+    assert!(stats.throughput_rps > 0.0);
+    assert!(stats.p99_latency >= stats.p50_latency);
+}
+
+#[test]
+fn try_submit_applies_backpressure() {
+    let mut rng = SeededRng::new(2);
+    let engine = Engine::start(
+        compiled_model(&mut rng),
+        EngineConfig {
+            workers: 1,
+            queue_capacity: 1,
+            max_batch_size: 1,
+            max_wait: Duration::ZERO,
+        },
+    );
+
+    let mut tickets = Vec::new();
+    let mut rejected = 0u64;
+    for _ in 0..2000 {
+        let input = vec_f32(&mut rng, FEATURES, -2.0, 2.0);
+        match engine.try_submit(input) {
+            Ok(ticket) => tickets.push(ticket),
+            Err(ServeError::QueueFull) => rejected += 1,
+            Err(other) => panic!("unexpected error: {other}"),
+        }
+    }
+    // A 1-deep queue in front of real inference cannot absorb a tight
+    // submission loop: some requests must bounce, and every accepted one
+    // must still be answered.
+    assert!(rejected > 0, "no request was ever rejected");
+    let accepted = tickets.len() as u64;
+    for ticket in tickets {
+        ticket.wait().unwrap();
+    }
+    let stats = engine.shutdown();
+    assert_eq!(stats.submitted, accepted);
+    assert_eq!(stats.completed, accepted);
+    assert_eq!(stats.rejected, rejected);
+}
+
+#[test]
+fn shutdown_drains_accepted_requests() {
+    let mut rng = SeededRng::new(3);
+    let model = compiled_model(&mut rng);
+    let engine = Engine::start(
+        model,
+        EngineConfig {
+            workers: 2,
+            queue_capacity: 256,
+            max_batch_size: 16,
+            max_wait: Duration::from_millis(1),
+        },
+    );
+    let tickets: Vec<_> = (0..100)
+        .map(|_| {
+            engine
+                .submit(vec_f32(&mut rng, FEATURES, -2.0, 2.0))
+                .unwrap()
+        })
+        .collect();
+    // Shut down immediately; every accepted request must still resolve.
+    let stats = engine.shutdown();
+    assert_eq!(stats.completed, 100);
+    for ticket in tickets {
+        assert_eq!(ticket.wait().unwrap().len(), 3);
+    }
+}
+
+#[test]
+fn invalid_width_is_rejected_before_enqueue() {
+    let mut rng = SeededRng::new(4);
+    let engine = Engine::start(compiled_model(&mut rng), EngineConfig::default());
+    assert!(matches!(
+        engine.try_submit(vec![0.0; FEATURES + 1]),
+        Err(ServeError::InvalidInput(_))
+    ));
+    assert!(matches!(
+        engine.submit(vec![]),
+        Err(ServeError::InvalidInput(_))
+    ));
+    let stats = engine.shutdown();
+    assert_eq!(stats.submitted, 0);
+}
+
+#[test]
+fn ticket_wait_timeout_returns_none_then_result() {
+    let mut rng = SeededRng::new(5);
+    let engine = Engine::start(
+        compiled_model(&mut rng),
+        EngineConfig {
+            workers: 1,
+            // Workers hold partial batches briefly, giving the zero
+            // timeout below a deterministic miss.
+            max_batch_size: 4,
+            max_wait: Duration::from_millis(50),
+            ..EngineConfig::default()
+        },
+    );
+    let ticket = engine
+        .submit(vec_f32(&mut rng, FEATURES, -1.0, 1.0))
+        .unwrap();
+    // Either the response is already in (None is not guaranteed), but a
+    // long second wait must produce it exactly once.
+    let first = ticket.wait_timeout(Duration::ZERO);
+    if first.is_none() {
+        let second = ticket.wait_timeout(Duration::from_secs(10));
+        assert!(matches!(second, Some(Ok(_))));
+    }
+    engine.shutdown();
+}
+
+#[test]
+fn dropping_engine_without_shutdown_does_not_hang() {
+    let mut rng = SeededRng::new(6);
+    let engine = Engine::start(compiled_model(&mut rng), EngineConfig::default());
+    let ticket = engine
+        .submit(vec_f32(&mut rng, FEATURES, -1.0, 1.0))
+        .unwrap();
+    drop(engine);
+    // The accepted request was drained before the workers exited.
+    assert!(ticket.wait().is_ok());
+}

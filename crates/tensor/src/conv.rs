@@ -54,10 +54,14 @@ impl Conv2dGeometry {
         padding: Padding,
     ) -> Result<Self> {
         if stride == 0 {
-            return Err(TensorError::InvalidGeometry("stride must be positive".into()));
+            return Err(TensorError::InvalidGeometry(
+                "stride must be positive".into(),
+            ));
         }
         if kernel_h == 0 || kernel_w == 0 {
-            return Err(TensorError::InvalidGeometry("kernel must be non-empty".into()));
+            return Err(TensorError::InvalidGeometry(
+                "kernel must be non-empty".into(),
+            ));
         }
         let pad = match padding {
             Padding::Valid => 0,
@@ -255,9 +259,7 @@ mod tests {
                         for kh in 0..3 {
                             for kw in 0..3 {
                                 let iv = img.get(&[ic, oy + kh, ox + kw]).unwrap();
-                                let kv = kernels
-                                    .get(&[oc, ic * 9 + kh * 3 + kw])
-                                    .unwrap();
+                                let kv = kernels.get(&[oc, ic * 9 + kh * 3 + kw]).unwrap();
                                 acc += iv * kv;
                             }
                         }

@@ -71,7 +71,10 @@ impl fmt::Display for TensorError {
                 write!(f, "expected rank {expected} tensor, found rank {actual}")
             }
             TensorError::IndexOutOfBounds { index, len } => {
-                write!(f, "index {index} out of bounds for tensor of {len} elements")
+                write!(
+                    f,
+                    "index {index} out of bounds for tensor of {len} elements"
+                )
             }
             TensorError::InvalidGeometry(msg) => write!(f, "invalid geometry: {msg}"),
             TensorError::Empty(what) => write!(f, "{what} must not be empty"),
@@ -111,7 +114,9 @@ mod tests {
         for err in errors {
             let text = err.to_string();
             assert!(!text.is_empty());
-            assert!(text.chars().next().unwrap().is_lowercase() || text.starts_with(char::is_numeric));
+            assert!(
+                text.chars().next().unwrap().is_lowercase() || text.starts_with(char::is_numeric)
+            );
         }
     }
 

@@ -153,8 +153,14 @@ mod tests {
             Err(TensorError::MatmulDimensions { .. })
         ));
         let v = Tensor::zeros(Shape::vector(3));
-        assert!(matches!(gemm(&v, &b), Err(TensorError::RankMismatch { .. })));
-        assert!(matches!(gemm(&a, &v), Err(TensorError::RankMismatch { .. })));
+        assert!(matches!(
+            gemm(&v, &b),
+            Err(TensorError::RankMismatch { .. })
+        ));
+        assert!(matches!(
+            gemm(&a, &v),
+            Err(TensorError::RankMismatch { .. })
+        ));
     }
 
     #[test]
@@ -186,11 +192,7 @@ mod tests {
         for i in 0..4 {
             eye.set(&[i, i], 1.0).unwrap();
         }
-        let x = Tensor::from_vec(
-            Shape::matrix(4, 2),
-            (0..8).map(|i| i as f32).collect(),
-        )
-        .unwrap();
+        let x = Tensor::from_vec(Shape::matrix(4, 2), (0..8).map(|i| i as f32).collect()).unwrap();
         assert_eq!(gemm(&eye, &x).unwrap(), x);
     }
 }

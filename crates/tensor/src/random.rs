@@ -1,6 +1,4 @@
 use crate::{Shape, Tensor};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Weight-initialisation schemes supported by [`SeededRng::init_tensor`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -22,6 +20,10 @@ pub enum Initializer {
 /// Monte-Carlo variation) takes a `SeededRng` so experiments replay
 /// bit-identically.
 ///
+/// The generator is a self-contained xoshiro256++ (Blackman & Vigna)
+/// seeded through SplitMix64 — no external crates, so offline builds work
+/// and the stream is stable across platforms and toolchains.
+///
 /// # Examples
 ///
 /// ```
@@ -36,32 +38,74 @@ pub enum Initializer {
 /// ```
 #[derive(Debug, Clone)]
 pub struct SeededRng {
-    rng: StdRng,
+    state: [u64; 4],
+}
+
+/// SplitMix64 step: expands a 64-bit seed into well-mixed state words.
+fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl SeededRng {
     /// Creates a generator from a 64-bit seed.
     pub fn new(seed: u64) -> Self {
+        let mut s = seed;
         SeededRng {
-            rng: StdRng::seed_from_u64(seed),
+            state: [
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+            ],
         }
+    }
+
+    /// Next raw 64-bit output (xoshiro256++ scrambler).
+    fn next_u64(&mut self) -> u64 {
+        let result = self.state[0]
+            .wrapping_add(self.state[3])
+            .rotate_left(23)
+            .wrapping_add(self.state[0]);
+        let t = self.state[1] << 17;
+        self.state[2] ^= self.state[0];
+        self.state[3] ^= self.state[1];
+        self.state[1] ^= self.state[2];
+        self.state[0] ^= self.state[3];
+        self.state[2] ^= t;
+        self.state[3] = self.state[3].rotate_left(45);
+        result
     }
 
     /// Derives an independent child generator; useful for splitting one
     /// experiment seed into per-component streams.
     pub fn fork(&mut self) -> Self {
-        SeededRng::new(self.rng.random())
+        SeededRng::new(self.next_u64())
+    }
+
+    /// Uniform fraction in `[0, 1)` with 24 bits of mantissa entropy.
+    fn fraction(&mut self) -> f32 {
+        (self.next_u64() >> 40) as f32 * (1.0 / 16_777_216.0)
     }
 
     /// Uniform sample in `[low, high)`.
     pub fn uniform(&mut self, low: f32, high: f32) -> f32 {
-        self.rng.random_range(low..high)
+        let v = low + (high - low) * self.fraction();
+        // Guard against the upper bound under f32 rounding.
+        if v >= high && low < high {
+            low
+        } else {
+            v
+        }
     }
 
     /// Standard-normal sample via Box–Muller.
     pub fn normal(&mut self) -> f32 {
-        let u1: f32 = self.rng.random_range(f32::EPSILON..1.0);
-        let u2: f32 = self.rng.random_range(0.0..1.0);
+        let u1: f32 = self.uniform(f32::EPSILON, 1.0).max(f32::EPSILON);
+        let u2: f32 = self.uniform(0.0, 1.0);
         (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
     }
 
@@ -77,12 +121,14 @@ impl SeededRng {
     /// Panics when `bound` is zero.
     pub fn index(&mut self, bound: usize) -> usize {
         assert!(bound > 0, "index bound must be positive");
-        self.rng.random_range(0..bound)
+        // Lemire's multiply-shift range reduction (bias is negligible for
+        // the bounds used here and the stream stays platform-stable).
+        ((self.next_u64() as u128 * bound as u128) >> 64) as usize
     }
 
     /// Bernoulli trial with success probability `p`.
     pub fn chance(&mut self, p: f32) -> bool {
-        self.rng.random_range(0.0..1.0) < p
+        self.fraction() < p
     }
 
     /// Tensor of uniform samples in `[low, high)`.
@@ -95,7 +141,9 @@ impl SeededRng {
     /// Tensor of normal samples.
     pub fn normal_tensor(&mut self, shape: Shape, mean: f32, std_dev: f32) -> Tensor {
         let volume = shape.volume();
-        let data = (0..volume).map(|_| self.normal_with(mean, std_dev)).collect();
+        let data = (0..volume)
+            .map(|_| self.normal_with(mean, std_dev))
+            .collect();
         Tensor::from_vec(shape, data).expect("volume matches by construction")
     }
 
@@ -167,6 +215,25 @@ mod tests {
         let va: Vec<f32> = (0..8).map(|_| a.uniform(0.0, 1.0)).collect();
         let vb: Vec<f32> = (0..8).map(|_| b.uniform(0.0, 1.0)).collect();
         assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn uniform_stays_in_range() {
+        let mut rng = SeededRng::new(7);
+        for _ in 0..10_000 {
+            let v = rng.uniform(-2.5, 3.5);
+            assert!((-2.5..3.5).contains(&v), "{v}");
+        }
+    }
+
+    #[test]
+    fn index_covers_all_values() {
+        let mut rng = SeededRng::new(13);
+        let mut seen = [false; 7];
+        for _ in 0..1_000 {
+            seen[rng.index(7)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
     }
 
     #[test]

@@ -114,9 +114,7 @@ impl Tensor {
     ///
     /// Returns `None` for out-of-range or wrong-rank indices.
     pub fn get(&self, index: &[usize]) -> Option<f32> {
-        self.shape
-            .flatten_index(index)
-            .map(|flat| self.data[flat])
+        self.shape.flatten_index(index).map(|flat| self.data[flat])
     }
 
     /// Sets the element at a multi-dimensional index.
@@ -351,7 +349,12 @@ impl fmt::Display for Tensor {
             .take(8)
             .map(|v| format!("{v:.4}"))
             .collect();
-        write!(f, "[{}{}]", preview.join(", "), if self.data.len() > 8 { ", …" } else { "" })
+        write!(
+            f,
+            "[{}{}]",
+            preview.join(", "),
+            if self.data.len() > 8 { ", …" } else { "" }
+        )
     }
 }
 

@@ -1,76 +1,86 @@
 //! Property-based tests for the tensor substrate.
 
-use proptest::prelude::*;
+use rapidnn_prop::{check, usize_in, vec_f32, DEFAULT_CASES};
 use rapidnn_tensor::{gemm, histogram, im2col, Conv2dGeometry, Padding, Shape, Tensor};
 
-fn tensor_strategy(len: usize) -> impl Strategy<Value = Vec<f32>> {
-    proptest::collection::vec(-100.0f32..100.0, len)
-}
-
-proptest! {
-    #[test]
-    fn add_is_commutative(data in tensor_strategy(16)) {
+#[test]
+fn add_is_commutative() {
+    check(DEFAULT_CASES, |rng| {
+        let data = vec_f32(rng, 16, -100.0, 100.0);
         let a = Tensor::from_slice(&data[..8]);
         let b = Tensor::from_slice(&data[8..]);
-        prop_assert_eq!(a.add(&b).unwrap(), b.add(&a).unwrap());
-    }
+        assert_eq!(a.add(&b).unwrap(), b.add(&a).unwrap());
+    });
+}
 
-    #[test]
-    fn sub_then_add_round_trips(data in tensor_strategy(8)) {
+#[test]
+fn sub_then_add_round_trips() {
+    check(DEFAULT_CASES, |rng| {
+        let data = vec_f32(rng, 8, -100.0, 100.0);
         let a = Tensor::from_slice(&data[..4]);
         let b = Tensor::from_slice(&data[4..]);
         let restored = a.sub(&b).unwrap().add(&b).unwrap();
         for (x, y) in restored.as_slice().iter().zip(a.as_slice()) {
-            prop_assert!((x - y).abs() <= 1e-3_f32.max(y.abs() * 1e-5));
+            assert!((x - y).abs() <= 1e-3_f32.max(y.abs() * 1e-5));
         }
-    }
+    });
+}
 
-    #[test]
-    fn transpose_is_involutive(rows in 1usize..8, cols in 1usize..8, seed in any::<u64>()) {
-        let mut rng = rapidnn_tensor::SeededRng::new(seed);
+#[test]
+fn transpose_is_involutive() {
+    check(DEFAULT_CASES, |rng| {
+        let rows = usize_in(rng, 1, 8);
+        let cols = usize_in(rng, 1, 8);
         let t = rng.uniform_tensor(Shape::matrix(rows, cols), -1.0, 1.0);
-        prop_assert_eq!(t.transpose().unwrap().transpose().unwrap(), t);
-    }
+        assert_eq!(t.transpose().unwrap().transpose().unwrap(), t);
+    });
+}
 
-    #[test]
-    fn matmul_distributes_over_addition(seed in any::<u64>()) {
-        let mut rng = rapidnn_tensor::SeededRng::new(seed);
+#[test]
+fn matmul_distributes_over_addition() {
+    check(DEFAULT_CASES, |rng| {
         let a = rng.uniform_tensor(Shape::matrix(3, 4), -1.0, 1.0);
         let b = rng.uniform_tensor(Shape::matrix(4, 2), -1.0, 1.0);
         let c = rng.uniform_tensor(Shape::matrix(4, 2), -1.0, 1.0);
         let lhs = gemm(&a, &b.add(&c).unwrap()).unwrap();
         let rhs = gemm(&a, &b).unwrap().add(&gemm(&a, &c).unwrap()).unwrap();
         for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
-            prop_assert!((x - y).abs() < 1e-3);
+            assert!((x - y).abs() < 1e-3);
         }
-    }
+    });
+}
 
-    #[test]
-    fn histogram_conserves_mass(values in tensor_strategy(64), bins in 1usize..32) {
+#[test]
+fn histogram_conserves_mass() {
+    check(DEFAULT_CASES, |rng| {
+        let values = vec_f32(rng, 64, -100.0, 100.0);
+        let bins = usize_in(rng, 1, 32);
         let h = histogram(&values, bins);
-        prop_assert_eq!(h.total(), values.len());
-    }
+        assert_eq!(h.total(), values.len());
+    });
+}
 
-    #[test]
-    fn im2col_has_expected_shape(
-        h in 3usize..9,
-        w in 3usize..9,
-        k in 1usize..4,
-        stride in 1usize..3,
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn im2col_has_expected_shape() {
+    check(DEFAULT_CASES, |rng| {
+        let h = usize_in(rng, 3, 9);
+        let w = usize_in(rng, 3, 9);
+        let k = usize_in(rng, 1, 4);
+        let stride = usize_in(rng, 1, 3);
         let geom = Conv2dGeometry::new(2, h, w, k, k, stride, Padding::Valid).unwrap();
-        let mut rng = rapidnn_tensor::SeededRng::new(seed);
         let img = rng.uniform_tensor(Shape::chw(2, h, w), -1.0, 1.0);
         let cols = im2col(&img, &geom).unwrap();
-        prop_assert_eq!(cols.shape().dims(), &[geom.patch_len(), geom.out_pixels()]);
-    }
+        assert_eq!(cols.shape().dims(), &[geom.patch_len(), geom.out_pixels()]);
+    });
+}
 
-    #[test]
-    fn argmax_returns_a_maximal_index(values in tensor_strategy(16)) {
+#[test]
+fn argmax_returns_a_maximal_index() {
+    check(DEFAULT_CASES, |rng| {
+        let values = vec_f32(rng, 16, -100.0, 100.0);
         let t = Tensor::from_slice(&values);
         let idx = t.argmax().unwrap();
         let max = t.max().unwrap();
-        prop_assert_eq!(values[idx], max);
-    }
+        assert_eq!(values[idx], max);
+    });
 }

@@ -23,7 +23,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let baseline = network.evaluate(validation.inputs(), validation.labels())?;
     println!("HAR float baseline: {:.1}% error\n", 100.0 * baseline);
 
-    println!("{:>6} {:>6} {:>8} {:>12} {:>12} {:>10}", "w", "u", "Δe", "latency", "energy", "memory");
+    println!(
+        "{:>6} {:>6} {:>8} {:>12} {:>12} {:>10}",
+        "w", "u", "Δe", "latency", "energy", "memory"
+    );
     let simulator = Simulator::new(AcceleratorConfig::default());
     for &(w, u) in &[(4usize, 4usize), (8, 8), (16, 16), (32, 32), (64, 64)] {
         let mut net = network.clone();

@@ -64,8 +64,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Max pooling runs on encoded indices directly: the sorted-codebook
     // property guarantees the max code is the max value.
-    let report = Simulator::new(AcceleratorConfig::default())
-        .simulate(&outcome.reinterpreted);
+    let report = Simulator::new(AcceleratorConfig::default()).simulate(&outcome.reinterpreted);
     let pooling_energy = report.hardware.breakdown.energy_pj[3];
     println!(
         "accelerator: {:.0} ns, {:.2} µJ ({}J of it pooling) — Type 2 profile",

@@ -31,7 +31,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (sum, carry) = nor::full_adder(&mut ctx, true, true, false);
     println!(
         "full adder from NOR only: 1+1 = carry {} sum {}, {} serial steps",
-        carry as u8, sum as u8,
+        carry as u8,
+        sum as u8,
         ctx.steps()
     );
 

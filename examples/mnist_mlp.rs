@@ -72,8 +72,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // 6. Simulate one inference on the accelerator.
-    let report = Simulator::new(AcceleratorConfig::default())
-        .simulate(&outcome.reinterpreted);
+    let report = Simulator::new(AcceleratorConfig::default()).simulate(&outcome.reinterpreted);
     println!(
         "accelerator: {:.0} ns latency, {:.3} µJ, {:.1} GOPS effective",
         report.hardware.latency_ns,

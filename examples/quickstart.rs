@@ -8,8 +8,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use rapidnn::{Pipeline, PipelineConfig};
 use rapidnn::tensor::SeededRng;
+use rapidnn::{Pipeline, PipelineConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = SeededRng::new(2020);
@@ -37,7 +37,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!(
         "accelerator latency       : {:.1} ns/inference ({} MACs)",
-        report.simulation.hardware.latency_ns, report.workload.mac_ops()
+        report.simulation.hardware.latency_ns,
+        report.workload.mac_ops()
     );
     println!(
         "accelerator energy        : {:.2} µJ/inference",
@@ -54,7 +55,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The encoded model is a plain value — run a single sample by hand.
     let sample = report.validation.sample(0);
-    let logits = report.compose.reinterpreted.infer_sample(sample.as_slice())?;
+    let logits = report
+        .compose
+        .reinterpreted
+        .infer_sample(sample.as_slice())?;
     let predicted = logits
         .iter()
         .enumerate()

@@ -16,12 +16,8 @@ fn random_neuron(
     w: usize,
     u: usize,
 ) -> (Codebook, Codebook, Vec<(u16, u16)>) {
-    let weights = Codebook::from_kmeans(
-        &(0..200).map(|_| rng.normal()).collect::<Vec<_>>(),
-        w,
-        rng,
-    )
-    .unwrap();
+    let weights =
+        Codebook::from_kmeans(&(0..200).map(|_| rng.normal()).collect::<Vec<_>>(), w, rng).unwrap();
     let inputs = Codebook::from_kmeans(
         &(0..200).map(|_| rng.normal().abs()).collect::<Vec<_>>(),
         u,

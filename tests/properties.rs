@@ -1,111 +1,127 @@
 //! Workspace-level property tests on the RAPIDNN invariants that every
 //! experiment relies on.
 
-use proptest::prelude::*;
 use rapidnn::accel::{decompose_counter, WeightedAccumulator};
 use rapidnn::composer::{Codebook, ProductTable, TreeCodebook};
 use rapidnn::memristor::AdderTree;
 use rapidnn::ndcam::NdcamArray;
-use rapidnn::tensor::SeededRng;
+use rapidnn_prop::{check, usize_in, vec_f32, DEFAULT_CASES};
 
-proptest! {
-    /// The shift-add decomposition of §4.1.1 reconstructs every counter.
-    #[test]
-    fn counter_decomposition_is_exact(count in 0u32..100_000) {
+/// The shift-add decomposition of §4.1.1 reconstructs every counter.
+#[test]
+fn counter_decomposition_is_exact() {
+    check(DEFAULT_CASES, |rng| {
+        let count = usize_in(rng, 0, 100_000) as u32;
         let (adds, subs) = decompose_counter(count);
         let value: i64 = adds.iter().map(|&s| 1i64 << s).sum::<i64>()
             - subs.iter().map(|&s| 1i64 << s).sum::<i64>();
-        prop_assert_eq!(value, count as i64);
-    }
+        assert_eq!(value, count as i64);
+    });
+}
 
-    /// Codebook encode/decode round-trips on representatives and
-    /// quantization is idempotent.
-    #[test]
-    fn codebook_quantization_idempotent(
-        values in proptest::collection::vec(-100.0f32..100.0, 1..32),
-        query in -150.0f32..150.0,
-    ) {
+/// Codebook encode/decode round-trips on representatives and
+/// quantization is idempotent.
+#[test]
+fn codebook_quantization_idempotent() {
+    check(DEFAULT_CASES, |rng| {
+        let len = usize_in(rng, 1, 32);
+        let values = vec_f32(rng, len, -100.0, 100.0);
+        let query = rng.uniform(-150.0, 150.0);
         let cb = Codebook::new(values).unwrap();
         let q = cb.quantize(query);
-        prop_assert_eq!(cb.quantize(q), q);
-        prop_assert!(cb.values().contains(&q));
-    }
+        assert_eq!(cb.quantize(q), q);
+        assert!(cb.values().contains(&q));
+    });
+}
 
-    /// Sorted-codebook order preservation: encoding is monotone, which is
-    /// what lets max pooling run on encoded values.
-    #[test]
-    fn codebook_encoding_is_monotone(
-        values in proptest::collection::vec(-50.0f32..50.0, 2..24),
-        a in -60.0f32..60.0,
-        b in -60.0f32..60.0,
-    ) {
+/// Sorted-codebook order preservation: encoding is monotone, which is
+/// what lets max pooling run on encoded values.
+#[test]
+fn codebook_encoding_is_monotone() {
+    check(DEFAULT_CASES, |rng| {
+        let len = usize_in(rng, 2, 24);
+        let values = vec_f32(rng, len, -50.0, 50.0);
+        let a = rng.uniform(-60.0, 60.0);
+        let b = rng.uniform(-60.0, 60.0);
         let cb = Codebook::new(values).unwrap();
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-        prop_assert!(cb.encode(lo) <= cb.encode(hi));
-    }
+        assert!(cb.encode(lo) <= cb.encode(hi));
+    });
+}
 
-    /// Product tables contain exactly the pairwise products.
-    #[test]
-    fn product_table_is_pairwise_exact(
-        ws in proptest::collection::vec(-8.0f32..8.0, 1..12),
-        xs in proptest::collection::vec(-8.0f32..8.0, 1..12),
-    ) {
+/// Product tables contain exactly the pairwise products.
+#[test]
+fn product_table_is_pairwise_exact() {
+    check(DEFAULT_CASES, |rng| {
+        let wn = usize_in(rng, 1, 12);
+        let xn = usize_in(rng, 1, 12);
+        let ws = vec_f32(rng, wn, -8.0, 8.0);
+        let xs = vec_f32(rng, xn, -8.0, 8.0);
         let wcb = Codebook::new(ws).unwrap();
         let xcb = Codebook::new(xs).unwrap();
         let table = ProductTable::build(&wcb, &xcb);
         for (wi, &w) in wcb.values().iter().enumerate() {
             for (xi, &x) in xcb.values().iter().enumerate() {
-                prop_assert_eq!(table.fetch(wi as u16, xi as u16), w * x);
+                assert_eq!(table.fetch(wi as u16, xi as u16), w * x);
             }
         }
-    }
+    });
+}
 
-    /// The NOR-built adder tree equals integer addition for any operands.
-    #[test]
-    fn adder_tree_matches_integer_sum(
-        operands in proptest::collection::vec(0u64..(1 << 16), 0..64),
-    ) {
+/// The NOR-built adder tree equals integer addition for any operands.
+#[test]
+fn adder_tree_matches_integer_sum() {
+    check(DEFAULT_CASES, |rng| {
+        let n = usize_in(rng, 0, 64);
+        let operands: Vec<u64> = (0..n).map(|_| usize_in(rng, 0, 1 << 16) as u64).collect();
         let tree = AdderTree::new(32);
         let expected: u64 = operands.iter().sum::<u64>() & 0xFFFF_FFFF;
-        prop_assert_eq!(tree.add_all(&operands).sum, expected);
-    }
+        assert_eq!(tree.add_all(&operands).sum, expected);
+    });
+}
 
-    /// Weighted accumulation equals the naive product sum within
-    /// fixed-point tolerance, for any slot counts.
-    #[test]
-    fn weighted_accumulation_matches_naive(
-        slots in proptest::collection::vec((-4.0f32..4.0, 0u32..64), 0..24),
-    ) {
+/// Weighted accumulation equals the naive product sum within
+/// fixed-point tolerance, for any slot counts.
+#[test]
+fn weighted_accumulation_matches_naive() {
+    check(DEFAULT_CASES, |rng| {
+        let n = usize_in(rng, 0, 24);
+        let slots: Vec<(f32, u32)> = (0..n)
+            .map(|_| (rng.uniform(-4.0, 4.0), usize_in(rng, 0, 64) as u32))
+            .collect();
         let acc = WeightedAccumulator::new(16);
         let expected: f32 = slots.iter().map(|&(v, c)| v * c as f32).sum();
         let got = acc.accumulate(&slots).sum;
-        prop_assert!((got - expected).abs() < 0.05, "{} vs {}", got, expected);
-    }
+        assert!((got - expected).abs() < 0.05, "{} vs {}", got, expected);
+    });
+}
 
-    /// NDCAM nearest search really is an argmin of absolute distance.
-    #[test]
-    fn ndcam_nearest_is_argmin(
-        values in proptest::collection::vec(0u64..256, 1..16),
-        query in 0u64..256,
-    ) {
+/// NDCAM nearest search really is an argmin of absolute distance.
+#[test]
+fn ndcam_nearest_is_argmin() {
+    check(DEFAULT_CASES, |rng| {
+        let n = usize_in(rng, 1, 16);
+        let values: Vec<u64> = (0..n).map(|_| usize_in(rng, 0, 256) as u64).collect();
+        let query = usize_in(rng, 0, 256) as u64;
         let cam = NdcamArray::from_values(&values, 8).unwrap();
         let hit = cam.search_nearest(query);
         let best = values.iter().map(|&v| v.abs_diff(query)).min().unwrap();
-        prop_assert_eq!(hit.value.abs_diff(query), best);
-    }
+        assert_eq!(hit.value.abs_diff(query), best);
+    });
+}
 
-    /// Tree codebooks refine monotonically: deeper levels never increase
-    /// quantization error.
-    #[test]
-    fn tree_codebook_refines_monotonically(seed in any::<u64>()) {
-        let mut rng = SeededRng::new(seed);
+/// Tree codebooks refine monotonically: deeper levels never increase
+/// quantization error.
+#[test]
+fn tree_codebook_refines_monotonically() {
+    check(DEFAULT_CASES, |rng| {
         let population: Vec<f32> = (0..300).map(|_| rng.normal()).collect();
-        let tree = TreeCodebook::build(&population, 4, &mut rng).unwrap();
+        let tree = TreeCodebook::build(&population, 4, rng).unwrap();
         let mut last = f64::INFINITY;
         for level in 1..=4 {
             let mse = tree.level(level).unwrap().quantization_mse(&population);
-            prop_assert!(mse <= last + 1e-12);
+            assert!(mse <= last + 1e-12);
             last = mse;
         }
-    }
+    });
 }
