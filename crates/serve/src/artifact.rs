@@ -29,6 +29,9 @@ pub const FORMAT_VERSION: u32 = 1;
 /// Upper bound on any single dimension/extent, keeping index arithmetic
 /// far away from overflow on 32-bit-and-up targets.
 const MAX_EXTENT: u64 = 1 << 31;
+/// Most values a codebook may hold: codes are `u16`, so a larger book
+/// would make `nearest` silently wrap indices.
+const MAX_CODEBOOK_LEN: usize = 1 << 16;
 
 /// A `(start, len)` view into one of the model's pools.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -234,6 +237,31 @@ impl CompiledModel {
     /// Input feature width.
     pub fn input_features(&self) -> usize {
         self.input_features
+    }
+
+    /// A deliberately inconsistent model (built without `validate`) whose
+    /// `infer` panics out of bounds — for exercising the engine's worker
+    /// panic containment.
+    #[cfg(test)]
+    pub(crate) fn broken_for_tests() -> CompiledModel {
+        CompiledModel {
+            input_features: 1,
+            output_features: 1,
+            virtual_encoder: Span { start: 0, len: 2 },
+            ops: vec![Op::MaxPool(Geom {
+                in_channels: 1,
+                in_height: 2,
+                in_width: 2,
+                kernel_h: 2,
+                kernel_w: 2,
+                stride: 1,
+                pad: 0,
+                out_height: 1,
+                out_width: 1,
+            })],
+            floats: vec![0.0, 1.0],
+            codes: vec![],
+        }
     }
 
     /// Output feature width (class count).
@@ -597,6 +625,12 @@ impl CompiledModel {
             if s.len == 0 {
                 return Err(malformed("empty codebook"));
             }
+            if s.len > MAX_CODEBOOK_LEN {
+                return Err(malformed(format!(
+                    "codebook holds {} values, u16 codes address at most {MAX_CODEBOOK_LEN}",
+                    s.len
+                )));
+            }
             Ok(())
         };
         let check_act = |act: &ActRef| -> Result<(), ArtifactError> {
@@ -776,6 +810,9 @@ impl CompiledModel {
                 }
                 Op::MaxPool(geom) => {
                     validate_geom(geom).map_err(&at)?;
+                    if geom.pad != 0 {
+                        return Err(at("pool has non-zero padding".into()));
+                    }
                     if geom.in_volume() != width {
                         return Err(at(format!(
                             "pool expects {} inputs, flow width is {width}",
@@ -789,6 +826,9 @@ impl CompiledModel {
                 }
                 Op::AvgPool { geom, codebook } => {
                     validate_geom(geom).map_err(&at)?;
+                    if geom.pad != 0 {
+                        return Err(at("pool has non-zero padding".into()));
+                    }
                     if geom.in_volume() != width {
                         return Err(at(format!(
                             "pool expects {} inputs, flow width is {width}",
@@ -858,6 +898,8 @@ impl CompiledModel {
 
 /// Nearest-representative search over a sorted codebook, replicating
 /// `Codebook::encode` exactly (ties resolve to the smaller value).
+/// `validate` caps codebooks at [`MAX_CODEBOOK_LEN`] values, so the
+/// returned index always fits a `u16` without wrapping.
 #[inline]
 fn nearest(values: &[f32], value: f32) -> u16 {
     let idx = match values.binary_search_by(|probe| probe.total_cmp(&value)) {
@@ -1428,6 +1470,71 @@ mod tests {
         assert_eq!(nearest(&values, -0.6), 1);
         // Ties resolve low.
         assert_eq!(nearest(&[0.0, 2.0], 1.0), 0);
+    }
+
+    #[test]
+    fn padded_pools_fail_validation_instead_of_panicking_in_infer() {
+        // 2x2 input, 2x2 kernel, stride 1, pad 1 → 3x3 output: a geometry
+        // convolutions accept, but pools index without padding.
+        let geom = Geom {
+            in_channels: 1,
+            in_height: 2,
+            in_width: 2,
+            kernel_h: 2,
+            kernel_w: 2,
+            stride: 1,
+            pad: 1,
+            out_height: 3,
+            out_width: 3,
+        };
+        let ops = [
+            Op::MaxPool(geom),
+            Op::AvgPool {
+                geom,
+                codebook: Span { start: 0, len: 2 },
+            },
+        ];
+        for op in ops {
+            let model = CompiledModel {
+                input_features: 4,
+                output_features: 9,
+                virtual_encoder: Span { start: 0, len: 2 },
+                ops: vec![op],
+                floats: vec![0.0, 1.0],
+                codes: vec![],
+            };
+            // Must be rejected at decode time; without the pad check this
+            // artifact passed validation and `infer` panicked out of
+            // bounds inside `pool`.
+            assert!(matches!(
+                CompiledModel::from_bytes(&model.to_bytes()),
+                Err(ArtifactError::Malformed(msg)) if msg.contains("padding")
+            ));
+        }
+    }
+
+    #[test]
+    fn oversized_codebooks_are_rejected() {
+        let book = |len: usize| CompiledModel {
+            input_features: 1,
+            output_features: 1,
+            virtual_encoder: Span { start: 0, len },
+            ops: vec![],
+            floats: vec![0.0; len],
+            codes: vec![],
+        };
+        // One past the cap: `nearest` would wrap this book's top index to
+        // code 0 through the u16 cast.
+        assert!(matches!(
+            CompiledModel::from_bytes(&book(MAX_CODEBOOK_LEN + 1).to_bytes()),
+            Err(ArtifactError::Malformed(msg)) if msg.contains("u16")
+        ));
+        // Exactly at the cap the length check passes (this program is
+        // still malformed, but for ending in the encoded domain).
+        assert!(matches!(
+            book(MAX_CODEBOOK_LEN).validate(),
+            Err(ArtifactError::Malformed(msg)) if !msg.contains("u16")
+        ));
     }
 
     #[test]

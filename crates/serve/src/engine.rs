@@ -9,11 +9,14 @@
 //! [`ServeError::QueueFull`] instead of buffering without bound, while
 //! [`Engine::submit`] blocks until space frees up. Shutdown drains the
 //! queue before the workers exit, so every accepted request is answered.
+//! A panic inside inference is caught and returned to that requester as
+//! [`ServeError::WorkerPanic`]; the worker itself keeps serving.
 
 use crate::artifact::CompiledModel;
 use crate::error::{Result, ServeError};
 use crate::metrics::{Metrics, ServerStats};
 use std::collections::VecDeque;
+use std::panic::AssertUnwindSafe;
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -336,10 +339,50 @@ fn worker_loop(
         }
         metrics.record_batch(batch.len());
         for job in batch {
-            let result = model.infer(&job.input);
+            // Contain panics so a bad request cannot kill the worker: a
+            // dead worker would shrink the pool silently, and with no
+            // workers left queued tickets would wait forever.
+            let result = std::panic::catch_unwind(AssertUnwindSafe(|| model.infer(&job.input)))
+                .unwrap_or_else(|payload| Err(ServeError::WorkerPanic(panic_message(&payload))));
             metrics.record_completion(job.enqueued.elapsed(), result.is_ok());
             // The requester may have dropped its ticket; that's fine.
             let _ = job.reply.send(result);
         }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::artifact::CompiledModel;
+
+    /// A panicking `infer` must fail only that request: the worker stays
+    /// alive, later requests are still answered, and shutdown drains.
+    #[test]
+    fn worker_survives_inference_panic() {
+        let engine = Engine::start(
+            CompiledModel::broken_for_tests(),
+            EngineConfig {
+                workers: 1,
+                ..EngineConfig::default()
+            },
+        );
+        for _ in 0..2 {
+            let ticket = engine.try_submit(vec![0.5]).unwrap();
+            assert!(matches!(ticket.wait(), Err(ServeError::WorkerPanic(_))));
+        }
+        let stats = engine.shutdown();
+        assert_eq!(stats.failed, 2);
+        assert_eq!(stats.completed, 0);
     }
 }

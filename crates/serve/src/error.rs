@@ -69,6 +69,9 @@ pub enum ServeError {
     QueueFull,
     /// The engine is shutting down and no longer accepts requests.
     ShuttingDown,
+    /// Inference panicked inside a worker thread. The request fails but
+    /// the worker survives and keeps serving.
+    WorkerPanic(String),
     /// Filesystem I/O while saving or loading an artifact.
     Io(std::io::Error),
 }
@@ -80,6 +83,7 @@ impl fmt::Display for ServeError {
             ServeError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
             ServeError::QueueFull => write!(f, "request queue is full"),
             ServeError::ShuttingDown => write!(f, "engine is shutting down"),
+            ServeError::WorkerPanic(msg) => write!(f, "inference panicked: {msg}"),
             ServeError::Io(e) => write!(f, "i/o error: {e}"),
         }
     }

@@ -146,7 +146,7 @@ fn percentile(buckets: &[u64], total: u64, q: f64) -> Duration {
     for (i, &count) in buckets.iter().enumerate() {
         seen += count;
         if seen >= rank {
-            let bound = if i + 1 >= 64 {
+            let bound = if i + 1 >= buckets.len() {
                 u64::MAX
             } else {
                 1u64 << (i + 1)
