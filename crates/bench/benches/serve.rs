@@ -1,0 +1,191 @@
+//! Serving throughput: single-sample vs. batched, at the kernel level
+//! (`CompiledModel::infer` per row vs. one reused [`BatchRunner`]) and at
+//! the engine level (round-trip clients against `max_batch_size = 1` vs.
+//! a real dynamic batch). Writes `BENCH_serve.json` at the repo root so
+//! successive PRs can track the serving-perf trajectory.
+//!
+//! Set `BENCH_SERVE_QUICK=1` to shrink the workload for CI smoke runs.
+
+use rapidnn::serve::{BatchRunner, CompiledModel, Engine, EngineConfig};
+use rapidnn::tensor::SeededRng;
+use rapidnn::{Pipeline, PipelineConfig};
+use std::path::Path;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Rows per batched kernel call and per engine batch.
+const BATCH: usize = 64;
+
+fn main() {
+    let quick = std::env::var_os("BENCH_SERVE_QUICK").is_some();
+    // Samples per timed section; quick mode trims everything for CI.
+    let kernel_rows = if quick { 512 } else { 4096 };
+    let engine_requests = if quick { 512 } else { 4096 };
+
+    eprintln!("building tiny MNIST pipeline...");
+    let mut rng = SeededRng::new(42);
+    let report = Pipeline::new(PipelineConfig::tiny_for_tests())
+        .run(&mut rng)
+        .expect("tiny pipeline runs");
+    let model = report.compile().expect("tiny model compiles");
+    let features = model.input_features();
+    eprintln!(
+        "model: {} -> {} features, {} table bytes",
+        features,
+        model.output_features(),
+        model.pool_bytes()
+    );
+
+    // One shared request stream, reused by every scenario.
+    let inputs: Vec<f32> = (0..kernel_rows * features)
+        .map(|_| rng.uniform(-1.0, 1.0))
+        .collect();
+
+    // Best-of-N against scheduler noise on shared machines.
+    let repeats = if quick { 1 } else { 3 };
+    let kernel_single = best_of(repeats, || bench_kernel_single(&model, &inputs, features));
+    let kernel_batched = best_of(repeats, || bench_kernel_batched(&model, &inputs, features));
+    let engine_single = best_of(repeats, || {
+        bench_engine(&model, &inputs, features, 1, engine_requests)
+    });
+    let engine_batched = best_of(repeats, || {
+        bench_engine(&model, &inputs, features, BATCH, engine_requests)
+    });
+
+    println!("kernel  single-sample   {kernel_single:>12.0} rows/s");
+    println!(
+        "kernel  batched x{BATCH:<4}   {kernel_batched:>12.0} rows/s  ({:.2}x)",
+        kernel_batched / kernel_single
+    );
+    println!("engine  max_batch=1     {engine_single:>12.0} req/s");
+    println!(
+        "engine  max_batch={BATCH:<4}  {engine_batched:>12.0} req/s  ({:.2}x)",
+        engine_batched / engine_single
+    );
+
+    // Top-level numbers are the kernel comparison: it isolates batched
+    // vs. single-sample inference itself, while the engine comparison
+    // also folds in queueing and thread scheduling (and on a single
+    // hardware thread mostly measures time-slicing).
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"benchmark\": \"serve\",\n",
+            "  \"pipeline\": \"mnist-tiny\",\n",
+            "  \"batch_size\": {batch},\n",
+            "  \"single_rps\": {kernel_single:.1},\n",
+            "  \"batched_rps\": {kernel_batched:.1},\n",
+            "  \"speedup\": {kernel_speedup:.3},\n",
+            "  \"kernel\": {{\n",
+            "    \"single_rps\": {kernel_single:.1},\n",
+            "    \"batched_rps\": {kernel_batched:.1},\n",
+            "    \"speedup\": {kernel_speedup:.3}\n",
+            "  }},\n",
+            "  \"engine\": {{\n",
+            "    \"single_rps\": {engine_single:.1},\n",
+            "    \"batched_rps\": {engine_batched:.1},\n",
+            "    \"speedup\": {engine_speedup:.3}\n",
+            "  }}\n",
+            "}}\n"
+        ),
+        batch = BATCH,
+        kernel_single = kernel_single,
+        kernel_batched = kernel_batched,
+        kernel_speedup = kernel_batched / kernel_single,
+        engine_single = engine_single,
+        engine_batched = engine_batched,
+        engine_speedup = engine_batched / engine_single,
+    );
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_serve.json");
+    std::fs::write(&path, json).expect("write BENCH_serve.json");
+    eprintln!("wrote {}", path.display());
+}
+
+fn best_of(n: usize, mut f: impl FnMut() -> f64) -> f64 {
+    (0..n).map(|_| f()).fold(f64::MIN, f64::max)
+}
+
+/// Rows/s through the per-sample API: a fresh runner and output vector
+/// per request, exactly what a non-batching caller pays.
+fn bench_kernel_single(model: &CompiledModel, inputs: &[f32], features: usize) -> f64 {
+    let rows = inputs.len() / features;
+    let start = Instant::now();
+    for row in inputs.chunks(features) {
+        std::hint::black_box(model.infer(row).unwrap());
+    }
+    rows as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Rows/s through one reused [`BatchRunner`] fed `BATCH` rows per call:
+/// the steady-state op loop performs no per-sample heap allocation.
+fn bench_kernel_batched(model: &CompiledModel, inputs: &[f32], features: usize) -> f64 {
+    let rows = inputs.len() / features;
+    let mut runner = BatchRunner::for_model(model, BATCH);
+    let mut out = Vec::new();
+    let start = Instant::now();
+    for chunk in inputs.chunks(BATCH * features) {
+        runner.run(model, chunk, &mut out).unwrap();
+        std::hint::black_box(&out);
+    }
+    rows as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Requests/s through the engine with the given batch window, driven by
+/// four round-trip client threads (a handful of requests in flight
+/// each). `max_batch = 1` degenerates dynamic batching to per-request
+/// serving; larger windows amortise wakeups, locking and bookkeeping.
+fn bench_engine(
+    model: &CompiledModel,
+    inputs: &[f32],
+    features: usize,
+    max_batch: usize,
+    requests: usize,
+) -> f64 {
+    const CLIENTS: usize = 4;
+    const IN_FLIGHT: usize = 32;
+    let engine = Arc::new(Engine::start(
+        model.clone(),
+        EngineConfig {
+            workers: 2,
+            queue_capacity: 1024,
+            max_batch_size: max_batch,
+            max_wait: Duration::from_micros(200),
+        },
+    ));
+    let per_client = requests / CLIENTS;
+    let start = Instant::now();
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let engine = Arc::clone(&engine);
+            let rows: Vec<Vec<f32>> = inputs
+                .chunks(features)
+                .skip(c)
+                .step_by(CLIENTS)
+                .map(<[f32]>::to_vec)
+                .collect();
+            std::thread::spawn(move || {
+                let mut pending = std::collections::VecDeque::new();
+                for i in 0..per_client {
+                    if pending.len() >= IN_FLIGHT {
+                        let ticket: rapidnn::serve::Ticket = pending.pop_front().unwrap();
+                        ticket.wait().unwrap();
+                    }
+                    let input = rows[i % rows.len()].clone();
+                    pending.push_back(engine.submit(input).unwrap());
+                }
+                for ticket in pending {
+                    ticket.wait().unwrap();
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().unwrap();
+    }
+    let elapsed = start.elapsed();
+    let stats = Arc::into_inner(engine).expect("clients done").shutdown();
+    assert_eq!(stats.completed, (per_client * CLIENTS) as u64);
+    stats.completed as f64 / elapsed.as_secs_f64()
+}

@@ -60,6 +60,14 @@ pub fn cluster(
     config: &KmeansConfig,
     rng: &mut SeededRng,
 ) -> Result<Clustering> {
+    validate_input(values, k)?;
+    let mut sorted = subsample(values, config, rng);
+    sorted.sort_by(f32::total_cmp);
+    let centroids = seed_plus_plus(&sorted, k, rng);
+    Ok(lloyd(&sorted, centroids, config))
+}
+
+fn validate_input(values: &[f32], k: usize) -> Result<()> {
     if values.is_empty() {
         return Err(CoreError::InvalidClustering(
             "cannot cluster an empty sample".into(),
@@ -68,28 +76,26 @@ pub fn cluster(
     if k == 0 {
         return Err(CoreError::InvalidClustering("k must be positive".into()));
     }
+    Ok(())
+}
 
-    // Subsample large populations.
-    let mut sample: Vec<f32>;
-    let data: &[f32] = if values.len() > config.max_samples {
-        let picks = rng.sample_indices(values.len(), config.max_samples);
-        sample = Vec::with_capacity(picks.len());
-        for i in picks {
-            sample.push(values[i]);
-        }
-        &sample
+/// Caps the population at `config.max_samples` values, drawing a uniform
+/// subsample when it is larger. Always makes exactly one copy, which the
+/// caller then sorts in place.
+fn subsample(values: &[f32], config: &KmeansConfig, rng: &mut SeededRng) -> Vec<f32> {
+    if values.len() > config.max_samples {
+        rng.sample_indices(values.len(), config.max_samples)
+            .into_iter()
+            .map(|i| values[i])
+            .collect()
     } else {
-        sample = values.to_vec();
-        &sample
-    };
-    sample = {
-        let mut s = data.to_vec();
-        s.sort_by(f32::total_cmp);
-        s
-    };
-    let sorted = &sample;
+        values.to_vec()
+    }
+}
 
-    let mut centroids = seed_plus_plus(sorted, k, rng);
+/// Lloyd refinement over sorted data from the given seed centroids,
+/// shared by [`cluster`] and [`cluster_naive_init`].
+fn lloyd(sorted: &[f32], mut centroids: Vec<f32>, config: &KmeansConfig) -> Clustering {
     centroids.sort_by(f32::total_cmp);
     centroids.dedup();
 
@@ -132,11 +138,11 @@ pub fn cluster(
     // The loop's WCSS tracks the *pre-update* centroids; report the value
     // consistent with the centroids actually returned.
     let final_wcss = sorted_wcss(sorted, &centroids);
-    Ok(Clustering {
+    Clustering {
         centroids,
         wcss: final_wcss,
         iterations,
-    })
+    }
 }
 
 /// WCSS of sorted data against sorted centroids (single forward pass).
@@ -190,7 +196,9 @@ fn seed_plus_plus(sorted: &[f32], k: usize, rng: &mut SeededRng) -> Vec<f32> {
 }
 
 /// Naive random-seeded k-means for ablation comparisons: seeds are `k`
-/// uniform draws from the data instead of k-means++.
+/// uniform draws from the data instead of k-means++. Subsamples with the
+/// same `config.max_samples` policy as [`cluster`], so the ablation
+/// compares seeding strategies over the same population size.
 ///
 /// # Errors
 ///
@@ -201,60 +209,11 @@ pub fn cluster_naive_init(
     config: &KmeansConfig,
     rng: &mut SeededRng,
 ) -> Result<Clustering> {
-    if values.is_empty() {
-        return Err(CoreError::InvalidClustering(
-            "cannot cluster an empty sample".into(),
-        ));
-    }
-    if k == 0 {
-        return Err(CoreError::InvalidClustering("k must be positive".into()));
-    }
-    let mut sorted = values.to_vec();
+    validate_input(values, k)?;
+    let mut sorted = subsample(values, config, rng);
     sorted.sort_by(f32::total_cmp);
-    let mut centroids: Vec<f32> = (0..k).map(|_| sorted[rng.index(sorted.len())]).collect();
-    centroids.sort_by(f32::total_cmp);
-    centroids.dedup();
-
-    // Reuse the Lloyd loop by delegating to `cluster`'s machinery: simplest
-    // correct approach is to run the same refinement inline.
-    let mut last_wcss = f64::INFINITY;
-    let mut iterations = 0;
-    loop {
-        let mut sums = vec![0.0f64; centroids.len()];
-        let mut counts = vec![0usize; centroids.len()];
-        let mut wcss = 0.0f64;
-        let mut c = 0usize;
-        for &v in &sorted {
-            while c + 1 < centroids.len() && (v - centroids[c + 1]).abs() < (v - centroids[c]).abs()
-            {
-                c += 1;
-            }
-            sums[c] += v as f64;
-            counts[c] += 1;
-            wcss += ((v - centroids[c]) as f64).powi(2);
-        }
-        for (i, centroid) in centroids.iter_mut().enumerate() {
-            if counts[i] > 0 {
-                *centroid = (sums[i] / counts[i] as f64) as f32;
-            }
-        }
-        iterations += 1;
-        let improved = last_wcss - wcss;
-        last_wcss = wcss;
-        if iterations >= config.max_iterations
-            || improved.abs() <= config.tolerance * wcss.max(1e-12)
-        {
-            break;
-        }
-    }
-    centroids.sort_by(f32::total_cmp);
-    centroids.dedup();
-    let final_wcss = sorted_wcss(&sorted, &centroids);
-    Ok(Clustering {
-        centroids,
-        wcss: final_wcss,
-        iterations,
-    })
+    let centroids: Vec<f32> = (0..k).map(|_| sorted[rng.index(sorted.len())]).collect();
+    Ok(lloyd(&sorted, centroids, config))
 }
 
 /// Computes the WCSS of `values` against arbitrary `centroids` (used by
@@ -360,6 +319,36 @@ mod tests {
         let r = cluster(&values, 2, &config, &mut rng).unwrap();
         assert!((r.centroids[0] + 1.0).abs() < 0.05);
         assert!((r.centroids[1] - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn naive_init_subsamples_like_cluster() {
+        // 100k values would take ~60 Lloyd passes over the full data if
+        // `max_samples` were ignored; with subsampling the naive path
+        // clusters the same-sized population as `cluster` and still
+        // recovers both modes.
+        let mut rng = SeededRng::new(6);
+        let values: Vec<f32> = (0..100_000)
+            .map(|i| if i % 2 == 0 { -1.0 } else { 1.0 })
+            .collect();
+        let config = KmeansConfig {
+            max_samples: 1000,
+            ..KmeansConfig::default()
+        };
+        let r = cluster_naive_init(&values, 2, &config, &mut rng).unwrap();
+        assert_eq!(r.centroids.len(), 2);
+        assert!((r.centroids[0] + 1.0).abs() < 0.05);
+        assert!((r.centroids[1] - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn naive_init_deterministic_for_seed() {
+        let values: Vec<f32> = (0..100).map(|i| (i as f32).sin()).collect();
+        let a = cluster_naive_init(&values, 8, &KmeansConfig::default(), &mut SeededRng::new(9))
+            .unwrap();
+        let b = cluster_naive_init(&values, 8, &KmeansConfig::default(), &mut SeededRng::new(9))
+            .unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -15,9 +15,13 @@
 //! Inference over the flattened program is bit-for-bit identical to
 //! [`ReinterpretedNetwork::infer_sample`]: the nearest-representative
 //! search, activation lookup, and accumulation order are replicated
-//! exactly.
+//! exactly. The execution itself lives in [`crate::kernels`]:
+//! [`CompiledModel::infer`] and [`CompiledModel::infer_batch`] are thin
+//! wrappers over a [`BatchRunner`], the zero-allocation batch-major
+//! interpreter.
 
 use crate::error::{ArtifactError, Result, ServeError};
+use crate::kernels::BatchRunner;
 use rapidnn_core::{ActivationTable, ReinterpretedNetwork, Stage, StageKind};
 use rapidnn_nn::Activation;
 use std::path::Path;
@@ -35,35 +39,45 @@ const MAX_CODEBOOK_LEN: usize = 1 << 16;
 
 /// A `(start, len)` view into one of the model's pools.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct Span {
-    start: usize,
-    len: usize,
+pub(crate) struct Span {
+    pub(crate) start: usize,
+    pub(crate) len: usize,
 }
 
 impl Span {
-    fn slice<'a, T>(&self, pool: &'a [T]) -> &'a [T] {
+    pub(crate) fn slice<'a, T>(&self, pool: &'a [T]) -> &'a [T] {
         &pool[self.start..self.start + self.len]
     }
 }
 
 /// A flattened `w x u` product table inside the float pool.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct TableRef {
-    offset: usize,
-    weight_count: usize,
-    input_count: usize,
+pub(crate) struct TableRef {
+    pub(crate) offset: usize,
+    pub(crate) weight_count: usize,
+    pub(crate) input_count: usize,
 }
 
 impl TableRef {
     #[inline]
-    fn fetch(&self, floats: &[f32], w: u16, x: u16) -> f32 {
+    pub(crate) fn fetch(&self, floats: &[f32], w: u16, x: u16) -> f32 {
         floats[self.offset + w as usize * self.input_count + x as usize]
+    }
+
+    /// The table row for weight code `w`: all `u` precomputed products
+    /// of that weight against the input codebook. The batch kernels
+    /// hoist this lookup out of their row loops, so the inner loop is a
+    /// pure `acc[r] += row[x[r]]` gather.
+    #[inline]
+    pub(crate) fn row<'a>(&self, floats: &'a [f32], w: u16) -> &'a [f32] {
+        let start = self.offset + w as usize * self.input_count;
+        &floats[start..start + self.input_count]
     }
 }
 
 /// Activation step of a neuron op.
 #[derive(Debug, Clone, PartialEq, Eq)]
-enum ActRef {
+pub(crate) enum ActRef {
     /// Exact pass-through (output stage logits).
     Identity,
     /// Exact comparator ReLU.
@@ -76,7 +90,7 @@ enum ActRef {
 impl ActRef {
     /// Mirrors `ActivationTable::lookup` exactly.
     #[inline]
-    fn apply(&self, floats: &[f32], y: f32) -> f32 {
+    pub(crate) fn apply(&self, floats: &[f32], y: f32) -> f32 {
         match self {
             ActRef::Identity => y,
             ActRef::Relu => y.max(0.0),
@@ -106,16 +120,16 @@ impl ActRef {
 /// `rapidnn_tensor::Conv2dGeometry` field-for-field so artifacts do not
 /// depend on that type's layout.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct Geom {
-    in_channels: usize,
-    in_height: usize,
-    in_width: usize,
-    kernel_h: usize,
-    kernel_w: usize,
-    stride: usize,
-    pad: usize,
-    out_height: usize,
-    out_width: usize,
+pub(crate) struct Geom {
+    pub(crate) in_channels: usize,
+    pub(crate) in_height: usize,
+    pub(crate) in_width: usize,
+    pub(crate) kernel_h: usize,
+    pub(crate) kernel_w: usize,
+    pub(crate) stride: usize,
+    pub(crate) pad: usize,
+    pub(crate) out_height: usize,
+    pub(crate) out_width: usize,
 }
 
 impl Geom {
@@ -133,15 +147,15 @@ impl Geom {
         }
     }
 
-    fn in_volume(&self) -> usize {
+    pub(crate) fn in_volume(&self) -> usize {
         self.in_channels * self.in_height * self.in_width
     }
 
-    fn out_pixels(&self) -> usize {
+    pub(crate) fn out_pixels(&self) -> usize {
         self.out_height * self.out_width
     }
 
-    fn patch_len(&self) -> usize {
+    pub(crate) fn patch_len(&self) -> usize {
         self.in_channels * self.kernel_h * self.kernel_w
     }
 }
@@ -152,7 +166,7 @@ impl Geom {
 /// skip values onto a runtime stack, the branch's ops follow inline, and
 /// `ResidualEnd` pops the snapshot and joins.
 #[derive(Debug, Clone, PartialEq)]
-enum Op {
+pub(crate) enum Op {
     Dense {
         inputs: usize,
         outputs: usize,
@@ -189,21 +203,15 @@ enum Op {
 /// linear op program — the deployable, serializable serving artifact.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CompiledModel {
-    input_features: usize,
-    output_features: usize,
+    pub(crate) input_features: usize,
+    pub(crate) output_features: usize,
     /// Virtual input-layer codebook (sorted values) in the float pool.
-    virtual_encoder: Span,
-    ops: Vec<Op>,
+    pub(crate) virtual_encoder: Span,
+    pub(crate) ops: Vec<Op>,
     /// All f32 data: codebooks, product tables, LUTs, biases.
-    floats: Vec<f32>,
+    pub(crate) floats: Vec<f32>,
     /// All encoded weights.
-    codes: Vec<u16>,
-}
-
-/// Per-sample data flowing through the op program.
-enum Flow {
-    Codes(Vec<u16>),
-    Floats(Vec<f32>),
+    pub(crate) codes: Vec<u16>,
 }
 
 impl CompiledModel {
@@ -283,6 +291,9 @@ impl CompiledModel {
     ///
     /// Bit-for-bit identical to
     /// [`ReinterpretedNetwork::infer_sample`] on the source network.
+    /// Each call spins up a fresh single-row [`BatchRunner`]; a serving
+    /// loop should hold a runner of its own and call
+    /// [`BatchRunner::run`] to amortise the scratch arena across batches.
     ///
     /// # Errors
     ///
@@ -296,176 +307,28 @@ impl CompiledModel {
                 self.input_features
             )));
         }
-        let book = self.virtual_encoder.slice(&self.floats);
-        let mut flow = Flow::Codes(sample.iter().map(|&v| nearest(book, v)).collect());
-        let mut skips: Vec<Vec<f32>> = Vec::new();
-        for op in &self.ops {
-            flow = self.run_op(op, flow, &mut skips)?;
-        }
-        match flow {
-            Flow::Floats(f) => Ok(f),
-            Flow::Codes(_) => Err(ServeError::Artifact(ArtifactError::Malformed(
-                "program ended in encoded domain".into(),
-            ))),
-        }
+        let mut out = Vec::with_capacity(self.output_features);
+        BatchRunner::new().run(self, sample, &mut out)?;
+        Ok(out)
     }
 
     /// Runs inference over `batch x features` row-major inputs.
+    ///
+    /// The whole batch executes through one [`BatchRunner`] pass — each
+    /// op runs once over all rows — with outputs bit-for-bit identical
+    /// to calling [`CompiledModel::infer`] per row.
     ///
     /// # Errors
     ///
     /// Returns [`ServeError::InvalidInput`] when the input length is not a
     /// multiple of the model's feature width.
     pub fn infer_batch(&self, inputs: &[f32]) -> Result<Vec<Vec<f32>>> {
-        if self.input_features == 0 || !inputs.len().is_multiple_of(self.input_features) {
-            return Err(ServeError::InvalidInput(format!(
-                "{} values is not a whole number of {}-feature rows",
-                inputs.len(),
-                self.input_features
-            )));
-        }
-        inputs
-            .chunks(self.input_features)
-            .map(|row| self.infer(row))
-            .collect()
-    }
-
-    fn run_op(&self, op: &Op, flow: Flow, skips: &mut Vec<Vec<f32>>) -> Result<Flow> {
-        let floats = &self.floats;
-        match op {
-            Op::Dense {
-                inputs,
-                outputs,
-                weight_codes,
-                bias,
-                table,
-                act,
-                encoder,
-            } => {
-                let codes = expect_codes(flow)?;
-                let wcodes = weight_codes.slice(&self.codes);
-                let bias = bias.slice(floats);
-                let mut out = Vec::with_capacity(*outputs);
-                for o in 0..*outputs {
-                    let row = &wcodes[o * inputs..(o + 1) * inputs];
-                    let mut acc = bias[o];
-                    for (w, x) in row.iter().zip(&codes) {
-                        acc += table.fetch(floats, *w, *x);
-                    }
-                    out.push(acc);
-                }
-                Ok(self.finish_neuron(out, act, encoder))
-            }
-            Op::Conv {
-                geom: g,
-                out_channels,
-                weight_codes,
-                bias,
-                tables,
-                zero_code,
-                act,
-                encoder,
-            } => {
-                let codes = expect_codes(flow)?;
-                let wcodes = weight_codes.slice(&self.codes);
-                let bias = bias.slice(floats);
-                let patch_len = g.patch_len();
-                let pixels = g.out_pixels();
-                let mut out = vec![0.0f32; out_channels * pixels];
-                let (c, h, w) = (g.in_channels, g.in_height, g.in_width);
-                for oc in 0..*out_channels {
-                    let table = &tables[oc];
-                    let wrow = &wcodes[oc * patch_len..(oc + 1) * patch_len];
-                    for oy in 0..g.out_height {
-                        for ox in 0..g.out_width {
-                            let mut acc = bias[oc];
-                            let mut k = 0usize;
-                            for ic in 0..c {
-                                for kh in 0..g.kernel_h {
-                                    let iy = (oy * g.stride + kh) as isize - g.pad as isize;
-                                    for kw in 0..g.kernel_w {
-                                        let ix = (ox * g.stride + kw) as isize - g.pad as isize;
-                                        let xcode = if iy >= 0
-                                            && ix >= 0
-                                            && (iy as usize) < h
-                                            && (ix as usize) < w
-                                        {
-                                            codes[ic * h * w + iy as usize * w + ix as usize]
-                                        } else {
-                                            *zero_code
-                                        };
-                                        acc += table.fetch(floats, wrow[k], xcode);
-                                        k += 1;
-                                    }
-                                }
-                            }
-                            out[oc * pixels + oy * g.out_width + ox] = acc;
-                        }
-                    }
-                }
-                Ok(self.finish_neuron(out, act, encoder))
-            }
-            Op::MaxPool(g) => Ok(match flow {
-                Flow::Codes(c) => Flow::Codes(pool(g, &c, |a, b| if a >= b { a } else { b })),
-                Flow::Floats(f) => Flow::Floats(pool(g, &f, f32::max)),
-            }),
-            Op::AvgPool { geom, codebook } => {
-                let book = codebook.slice(floats);
-                match flow {
-                    Flow::Codes(c) => {
-                        let decoded: Vec<f32> = c.iter().map(|&x| book[x as usize]).collect();
-                        let averaged = avg_pool(geom, &decoded);
-                        Ok(Flow::Codes(
-                            averaged.iter().map(|&v| nearest(book, v)).collect(),
-                        ))
-                    }
-                    Flow::Floats(f) => Ok(Flow::Floats(avg_pool(geom, &f))),
-                }
-            }
-            Op::ResidualBegin { skip_codebook } => {
-                let codes = expect_codes(flow)?;
-                let book = skip_codebook.slice(floats);
-                skips.push(codes.iter().map(|&c| book[c as usize]).collect());
-                Ok(Flow::Codes(codes))
-            }
-            Op::ResidualEnd { encoder } => {
-                let branch_out = match flow {
-                    Flow::Floats(f) => f,
-                    Flow::Codes(_) => {
-                        return Err(ServeError::Artifact(ArtifactError::Malformed(
-                            "residual join received encoded values".into(),
-                        )))
-                    }
-                };
-                let skip = skips.pop().ok_or_else(|| {
-                    ServeError::Artifact(ArtifactError::Malformed(
-                        "residual join without matching begin".into(),
-                    ))
-                })?;
-                let joined: Vec<f32> = branch_out.iter().zip(&skip).map(|(a, b)| a + b).collect();
-                Ok(match encoder {
-                    Some(enc) => {
-                        let book = enc.slice(floats);
-                        Flow::Codes(joined.iter().map(|&v| nearest(book, v)).collect())
-                    }
-                    None => Flow::Floats(joined),
-                })
-            }
-        }
-    }
-
-    fn finish_neuron(&self, accumulated: Vec<f32>, act: &ActRef, encoder: &Option<Span>) -> Flow {
-        let activated: Vec<f32> = accumulated
-            .iter()
-            .map(|&y| act.apply(&self.floats, y))
-            .collect();
-        match encoder {
-            Some(enc) => {
-                let book = enc.slice(&self.floats);
-                Flow::Codes(activated.iter().map(|&z| nearest(book, z)).collect())
-            }
-            None => Flow::Floats(activated),
-        }
+        let mut out = Vec::new();
+        BatchRunner::new().run(self, inputs, &mut out)?;
+        Ok(out
+            .chunks(self.output_features)
+            .map(<[f32]>::to_vec)
+            .collect())
     }
 
     // ------------------------------------------------------------------
@@ -900,8 +763,13 @@ impl CompiledModel {
 /// `Codebook::encode` exactly (ties resolve to the smaller value).
 /// `validate` caps codebooks at [`MAX_CODEBOOK_LEN`] values, so the
 /// returned index always fits a `u16` without wrapping.
+///
+/// The hot paths use the branch-free equivalent in `kernels`; this
+/// binary-search form is kept as the readable reference the unit tests
+/// check both against.
+#[cfg(test)]
 #[inline]
-fn nearest(values: &[f32], value: f32) -> u16 {
+pub(crate) fn nearest(values: &[f32], value: f32) -> u16 {
     let idx = match values.binary_search_by(|probe| probe.total_cmp(&value)) {
         Ok(i) => i,
         Err(insertion) => {
@@ -921,47 +789,6 @@ fn nearest(values: &[f32], value: f32) -> u16 {
         }
     };
     idx as u16
-}
-
-fn expect_codes(flow: Flow) -> Result<Vec<u16>> {
-    match flow {
-        Flow::Codes(c) => Ok(c),
-        Flow::Floats(_) => Err(ServeError::Artifact(ArtifactError::Malformed(
-            "neuron op received decoded values".into(),
-        ))),
-    }
-}
-
-/// Windowed reduction in the same iteration order as the pipeline's
-/// `pool` helper (channel, output row, output column, kernel row, kernel
-/// column).
-fn pool<T: Copy>(g: &Geom, data: &[T], combine: impl Fn(T, T) -> T) -> Vec<T> {
-    let (c, h, w) = (g.in_channels, g.in_height, g.in_width);
-    let mut out = Vec::with_capacity(c * g.out_pixels());
-    for ch in 0..c {
-        for oy in 0..g.out_height {
-            for ox in 0..g.out_width {
-                let mut acc: Option<T> = None;
-                for kh in 0..g.kernel_h {
-                    for kw in 0..g.kernel_w {
-                        let v = data[ch * h * w + (oy * g.stride + kh) * w + ox * g.stride + kw];
-                        acc = Some(match acc {
-                            Some(a) => combine(a, v),
-                            None => v,
-                        });
-                    }
-                }
-                out.push(acc.expect("window is non-empty"));
-            }
-        }
-    }
-    out
-}
-
-fn avg_pool(g: &Geom, data: &[f32]) -> Vec<f32> {
-    let summed = pool(g, data, |a, b| a + b);
-    let n = (g.kernel_h * g.kernel_w) as f32;
-    summed.into_iter().map(|v| v / n).collect()
 }
 
 /// Checks a decoded geometry against the same invariants

@@ -3,17 +3,29 @@
 //! [`Engine::start`] spins up a worker pool over a bounded request queue.
 //! Each worker gathers a dynamic batch — up to
 //! [`EngineConfig::max_batch_size`] requests, waiting at most
-//! [`EngineConfig::max_wait`] for stragglers — then runs the compiled
-//! model outside the lock and answers each request through its own
-//! channel. Backpressure is explicit: [`Engine::try_submit`] returns
+//! [`EngineConfig::max_wait`] for stragglers — then executes the whole
+//! batch in one [`BatchRunner::run`] call outside the lock and answers
+//! each request through its own channel. The runner and its scratch
+//! arena persist across batches, so steady-state serving performs no
+//! per-sample heap allocation in the op loop.
+//!
+//! The straggler wait is bounded both ways: a worker stops waiting the
+//! moment its batch fills or shutdown begins, and the deadline is
+//! measured from the first request popped — a partial batch is never
+//! held longer than [`EngineConfig::max_wait`], even when the queue has
+//! gone idle.
+//!
+//! Backpressure is explicit: [`Engine::try_submit`] returns
 //! [`ServeError::QueueFull`] instead of buffering without bound, while
 //! [`Engine::submit`] blocks until space frees up. Shutdown drains the
 //! queue before the workers exit, so every accepted request is answered.
-//! A panic inside inference is caught and returned to that requester as
-//! [`ServeError::WorkerPanic`]; the worker itself keeps serving.
+//! A panic inside inference is caught and returned to the affected
+//! requesters as [`ServeError::WorkerPanic`]; the worker itself keeps
+//! serving.
 
 use crate::artifact::CompiledModel;
-use crate::error::{Result, ServeError};
+use crate::error::{ArtifactError, Result, ServeError};
+use crate::kernels::BatchRunner;
 use crate::metrics::{Metrics, ServerStats};
 use std::collections::VecDeque;
 use std::panic::AssertUnwindSafe;
@@ -286,6 +298,12 @@ fn worker_loop(
     max_batch: usize,
     max_wait: Duration,
 ) {
+    // Per-worker scratch, reused across batches: the batch kernel's
+    // arena plus flat input/output staging. Nothing here allocates per
+    // sample once the high-water batch size has been seen.
+    let mut runner = BatchRunner::for_model(&model, max_batch);
+    let mut flat: Vec<f32> = Vec::with_capacity(max_batch * model.input_features());
+    let mut outputs: Vec<f32> = Vec::new();
     loop {
         let batch = {
             let mut state = lock_state(&shared);
@@ -303,9 +321,12 @@ fn worker_loop(
                     .wait(state)
                     .unwrap_or_else(|e| e.into_inner());
             }
-            // Gather a dynamic batch, holding out up to `max_wait` for
-            // stragglers while below `max_batch`.
-            let mut batch = Vec::new();
+            // Gather a dynamic batch. The straggler wait runs from the
+            // first pop and ends at the earliest of: batch full,
+            // shutdown, or `max_wait` elapsed — whatever raced in by
+            // the deadline still joins the batch, but a partial batch
+            // is never held past it.
+            let mut batch = Vec::with_capacity(max_batch);
             let deadline = Instant::now() + max_wait;
             loop {
                 while batch.len() < max_batch {
@@ -333,21 +354,62 @@ fn worker_loop(
             metrics.set_queue_depth(state.jobs.len());
             batch
         };
-        shared.space_ready.notify_all();
         if batch.is_empty() {
             continue;
         }
+        // Queue space was freed by the pops above; wake blocked
+        // submitters only now that there is actually room.
+        shared.space_ready.notify_all();
         metrics.record_batch(batch.len());
-        for job in batch {
-            // Contain panics so a bad request cannot kill the worker: a
-            // dead worker would shrink the pool silently, and with no
-            // workers left queued tickets would wait forever.
-            let result = std::panic::catch_unwind(AssertUnwindSafe(|| model.infer(&job.input)))
-                .unwrap_or_else(|payload| Err(ServeError::WorkerPanic(panic_message(&payload))));
-            metrics.record_completion(job.enqueued.elapsed(), result.is_ok());
-            // The requester may have dropped its ticket; that's fine.
-            let _ = job.reply.send(result);
+        flat.clear();
+        for job in &batch {
+            flat.extend_from_slice(&job.input);
         }
+        // Contain panics so a bad batch cannot kill the worker: a dead
+        // worker would shrink the pool silently, and with no workers
+        // left queued tickets would wait forever. The runner resets its
+        // scratch on every call, so reuse after a panic is safe.
+        let run =
+            std::panic::catch_unwind(AssertUnwindSafe(|| runner.run(&model, &flat, &mut outputs)));
+        let width = model.output_features();
+        match run {
+            Ok(Ok(_)) => {
+                for (i, job) in batch.iter().enumerate() {
+                    metrics.record_completion(job.enqueued.elapsed(), true);
+                    // The requester may have dropped its ticket; fine.
+                    let _ = job
+                        .reply
+                        .send(Ok(outputs[i * width..(i + 1) * width].to_vec()));
+                }
+            }
+            Ok(Err(err)) => {
+                for job in &batch {
+                    metrics.record_completion(job.enqueued.elapsed(), false);
+                    let _ = job.reply.send(Err(replicate(&err)));
+                }
+            }
+            Err(payload) => {
+                let msg = panic_message(&payload);
+                for job in &batch {
+                    metrics.record_completion(job.enqueued.elapsed(), false);
+                    let _ = job.reply.send(Err(ServeError::WorkerPanic(msg.clone())));
+                }
+            }
+        }
+    }
+}
+
+/// Fans one batch-level error out to every affected job. [`ServeError`]
+/// is not `Clone` (it can wrap `io::Error`), so replicate the variants
+/// the batch kernel can actually produce.
+fn replicate(err: &ServeError) -> ServeError {
+    match err {
+        ServeError::InvalidInput(msg) => ServeError::InvalidInput(msg.clone()),
+        ServeError::Artifact(ArtifactError::Malformed(msg)) => {
+            ServeError::Artifact(ArtifactError::Malformed(msg.clone()))
+        }
+        ServeError::WorkerPanic(msg) => ServeError::WorkerPanic(msg.clone()),
+        other => ServeError::InvalidInput(other.to_string()),
     }
 }
 

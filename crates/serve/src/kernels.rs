@@ -1,0 +1,1177 @@
+//! Zero-allocation batched inference kernels.
+//!
+//! [`BatchRunner`] executes a [`CompiledModel`]'s op program *batch-major*:
+//! each op runs once per batch over all rows, instead of once per sample.
+//! All intermediate state lives in a reusable scratch arena — a ping-pong
+//! pair of `codes` buffers, a ping-pong pair of `floats` buffers (each
+//! sized `batch × width` for the widest flow the program reaches) and a
+//! stack of residual-skip buffers. Buffers are cleared, never dropped,
+//! between batches, so once their capacity has grown to the model's
+//! high-water mark the steady-state op loop performs **zero heap
+//! allocations** per sample.
+//!
+//! # Memory layout
+//!
+//! The flow between ops is one flat row-major buffer, `rows × width`, in
+//! either the encoded (`u16` codes) or decoded (`f32`) domain. Dense and
+//! Conv process the batch in [`LANES`]-row blocks: the accumulators of a
+//! block live in a fixed-size local array (registers, not memory) and
+//! the weight/tap loop runs innermost, so
+//!
+//! * the per-sample serial `acc += table[w][x]` chain — the latency
+//!   bottleneck of single-sample inference, since every table fits in
+//!   cache and the adds cannot overlap — becomes [`LANES`] independent
+//!   chains the CPU overlaps;
+//! * one weight-code row and one product table stay hot while the block
+//!   streams through them, and a block's codes (`LANES` consecutive
+//!   rows) stay L1-resident across all output neurons;
+//! * the gather index is clamped with `min`, a no-op for valid codes
+//!   that the optimiser can prove in-bounds, keeping panic branches out
+//!   of the hot loop.
+//!
+//! Pools, residual joins and encode steps are element-wise or
+//! window-local and run as plain batched loops.
+//!
+//! # Equivalence
+//!
+//! Results are bit-for-bit identical to per-sample inference (and
+//! therefore to `ReinterpretedNetwork::infer_sample`): samples are
+//! independent, and for each sample every accumulation, activation
+//! lookup and nearest-representative search happens in exactly the
+//! order the per-sample path uses. Batching only reorders work *across*
+//! samples.
+
+use crate::artifact::{ActRef, CompiledModel, Geom, Op, Span, TableRef};
+use crate::error::{ArtifactError, Result, ServeError};
+
+/// Domain of the data currently flowing between ops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Domain {
+    /// Encoded `u16` cluster codes.
+    Codes,
+    /// Decoded `f32` values.
+    Floats,
+}
+
+/// Rows per register-resident accumulator block in the dense/conv
+/// gather loops. The constant bound lets the compiler unroll the lane
+/// loop completely and keep the whole block in registers.
+const LANES: usize = 8;
+
+/// Output neurons processed per pass over a dense block: one code load
+/// and clamp feeds this many accumulator blocks. `OBLOCK * LANES`
+/// accumulators fill the SSE register file exactly.
+///
+/// 8 lanes by 2 outputs measured fastest: fewer lanes starve the
+/// floating-point add chains, more outputs spill the register file.
+const OBLOCK: usize = 2;
+
+// The u64 lane folding in `dense_block_gather` spells out eight lanes.
+const _: () = assert!(LANES == 8, "lane folding assumes eight lanes");
+
+/// Reusable scratch arena executing a compiled model's op program over
+/// whole batches.
+///
+/// A runner is plain state — it holds no reference to any model and may
+/// be reused across models of different shapes; buffers grow to the
+/// largest `batch × width` ever required and are then recycled. For a
+/// long-lived serving loop, construct one with [`BatchRunner::for_model`]
+/// (which pre-reserves the high-water capacity) and call
+/// [`BatchRunner::run`] per batch.
+#[derive(Debug, Default)]
+pub struct BatchRunner {
+    /// Current encoded flow (`rows × width`, row-major).
+    codes: Vec<u16>,
+    /// Encoded scratch the next op writes into (then swapped in).
+    codes_next: Vec<u16>,
+    /// Current decoded flow (`rows × width`, row-major).
+    floats: Vec<f32>,
+    /// Decoded scratch the next op writes into (then swapped in).
+    floats_next: Vec<f32>,
+    /// Arena of residual-skip snapshots, indexed by nesting depth.
+    /// Entries are reused across batches; only `0..depth` are live.
+    skips: Vec<Vec<f32>>,
+    /// Total-order keys of the codebook currently being encoded
+    /// through, recomputed per encode step (see [`total_key`]).
+    keys: Vec<i32>,
+    /// Total-order keys of the activation lookup table currently being
+    /// applied (alive at the same time as the encoder's `keys`).
+    act_keys: Vec<i32>,
+    /// Interleaved code tile for one [`LANES`]-row block (see
+    /// [`interleave`]).
+    tile: Vec<u16>,
+    /// Interleaved *decoded* tile for the factored dense fast path (see
+    /// [`interleave_decode`]).
+    tile_f: Vec<f32>,
+    /// Recovered per-weight-code factors of the current product table
+    /// (see [`factor_table`]).
+    wvals: Vec<f32>,
+    /// Decoded weight matrix (`outputs × inputs`) for the factored
+    /// dense fast path, rebuilt once per op per batch.
+    wdec: Vec<f32>,
+}
+
+impl BatchRunner {
+    /// Creates an empty runner; buffers are allocated lazily on first use.
+    pub fn new() -> Self {
+        BatchRunner::default()
+    }
+
+    /// Creates a runner with capacity pre-reserved for running `model` on
+    /// batches of up to `max_rows` samples, so even the first batch
+    /// allocates nothing inside the op loop.
+    pub fn for_model(model: &CompiledModel, max_rows: usize) -> Self {
+        let mut runner = BatchRunner::new();
+        runner.reserve(model, max_rows);
+        runner
+    }
+
+    /// Grows the scratch arena to the high-water capacity `model` needs
+    /// for batches of `max_rows` samples.
+    pub fn reserve(&mut self, model: &CompiledModel, max_rows: usize) {
+        let plan = plan(model);
+        let (max_width, skip_depth) = (plan.max_width, plan.skip_depth);
+        self.keys.reserve(plan.max_book);
+        self.act_keys.reserve(plan.max_act);
+        self.tile.reserve(max_width.saturating_mul(LANES));
+        self.tile_f.reserve(max_width.saturating_mul(LANES));
+        self.wvals.reserve(plan.max_wcount);
+        self.wdec.reserve(plan.max_dense);
+        let cap = max_rows.saturating_mul(max_width);
+        self.codes.reserve(cap);
+        self.codes_next.reserve(cap);
+        self.floats.reserve(cap);
+        self.floats_next.reserve(cap);
+        while self.skips.len() < skip_depth {
+            self.skips.push(Vec::with_capacity(cap));
+        }
+        for skip in &mut self.skips {
+            skip.reserve(cap.saturating_sub(skip.capacity()));
+        }
+    }
+
+    /// Runs batched inference over `rows × features` row-major `inputs`,
+    /// appending the `rows × output_features` logits to `out` (which is
+    /// cleared first) and returning the number of rows executed.
+    ///
+    /// Outputs are bit-for-bit identical to calling
+    /// [`CompiledModel::infer`] per row. The runner fully re-initialises
+    /// its scratch state on entry, so a runner whose previous `run`
+    /// panicked (possible only on a model that bypassed validation) is
+    /// safe to reuse.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidInput`] when `inputs` is not a whole
+    /// number of feature rows. Never panics on a validated model.
+    pub fn run(
+        &mut self,
+        model: &CompiledModel,
+        inputs: &[f32],
+        out: &mut Vec<f32>,
+    ) -> Result<usize> {
+        let features = model.input_features;
+        if features == 0 || !inputs.len().is_multiple_of(features) {
+            return Err(ServeError::InvalidInput(format!(
+                "{} values is not a whole number of {features}-feature rows",
+                inputs.len()
+            )));
+        }
+        let rows = inputs.len() / features;
+        out.clear();
+        if rows == 0 {
+            return Ok(0);
+        }
+
+        let BatchRunner {
+            codes,
+            codes_next,
+            floats,
+            floats_next,
+            skips,
+            keys,
+            act_keys,
+            tile,
+            tile_f,
+            wvals,
+            wdec,
+        } = self;
+        let pool_f: &[f32] = &model.floats;
+        let mut skip_depth = 0usize;
+
+        // Pad the batch to a whole number of LANES-row blocks so the
+        // final partial block of a large batch runs through the block
+        // kernels instead of falling back to the serial row path. Pad
+        // rows carry code 0 — valid for every (non-empty) codebook —
+        // and their results are computed but never copied out. Small
+        // batches stay unpadded: below a block the serial path is
+        // cheaper than a padded block.
+        let padded = if rows >= LANES {
+            rows.next_multiple_of(LANES)
+        } else {
+            rows
+        };
+
+        // Encode the whole batch through the virtual input codebook.
+        let book = model.virtual_encoder.slice(pool_f);
+        load_keys(keys, book);
+        refill(codes, padded * features);
+        for (dst, &v) in codes.iter_mut().zip(inputs) {
+            *dst = nearest_sorted(book, keys, v);
+        }
+        let mut domain = Domain::Codes;
+        let mut width = features;
+        // The codebook the current codes index into, tracked so dense
+        // ops can try the factored multiply path (see [`factor_table`]).
+        // `None` whenever the flow is decoded or the book is unknown.
+        let mut cur_book: Option<&[f32]> = Some(book);
+
+        for op in &model.ops {
+            match op {
+                Op::Dense {
+                    inputs: nin,
+                    outputs,
+                    weight_codes,
+                    bias,
+                    table,
+                    act,
+                    encoder,
+                } => {
+                    if domain != Domain::Codes {
+                        return Err(decoded_neuron());
+                    }
+                    let (nin, nout) = (*nin, *outputs);
+                    let wcodes = weight_codes.slice(&model.codes);
+                    let b = bias.slice(pool_f);
+                    refill(floats_next, padded * nout);
+                    // When the incoming codebook is known, try to factor
+                    // the product table back into per-weight multipliers
+                    // (verified bitwise) and run the op as a packed
+                    // multiply instead of a table gather.
+                    let factored = padded >= LANES
+                        && cur_book.is_some_and(|bk| factor_table(pool_f, table, bk, wvals));
+                    let mut r0 = 0usize;
+                    if factored {
+                        let bk = cur_book.unwrap_or_default();
+                        decode_weights(wvals, wcodes, wdec);
+                        while r0 + LANES <= padded {
+                            interleave_decode(
+                                &codes[r0 * nin..(r0 + LANES) * nin],
+                                nin,
+                                bk,
+                                tile_f,
+                            );
+                            dense_mul_block(
+                                wdec,
+                                b,
+                                tile_f,
+                                &mut floats_next[r0 * nout..(r0 + LANES) * nout],
+                                nout,
+                            );
+                            r0 += LANES;
+                        }
+                    } else {
+                        while r0 + LANES <= padded {
+                            dense_block(
+                                pool_f,
+                                table,
+                                wcodes,
+                                b,
+                                &codes[r0 * nin..(r0 + LANES) * nin],
+                                &mut floats_next[r0 * nout..(r0 + LANES) * nout],
+                                nin,
+                                nout,
+                                tile,
+                            );
+                            r0 += LANES;
+                        }
+                    }
+                    for r in r0..padded {
+                        dense_row(
+                            pool_f,
+                            table,
+                            wcodes,
+                            b,
+                            &codes[r * nin..(r + 1) * nin],
+                            &mut floats_next[r * nout..(r + 1) * nout],
+                        );
+                    }
+                    domain = finish_neuron(
+                        pool_f,
+                        act,
+                        encoder,
+                        floats,
+                        floats_next,
+                        codes,
+                        codes_next,
+                        keys,
+                        act_keys,
+                    );
+                    cur_book = encoder.as_ref().map(|e| e.slice(pool_f));
+                    width = nout;
+                }
+                Op::Conv {
+                    geom: g,
+                    out_channels,
+                    weight_codes,
+                    bias,
+                    tables,
+                    zero_code,
+                    act,
+                    encoder,
+                } => {
+                    if domain != Domain::Codes {
+                        return Err(decoded_neuron());
+                    }
+                    let wcodes = weight_codes.slice(&model.codes);
+                    let b = bias.slice(pool_f);
+                    let in_vol = g.in_volume();
+                    let nout = out_channels * g.out_pixels();
+                    refill(floats_next, padded * nout);
+                    let mut r0 = 0usize;
+                    while r0 + LANES <= padded {
+                        conv_block(
+                            pool_f,
+                            g,
+                            *out_channels,
+                            wcodes,
+                            b,
+                            tables,
+                            *zero_code,
+                            &codes[r0 * in_vol..(r0 + LANES) * in_vol],
+                            &mut floats_next[r0 * nout..(r0 + LANES) * nout],
+                            in_vol,
+                            nout,
+                            tile,
+                        );
+                        r0 += LANES;
+                    }
+                    for r in r0..padded {
+                        conv_row(
+                            pool_f,
+                            g,
+                            *out_channels,
+                            wcodes,
+                            b,
+                            tables,
+                            *zero_code,
+                            &codes[r * in_vol..(r + 1) * in_vol],
+                            &mut floats_next[r * nout..(r + 1) * nout],
+                        );
+                    }
+                    domain = finish_neuron(
+                        pool_f,
+                        act,
+                        encoder,
+                        floats,
+                        floats_next,
+                        codes,
+                        codes_next,
+                        keys,
+                        act_keys,
+                    );
+                    cur_book = encoder.as_ref().map(|e| e.slice(pool_f));
+                    width = nout;
+                }
+                Op::MaxPool(g) => {
+                    let in_vol = g.in_volume();
+                    let out_w = g.in_channels * g.out_pixels();
+                    match domain {
+                        Domain::Codes => {
+                            refill(codes_next, padded * out_w);
+                            for r in 0..padded {
+                                pool_into(
+                                    g,
+                                    &codes[r * in_vol..(r + 1) * in_vol],
+                                    &mut codes_next[r * out_w..(r + 1) * out_w],
+                                    |a, b| if a >= b { a } else { b },
+                                );
+                            }
+                            std::mem::swap(codes, codes_next);
+                        }
+                        Domain::Floats => {
+                            refill(floats_next, padded * out_w);
+                            for r in 0..padded {
+                                pool_into(
+                                    g,
+                                    &floats[r * in_vol..(r + 1) * in_vol],
+                                    &mut floats_next[r * out_w..(r + 1) * out_w],
+                                    f32::max,
+                                );
+                            }
+                            std::mem::swap(floats, floats_next);
+                        }
+                    }
+                    width = out_w;
+                }
+                Op::AvgPool { geom: g, codebook } => {
+                    let in_vol = g.in_volume();
+                    let out_w = g.in_channels * g.out_pixels();
+                    let window = (g.kernel_h * g.kernel_w) as f32;
+                    match domain {
+                        Domain::Codes => {
+                            let book = codebook.slice(pool_f);
+                            load_keys(keys, book);
+                            refill(codes_next, padded * out_w);
+                            for r in 0..padded {
+                                avg_pool_codes(
+                                    g,
+                                    book,
+                                    keys,
+                                    window,
+                                    &codes[r * in_vol..(r + 1) * in_vol],
+                                    &mut codes_next[r * out_w..(r + 1) * out_w],
+                                );
+                            }
+                            std::mem::swap(codes, codes_next);
+                            cur_book = Some(book);
+                        }
+                        Domain::Floats => {
+                            refill(floats_next, padded * out_w);
+                            for r in 0..padded {
+                                let dst = &mut floats_next[r * out_w..(r + 1) * out_w];
+                                pool_into(g, &floats[r * in_vol..(r + 1) * in_vol], dst, |a, b| {
+                                    a + b
+                                });
+                                for v in dst.iter_mut() {
+                                    *v /= window;
+                                }
+                            }
+                            std::mem::swap(floats, floats_next);
+                        }
+                    }
+                    width = out_w;
+                }
+                Op::ResidualBegin { skip_codebook } => {
+                    if domain != Domain::Codes {
+                        return Err(decoded_neuron());
+                    }
+                    let book = skip_codebook.slice(pool_f);
+                    if skips.len() == skip_depth {
+                        skips.push(Vec::new());
+                    }
+                    let buf = &mut skips[skip_depth];
+                    buf.clear();
+                    buf.extend(codes[..padded * width].iter().map(|&c| book[c as usize]));
+                    skip_depth += 1;
+                }
+                Op::ResidualEnd { encoder } => {
+                    if domain != Domain::Floats {
+                        return Err(ServeError::Artifact(ArtifactError::Malformed(
+                            "residual join received encoded values".into(),
+                        )));
+                    }
+                    if skip_depth == 0 {
+                        return Err(ServeError::Artifact(ArtifactError::Malformed(
+                            "residual join without matching begin".into(),
+                        )));
+                    }
+                    skip_depth -= 1;
+                    let skip = &skips[skip_depth];
+                    let n = padded * width;
+                    match encoder {
+                        Some(enc) => {
+                            let book = enc.slice(pool_f);
+                            load_keys(keys, book);
+                            refill(codes_next, n);
+                            for i in 0..n {
+                                codes_next[i] = nearest_sorted(book, keys, floats[i] + skip[i]);
+                            }
+                            std::mem::swap(codes, codes_next);
+                            domain = Domain::Codes;
+                            cur_book = Some(book);
+                        }
+                        None => {
+                            refill(floats_next, n);
+                            for i in 0..n {
+                                floats_next[i] = floats[i] + skip[i];
+                            }
+                            std::mem::swap(floats, floats_next);
+                            domain = Domain::Floats;
+                            cur_book = None;
+                        }
+                    }
+                }
+            }
+        }
+
+        match domain {
+            Domain::Floats => {
+                out.extend_from_slice(&floats[..rows * width]);
+                Ok(rows)
+            }
+            Domain::Codes => Err(ServeError::Artifact(ArtifactError::Malformed(
+                "program ended in encoded domain".into(),
+            ))),
+        }
+    }
+}
+
+/// Scratch-arena high-water marks for one model (see [`plan`]).
+struct Plan {
+    /// Widest flow the op program reaches.
+    max_width: usize,
+    /// Deepest residual nesting.
+    skip_depth: usize,
+    /// Largest codebook encoded through.
+    max_book: usize,
+    /// Largest activation lookup table applied.
+    max_act: usize,
+    /// Most weight representatives in any product table.
+    max_wcount: usize,
+    /// Largest dense weight matrix (`outputs × inputs`).
+    max_dense: usize,
+}
+
+/// Walks the op program like `validate` does, collecting the scratch
+/// arena's high-water marks.
+fn plan(model: &CompiledModel) -> Plan {
+    let mut width = model.input_features;
+    let mut p = Plan {
+        max_width: width,
+        skip_depth: 0,
+        max_book: model.virtual_encoder.len,
+        max_act: 0,
+        max_wcount: 0,
+        max_dense: 0,
+    };
+    let mut depth = 0usize;
+    fn span_len(enc: &Option<Span>) -> usize {
+        enc.as_ref().map_or(0, |e| e.len)
+    }
+    fn act_len(act: &ActRef) -> usize {
+        match act {
+            ActRef::Lookup { inputs, .. } => inputs.len,
+            _ => 0,
+        }
+    }
+    for op in &model.ops {
+        match op {
+            Op::Dense {
+                inputs,
+                outputs,
+                encoder,
+                act,
+                table,
+                ..
+            } => {
+                width = *outputs;
+                p.max_book = p.max_book.max(span_len(encoder));
+                p.max_act = p.max_act.max(act_len(act));
+                p.max_wcount = p.max_wcount.max(table.weight_count);
+                p.max_dense = p.max_dense.max(inputs.saturating_mul(*outputs));
+            }
+            Op::Conv {
+                geom,
+                out_channels,
+                encoder,
+                act,
+                ..
+            } => {
+                width = out_channels * geom.out_pixels();
+                p.max_book = p.max_book.max(span_len(encoder));
+                p.max_act = p.max_act.max(act_len(act));
+            }
+            Op::MaxPool(g) => width = g.in_channels * g.out_pixels(),
+            Op::AvgPool { geom: g, codebook } => {
+                width = g.in_channels * g.out_pixels();
+                p.max_book = p.max_book.max(codebook.len);
+            }
+            Op::ResidualBegin { .. } => {
+                depth += 1;
+                p.skip_depth = p.skip_depth.max(depth);
+            }
+            Op::ResidualEnd { encoder } => {
+                depth = depth.saturating_sub(1);
+                p.max_book = p.max_book.max(span_len(encoder));
+            }
+        }
+        p.max_width = p.max_width.max(width);
+    }
+    p
+}
+
+/// Total-order key of an `f32`: an integer whose natural ordering is
+/// exactly [`f32::total_cmp`] (flip the payload bits of negative
+/// values). Lets the nearest-representative search compare with plain
+/// integer compares instead of branchy float total-order logic.
+#[inline]
+fn total_key(v: f32) -> i32 {
+    let bits = v.to_bits() as i32;
+    bits ^ (((bits >> 31) as u32) >> 1) as i32
+}
+
+/// Caches the total-order keys of `book` into the runner's scratch.
+fn load_keys(keys: &mut Vec<i32>, book: &[f32]) {
+    keys.clear();
+    keys.extend(book.iter().map(|&v| total_key(v)));
+}
+
+/// Nearest-representative search over a `total_cmp`-sorted codebook,
+/// returning exactly what `artifact::nearest`'s binary search returns
+/// but branch-free: counting keys below the probe gives the insertion
+/// point (no data-dependent branches to mispredict — the dominant cost
+/// of encoding random data through a small book), the exact-match test
+/// keeps bit-identical behaviour for `-0.0`/`0.0` neighbours, and the
+/// boundary clamp folds into the final select.
+#[inline]
+fn nearest_sorted(book: &[f32], keys: &[i32], value: f32) -> u16 {
+    nearest_index(book, keys, value) as u16
+}
+
+/// Index form of [`nearest_sorted`], also used for activation-LUT
+/// lookups (whose tables may outgrow the `u16` code range).
+#[inline]
+fn nearest_index(book: &[f32], keys: &[i32], value: f32) -> usize {
+    let kv = total_key(value);
+    let mut ins = 0usize;
+    for &k in keys {
+        ins += (k < kv) as usize;
+    }
+    if ins < keys.len() && keys[ins] == kv {
+        return ins;
+    }
+    let hi = ins.min(book.len() - 1);
+    let lo = ins.saturating_sub(1).min(book.len() - 1);
+    // At the ends lo == hi, so the select is a no-op either way.
+    let take_lo = (value - book[lo]).abs() <= (book[hi] - value).abs();
+    hi - (take_lo as usize) * (hi - lo)
+}
+
+/// Dense over one [`LANES`]-row block: for each output neuron, [`LANES`]
+/// accumulators live in a local array while the weight loop runs
+/// innermost, so the block's add chains are independent and the current
+/// table row is shared by all lanes. The block's codes are first
+/// transposed into the interleaved `tile` (feature-major, lane-minor),
+/// so the hot loop reads one contiguous `LANES`-code group per weight —
+/// `chunks_exact` makes the lane indices provably in-bounds.
+#[allow(clippy::too_many_arguments)]
+fn dense_block(
+    pool_f: &[f32],
+    table: &TableRef,
+    wcodes: &[u16],
+    bias: &[f32],
+    xblock: &[u16],
+    dst: &mut [f32],
+    nin: usize,
+    nout: usize,
+    tile: &mut Vec<u16>,
+) {
+    // Unreachable on a validated model (empty product tables are
+    // rejected); guarantees `last` below cannot wrap, which lets the
+    // optimiser drop the bounds check on the clamped gather.
+    if table.input_count == 0 {
+        return;
+    }
+    let last = table.input_count - 1;
+    interleave(xblock, nin, tile);
+    // Valid codes never exceed `last`, so clamping with `min` and
+    // masking are both identities on real data; for power-of-two
+    // tables the mask variant saves a compare per gather.
+    if table.input_count.is_power_of_two() {
+        dense_block_gather(pool_f, table, wcodes, bias, dst, nout, tile, |x| x & last);
+    } else {
+        dense_block_gather(pool_f, table, wcodes, bias, dst, nout, tile, |x| {
+            x.min(last)
+        });
+    }
+}
+
+/// Gather loop of [`dense_block`] over the already-interleaved `tile`,
+/// generic over the in-bounds clamp.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn dense_block_gather(
+    pool_f: &[f32],
+    table: &TableRef,
+    wcodes: &[u16],
+    bias: &[f32],
+    dst: &mut [f32],
+    nout: usize,
+    tile: &[u16],
+    clamp: impl Fn(usize) -> usize,
+) {
+    let nin = tile.len() / LANES;
+    // Output neurons go in groups of OBLOCK sharing one pass over the
+    // block's codes: each lane's load and clamp feeds OBLOCK
+    // accumulator blocks, dividing the per-product bookkeeping. Each
+    // accumulator still sums its weights in ascending order, so
+    // per-output results are unchanged.
+    let mut o = 0usize;
+    while o + OBLOCK <= nout {
+        let w0 = &wcodes[o * nin..(o + 1) * nin];
+        let w1 = &wcodes[(o + 1) * nin..(o + 2) * nin];
+        let mut acc0 = [bias[o]; LANES];
+        let mut acc1 = [bias[o + 1]; LANES];
+        for ((xs, &wa), &wb) in tile.chunks_exact(LANES).zip(w0).zip(w1) {
+            let ta = table.row(pool_f, wa);
+            let tb = table.row(pool_f, wb);
+            // Fold the lane group into two words so the eight code
+            // loads become two 64-bit loads plus shifts, easing the
+            // pressure on the load ports (the loop's throughput limit).
+            let lo = u64::from(xs[0])
+                | u64::from(xs[1]) << 16
+                | u64::from(xs[2]) << 32
+                | u64::from(xs[3]) << 48;
+            let hi = u64::from(xs[4])
+                | u64::from(xs[5]) << 16
+                | u64::from(xs[6]) << 32
+                | u64::from(xs[7]) << 48;
+            for l in 0..LANES {
+                let word = if l < 4 { lo } else { hi };
+                let x = clamp((word >> (16 * (l & 3))) as u16 as usize);
+                acc0[l] += ta[x];
+                acc1[l] += tb[x];
+            }
+        }
+        for l in 0..LANES {
+            dst[l * nout + o] = acc0[l];
+            dst[l * nout + o + 1] = acc1[l];
+        }
+        o += OBLOCK;
+    }
+    while o < nout {
+        let wrow = &wcodes[o * nin..(o + 1) * nin];
+        let mut acc = [bias[o]; LANES];
+        for (xs, &w) in tile.chunks_exact(LANES).zip(wrow) {
+            let trow = table.row(pool_f, w);
+            for (l, a) in acc.iter_mut().enumerate() {
+                *a += trow[clamp(xs[l] as usize)];
+            }
+        }
+        for (l, &a) in acc.iter().enumerate() {
+            dst[l * nout + o] = a;
+        }
+        o += 1;
+    }
+}
+
+/// Transposes a row-major `LANES`-row block of codes into the
+/// interleaved tile layout `tile[i * LANES + l] = block[l * width + i]`,
+/// putting all lanes of one feature side by side.
+fn interleave(xblock: &[u16], width: usize, tile: &mut Vec<u16>) {
+    refill(tile, width * LANES);
+    for (l, xrow) in xblock.chunks_exact(width).enumerate() {
+        for (i, &x) in xrow.iter().enumerate() {
+            tile[i * LANES + l] = x;
+        }
+    }
+}
+
+/// Attempts to factor a dense product table back into per-weight-code
+/// multipliers. `ProductTable` stores the single-rounded product
+/// `w * x` for every (weight, input) representative pair, so with the
+/// input codebook in hand each table row is `fl(w · book[x])` for one
+/// recoverable weight value `w`. A candidate is read off any finite
+/// nonzero book entry and then **every** product is verified bitwise
+/// against the stored table, so on success `wvals[w] * book[x]`
+/// reproduces each entry exactly and the caller may replace the table
+/// gather with a packed multiply ([`dense_mul_block`]). Returns `false`
+/// — leaving the gather path in charge — for tables not of this form
+/// (possible only in hand-crafted artifacts).
+fn factor_table(pool_f: &[f32], table: &TableRef, book: &[f32], wvals: &mut Vec<f32>) -> bool {
+    if book.is_empty() || book.len() > table.input_count || table.weight_count == 0 {
+        return false;
+    }
+    wvals.clear();
+    for w in 0..table.weight_count {
+        let row = table.row(pool_f, w as u16);
+        let mut found = None;
+        'candidate: for (x0, &b0) in book.iter().enumerate() {
+            if b0 == 0.0 || !b0.is_finite() {
+                continue;
+            }
+            let cand = row[x0] / b0;
+            for (&bx, &rx) in book.iter().zip(row) {
+                if (cand * bx).to_bits() != rx.to_bits() {
+                    continue 'candidate;
+                }
+            }
+            found = Some(cand);
+            break;
+        }
+        match found {
+            Some(v) => wvals.push(v),
+            None => return false,
+        }
+    }
+    true
+}
+
+/// Expands the weight-code matrix through the recovered factors
+/// (`wdec[j] = wvals[wcodes[j]]`) into one flat `outputs × inputs`
+/// matrix for [`dense_mul_block`] to stream through.
+fn decode_weights(wvals: &[f32], wcodes: &[u16], wdec: &mut Vec<f32>) {
+    let last = wvals.len() - 1;
+    wdec.clear();
+    wdec.extend(wcodes.iter().map(|&w| wvals[(w as usize).min(last)]));
+}
+
+/// [`interleave`] fused with a codebook decode, producing the `f32`
+/// tile the factored dense path multiplies against:
+/// `tile_f[i * LANES + l] = book[block[l * width + i]]`.
+fn interleave_decode(xblock: &[u16], width: usize, book: &[f32], tile_f: &mut Vec<f32>) {
+    refill(tile_f, width * LANES);
+    let last = book.len() - 1;
+    for (l, xrow) in xblock.chunks_exact(width).enumerate() {
+        for (i, &x) in xrow.iter().enumerate() {
+            tile_f[i * LANES + l] = book[(x as usize).min(last)];
+        }
+    }
+}
+
+/// Multiply-accumulate form of [`dense_block_gather`] for factored
+/// tables: `acc += w · x` on the decoded weight matrix and tile. Every
+/// product is bitwise equal to the table entry the gather would have
+/// loaded ([`factor_table`] verified all of them) and each accumulator
+/// still sums its weights in ascending order, so results are unchanged
+/// — but the inner loop is a pure mul-add stream the compiler turns
+/// into packed vector arithmetic, with no loads serialised behind
+/// gathered indices.
+fn dense_mul_block(wdec: &[f32], bias: &[f32], tile_f: &[f32], dst: &mut [f32], nout: usize) {
+    let nin = tile_f.len() / LANES;
+    let mut o = 0usize;
+    while o + OBLOCK <= nout {
+        let w0 = &wdec[o * nin..(o + 1) * nin];
+        let w1 = &wdec[(o + 1) * nin..(o + 2) * nin];
+        let mut acc0 = [bias[o]; LANES];
+        let mut acc1 = [bias[o + 1]; LANES];
+        for ((xs, &wa), &wb) in tile_f.chunks_exact(LANES).zip(w0).zip(w1) {
+            for l in 0..LANES {
+                acc0[l] += wa * xs[l];
+                acc1[l] += wb * xs[l];
+            }
+        }
+        for l in 0..LANES {
+            dst[l * nout + o] = acc0[l];
+            dst[l * nout + o + 1] = acc1[l];
+        }
+        o += OBLOCK;
+    }
+    while o < nout {
+        let wrow = &wdec[o * nin..(o + 1) * nin];
+        let mut acc = [bias[o]; LANES];
+        for (xs, &wa) in tile_f.chunks_exact(LANES).zip(wrow) {
+            for (l, a) in acc.iter_mut().enumerate() {
+                *a += wa * xs[l];
+            }
+        }
+        for (l, &a) in acc.iter().enumerate() {
+            dst[l * nout + o] = a;
+        }
+        o += 1;
+    }
+}
+
+/// Dense over a single row: the serial per-sample chain, used for
+/// `rows == 1` and the tail of a batch that doesn't fill a block.
+fn dense_row(
+    pool_f: &[f32],
+    table: &TableRef,
+    wcodes: &[u16],
+    bias: &[f32],
+    xrow: &[u16],
+    dst: &mut [f32],
+) {
+    let nin = xrow.len();
+    for (o, d) in dst.iter_mut().enumerate() {
+        let wrow = &wcodes[o * nin..(o + 1) * nin];
+        let mut acc = bias[o];
+        for (&w, &x) in wrow.iter().zip(xrow) {
+            acc += table.fetch(pool_f, w, x);
+        }
+        *d = acc;
+    }
+}
+
+/// Convolution over one [`LANES`]-row block, mirroring [`dense_block`]:
+/// per output pixel, the tap loop runs innermost over a register block
+/// of accumulators reading contiguous lane groups from the interleaved
+/// tile; padding taps add the same product to every lane.
+#[allow(clippy::too_many_arguments)]
+fn conv_block(
+    pool_f: &[f32],
+    g: &Geom,
+    out_channels: usize,
+    wcodes: &[u16],
+    bias: &[f32],
+    tables: &[TableRef],
+    zero_code: u16,
+    xblock: &[u16],
+    dst: &mut [f32],
+    in_vol: usize,
+    nout: usize,
+    tile: &mut Vec<u16>,
+) {
+    interleave(xblock, in_vol, tile);
+    let patch_len = g.patch_len();
+    let pixels = g.out_pixels();
+    let (c, h, w) = (g.in_channels, g.in_height, g.in_width);
+    for oc in 0..out_channels {
+        let table = &tables[oc];
+        // See dense_block: the guard proves the clamp stays in bounds.
+        if table.input_count == 0 {
+            continue;
+        }
+        let last = table.input_count - 1;
+        let wrow = &wcodes[oc * patch_len..(oc + 1) * patch_len];
+        for oy in 0..g.out_height {
+            for ox in 0..g.out_width {
+                let mut acc = [bias[oc]; LANES];
+                let mut k = 0usize;
+                for ic in 0..c {
+                    for kh in 0..g.kernel_h {
+                        let iy = (oy * g.stride + kh) as isize - g.pad as isize;
+                        for kw in 0..g.kernel_w {
+                            let ix = (ox * g.stride + kw) as isize - g.pad as isize;
+                            let trow = table.row(pool_f, wrow[k]);
+                            k += 1;
+                            if iy >= 0 && ix >= 0 && (iy as usize) < h && (ix as usize) < w {
+                                let src = ic * h * w + iy as usize * w + ix as usize;
+                                let xs: &[u16; LANES] = tile[src * LANES..(src + 1) * LANES]
+                                    .try_into()
+                                    .expect("lane group");
+                                for (l, a) in acc.iter_mut().enumerate() {
+                                    let x = xs[l] as usize;
+                                    *a += trow[x.min(last)];
+                                }
+                            } else {
+                                let pad_v = trow[(zero_code as usize).min(last)];
+                                for a in acc.iter_mut() {
+                                    *a += pad_v;
+                                }
+                            }
+                        }
+                    }
+                }
+                let pixel = oc * pixels + oy * g.out_width + ox;
+                for (l, &a) in acc.iter().enumerate() {
+                    dst[l * nout + pixel] = a;
+                }
+            }
+        }
+    }
+}
+
+/// Convolution over a single row (`rows == 1` and block tails).
+#[allow(clippy::too_many_arguments)]
+fn conv_row(
+    pool_f: &[f32],
+    g: &Geom,
+    out_channels: usize,
+    wcodes: &[u16],
+    bias: &[f32],
+    tables: &[TableRef],
+    zero_code: u16,
+    xrow: &[u16],
+    dst: &mut [f32],
+) {
+    let patch_len = g.patch_len();
+    let pixels = g.out_pixels();
+    let (c, h, w) = (g.in_channels, g.in_height, g.in_width);
+    for oc in 0..out_channels {
+        let table = &tables[oc];
+        let wrow = &wcodes[oc * patch_len..(oc + 1) * patch_len];
+        for oy in 0..g.out_height {
+            for ox in 0..g.out_width {
+                let mut acc = bias[oc];
+                let mut k = 0usize;
+                for ic in 0..c {
+                    for kh in 0..g.kernel_h {
+                        let iy = (oy * g.stride + kh) as isize - g.pad as isize;
+                        for kw in 0..g.kernel_w {
+                            let ix = (ox * g.stride + kw) as isize - g.pad as isize;
+                            let xcode =
+                                if iy >= 0 && ix >= 0 && (iy as usize) < h && (ix as usize) < w {
+                                    xrow[ic * h * w + iy as usize * w + ix as usize]
+                                } else {
+                                    zero_code
+                                };
+                            acc += table.fetch(pool_f, wrow[k], xcode);
+                            k += 1;
+                        }
+                    }
+                }
+                dst[oc * pixels + oy * g.out_width + ox] = acc;
+            }
+        }
+    }
+}
+
+/// Applies the activation to the raw accumulators in `floats_next` and
+/// routes the batch into the next flow domain, mirroring the per-sample
+/// finish-neuron step: activate every value, then encode through the
+/// stage encoder if one is present.
+///
+/// A `Lookup` activation is a nearest-input search over a sorted LUT —
+/// the same shape as an encode step — so its total-order keys are
+/// cached once per op and every value goes through the branch-free
+/// [`nearest_index`] instead of `ActRef::apply`'s binary search. The
+/// LUT's inputs are strictly increasing (built sorted and deduplicated),
+/// so both searches pick the same index bit-for-bit.
+#[allow(clippy::too_many_arguments)]
+fn finish_neuron(
+    pool_f: &[f32],
+    act: &ActRef,
+    encoder: &Option<Span>,
+    floats: &mut Vec<f32>,
+    floats_next: &mut Vec<f32>,
+    codes: &mut Vec<u16>,
+    codes_next: &mut Vec<u16>,
+    keys: &mut Vec<i32>,
+    act_keys: &mut Vec<i32>,
+) -> Domain {
+    let lut = match act {
+        ActRef::Lookup { inputs, outputs } => {
+            let xs = inputs.slice(pool_f);
+            load_keys(act_keys, xs);
+            Some((xs, outputs.slice(pool_f)))
+        }
+        _ => None,
+    };
+    let act_keys: &[i32] = act_keys;
+    let apply = |y: f32| match lut {
+        Some((xs, ys)) => ys[nearest_index(xs, act_keys, y)],
+        None => act.apply(pool_f, y),
+    };
+    match encoder {
+        Some(enc) => {
+            let book = enc.slice(pool_f);
+            load_keys(keys, book);
+            refill(codes_next, floats_next.len());
+            for (dst, &y) in codes_next.iter_mut().zip(floats_next.iter()) {
+                *dst = nearest_sorted(book, keys, apply(y));
+            }
+            std::mem::swap(codes, codes_next);
+            Domain::Codes
+        }
+        None => {
+            for y in floats_next.iter_mut() {
+                *y = apply(*y);
+            }
+            std::mem::swap(floats, floats_next);
+            Domain::Floats
+        }
+    }
+}
+
+/// Windowed reduction of one sample in the same iteration order as the
+/// per-sample pool (channel, output row, output column, kernel row,
+/// kernel column): the accumulator starts at the window's first element
+/// and `combine` folds the rest in visit order.
+fn pool_into<T: Copy>(g: &Geom, src: &[T], dst: &mut [T], combine: impl Fn(T, T) -> T) {
+    let (c, h, w) = (g.in_channels, g.in_height, g.in_width);
+    let mut i = 0usize;
+    for ch in 0..c {
+        let base = ch * h * w;
+        for oy in 0..g.out_height {
+            for ox in 0..g.out_width {
+                let mut acc = src[base + oy * g.stride * w + ox * g.stride];
+                for kh in 0..g.kernel_h {
+                    for kw in 0..g.kernel_w {
+                        if kh == 0 && kw == 0 {
+                            continue;
+                        }
+                        acc = combine(
+                            acc,
+                            src[base + (oy * g.stride + kh) * w + ox * g.stride + kw],
+                        );
+                    }
+                }
+                dst[i] = acc;
+                i += 1;
+            }
+        }
+    }
+}
+
+/// Fused decode + average-pool + re-encode of one encoded sample:
+/// gathers codebook values straight out of the window (identical sum
+/// order to decoding the whole sample first), divides by the window
+/// size, and encodes each pooled value back through the codebook.
+fn avg_pool_codes(g: &Geom, book: &[f32], keys: &[i32], window: f32, src: &[u16], dst: &mut [u16]) {
+    let (c, h, w) = (g.in_channels, g.in_height, g.in_width);
+    let mut i = 0usize;
+    for ch in 0..c {
+        let base = ch * h * w;
+        for oy in 0..g.out_height {
+            for ox in 0..g.out_width {
+                let mut acc = book[src[base + oy * g.stride * w + ox * g.stride] as usize];
+                for kh in 0..g.kernel_h {
+                    for kw in 0..g.kernel_w {
+                        if kh == 0 && kw == 0 {
+                            continue;
+                        }
+                        acc += book
+                            [src[base + (oy * g.stride + kh) * w + ox * g.stride + kw] as usize];
+                    }
+                }
+                dst[i] = nearest_sorted(book, keys, acc / window);
+                i += 1;
+            }
+        }
+    }
+}
+
+/// Resets `buf` to `len` default-filled elements, reusing its capacity:
+/// no allocation happens once capacity has reached the high-water mark.
+fn refill<T: Copy + Default>(buf: &mut Vec<T>, len: usize) {
+    buf.clear();
+    buf.resize(len, T::default());
+}
+
+fn decoded_neuron() -> ServeError {
+    ServeError::Artifact(ArtifactError::Malformed(
+        "neuron op received decoded values".into(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::artifact::nearest;
+
+    /// The branch-free search must agree with the reference binary
+    /// search on every probe, including exact hits, ties, boundary
+    /// clamps, signed zeros and NaN.
+    #[test]
+    fn nearest_sorted_matches_reference() {
+        let books: &[&[f32]] = &[
+            &[0.0],
+            &[-1.0, 1.0],
+            &[-2.0, -0.5, 0.0, 0.25, 3.0],
+            &[f32::NEG_INFINITY, -1.0, 0.0, f32::INFINITY],
+        ];
+        let mut probes: Vec<f32> = vec![
+            f32::NEG_INFINITY,
+            -3.0,
+            -1.0,
+            -0.75,
+            -0.25,
+            -0.0,
+            0.0,
+            0.125,
+            0.25,
+            1.0,
+            2.0,
+            3.0,
+            10.0,
+            f32::INFINITY,
+            f32::NAN,
+        ];
+        for i in -40..=40 {
+            probes.push(i as f32 * 0.11);
+        }
+        for book in books {
+            let mut keys = Vec::new();
+            load_keys(&mut keys, book);
+            for &p in &probes {
+                assert_eq!(
+                    nearest_sorted(book, &keys, p),
+                    nearest(book, p),
+                    "book {book:?} probe {p}"
+                );
+            }
+        }
+    }
+}

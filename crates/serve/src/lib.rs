@@ -10,9 +10,15 @@
 //!   into two contiguous pools plus a linear op program, serializable to
 //!   a versioned, checksummed, std-only binary format. Inference over
 //!   the flat program is bit-for-bit identical to the source network.
+//! * [`kernels`] — [`BatchRunner`] executes the op program batch-major
+//!   over a reusable scratch arena: each op runs once per batch across
+//!   all rows, with zero per-sample heap allocations in the steady
+//!   state and outputs bit-for-bit identical to per-sample `infer`.
 //! * [`engine`] — [`Engine`] serves a compiled model from a worker pool
 //!   with a bounded queue, dynamic batching, explicit backpressure
-//!   ([`ServeError::QueueFull`]) and draining shutdown.
+//!   ([`ServeError::QueueFull`]) and draining shutdown. Each worker owns
+//!   a persistent [`BatchRunner`] and executes its gathered batch in one
+//!   kernel call.
 //! * [`metrics`] — [`Metrics`]/[`ServerStats`]: throughput and
 //!   queue-depth counters plus a log-scale latency histogram.
 //!
@@ -50,9 +56,11 @@
 pub mod artifact;
 pub mod engine;
 mod error;
+pub mod kernels;
 pub mod metrics;
 
 pub use artifact::{CompiledModel, FORMAT_VERSION, MAGIC};
 pub use engine::{Engine, EngineConfig, Ticket};
 pub use error::{ArtifactError, Result, ServeError};
+pub use kernels::BatchRunner;
 pub use metrics::{Metrics, ServerStats};

@@ -5,60 +5,13 @@
 //! decodes to a model whose `infer` matches the source network bit for
 //! bit, or fails with a typed [`ArtifactError`]. It never panics.
 
-use rapidnn_core::{ReinterpretOptions, ReinterpretedNetwork};
-use rapidnn_data::SyntheticSpec;
-use rapidnn_nn::{
-    Activation, ActivationLayer, AvgPool2d, Conv2d, Dense, MaxPool2d, Network, Residual,
-};
+mod common;
+
+use common::{cnn_model, mlp_model, residual_model};
+use rapidnn_core::ReinterpretedNetwork;
 use rapidnn_prop::{check, usize_in, vec_f32};
 use rapidnn_serve::{ArtifactError, CompiledModel, FORMAT_VERSION, MAGIC};
-use rapidnn_tensor::{Padding, SeededRng};
-
-fn options() -> ReinterpretOptions {
-    ReinterpretOptions {
-        weight_clusters: 8,
-        input_clusters: 8,
-        ..ReinterpretOptions::default()
-    }
-}
-
-/// Untrained dense network with a sigmoid (lookup-table) hidden layer.
-fn mlp_model(rng: &mut SeededRng) -> ReinterpretedNetwork {
-    let mut net = Network::new(6);
-    net.push(Dense::new(6, 10, rng));
-    net.push(ActivationLayer::new(Activation::Sigmoid));
-    net.push(Dense::new(10, 3, rng));
-    let data = SyntheticSpec::new(6, 3, 2.0).generate(40, rng).unwrap();
-    ReinterpretedNetwork::build(&mut net, data.inputs(), &options(), rng).unwrap()
-}
-
-/// Conv network exercising both pool kinds and the ReLU comparator.
-fn cnn_model(rng: &mut SeededRng) -> ReinterpretedNetwork {
-    let mut net = Network::new(2 * 8 * 8);
-    net.push(Conv2d::new(2, 8, 8, 3, 3, 1, Padding::Same, rng).unwrap());
-    net.push(ActivationLayer::new(Activation::Relu));
-    net.push(MaxPool2d::new(3, 8, 8, 2).unwrap());
-    net.push(Conv2d::new(3, 4, 4, 2, 3, 1, Padding::Same, rng).unwrap());
-    net.push(ActivationLayer::new(Activation::Relu));
-    net.push(AvgPool2d::new(2, 4, 4, 2).unwrap());
-    net.push(Dense::new(2 * 2 * 2, 4, rng));
-    let data = SyntheticSpec::new(128, 4, 2.0).generate(30, rng).unwrap();
-    ReinterpretedNetwork::build(&mut net, data.inputs(), &options(), rng).unwrap()
-}
-
-/// Network with a residual skip connection.
-fn residual_model(rng: &mut SeededRng) -> ReinterpretedNetwork {
-    let mut net = Network::new(6);
-    net.push(Dense::new(6, 5, rng));
-    net.push(ActivationLayer::new(Activation::Relu));
-    net.push(Residual::new(vec![
-        Box::new(Dense::new(5, 5, rng)),
-        Box::new(ActivationLayer::new(Activation::Relu)),
-    ]));
-    net.push(Dense::new(5, 2, rng));
-    let data = SyntheticSpec::new(6, 2, 2.0).generate(40, rng).unwrap();
-    ReinterpretedNetwork::build(&mut net, data.inputs(), &options(), rng).unwrap()
-}
+use rapidnn_tensor::SeededRng;
 
 fn assert_bit_identical(
     model: &ReinterpretedNetwork,
