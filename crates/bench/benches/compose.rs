@@ -1,0 +1,136 @@
+//! Composer wall time vs. worker count: trains one float model, then
+//! times `Composer::compose` (k-means codebooks, layer-parallel
+//! clustering, the quality loop's sharded validation pass) under scoped
+//! pools of 1, 2, 4 and `available_parallelism` threads. Also
+//! cross-checks that every parallel run is bitwise-identical to the
+//! sequential oracle. Writes `BENCH_compose.json` at the repo root so
+//! successive PRs can track the composition-perf trajectory.
+//!
+//! Set `BENCH_COMPOSE_QUICK=1` to shrink the workload for CI smoke runs.
+
+use rapidnn::composer::{ComposeOutcome, Composer, ComposerConfig};
+use rapidnn::data::benchmark_dataset;
+use rapidnn::nn::topology::Benchmark;
+use rapidnn::nn::{Trainer, TrainerConfig};
+use rapidnn::pool::with_threads;
+use rapidnn::tensor::SeededRng;
+use std::path::Path;
+use std::time::Instant;
+
+fn main() {
+    let quick = std::env::var_os("BENCH_COMPOSE_QUICK").is_some();
+    let (reduction, samples, epochs) = if quick { (16, 80, 2) } else { (2, 320, 4) };
+    let repeats = if quick { 1 } else { 3 };
+    let hardware = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    // Train the float model once; every timed run composes a clone of it
+    // from the same seed, so runs differ only in worker count.
+    eprintln!("training reduced MNIST model (reduction {reduction}, {samples} samples)...");
+    let mut rng = SeededRng::new(42);
+    let data = benchmark_dataset(Benchmark::Mnist, samples, &mut rng).expect("dataset");
+    let (train, validation) = data.split(0.8);
+    let mut network = Benchmark::Mnist
+        .build_reduced(reduction, &mut rng)
+        .expect("topology");
+    Trainer::new(TrainerConfig::default(), &mut rng)
+        .fit(&mut network, train.inputs(), train.labels(), epochs)
+        .expect("training");
+    let config = ComposerConfig::default()
+        .with_weights(16)
+        .with_inputs(16)
+        .with_max_iterations(if quick { 1 } else { 2 })
+        .with_retrain_epochs(1);
+
+    let compose_once = |threads: usize| -> (f64, ComposeOutcome) {
+        with_threads(threads, || {
+            let mut net = network.clone();
+            let mut rng = SeededRng::new(7);
+            let start = Instant::now();
+            let outcome = Composer::new(config)
+                .compose(&mut net, &train, &validation, &mut rng)
+                .expect("compose");
+            (start.elapsed().as_secs_f64(), outcome)
+        })
+    };
+
+    let mut thread_counts = vec![1, 2, 4, hardware];
+    thread_counts.sort_unstable();
+    thread_counts.dedup();
+
+    let mut seconds = Vec::new();
+    let mut oracle: Option<Vec<u32>> = None;
+    let mut deterministic = true;
+    for &threads in &thread_counts {
+        let mut best = f64::INFINITY;
+        let mut print = None;
+        for _ in 0..repeats {
+            let (elapsed, outcome) = compose_once(threads);
+            best = best.min(elapsed);
+            print = Some(fingerprint(&outcome));
+        }
+        let print = print.expect("at least one repeat");
+        match &oracle {
+            None => oracle = Some(print),
+            Some(expected) => deterministic &= print == *expected,
+        }
+        seconds.push(best);
+        eprintln!("threads {threads:>2}: {best:.3} s");
+    }
+    assert!(deterministic, "parallel compose diverged from sequential");
+
+    let sequential = seconds[0];
+    let mut rows = String::new();
+    for (i, (&threads, &secs)) in thread_counts.iter().zip(&seconds).enumerate() {
+        let comma = if i + 1 == thread_counts.len() {
+            ""
+        } else {
+            ","
+        };
+        rows.push_str(&format!(
+            "    {{ \"threads\": {threads}, \"seconds\": {secs:.4}, \"speedup\": {:.3} }}{comma}\n",
+            sequential / secs
+        ));
+        println!(
+            "compose  threads={threads:<3} {secs:>8.3} s  ({:.2}x)",
+            sequential / secs
+        );
+    }
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"benchmark\": \"compose\",\n",
+            "  \"pipeline\": \"mnist-reduced\",\n",
+            "  \"available_parallelism\": {hardware},\n",
+            "  \"deterministic\": {deterministic},\n",
+            "  \"runs\": [\n",
+            "{rows}",
+            "  ]\n",
+            "}}\n"
+        ),
+        hardware = hardware,
+        deterministic = deterministic,
+        rows = rows,
+    );
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_compose.json");
+    std::fs::write(&path, json).expect("write BENCH_compose.json");
+    eprintln!("wrote {}", path.display());
+}
+
+/// Exact bit pattern of everything float-valued in a compose outcome.
+fn fingerprint(outcome: &ComposeOutcome) -> Vec<u32> {
+    let mut bits = vec![
+        outcome.baseline_error.to_bits(),
+        outcome.final_error.to_bits(),
+        outcome.delta_e.to_bits(),
+    ];
+    bits.extend(
+        outcome
+            .iterations
+            .iter()
+            .map(|it| it.clustered_error.to_bits()),
+    );
+    bits
+}

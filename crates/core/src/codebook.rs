@@ -1,4 +1,5 @@
 use crate::kmeans::{cluster, KmeansConfig};
+use crate::nearest;
 use crate::{CoreError, Result};
 use rapidnn_tensor::SeededRng;
 
@@ -17,6 +18,10 @@ use rapidnn_tensor::SeededRng;
 #[derive(Debug, Clone, PartialEq)]
 pub struct Codebook {
     values: Vec<f32>,
+    /// Total-order keys of `values` (see [`nearest::total_key`]),
+    /// precomputed once so every encode runs the branch-free search
+    /// shared with the serve-side batch kernels.
+    keys: Vec<i32>,
 }
 
 impl Codebook {
@@ -40,7 +45,9 @@ impl Codebook {
         }
         values.sort_by(f32::total_cmp);
         values.dedup();
-        Ok(Codebook { values })
+        let mut keys = Vec::new();
+        nearest::load_keys(&mut keys, &values);
+        Ok(Codebook { values, keys })
     }
 
     /// Builds a codebook by k-means clustering `population` into at most
@@ -78,29 +85,7 @@ impl Codebook {
     /// Encodes `value` as the index of its nearest representative
     /// (ties resolve to the smaller representative).
     pub fn encode(&self, value: f32) -> u16 {
-        // Binary search over the sorted axis, then compare neighbours.
-        let idx = match self
-            .values
-            .binary_search_by(|probe| probe.total_cmp(&value))
-        {
-            Ok(i) => i,
-            Err(insertion) => {
-                if insertion == 0 {
-                    0
-                } else if insertion >= self.values.len() {
-                    self.values.len() - 1
-                } else {
-                    let lo = insertion - 1;
-                    let hi = insertion;
-                    if (value - self.values[lo]).abs() <= (self.values[hi] - value).abs() {
-                        lo
-                    } else {
-                        hi
-                    }
-                }
-            }
-        };
-        idx as u16
+        nearest::nearest_sorted(&self.values, &self.keys, value)
     }
 
     /// Decodes an index back to its representative value.

@@ -247,38 +247,52 @@ fn quantize_layers(
     clusters: usize,
     rng: &mut SeededRng,
 ) -> Result<()> {
-    for layer in layers {
-        match layer.kind() {
-            LayerKind::Dense { .. } => {
-                let mut params = layer.params();
-                let weights = params[0].value.as_mut_slice();
-                let codebook = Codebook::from_kmeans(weights, clusters, rng)?;
-                codebook.quantize_slice(weights);
-            }
-            LayerKind::Conv2d {
+    // Fork one RNG per layer up front, in layer order, so quantizing
+    // the (independent) layers in parallel draws exactly the same
+    // random streams for any thread count. Errors propagate in layer
+    // order.
+    let rngs: Vec<SeededRng> = layers.iter().map(|_| rng.fork()).collect();
+    let results = rapidnn_pool::map_chunks_mut(layers, 1, |i, _, chunk| {
+        quantize_one(&mut chunk[0], clusters, rngs[i].clone())
+    });
+    for result in results {
+        result?;
+    }
+    Ok(())
+}
+
+fn quantize_one(layer: &mut Box<dyn Layer>, clusters: usize, mut rng: SeededRng) -> Result<()> {
+    match layer.kind() {
+        LayerKind::Dense { .. } => {
+            let mut params = layer.params();
+            let weights = params[0].value.as_mut_slice();
+            let codebook = Codebook::from_kmeans(weights, clusters, &mut rng)?;
+            codebook.quantize_slice(weights);
+        }
+        LayerKind::Conv2d {
+            geometry,
+            out_channels,
+        } => {
+            let kind = StageKind::Conv {
                 geometry,
                 out_channels,
-            } => {
-                let kind = StageKind::Conv {
-                    geometry,
-                    out_channels,
-                };
-                let patch_len = kind.edges_per_neuron();
-                let mut params = layer.params();
-                let weights = params[0].value.as_mut_slice();
-                for oc in 0..out_channels {
-                    let row = &mut weights[oc * patch_len..(oc + 1) * patch_len];
-                    let codebook = Codebook::from_kmeans(row, clusters, rng)?;
-                    codebook.quantize_slice(row);
-                }
+            };
+            let patch_len = kind.edges_per_neuron();
+            let mut params = layer.params();
+            let weights = params[0].value.as_mut_slice();
+            for oc in 0..out_channels {
+                let row = &mut weights[oc * patch_len..(oc + 1) * patch_len];
+                let codebook = Codebook::from_kmeans(row, clusters, &mut rng)?;
+                codebook.quantize_slice(row);
             }
-            LayerKind::Residual => {
-                if let Some(branch) = layer.branch_mut() {
-                    quantize_layers(branch, clusters, rng)?;
-                }
-            }
-            _ => {}
         }
+        LayerKind::Residual => {
+            if let Some(branch) = layer.branch_mut() {
+                // Nested parallelism runs inline on this worker.
+                quantize_layers(branch, clusters, &mut rng)?;
+            }
+        }
+        _ => {}
     }
     Ok(())
 }

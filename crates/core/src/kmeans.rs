@@ -5,9 +5,20 @@
 //! applies: clusters are contiguous intervals of the sorted value axis,
 //! assignment is a binary search over sorted centroids, and recursive
 //! bisection yields the tree codebook's prefix property.
+//!
+//! The Lloyd assignment pass runs chunk-parallel on the workspace pool:
+//! the sorted data is split into fixed-size chunks (independent of the
+//! worker count), each chunk computes per-centroid partial sums, and
+//! partials are merged in ascending chunk order — so centroids are
+//! bitwise-identical for any `RAPIDNN_THREADS` setting.
 
-use crate::{CoreError, Result};
+use crate::{nearest, CoreError, Result};
 use rapidnn_tensor::SeededRng;
+
+/// Fixed chunk size for the parallel assignment pass. Never derived
+/// from the thread count: chunk boundaries (and therefore the partial
+/// sums merged in chunk order) must not change when the pool grows.
+const ASSIGN_CHUNK: usize = 2048;
 
 /// Result of a k-means run.
 #[derive(Debug, Clone, PartialEq)]
@@ -103,19 +114,23 @@ fn lloyd(sorted: &[f32], mut centroids: Vec<f32>, config: &KmeansConfig) -> Clus
     let mut iterations = 0;
     loop {
         // Assignment: 1-D clusters are intervals; boundaries are centroid
-        // midpoints. Walk the sorted data once.
+        // midpoints. Each chunk walks its slice of the sorted data;
+        // partials merge in chunk order below, keeping the result
+        // independent of how chunks were scheduled.
+        let partials = rapidnn_pool::parallel_map(sorted.len(), ASSIGN_CHUNK, |_, range| {
+            assign_partial(&sorted[range], &centroids)
+        });
         let mut sums = vec![0.0f64; centroids.len()];
         let mut counts = vec![0usize; centroids.len()];
         let mut wcss = 0.0f64;
-        let mut c = 0usize;
-        for &v in sorted {
-            while c + 1 < centroids.len() && (v - centroids[c + 1]).abs() < (v - centroids[c]).abs()
-            {
-                c += 1;
+        for p in partials {
+            for (s, ps) in sums.iter_mut().zip(&p.sums) {
+                *s += ps;
             }
-            sums[c] += v as f64;
-            counts[c] += 1;
-            wcss += ((v - centroids[c]) as f64).powi(2);
+            for (n, pn) in counts.iter_mut().zip(&p.counts) {
+                *n += pn;
+            }
+            wcss += p.wcss;
         }
         // Update.
         for (i, centroid) in centroids.iter_mut().enumerate() {
@@ -145,17 +160,56 @@ fn lloyd(sorted: &[f32], mut centroids: Vec<f32>, config: &KmeansConfig) -> Clus
     }
 }
 
-/// WCSS of sorted data against sorted centroids (single forward pass).
-fn sorted_wcss(sorted: &[f32], centroids: &[f32]) -> f64 {
+/// Per-chunk partial of one Lloyd assignment pass.
+struct AssignPartial {
+    sums: Vec<f64>,
+    counts: Vec<usize>,
+    wcss: f64,
+}
+
+/// Assignment walk over one chunk of the sorted data. Starting the
+/// centroid cursor at 0 yields the same assignments as a single global
+/// walk: on sorted data the nearest-interval boundaries are monotone,
+/// so the cursor just catches up at the head of the chunk.
+fn assign_partial(chunk: &[f32], centroids: &[f32]) -> AssignPartial {
+    let mut sums = vec![0.0f64; centroids.len()];
+    let mut counts = vec![0usize; centroids.len()];
+    let mut wcss = 0.0f64;
     let mut c = 0usize;
-    let mut total = 0.0f64;
-    for &v in sorted {
+    for &v in chunk {
         while c + 1 < centroids.len() && (v - centroids[c + 1]).abs() < (v - centroids[c]).abs() {
             c += 1;
         }
-        total += ((v - centroids[c]) as f64).powi(2);
+        sums[c] += v as f64;
+        counts[c] += 1;
+        wcss += ((v - centroids[c]) as f64).powi(2);
     }
-    total
+    AssignPartial { sums, counts, wcss }
+}
+
+/// WCSS of sorted data against sorted centroids, chunk-parallel with
+/// the partial totals folded in chunk order.
+fn sorted_wcss(sorted: &[f32], centroids: &[f32]) -> f64 {
+    rapidnn_pool::parallel_map_reduce(
+        sorted.len(),
+        ASSIGN_CHUNK,
+        |_, range| {
+            let chunk = &sorted[range];
+            let mut c = 0usize;
+            let mut total = 0.0f64;
+            for &v in chunk {
+                while c + 1 < centroids.len()
+                    && (v - centroids[c + 1]).abs() < (v - centroids[c]).abs()
+                {
+                    c += 1;
+                }
+                total += ((v - centroids[c]) as f64).powi(2);
+            }
+            total
+        },
+        0.0f64,
+        |acc, part| acc + part,
+    )
 }
 
 /// k-means++ seeding over sorted data: first centroid uniform, the rest
@@ -216,16 +270,26 @@ pub fn cluster_naive_init(
     Ok(lloyd(&sorted, centroids, config))
 }
 
-/// Computes the WCSS of `values` against arbitrary `centroids` (used by
-/// tests and the tree-codebook builder).
+/// Computes the WCSS of `values` against arbitrary finite `centroids`
+/// (used by tests and the tree-codebook builder).
+///
+/// Sorts a local copy of the centroids and finds each value's nearest
+/// one with the branch-free total-order-key search shared with the
+/// serve kernels, instead of an `O(k)` distance scan per value.
 pub fn wcss(values: &[f32], centroids: &[f32]) -> f64 {
+    if centroids.is_empty() {
+        return values.iter().map(|_| f64::INFINITY).sum();
+    }
+    let mut sorted = centroids.to_vec();
+    sorted.sort_by(f32::total_cmp);
+    sorted.dedup();
+    let mut keys = Vec::new();
+    nearest::load_keys(&mut keys, &sorted);
     values
         .iter()
         .map(|&v| {
-            centroids
-                .iter()
-                .map(|&c| ((v - c) as f64).powi(2))
-                .fold(f64::INFINITY, f64::min)
+            let c = sorted[nearest::nearest_index(&sorted, &keys, v)];
+            ((v - c) as f64).powi(2)
         })
         .sum()
 }

@@ -47,6 +47,7 @@ mod composer;
 mod error;
 pub mod kmeans;
 mod lut;
+pub mod nearest;
 mod product;
 mod reinterpret;
 mod tree;

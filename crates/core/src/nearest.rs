@@ -1,0 +1,150 @@
+//! Branch-free nearest-representative search over `total_cmp`-sorted
+//! codebooks.
+//!
+//! Shared by the composer's encode paths and the serve-side batch
+//! kernels (where it originated): mapping each float to an integer
+//! whose natural order matches [`f32::total_cmp`] turns the nearest
+//! search into a count of integer compares with no data-dependent
+//! branches — the dominant cost of encoding random data through a
+//! small book. The result is bit-for-bit identical to a
+//! `binary_search_by(total_cmp)` plus neighbour tie-break (ties resolve
+//! to the smaller representative).
+
+/// Total-order key of an `f32`: an integer whose natural ordering is
+/// exactly [`f32::total_cmp`] (flip the payload bits of negative
+/// values).
+#[inline]
+pub fn total_key(v: f32) -> i32 {
+    let bits = v.to_bits() as i32;
+    bits ^ (((bits >> 31) as u32) >> 1) as i32
+}
+
+/// Fills `keys` with the total-order keys of `book`, reusing the
+/// allocation.
+pub fn load_keys(keys: &mut Vec<i32>, book: &[f32]) {
+    keys.clear();
+    keys.extend(book.iter().map(|&v| total_key(v)));
+}
+
+/// Nearest-representative search over a `total_cmp`-sorted codebook
+/// with precomputed `keys`, as a `u16` code. Counting keys below the
+/// probe gives the insertion point, the exact-match test keeps
+/// bit-identical behaviour for `-0.0`/`0.0` neighbours, and the
+/// boundary clamp folds into the final select.
+///
+/// # Panics
+///
+/// Panics when `book` is empty.
+#[inline]
+pub fn nearest_sorted(book: &[f32], keys: &[i32], value: f32) -> u16 {
+    nearest_index(book, keys, value) as u16
+}
+
+/// Index form of [`nearest_sorted`], for tables that may outgrow the
+/// `u16` code range (e.g. activation LUTs).
+///
+/// # Panics
+///
+/// Panics when `book` is empty.
+#[inline]
+pub fn nearest_index(book: &[f32], keys: &[i32], value: f32) -> usize {
+    let kv = total_key(value);
+    let mut ins = 0usize;
+    for &k in keys {
+        ins += (k < kv) as usize;
+    }
+    if ins < keys.len() && keys[ins] == kv {
+        return ins;
+    }
+    let hi = ins.min(book.len() - 1);
+    let lo = ins.saturating_sub(1).min(book.len() - 1);
+    // At the ends lo == hi, so the select is a no-op either way.
+    let take_lo = (value - book[lo]).abs() <= (book[hi] - value).abs();
+    hi - (take_lo as usize) * (hi - lo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference semantics: binary search over the total order, then
+    /// neighbour tie-break toward the smaller representative.
+    fn reference(book: &[f32], value: f32) -> usize {
+        match book.binary_search_by(|probe| probe.total_cmp(&value)) {
+            Ok(i) => i,
+            Err(0) => 0,
+            Err(i) if i >= book.len() => book.len() - 1,
+            Err(i) => {
+                let (lo, hi) = (i - 1, i);
+                if (value - book[lo]).abs() <= (book[hi] - value).abs() {
+                    lo
+                } else {
+                    hi
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matches_binary_search_reference() {
+        let books: &[&[f32]] = &[
+            &[0.0],
+            &[-1.25, -0.5, 0.2, 0.45],
+            &[-0.0, 0.0, 1.0],
+            &[f32::MIN, -1.0, 0.0, 1.0, f32::MAX],
+        ];
+        let probes = [
+            f32::NEG_INFINITY,
+            f32::MIN,
+            -2.0,
+            -1.25,
+            -0.875,
+            -0.5,
+            -0.15,
+            -0.0,
+            0.0,
+            f32::MIN_POSITIVE,
+            0.2,
+            0.325,
+            0.45,
+            1.0,
+            f32::MAX,
+            f32::INFINITY,
+            f32::NAN,
+        ];
+        let mut keys = Vec::new();
+        for book in books {
+            load_keys(&mut keys, book);
+            for &p in &probes {
+                assert_eq!(
+                    nearest_index(book, &keys, p),
+                    reference(book, p),
+                    "book={book:?} probe={p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn total_key_orders_like_total_cmp() {
+        let vals = [
+            f32::NEG_INFINITY,
+            -1.0,
+            -0.0,
+            0.0,
+            f32::MIN_POSITIVE,
+            1.0,
+            f32::INFINITY,
+            f32::NAN,
+        ];
+        for &a in &vals {
+            for &b in &vals {
+                assert_eq!(
+                    total_key(a).cmp(&total_key(b)),
+                    a.total_cmp(&b),
+                    "{a} vs {b}"
+                );
+            }
+        }
+    }
+}

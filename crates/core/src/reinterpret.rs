@@ -221,6 +221,10 @@ impl NeuronStage {
 }
 
 /// A stage of the reinterpreted pipeline.
+// One Stage exists per network layer, so the size skew between Neuron
+// and the pooling variants costs a few hundred bytes total — not worth
+// boxing a public variant over.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
 pub enum Stage {
     /// Weighted layer with table-ized multiply/activate/encode.
@@ -516,16 +520,29 @@ impl ReinterpretedNetwork {
 
     /// Runs encoded inference on a `batch x features` matrix.
     ///
+    /// Rows are sharded across the workspace pool in fixed-size chunks
+    /// assembled in row order, so the output (and any error surfaced)
+    /// is identical to a sequential row loop for any thread count.
+    ///
     /// # Errors
     ///
-    /// Propagates per-sample errors.
+    /// Propagates per-sample errors; the first error in row order wins.
     pub fn infer_batch(&self, inputs: &Tensor) -> Result<Tensor> {
+        /// Rows per shard; independent of the worker count.
+        const ROW_CHUNK: usize = 8;
         let batch = inputs.shape().dims()[0];
         let features = inputs.shape().dims()[1];
+        let chunks = rapidnn_pool::parallel_map(batch, ROW_CHUNK, |_, rows| {
+            let mut part = Vec::with_capacity(rows.len() * self.output_features);
+            for b in rows {
+                let sample = &inputs.as_slice()[b * features..(b + 1) * features];
+                part.extend(self.infer_sample(sample)?);
+            }
+            Ok::<Vec<f32>, CoreError>(part)
+        });
         let mut out = Vec::with_capacity(batch * self.output_features);
-        for b in 0..batch {
-            let sample = &inputs.as_slice()[b * features..(b + 1) * features];
-            out.extend(self.infer_sample(sample)?);
+        for chunk in chunks {
+            out.extend(chunk?);
         }
         Ok(Tensor::from_vec(
             Shape::matrix(batch, self.output_features),
@@ -723,6 +740,107 @@ struct Builder<'r> {
     rng: &'r mut rapidnn_tensor::SeededRng,
 }
 
+/// Self-contained clustering work for one weighted layer, snapshotted
+/// during the sequential walk. The RNGs are forked from the builder's
+/// stream in layer order, which is what makes the parallel clustering
+/// phase bitwise-independent of scheduling.
+#[derive(Debug)]
+struct NeuronJob {
+    kind: StageKind,
+    observations: Vec<f32>,
+    weights: Vec<f32>,
+    bias: Vec<f32>,
+    input_rng: rapidnn_tensor::SeededRng,
+    weight_rng: rapidnn_tensor::SeededRng,
+}
+
+/// Proto-stage before clustering has run.
+#[derive(Debug)]
+enum Pending {
+    Neuron {
+        job: Box<NeuronJob>,
+        activation: ActivationTable,
+    },
+    MaxPool(Conv2dGeometry),
+    AvgPool(Conv2dGeometry),
+    Residual {
+        stages: Vec<Stage>,
+        input_codebook: Option<Codebook>,
+    },
+}
+
+/// Proto-stage after clustering, before encoder wiring.
+#[derive(Debug)]
+enum Proto {
+    Neuron {
+        kind: StageKind,
+        weight_codebooks: Vec<Codebook>,
+        weight_codes: Vec<u16>,
+        bias: Vec<f32>,
+        input_codebook: Codebook,
+        activation: ActivationTable,
+    },
+    MaxPool(Conv2dGeometry),
+    AvgPool(Conv2dGeometry),
+    Residual {
+        stages: Vec<Stage>,
+        input_codebook: Option<Codebook>,
+    },
+}
+
+/// Clusters one neuron job: the observed inputs into the input
+/// codebook, then the weights (per §3.1: one codebook for a dense
+/// matrix, one per output channel for a convolution).
+fn cluster_neuron(
+    job: &NeuronJob,
+    options: &ReinterpretOptions,
+) -> Result<(Codebook, Vec<Codebook>, Vec<u16>)> {
+    let mut input_rng = job.input_rng.clone();
+    let input_codebook =
+        Codebook::from_kmeans(&job.observations, options.input_clusters, &mut input_rng)?;
+    let mut weight_rng = job.weight_rng.clone();
+    let (weight_codebooks, weight_codes) = cluster_weight_values(
+        &job.weights,
+        &job.kind,
+        options.weight_clusters,
+        &mut weight_rng,
+    )?;
+    Ok((input_codebook, weight_codebooks, weight_codes))
+}
+
+/// Weight clustering over a parameter snapshot.
+fn cluster_weight_values(
+    weights: &[f32],
+    kind: &StageKind,
+    weight_clusters: usize,
+    rng: &mut rapidnn_tensor::SeededRng,
+) -> Result<(Vec<Codebook>, Vec<u16>)> {
+    match kind {
+        StageKind::Dense { .. } => {
+            // One codebook for the whole matrix (§3.1).
+            let codebook = Codebook::from_kmeans(weights, weight_clusters, rng)?;
+            let codes = weights.iter().map(|&v| codebook.encode(v)).collect();
+            Ok((vec![codebook], codes))
+        }
+        StageKind::Conv {
+            geometry,
+            out_channels,
+        } => {
+            // One codebook per output channel (§3.1).
+            let patch_len = geometry.patch_len();
+            let mut codebooks = Vec::with_capacity(*out_channels);
+            let mut codes = Vec::with_capacity(weights.len());
+            for oc in 0..*out_channels {
+                let row = &weights[oc * patch_len..(oc + 1) * patch_len];
+                let codebook = Codebook::from_kmeans(row, weight_clusters, rng)?;
+                codes.extend(row.iter().map(|&v| codebook.encode(v)));
+                codebooks.push(codebook);
+            }
+            Ok((codebooks, codes))
+        }
+    }
+}
+
 impl Builder<'_> {
     /// Builds stages from `layers`, observing activations by running each
     /// layer on `sample`. Returns the stages plus the input codebook of the
@@ -737,26 +855,13 @@ impl Builder<'_> {
         sample: &Tensor,
         _emit_output_floats: bool,
     ) -> Result<(Vec<Stage>, Option<Codebook>)> {
-        // First pass: gather per-layer observations and proto-stage info.
-        #[derive(Debug)]
-        enum Proto {
-            Neuron {
-                kind: StageKind,
-                weight_codebooks: Vec<Codebook>,
-                weight_codes: Vec<u16>,
-                bias: Vec<f32>,
-                input_codebook: Codebook,
-                activation: ActivationTable,
-            },
-            MaxPool(Conv2dGeometry),
-            AvgPool(Conv2dGeometry),
-            Residual {
-                stages: Vec<Stage>,
-                input_codebook: Option<Codebook>,
-            },
-        }
-
-        let mut protos: Vec<Proto> = Vec::new();
+        // First pass (sequential): walk the layers, observe activations,
+        // and snapshot each weighted layer's clustering inputs into a
+        // self-contained job. Each job gets RNGs forked here, in layer
+        // order, so the clustering phase below is free to run the jobs
+        // in any order (or on any worker) without changing a single bit
+        // of the output.
+        let mut pending: Vec<Pending> = Vec::new();
         let mut current = sample.clone();
         let mut i = 0usize;
         while i < layers.len() {
@@ -776,15 +881,23 @@ impl Builder<'_> {
                         },
                         _ => unreachable!(),
                     };
-                    // Cluster observed inputs to this layer.
-                    let input_codebook = Codebook::from_kmeans(
-                        current.as_slice(),
-                        self.options.input_clusters,
-                        self.rng,
-                    )?;
-                    // Cluster the weights.
-                    let (weight_codebooks, weight_codes, bias) =
-                        self.cluster_weights(layers[i].as_mut(), &stage_kind)?;
+                    // Snapshot the observed inputs and the parameters;
+                    // both are clustered later, layer-parallel.
+                    let observations = current.as_slice().to_vec();
+                    let (weights, bias) = {
+                        let params = layers[i].params();
+                        if params.len() < 2 {
+                            return Err(CoreError::UnsupportedTopology(
+                                "weighted layer exposes no parameters".into(),
+                            ));
+                        }
+                        (
+                            params[0].value.as_slice().to_vec(),
+                            params[1].value.as_slice().to_vec(),
+                        )
+                    };
+                    let input_rng = self.rng.fork();
+                    let weight_rng = self.rng.fork();
                     // Forward through the weighted layer.
                     let pre_activation = layers[i].forward(&current, Mode::Eval)?;
                     // Peek at the following activation (skipping nothing —
@@ -802,12 +915,15 @@ impl Builder<'_> {
                     } else {
                         pre_activation
                     };
-                    protos.push(Proto::Neuron {
-                        kind: stage_kind,
-                        weight_codebooks,
-                        weight_codes,
-                        bias,
-                        input_codebook,
+                    pending.push(Pending::Neuron {
+                        job: Box::new(NeuronJob {
+                            kind: stage_kind,
+                            observations,
+                            weights,
+                            bias,
+                            input_rng,
+                            weight_rng,
+                        }),
                         activation,
                     });
                     i += 1 + consumed;
@@ -825,10 +941,10 @@ impl Builder<'_> {
                 }
                 LayerKind::Pool2d { geometry, is_max } => {
                     current = layers[i].forward(&current, Mode::Eval)?;
-                    protos.push(if is_max {
-                        Proto::MaxPool(geometry)
+                    pending.push(if is_max {
+                        Pending::MaxPool(geometry)
                     } else {
-                        Proto::AvgPool(geometry)
+                        Pending::AvgPool(geometry)
                     });
                     i += 1;
                 }
@@ -839,7 +955,7 @@ impl Builder<'_> {
                         CoreError::UnsupportedTopology("residual layer exposes no branch".into())
                     })?;
                     let (stages, first_cb) = self.build_stages(branch, &branch_input, true)?;
-                    protos.push(Proto::Residual {
+                    pending.push(Pending::Residual {
                         stages,
                         input_codebook: first_cb,
                     });
@@ -852,6 +968,42 @@ impl Builder<'_> {
                     )))
                 }
             }
+        }
+
+        // Clustering phase (layer-parallel): every job carries its own
+        // forked RNGs, so the codebooks are identical for any worker
+        // count. Errors propagate in layer order.
+        let options = self.options;
+        let clustered =
+            rapidnn_pool::parallel_map(pending.len(), 1, |idx, _| match &pending[idx] {
+                Pending::Neuron { job, .. } => Some(cluster_neuron(job, &options)),
+                _ => None,
+            });
+        let mut protos: Vec<Proto> = Vec::with_capacity(pending.len());
+        for (item, result) in pending.into_iter().zip(clustered) {
+            protos.push(match item {
+                Pending::Neuron { job, activation } => {
+                    let (input_codebook, weight_codebooks, weight_codes) =
+                        result.expect("neuron job produced a clustering result")?;
+                    Proto::Neuron {
+                        kind: job.kind,
+                        weight_codebooks,
+                        weight_codes,
+                        bias: job.bias,
+                        input_codebook,
+                        activation,
+                    }
+                }
+                Pending::MaxPool(g) => Proto::MaxPool(g),
+                Pending::AvgPool(g) => Proto::AvgPool(g),
+                Pending::Residual {
+                    stages,
+                    input_codebook,
+                } => Proto::Residual {
+                    stages,
+                    input_codebook,
+                },
+            });
         }
 
         // Second pass: wire encoders. Each neuron stage / residual join
@@ -955,49 +1107,6 @@ impl Builder<'_> {
             }
         }
         Ok((stages, first_codebook))
-    }
-
-    fn cluster_weights(
-        &mut self,
-        layer: &mut dyn Layer,
-        kind: &StageKind,
-    ) -> Result<(Vec<Codebook>, Vec<u16>, Vec<f32>)> {
-        let params = layer.params();
-        if params.len() < 2 {
-            return Err(CoreError::UnsupportedTopology(
-                "weighted layer exposes no parameters".into(),
-            ));
-        }
-        let bias = params[1].value.as_slice().to_vec();
-        let weights = params[0].value.as_slice().to_vec();
-        drop(params);
-
-        match kind {
-            StageKind::Dense { .. } => {
-                // One codebook for the whole matrix (§3.1).
-                let codebook =
-                    Codebook::from_kmeans(&weights, self.options.weight_clusters, self.rng)?;
-                let codes = weights.iter().map(|&v| codebook.encode(v)).collect();
-                Ok((vec![codebook], codes, bias))
-            }
-            StageKind::Conv {
-                geometry,
-                out_channels,
-            } => {
-                // One codebook per output channel (§3.1).
-                let patch_len = geometry.patch_len();
-                let mut codebooks = Vec::with_capacity(*out_channels);
-                let mut codes = Vec::with_capacity(weights.len());
-                for oc in 0..*out_channels {
-                    let row = &weights[oc * patch_len..(oc + 1) * patch_len];
-                    let codebook =
-                        Codebook::from_kmeans(row, self.options.weight_clusters, self.rng)?;
-                    codes.extend(row.iter().map(|&v| codebook.encode(v)));
-                    codebooks.push(codebook);
-                }
-                Ok((codebooks, codes, bias))
-            }
-        }
     }
 
     fn build_activation_table(

@@ -1,0 +1,121 @@
+//! Determinism properties of the parallel k-means passes: every output
+//! must be bitwise-identical to the sequential oracle (`with_threads(1)`)
+//! for any worker count, because chunk boundaries and the chunk-ordered
+//! merge are fixed by the data length, never by the pool size.
+
+use rapidnn_core::kmeans::{cluster, cluster_naive_init, wcss, KmeansConfig};
+use rapidnn_pool::with_threads;
+use rapidnn_tensor::SeededRng;
+
+/// Bit pattern of a clustering result, suitable for exact comparison.
+fn fingerprint(result: &rapidnn_core::kmeans::Clustering) -> (Vec<u32>, u64, usize) {
+    (
+        result.centroids.iter().map(|v| v.to_bits()).collect(),
+        result.wcss.to_bits(),
+        result.iterations,
+    )
+}
+
+/// Population sizes straddling the 2048-value assignment chunk:
+/// smaller than one chunk, an exact multiple, and odd remainders.
+const LENS: [usize; 4] = [97, 2048 * 2, 2048 * 3 + 17, 5001];
+
+#[test]
+fn kmeans_plus_plus_bitwise_identical_across_thread_counts() {
+    for (case, &len) in LENS.iter().enumerate() {
+        let mut data_rng = SeededRng::new(900 + case as u64);
+        let values: Vec<f32> = (0..len).map(|_| data_rng.uniform(-10.0, 10.0)).collect();
+        let config = KmeansConfig::default();
+        let oracle = with_threads(1, || {
+            let mut rng = SeededRng::new(7);
+            fingerprint(&cluster(&values, 16, &config, &mut rng).unwrap())
+        });
+        for threads in 2..=8 {
+            let got = with_threads(threads, || {
+                let mut rng = SeededRng::new(7);
+                fingerprint(&cluster(&values, 16, &config, &mut rng).unwrap())
+            });
+            assert_eq!(got, oracle, "len {len} diverged at {threads} threads");
+        }
+    }
+}
+
+#[test]
+fn naive_init_bitwise_identical_across_thread_counts() {
+    let mut data_rng = SeededRng::new(1234);
+    let values: Vec<f32> = (0..2048 * 3 + 17)
+        .map(|_| data_rng.uniform(-4.0, 4.0))
+        .collect();
+    let config = KmeansConfig::default();
+    let oracle = with_threads(1, || {
+        let mut rng = SeededRng::new(21);
+        fingerprint(&cluster_naive_init(&values, 12, &config, &mut rng).unwrap())
+    });
+    for threads in 2..=8 {
+        let got = with_threads(threads, || {
+            let mut rng = SeededRng::new(21);
+            fingerprint(&cluster_naive_init(&values, 12, &config, &mut rng).unwrap())
+        });
+        assert_eq!(got, oracle, "diverged at {threads} threads");
+    }
+}
+
+/// Duplicate-heavy populations collapse surplus centroids (the
+/// empty-cluster path); the collapse must be thread-count independent.
+#[test]
+fn duplicate_heavy_population_identical_across_thread_counts() {
+    let distinct = [-2.5_f32, 0.0, 1.25];
+    let values: Vec<f32> = (0..2048 + 577).map(|i| distinct[i % 3]).collect();
+    let config = KmeansConfig::default();
+    let oracle = with_threads(1, || {
+        let mut rng = SeededRng::new(3);
+        fingerprint(&cluster(&values, 8, &config, &mut rng).unwrap())
+    });
+    assert!(oracle.0.len() <= 3, "collapsed to the distinct values");
+    for threads in 2..=8 {
+        let got = with_threads(threads, || {
+            let mut rng = SeededRng::new(3);
+            fingerprint(&cluster(&values, 8, &config, &mut rng).unwrap())
+        });
+        assert_eq!(got, oracle, "diverged at {threads} threads");
+    }
+}
+
+/// Subsampled populations (len > max_samples) draw the same subsample for
+/// any worker count, because sampling happens on the calling thread.
+#[test]
+fn subsampled_population_identical_across_thread_counts() {
+    let mut data_rng = SeededRng::new(55);
+    let values: Vec<f32> = (0..3000).map(|_| data_rng.uniform(0.0, 1.0)).collect();
+    let config = KmeansConfig {
+        max_samples: 1000,
+        ..KmeansConfig::default()
+    };
+    let oracle = with_threads(1, || {
+        let mut rng = SeededRng::new(9);
+        fingerprint(&cluster(&values, 10, &config, &mut rng).unwrap())
+    });
+    for threads in [2, 4, 8] {
+        let got = with_threads(threads, || {
+            let mut rng = SeededRng::new(9);
+            fingerprint(&cluster(&values, 10, &config, &mut rng).unwrap())
+        });
+        assert_eq!(got, oracle, "diverged at {threads} threads");
+    }
+}
+
+/// The public WCSS helper agrees with the clustering's internal score on
+/// the exact population it clustered.
+#[test]
+fn wcss_helper_matches_internal_score() {
+    let mut data_rng = SeededRng::new(77);
+    let values: Vec<f32> = (0..513).map(|_| data_rng.uniform(-1.0, 1.0)).collect();
+    let mut rng = SeededRng::new(2);
+    let result = cluster(&values, 6, &KmeansConfig::default(), &mut rng).unwrap();
+    let recomputed = wcss(&values, &result.centroids);
+    assert!(
+        (result.wcss - recomputed).abs() <= 1e-9 * recomputed.max(1.0),
+        "{} vs {recomputed}",
+        result.wcss
+    );
+}

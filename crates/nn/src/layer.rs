@@ -62,7 +62,10 @@ pub enum LayerKind {
 /// receives the loss gradient with respect to the layer output and returns
 /// the gradient with respect to its input, accumulating parameter gradients
 /// internally for the optimizer to consume via [`Layer::params`].
-pub trait Layer: std::fmt::Debug {
+///
+/// Layers are `Send` so the composer can cluster and quantize
+/// independent layers on the workspace thread pool.
+pub trait Layer: std::fmt::Debug + Send {
     /// Computes the layer output for `input`.
     ///
     /// # Errors

@@ -1,0 +1,140 @@
+//! Stress tests for the pool's failure modes: a panicking chunk must
+//! not hang or poison the pool, nested scoped calls must complete
+//! inline, and concurrent submitters must both finish.
+
+use rapidnn_pool::{with_threads, ThreadPool};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Runs `f` on a watchdog thread; fails the test instead of hanging
+/// forever if the pool deadlocks.
+fn with_deadline(f: impl FnOnce() + Send + 'static) {
+    let (tx, rx) = std::sync::mpsc::channel();
+    let t = std::thread::spawn(move || {
+        f();
+        let _ = tx.send(());
+    });
+    rx.recv_timeout(Duration::from_secs(60))
+        .expect("pool operation deadlocked");
+    t.join().unwrap();
+}
+
+#[test]
+fn panicking_chunk_propagates_and_pool_survives() {
+    with_deadline(|| {
+        let pool = ThreadPool::new(4);
+        let ran = AtomicUsize::new(0);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run_chunks(64, |i| {
+                ran.fetch_add(1, Ordering::Relaxed);
+                if i == 13 {
+                    panic!("chunk 13 failed");
+                }
+            });
+        }));
+        let payload = caught.expect_err("panic must propagate to the caller");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or("");
+        assert_eq!(msg, "chunk 13 failed");
+        // Every chunk still ran (the job is driven to completion so
+        // workers re-join cleanly rather than abandoning the claim
+        // counters mid-job).
+        assert_eq!(ran.load(Ordering::Relaxed), 64);
+
+        // The pool is reusable after a panic.
+        let sum = pool.parallel_map_reduce(
+            1000,
+            17,
+            |_, range| range.sum::<usize>(),
+            0usize,
+            |a, b| a + b,
+        );
+        assert_eq!(sum, 999 * 1000 / 2);
+    });
+}
+
+#[test]
+fn first_of_many_panics_wins_and_join_is_clean() {
+    with_deadline(|| {
+        let pool = ThreadPool::new(8);
+        for _ in 0..20 {
+            let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                pool.run_chunks(32, |i| {
+                    if i % 3 == 0 {
+                        panic!("boom");
+                    }
+                });
+            }));
+            assert!(caught.is_err());
+        }
+        // Still functional after repeated panicking jobs.
+        let mut data = vec![0u32; 256];
+        pool.for_chunks_mut(&mut data, 9, |_, start, slice| {
+            for (off, v) in slice.iter_mut().enumerate() {
+                *v = (start + off) as u32;
+            }
+        });
+        assert!(data.iter().enumerate().all(|(i, &v)| v == i as u32));
+    });
+}
+
+#[test]
+fn nested_scoped_calls_run_inline_without_deadlock() {
+    with_deadline(|| {
+        let pool = Arc::new(ThreadPool::new(4));
+        let total = AtomicUsize::new(0);
+        let inner = &pool;
+        pool.run_chunks(16, |_| {
+            // A nested scoped call from inside a chunk must not wait on
+            // the (already occupied) job slot.
+            inner.run_chunks(8, |_| {
+                total.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 16 * 8);
+    });
+}
+
+#[test]
+fn concurrent_submitters_both_complete() {
+    with_deadline(|| {
+        let pool = Arc::new(ThreadPool::new(4));
+        let counter = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let pool = Arc::clone(&pool);
+                let counter = Arc::clone(&counter);
+                std::thread::spawn(move || {
+                    for _ in 0..50 {
+                        pool.run_chunks(32, |_| {
+                            counter.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 4 * 50 * 32);
+    });
+}
+
+#[test]
+fn with_threads_joins_scoped_pool_even_on_panic() {
+    with_deadline(|| {
+        let caught = std::panic::catch_unwind(|| {
+            with_threads(4, || {
+                rapidnn_pool::run_chunks(16, |i| {
+                    if i == 7 {
+                        panic!("scoped boom");
+                    }
+                });
+            });
+        });
+        assert!(caught.is_err());
+        // Override stack is popped; primitives still work.
+        let n = rapidnn_pool::parallel_map(10, 3, |i, _| i).len();
+        assert_eq!(n, 4);
+    });
+}

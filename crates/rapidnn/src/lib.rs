@@ -20,6 +20,20 @@
 //! | [`accel`] | `rapidnn-accel` | RNA/tile/chip simulator, Table 1 parameters |
 //! | [`baselines`] | `rapidnn-baselines` | GPU / DaDianNao / ISAAC / PipeLayer / Eyeriss / SnaPEA models |
 //! | [`serve`] | `rapidnn-serve` | compiled-model artifacts, batched multi-threaded serving engine |
+//! | [`pool`] | `rapidnn-pool` | deterministic chunked thread pool driving the composer |
+//!
+//! # Threading
+//!
+//! The composer's hot loops (k-means assignment, GEMM/im2col, per-layer
+//! clustering, the quality loop's validation pass) run on a process-wide
+//! thread pool. Set the `RAPIDNN_THREADS` environment variable to pick
+//! the worker count (it defaults to the machine's available parallelism);
+//! `RAPIDNN_THREADS=1` runs fully sequentially. Every parallel pass
+//! splits work into fixed-size chunks and merges partial results in
+//! chunk order, so results are **bitwise-identical for any thread
+//! count** — see [`pool`] and DESIGN.md for the contract. Tests can
+//! scope a pool with [`pool::with_threads`] instead of the environment
+//! variable.
 //!
 //! # Examples
 //!
@@ -49,5 +63,6 @@ pub use rapidnn_data as data;
 pub use rapidnn_memristor as memristor;
 pub use rapidnn_ndcam as ndcam;
 pub use rapidnn_nn as nn;
+pub use rapidnn_pool as pool;
 pub use rapidnn_serve as serve;
 pub use rapidnn_tensor as tensor;

@@ -1,0 +1,39 @@
+//! End-to-end determinism: the whole pipeline — training, layer-parallel
+//! clustering, the quality loop's sharded validation pass, and compiled
+//! inference — must produce bitwise-identical results for any worker
+//! count. `with_threads(1)` is the sequential oracle.
+
+use rapidnn::pool::with_threads;
+use rapidnn::tensor::SeededRng;
+use rapidnn::{Pipeline, PipelineConfig};
+
+/// Runs the tiny pipeline and compiled inference under `threads` workers,
+/// returning an exact bit-level fingerprint of everything float-valued.
+fn fingerprint(threads: usize) -> (u32, u32, Vec<u32>) {
+    with_threads(threads, || {
+        let mut rng = SeededRng::new(31);
+        let report = Pipeline::new(PipelineConfig::tiny_for_tests())
+            .run(&mut rng)
+            .unwrap();
+        let model = report.compile().unwrap();
+        let sample = &report.validation.inputs().as_slice()[..model.input_features()];
+        let output = model.infer(sample).unwrap();
+        (
+            report.compose.baseline_error.to_bits(),
+            report.compose.final_error.to_bits(),
+            output.iter().map(|v| v.to_bits()).collect(),
+        )
+    })
+}
+
+#[test]
+fn pipeline_bitwise_identical_across_thread_counts() {
+    let oracle = fingerprint(1);
+    for threads in [2, 4, 8] {
+        assert_eq!(
+            fingerprint(threads),
+            oracle,
+            "pipeline diverged at {threads} threads"
+        );
+    }
+}

@@ -69,10 +69,26 @@ impl EngineConfig {
     }
 }
 
+/// One batch's outputs, shared by every reply from that batch: the
+/// worker pays one allocation per *batch* instead of one `Vec` per
+/// request, and the requester copies its row out on its own thread.
+#[derive(Debug, Clone)]
+struct ReplySlice {
+    data: Arc<[f32]>,
+    start: usize,
+    len: usize,
+}
+
+impl ReplySlice {
+    fn to_vec(&self) -> Vec<f32> {
+        self.data[self.start..self.start + self.len].to_vec()
+    }
+}
+
 /// One queued request.
 struct Job {
     input: Vec<f32>,
-    reply: mpsc::Sender<Result<Vec<f32>>>,
+    reply: mpsc::Sender<Result<ReplySlice>>,
     enqueued: Instant,
 }
 
@@ -93,7 +109,7 @@ struct Shared {
 /// Handle to one in-flight request; redeem it with [`Ticket::wait`].
 #[derive(Debug)]
 pub struct Ticket {
-    reply: mpsc::Receiver<Result<Vec<f32>>>,
+    reply: mpsc::Receiver<Result<ReplySlice>>,
 }
 
 impl Ticket {
@@ -104,14 +120,17 @@ impl Ticket {
     /// Propagates the inference error, or [`ServeError::ShuttingDown`] if
     /// the engine died before answering.
     pub fn wait(self) -> Result<Vec<f32>> {
-        self.reply.recv().unwrap_or(Err(ServeError::ShuttingDown))
+        match self.reply.recv() {
+            Ok(result) => result.map(|slice| slice.to_vec()),
+            Err(_) => Err(ServeError::ShuttingDown),
+        }
     }
 
     /// Blocks until the response arrives or `timeout` elapses; `None` on
     /// timeout.
     pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<Vec<f32>>> {
         match self.reply.recv_timeout(timeout) {
-            Ok(result) => Some(result),
+            Ok(result) => Some(result.map(|slice| slice.to_vec())),
             Err(mpsc::RecvTimeoutError::Timeout) => None,
             Err(mpsc::RecvTimeoutError::Disconnected) => Some(Err(ServeError::ShuttingDown)),
         }
@@ -303,9 +322,11 @@ fn worker_loop(
     // sample once the high-water batch size has been seen.
     let mut runner = BatchRunner::for_model(&model, max_batch);
     let mut flat: Vec<f32> = Vec::with_capacity(max_batch * model.input_features());
-    let mut outputs: Vec<f32> = Vec::new();
+    let mut outputs: Vec<f32> = Vec::with_capacity(max_batch * model.output_features());
+    let mut batch: Vec<Job> = Vec::with_capacity(max_batch);
     loop {
-        let batch = {
+        batch.clear();
+        {
             let mut state = lock_state(&shared);
             // Sleep until there is work; exit only once the queue has
             // drained after shutdown.
@@ -322,19 +343,16 @@ fn worker_loop(
                     .unwrap_or_else(|e| e.into_inner());
             }
             // Gather a dynamic batch. The straggler wait runs from the
-            // first pop and ends at the earliest of: batch full,
+            // first drain and ends at the earliest of: batch full,
             // shutdown, or `max_wait` elapsed — whatever raced in by
             // the deadline still joins the batch, but a partial batch
-            // is never held past it.
-            let mut batch = Vec::with_capacity(max_batch);
+            // is never held past it. Each pass moves everything the
+            // queue holds in one bulk drain rather than popping (and
+            // bounds-checking) per request.
             let deadline = Instant::now() + max_wait;
             loop {
-                while batch.len() < max_batch {
-                    match state.jobs.pop_front() {
-                        Some(job) => batch.push(job),
-                        None => break,
-                    }
-                }
+                let take = (max_batch - batch.len()).min(state.jobs.len());
+                batch.extend(state.jobs.drain(..take));
                 if batch.len() >= max_batch || state.shutting_down {
                     break;
                 }
@@ -352,8 +370,7 @@ fn worker_loop(
                 }
             }
             metrics.set_queue_depth(state.jobs.len());
-            batch
-        };
+        }
         if batch.is_empty() {
             continue;
         }
@@ -374,12 +391,18 @@ fn worker_loop(
         let width = model.output_features();
         match run {
             Ok(Ok(_)) => {
+                // One shared allocation carries the whole batch's
+                // outputs; each requester copies its row out on its own
+                // thread when it redeems the ticket.
+                let data: Arc<[f32]> = Arc::from(&outputs[..batch.len() * width]);
                 for (i, job) in batch.iter().enumerate() {
                     metrics.record_completion(job.enqueued.elapsed(), true);
                     // The requester may have dropped its ticket; fine.
-                    let _ = job
-                        .reply
-                        .send(Ok(outputs[i * width..(i + 1) * width].to_vec()));
+                    let _ = job.reply.send(Ok(ReplySlice {
+                        data: Arc::clone(&data),
+                        start: i * width,
+                        len: width,
+                    }));
                 }
             }
             Ok(Err(err)) => {

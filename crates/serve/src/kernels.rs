@@ -43,6 +43,10 @@
 
 use crate::artifact::{ActRef, CompiledModel, Geom, Op, Span, TableRef};
 use crate::error::{ArtifactError, Result, ServeError};
+// The branch-free nearest-representative search originated here and now
+// lives in `rapidnn_core::nearest`, shared with the composer's encode
+// paths so both sides pay the same cost per encode.
+use rapidnn_core::nearest::{load_keys, nearest_index, nearest_sorted};
 
 /// Domain of the data currently flowing between ops.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -92,7 +96,8 @@ pub struct BatchRunner {
     /// Entries are reused across batches; only `0..depth` are live.
     skips: Vec<Vec<f32>>,
     /// Total-order keys of the codebook currently being encoded
-    /// through, recomputed per encode step (see [`total_key`]).
+    /// through, recomputed per encode step (see
+    /// [`rapidnn_core::nearest::total_key`]).
     keys: Vec<i32>,
     /// Total-order keys of the activation lookup table currently being
     /// applied (alive at the same time as the encoder's `keys`).
@@ -589,53 +594,6 @@ fn plan(model: &CompiledModel) -> Plan {
         p.max_width = p.max_width.max(width);
     }
     p
-}
-
-/// Total-order key of an `f32`: an integer whose natural ordering is
-/// exactly [`f32::total_cmp`] (flip the payload bits of negative
-/// values). Lets the nearest-representative search compare with plain
-/// integer compares instead of branchy float total-order logic.
-#[inline]
-fn total_key(v: f32) -> i32 {
-    let bits = v.to_bits() as i32;
-    bits ^ (((bits >> 31) as u32) >> 1) as i32
-}
-
-/// Caches the total-order keys of `book` into the runner's scratch.
-fn load_keys(keys: &mut Vec<i32>, book: &[f32]) {
-    keys.clear();
-    keys.extend(book.iter().map(|&v| total_key(v)));
-}
-
-/// Nearest-representative search over a `total_cmp`-sorted codebook,
-/// returning exactly what `artifact::nearest`'s binary search returns
-/// but branch-free: counting keys below the probe gives the insertion
-/// point (no data-dependent branches to mispredict — the dominant cost
-/// of encoding random data through a small book), the exact-match test
-/// keeps bit-identical behaviour for `-0.0`/`0.0` neighbours, and the
-/// boundary clamp folds into the final select.
-#[inline]
-fn nearest_sorted(book: &[f32], keys: &[i32], value: f32) -> u16 {
-    nearest_index(book, keys, value) as u16
-}
-
-/// Index form of [`nearest_sorted`], also used for activation-LUT
-/// lookups (whose tables may outgrow the `u16` code range).
-#[inline]
-fn nearest_index(book: &[f32], keys: &[i32], value: f32) -> usize {
-    let kv = total_key(value);
-    let mut ins = 0usize;
-    for &k in keys {
-        ins += (k < kv) as usize;
-    }
-    if ins < keys.len() && keys[ins] == kv {
-        return ins;
-    }
-    let hi = ins.min(book.len() - 1);
-    let lo = ins.saturating_sub(1).min(book.len() - 1);
-    // At the ends lo == hi, so the select is a no-op either way.
-    let take_lo = (value - book[lo]).abs() <= (book[hi] - value).abs();
-    hi - (take_lo as usize) * (hi - lo)
 }
 
 /// Dense over one [`LANES`]-row block: for each output neuron, [`LANES`]

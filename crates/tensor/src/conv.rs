@@ -143,9 +143,15 @@ pub fn im2col(input: &Tensor, geom: &Conv2dGeometry) -> Result<Tensor> {
     let patch_len = geom.patch_len();
     let out_pixels = geom.out_pixels();
     let mut cols = vec![0.0f32; patch_len * out_pixels];
+    if cols.is_empty() {
+        return Tensor::from_vec(Shape::matrix(patch_len, out_pixels), cols);
+    }
 
-    let mut patch_row = 0;
-    for ch in 0..c {
+    // Each input channel fills its own contiguous band of patch rows —
+    // pure data movement into disjoint regions, so channel-parallel
+    // gathering is trivially identical to the sequential sweep.
+    let gather_channel = |ch: usize, band: &mut [f32]| {
+        let mut patch_row = 0;
         for kh in 0..geom.kernel_h {
             for kw in 0..geom.kernel_w {
                 for oy in 0..geom.out_height {
@@ -159,11 +165,21 @@ pub fn im2col(input: &Tensor, geom: &Conv2dGeometry) -> Result<Tensor> {
                         } else {
                             0.0
                         };
-                        cols[patch_row * out_pixels + p] = value;
+                        band[patch_row * out_pixels + p] = value;
                     }
                 }
                 patch_row += 1;
             }
+        }
+    };
+    let per_channel = geom.kernel_h * geom.kernel_w * out_pixels;
+    if c > 1 && cols.len() >= 1 << 14 {
+        rapidnn_pool::for_chunks_mut(&mut cols, per_channel, |ch, _, band| {
+            gather_channel(ch, band);
+        });
+    } else {
+        for (ch, band) in cols.chunks_mut(per_channel).enumerate() {
+            gather_channel(ch, band);
         }
     }
     Tensor::from_vec(Shape::matrix(patch_len, out_pixels), cols)

@@ -1,7 +1,18 @@
 use crate::{Result, Shape, Tensor, TensorError};
 
-/// Block size used by the cache-blocked GEMM kernel.
+/// Block size used by the cache-blocked GEMM kernel. Also the parallel
+/// row-chunk size, so chunk boundaries coincide with the sequential
+/// kernel's row blocks and the parallel path is bit-identical.
 const BLOCK: usize = 32;
+
+/// Minimum multiply-accumulate count before a kernel fans out across
+/// the pool; below this, dispatch overhead dwarfs the work. The gate
+/// depends only on problem size (never on thread count), so which path
+/// runs is itself deterministic.
+const PAR_MIN_FLOPS: usize = 1 << 15;
+
+/// Row-chunk size for the parallel matrix-vector product.
+const MATVEC_CHUNK: usize = 64;
 
 /// General matrix-matrix product `C = A · B` for rank-2 tensors.
 ///
@@ -48,27 +59,43 @@ pub fn gemm(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     let lhs = a.as_slice();
     let rhs = b.as_slice();
     let mut out = vec![0.0f32; m * n];
+    if n == 0 || ka == 0 {
+        return Tensor::from_vec(Shape::matrix(m, n), out);
+    }
 
-    for ib in (0..m).step_by(BLOCK) {
+    // One chunk = one BLOCK-row band of the output. Each output element
+    // accumulates its k-products in the same (kb, k) order as the
+    // sequential kernel, and bands never share output rows, so the
+    // result is bit-identical no matter how chunks are scheduled.
+    let band = |ib: usize, rows: &mut [f32]| {
+        let i_end = ib + rows.len() / n;
         for kb_start in (0..ka).step_by(BLOCK) {
             for jb in (0..n).step_by(BLOCK) {
-                let i_end = (ib + BLOCK).min(m);
                 let k_end = (kb_start + BLOCK).min(ka);
                 let j_end = (jb + BLOCK).min(n);
                 for i in ib..i_end {
+                    let local = (i - ib) * n;
                     for k in kb_start..k_end {
                         let aik = lhs[i * ka + k];
                         if aik == 0.0 {
                             continue;
                         }
                         let row = &rhs[k * n + jb..k * n + j_end];
-                        let dst = &mut out[i * n + jb..i * n + j_end];
+                        let dst = &mut rows[local + jb..local + j_end];
                         for (d, &r) in dst.iter_mut().zip(row) {
                             *d += aik * r;
                         }
                     }
                 }
             }
+        }
+    };
+    let chunk = BLOCK * n;
+    if m > BLOCK && m.saturating_mul(ka).saturating_mul(n) >= PAR_MIN_FLOPS {
+        rapidnn_pool::for_chunks_mut(&mut out, chunk, |_, start, rows| band(start / n, rows));
+    } else {
+        for (ci, rows) in out.chunks_mut(chunk).enumerate() {
+            band(ci * BLOCK, rows);
         }
     }
     Tensor::from_vec(Shape::matrix(m, n), out)
@@ -104,9 +131,21 @@ pub fn matvec(a: &Tensor, x: &Tensor) -> Result<Tensor> {
     let lhs = a.as_slice();
     let v = x.as_slice();
     let mut out = vec![0.0f32; m];
-    for (i, o) in out.iter_mut().enumerate() {
-        let row = &lhs[i * k..(i + 1) * k];
-        *o = row.iter().zip(v).map(|(&a, &b)| a * b).sum();
+    // Each output element is one independent dot product, so row chunks
+    // are bit-identical to the sequential loop by construction.
+    let rows = |start: usize, chunk_out: &mut [f32]| {
+        for (off, o) in chunk_out.iter_mut().enumerate() {
+            let i = start + off;
+            let row = &lhs[i * k..(i + 1) * k];
+            *o = row.iter().zip(v).map(|(&a, &b)| a * b).sum();
+        }
+    };
+    if m > MATVEC_CHUNK && m.saturating_mul(k) >= PAR_MIN_FLOPS {
+        rapidnn_pool::for_chunks_mut(&mut out, MATVEC_CHUNK, |_, start, chunk| {
+            rows(start, chunk);
+        });
+    } else {
+        rows(0, &mut out);
     }
     Tensor::from_vec(Shape::vector(m), out)
 }
