@@ -52,8 +52,7 @@ impl AreaBreakdown {
         self.fractions()
             .into_iter()
             .find(|(l, _)| *l == label)
-            .map(|(_, f)| f)
-            .unwrap_or(0.0)
+            .map_or(0.0, |(_, f)| f)
     }
 }
 

@@ -46,6 +46,6 @@ mod sim;
 pub use accumulate::{decompose_counter, operand_count, AccumulateReport, WeightedAccumulator};
 pub use area::{rna_area_breakdown, system_area_breakdown, AreaBreakdown};
 pub use metrics::{BlockBreakdown, BlockClass, HardwareReport};
-pub use params::AcceleratorConfig;
+pub use params::{AcceleratorConfig, DatapathModel};
 pub use rna::{neuron_cost, RnaCost};
 pub use sim::{SimulationReport, Simulator, StageCost};

@@ -55,6 +55,65 @@ pub const COUNTER_BITS: u32 = 12;
 /// Fixed-point width of accumulated values inside the crossbar adder.
 pub const ACCUMULATOR_BITS: u32 = 16;
 
+/// Bit-width model of the RNA accumulation datapath, exposed for static
+/// analysis: the per-weight occurrence counters saturate at
+/// [`COUNTER_BITS`], and the shift-add tree accumulates into a signed
+/// fixed-point word of [`ACCUMULATOR_BITS`] with `fraction_bits` of
+/// sub-unit precision.
+///
+/// The software pipeline computes in `f32` and never wraps; this model
+/// answers the *hardware* question — would the same network overflow
+/// the paper's Table 1 datapath? `rapidnn-analyze` compares statically
+/// derived value ranges against [`max_count`](Self::max_count) and
+/// [`max_accumulator_magnitude`](Self::max_accumulator_magnitude) and
+/// reports exceedances as warnings.
+///
+/// # Examples
+///
+/// ```
+/// use rapidnn_accel::DatapathModel;
+///
+/// let dp = DatapathModel::paper();
+/// assert_eq!(dp.max_count(), 4095);
+/// assert!(dp.max_accumulator_magnitude() < 128.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DatapathModel {
+    /// Width of the per-weight occurrence counters (Table 1: 12).
+    pub counter_bits: u32,
+    /// Width of the signed fixed-point accumulator word (Table 1: 16).
+    pub accumulator_bits: u32,
+    /// Fraction bits of the accumulator's fixed-point format. The paper
+    /// does not pin the split; the default Q8.8 leaves integer headroom
+    /// for |sum| < 128 on normalized activations.
+    pub fraction_bits: u32,
+}
+
+impl DatapathModel {
+    /// Table 1 widths with a Q8.8 accumulator split.
+    pub const fn paper() -> Self {
+        DatapathModel {
+            counter_bits: COUNTER_BITS,
+            accumulator_bits: ACCUMULATOR_BITS,
+            fraction_bits: 8,
+        }
+    }
+
+    /// Largest occurrence count a counter can hold before saturating.
+    pub const fn max_count(&self) -> u64 {
+        (1u64 << self.counter_bits) - 1
+    }
+
+    /// Largest magnitude representable in the signed fixed-point
+    /// accumulator word.
+    pub fn max_accumulator_magnitude(&self) -> f64 {
+        let frac = self
+            .fraction_bits
+            .min(self.accumulator_bits.saturating_sub(1));
+        ((1u64 << (self.accumulator_bits - 1)) - 1) as f64 / (1u64 << frac) as f64
+    }
+}
+
 /// Chip-level configuration of the accelerator.
 ///
 /// # Examples

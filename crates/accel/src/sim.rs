@@ -111,7 +111,7 @@ impl Simulator {
                         .unwrap_or(1);
                     let u = neuron.input_codebook().len();
                     let act_rows = neuron.activation().rows();
-                    let enc_rows = neuron.encoder().map_or(0, |e| e.rows());
+                    let enc_rows = neuron.encoder().map_or(0, rapidnn_core::EncoderTable::rows);
                     let cost = neuron_cost(edges, w, u, act_rows, enc_rows);
                     out.push(self.neuron_stage_cost(
                         match kind {

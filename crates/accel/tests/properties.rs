@@ -38,10 +38,7 @@ fn accumulation_precision_scales() {
         let total_count: u32 = slots.iter().map(|&(_, c)| c).sum();
         assert!(
             (got - expected).abs() <= lsb * (0.5 * total_count as f32 + 2.0) + 1e-4,
-            "{} vs {} at {} bits",
-            got,
-            expected,
-            bits
+            "{got} vs {expected} at {bits} bits",
         );
     });
 }

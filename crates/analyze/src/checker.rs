@@ -1,0 +1,999 @@
+//! The abstract interpreter.
+//!
+//! One forward walk over the op program tracks, per program point, the
+//! value-vector *width*, the *domain* (encoded codes vs decoded
+//! floats), and for each an abstract value:
+//!
+//! * decoded values carry an [`Interval`] hull;
+//! * encoded values carry the codebook, the reachable code range
+//!   (contiguous, because nearest-encode over a sorted book is
+//!   monotone in the probe — see `rapidnn_core::nearest`), and the
+//!   interval of the representatives that range decodes to.
+//!
+//! The walk proves the structural invariants the serving runtime's
+//! `validate` relies on (span bounds, code domains, geometry, width
+//! chaining — every check there has a mirror here, as an `error`), and
+//! layers value-level findings on top: non-finite reachable entries
+//! (`error`), hardware bit-width exceedances against
+//! [`DatapathModel`] (`warning`), and liveness — dead codebook
+//! entries, unused product-table rows, dead columns and LUT rows
+//! (`warning`/`note`). Ops form a straight line, so every op is
+//! reachable by construction; liveness findings are about dead *data*.
+//!
+//! The walk stops at the first `error`: later ops would be analyzed
+//! against a flow state the error already invalidated.
+
+use crate::diag::{DiagCode, Diagnostic, Report};
+use crate::interval::Interval;
+use crate::program::{Act, Geom, Op, Program, Span, TableRef};
+use rapidnn_accel::DatapathModel;
+use rapidnn_core::nearest::{load_keys, nearest_range};
+
+/// Mirror of the serving format's extent cap (`1 << 31`): no single
+/// dimension may exceed it, keeping index arithmetic far from overflow.
+const MAX_EXTENT: u64 = 1 << 31;
+/// Mirror of the serving format's codebook cap: codes are `u16`, so a
+/// longer book would make nearest-encode silently wrap indices.
+const MAX_CODEBOOK_LEN: usize = 1 << 16;
+
+/// Analyzes `program` against the paper's Table 1 datapath widths.
+pub fn analyze(program: &Program<'_>) -> Report {
+    analyze_with(program, DatapathModel::paper())
+}
+
+/// Analyzes `program` against an explicit hardware datapath model.
+pub fn analyze_with(program: &Program<'_>, datapath: DatapathModel) -> Report {
+    let mut checker = Checker {
+        input_features: program.input_features,
+        output_features: program.output_features,
+        virtual_encoder: program.virtual_encoder,
+        ops: &program.ops,
+        floats: &program.floats,
+        codes: &program.codes,
+        datapath,
+        report: Report::new(),
+    };
+    // The Err case carries no data: the fatal diagnostic is already in
+    // the report when the walk unwinds.
+    let _ = checker.run();
+    checker.report
+}
+
+/// A checked codebook: bounds-valid, non-empty, addressable, finite.
+struct Book {
+    span: Span,
+    /// Sorted by `total_cmp`? When false the nearest map is not
+    /// monotone and reachability falls back to the full range.
+    sorted: bool,
+    /// Hull of every entry.
+    interval: Interval,
+    /// Total-order keys for [`nearest_range`] (empty when unsorted).
+    keys: Vec<i32>,
+}
+
+impl Book {
+    fn len(&self) -> usize {
+        self.span.len
+    }
+}
+
+/// Abstract state of the value vector between ops.
+#[derive(Clone, Copy)]
+enum Flow {
+    /// Encoded: codes in `reach` (inclusive) over a `domain`-entry
+    /// book, decoding into `interval`.
+    Codes {
+        domain: usize,
+        reach: (usize, usize),
+        interval: Interval,
+    },
+    /// Decoded floats bounded by `interval`.
+    Floats { interval: Interval },
+}
+
+struct Checker<'p> {
+    input_features: usize,
+    output_features: usize,
+    virtual_encoder: Span,
+    ops: &'p [Op],
+    floats: &'p [f32],
+    codes: &'p [u16],
+    datapath: DatapathModel,
+    report: Report,
+}
+
+/// Fatal-error sentinel: the diagnostic is already reported.
+struct Halt;
+
+impl<'p> Checker<'p> {
+    fn error(&mut self, code: DiagCode, op: Option<usize>, msg: String) -> Halt {
+        self.report.push(Diagnostic::new(code, op, msg));
+        Halt
+    }
+
+    fn warn(&mut self, code: DiagCode, op: Option<usize>, msg: String) {
+        self.report.push(Diagnostic::new(code, op, msg));
+    }
+
+    // ------------------------------------------------------------------
+    // Structural primitives (each mirrors a `validate` check in
+    // rapidnn-serve; an `error` here must imply rejection there would
+    // not have been *weaker* — see the subsumption test in that crate).
+    // ------------------------------------------------------------------
+
+    fn floats_span(&mut self, op: Option<usize>, s: Span, what: &str) -> Result<&'p [f32], Halt> {
+        match s.start.checked_add(s.len) {
+            Some(end) if end <= self.floats.len() => Ok(&self.floats[s.start..s.start + s.len]),
+            _ => Err(self.error(
+                DiagCode::SpanOutOfBounds,
+                op,
+                format!(
+                    "{what}: float span {}+{} exceeds pool of {}",
+                    s.start,
+                    s.len,
+                    self.floats.len()
+                ),
+            )),
+        }
+    }
+
+    fn codes_span(&mut self, op: Option<usize>, s: Span, what: &str) -> Result<&'p [u16], Halt> {
+        match s.start.checked_add(s.len) {
+            Some(end) if end <= self.codes.len() => Ok(&self.codes[s.start..s.start + s.len]),
+            _ => Err(self.error(
+                DiagCode::SpanOutOfBounds,
+                op,
+                format!(
+                    "{what}: code span {}+{} exceeds pool of {}",
+                    s.start,
+                    s.len,
+                    self.codes.len()
+                ),
+            )),
+        }
+    }
+
+    /// Checks a codebook span: in bounds, non-empty, addressable by a
+    /// `u16` code, every entry finite. Unsortedness is a warning (the
+    /// runtime stays in bounds, but reachability degrades to the full
+    /// range).
+    fn codebook(&mut self, op: Option<usize>, s: Span, what: &str) -> Result<Book, Halt> {
+        let values = self.floats_span(op, s, what)?;
+        if values.is_empty() {
+            return Err(self.error(DiagCode::EmptyTable, op, format!("{what}: empty codebook")));
+        }
+        if values.len() > MAX_CODEBOOK_LEN {
+            return Err(self.error(
+                DiagCode::OversizedCodebook,
+                op,
+                format!(
+                    "{what}: codebook holds {} values, 16-bit codes address at most {}",
+                    values.len(),
+                    MAX_CODEBOOK_LEN
+                ),
+            ));
+        }
+        let Some(interval) = Interval::of_slice(values) else {
+            let bad = values.iter().find(|v| !v.is_finite()).copied();
+            return Err(self.error(
+                DiagCode::NonFinite,
+                op,
+                format!(
+                    "{what}: codebook contains non-finite centroid {}",
+                    bad.map_or_else(|| "?".into(), |v| v.to_string())
+                ),
+            ));
+        };
+        let sorted = values
+            .windows(2)
+            .all(|w| w[0].total_cmp(&w[1]) != std::cmp::Ordering::Greater);
+        let mut keys = Vec::new();
+        if sorted {
+            load_keys(&mut keys, values);
+        } else {
+            self.warn(
+                DiagCode::UnsortedCodebook,
+                op,
+                format!("{what}: codebook is not sorted; treating every entry as reachable"),
+            );
+        }
+        Ok(Book {
+            span: s,
+            sorted,
+            interval,
+            keys,
+        })
+    }
+
+    /// Mirror of `validate_geom`: dimensions non-zero and capped,
+    /// output dims recomputed from input/kernel/stride/pad, volumes
+    /// capped.
+    fn check_geom(&mut self, op: usize, g: &Geom, label: &str) -> Result<(), Halt> {
+        let dims = [
+            g.in_channels,
+            g.in_height,
+            g.in_width,
+            g.kernel_h,
+            g.kernel_w,
+            g.stride,
+        ];
+        if dims.contains(&0) {
+            return Err(self.error(
+                DiagCode::GeometryInvalid,
+                Some(op),
+                format!("{label}: geometry has a zero dimension"),
+            ));
+        }
+        let all = [
+            g.in_channels,
+            g.in_height,
+            g.in_width,
+            g.kernel_h,
+            g.kernel_w,
+            g.stride,
+            g.pad,
+            g.out_height,
+            g.out_width,
+        ];
+        if all.iter().any(|&d| d as u64 > MAX_EXTENT) {
+            return Err(self.error(
+                DiagCode::GeometryInvalid,
+                Some(op),
+                format!("{label}: geometry dimension too large"),
+            ));
+        }
+        let padded_h = g.in_height + 2 * g.pad;
+        let padded_w = g.in_width + 2 * g.pad;
+        if padded_h < g.kernel_h || padded_w < g.kernel_w {
+            return Err(self.error(
+                DiagCode::GeometryInvalid,
+                Some(op),
+                format!(
+                    "{label}: {}x{} kernel larger than padded {padded_h}x{padded_w} input",
+                    g.kernel_h, g.kernel_w
+                ),
+            ));
+        }
+        if g.out_height != (padded_h - g.kernel_h) / g.stride + 1
+            || g.out_width != (padded_w - g.kernel_w) / g.stride + 1
+        {
+            return Err(self.error(
+                DiagCode::GeometryInvalid,
+                Some(op),
+                format!(
+                    "{label}: declared {}x{} output inconsistent with geometry",
+                    g.out_height, g.out_width
+                ),
+            ));
+        }
+        let volume = g.in_channels as u64 * g.in_height as u64 * g.in_width as u64;
+        let out_volume = g.in_channels as u64 * g.out_height as u64 * g.out_width as u64;
+        let patch = g.in_channels as u64 * g.kernel_h as u64 * g.kernel_w as u64;
+        if volume > MAX_EXTENT || out_volume > MAX_EXTENT || patch > MAX_EXTENT {
+            return Err(self.error(
+                DiagCode::GeometryInvalid,
+                Some(op),
+                format!("{label}: geometry volume too large"),
+            ));
+        }
+        Ok(())
+    }
+
+    /// A pool geometry additionally requires zero padding: pool kernels
+    /// index `data[ch*h*w + (oy*s+kh)*w + ox*s+kw]` without padding, so
+    /// any non-zero pad reads out of bounds (PR 1 panic class).
+    fn check_pool_geom(
+        &mut self,
+        op: usize,
+        g: &Geom,
+        width: usize,
+        label: &str,
+    ) -> Result<usize, Halt> {
+        self.check_geom(op, g, label)?;
+        if g.pad != 0 {
+            let diag = Diagnostic::new(
+                DiagCode::PaddedPool,
+                Some(op),
+                format!(
+                    "{label}: pool declares padding {} but pool kernels index without padding",
+                    g.pad
+                ),
+            )
+            .with_note(format!(
+                "{}x{}x{} input, {}x{} kernel, stride {} -> {}x{} output",
+                g.in_channels,
+                g.in_height,
+                g.in_width,
+                g.kernel_h,
+                g.kernel_w,
+                g.stride,
+                g.out_height,
+                g.out_width
+            ));
+            self.report.push(diag);
+            return Err(Halt);
+        }
+        if g.in_volume() != width {
+            return Err(self.error(
+                DiagCode::ShapeMismatch,
+                Some(op),
+                format!(
+                    "{label}: pool expects {} inputs, flow width is {width}",
+                    g.in_volume()
+                ),
+            ));
+        }
+        match g.in_channels.checked_mul(g.out_pixels()) {
+            Some(w) => Ok(w),
+            None => Err(self.error(
+                DiagCode::SpanOutOfBounds,
+                Some(op),
+                format!("{label}: output volume overflows"),
+            )),
+        }
+    }
+
+    /// Mirror of `check_table` plus the dead-column note: non-empty,
+    /// in bounds, and wide enough for every upstream code.
+    fn check_table(
+        &mut self,
+        op: usize,
+        t: &TableRef,
+        domain: usize,
+        label: &str,
+    ) -> Result<(), Halt> {
+        if t.weight_count == 0 || t.input_count == 0 {
+            return Err(self.error(
+                DiagCode::EmptyTable,
+                Some(op),
+                format!("{label}: empty product table"),
+            ));
+        }
+        let Some(len) = t.weight_count.checked_mul(t.input_count) else {
+            return Err(self.error(
+                DiagCode::SpanOutOfBounds,
+                Some(op),
+                format!("{label}: product table size overflows"),
+            ));
+        };
+        self.floats_span(
+            Some(op),
+            Span {
+                start: t.offset,
+                len,
+            },
+            &format!("{label}: product table"),
+        )?;
+        if t.input_count < domain {
+            return Err(self.error(
+                DiagCode::IndexOutOfBounds,
+                Some(op),
+                format!(
+                    "{label}: product table addresses {} input codes, upstream domain is {domain}",
+                    t.input_count
+                ),
+            ));
+        }
+        if t.input_count > domain {
+            self.report.push(Diagnostic::new(
+                DiagCode::DeadTableColumns,
+                Some(op),
+                format!(
+                    "{label}: {} of {} product-table columns lie beyond the {domain}-entry input codebook",
+                    t.input_count - domain,
+                    t.input_count
+                ),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Bias span: in bounds, expected length, finite.
+    fn check_bias(
+        &mut self,
+        op: usize,
+        s: Span,
+        expected: usize,
+        label: &str,
+    ) -> Result<&'p [f32], Halt> {
+        if s.len != expected {
+            return Err(self.error(
+                DiagCode::ShapeMismatch,
+                Some(op),
+                format!("{label}: bias holds {} values, expected {expected}", s.len),
+            ));
+        }
+        let bias = self.floats_span(Some(op), s, &format!("{label}: bias"))?;
+        if let Some((j, &v)) = bias.iter().enumerate().find(|(_, v)| !v.is_finite()) {
+            return Err(self.error(
+                DiagCode::NonFinite,
+                Some(op),
+                format!("{label}: bias[{j}] is {v}"),
+            ));
+        }
+        Ok(bias)
+    }
+
+    // ------------------------------------------------------------------
+    // Value propagation
+    // ------------------------------------------------------------------
+
+    /// Inclusive code range reachable when `interval` is nearest-encoded
+    /// through `book`. Widened first so `f32` summation order cannot
+    /// push a concrete value just past the analytic hull.
+    fn reach_of(&self, book: &Book, interval: Interval) -> (usize, usize) {
+        if !book.sorted {
+            return (0, book.len() - 1);
+        }
+        let values = &self.floats[book.span.start..book.span.start + book.span.len];
+        let w = interval.widened();
+        nearest_range(values, &book.keys, w.lo as f32, w.hi as f32)
+    }
+
+    /// Encode step: maps a decoded interval through `book`, reporting
+    /// entries that can never be selected.
+    fn encode(&mut self, op: Option<usize>, book: &Book, interval: Interval, what: &str) -> Flow {
+        let reach = self.reach_of(book, interval);
+        let live = reach.1 - reach.0 + 1;
+        if live < book.len() {
+            self.warn(
+                DiagCode::DeadCodebookEntries,
+                op,
+                format!(
+                    "{what}: {} of {} codebook entries can never be selected (reachable codes {}..={})",
+                    book.len() - live,
+                    book.len(),
+                    reach.0,
+                    reach.1
+                ),
+            );
+        }
+        let values = &self.floats[book.span.start + reach.0..=book.span.start + reach.1];
+        let interval = Interval::of_slice(values).unwrap_or(book.interval);
+        Flow::Codes {
+            domain: book.len(),
+            reach,
+            interval,
+        }
+    }
+
+    /// Applies an activation step to a pre-activation interval.
+    fn apply_act(
+        &mut self,
+        op: usize,
+        act: &Act,
+        pre: Interval,
+        label: &str,
+    ) -> Result<Interval, Halt> {
+        match act {
+            Act::Identity => Ok(pre),
+            Act::Relu => Ok(pre.relu()),
+            Act::Lookup { inputs, outputs } => {
+                let xs = self.floats_span(Some(op), *inputs, &format!("{label}: LUT inputs"))?;
+                let ys = self.floats_span(Some(op), *outputs, &format!("{label}: LUT outputs"))?;
+                if xs.is_empty() {
+                    return Err(self.error(
+                        DiagCode::EmptyTable,
+                        Some(op),
+                        format!("{label}: activation lookup table is empty"),
+                    ));
+                }
+                if xs.len() != ys.len() {
+                    return Err(self.error(
+                        DiagCode::ShapeMismatch,
+                        Some(op),
+                        format!(
+                            "{label}: activation LUT misaligned: {} inputs vs {} outputs",
+                            xs.len(),
+                            ys.len()
+                        ),
+                    ));
+                }
+                let sorted = xs
+                    .windows(2)
+                    .all(|w| w[0].total_cmp(&w[1]) != std::cmp::Ordering::Greater);
+                let (lo, hi) = if sorted {
+                    let mut keys = Vec::new();
+                    load_keys(&mut keys, xs);
+                    let w = pre.widened();
+                    nearest_range(xs, &keys, w.lo as f32, w.hi as f32)
+                } else {
+                    self.warn(
+                        DiagCode::UnsortedCodebook,
+                        Some(op),
+                        format!("{label}: activation LUT inputs are not sorted; treating every row as reachable"),
+                    );
+                    (0, xs.len() - 1)
+                };
+                if hi - lo + 1 < xs.len() {
+                    self.report.push(Diagnostic::new(
+                        DiagCode::DeadLutRows,
+                        Some(op),
+                        format!(
+                            "{label}: {} of {} activation LUT rows lie outside the reachable pre-activation range [{:.4}, {:.4}]",
+                            xs.len() - (hi - lo + 1),
+                            xs.len(),
+                            pre.lo,
+                            pre.hi
+                        ),
+                    ));
+                }
+                match Interval::of_slice(&ys[lo..=hi]) {
+                    Some(iv) => Ok(iv),
+                    None => Err(self.error(
+                        DiagCode::NonFinite,
+                        Some(op),
+                        format!("{label}: reachable activation LUT output is non-finite"),
+                    )),
+                }
+            }
+        }
+    }
+
+    /// Per-weight-row value hulls of `table` over the live input
+    /// columns (`reach`, plus the zero-padding column when `extra_col`
+    /// is set), erroring on any non-finite live entry. Rows not marked
+    /// `used` are skipped — they are dead data.
+    #[allow(clippy::too_many_arguments)]
+    fn row_intervals(
+        &mut self,
+        op: usize,
+        table: &TableRef,
+        used: &[bool],
+        domain: usize,
+        reach: (usize, usize),
+        extra_col: Option<usize>,
+        label: &str,
+    ) -> Result<Vec<Option<Interval>>, Halt> {
+        // Bounds established by `check_table`.
+        let data =
+            &self.floats[table.offset..table.offset + table.weight_count * table.input_count];
+        let mut rows: Vec<Option<Interval>> = vec![None; table.weight_count];
+        let mut bad: Option<(usize, usize, f32)> = None;
+        for (w, row_iv) in rows.iter_mut().enumerate() {
+            if !used[w] {
+                continue;
+            }
+            let row = &data[w * table.input_count..][..table.input_count];
+            let mut iv: Option<Interval> = None;
+            for (c, &v) in row.iter().enumerate().take(domain) {
+                if !v.is_finite() {
+                    bad = Some((w, c, v));
+                    break;
+                }
+                if (c >= reach.0 && c <= reach.1) || extra_col == Some(c) {
+                    let p = Interval::point(f64::from(v));
+                    iv = Some(iv.map_or(p, |acc| acc.hull(p)));
+                }
+            }
+            if bad.is_some() {
+                break;
+            }
+            *row_iv = iv;
+        }
+        if let Some((w, c, v)) = bad {
+            return Err(self.error(
+                DiagCode::NonFinite,
+                Some(op),
+                format!("{label}: product-table entry [w={w}][x={c}] is {v}"),
+            ));
+        }
+        Ok(rows)
+    }
+
+    /// Hardware bit-width findings for one neuron op: fan-in vs the
+    /// occurrence counters, worst-case |partial sum| vs the fixed-point
+    /// accumulator word.
+    fn check_datapath(&mut self, op: usize, edges: usize, worst_mag: f64, label: &str) {
+        if edges as u64 > self.datapath.max_count() {
+            self.warn(
+                DiagCode::CounterOverflow,
+                Some(op),
+                format!(
+                    "{label}: fan-in {edges} exceeds the {}-bit occurrence counters (max count {})",
+                    self.datapath.counter_bits,
+                    self.datapath.max_count()
+                ),
+            );
+        }
+        let cap = self.datapath.max_accumulator_magnitude();
+        if worst_mag > cap {
+            self.warn(
+                DiagCode::AccumulatorOverflow,
+                Some(op),
+                format!(
+                    "{label}: worst-case |partial sum| {worst_mag:.3} exceeds the {}-bit fixed-point accumulator range \u{b1}{cap:.3}",
+                    self.datapath.accumulator_bits
+                ),
+            );
+        }
+    }
+
+    /// Activation + optional re-encode shared by dense/conv/residual
+    /// joins.
+    fn finish_neuron(
+        &mut self,
+        op: usize,
+        act: Option<&Act>,
+        encoder: Option<Span>,
+        pre: Interval,
+        label: &str,
+    ) -> Result<Flow, Halt> {
+        let post = match act {
+            Some(act) => self.apply_act(op, act, pre, label)?,
+            None => pre,
+        };
+        match encoder {
+            Some(span) => {
+                let book = self.codebook(Some(op), span, &format!("{label}: encoder"))?;
+                Ok(self.encode(Some(op), &book, post, &format!("{label}: encoder")))
+            }
+            None => Ok(Flow::Floats { interval: post }),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // The walk
+    // ------------------------------------------------------------------
+
+    fn run(&mut self) -> Result<(), Halt> {
+        if self.input_features == 0 {
+            return Err(self.error(
+                DiagCode::ShapeMismatch,
+                None,
+                "zero input features".to_string(),
+            ));
+        }
+        let venc = self.codebook(None, self.virtual_encoder, "virtual input encoder")?;
+        // Every input feature is an arbitrary float, so (for a sorted
+        // book) every centroid is reachable — each is nearest to itself.
+        let mut flow = Flow::Codes {
+            domain: venc.len(),
+            reach: (0, venc.len() - 1),
+            interval: venc.interval,
+        };
+        let mut width = self.input_features;
+        // (width, decoded skip interval) per open residual.
+        let mut residuals: Vec<(usize, Interval)> = Vec::new();
+
+        for (i, op) in self.ops.iter().enumerate() {
+            match op {
+                Op::Dense {
+                    inputs,
+                    outputs,
+                    weight_codes,
+                    bias,
+                    table,
+                    act,
+                    encoder,
+                } => {
+                    let Flow::Codes { domain, reach, .. } = flow else {
+                        return Err(self.error(
+                            DiagCode::DomainMismatch,
+                            Some(i),
+                            "dense: op consumes encoded codes but the flow is decoded floats"
+                                .to_string(),
+                        ));
+                    };
+                    if *inputs != width {
+                        return Err(self.error(
+                            DiagCode::ShapeMismatch,
+                            Some(i),
+                            format!("dense: expects {inputs} inputs, flow width is {width}"),
+                        ));
+                    }
+                    if *outputs == 0 {
+                        return Err(self.error(
+                            DiagCode::ShapeMismatch,
+                            Some(i),
+                            "dense: zero outputs".to_string(),
+                        ));
+                    }
+                    self.check_table(i, table, domain, "dense")?;
+                    let Some(expected) = inputs.checked_mul(*outputs) else {
+                        return Err(self.error(
+                            DiagCode::SpanOutOfBounds,
+                            Some(i),
+                            "dense: weight matrix size overflows".to_string(),
+                        ));
+                    };
+                    if weight_codes.len != expected {
+                        return Err(self.error(
+                            DiagCode::ShapeMismatch,
+                            Some(i),
+                            format!(
+                                "dense: weight-code span holds {} codes, expected {expected}",
+                                weight_codes.len
+                            ),
+                        ));
+                    }
+                    let wcodes = self.codes_span(Some(i), *weight_codes, "dense: weight codes")?;
+                    let mut used = vec![false; table.weight_count];
+                    for &c in wcodes {
+                        if c as usize >= table.weight_count {
+                            return Err(self.error(
+                                DiagCode::IndexOutOfBounds,
+                                Some(i),
+                                format!(
+                                    "dense: weight code {c} out of range for {}-row table",
+                                    table.weight_count
+                                ),
+                            ));
+                        }
+                        used[c as usize] = true;
+                    }
+                    let unused = used.iter().filter(|u| !**u).count();
+                    if unused > 0 {
+                        self.report.push(Diagnostic::new(
+                            DiagCode::DeadTableRows,
+                            Some(i),
+                            format!(
+                                "dense: {unused} of {} product-table rows are referenced by no weight code",
+                                table.weight_count
+                            ),
+                        ));
+                    }
+                    let bias = self.check_bias(i, *bias, *outputs, "dense")?;
+                    let rows = self.row_intervals(i, table, &used, domain, reach, None, "dense")?;
+                    let mut pre: Option<Interval> = None;
+                    let mut worst = 0.0f64;
+                    for (o, &b) in bias.iter().enumerate() {
+                        let mut acc = Interval::point(f64::from(b));
+                        let mut mag = f64::from(b).abs();
+                        for &w in &wcodes[o * inputs..(o + 1) * inputs] {
+                            // Used rows always carry an interval: reach
+                            // is non-empty.
+                            let r = rows[w as usize].unwrap_or(Interval::zero());
+                            acc = acc + r;
+                            mag += r.magnitude();
+                        }
+                        worst = worst.max(mag);
+                        pre = Some(pre.map_or(acc, |p| p.hull(acc)));
+                    }
+                    let pre = pre.unwrap_or(Interval::zero());
+                    self.check_datapath(i, *inputs, worst, "dense");
+                    flow = self.finish_neuron(i, Some(act), *encoder, pre, "dense")?;
+                    width = *outputs;
+                }
+                Op::Conv {
+                    geom,
+                    out_channels,
+                    weight_codes,
+                    bias,
+                    tables,
+                    zero_code,
+                    act,
+                    encoder,
+                } => {
+                    let Flow::Codes { domain, reach, .. } = flow else {
+                        return Err(self.error(
+                            DiagCode::DomainMismatch,
+                            Some(i),
+                            "conv: op consumes encoded codes but the flow is decoded floats"
+                                .to_string(),
+                        ));
+                    };
+                    self.check_geom(i, geom, "conv")?;
+                    if geom.in_volume() != width {
+                        return Err(self.error(
+                            DiagCode::ShapeMismatch,
+                            Some(i),
+                            format!(
+                                "conv: expects {} inputs, flow width is {width}",
+                                geom.in_volume()
+                            ),
+                        ));
+                    }
+                    if *out_channels == 0 || tables.len() != *out_channels {
+                        return Err(self.error(
+                            DiagCode::ShapeMismatch,
+                            Some(i),
+                            format!(
+                                "conv: {} tables for {out_channels} output channels",
+                                tables.len()
+                            ),
+                        ));
+                    }
+                    if *zero_code as usize >= domain {
+                        return Err(self.error(
+                            DiagCode::IndexOutOfBounds,
+                            Some(i),
+                            format!(
+                                "conv: zero-padding code {zero_code} out of range for domain {domain}"
+                            ),
+                        ));
+                    }
+                    let patch_len = geom.patch_len();
+                    let Some(expected) = out_channels.checked_mul(patch_len) else {
+                        return Err(self.error(
+                            DiagCode::SpanOutOfBounds,
+                            Some(i),
+                            "conv: weight matrix size overflows".to_string(),
+                        ));
+                    };
+                    if weight_codes.len != expected {
+                        return Err(self.error(
+                            DiagCode::ShapeMismatch,
+                            Some(i),
+                            format!(
+                                "conv: weight-code span holds {} codes, expected {expected}",
+                                weight_codes.len
+                            ),
+                        ));
+                    }
+                    let wcodes = self.codes_span(Some(i), *weight_codes, "conv: weight codes")?;
+                    // Padded windows read the zero column of every row.
+                    let extra_col = (geom.pad > 0).then_some(*zero_code as usize);
+                    let bias = self.check_bias(i, *bias, *out_channels, "conv")?;
+                    let mut pre: Option<Interval> = None;
+                    let mut worst = 0.0f64;
+                    for (oc, table) in tables.iter().enumerate() {
+                        let label = format!("conv channel {oc}");
+                        self.check_table(i, table, domain, &label)?;
+                        let patch = &wcodes[oc * patch_len..(oc + 1) * patch_len];
+                        let mut used = vec![false; table.weight_count];
+                        for &c in patch {
+                            if c as usize >= table.weight_count {
+                                return Err(self.error(
+                                    DiagCode::IndexOutOfBounds,
+                                    Some(i),
+                                    format!(
+                                        "{label}: weight code {c} out of range for {}-row table",
+                                        table.weight_count
+                                    ),
+                                ));
+                            }
+                            used[c as usize] = true;
+                        }
+                        let rows =
+                            self.row_intervals(i, table, &used, domain, reach, extra_col, &label)?;
+                        let mut acc = Interval::point(f64::from(bias[oc]));
+                        let mut mag = f64::from(bias[oc]).abs();
+                        for &w in patch {
+                            let r = rows[w as usize].unwrap_or(Interval::zero());
+                            acc = acc + r;
+                            mag += r.magnitude();
+                        }
+                        // Padded windows can also *drop* taps entirely
+                        // only via the zero column, which is already in
+                        // the hull; the all-zero-tap window stays inside
+                        // `acc` because each tap hull contains the zero
+                        // column's value when pad > 0.
+                        worst = worst.max(mag);
+                        pre = Some(pre.map_or(acc, |p| p.hull(acc)));
+                    }
+                    let pre = pre.unwrap_or(Interval::zero());
+                    self.check_datapath(i, patch_len, worst, "conv");
+                    let Some(w) = out_channels.checked_mul(geom.out_pixels()) else {
+                        return Err(self.error(
+                            DiagCode::SpanOutOfBounds,
+                            Some(i),
+                            "conv: output volume overflows".to_string(),
+                        ));
+                    };
+                    if w == 0 {
+                        return Err(self.error(
+                            DiagCode::ShapeMismatch,
+                            Some(i),
+                            "conv: produces zero outputs".to_string(),
+                        ));
+                    }
+                    width = w;
+                    flow = self.finish_neuron(i, Some(act), *encoder, pre, "conv")?;
+                }
+                Op::MaxPool(geom) => {
+                    width = self.check_pool_geom(i, geom, width, "maxpool")?;
+                    // Max over a window keeps codes inside the reachable
+                    // range and values inside the hull: flow unchanged.
+                }
+                Op::AvgPool { geom, codebook } => {
+                    width = self.check_pool_geom(i, geom, width, "avgpool")?;
+                    let book = self.codebook(Some(i), *codebook, "avgpool")?;
+                    match flow {
+                        Flow::Codes {
+                            domain, interval, ..
+                        } => {
+                            if book.len() < domain {
+                                return Err(self.error(
+                                    DiagCode::IndexOutOfBounds,
+                                    Some(i),
+                                    format!(
+                                        "avgpool: codebook holds {} values, incoming domain is {domain}",
+                                        book.len()
+                                    ),
+                                ));
+                            }
+                            // Window averages stay inside the decoded
+                            // hull, then re-encode through the book.
+                            flow = self.encode(Some(i), &book, interval, "avgpool");
+                        }
+                        Flow::Floats { .. } => {
+                            // Decoded-domain average stays in the hull;
+                            // the runtime does not re-encode here.
+                        }
+                    }
+                }
+                Op::ResidualBegin { skip_codebook } => {
+                    let Flow::Codes { domain, reach, .. } = flow else {
+                        return Err(self.error(
+                            DiagCode::DomainMismatch,
+                            Some(i),
+                            "residual begin: op consumes encoded codes but the flow is decoded floats"
+                                .to_string(),
+                        ));
+                    };
+                    let book = self.codebook(Some(i), *skip_codebook, "residual skip")?;
+                    if book.len() < domain {
+                        return Err(self.error(
+                            DiagCode::IndexOutOfBounds,
+                            Some(i),
+                            format!(
+                                "residual skip codebook holds {} values, incoming domain is {domain}",
+                                book.len()
+                            ),
+                        ));
+                    }
+                    // The runtime decodes the *incoming* codes through
+                    // the skip book, so only indices in `reach` matter.
+                    let values =
+                        &self.floats[book.span.start + reach.0..=book.span.start + reach.1];
+                    let skip_interval = Interval::of_slice(values).unwrap_or(book.interval);
+                    residuals.push((width, skip_interval));
+                }
+                Op::ResidualEnd { encoder } => {
+                    let Flow::Floats { interval } = flow else {
+                        return Err(self.error(
+                            DiagCode::DomainMismatch,
+                            Some(i),
+                            "residual join: branch must end in decoded floats".to_string(),
+                        ));
+                    };
+                    let Some((skip_width, skip_interval)) = residuals.pop() else {
+                        return Err(self.error(
+                            DiagCode::ResidualImbalance,
+                            Some(i),
+                            "residual join without matching begin".to_string(),
+                        ));
+                    };
+                    if skip_width != width {
+                        return Err(self.error(
+                            DiagCode::ResidualImbalance,
+                            Some(i),
+                            format!(
+                                "residual branch width {width} differs from skip width {skip_width}"
+                            ),
+                        ));
+                    }
+                    let joined = interval + skip_interval;
+                    flow = self.finish_neuron(i, None, *encoder, joined, "residual join")?;
+                }
+            }
+        }
+
+        if !residuals.is_empty() {
+            return Err(self.error(
+                DiagCode::ResidualImbalance,
+                None,
+                format!("{} unclosed residual begin(s)", residuals.len()),
+            ));
+        }
+        if matches!(flow, Flow::Codes { .. }) {
+            return Err(self.error(
+                DiagCode::DomainMismatch,
+                None,
+                "program ends in the encoded domain".to_string(),
+            ));
+        }
+        if width != self.output_features {
+            return Err(self.error(
+                DiagCode::ShapeMismatch,
+                None,
+                format!(
+                    "program produces {width} outputs, header says {}",
+                    self.output_features
+                ),
+            ));
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,137 @@
+//! The interval abstract domain.
+//!
+//! Every value flowing through a compiled RAPIDNN program is drawn
+//! from a finite set — codebook centroids, product-table entries, LUT
+//! outputs — so a closed interval `[lo, hi]` is an exact-enough
+//! abstraction: the hull of a finite set, widened slightly where
+//! `f32` accumulation order could nudge a concrete sum past the real
+//! hull. Bounds are kept in `f64` so interval arithmetic itself never
+//! loses to rounding.
+
+/// Closed interval `[lo, hi]` with `lo <= hi`, both finite.
+///
+/// Construction from data with NaN/Inf entries is refused
+/// ([`Interval::of_slice`] returns `None`); the checker reports those
+/// entries as [`NonFinite`](crate::DiagCode::NonFinite) errors before
+/// interval propagation would consume them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    /// Lower bound.
+    pub lo: f64,
+    /// Upper bound.
+    pub hi: f64,
+}
+
+impl Interval {
+    /// Degenerate interval holding a single value.
+    pub fn point(v: f64) -> Self {
+        Interval { lo: v, hi: v }
+    }
+
+    /// The interval `[0, 0]`.
+    pub fn zero() -> Self {
+        Interval::point(0.0)
+    }
+
+    /// Hull of a slice; `None` when the slice is empty or any entry is
+    /// non-finite.
+    pub fn of_slice(values: &[f32]) -> Option<Self> {
+        let mut it = values.iter();
+        let first = f64::from(*it.next()?);
+        if !first.is_finite() {
+            return None;
+        }
+        let mut iv = Interval::point(first);
+        for &v in it {
+            let v = f64::from(v);
+            if !v.is_finite() {
+                return None;
+            }
+            iv.lo = iv.lo.min(v);
+            iv.hi = iv.hi.max(v);
+        }
+        Some(iv)
+    }
+
+    /// Smallest interval containing both operands.
+    #[must_use]
+    pub fn hull(self, other: Interval) -> Self {
+        Interval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// Image under `max(0, x)` (the ReLU comparator).
+    #[must_use]
+    pub fn relu(self) -> Self {
+        Interval {
+            lo: self.lo.max(0.0),
+            hi: self.hi.max(0.0),
+        }
+    }
+
+    /// Largest absolute value in the interval.
+    pub fn magnitude(self) -> f64 {
+        self.lo.abs().max(self.hi.abs())
+    }
+
+    /// Whether `v` lies inside the interval.
+    pub fn contains(self, v: f64) -> bool {
+        v >= self.lo && v <= self.hi
+    }
+
+    /// Interval widened by a relative-plus-absolute margin, used before
+    /// reachability queries so `f32` summation order can't push a
+    /// concrete value just past the analytically derived hull and
+    /// produce a spurious dead-entry finding.
+    #[must_use]
+    pub fn widened(self) -> Self {
+        let margin = 1e-4 * self.magnitude() + 1e-6;
+        Interval {
+            lo: self.lo - margin,
+            hi: self.hi + margin,
+        }
+    }
+}
+
+/// Interval sum (exact for independent operands, an over-approx of
+/// the true range otherwise — always sound).
+impl std::ops::Add for Interval {
+    type Output = Interval;
+
+    fn add(self, other: Interval) -> Interval {
+        Interval {
+            lo: self.lo + other.lo,
+            hi: self.hi + other.hi,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slice_hull_and_rejection() {
+        let iv = Interval::of_slice(&[0.5, -1.25, 2.0]).unwrap();
+        assert_eq!(iv, Interval { lo: -1.25, hi: 2.0 });
+        assert!(Interval::of_slice(&[]).is_none());
+        assert!(Interval::of_slice(&[1.0, f32::NAN]).is_none());
+        assert!(Interval::of_slice(&[f32::INFINITY]).is_none());
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Interval { lo: -1.0, hi: 2.0 };
+        let b = Interval { lo: 0.5, hi: 0.5 };
+        assert_eq!(a + b, Interval { lo: -0.5, hi: 2.5 });
+        assert_eq!(a.hull(b), Interval { lo: -1.0, hi: 2.0 });
+        assert_eq!(a.relu(), Interval { lo: 0.0, hi: 2.0 });
+        assert_eq!(a.magnitude(), 2.0);
+        assert!(a.contains(0.0));
+        assert!(!a.contains(2.1));
+        let w = a.widened();
+        assert!(w.lo < a.lo && w.hi > a.hi);
+    }
+}

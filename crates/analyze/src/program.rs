@@ -1,0 +1,326 @@
+//! The analyzer's neutral program representation.
+//!
+//! [`Program`] mirrors the flattened op layout of
+//! `rapidnn_serve::CompiledModel` — two contiguous pools plus a linear
+//! op list — but with public fields and borrowed pools, so both halves
+//! of the pipeline can be analyzed by one checker: the serving crate
+//! lowers its compiled artifacts into a `Program`, and
+//! [`Program::from_reinterpreted`] lowers the composer's stage graph
+//! directly. Keeping the IR here (rather than depending on the serving
+//! crate) is what lets `rapidnn-serve` depend on the analyzer for
+//! strict loading without a crate cycle.
+
+use rapidnn_core::{ActivationTable, ReinterpretedNetwork, Stage, StageKind};
+use rapidnn_nn::Activation;
+use std::borrow::Cow;
+
+/// A `(start, len)` view into one of the program's pools.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// First element index.
+    pub start: usize,
+    /// Element count.
+    pub len: usize,
+}
+
+/// A flattened `w x u` product table inside the float pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TableRef {
+    /// First element index of row 0 in the float pool.
+    pub offset: usize,
+    /// Number of weight rows (`w`).
+    pub weight_count: usize,
+    /// Number of input columns (`u`).
+    pub input_count: usize,
+}
+
+/// Activation step of a neuron op.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Act {
+    /// Exact pass-through.
+    Identity,
+    /// Exact comparator ReLU.
+    Relu,
+    /// Nearest-input lookup: `inputs` sorted, aligned with `outputs`.
+    Lookup {
+        /// Sorted probe values.
+        inputs: Span,
+        /// Output value per probe row.
+        outputs: Span,
+    },
+}
+
+/// Convolution / pooling window geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Geom {
+    /// Input channels.
+    pub in_channels: usize,
+    /// Input height.
+    pub in_height: usize,
+    /// Input width.
+    pub in_width: usize,
+    /// Kernel height.
+    pub kernel_h: usize,
+    /// Kernel width.
+    pub kernel_w: usize,
+    /// Stride (both axes).
+    pub stride: usize,
+    /// Zero padding (both axes).
+    pub pad: usize,
+    /// Output height.
+    pub out_height: usize,
+    /// Output width.
+    pub out_width: usize,
+}
+
+impl Geom {
+    /// Flattened input volume.
+    pub fn in_volume(&self) -> usize {
+        self.in_channels * self.in_height * self.in_width
+    }
+
+    /// Output pixels per channel.
+    pub fn out_pixels(&self) -> usize {
+        self.out_height * self.out_width
+    }
+
+    /// Elements in one convolution patch.
+    pub fn patch_len(&self) -> usize {
+        self.in_channels * self.kernel_h * self.kernel_w
+    }
+}
+
+/// One step of the flattened inference program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// Fully connected stage.
+    Dense {
+        /// Expected input width.
+        inputs: usize,
+        /// Output neuron count.
+        outputs: usize,
+        /// `outputs x inputs` weight codes in the code pool.
+        weight_codes: Span,
+        /// Per-output bias in the float pool.
+        bias: Span,
+        /// Shared product table.
+        table: TableRef,
+        /// Activation step.
+        act: Act,
+        /// Re-encoder codebook; `None` for the output stage.
+        encoder: Option<Span>,
+    },
+    /// Convolution stage.
+    Conv {
+        /// Window geometry.
+        geom: Geom,
+        /// Output channels.
+        out_channels: usize,
+        /// `out_channels x patch_len` weight codes.
+        weight_codes: Span,
+        /// Per-channel bias.
+        bias: Span,
+        /// One product table per output channel.
+        tables: Vec<TableRef>,
+        /// Input code standing in for zero padding.
+        zero_code: u16,
+        /// Activation step.
+        act: Act,
+        /// Re-encoder codebook; `None` for the output stage.
+        encoder: Option<Span>,
+    },
+    /// Max pooling directly on encoded values.
+    MaxPool(Geom),
+    /// Average pooling: decode, window-average, re-encode.
+    AvgPool {
+        /// Window geometry.
+        geom: Geom,
+        /// Codebook of the values flowing through the pool.
+        codebook: Span,
+    },
+    /// Snapshot of decoded skip values for a residual join.
+    ResidualBegin {
+        /// Codebook of the skip-path codes.
+        skip_codebook: Span,
+    },
+    /// Residual join: branch floats plus the popped skip snapshot.
+    ResidualEnd {
+        /// Re-encoder for the joined values; `None` at network output.
+        encoder: Option<Span>,
+    },
+}
+
+/// A flattened inference program over borrowed (or owned) pools — the
+/// analyzer's input.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program<'a> {
+    /// Input feature width.
+    pub input_features: usize,
+    /// Output feature width.
+    pub output_features: usize,
+    /// Virtual input-layer codebook in the float pool.
+    pub virtual_encoder: Span,
+    /// The linear op program.
+    pub ops: Vec<Op>,
+    /// All f32 data: codebooks, product tables, LUTs, biases.
+    pub floats: Cow<'a, [f32]>,
+    /// All encoded weights.
+    pub codes: Cow<'a, [u16]>,
+}
+
+impl Program<'_> {
+    /// Lowers a composed network's stage graph into the flat IR so the
+    /// checker can analyze pipelines before they are ever compiled into
+    /// a serving artifact. Mirrors the serving crate's flattener (the
+    /// round-trip equivalence is pinned by a test over there).
+    pub fn from_reinterpreted(network: &ReinterpretedNetwork) -> Program<'static> {
+        let mut b = Builder::default();
+        let virtual_encoder = b.push_floats(network.virtual_encoder().target().values());
+        for stage in network.stages() {
+            b.lower_stage(stage);
+        }
+        Program {
+            input_features: network.input_features(),
+            output_features: network.output_features(),
+            virtual_encoder,
+            ops: b.ops,
+            floats: Cow::Owned(b.floats),
+            codes: Cow::Owned(b.codes),
+        }
+    }
+}
+
+#[derive(Default)]
+struct Builder {
+    floats: Vec<f32>,
+    codes: Vec<u16>,
+    ops: Vec<Op>,
+}
+
+impl Builder {
+    fn push_floats(&mut self, values: &[f32]) -> Span {
+        let start = self.floats.len();
+        self.floats.extend_from_slice(values);
+        Span {
+            start,
+            len: values.len(),
+        }
+    }
+
+    fn push_codes(&mut self, values: &[u16]) -> Span {
+        let start = self.codes.len();
+        self.codes.extend_from_slice(values);
+        Span {
+            start,
+            len: values.len(),
+        }
+    }
+
+    fn lower_act(&mut self, act: &ActivationTable) -> Act {
+        // Only ReLU and identity have exact compiled forms today; an
+        // exact table of any other activation still carries its sampled
+        // rows, so lowering it as a lookup stays faithful.
+        match (act.is_exact(), act.activation()) {
+            (true, Activation::Relu) => Act::Relu,
+            (true, Activation::Identity) => Act::Identity,
+            _ => Act::Lookup {
+                inputs: self.push_floats(act.inputs()),
+                outputs: self.push_floats(act.outputs()),
+            },
+        }
+    }
+
+    fn lower_stage(&mut self, stage: &Stage) {
+        match stage {
+            Stage::Neuron(s) => {
+                let weight_codes = self.push_codes(s.weight_codes());
+                let bias = self.push_floats(s.bias());
+                let act = self.lower_act(s.activation());
+                let encoder = s.encoder().map(|e| self.push_floats(e.target().values()));
+                match *s.kind() {
+                    StageKind::Dense { inputs, outputs } => {
+                        let t = &s.product_tables()[0];
+                        let span = self.push_floats(t.products());
+                        self.ops.push(Op::Dense {
+                            inputs,
+                            outputs,
+                            weight_codes,
+                            bias,
+                            table: TableRef {
+                                offset: span.start,
+                                weight_count: t.weight_count(),
+                                input_count: t.input_count(),
+                            },
+                            act,
+                            encoder,
+                        });
+                    }
+                    StageKind::Conv {
+                        geometry,
+                        out_channels,
+                    } => {
+                        let tables = s
+                            .product_tables()
+                            .iter()
+                            .map(|t| {
+                                let span = self.push_floats(t.products());
+                                TableRef {
+                                    offset: span.start,
+                                    weight_count: t.weight_count(),
+                                    input_count: t.input_count(),
+                                }
+                            })
+                            .collect();
+                        self.ops.push(Op::Conv {
+                            geom: geom_of(&geometry),
+                            out_channels,
+                            weight_codes,
+                            bias,
+                            tables,
+                            zero_code: s.zero_code(),
+                            act,
+                            encoder,
+                        });
+                    }
+                }
+            }
+            Stage::MaxPool(g) => self.ops.push(Op::MaxPool(geom_of(g))),
+            Stage::AvgPool { geometry, codebook } => {
+                let codebook = self.push_floats(codebook.values());
+                self.ops.push(Op::AvgPool {
+                    geom: geom_of(geometry),
+                    codebook,
+                });
+            }
+            Stage::Residual {
+                branch,
+                input_codebook,
+                join_encoder,
+            } => {
+                let skip_codebook = self.push_floats(input_codebook.values());
+                self.ops.push(Op::ResidualBegin { skip_codebook });
+                for inner in branch {
+                    self.lower_stage(inner);
+                }
+                let encoder = join_encoder
+                    .as_ref()
+                    .map(|e| self.push_floats(e.target().values()));
+                self.ops.push(Op::ResidualEnd { encoder });
+            }
+        }
+    }
+}
+
+fn geom_of(g: &rapidnn_tensor::Conv2dGeometry) -> Geom {
+    Geom {
+        in_channels: g.in_channels,
+        in_height: g.in_height,
+        in_width: g.in_width,
+        kernel_h: g.kernel_h,
+        kernel_w: g.kernel_w,
+        stride: g.stride,
+        pad: g.pad,
+        out_height: g.out_height,
+        out_width: g.out_width,
+    }
+}

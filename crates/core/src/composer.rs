@@ -189,10 +189,7 @@ impl Composer {
             let clustered_error = reinterpreted.evaluate(validation)?;
             let delta_e = clustered_error - baseline_error;
 
-            let is_better = best
-                .as_ref()
-                .map(|(err, _)| clustered_error < *err)
-                .unwrap_or(true);
+            let is_better = best.as_ref().is_none_or(|(err, _)| clustered_error < *err);
             if is_better {
                 best = Some((clustered_error, reinterpreted));
             }

@@ -63,6 +63,23 @@ pub fn nearest_index(book: &[f32], keys: &[i32], value: f32) -> usize {
     hi - (take_lo as usize) * (hi - lo)
 }
 
+/// Inclusive index range of codebook entries reachable from any probe
+/// in `[lo, hi]`: because the book is sorted and the nearest map is
+/// monotone in the probe, the reachable set is exactly the contiguous
+/// run `nearest(lo)..=nearest(hi)`. Used by the static analyzer
+/// (`rapidnn-analyze`) to propagate interval bounds through encode
+/// steps with the runtime's own search semantics.
+///
+/// # Panics
+///
+/// Panics when `book` is empty.
+#[inline]
+pub fn nearest_range(book: &[f32], keys: &[i32], lo: f32, hi: f32) -> (usize, usize) {
+    let a = nearest_index(book, keys, lo);
+    let b = nearest_index(book, keys, hi);
+    (a.min(b), a.max(b))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -121,6 +138,30 @@ mod tests {
                     reference(book, p),
                     "book={book:?} probe={p}"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn nearest_range_covers_exactly_the_reachable_set() {
+        let book: &[f32] = &[-1.25, -0.5, 0.2, 0.45, 2.0];
+        let mut keys = Vec::new();
+        load_keys(&mut keys, book);
+        let probes: Vec<f32> = (-30..=30).map(|i| i as f32 * 0.1).collect();
+        for (i, &lo) in probes.iter().enumerate() {
+            for &hi in &probes[i..] {
+                let (a, b) = nearest_range(book, &keys, lo, hi);
+                // Brute force: every probe in [lo, hi] lands inside the
+                // range, and both endpoints of the range are hit.
+                let mut hit_lo = false;
+                let mut hit_hi = false;
+                for &p in probes.iter().filter(|&&p| p >= lo && p <= hi) {
+                    let n = nearest_index(book, &keys, p);
+                    assert!((a..=b).contains(&n), "probe {p} escaped [{a}, {b}]");
+                    hit_lo |= n == a;
+                    hit_hi |= n == b;
+                }
+                assert!(hit_lo && hit_hi, "[{lo}, {hi}] -> [{a}, {b}] not tight");
             }
         }
     }

@@ -174,13 +174,13 @@ impl NdcamArray {
     /// exactly as close as the true nearest row — the precision of the
     /// staged weighted-match approximation.
     pub fn fidelity(&self, samples: usize) -> f64 {
-        self.fidelity_of(samples, |cam, q| cam.search_weighted(q))
+        self.fidelity_of(samples, NdcamArray::search_weighted)
     }
 
     /// Like [`Self::fidelity`], but for the plain Hamming search — the
     /// baseline the bit-weighted transistor sizing improves upon.
     pub fn fidelity_hamming(&self, samples: usize) -> f64 {
-        self.fidelity_of(samples, |cam, q| cam.search_hamming(q))
+        self.fidelity_of(samples, NdcamArray::search_hamming)
     }
 
     fn fidelity_of(&self, samples: usize, search: impl Fn(&Self, u64) -> SearchHit) -> f64 {

@@ -57,6 +57,7 @@ mod pipeline;
 pub use pipeline::{Pipeline, PipelineConfig, PipelineReport};
 
 pub use rapidnn_accel as accel;
+pub use rapidnn_analyze as analyze;
 pub use rapidnn_baselines as baselines;
 pub use rapidnn_core as composer;
 pub use rapidnn_data as data;

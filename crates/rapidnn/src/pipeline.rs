@@ -92,6 +92,17 @@ impl PipelineReport {
     pub fn compile(&self) -> Result<rapidnn_serve::CompiledModel, rapidnn_serve::ArtifactError> {
         rapidnn_serve::CompiledModel::from_reinterpreted(&self.compose.reinterpreted)
     }
+
+    /// Runs the static analyzer over the composed model's stage graph,
+    /// before any artifact is compiled: the stages are lowered into the
+    /// analyzer's IR ([`rapidnn_analyze::Program::from_reinterpreted`])
+    /// and checked for index soundness, datapath feasibility,
+    /// finiteness, and liveness. A clean pipeline here compiles to an
+    /// artifact that strict loading accepts.
+    pub fn analyze(&self) -> rapidnn_analyze::Report {
+        let program = rapidnn_analyze::Program::from_reinterpreted(&self.compose.reinterpreted);
+        rapidnn_analyze::analyze(&program)
+    }
 }
 
 /// End-to-end driver: synth data → train float model → compose → simulate.

@@ -212,6 +212,11 @@ pub struct CompiledModel {
     pub(crate) floats: Vec<f32>,
     /// All encoded weights.
     pub(crate) codes: Vec<u16>,
+    /// Set by [`CompiledModel::verify`] when the static analyzer proved
+    /// the program error-free; lets [`BatchRunner`] drop its defensive
+    /// per-gather index clamps. Never serialized — a loaded artifact
+    /// must re-earn it.
+    pub(crate) verified: bool,
 }
 
 impl CompiledModel {
@@ -237,6 +242,7 @@ impl CompiledModel {
             ops: fl.ops,
             floats: fl.floats,
             codes: fl.codes,
+            verified: false,
         };
         model.validate()?;
         Ok(model)
@@ -269,6 +275,7 @@ impl CompiledModel {
             })],
             floats: vec![0.0, 1.0],
             codes: vec![],
+            verified: false,
         }
     }
 
@@ -372,6 +379,16 @@ impl CompiledModel {
     /// unknown version, truncation, checksum mismatch, or structural
     /// inconsistency. This function never panics.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, ArtifactError> {
+        let model = Self::decode(bytes)?;
+        model.validate()?;
+        Ok(model)
+    }
+
+    /// Decodes the byte framing (magic, version, checksum, payload) into
+    /// a structurally unvalidated model. Callers must `validate()` (the
+    /// classic path) or run the static analyzer (`lint_bytes`) before
+    /// inference.
+    pub(crate) fn decode(bytes: &[u8]) -> Result<Self, ArtifactError> {
         let mut r = Reader::new(bytes);
         let magic = r.take(4)?;
         if magic != MAGIC {
@@ -429,16 +446,45 @@ impl CompiledModel {
             )));
         }
 
-        let model = CompiledModel {
+        Ok(CompiledModel {
             input_features,
             output_features,
             virtual_encoder,
             ops,
             floats,
             codes,
-        };
-        model.validate()?;
+            verified: false,
+        })
+    }
+
+    /// Decodes an artifact and requires a clean static-analysis report
+    /// instead of (in addition to) classic validation.
+    ///
+    /// The analyzer subsumes every [`validate`](Self::from_bytes) check
+    /// and adds finiteness and datapath analysis on top, so a model
+    /// loaded this way is [`verified`](Self::is_verified): the batch
+    /// kernels skip their defensive per-gather index clamps.
+    ///
+    /// # Errors
+    ///
+    /// Byte-level corruption surfaces as [`ServeError::Artifact`]; a
+    /// structurally decodable model with analysis errors surfaces as
+    /// [`ServeError::Rejected`] carrying the full diagnostic report.
+    pub fn from_bytes_strict(bytes: &[u8]) -> Result<Self> {
+        let mut model = Self::decode(bytes)?;
+        model.verify()?;
         Ok(model)
+    }
+
+    /// Reads an artifact from `path` via [`Self::from_bytes_strict`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors, [`ArtifactError`]s, and
+    /// [`ServeError::Rejected`].
+    pub fn load_strict(path: impl AsRef<Path>) -> Result<Self> {
+        let bytes = std::fs::read(path)?;
+        Self::from_bytes_strict(&bytes)
     }
 
     /// Writes the serialized artifact to `path`.
@@ -459,6 +505,138 @@ impl CompiledModel {
     pub fn load(path: impl AsRef<Path>) -> Result<Self> {
         let bytes = std::fs::read(path)?;
         Ok(Self::from_bytes(&bytes)?)
+    }
+
+    // ------------------------------------------------------------------
+    // Static analysis
+    // ------------------------------------------------------------------
+
+    /// Lowers the model into the analyzer's IR, borrowing both pools.
+    pub(crate) fn to_program(&self) -> rapidnn_analyze::Program<'_> {
+        use rapidnn_analyze as a;
+        use std::borrow::Cow;
+
+        let span = |s: Span| a::Span {
+            start: s.start,
+            len: s.len,
+        };
+        let table = |t: &TableRef| a::TableRef {
+            offset: t.offset,
+            weight_count: t.weight_count,
+            input_count: t.input_count,
+        };
+        let act = |x: &ActRef| match x {
+            ActRef::Identity => a::Act::Identity,
+            ActRef::Relu => a::Act::Relu,
+            ActRef::Lookup { inputs, outputs } => a::Act::Lookup {
+                inputs: span(*inputs),
+                outputs: span(*outputs),
+            },
+        };
+        let geom = |g: &Geom| a::Geom {
+            in_channels: g.in_channels,
+            in_height: g.in_height,
+            in_width: g.in_width,
+            kernel_h: g.kernel_h,
+            kernel_w: g.kernel_w,
+            stride: g.stride,
+            pad: g.pad,
+            out_height: g.out_height,
+            out_width: g.out_width,
+        };
+        let ops = self
+            .ops
+            .iter()
+            .map(|op| match op {
+                Op::Dense {
+                    inputs,
+                    outputs,
+                    weight_codes,
+                    bias,
+                    table: t,
+                    act: x,
+                    encoder,
+                } => a::Op::Dense {
+                    inputs: *inputs,
+                    outputs: *outputs,
+                    weight_codes: span(*weight_codes),
+                    bias: span(*bias),
+                    table: table(t),
+                    act: act(x),
+                    encoder: encoder.map(span),
+                },
+                Op::Conv {
+                    geom: g,
+                    out_channels,
+                    weight_codes,
+                    bias,
+                    tables,
+                    zero_code,
+                    act: x,
+                    encoder,
+                } => a::Op::Conv {
+                    geom: geom(g),
+                    out_channels: *out_channels,
+                    weight_codes: span(*weight_codes),
+                    bias: span(*bias),
+                    tables: tables.iter().map(table).collect(),
+                    zero_code: *zero_code,
+                    act: act(x),
+                    encoder: encoder.map(span),
+                },
+                Op::MaxPool(g) => a::Op::MaxPool(geom(g)),
+                Op::AvgPool { geom: g, codebook } => a::Op::AvgPool {
+                    geom: geom(g),
+                    codebook: span(*codebook),
+                },
+                Op::ResidualBegin { skip_codebook } => a::Op::ResidualBegin {
+                    skip_codebook: span(*skip_codebook),
+                },
+                Op::ResidualEnd { encoder } => a::Op::ResidualEnd {
+                    encoder: encoder.map(span),
+                },
+            })
+            .collect();
+        a::Program {
+            input_features: self.input_features,
+            output_features: self.output_features,
+            virtual_encoder: span(self.virtual_encoder),
+            ops,
+            floats: Cow::Borrowed(&self.floats),
+            codes: Cow::Borrowed(&self.codes),
+        }
+    }
+
+    /// Runs the static analyzer over the compiled program and returns
+    /// the full diagnostic report (errors, warnings, and notes) without
+    /// changing the model's verified status.
+    pub fn analyze(&self) -> rapidnn_analyze::Report {
+        rapidnn_analyze::analyze(&self.to_program())
+    }
+
+    /// Runs the static analyzer and, if it proves the program free of
+    /// errors, marks the model verified so the batch kernels can skip
+    /// their defensive per-gather index clamps.
+    ///
+    /// Warnings and notes do not block verification; they are returned
+    /// in the report for the caller to surface.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Rejected`] carrying the report when it contains at
+    /// least one `error` diagnostic.
+    pub fn verify(&mut self) -> Result<rapidnn_analyze::Report> {
+        let report = self.analyze();
+        if report.has_errors() {
+            return Err(ServeError::Rejected(Box::new(report)));
+        }
+        self.verified = true;
+        Ok(report)
+    }
+
+    /// Whether [`Self::verify`] has proven this model error-free.
+    pub fn is_verified(&self) -> bool {
+        self.verified
     }
 
     // ------------------------------------------------------------------
@@ -1329,6 +1507,7 @@ mod tests {
                 ops: vec![op],
                 floats: vec![0.0, 1.0],
                 codes: vec![],
+                verified: false,
             };
             // Must be rejected at decode time; without the pad check this
             // artifact passed validation and `infer` panicked out of
@@ -1349,6 +1528,7 @@ mod tests {
             ops: vec![],
             floats: vec![0.0; len],
             codes: vec![],
+            verified: false,
         };
         // One past the cap: `nearest` would wrap this book's top index to
         // code 0 through the u16 cast.

@@ -63,9 +63,7 @@ impl EngineConfig {
         if self.workers > 0 {
             return self.workers;
         }
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
+        std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
     }
 }
 
@@ -180,6 +178,25 @@ impl Engine {
         }
     }
 
+    /// Runs the static analyzer over the model and starts the worker
+    /// pool only if it is proven free of `error` diagnostics; the
+    /// workers then serve on the verified kernel paths (no defensive
+    /// per-gather index clamps).
+    ///
+    /// An already-[`verified`](CompiledModel::is_verified) model skips
+    /// the re-analysis.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Rejected`] with the diagnostic report when the
+    /// analyzer finds errors.
+    pub fn start_verified(mut model: CompiledModel, config: EngineConfig) -> Result<Engine> {
+        if !model.is_verified() {
+            model.verify()?;
+        }
+        Ok(Engine::start(model, config))
+    }
+
     /// The model being served.
     pub fn model(&self) -> &CompiledModel {
         &self.model
@@ -230,7 +247,7 @@ impl Engine {
                 .shared
                 .space_ready
                 .wait(state)
-                .unwrap_or_else(|e| e.into_inner());
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
         }
     }
 
@@ -307,7 +324,10 @@ impl std::fmt::Debug for Engine {
 fn lock_state(shared: &Shared) -> std::sync::MutexGuard<'_, QueueState> {
     // A worker can only panic between batches with the lock released, so
     // a poisoned mutex still guards consistent state.
-    shared.state.lock().unwrap_or_else(|e| e.into_inner())
+    shared
+        .state
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 fn worker_loop(
@@ -340,7 +360,7 @@ fn worker_loop(
                 state = shared
                     .work_ready
                     .wait(state)
-                    .unwrap_or_else(|e| e.into_inner());
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
             }
             // Gather a dynamic batch. The straggler wait runs from the
             // first drain and ends at the earliest of: batch full,
@@ -363,7 +383,7 @@ fn worker_loop(
                 let (next, timeout) = shared
                     .work_ready
                     .wait_timeout(state, deadline - now)
-                    .unwrap_or_else(|e| e.into_inner());
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
                 state = next;
                 if timeout.timed_out() && state.jobs.is_empty() {
                     break;

@@ -72,6 +72,11 @@ pub enum ServeError {
     /// Inference panicked inside a worker thread. The request fails but
     /// the worker survives and keeps serving.
     WorkerPanic(String),
+    /// The static analyzer found `error`-severity diagnostics during a
+    /// strict load ([`crate::CompiledModel::from_bytes_strict`]) or an
+    /// explicit [`crate::CompiledModel::verify`]. The boxed report holds
+    /// every finding, not just the first.
+    Rejected(Box<rapidnn_analyze::Report>),
     /// Filesystem I/O while saving or loading an artifact.
     Io(std::io::Error),
 }
@@ -84,6 +89,13 @@ impl fmt::Display for ServeError {
             ServeError::QueueFull => write!(f, "request queue is full"),
             ServeError::ShuttingDown => write!(f, "engine is shutting down"),
             ServeError::WorkerPanic(msg) => write!(f, "inference panicked: {msg}"),
+            ServeError::Rejected(report) => {
+                write!(
+                    f,
+                    "artifact rejected by static analysis: {}",
+                    report.summary()
+                )
+            }
             ServeError::Io(e) => write!(f, "i/o error: {e}"),
         }
     }

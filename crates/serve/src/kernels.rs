@@ -202,6 +202,10 @@ impl BatchRunner {
             wdec,
         } = self;
         let pool_f: &[f32] = &model.floats;
+        // Statically verified models (see `CompiledModel::verify`) have
+        // proven every gather index in bounds, so the block kernels run
+        // with an identity clamp instead of the defensive `min`/mask.
+        let verified = model.verified;
         let mut skip_depth = 0usize;
 
         // Pad the batch to a whole number of LANES-row blocks so the
@@ -287,6 +291,7 @@ impl BatchRunner {
                                 nin,
                                 nout,
                                 tile,
+                                verified,
                             );
                             r0 += LANES;
                         }
@@ -348,6 +353,7 @@ impl BatchRunner {
                             in_vol,
                             nout,
                             tile,
+                            verified,
                         );
                         r0 += LANES;
                     }
@@ -614,6 +620,7 @@ fn dense_block(
     nin: usize,
     nout: usize,
     tile: &mut Vec<u16>,
+    verified: bool,
 ) {
     // Unreachable on a validated model (empty product tables are
     // rejected); guarantees `last` below cannot wrap, which lets the
@@ -625,8 +632,12 @@ fn dense_block(
     interleave(xblock, nin, tile);
     // Valid codes never exceed `last`, so clamping with `min` and
     // masking are both identities on real data; for power-of-two
-    // tables the mask variant saves a compare per gather.
-    if table.input_count.is_power_of_two() {
+    // tables the mask variant saves a compare per gather. A statically
+    // verified model has *proven* every code in bounds, so it skips the
+    // clamp entirely — same indices, one less op per gather.
+    if verified {
+        dense_block_gather(pool_f, table, wcodes, bias, dst, nout, tile, |x| x);
+    } else if table.input_count.is_power_of_two() {
         dense_block_gather(pool_f, table, wcodes, bias, dst, nout, tile, |x| x & last);
     } else {
         dense_block_gather(pool_f, table, wcodes, bias, dst, nout, tile, |x| {
@@ -860,11 +871,10 @@ fn conv_block(
     in_vol: usize,
     nout: usize,
     tile: &mut Vec<u16>,
+    verified: bool,
 ) {
     interleave(xblock, in_vol, tile);
     let patch_len = g.patch_len();
-    let pixels = g.out_pixels();
-    let (c, h, w) = (g.in_channels, g.in_height, g.in_width);
     for oc in 0..out_channels {
         let table = &tables[oc];
         // See dense_block: the guard proves the clamp stays in bounds.
@@ -873,39 +883,91 @@ fn conv_block(
         }
         let last = table.input_count - 1;
         let wrow = &wcodes[oc * patch_len..(oc + 1) * patch_len];
-        for oy in 0..g.out_height {
-            for ox in 0..g.out_width {
-                let mut acc = [bias[oc]; LANES];
-                let mut k = 0usize;
-                for ic in 0..c {
-                    for kh in 0..g.kernel_h {
-                        let iy = (oy * g.stride + kh) as isize - g.pad as isize;
-                        for kw in 0..g.kernel_w {
-                            let ix = (ox * g.stride + kw) as isize - g.pad as isize;
-                            let trow = table.row(pool_f, wrow[k]);
-                            k += 1;
-                            if iy >= 0 && ix >= 0 && (iy as usize) < h && (ix as usize) < w {
-                                let src = ic * h * w + iy as usize * w + ix as usize;
-                                let xs: &[u16; LANES] = tile[src * LANES..(src + 1) * LANES]
-                                    .try_into()
-                                    .expect("lane group");
-                                for (l, a) in acc.iter_mut().enumerate() {
-                                    let x = xs[l] as usize;
-                                    *a += trow[x.min(last)];
-                                }
-                            } else {
-                                let pad_v = trow[(zero_code as usize).min(last)];
-                                for a in acc.iter_mut() {
-                                    *a += pad_v;
-                                }
+        // Per-channel clamp choice (each channel's table has its own
+        // `last`); see dense_block for the verified-identity rationale.
+        if verified {
+            conv_channel_block(
+                pool_f,
+                g,
+                table,
+                wrow,
+                bias[oc],
+                zero_code,
+                tile,
+                dst,
+                nout,
+                oc,
+                |x| x,
+            );
+        } else {
+            conv_channel_block(
+                pool_f,
+                g,
+                table,
+                wrow,
+                bias[oc],
+                zero_code,
+                tile,
+                dst,
+                nout,
+                oc,
+                |x| x.min(last),
+            );
+        }
+    }
+}
+
+/// Tap loop of [`conv_block`] for one output channel, generic over the
+/// in-bounds clamp.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn conv_channel_block(
+    pool_f: &[f32],
+    g: &Geom,
+    table: &TableRef,
+    wrow: &[u16],
+    bias: f32,
+    zero_code: u16,
+    tile: &[u16],
+    dst: &mut [f32],
+    nout: usize,
+    oc: usize,
+    clamp: impl Fn(usize) -> usize,
+) {
+    let pixels = g.out_pixels();
+    let (c, h, w) = (g.in_channels, g.in_height, g.in_width);
+    for oy in 0..g.out_height {
+        for ox in 0..g.out_width {
+            let mut acc = [bias; LANES];
+            let mut k = 0usize;
+            for ic in 0..c {
+                for kh in 0..g.kernel_h {
+                    let iy = (oy * g.stride + kh) as isize - g.pad as isize;
+                    for kw in 0..g.kernel_w {
+                        let ix = (ox * g.stride + kw) as isize - g.pad as isize;
+                        let trow = table.row(pool_f, wrow[k]);
+                        k += 1;
+                        if iy >= 0 && ix >= 0 && (iy as usize) < h && (ix as usize) < w {
+                            let src = ic * h * w + iy as usize * w + ix as usize;
+                            let xs: &[u16; LANES] = tile[src * LANES..(src + 1) * LANES]
+                                .try_into()
+                                .expect("lane group");
+                            for (l, a) in acc.iter_mut().enumerate() {
+                                let x = xs[l] as usize;
+                                *a += trow[clamp(x)];
+                            }
+                        } else {
+                            let pad_v = trow[clamp(zero_code as usize)];
+                            for a in acc.iter_mut() {
+                                *a += pad_v;
                             }
                         }
                     }
                 }
-                let pixel = oc * pixels + oy * g.out_width + ox;
-                for (l, &a) in acc.iter().enumerate() {
-                    dst[l * nout + pixel] = a;
-                }
+            }
+            let pixel = oc * pixels + oy * g.out_width + ox;
+            for (l, &a) in acc.iter().enumerate() {
+                dst[l * nout + pixel] = a;
             }
         }
     }

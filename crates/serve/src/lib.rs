@@ -19,6 +19,11 @@
 //!   ([`ServeError::QueueFull`]) and draining shutdown. Each worker owns
 //!   a persistent [`BatchRunner`] and executes its gathered batch in one
 //!   kernel call.
+//! * [`lint`] — [`lint_bytes`] runs the `rapidnn-analyze` static
+//!   verifier over raw artifact bytes and returns its diagnostic
+//!   report; [`CompiledModel::from_bytes_strict`] makes a clean report
+//!   a load-time requirement, and verified models let the kernels drop
+//!   their defensive per-gather index clamps.
 //! * [`metrics`] — [`Metrics`]/[`ServerStats`]: throughput and
 //!   queue-depth counters plus a log-scale latency histogram.
 //!
@@ -57,10 +62,12 @@ pub mod artifact;
 pub mod engine;
 mod error;
 pub mod kernels;
+pub mod lint;
 pub mod metrics;
 
 pub use artifact::{CompiledModel, FORMAT_VERSION, MAGIC};
 pub use engine::{Engine, EngineConfig, Ticket};
 pub use error::{ArtifactError, Result, ServeError};
 pub use kernels::BatchRunner;
+pub use lint::lint_bytes;
 pub use metrics::{Metrics, ServerStats};

@@ -1,0 +1,119 @@
+//! Artifact linting: run the static analyzer over raw artifact bytes.
+//!
+//! [`lint_bytes`] is the diagnostic front door: unlike
+//! [`CompiledModel::from_bytes_strict`] it never returns an error —
+//! byte-level corruption is folded into the report as an `RNA0001`
+//! (decode-failed) diagnostic, so callers always get one uniform
+//! [`Report`] to render. The `lint_artifact` example wraps this in a
+//! CLI that exits nonzero when the report has errors.
+
+use crate::artifact::CompiledModel;
+use rapidnn_analyze::{DiagCode, Diagnostic, Report};
+
+/// Statically analyzes a serialized artifact, folding decode failures
+/// into the report instead of returning them as `Err`.
+///
+/// The report has no errors **iff** [`CompiledModel::from_bytes_strict`]
+/// would accept the same bytes; on top of the accept/reject verdict it
+/// carries every warning and note the analyzer produced.
+pub fn lint_bytes(bytes: &[u8]) -> Report {
+    match CompiledModel::decode(bytes) {
+        Ok(model) => model.analyze(),
+        Err(e) => {
+            let mut report = Report::new();
+            report.push(Diagnostic::new(
+                DiagCode::DecodeFailed,
+                None,
+                format!("artifact failed to decode: {e}"),
+            ));
+            report
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::artifact::{Geom, Op, Span};
+    use rapidnn_analyze::Severity;
+
+    fn padded_pool_model() -> CompiledModel {
+        // The PR-1 panic class: a pool geometry that declares padding.
+        // Pool kernels index without padding, so before the validation
+        // fix `infer` panicked out of bounds inside `pool`.
+        CompiledModel {
+            input_features: 4,
+            output_features: 9,
+            virtual_encoder: Span { start: 0, len: 2 },
+            ops: vec![Op::MaxPool(Geom {
+                in_channels: 1,
+                in_height: 2,
+                in_width: 2,
+                kernel_h: 2,
+                kernel_w: 2,
+                stride: 1,
+                pad: 1,
+                out_height: 3,
+                out_width: 3,
+            })],
+            floats: vec![0.0, 1.0],
+            codes: vec![],
+            verified: false,
+        }
+    }
+
+    #[test]
+    fn padded_pool_is_a_typed_error() {
+        let report = lint_bytes(&padded_pool_model().to_bytes());
+        let d = report
+            .find(DiagCode::PaddedPool)
+            .expect("RNA0009 in report");
+        assert_eq!(d.severity, Severity::Error);
+        assert_eq!(d.op, Some(0));
+        assert!(report.has_errors());
+    }
+
+    #[test]
+    fn oversized_codebook_is_a_typed_error() {
+        // The other PR-1 panic class: a codebook past the u16 index
+        // range, whose top entries `nearest` would silently wrap.
+        let len = (1 << 16) + 1;
+        let model = CompiledModel {
+            input_features: 1,
+            output_features: 1,
+            virtual_encoder: Span { start: 0, len },
+            ops: vec![],
+            floats: vec![0.0; len],
+            codes: vec![],
+            verified: false,
+        };
+        let report = lint_bytes(&model.to_bytes());
+        let d = report
+            .find(DiagCode::OversizedCodebook)
+            .expect("RNA0004 in report");
+        assert_eq!(d.severity, Severity::Error);
+    }
+
+    #[test]
+    fn garbage_bytes_fold_into_decode_failed() {
+        let report = lint_bytes(b"not an artifact");
+        assert!(report.has_errors());
+        assert!(report.find(DiagCode::DecodeFailed).is_some());
+
+        // Flip a payload byte: checksum mismatch, still DecodeFailed.
+        let mut bytes = padded_pool_model().to_bytes();
+        bytes[20] ^= 0xff;
+        let report = lint_bytes(&bytes);
+        assert!(report.find(DiagCode::DecodeFailed).is_some());
+    }
+
+    #[test]
+    fn strict_load_agrees_with_lint() {
+        let bytes = padded_pool_model().to_bytes();
+        assert!(lint_bytes(&bytes).has_errors());
+        assert!(matches!(
+            CompiledModel::from_bytes_strict(&bytes),
+            Err(crate::ServeError::Rejected(report)) if report.find(DiagCode::PaddedPool).is_some()
+        ));
+    }
+}

@@ -107,8 +107,7 @@ impl Metrics {
             .latency_sum_ns
             .load(Ordering::Relaxed)
             .checked_div(finished)
-            .map(Duration::from_nanos)
-            .unwrap_or(Duration::ZERO);
+            .map_or(Duration::ZERO, Duration::from_nanos);
         ServerStats {
             submitted: self.submitted.load(Ordering::Relaxed),
             completed,

@@ -1,0 +1,171 @@
+//! Soundness of the static analyzer against artifact corruption.
+//!
+//! The load-time contract has exactly two legal outcomes for any byte
+//! string: either the linter flags it with an `error` diagnostic, or it
+//! loads and infers without panicking. The property test below throws
+//! hundreds of random single-field corruptions at serialized artifacts
+//! of every op-program topology and checks there is no third outcome —
+//! and, in the other direction, that everything classic validation
+//! rejects the analyzer also rejects (the analyzer subsumes `validate`).
+
+mod common;
+
+use rapidnn_prop::{any_u64, check, usize_in, SeededRng};
+use rapidnn_serve::{lint_bytes, CompiledModel, Engine, EngineConfig, ServeError};
+
+/// FNV-1a 64 over the payload, mirroring the artifact trailer, so a
+/// corruption can be "repaired" to survive decoding and reach the
+/// analyzer instead of the checksum gate.
+fn repair_checksum(bytes: &mut [u8]) {
+    let end = bytes.len() - 8;
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in &bytes[16..end] {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    bytes[end..].copy_from_slice(&hash.to_le_bytes());
+}
+
+/// Applies one random single-field corruption. Three kinds: a byte or
+/// an aligned u64 field inside the payload with the checksum repaired
+/// (structural damage the analyzer must judge), or a raw byte anywhere
+/// without repair (framing damage the decoder must catch).
+fn mutate(rng: &mut SeededRng, bytes: &mut [u8]) {
+    let payload = 16..bytes.len() - 8;
+    match usize_in(rng, 0, 3) {
+        0 => {
+            let at = usize_in(rng, payload.start, payload.end);
+            bytes[at] = any_u64(rng) as u8;
+            repair_checksum(bytes);
+        }
+        1 if payload.len() >= 8 => {
+            let at = usize_in(rng, payload.start, payload.end - 7);
+            let v = any_u64(rng);
+            // Small values hit the interesting range of counts, spans
+            // and geometry fields; huge ones test the extent caps.
+            let v = if v.is_multiple_of(2) { v % 4096 } else { v };
+            bytes[at..at + 8].copy_from_slice(&v.to_le_bytes());
+            repair_checksum(bytes);
+        }
+        _ => {
+            let at = usize_in(rng, 0, bytes.len());
+            bytes[at] ^= 1 << usize_in(rng, 0, 8);
+        }
+    }
+}
+
+#[test]
+fn corrupted_artifacts_are_flagged_or_harmless() {
+    let mut rng = SeededRng::new(2024);
+    let artifacts: Vec<Vec<u8>> = [
+        common::mlp_model(&mut rng),
+        common::cnn_model(&mut rng),
+        common::residual_model(&mut rng),
+    ]
+    .iter()
+    .map(|net| {
+        CompiledModel::from_reinterpreted(net)
+            .expect("compile")
+            .to_bytes()
+    })
+    .collect();
+
+    // 3 artifacts x 200 seeds = 600 corrupted mutants.
+    check(200, |rng| {
+        for clean in &artifacts {
+            let mut bytes = clean.clone();
+            mutate(rng, &mut bytes);
+
+            let report = lint_bytes(&bytes);
+            let loaded = CompiledModel::from_bytes(&bytes);
+
+            if let Err(e) = &loaded {
+                // Subsumption: whatever decode/validate rejects, the
+                // analyzer must reject too.
+                assert!(
+                    report.has_errors(),
+                    "validate rejected ({e}) but the lint report is error-free:\n{report}"
+                );
+            }
+            if !report.has_errors() {
+                // Analyzer-clean mutants must load and infer without
+                // panicking: no third outcome.
+                let model = loaded
+                    .unwrap_or_else(|e| panic!("lint report clean but load failed: {e}\n{report}"));
+                let sample = vec![0.25f32; model.input_features()];
+                let run = std::panic::catch_unwind(|| model.infer(&sample).map(|_| ()));
+                assert!(run.is_ok(), "analyzer-clean mutant panicked in infer");
+            }
+        }
+    });
+}
+
+#[test]
+fn verified_inference_is_bit_identical() {
+    let mut rng = SeededRng::new(7);
+    for net in [
+        common::mlp_model(&mut rng),
+        common::cnn_model(&mut rng),
+        common::residual_model(&mut rng),
+    ] {
+        let model = CompiledModel::from_reinterpreted(&net).expect("compile");
+        let features = model.input_features();
+        // Enough rows to engage the LANES-block kernels, not just the
+        // serial tail, plus odd remainder rows.
+        let rows = 19;
+        let batch: Vec<f32> = (0..rows * features).map(|i| (i as f32).sin()).collect();
+        let baseline = model.infer_batch(&batch).expect("unverified inference");
+
+        let mut verified = model.clone();
+        assert!(!verified.is_verified());
+        let report = verified.verify().expect("verification");
+        assert!(!report.has_errors());
+        assert!(verified.is_verified());
+
+        let fast = verified.infer_batch(&batch).expect("verified inference");
+        assert_eq!(baseline.len(), fast.len());
+        for (b, f) in baseline.iter().zip(&fast) {
+            assert_eq!(b, f, "verified kernels diverged from clamped kernels");
+        }
+
+        // The flag is not serialized: a round-trip drops it.
+        let reloaded = CompiledModel::from_bytes(&verified.to_bytes()).expect("round-trip");
+        assert!(!reloaded.is_verified());
+    }
+}
+
+#[test]
+fn strict_load_accepts_real_artifacts_and_verifies_them() {
+    let mut rng = SeededRng::new(13);
+    let model = CompiledModel::from_reinterpreted(&common::mlp_model(&mut rng)).expect("compile");
+    let strict = CompiledModel::from_bytes_strict(&model.to_bytes()).expect("strict load");
+    assert!(strict.is_verified());
+}
+
+#[test]
+fn start_verified_serves_and_rejects() {
+    let mut rng = SeededRng::new(99);
+    let model = CompiledModel::from_reinterpreted(&common::mlp_model(&mut rng)).expect("compile");
+    let sample = vec![0.5f32; model.input_features()];
+    let expected = model.infer(&sample).expect("direct inference");
+
+    let engine = Engine::start_verified(model, EngineConfig::default()).expect("verified start");
+    assert!(engine.model().is_verified());
+    let ticket = engine.try_submit(sample).expect("submit");
+    assert_eq!(ticket.wait().expect("response"), expected);
+    engine.shutdown();
+
+    // A corrupted artifact that decodes but fails analysis is refused
+    // before any worker starts.
+    let mut rng = SeededRng::new(100);
+    let model = CompiledModel::from_reinterpreted(&common::mlp_model(&mut rng)).expect("compile");
+    let mut bytes = model.to_bytes();
+    // Lie about the output width (second payload u64): decodes fine,
+    // analyzer errors with a shape mismatch.
+    bytes[24..32].copy_from_slice(&9999u64.to_le_bytes());
+    repair_checksum(&mut bytes);
+    match CompiledModel::from_bytes_strict(&bytes) {
+        Err(ServeError::Rejected(report)) => assert!(report.has_errors()),
+        other => panic!("expected rejection, got {other:?}"),
+    }
+}

@@ -73,10 +73,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 6. Counter-based weighted accumulation (§4.1): count, decompose,
     //    shift-add.
     let (adds, subs) = decompose_counter(15);
-    println!(
-        "counter 15 decomposes to +2^{:?} -2^{:?} (the 16-1 trick)",
-        adds, subs
-    );
+    println!("counter 15 decomposes to +2^{adds:?} -2^{subs:?} (the 16-1 trick)");
     let acc = WeightedAccumulator::new(16);
     let result = acc.accumulate(&[(0.5, 15), (-0.25, 4), (1.0, 9)]);
     println!(

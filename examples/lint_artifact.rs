@@ -1,0 +1,103 @@
+//! Artifact linter CLI: run the static verifier over a compiled-model
+//! artifact and print its rustc-style diagnostic report.
+//!
+//! Usage:
+//!
+//! * `cargo run --release --example lint_artifact -- model.rnna` —
+//!   lint an artifact file; exits nonzero when the report has errors.
+//! * `cargo run --release --example lint_artifact` (or `-- --demo`) —
+//!   self-contained demo: compiles a clean artifact from a tiny
+//!   pipeline, lints it, then corrupts a header field (repairing the
+//!   checksum so the damage reaches the analyzer rather than the
+//!   decoder) and lints the broken artifact.
+
+use rapidnn::serve::lint_bytes;
+use rapidnn::tensor::SeededRng;
+use rapidnn::{Pipeline, PipelineConfig};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let arg = std::env::args().nth(1);
+    match arg.as_deref() {
+        None | Some("--demo") => demo(),
+        Some("--help" | "-h") => {
+            eprintln!("usage: lint_artifact [model.rnna | --demo]");
+            ExitCode::SUCCESS
+        }
+        Some(path) => lint_file(path),
+    }
+}
+
+/// Lints one artifact file; the exit code is the verdict.
+fn lint_file(path: &str) -> ExitCode {
+    let bytes = match std::fs::read(path) {
+        Ok(bytes) => bytes,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = lint_bytes(&bytes);
+    println!("{report}");
+    if report.has_errors() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Compiles a clean artifact, lints it, then breaks it and lints again.
+fn demo() -> ExitCode {
+    let mut rng = SeededRng::new(42);
+    println!("== 1. compose and compile a clean artifact ==");
+    let report = match Pipeline::new(PipelineConfig::tiny_for_tests()).run(&mut rng) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("error: pipeline failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // The stage graph can be linted before any artifact exists.
+    let pre = report.analyze();
+    println!("pre-compilation stage-graph analysis: {}", pre.summary());
+    assert!(!pre.has_errors());
+
+    let compiled = match report.compile() {
+        Ok(model) => model,
+        Err(e) => {
+            eprintln!("error: compile failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let bytes = compiled.to_bytes();
+    let clean = lint_bytes(&bytes);
+    println!("compiled artifact analysis:\n{clean}");
+    assert!(!clean.has_errors());
+
+    println!("\n== 2. corrupt the artifact and lint again ==");
+    // Overwrite `output_features` (second u64 of the payload) with a
+    // width the program cannot produce, then repair the checksum so the
+    // corruption survives decoding and reaches the analyzer.
+    let mut broken = bytes;
+    broken[24..32].copy_from_slice(&9999u64.to_le_bytes());
+    repair_checksum(&mut broken);
+    let verdict = lint_bytes(&broken);
+    println!("{verdict}");
+    assert!(verdict.has_errors());
+    println!("\nthe linter exits nonzero on a report like the one above");
+    ExitCode::SUCCESS
+}
+
+/// Recomputes the trailing FNV-1a 64 checksum over the payload, exactly
+/// as `CompiledModel::to_bytes` does (magic 4 + version 4 + length 8,
+/// then the payload, then the checksum).
+fn repair_checksum(bytes: &mut [u8]) {
+    let end = bytes.len() - 8;
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in &bytes[16..end] {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    bytes[end..].copy_from_slice(&hash.to_le_bytes());
+}

@@ -92,7 +92,7 @@ fn weighted_accumulation_matches_naive() {
         let acc = WeightedAccumulator::new(16);
         let expected: f32 = slots.iter().map(|&(v, c)| v * c as f32).sum();
         let got = acc.accumulate(&slots).sum;
-        assert!((got - expected).abs() < 0.05, "{} vs {}", got, expected);
+        assert!((got - expected).abs() < 0.05, "{got} vs {expected}");
     });
 }
 
