@@ -1,0 +1,603 @@
+//! Hand-rolled HTTP/1.1 request parsing and response writing.
+//!
+//! The gateway speaks just enough HTTP/1.1 for its API — request line,
+//! headers, `Content-Length` bodies, keep-alive — over `std::net`
+//! streams with zero dependencies. The parser is *total*: any byte
+//! sequence produces either a [`Request`] or a typed [`ParseError`]
+//! that maps to a 4xx/5xx status, never a panic. Hard limits
+//! ([`Limits`]) bound the head and body so a hostile peer cannot make a
+//! connection worker allocate without bound.
+//!
+//! Not supported (answered with a clean error, not implemented):
+//! `Transfer-Encoding` bodies (501), HTTP versions other than 1.0/1.1
+//! (505), and header blocks past the size limit (431).
+
+use std::io::{self, Read, Write};
+
+/// Parser limits; exceeding one maps to 431 (head) or 413 (body).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Limits {
+    /// Maximum bytes in the request line + headers (including CRLFs).
+    pub max_head_bytes: usize,
+    /// Maximum `Content-Length` the parser will read.
+    pub max_body_bytes: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_head_bytes: 16 * 1024,
+            max_body_bytes: 16 * 1024 * 1024,
+        }
+    }
+}
+
+/// A parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Method token, uppercased (`GET`, `PUT`, ...).
+    pub method: String,
+    /// Request target as sent (path + optional query).
+    pub target: String,
+    /// Header name/value pairs in arrival order; names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Raw body (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+    /// Whether the connection should stay open after the response.
+    pub keep_alive: bool,
+}
+
+impl Request {
+    /// First value of `name` (case-insensitive), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Path portion of the target (query string stripped).
+    pub fn path(&self) -> &str {
+        self.target.split('?').next().unwrap_or(&self.target)
+    }
+}
+
+/// Why a byte stream failed to parse as a request. Every variant maps
+/// to a status code via [`ParseError::status`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// Syntactically broken request line, header, or length field (400).
+    Malformed(&'static str),
+    /// Request line + headers exceeded [`Limits::max_head_bytes`] (431).
+    HeadTooLarge,
+    /// Declared `Content-Length` exceeded [`Limits::max_body_bytes`]
+    /// (413).
+    BodyTooLarge(u64),
+    /// A body-bearing method arrived without `Content-Length` (411).
+    LengthRequired,
+    /// `Transfer-Encoding` bodies are not implemented (501).
+    UnsupportedEncoding,
+    /// HTTP version other than 1.0/1.1 (505).
+    UnsupportedVersion,
+}
+
+impl ParseError {
+    /// The status code a server should answer this error with.
+    pub fn status(&self) -> u16 {
+        match self {
+            ParseError::Malformed(_) => 400,
+            ParseError::HeadTooLarge => 431,
+            ParseError::BodyTooLarge(_) => 413,
+            ParseError::LengthRequired => 411,
+            ParseError::UnsupportedEncoding => 501,
+            ParseError::UnsupportedVersion => 505,
+        }
+    }
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Malformed(what) => write!(f, "malformed request: {what}"),
+            ParseError::HeadTooLarge => write!(f, "request head too large"),
+            ParseError::BodyTooLarge(n) => write!(f, "request body of {n} bytes too large"),
+            ParseError::LengthRequired => write!(f, "content-length required"),
+            ParseError::UnsupportedEncoding => write!(f, "transfer-encoding not supported"),
+            ParseError::UnsupportedVersion => write!(f, "http version not supported"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Result of trying to read one request off a connection.
+#[derive(Debug)]
+pub enum ReadOutcome {
+    /// A complete request.
+    Request(Request),
+    /// The peer closed cleanly before sending a request (normal
+    /// keep-alive connection end).
+    Closed,
+    /// The bytes were not a valid request: answer
+    /// [`ParseError::status`] and close the connection.
+    Invalid(ParseError),
+    /// The socket failed mid-request (timeout, reset): drop the
+    /// connection without answering.
+    Io(io::Error),
+}
+
+/// Buffered request reader over one connection.
+///
+/// Owns the stream (reads *and* writes go through it — see
+/// [`HttpReader::stream_mut`]) and carries leftover buffered bytes
+/// between keep-alive requests so pipelined requests are not lost.
+#[derive(Debug)]
+pub struct HttpReader<S> {
+    stream: S,
+    buf: Vec<u8>,
+    start: usize,
+    end: usize,
+}
+
+impl<S: Read + Write> HttpReader<S> {
+    /// Wraps a connection stream.
+    pub fn new(stream: S) -> Self {
+        HttpReader {
+            stream,
+            buf: vec![0; 4096],
+            start: 0,
+            end: 0,
+        }
+    }
+
+    /// The underlying stream, for writing responses.
+    pub fn stream_mut(&mut self) -> &mut S {
+        &mut self.stream
+    }
+
+    fn fill(&mut self) -> io::Result<usize> {
+        if self.start == self.end {
+            self.start = 0;
+            self.end = 0;
+        }
+        if self.end == self.buf.len() {
+            // Compact before growing; the head-size cap bounds growth.
+            self.buf.copy_within(self.start..self.end, 0);
+            self.end -= self.start;
+            self.start = 0;
+            if self.end == self.buf.len() {
+                self.buf.resize(self.buf.len() * 2, 0);
+            }
+        }
+        let n = self.stream.read(&mut self.buf[self.end..])?;
+        self.end += n;
+        Ok(n)
+    }
+
+    fn next_byte(&mut self) -> io::Result<Option<u8>> {
+        if self.start == self.end && self.fill()? == 0 {
+            return Ok(None);
+        }
+        let b = self.buf[self.start];
+        self.start += 1;
+        Ok(Some(b))
+    }
+
+    /// Reads the next request off the connection.
+    pub fn next_request(&mut self, limits: Limits) -> ReadOutcome {
+        // Accumulate the head byte-by-byte until the blank line; the
+        // cap turns a hostile endless header stream into a clean 431.
+        let mut head = Vec::with_capacity(512);
+        loop {
+            match self.next_byte() {
+                Ok(Some(b)) => head.push(b),
+                Ok(None) if head.is_empty() => return ReadOutcome::Closed,
+                Ok(None) => return ReadOutcome::Invalid(ParseError::Malformed("truncated head")),
+                Err(e) => return ReadOutcome::Io(e),
+            }
+            if head.ends_with(b"\r\n\r\n") || head.ends_with(b"\n\n") {
+                break;
+            }
+            if head.len() > limits.max_head_bytes {
+                return ReadOutcome::Invalid(ParseError::HeadTooLarge);
+            }
+        }
+        let (request, body_len) = match parse_head(&head) {
+            Ok(parts) => parts,
+            Err(e) => return ReadOutcome::Invalid(e),
+        };
+        if body_len > limits.max_body_bytes as u64 {
+            return ReadOutcome::Invalid(ParseError::BodyTooLarge(body_len));
+        }
+        let mut request = request;
+        match self.read_body(body_len as usize) {
+            Ok(body) => request.body = body,
+            Err(e) => return ReadOutcome::Io(e),
+        }
+        ReadOutcome::Request(request)
+    }
+
+    fn read_body(&mut self, len: usize) -> io::Result<Vec<u8>> {
+        let mut body = Vec::with_capacity(len.min(64 * 1024));
+        // Drain buffered bytes first, then read the remainder directly.
+        let buffered = (self.end - self.start).min(len);
+        body.extend_from_slice(&self.buf[self.start..self.start + buffered]);
+        self.start += buffered;
+        let mut remaining = len - buffered;
+        let mut chunk = [0u8; 4096];
+        while remaining > 0 {
+            let take = remaining.min(chunk.len());
+            let n = self.stream.read(&mut chunk[..take])?;
+            if n == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-body",
+                ));
+            }
+            body.extend_from_slice(&chunk[..n]);
+            remaining -= n;
+        }
+        Ok(body)
+    }
+}
+
+/// Parses the request line + headers; returns the request (body still
+/// empty) and the declared body length.
+fn parse_head(head: &[u8]) -> Result<(Request, u64), ParseError> {
+    let text = std::str::from_utf8(head).map_err(|_| ParseError::Malformed("non-utf8 head"))?;
+    let mut lines = text.split('\n').map(|l| l.strip_suffix('\r').unwrap_or(l));
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ').filter(|p| !p.is_empty());
+    let (Some(method), Some(target), Some(version), None) =
+        (parts.next(), parts.next(), parts.next(), parts.next())
+    else {
+        return Err(ParseError::Malformed("request line"));
+    };
+    if method.is_empty() || !method.bytes().all(|b| b.is_ascii_alphabetic()) {
+        return Err(ParseError::Malformed("method token"));
+    }
+    if !target.starts_with('/') {
+        return Err(ParseError::Malformed("request target"));
+    }
+    let http11 = match version {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        v if v.starts_with("HTTP/") => return Err(ParseError::UnsupportedVersion),
+        _ => return Err(ParseError::Malformed("http version")),
+    };
+
+    let mut headers: Vec<(String, String)> = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue; // the blank terminator (and tolerated trailing one)
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(ParseError::Malformed("header line"));
+        };
+        if name.is_empty() || name.contains(' ') {
+            return Err(ParseError::Malformed("header name"));
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    if headers.iter().any(|(n, _)| n == "transfer-encoding") {
+        return Err(ParseError::UnsupportedEncoding);
+    }
+
+    let mut body_len: Option<u64> = None;
+    for (name, value) in &headers {
+        if name == "content-length" {
+            let parsed: u64 = value
+                .parse()
+                .map_err(|_| ParseError::Malformed("content-length value"))?;
+            if let Some(prev) = body_len {
+                if prev != parsed {
+                    return Err(ParseError::Malformed("conflicting content-length"));
+                }
+            }
+            body_len = Some(parsed);
+        }
+    }
+    let method = method.to_ascii_uppercase();
+    let body_len = match body_len {
+        Some(n) => n,
+        // Methods defined to carry our API's payloads must declare one.
+        None if method == "PUT" || method == "POST" => return Err(ParseError::LengthRequired),
+        None => 0,
+    };
+
+    let connection = headers
+        .iter()
+        .find(|(n, _)| n == "connection")
+        .map(|(_, v)| v.to_ascii_lowercase());
+    let keep_alive = match connection.as_deref() {
+        Some("close") => false,
+        Some("keep-alive") => true,
+        _ => http11,
+    };
+
+    Ok((
+        Request {
+            method,
+            target: target.to_string(),
+            headers,
+            body: Vec::new(),
+            keep_alive,
+        },
+        body_len,
+    ))
+}
+
+/// An HTTP response under construction.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Extra headers beyond the synthesized `Content-Length`,
+    /// `Content-Type`, and `Connection`.
+    pub headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: Vec<u8>,
+    content_type: &'static str,
+}
+
+impl Response {
+    /// An empty response with `status`.
+    pub fn new(status: u16) -> Self {
+        Response {
+            status,
+            headers: Vec::new(),
+            body: Vec::new(),
+            content_type: "text/plain; charset=utf-8",
+        }
+    }
+
+    /// A `text/plain` response.
+    pub fn text(status: u16, body: impl Into<String>) -> Self {
+        Response {
+            body: body.into().into_bytes(),
+            ..Response::new(status)
+        }
+    }
+
+    /// An `application/json` response.
+    pub fn json(status: u16, body: impl Into<String>) -> Self {
+        Response {
+            body: body.into().into_bytes(),
+            content_type: "application/json",
+            ..Response::new(status)
+        }
+    }
+
+    /// An `application/octet-stream` response.
+    pub fn bytes(status: u16, body: Vec<u8>) -> Self {
+        Response {
+            body,
+            content_type: "application/octet-stream",
+            ..Response::new(status)
+        }
+    }
+
+    /// Appends a header.
+    #[must_use]
+    pub fn header(mut self, name: &str, value: impl Into<String>) -> Self {
+        self.headers.push((name.to_string(), value.into()));
+        self
+    }
+
+    /// Serializes the response and writes it in one call.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket write failure (the connection is then
+    /// dropped by the caller).
+    pub fn write_to(&self, stream: &mut impl Write, keep_alive: bool) -> io::Result<()> {
+        let mut out = Vec::with_capacity(self.body.len() + 256);
+        out.extend_from_slice(
+            format!("HTTP/1.1 {} {}\r\n", self.status, reason(self.status)).as_bytes(),
+        );
+        out.extend_from_slice(format!("content-length: {}\r\n", self.body.len()).as_bytes());
+        out.extend_from_slice(format!("content-type: {}\r\n", self.content_type).as_bytes());
+        out.extend_from_slice(
+            if keep_alive {
+                "connection: keep-alive\r\n"
+            } else {
+                "connection: close\r\n"
+            }
+            .as_bytes(),
+        );
+        for (name, value) in &self.headers {
+            out.extend_from_slice(format!("{name}: {value}\r\n").as_bytes());
+        }
+        out.extend_from_slice(b"\r\n");
+        out.extend_from_slice(&self.body);
+        stream.write_all(&out)?;
+        stream.flush()
+    }
+}
+
+/// Canonical reason phrase for the status codes the gateway emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        411 => "Length Required",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        505 => "HTTP Version Not Supported",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// In-memory duplex stand-in for a socket: reads from `input`,
+    /// collects writes.
+    struct FakeStream {
+        input: io::Cursor<Vec<u8>>,
+        output: Vec<u8>,
+    }
+
+    impl FakeStream {
+        fn new(input: &[u8]) -> Self {
+            FakeStream {
+                input: io::Cursor::new(input.to_vec()),
+                output: Vec::new(),
+            }
+        }
+    }
+
+    impl Read for FakeStream {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            self.input.read(buf)
+        }
+    }
+
+    impl Write for FakeStream {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.output.extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn parse(bytes: &[u8]) -> ReadOutcome {
+        HttpReader::new(FakeStream::new(bytes)).next_request(Limits::default())
+    }
+
+    #[test]
+    fn parses_get_with_headers() {
+        let out = parse(b"GET /models/a/stats?x=1 HTTP/1.1\r\nHost: h\r\nX-Tag: v\r\n\r\n");
+        let ReadOutcome::Request(req) = out else {
+            panic!("expected request, got {out:?}");
+        };
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path(), "/models/a/stats");
+        assert_eq!(req.header("x-tag"), Some("v"));
+        assert_eq!(req.header("X-TAG"), Some("v"));
+        assert!(req.keep_alive);
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parses_body_by_content_length() {
+        let out = parse(b"POST /models/m/infer HTTP/1.1\r\ncontent-length: 4\r\n\r\nabcdEXTRA");
+        let ReadOutcome::Request(req) = out else {
+            panic!("expected request");
+        };
+        assert_eq!(req.body, b"abcd");
+    }
+
+    #[test]
+    fn pipelined_requests_survive_buffering() {
+        let two = b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\nConnection: close\r\n\r\n";
+        let mut reader = HttpReader::new(FakeStream::new(two));
+        let ReadOutcome::Request(first) = reader.next_request(Limits::default()) else {
+            panic!("first request");
+        };
+        assert_eq!(first.target, "/a");
+        let ReadOutcome::Request(second) = reader.next_request(Limits::default()) else {
+            panic!("second request");
+        };
+        assert_eq!(second.target, "/b");
+        assert!(!second.keep_alive);
+        assert!(matches!(
+            reader.next_request(Limits::default()),
+            ReadOutcome::Closed
+        ));
+    }
+
+    #[test]
+    fn malformed_inputs_are_typed_errors() {
+        let cases: &[(&[u8], u16)] = &[
+            (b"garbage\r\n\r\n", 400),
+            (b"GET /x HTTP/2.0\r\n\r\n", 505),
+            (b"GET noslash HTTP/1.1\r\n\r\n", 400),
+            (b"GET /x HTTP/1.1\r\nbroken header\r\n\r\n", 400),
+            (b"POST /x HTTP/1.1\r\n\r\n", 411),
+            (b"POST /x HTTP/1.1\r\ncontent-length: nope\r\n\r\n", 400),
+            (
+                b"POST /x HTTP/1.1\r\ncontent-length: 1\r\ncontent-length: 2\r\n\r\n",
+                400,
+            ),
+            (
+                b"GET /x HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n",
+                501,
+            ),
+            (b"G\xffT /x HTTP/1.1\r\n\r\n", 400),
+        ];
+        for (bytes, status) in cases {
+            match parse(bytes) {
+                ReadOutcome::Invalid(e) => {
+                    assert_eq!(e.status(), *status, "input {bytes:?}");
+                }
+                other => panic!("expected Invalid for {bytes:?}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_head_and_body_are_shed() {
+        let limits = Limits {
+            max_head_bytes: 64,
+            max_body_bytes: 8,
+        };
+        let mut big_head = b"GET /x HTTP/1.1\r\n".to_vec();
+        big_head.extend_from_slice(b"a: ");
+        big_head.extend_from_slice(&[b'x'; 128]);
+        big_head.extend_from_slice(b"\r\n\r\n");
+        match HttpReader::new(FakeStream::new(&big_head)).next_request(limits) {
+            ReadOutcome::Invalid(ParseError::HeadTooLarge) => {}
+            other => panic!("expected HeadTooLarge, got {other:?}"),
+        }
+        let big_body = b"PUT /m HTTP/1.1\r\ncontent-length: 100\r\n\r\n";
+        match HttpReader::new(FakeStream::new(big_body)).next_request(limits) {
+            ReadOutcome::Invalid(ParseError::BodyTooLarge(100)) => {}
+            other => panic!("expected BodyTooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_streams_do_not_hang_or_panic() {
+        assert!(matches!(parse(b""), ReadOutcome::Closed));
+        assert!(matches!(
+            parse(b"GET /x HTTP/1.1\r\n"),
+            ReadOutcome::Invalid(ParseError::Malformed(_))
+        ));
+        // Declared body longer than the stream: an I/O error, never a hang.
+        assert!(matches!(
+            parse(b"POST /x HTTP/1.1\r\ncontent-length: 10\r\n\r\nab"),
+            ReadOutcome::Io(_)
+        ));
+    }
+
+    #[test]
+    fn response_wire_format_round_trips() {
+        let mut stream = FakeStream::new(b"");
+        Response::json(200, "{\"ok\":true}")
+            .header("retry-after", "1")
+            .write_to(&mut stream, true)
+            .unwrap();
+        let text = String::from_utf8(stream.output).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("content-length: 11\r\n"));
+        assert!(text.contains("content-type: application/json\r\n"));
+        assert!(text.contains("connection: keep-alive\r\n"));
+        assert!(text.contains("retry-after: 1\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
+    }
+}

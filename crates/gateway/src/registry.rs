@@ -1,0 +1,489 @@
+//! Multi-model registry: named engines, admission control, verified
+//! hot-swap.
+//!
+//! A [`Registry`] owns many named [`Engine`]s concurrently. Each model
+//! entry adds what the raw engine does not have:
+//!
+//! * **Admission control** — a per-model in-flight budget. A request
+//!   past the budget is *shed* (recorded via
+//!   [`Metrics::record_shed`](rapidnn_serve::Metrics::record_shed) and
+//!   surfaced as [`GatewayError::Shed`], which the HTTP layer maps to
+//!   429 + `Retry-After`), so overload is visible rejection instead of
+//!   unbounded queueing latency.
+//! * **Verified hot-swap** — [`Registry::put_artifact`] accepts raw
+//!   artifact bytes for an existing model and replaces the serving
+//!   engine *safely*: the bytes must pass
+//!   [`CompiledModel::from_bytes_strict`] (decode + `rapidnn-analyze`
+//!   static verification), the new engine is warmed with synthetic
+//!   inferences, and only then does traffic cut over atomically; the
+//!   old engine drains with a deadline. Verification or warmup failure
+//!   rolls back: the old engine never stops serving.
+//!
+//! The swap sequence never drops accepted work. In-flight requests hold
+//! an `Arc` to the engine slot they submitted to; the swap waits for
+//! those references to drop (the old engine is still serving them)
+//! before draining, and a request that races the cutover and hits
+//! `ShuttingDown` retries against the fresh slot.
+
+use crate::error::GatewayError;
+use rapidnn_serve::{CompiledModel, Engine, EngineConfig, ServeError, ServerStats};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock, TryLockError};
+use std::time::{Duration, Instant};
+
+/// Tuning for a [`Registry`] and the engines it builds.
+#[derive(Debug, Clone)]
+pub struct RegistryConfig {
+    /// Engine configuration applied to every registered model.
+    pub engine: EngineConfig,
+    /// Per-model in-flight budget; request `max_inflight + 1` is shed.
+    pub max_inflight: usize,
+    /// Synthetic inferences run through a fresh engine before it takes
+    /// traffic (covers lazy per-worker scratch growth and catches
+    /// models that verify but cannot serve).
+    pub warmup_samples: usize,
+    /// How long a swap waits for the displaced engine to finish its
+    /// in-flight work before detaching it.
+    pub drain_deadline: Duration,
+    /// `Retry-After` hint attached to shed responses.
+    pub retry_after: Duration,
+}
+
+impl Default for RegistryConfig {
+    fn default() -> Self {
+        RegistryConfig {
+            engine: EngineConfig::default(),
+            max_inflight: 256,
+            warmup_samples: 8,
+            drain_deadline: Duration::from_secs(5),
+            retry_after: Duration::from_secs(1),
+        }
+    }
+}
+
+/// One model's serving state behind the registry.
+struct ModelEntry {
+    name: String,
+    /// Current engine. Requests clone the `Arc` under the read lock and
+    /// submit outside it; a swap replaces the `Arc` under the write
+    /// lock, so cutover is atomic with respect to new submissions.
+    slot: RwLock<Arc<Engine>>,
+    /// Requests currently inside this model (queued or executing).
+    inflight: AtomicU64,
+    /// Completed swaps; `0` until the first successful `put` over an
+    /// existing model.
+    generation: AtomicU64,
+    /// Serializes swaps per model; a contended lock is a 409, not a
+    /// queue of competing artifact uploads.
+    swapping: Mutex<()>,
+}
+
+/// Decrements the per-model in-flight gauge on every exit path.
+struct InflightGuard<'a>(&'a AtomicU64);
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// Point-in-time per-model view: engine stats plus registry-level
+/// metadata (swap generation, shape).
+#[derive(Debug, Clone)]
+pub struct ModelStats {
+    /// Model name.
+    pub name: String,
+    /// Completed hot-swaps (0 = the initially registered artifact).
+    pub generation: u64,
+    /// Input feature width.
+    pub input_features: usize,
+    /// Output feature width.
+    pub output_features: usize,
+    /// Requests currently in flight (admission gauge).
+    pub inflight: u64,
+    /// Engine counters for the *current* generation (reset on swap —
+    /// `generation` says how many resets happened).
+    pub server: ServerStats,
+}
+
+/// What a successful [`Registry::put_artifact`] did.
+#[derive(Debug, Clone)]
+pub struct SwapReport {
+    /// `true` when the name was new and this registered rather than
+    /// swapped.
+    pub created: bool,
+    /// Generation now serving.
+    pub generation: u64,
+    /// Warmup inferences run through the new engine before cutover.
+    pub warmed: usize,
+    /// `true` when the displaced engine finished all in-flight work and
+    /// joined inside the drain deadline (`true` vacuously on create).
+    /// `false` means it was detached mid-drain and finishes in the
+    /// background — accepted requests are still answered.
+    pub drained: bool,
+    /// Final stats of the displaced engine, when it drained in time.
+    pub old_stats: Option<ServerStats>,
+}
+
+/// A named fleet of serving engines with admission control and verified
+/// hot-swap. See the module docs for the state machine.
+pub struct Registry {
+    config: RegistryConfig,
+    models: RwLock<HashMap<String, Arc<ModelEntry>>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new(config: RegistryConfig) -> Self {
+        Registry {
+            config,
+            models: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// Registered model names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.read_models().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Registers a new model under `name` from an in-memory compiled
+    /// model (the in-process path; the HTTP path is
+    /// [`put_artifact`](Self::put_artifact)).
+    ///
+    /// The model is statically verified first unless it already is.
+    ///
+    /// # Errors
+    ///
+    /// [`GatewayError::InvalidName`], [`GatewayError::AlreadyExists`],
+    /// or [`GatewayError::Rejected`] when the analyzer finds errors.
+    pub fn register(&self, name: &str, mut model: CompiledModel) -> Result<(), GatewayError> {
+        validate_name(name)?;
+        if !model.is_verified() {
+            model
+                .verify()
+                .map_err(|e| GatewayError::from_serve(name, e))?;
+        }
+        let entry = Arc::new(ModelEntry {
+            name: name.to_string(),
+            slot: RwLock::new(Arc::new(Engine::start(model, self.config.engine.clone()))),
+            inflight: AtomicU64::new(0),
+            generation: AtomicU64::new(0),
+            swapping: Mutex::new(()),
+        });
+        let mut models = self.write_models();
+        if models.contains_key(name) {
+            // The freshly started engine never took traffic; drop joins it.
+            return Err(GatewayError::AlreadyExists(name.to_string()));
+        }
+        models.insert(name.to_string(), entry);
+        Ok(())
+    }
+
+    /// Registers (name unknown) or hot-swaps (name known) a model from
+    /// raw artifact bytes — the `PUT /models/{name}` path.
+    ///
+    /// Swap sequence: strict decode + static verification → fresh
+    /// engine → synthetic warmup → atomic cutover → drain the old
+    /// engine with a deadline. Any failure before cutover is a full
+    /// rollback: the previous engine keeps serving untouched.
+    ///
+    /// # Errors
+    ///
+    /// [`GatewayError::Rejected`] for bytes the verifier refuses,
+    /// [`GatewayError::WidthMismatch`] when the replacement changes the
+    /// model's I/O contract, [`GatewayError::WarmupFailed`] when the
+    /// verified model cannot actually serve, and
+    /// [`GatewayError::SwapInProgress`] when another swap of the same
+    /// model is mid-flight.
+    pub fn put_artifact(&self, name: &str, bytes: &[u8]) -> Result<SwapReport, GatewayError> {
+        validate_name(name)?;
+        // Verification first — both paths need it, and a rejected
+        // artifact must not disturb anything.
+        let model = match CompiledModel::from_bytes_strict(bytes) {
+            Ok(model) => model,
+            Err(e) => return Err(GatewayError::from_artifact_failure(bytes, e)),
+        };
+        let existing = self.read_models().get(name).cloned();
+        match existing {
+            None => {
+                let warmed = {
+                    let engine = Engine::start(model, self.config.engine.clone());
+                    self.warm(&engine)?;
+                    let entry = Arc::new(ModelEntry {
+                        name: name.to_string(),
+                        slot: RwLock::new(Arc::new(engine)),
+                        inflight: AtomicU64::new(0),
+                        generation: AtomicU64::new(0),
+                        swapping: Mutex::new(()),
+                    });
+                    let mut models = self.write_models();
+                    if models.contains_key(name) {
+                        return Err(GatewayError::SwapInProgress(name.to_string()));
+                    }
+                    models.insert(name.to_string(), entry);
+                    self.config.warmup_samples
+                };
+                Ok(SwapReport {
+                    created: true,
+                    generation: 0,
+                    warmed,
+                    drained: true,
+                    old_stats: None,
+                })
+            }
+            Some(entry) => self.swap_entry(&entry, model),
+        }
+    }
+
+    /// The verified-hot-swap core: new engine, warmup, cutover, drain.
+    fn swap_entry(
+        &self,
+        entry: &ModelEntry,
+        model: CompiledModel,
+    ) -> Result<SwapReport, GatewayError> {
+        let _swap = match entry.swapping.try_lock() {
+            Ok(guard) => guard,
+            Err(TryLockError::WouldBlock) => {
+                return Err(GatewayError::SwapInProgress(entry.name.clone()))
+            }
+            Err(TryLockError::Poisoned(p)) => p.into_inner(),
+        };
+        // The replacement must honour the model's wire contract.
+        let (cur_in, cur_out) = {
+            let slot = read_slot(&entry.slot);
+            (
+                slot.model().input_features(),
+                slot.model().output_features(),
+            )
+        };
+        if (model.input_features(), model.output_features()) != (cur_in, cur_out) {
+            return Err(GatewayError::WidthMismatch {
+                name: entry.name.clone(),
+                expected: (cur_in, cur_out),
+                got: (model.input_features(), model.output_features()),
+            });
+        }
+        // Build and warm the successor before touching traffic; any
+        // failure here is a rollback by construction.
+        let engine = Engine::start(model, self.config.engine.clone());
+        if let Err(e) = self.warm(&engine) {
+            engine.drain(Duration::from_secs(1));
+            return Err(e);
+        }
+        // Atomic cutover: every submission after this write lock drops
+        // lands on the new engine.
+        let old = {
+            let mut slot = write_slot(&entry.slot);
+            std::mem::replace(&mut *slot, Arc::new(engine))
+        };
+        let generation = entry.generation.fetch_add(1, Ordering::AcqRel) + 1;
+        let (old_stats, drained) = drain_displaced(old, self.config.drain_deadline);
+        Ok(SwapReport {
+            created: false,
+            generation,
+            warmed: self.config.warmup_samples,
+            drained,
+            old_stats,
+        })
+    }
+
+    /// Runs synthetic inferences through a fresh engine. Exercises the
+    /// full submit → batch → kernel → reply path per worker-visible
+    /// code, growing scratch arenas before real traffic arrives.
+    fn warm(&self, engine: &Engine) -> Result<(), GatewayError> {
+        let features = engine.model().input_features();
+        for i in 0..self.config.warmup_samples {
+            let input: Vec<f32> = (0..features)
+                .map(|f| ((i * 31 + f * 7) % 17) as f32 / 16.0 - 0.5)
+                .collect();
+            let outcome = engine
+                .try_submit(input)
+                .and_then(rapidnn_serve::Ticket::wait);
+            if let Err(e) = outcome {
+                return Err(GatewayError::WarmupFailed(e.to_string()));
+            }
+        }
+        Ok(())
+    }
+
+    /// Serves one request against `name`, applying admission control.
+    ///
+    /// # Errors
+    ///
+    /// [`GatewayError::UnknownModel`], [`GatewayError::Shed`] when the
+    /// in-flight budget or the engine queue is exhausted,
+    /// [`GatewayError::InvalidInput`] for a width mismatch, or the
+    /// underlying serve failure.
+    pub fn infer(&self, name: &str, input: Vec<f32>) -> Result<Vec<f32>, GatewayError> {
+        let entry = self.entry(name)?;
+        // Admission: one budget covering queue + execution time. The
+        // guard releases the slot on every path below.
+        let admitted = entry.inflight.fetch_add(1, Ordering::AcqRel);
+        let _guard = InflightGuard(&entry.inflight);
+        if admitted >= self.config.max_inflight as u64 {
+            read_slot(&entry.slot).metrics().record_shed();
+            return Err(GatewayError::Shed {
+                retry_after: self.config.retry_after,
+            });
+        }
+        // A submission can race a hot-swap cutover: it reads the old
+        // slot, the swap replaces it, the old engine begins draining and
+        // answers `ShuttingDown`. Re-reading the slot and retrying makes
+        // the swap invisible to clients. Bounded, because each retry
+        // observes a strictly newer slot and swaps are serialized.
+        for _attempt in 0..8 {
+            let engine = read_slot(&entry.slot);
+            match engine.try_submit(input.clone()) {
+                Ok(ticket) => {
+                    return ticket.wait().map_err(|e| GatewayError::from_serve(name, e));
+                }
+                Err(ServeError::QueueFull) => {
+                    engine.metrics().record_shed();
+                    return Err(GatewayError::Shed {
+                        retry_after: self.config.retry_after,
+                    });
+                }
+                Err(ServeError::ShuttingDown) => {
+                    // Swap cutover in progress; grab the fresh slot.
+                    std::thread::sleep(Duration::from_micros(50));
+                }
+                Err(e) => return Err(GatewayError::from_serve(name, e)),
+            }
+        }
+        Err(GatewayError::ShuttingDown)
+    }
+
+    /// Per-model stats: engine counters plus generation and shape.
+    ///
+    /// # Errors
+    ///
+    /// [`GatewayError::UnknownModel`].
+    pub fn stats(&self, name: &str) -> Result<ModelStats, GatewayError> {
+        let entry = self.entry(name)?;
+        let slot = read_slot(&entry.slot);
+        Ok(ModelStats {
+            name: entry.name.clone(),
+            generation: entry.generation.load(Ordering::Acquire),
+            input_features: slot.model().input_features(),
+            output_features: slot.model().output_features(),
+            inflight: entry.inflight.load(Ordering::Acquire),
+            server: slot.stats(),
+        })
+    }
+
+    /// Removes `name`, draining its engine with the configured
+    /// deadline. Returns the final stats when the drain completed.
+    ///
+    /// # Errors
+    ///
+    /// [`GatewayError::UnknownModel`].
+    pub fn remove(&self, name: &str) -> Result<Option<ServerStats>, GatewayError> {
+        let entry = self
+            .write_models()
+            .remove(name)
+            .ok_or_else(|| GatewayError::UnknownModel(name.to_string()))?;
+        // Late racers that already resolved this entry keep the engine
+        // alive through their own slot clones; the drain below waits for
+        // them before shutting the engine down.
+        let slot = read_slot(&entry.slot);
+        drop(entry);
+        Ok(drain_displaced(slot, self.config.drain_deadline).0)
+    }
+
+    /// Drains every model (used at gateway shutdown).
+    pub fn shutdown(&self) {
+        let entries: Vec<Arc<ModelEntry>> = {
+            let mut models = self.write_models();
+            models.drain().map(|(_, entry)| entry).collect()
+        };
+        for entry in entries {
+            let slot = Arc::clone(&read_slot(&entry.slot));
+            drop(entry);
+            drain_displaced(slot, self.config.drain_deadline);
+        }
+    }
+
+    fn entry(&self, name: &str) -> Result<Arc<ModelEntry>, GatewayError> {
+        self.read_models()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| GatewayError::UnknownModel(name.to_string()))
+    }
+
+    fn read_models(&self) -> std::sync::RwLockReadGuard<'_, HashMap<String, Arc<ModelEntry>>> {
+        self.models
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn write_models(&self) -> std::sync::RwLockWriteGuard<'_, HashMap<String, Arc<ModelEntry>>> {
+        self.models
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry")
+            .field("models", &self.names())
+            .finish()
+    }
+}
+
+fn read_slot(slot: &RwLock<Arc<Engine>>) -> Arc<Engine> {
+    Arc::clone(
+        &slot
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner),
+    )
+}
+
+fn write_slot(slot: &RwLock<Arc<Engine>>) -> std::sync::RwLockWriteGuard<'_, Arc<Engine>> {
+    slot.write()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Waits for a displaced engine's outstanding references (in-flight
+/// requests still being served by it) to drop, then drains it inside
+/// what remains of the deadline. Returns `(final stats, fully joined)`;
+/// on deadline the engine is simply released — its last reference
+/// holder joins the workers on drop, so accepted requests still finish.
+fn drain_displaced(mut displaced: Arc<Engine>, deadline: Duration) -> (Option<ServerStats>, bool) {
+    let end = Instant::now() + deadline;
+    loop {
+        match Arc::try_unwrap(displaced) {
+            Ok(engine) => {
+                let remaining = end.saturating_duration_since(Instant::now());
+                let report = engine.drain(remaining);
+                return (Some(report.stats), report.joined);
+            }
+            Err(still_shared) => {
+                if Instant::now() >= end {
+                    return (None, false);
+                }
+                displaced = still_shared;
+                std::thread::sleep(Duration::from_micros(200));
+            }
+        }
+    }
+}
+
+/// Model names are path segments; keep them boring: 1–64 chars of
+/// `[A-Za-z0-9._-]`, not starting with a dot.
+pub(crate) fn validate_name(name: &str) -> Result<(), GatewayError> {
+    let ok = !name.is_empty()
+        && name.len() <= 64
+        && !name.starts_with('.')
+        && name
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'.' || b == b'_' || b == b'-');
+    if ok {
+        Ok(())
+    } else {
+        Err(GatewayError::InvalidName(name.to_string()))
+    }
+}

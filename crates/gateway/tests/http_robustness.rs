@@ -1,0 +1,227 @@
+//! Property test: malformed, truncated, and oversized HTTP traffic is
+//! always answered with a 4xx (or the connection is closed cleanly) and
+//! never kills a gateway connection worker.
+
+mod common;
+
+use common::{compiled_model, le_bytes, le_floats, request, FEATURES};
+use rapidnn_gateway::{Gateway, GatewayConfig, Limits, RegistryConfig};
+use rapidnn_prop::{check, usize_in, vec_f32, SeededRng};
+use rapidnn_serve::EngineConfig;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// A single-worker gateway: if any request panicked the connection
+/// worker, every subsequent request would hang or fail, so the health
+/// probe at the end proves survival.
+fn hardened_gateway() -> Gateway {
+    Gateway::bind(GatewayConfig {
+        workers: 1,
+        io_timeout: Duration::from_millis(500),
+        limits: Limits {
+            max_head_bytes: 2 * 1024,
+            max_body_bytes: 8 * 1024,
+        },
+        registry: RegistryConfig {
+            engine: EngineConfig {
+                workers: 1,
+                queue_capacity: 64,
+                max_batch_size: 4,
+                max_wait: Duration::from_micros(100),
+            },
+            warmup_samples: 2,
+            ..RegistryConfig::default()
+        },
+        ..GatewayConfig::default()
+    })
+    .unwrap()
+}
+
+/// Sends raw bytes and reads whatever comes back until EOF/timeout.
+fn send_raw(addr: std::net::SocketAddr, payload: &[u8]) -> Vec<u8> {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    // The gateway may reject mid-write (e.g. oversized head) and close;
+    // a broken pipe here is a legal server response, not a test failure.
+    let _ = stream.write_all(payload);
+    let _ = stream.flush();
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let mut response = Vec::new();
+    let _ = stream.read_to_end(&mut response);
+    response
+}
+
+/// Extracts the status code if the bytes start with an HTTP status line.
+fn status_of(response: &[u8]) -> Option<u16> {
+    let text = std::str::from_utf8(response).ok()?;
+    let line = text.lines().next()?;
+    if !line.starts_with("HTTP/1.1 ") {
+        return None;
+    }
+    line.split(' ').nth(1)?.parse().ok()
+}
+
+/// Generates an adversarial request: mostly-valid requests with one
+/// mutation, plus pure garbage.
+fn adversarial_payload(rng: &mut SeededRng) -> Vec<u8> {
+    const METHODS: &[&str] = &["GET", "POST", "PUT", "PATCH", "SPLICE", ""];
+    const TARGETS: &[&str] = &[
+        "/models/m/infer",
+        "/models//infer",
+        "/models/../../etc",
+        "/",
+        "*",
+        "/models/m/stats/extra",
+    ];
+    const VERSIONS: &[&str] = &["HTTP/1.1", "HTTP/1.0", "HTTP/2.0", "HTCPCP/1.0", ""];
+    match usize_in(rng, 0, 8) {
+        // Pure binary garbage.
+        0 => (0..usize_in(rng, 1, 512))
+            .map(|_| usize_in(rng, 0, 256) as u8)
+            .collect(),
+        // A request line with no head terminator (times out / closes).
+        1 => b"GET /health HTTP/1.1\r\n".to_vec(),
+        // Lying Content-Length: longer than the bytes actually sent.
+        2 => b"POST /models/m/infer HTTP/1.1\r\ncontent-length: 4000\r\n\r\nshort".to_vec(),
+        // Conflicting Content-Length headers.
+        3 => b"POST /models/m/infer HTTP/1.1\r\ncontent-length: 3\r\ncontent-length: 7\r\n\r\nabc"
+            .to_vec(),
+        // Body larger than the configured limit.
+        4 => {
+            let mut p =
+                b"POST /models/m/infer HTTP/1.1\r\ncontent-length: 1000000\r\n\r\n".to_vec();
+            p.extend(std::iter::repeat_n(b'x', 2048));
+            p
+        }
+        // Head larger than the configured limit.
+        5 => {
+            let mut p = b"GET /health HTTP/1.1\r\n".to_vec();
+            for i in 0..64 {
+                p.extend_from_slice(format!("x-pad-{i}: {}\r\n", "y".repeat(96)).as_bytes());
+            }
+            p.extend_from_slice(b"\r\n");
+            p
+        }
+        // Transfer-Encoding, which the parser refuses.
+        6 => {
+            b"POST /models/m/infer HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n0\r\n\r\n".to_vec()
+        }
+        // Randomized request line from the grab bags above.
+        _ => {
+            let method = METHODS[usize_in(rng, 0, METHODS.len())];
+            let target = TARGETS[usize_in(rng, 0, TARGETS.len())];
+            let version = VERSIONS[usize_in(rng, 0, VERSIONS.len())];
+            format!("{method} {target} {version}\r\nconnection: close\r\n\r\n").into_bytes()
+        }
+    }
+}
+
+#[test]
+fn malformed_traffic_never_panics_a_worker() {
+    let gateway = hardened_gateway();
+    gateway
+        .registry()
+        .register("m", compiled_model(77))
+        .unwrap();
+    let addr = gateway.local_addr();
+
+    check(48, |rng| {
+        let payload = adversarial_payload(rng);
+        let response = send_raw(addr, &payload);
+        if let Some(status) = status_of(&response) {
+            assert!(
+                (400..600).contains(&status),
+                "adversarial input answered with success status {status}"
+            );
+            // The gateway maps parse failures to client errors, never a
+            // 500: a 5xx would mean a worker-side panic was caught.
+            assert!(
+                status < 500 || status == 501 || status == 505,
+                "parse failure surfaced as server error {status}"
+            );
+        }
+        // No parseable status means the server closed the connection
+        // (e.g. read timeout on a truncated head) — also acceptable.
+    });
+
+    // The single worker survived the barrage: health answers and the
+    // model still infers correctly.
+    let health = request(addr, "GET", "/health", None, &[]).unwrap();
+    assert_eq!(health.status, 200);
+    let mut rng = SeededRng::new(1);
+    let input = vec_f32(&mut rng, FEATURES, -1.0, 1.0);
+    let inference = request(
+        addr,
+        "POST",
+        "/models/m/infer",
+        Some("application/octet-stream"),
+        &le_bytes(&input),
+    )
+    .unwrap();
+    assert_eq!(inference.status, 200);
+    assert_eq!(
+        le_floats(&inference.body),
+        compiled_model(77).infer(&input).unwrap()
+    );
+
+    gateway.shutdown();
+}
+
+#[test]
+fn oversized_body_is_413_and_misaligned_body_is_400() {
+    let gateway = hardened_gateway();
+    gateway
+        .registry()
+        .register("m", compiled_model(77))
+        .unwrap();
+    let addr = gateway.local_addr();
+
+    // Content-Length over the 8 KiB limit → 413 before the body is read.
+    let response = send_raw(
+        addr,
+        b"POST /models/m/infer HTTP/1.1\r\ncontent-length: 9000\r\nconnection: close\r\n\r\n",
+    );
+    assert_eq!(status_of(&response), Some(413));
+
+    // A body that is not a whole number of f32s → 400.
+    let response = request(
+        addr,
+        "POST",
+        "/models/m/infer",
+        Some("application/octet-stream"),
+        &[1, 2, 3],
+    )
+    .unwrap();
+    assert_eq!(response.status, 400);
+
+    // Unparseable CSV → 400.
+    let response = request(
+        addr,
+        "POST",
+        "/models/m/infer",
+        Some("text/plain"),
+        b"1.0,banana,3.0",
+    )
+    .unwrap();
+    assert_eq!(response.status, 400);
+
+    // Wrong input width → 400 from the engine contract.
+    let response = request(
+        addr,
+        "POST",
+        "/models/m/infer",
+        Some("application/octet-stream"),
+        &le_bytes(&[0.0; FEATURES + 1]),
+    )
+    .unwrap();
+    assert_eq!(response.status, 400, "{}", response.body_text());
+
+    // And the worker is still alive.
+    let health = request(addr, "GET", "/health", None, &[]).unwrap();
+    assert_eq!(health.status, 200);
+
+    gateway.shutdown();
+}

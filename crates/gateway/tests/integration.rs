@@ -1,0 +1,361 @@
+//! End-to-end gateway tests over real loopback sockets: multi-model
+//! serving, verified hot-swap under concurrent traffic, admission
+//! control, and the HTTP stats surface.
+
+mod common;
+
+use common::{
+    analyzer_rejected_bytes, compiled_model, le_bytes, le_floats, read_response, request,
+    wider_model, write_request, FEATURES,
+};
+use rapidnn_gateway::{Gateway, GatewayConfig, RegistryConfig};
+use rapidnn_prop::vec_f32;
+use rapidnn_serve::EngineConfig;
+use rapidnn_tensor::SeededRng;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn test_config() -> GatewayConfig {
+    GatewayConfig {
+        workers: 4,
+        io_timeout: Duration::from_secs(10),
+        // The hot-swap clients reuse one connection for the whole run.
+        max_requests_per_connection: 1 << 20,
+        registry: RegistryConfig {
+            engine: EngineConfig {
+                workers: 2,
+                queue_capacity: 256,
+                max_batch_size: 8,
+                max_wait: Duration::from_micros(200),
+            },
+            max_inflight: 128,
+            warmup_samples: 4,
+            drain_deadline: Duration::from_secs(10),
+            retry_after: Duration::from_secs(1),
+        },
+        ..GatewayConfig::default()
+    }
+}
+
+#[test]
+fn two_models_serve_bit_exactly_over_http() {
+    let alpha = compiled_model(11);
+    let beta = compiled_model(22);
+    let gateway = Gateway::bind(test_config()).unwrap();
+    gateway.registry().register("alpha", alpha.clone()).unwrap();
+    gateway.registry().register("beta", beta.clone()).unwrap();
+    let addr = gateway.local_addr();
+
+    let mut rng = SeededRng::new(7);
+    for i in 0..20 {
+        let input = vec_f32(&mut rng, FEATURES, -2.0, 2.0);
+        let (name, model) = if i % 2 == 0 {
+            ("alpha", &alpha)
+        } else {
+            ("beta", &beta)
+        };
+        let response = request(
+            addr,
+            "POST",
+            &format!("/models/{name}/infer"),
+            Some("application/octet-stream"),
+            &le_bytes(&input),
+        )
+        .unwrap();
+        assert_eq!(response.status, 200, "{}", response.body_text());
+        assert_eq!(
+            le_floats(&response.body),
+            model.infer(&input).unwrap(),
+            "served output diverged from direct inference"
+        );
+        assert_eq!(response.header("x-model-generation"), Some("0"));
+    }
+
+    // The CSV modality is bit-exact too: Rust float formatting is
+    // shortest-round-trip.
+    let input = vec_f32(&mut rng, FEATURES, -2.0, 2.0);
+    let csv = input
+        .iter()
+        .map(ToString::to_string)
+        .collect::<Vec<_>>()
+        .join(",");
+    let response = request(
+        addr,
+        "POST",
+        "/models/alpha/infer",
+        Some("text/plain"),
+        csv.as_bytes(),
+    )
+    .unwrap();
+    assert_eq!(response.status, 200);
+    let parsed: Vec<f32> = response
+        .body_text()
+        .split(',')
+        .map(|t| t.parse().unwrap())
+        .collect();
+    assert_eq!(parsed, alpha.infer(&input).unwrap());
+
+    let listing = request(addr, "GET", "/models", None, &[]).unwrap();
+    assert_eq!(listing.status, 200);
+    let text = listing.body_text();
+    assert!(
+        text.contains("\"alpha\"") && text.contains("\"beta\""),
+        "{text}"
+    );
+
+    gateway.shutdown();
+}
+
+#[test]
+fn hot_swap_mid_traffic_loses_nothing() {
+    const CLIENTS: usize = 3;
+
+    let old_model = compiled_model(100);
+    let new_model = compiled_model(200);
+    let gateway = Gateway::bind(test_config()).unwrap();
+    gateway.registry().register("m", old_model.clone()).unwrap();
+    let addr = gateway.local_addr();
+
+    // Concurrent clients hammer the model over keep-alive connections
+    // while the artifact is swapped underneath them.
+    let stop = Arc::new(AtomicBool::new(false));
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut rng = SeededRng::new(500 + c as u64);
+                let mut stream = TcpStream::connect(addr).unwrap();
+                stream
+                    .set_read_timeout(Some(Duration::from_secs(30)))
+                    .unwrap();
+                let mut answered = Vec::new();
+                while !stop.load(Ordering::Acquire) {
+                    let input = vec_f32(&mut rng, FEATURES, -2.0, 2.0);
+                    write_request(
+                        &mut stream,
+                        "POST",
+                        "/models/m/infer",
+                        Some("application/octet-stream"),
+                        &le_bytes(&input),
+                        true,
+                    )
+                    .unwrap();
+                    let response = read_response(&mut stream).unwrap();
+                    answered.push((input, response));
+                }
+                answered
+            })
+        })
+        .collect();
+
+    // Let traffic build, then swap mid-flight.
+    std::thread::sleep(Duration::from_millis(100));
+    let swap = request(addr, "PUT", "/models/m", None, &new_model.to_bytes()).unwrap();
+    assert_eq!(swap.status, 200, "{}", swap.body_text());
+    let swap_body = swap.body_text();
+    assert!(swap_body.contains("\"generation\":1"), "{swap_body}");
+    assert!(swap_body.contains("\"drained\":true"), "{swap_body}");
+
+    // Keep traffic flowing a little past the swap, then stop.
+    std::thread::sleep(Duration::from_millis(100));
+    stop.store(true, Ordering::Release);
+
+    let mut total = 0usize;
+    let mut matched_old = 0usize;
+    let mut matched_new = 0usize;
+    for client in clients {
+        for (input, response) in client.join().unwrap() {
+            assert_eq!(
+                response.status,
+                200,
+                "a request failed during hot-swap: {}",
+                response.body_text()
+            );
+            let output = le_floats(&response.body);
+            if output == old_model.infer(&input).unwrap() {
+                matched_old += 1;
+            } else if output == new_model.infer(&input).unwrap() {
+                matched_new += 1;
+            } else {
+                panic!("output matches neither artifact bit-for-bit");
+            }
+            total += 1;
+        }
+    }
+    assert!(total > 0, "clients served no traffic");
+    assert_eq!(
+        matched_old + matched_new,
+        total,
+        "every response must match exactly one artifact"
+    );
+
+    // Post-swap, the gateway serves the new artifact bit-for-bit.
+    let mut rng = SeededRng::new(9);
+    let input = vec_f32(&mut rng, FEATURES, -2.0, 2.0);
+    let response = request(
+        addr,
+        "POST",
+        "/models/m/infer",
+        Some("application/octet-stream"),
+        &le_bytes(&input),
+    )
+    .unwrap();
+    assert_eq!(response.status, 200);
+    assert_eq!(le_floats(&response.body), new_model.infer(&input).unwrap());
+    assert_eq!(response.header("x-model-generation"), Some("1"));
+
+    // The stats surface reports the swap generation and latencies.
+    let stats = request(addr, "GET", "/models/m/stats", None, &[]).unwrap();
+    assert_eq!(stats.status, 200);
+    let text = stats.body_text();
+    assert!(text.contains("\"generation\":1"), "{text}");
+    assert!(text.contains("\"p50_latency_ns\":"), "{text}");
+    assert!(text.contains("\"p99_latency_ns\":"), "{text}");
+    assert!(text.contains("\"shed\":"), "{text}");
+
+    gateway.shutdown();
+}
+
+#[test]
+fn rejected_artifacts_leave_the_old_model_serving() {
+    let model = compiled_model(31);
+    let gateway = Gateway::bind(test_config()).unwrap();
+    gateway.registry().register("m", model.clone()).unwrap();
+    let addr = gateway.local_addr();
+
+    // Garbage bytes: folded into a diagnostic report, 422.
+    let garbage = request(addr, "PUT", "/models/m", None, b"not an artifact").unwrap();
+    assert_eq!(garbage.status, 422, "{}", garbage.body_text());
+    assert!(
+        garbage.body_text().contains("RNA0001"),
+        "{}",
+        garbage.body_text()
+    );
+
+    // Decodes but fails the analyzer: 422 with the real diagnostics.
+    let corrupt = analyzer_rejected_bytes(&model);
+    let rejected = request(addr, "PUT", "/models/m", None, &corrupt).unwrap();
+    assert_eq!(rejected.status, 422);
+    assert!(
+        rejected.body_text().contains("error["),
+        "expected analyzer diagnostics, got: {}",
+        rejected.body_text()
+    );
+
+    // A clean artifact with the wrong shape: contract violation, 422.
+    let wide = request(addr, "PUT", "/models/m", None, &wider_model(32).to_bytes()).unwrap();
+    assert_eq!(wide.status, 422);
+    assert!(
+        wide.body_text().contains("features"),
+        "{}",
+        wide.body_text()
+    );
+
+    // Through all three failures the original model kept serving,
+    // bit-for-bit, at generation 0.
+    let mut rng = SeededRng::new(3);
+    let input = vec_f32(&mut rng, FEATURES, -2.0, 2.0);
+    let response = request(
+        addr,
+        "POST",
+        "/models/m/infer",
+        Some("application/octet-stream"),
+        &le_bytes(&input),
+    )
+    .unwrap();
+    assert_eq!(response.status, 200);
+    assert_eq!(le_floats(&response.body), model.infer(&input).unwrap());
+    assert_eq!(response.header("x-model-generation"), Some("0"));
+
+    gateway.shutdown();
+}
+
+#[test]
+fn admission_overflow_is_shed_as_429_with_retry_after() {
+    let mut config = test_config();
+    // A zero in-flight budget makes every request deterministic shed.
+    config.registry.max_inflight = 0;
+    let gateway = Gateway::bind(config).unwrap();
+    gateway
+        .registry()
+        .register("busy", compiled_model(41))
+        .unwrap();
+    let addr = gateway.local_addr();
+
+    let input = vec![0.0f32; FEATURES];
+    for _ in 0..3 {
+        let response = request(
+            addr,
+            "POST",
+            "/models/busy/infer",
+            Some("application/octet-stream"),
+            &le_bytes(&input),
+        )
+        .unwrap();
+        assert_eq!(response.status, 429);
+        assert_eq!(response.header("retry-after"), Some("1"));
+    }
+    let stats = request(addr, "GET", "/models/busy/stats", None, &[]).unwrap();
+    assert!(
+        stats.body_text().contains("\"shed\":3"),
+        "{}",
+        stats.body_text()
+    );
+
+    gateway.shutdown();
+}
+
+#[test]
+fn registration_lifecycle_over_http() {
+    let gateway = Gateway::bind(test_config()).unwrap();
+    let addr = gateway.local_addr();
+    let model = compiled_model(51);
+
+    // Unknown model: 404 on every per-model route.
+    for (method, path) in [
+        ("POST", "/models/ghost/infer"),
+        ("GET", "/models/ghost/stats"),
+        ("DELETE", "/models/ghost"),
+    ] {
+        let response = request(addr, method, path, None, &[]).unwrap();
+        assert_eq!(response.status, 404, "{method} {path}");
+    }
+
+    // PUT on a fresh name registers (201) and the model serves.
+    let created = request(addr, "PUT", "/models/fresh", None, &model.to_bytes()).unwrap();
+    assert_eq!(created.status, 201, "{}", created.body_text());
+    assert!(created.body_text().contains("\"created\":true"));
+    let mut rng = SeededRng::new(4);
+    let input = vec_f32(&mut rng, FEATURES, -2.0, 2.0);
+    let response = request(
+        addr,
+        "POST",
+        "/models/fresh/infer",
+        Some("application/octet-stream"),
+        &le_bytes(&input),
+    )
+    .unwrap();
+    assert_eq!(response.status, 200);
+    assert_eq!(le_floats(&response.body), model.infer(&input).unwrap());
+
+    // Bad names are rejected before touching the registry.
+    let bad = request(addr, "PUT", "/models/.hidden", None, &model.to_bytes()).unwrap();
+    assert_eq!(bad.status, 400);
+
+    // DELETE drains and removes; the route 404s afterwards.
+    let removed = request(addr, "DELETE", "/models/fresh", None, &[]).unwrap();
+    assert_eq!(removed.status, 200);
+    let gone = request(addr, "GET", "/models/fresh/stats", None, &[]).unwrap();
+    assert_eq!(gone.status, 404);
+
+    // Wrong verbs answer 405 with an Allow hint, and health stays up.
+    let wrong = request(addr, "GET", "/models/fresh", None, &[]).unwrap();
+    assert_eq!(wrong.status, 405);
+    assert!(wrong.header("allow").is_some());
+    let health = request(addr, "GET", "/health", None, &[]).unwrap();
+    assert_eq!(health.status, 200);
+
+    gateway.shutdown();
+}

@@ -27,6 +27,10 @@
 
 #![warn(missing_docs)]
 
+pub mod workers;
+
+pub use workers::WorkerGroup;
+
 use std::cell::{Cell, RefCell};
 use std::ops::Range;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};

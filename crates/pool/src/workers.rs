@@ -1,0 +1,181 @@
+//! Long-running worker groups.
+//!
+//! [`ThreadPool`](crate::ThreadPool) covers scoped *data* parallelism —
+//! split a slice into chunks, run them, merge deterministically. Serving
+//! code needs the complementary shape: a fixed set of named, long-lived
+//! threads that each run the *same* service loop (accept connections,
+//! drain a queue) until told to stop. [`WorkerGroup`] packages that
+//! pattern: spawn `count` threads over one shared closure, keep their
+//! handles, and join them on demand or on drop.
+//!
+//! The group makes no determinism promise — service loops race on
+//! external I/O by nature. What it does guarantee is lifecycle hygiene:
+//! every spawned thread is joined exactly once (explicitly via
+//! [`WorkerGroup::join`] or implicitly on drop), and a worker panic is
+//! contained to that worker and surfaced as a count, never a process
+//! abort or a silent leak.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A fixed group of named, long-running worker threads sharing one
+/// service loop.
+///
+/// ```
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+/// use std::sync::Arc;
+///
+/// let hits = Arc::new(AtomicUsize::new(0));
+/// let group = {
+///     let hits = Arc::clone(&hits);
+///     rapidnn_pool::WorkerGroup::spawn("demo", 4, move |_worker| {
+///         hits.fetch_add(1, Ordering::Relaxed);
+///     })
+/// };
+/// assert_eq!(group.len(), 4);
+/// assert_eq!(group.join(), 0); // no worker panicked
+/// assert_eq!(hits.load(Ordering::Relaxed), 4);
+/// ```
+pub struct WorkerGroup {
+    handles: Vec<JoinHandle<()>>,
+    panicked: Arc<AtomicUsize>,
+}
+
+impl WorkerGroup {
+    /// Spawns `count` threads named `{prefix}-{index}`, each running
+    /// `f(index)` once; the closure typically contains the worker's
+    /// whole service loop. `count` is clamped to at least 1.
+    ///
+    /// A panic inside `f` is caught so it cannot tear down the process;
+    /// it ends that worker and increments the panic count returned by
+    /// [`join`](Self::join).
+    pub fn spawn<F>(prefix: &str, count: usize, f: F) -> WorkerGroup
+    where
+        F: Fn(usize) + Send + Sync + 'static,
+    {
+        let f = Arc::new(f);
+        let panicked = Arc::new(AtomicUsize::new(0));
+        let handles = (0..count.max(1))
+            .map(|index| {
+                let f = Arc::clone(&f);
+                let panicked = Arc::clone(&panicked);
+                std::thread::Builder::new()
+                    .name(format!("{prefix}-{index}"))
+                    .spawn(move || {
+                        if catch_unwind(AssertUnwindSafe(|| f(index))).is_err() {
+                            panicked.fetch_add(1, Ordering::Relaxed);
+                        }
+                    })
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        WorkerGroup { handles, panicked }
+    }
+
+    /// Number of workers in the group.
+    pub fn len(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Whether the group holds no workers (only after a manual drain).
+    pub fn is_empty(&self) -> bool {
+        self.handles.is_empty()
+    }
+
+    /// Number of workers whose loop has already returned or panicked.
+    pub fn finished(&self) -> usize {
+        self.handles.iter().filter(|h| h.is_finished()).count()
+    }
+
+    /// Joins every worker and returns how many of them panicked.
+    ///
+    /// Blocks until all service loops return, so the caller must have
+    /// already signalled them to stop (that signal is the caller's
+    /// protocol — a flag, a closed socket, a poisoned queue).
+    pub fn join(mut self) -> usize {
+        self.join_all();
+        self.panicked.load(Ordering::Relaxed)
+    }
+
+    fn join_all(&mut self) {
+        for handle in self.handles.drain(..) {
+            // The worker body is wrapped in catch_unwind, so join only
+            // fails for panics raised outside it (thread rt failure);
+            // count those too rather than propagate.
+            if handle.join().is_err() {
+                self.panicked.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+impl Drop for WorkerGroup {
+    fn drop(&mut self) {
+        self.join_all();
+    }
+}
+
+impl std::fmt::Debug for WorkerGroup {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerGroup")
+            .field("workers", &self.handles.len())
+            .field("finished", &self.finished())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn every_worker_runs_with_its_index() {
+        let seen = Arc::new(AtomicUsize::new(0));
+        let group = {
+            let seen = Arc::clone(&seen);
+            WorkerGroup::spawn("t", 5, move |i| {
+                seen.fetch_add(i + 1, Ordering::Relaxed);
+            })
+        };
+        assert_eq!(group.len(), 5);
+        assert_eq!(group.join(), 0);
+        assert_eq!(seen.load(Ordering::Relaxed), 1 + 2 + 3 + 4 + 5);
+    }
+
+    #[test]
+    fn panics_are_counted_not_propagated() {
+        let group = WorkerGroup::spawn("p", 3, |i| {
+            assert!(i != 1, "worker 1 panics");
+        });
+        assert_eq!(group.join(), 1);
+    }
+
+    #[test]
+    fn zero_count_is_clamped_to_one() {
+        let ran = Arc::new(AtomicUsize::new(0));
+        let group = {
+            let ran = Arc::clone(&ran);
+            WorkerGroup::spawn("z", 0, move |_| {
+                ran.fetch_add(1, Ordering::Relaxed);
+            })
+        };
+        assert_eq!(group.len(), 1);
+        group.join();
+        assert_eq!(ran.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn drop_joins_without_explicit_call() {
+        let ran = Arc::new(AtomicUsize::new(0));
+        {
+            let ran = Arc::clone(&ran);
+            let _group = WorkerGroup::spawn("d", 2, move |_| {
+                ran.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(ran.load(Ordering::Relaxed), 2);
+    }
+}

@@ -61,6 +61,7 @@ pub use rapidnn_analyze as analyze;
 pub use rapidnn_baselines as baselines;
 pub use rapidnn_core as composer;
 pub use rapidnn_data as data;
+pub use rapidnn_gateway as gateway;
 pub use rapidnn_memristor as memristor;
 pub use rapidnn_ndcam as ndcam;
 pub use rapidnn_nn as nn;

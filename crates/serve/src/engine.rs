@@ -135,6 +135,20 @@ impl Ticket {
     }
 }
 
+/// Outcome of [`Engine::drain`]: the final stats plus whether every
+/// worker finished inside the deadline.
+#[derive(Debug, Clone)]
+pub struct DrainReport {
+    /// Metrics snapshot taken when the drain returned.
+    pub stats: ServerStats,
+    /// `true` when all workers drained the queue and exited before the
+    /// deadline. `false` means the workers were detached still running;
+    /// they hold their own `Arc`s to the queue and metrics, keep
+    /// answering the remaining accepted requests, and exit once the
+    /// queue empties — the engine just stopped waiting for them.
+    pub joined: bool,
+}
+
 /// A running inference server over one [`CompiledModel`].
 pub struct Engine {
     shared: Arc<Shared>,
@@ -279,6 +293,13 @@ impl Engine {
         self.metrics.snapshot()
     }
 
+    /// Shared handle to the engine's metrics sink, so a caller in front
+    /// of the engine (e.g. a gateway's admission control) can record
+    /// into the same per-model [`ServerStats`] the engine reports.
+    pub fn metrics(&self) -> Arc<Metrics> {
+        Arc::clone(&self.metrics)
+    }
+
     /// Stops accepting requests, drains the queue, joins the workers, and
     /// returns the final stats. Every request accepted before the call is
     /// still answered.
@@ -288,6 +309,41 @@ impl Engine {
             let _ = worker.join();
         }
         self.metrics.snapshot()
+    }
+
+    /// Gracefully drains the engine with a deadline: stops accepting new
+    /// requests, lets the workers finish every accepted request, and
+    /// waits up to `deadline` for them to exit.
+    ///
+    /// Unlike [`shutdown`](Self::shutdown), which joins unconditionally,
+    /// `drain` never blocks past the deadline: workers still running
+    /// when it expires are detached ([`DrainReport::joined`] is `false`)
+    /// and keep answering the queue's remaining requests on their own —
+    /// every accepted ticket is still redeemable either way. This is the
+    /// primitive a hot-swap builds on: cut traffic to the new engine,
+    /// then `drain` the old one without risking an unbounded stall.
+    pub fn drain(mut self, deadline: Duration) -> DrainReport {
+        self.begin_shutdown();
+        let end = Instant::now() + deadline;
+        let mut workers = std::mem::take(&mut self.workers);
+        loop {
+            workers.retain(|w| !w.is_finished());
+            if workers.is_empty() {
+                return DrainReport {
+                    stats: self.metrics.snapshot(),
+                    joined: true,
+                };
+            }
+            if Instant::now() >= end {
+                // Dropping the handles detaches the stragglers; they own
+                // Arcs to everything they touch, so this is safe.
+                return DrainReport {
+                    stats: self.metrics.snapshot(),
+                    joined: false,
+                };
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
     }
 
     fn begin_shutdown(&self) {

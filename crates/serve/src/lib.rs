@@ -66,7 +66,7 @@ pub mod lint;
 pub mod metrics;
 
 pub use artifact::{CompiledModel, FORMAT_VERSION, MAGIC};
-pub use engine::{Engine, EngineConfig, Ticket};
+pub use engine::{DrainReport, Engine, EngineConfig, Ticket};
 pub use error::{ArtifactError, Result, ServeError};
 pub use kernels::BatchRunner;
 pub use lint::lint_bytes;

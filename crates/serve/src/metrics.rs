@@ -19,6 +19,7 @@ pub struct Metrics {
     submitted: AtomicU64,
     completed: AtomicU64,
     rejected: AtomicU64,
+    shed: AtomicU64,
     failed: AtomicU64,
     batches: AtomicU64,
     batched_requests: AtomicU64,
@@ -42,6 +43,7 @@ impl Metrics {
             submitted: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
             failed: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             batched_requests: AtomicU64::new(0),
@@ -61,6 +63,14 @@ impl Metrics {
     /// Records a rejected (queue-full) request.
     pub fn record_rejected(&self) {
         self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a request shed by admission control *before* it reached
+    /// the engine queue — visible load-shedding (HTTP 429 at a gateway)
+    /// as opposed to [`record_rejected`](Self::record_rejected)'s
+    /// queue-full backpressure.
+    pub fn record_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records one gathered batch of `size` requests.
@@ -113,6 +123,7 @@ impl Metrics {
             completed,
             failed,
             rejected: self.rejected.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
             batches,
             mean_batch_size: if batches == 0 {
                 0.0
@@ -136,11 +147,20 @@ impl Metrics {
 }
 
 /// Upper bound of the bucket containing the requested quantile.
+///
+/// Total / per-bucket counts are loaded from independent relaxed
+/// atomics, so they may disagree under concurrent recording and `total`
+/// may be zero on an idle (or freshly hot-swapped) engine. Every such
+/// combination yields `Duration::ZERO` or a real bucket bound — never a
+/// panic or a garbage duration.
 fn percentile(buckets: &[u64], total: u64, q: f64) -> Duration {
     if total == 0 {
         return Duration::ZERO;
     }
-    let rank = ((total as f64 * q).ceil() as u64).clamp(1, total);
+    // `max(1).min(total)` rather than `clamp(1, total)`: clamp panics
+    // when its bounds invert, and this function must stay total for any
+    // torn counter snapshot.
+    let rank = ((total as f64 * q).ceil() as u64).max(1).min(total);
     let mut seen = 0u64;
     for (i, &count) in buckets.iter().enumerate() {
         seen += count;
@@ -167,6 +187,9 @@ pub struct ServerStats {
     pub failed: u64,
     /// Requests bounced with [`crate::ServeError::QueueFull`].
     pub rejected: u64,
+    /// Requests shed by admission control before reaching the queue
+    /// (recorded via [`Metrics::record_shed`], e.g. a gateway's 429s).
+    pub shed: u64,
     /// Batches executed by the workers.
     pub batches: u64,
     /// Mean requests per executed batch.
@@ -193,11 +216,12 @@ impl std::fmt::Display for ServerStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} ok / {} failed / {} rejected of {} submitted | {} batches (mean {:.1}) | \
+            "{} ok / {} failed / {} rejected / {} shed of {} submitted | {} batches (mean {:.1}) | \
              queue {} (peak {}) | latency mean {:?} p50 {:?} p90 {:?} p99 {:?} | {:.0} req/s",
             self.completed,
             self.failed,
             self.rejected,
+            self.shed,
             self.submitted,
             self.batches,
             self.mean_batch_size,
@@ -257,6 +281,41 @@ mod tests {
         assert_eq!(s.p99_latency, Duration::ZERO);
         assert_eq!(s.mean_latency, Duration::ZERO);
         assert_eq!(s.mean_batch_size, 0.0);
+        assert_eq!(s.shed, 0);
+    }
+
+    /// An idle or just-swapped engine (`finished == 0`, possibly with
+    /// sheds/rejections already recorded) must snapshot to zeroed
+    /// latencies — no division by zero, no panicking rank clamp, no
+    /// garbage `Duration`s.
+    #[test]
+    fn idle_snapshot_with_sheds_is_safe() {
+        let m = Metrics::new();
+        for _ in 0..5 {
+            m.record_shed();
+        }
+        m.record_rejected();
+        m.record_submit(3);
+        let s = m.snapshot();
+        assert_eq!(s.shed, 5);
+        assert_eq!(s.rejected, 1);
+        assert_eq!((s.completed, s.failed), (0, 0));
+        assert_eq!(s.mean_latency, Duration::ZERO);
+        assert_eq!(s.p50_latency, Duration::ZERO);
+        assert_eq!(s.p90_latency, Duration::ZERO);
+        assert_eq!(s.p99_latency, Duration::ZERO);
+    }
+
+    /// `percentile` stays total even when the bucket counts and the
+    /// finished total disagree (torn relaxed-atomic snapshot).
+    #[test]
+    fn percentile_survives_torn_totals() {
+        // Total larger than the bucket sum: rank never reached.
+        assert_eq!(percentile(&[1, 0, 0], 10, 0.99), Duration::ZERO);
+        // Total smaller than the bucket sum: clamps into the buckets.
+        assert!(percentile(&[4, 4], 1, 0.5) > Duration::ZERO);
+        // Zero total short-circuits.
+        assert_eq!(percentile(&[7, 7], 0, 0.5), Duration::ZERO);
     }
 
     #[test]

@@ -154,6 +154,81 @@ fn shutdown_drains_accepted_requests() {
 }
 
 #[test]
+fn drain_answers_every_accepted_request() {
+    let mut rng = SeededRng::new(7);
+    let engine = Engine::start(
+        compiled_model(&mut rng),
+        EngineConfig {
+            workers: 2,
+            queue_capacity: 256,
+            max_batch_size: 16,
+            max_wait: Duration::from_millis(1),
+        },
+    );
+    let tickets: Vec<_> = (0..120)
+        .map(|_| {
+            engine
+                .submit(vec_f32(&mut rng, FEATURES, -2.0, 2.0))
+                .unwrap()
+        })
+        .collect();
+    let report = engine.drain(Duration::from_secs(30));
+    assert!(report.joined, "workers should drain well inside 30s");
+    assert_eq!(report.stats.completed, 120);
+    assert_eq!(report.stats.failed, 0);
+    for ticket in tickets {
+        assert_eq!(ticket.wait().unwrap().len(), 3);
+    }
+}
+
+#[test]
+fn drain_with_zero_deadline_never_blocks_and_still_answers() {
+    let mut rng = SeededRng::new(8);
+    let engine = Engine::start(
+        compiled_model(&mut rng),
+        EngineConfig {
+            workers: 1,
+            queue_capacity: 256,
+            max_batch_size: 4,
+            max_wait: Duration::ZERO,
+        },
+    );
+    let tickets: Vec<_> = (0..64)
+        .map(|_| {
+            engine
+                .submit(vec_f32(&mut rng, FEATURES, -2.0, 2.0))
+                .unwrap()
+        })
+        .collect();
+    // A zero deadline may detach the worker mid-queue (`joined` is then
+    // false); either way the detached worker keeps draining, so every
+    // accepted ticket must still resolve successfully.
+    let report = engine.drain(Duration::ZERO);
+    for ticket in tickets {
+        assert_eq!(ticket.wait().unwrap().len(), 3);
+    }
+    // Both outcomes are legal; the invariant is no panic, no hang, and
+    // a coherent stats snapshot.
+    assert!(report.stats.submitted == 64);
+}
+
+#[test]
+fn drain_on_idle_engine_joins_immediately() {
+    let mut rng = SeededRng::new(9);
+    let engine = Engine::start(
+        compiled_model(&mut rng),
+        EngineConfig {
+            workers: 2,
+            ..EngineConfig::default()
+        },
+    );
+    let report = engine.drain(Duration::from_secs(10));
+    assert!(report.joined);
+    assert_eq!(report.stats.submitted, 0);
+    assert_eq!(report.stats.p99_latency, Duration::ZERO);
+}
+
+#[test]
 fn invalid_width_is_rejected_before_enqueue() {
     let mut rng = SeededRng::new(4);
     let engine = Engine::start(compiled_model(&mut rng), EngineConfig::default());

@@ -1,0 +1,282 @@
+//! Network serving demo: run the HTTP gateway end to end over a real
+//! loopback socket with a plain `std::net` client.
+//!
+//! The walkthrough compiles two same-shaped artifacts from the
+//! pipeline, registers the first over `PUT /models/{name}`, serves
+//! inference over HTTP (bit-identical to direct artifact inference),
+//! hot-swaps to the second artifact while client threads are mid-burst
+//! (zero failed requests), shows a corrupted artifact bouncing off the
+//! verifier with the old model untouched, and finishes with the
+//! per-model stats surface.
+//!
+//! Run with: `cargo run --release --example gateway_demo`
+//!
+//! Exit-code contract: `0` when every step and invariant holds,
+//! nonzero (with a message on stderr) otherwise — CI runs this as a
+//! smoke test.
+
+use rapidnn::gateway::{Gateway, GatewayConfig};
+use rapidnn::serve::CompiledModel;
+use rapidnn::tensor::SeededRng;
+use rapidnn::{Pipeline, PipelineConfig};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+const SWAP_CLIENTS: usize = 4;
+
+/// What each swap-window client collects: `(input, served output)`
+/// pairs, or the first failure it saw.
+type ClientLog = Result<Vec<(Vec<f32>, Vec<f32>)>, String>;
+
+/// A compiled artifact plus a few validation samples to drive it with.
+type ArtifactWithSamples = (CompiledModel, Vec<Vec<f32>>);
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== 1. compile two same-shaped artifacts ==");
+    let (v1, samples) = compile_artifact(42)?;
+    let (v2, _) = compile_artifact(43)?;
+    println!(
+        "v1 and v2: {} -> {} features, {} ops each",
+        v1.input_features(),
+        v1.output_features(),
+        v1.op_count(),
+    );
+
+    println!("\n== 2. bind the gateway ==");
+    let gateway = Gateway::bind(GatewayConfig::default())?;
+    let addr = gateway.local_addr();
+    println!("listening on http://{addr}");
+
+    println!("\n== 3. register over PUT /models/digits ==");
+    let created = http(addr, "PUT", "/models/digits", None, &v1.to_bytes())?;
+    expect(created.status == 201, "PUT of a fresh model answers 201")?;
+    println!("registered: {}", created.body_text().trim());
+
+    println!("\n== 4. infer over HTTP, bit-identical to the artifact ==");
+    for (i, sample) in samples.iter().take(4).enumerate() {
+        let csv = sample
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(",");
+        let response = http(
+            addr,
+            "POST",
+            "/models/digits/infer",
+            Some("text/plain"),
+            csv.as_bytes(),
+        )?;
+        expect(response.status == 200, "inference answers 200")?;
+        let served: Vec<f32> = response
+            .body_text()
+            .split(',')
+            .map(str::parse)
+            .collect::<Result<_, _>>()?;
+        expect(
+            served == v1.infer(sample)?,
+            "CSV round-trip is bit-exact (shortest round-trip float formatting)",
+        )?;
+        println!("sample {i}: logits {}", response.body_text());
+    }
+
+    println!("\n== 5. hot-swap v1 -> v2 under live traffic ==");
+    let stop = Arc::new(AtomicBool::new(false));
+    let clients: Vec<_> = (0..SWAP_CLIENTS)
+        .map(|c| {
+            let stop = Arc::clone(&stop);
+            let samples = samples.clone();
+            std::thread::spawn(move || -> ClientLog {
+                let mut answered = Vec::new();
+                let mut i = c;
+                while !stop.load(Ordering::Acquire) {
+                    let sample = &samples[i % samples.len()];
+                    i += SWAP_CLIENTS;
+                    let response = http(
+                        addr,
+                        "POST",
+                        "/models/digits/infer",
+                        Some("application/octet-stream"),
+                        &le_bytes(sample),
+                    )
+                    .map_err(|e| e.to_string())?;
+                    if response.status != 200 {
+                        return Err(format!(
+                            "request failed during swap: {} {}",
+                            response.status,
+                            response.body_text()
+                        ));
+                    }
+                    answered.push((sample.clone(), le_floats(&response.body)?));
+                }
+                Ok(answered)
+            })
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(50));
+    let swap = http(addr, "PUT", "/models/digits", None, &v2.to_bytes())?;
+    expect(swap.status == 200, "hot-swap of a served model answers 200")?;
+    println!("swap report: {}", swap.body_text().trim());
+    std::thread::sleep(Duration::from_millis(50));
+    stop.store(true, Ordering::Release);
+
+    let (mut total, mut from_v1, mut from_v2) = (0usize, 0usize, 0usize);
+    for client in clients {
+        let answered = client.join().map_err(|_| "client thread panicked")??;
+        for (input, output) in answered {
+            if output == v1.infer(&input)? {
+                from_v1 += 1;
+            } else if output == v2.infer(&input)? {
+                from_v2 += 1;
+            } else {
+                return Err("an output matched neither artifact bit-for-bit".into());
+            }
+            total += 1;
+        }
+    }
+    println!(
+        "{total} requests during the swap window, zero failures: \
+         {from_v1} served by v1, {from_v2} by v2"
+    );
+
+    println!("\n== 6. a corrupted artifact cannot reach traffic ==");
+    let mut broken = v2.to_bytes();
+    let mid = broken.len() / 2;
+    broken[mid] ^= 0xff;
+    let rejected = http(addr, "PUT", "/models/digits", None, &broken)?;
+    expect(rejected.status == 422, "corrupted artifact answers 422")?;
+    println!(
+        "rejected with diagnostics:\n{}",
+        rejected.body_text().trim()
+    );
+    let sample = &samples[0];
+    let still = http(
+        addr,
+        "POST",
+        "/models/digits/infer",
+        Some("application/octet-stream"),
+        &le_bytes(sample),
+    )?;
+    expect(
+        still.status == 200 && le_floats(&still.body)? == v2.infer(sample)?,
+        "v2 keeps serving bit-for-bit after the rejected upload",
+    )?;
+    println!("v2 still serving, bit-identical");
+
+    println!("\n== 7. per-model stats ==");
+    let stats = http(addr, "GET", "/models/digits/stats", None, &[])?;
+    expect(stats.status == 200, "stats answer 200")?;
+    println!("{}", stats.body_text());
+    expect(
+        stats.body_text().contains("\"generation\":1"),
+        "stats report the swap generation",
+    )?;
+
+    gateway.shutdown();
+    println!("\ngateway drained; all invariants held");
+    Ok(())
+}
+
+/// Composes and compiles one artifact; returns it with a few validation
+/// samples. Different seeds give same-shaped models with different
+/// weights — exactly what a hot-swap replaces.
+fn compile_artifact(seed: u64) -> Result<ArtifactWithSamples, Box<dyn std::error::Error>> {
+    let mut rng = SeededRng::new(seed);
+    let report = Pipeline::new(PipelineConfig::tiny_for_tests()).run(&mut rng)?;
+    let samples: Vec<Vec<f32>> = (0..8.min(report.validation.len()))
+        .map(|i| report.validation.sample(i).into_vec())
+        .collect();
+    Ok((report.compile()?, samples))
+}
+
+fn expect(ok: bool, invariant: &str) -> Result<(), String> {
+    if ok {
+        Ok(())
+    } else {
+        Err(format!("invariant violated: {invariant}"))
+    }
+}
+
+/// Minimal parsed HTTP response.
+struct HttpResponse {
+    status: u16,
+    body: Vec<u8>,
+}
+
+impl HttpResponse {
+    fn body_text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// One-shot `std::net` HTTP client: single request, `Connection: close`.
+fn http(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    content_type: Option<&str>,
+    body: &[u8],
+) -> std::io::Result<HttpResponse> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    let mut head = format!("{method} {path} HTTP/1.1\r\nhost: demo\r\n");
+    if let Some(ct) = content_type {
+        head.push_str(&format!("content-type: {ct}\r\n"));
+    }
+    head.push_str(&format!(
+        "content-length: {}\r\nconnection: close\r\n\r\n",
+        body.len()
+    ));
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()?;
+
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    let split = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| std::io::Error::other("response head never terminated"))?;
+    let head_text = String::from_utf8_lossy(&raw[..split]);
+    let status: u16 = head_text
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| std::io::Error::other("unparseable status line"))?;
+    Ok(HttpResponse {
+        status,
+        body: raw[split + 4..].to_vec(),
+    })
+}
+
+/// Little-endian f32 wire codecs (the gateway's octet-stream format).
+fn le_bytes(values: &[f32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 4);
+    for v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+fn le_floats(bytes: &[u8]) -> Result<Vec<f32>, String> {
+    if !bytes.len().is_multiple_of(4) {
+        return Err("response body is not f32-aligned".to_string());
+    }
+    Ok(bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect())
+}

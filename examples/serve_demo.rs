@@ -4,6 +4,11 @@
 //! pipeline inference.
 //!
 //! Run with: `cargo run --release --example serve_demo`
+//!
+//! This demo drives an [`Engine`] in-process. To serve models over the
+//! network — multiple named models, admission control, verified
+//! hot-swap — see `examples/gateway_demo.rs` and the `rapidnn-gateway`
+//! crate.
 
 use rapidnn::serve::{BatchRunner, CompiledModel, Engine, EngineConfig};
 use rapidnn::tensor::SeededRng;
