@@ -76,6 +76,19 @@ pub enum DiagCode {
     /// A reachable centroid, product, bias, or LUT entry is NaN or
     /// infinite and would propagate to outputs.
     NonFinite,
+    /// A format v2 bit-packed code layout is structurally invalid:
+    /// directory offsets out of bounds or out of order, sections not
+    /// tiling the code pool, a bit width outside `1..=16`, or an op's
+    /// weight-code span not matching any packed section.
+    PackedLayoutInvalid,
+    /// A packed section's bit width disagrees with the width implied by
+    /// the product table it feeds (`ceil(log2(weight_count))`), so the
+    /// stream can encode row indices the table does not have.
+    PackedWidthMismatch,
+    /// A packed section's final stream byte carries non-zero bits past
+    /// the last code — trailing garbage a bit-exact round-trip would
+    /// silently preserve.
+    PackedTrailingBits,
     /// A codebook is not sorted by `total_cmp`; nearest-search
     /// monotonicity no longer holds (analysis falls back to the full
     /// range).
@@ -111,6 +124,9 @@ impl DiagCode {
             DiagCode::PaddedPool => "RNA0009",
             DiagCode::ResidualImbalance => "RNA0010",
             DiagCode::NonFinite => "RNA0011",
+            DiagCode::PackedLayoutInvalid => "RNA0012",
+            DiagCode::PackedWidthMismatch => "RNA0013",
+            DiagCode::PackedTrailingBits => "RNA0014",
             DiagCode::UnsortedCodebook => "RNA0101",
             DiagCode::AccumulatorOverflow => "RNA0102",
             DiagCode::CounterOverflow => "RNA0103",
@@ -134,7 +150,10 @@ impl DiagCode {
             | DiagCode::GeometryInvalid
             | DiagCode::PaddedPool
             | DiagCode::ResidualImbalance
-            | DiagCode::NonFinite => Severity::Error,
+            | DiagCode::NonFinite
+            | DiagCode::PackedLayoutInvalid
+            | DiagCode::PackedWidthMismatch
+            | DiagCode::PackedTrailingBits => Severity::Error,
             DiagCode::UnsortedCodebook
             | DiagCode::AccumulatorOverflow
             | DiagCode::CounterOverflow

@@ -48,6 +48,7 @@
 //!     ops: vec![],
 //!     floats: Cow::Owned(vec![-1.0, 1.0]),
 //!     codes: Cow::Owned(vec![]),
+//!     packed: vec![],
 //! };
 //! let report = analyze(&program);
 //! assert!(report.has_errors()); // ends in the encoded domain
@@ -65,7 +66,7 @@ mod program;
 pub use checker::{analyze, analyze_with};
 pub use diag::{DiagCode, Diagnostic, Report, Severity};
 pub use interval::Interval;
-pub use program::{Act, Geom, Op, Program, Span, TableRef};
+pub use program::{Act, Geom, Op, PackedSection, Program, Span, TableRef};
 
 #[cfg(test)]
 mod tests {
@@ -107,6 +108,7 @@ mod tests {
             }],
             floats: Cow::Owned(floats),
             codes: Cow::Owned(vec![0, 1]),
+            packed: vec![],
         }
     }
 
@@ -234,6 +236,50 @@ mod tests {
         assert!(!report.has_errors(), "{report}");
         assert!(
             report.find(DiagCode::AccumulatorOverflow).is_some(),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn packed_section_lints_are_typed() {
+        let section = |width_bits, code_len, padding_clear| PackedSection {
+            code_start: 0,
+            code_len,
+            width_bits,
+            padding_clear,
+        };
+
+        // A faithful packed description of tiny() is clean: one section
+        // covering both weight codes at the 1-bit width its 2-row table
+        // implies.
+        let mut p = tiny();
+        p.packed = vec![section(1, 2, true)];
+        assert!(analyze(&p).is_clean(), "{}", analyze(&p));
+
+        // Width disagreeing with the table's row count.
+        let mut p = tiny();
+        p.packed = vec![section(4, 2, true)];
+        let report = analyze(&p);
+        assert!(
+            report.find(DiagCode::PackedWidthMismatch).is_some(),
+            "{report}"
+        );
+
+        // Op span not coinciding with any section.
+        let mut p = tiny();
+        p.packed = vec![section(1, 1, true)];
+        let report = analyze(&p);
+        assert!(
+            report.find(DiagCode::PackedLayoutInvalid).is_some(),
+            "{report}"
+        );
+
+        // Non-zero trailing pad bits.
+        let mut p = tiny();
+        p.packed = vec![section(1, 2, false)];
+        let report = analyze(&p);
+        assert!(
+            report.find(DiagCode::PackedTrailingBits).is_some(),
             "{report}"
         );
     }

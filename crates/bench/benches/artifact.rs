@@ -1,0 +1,89 @@
+//! Artifact format comparison: v1 (wide 16-bit code lanes) vs v2
+//! (bit-packed zero-copy code streams). Measures serialized size and
+//! cold-start cost — decode (`from_bytes`) plus the first inference —
+//! for both formats and writes `BENCH_artifact.json` at the repo root
+//! so successive PRs can track the format's size/latency trajectory.
+//!
+//! Set `BENCH_ARTIFACT_QUICK=1` to shrink the workload for CI smoke
+//! runs.
+
+use rapidnn::serve::CompiledModel;
+use rapidnn::tensor::SeededRng;
+use rapidnn::{Pipeline, PipelineConfig};
+use std::path::Path;
+use std::time::Instant;
+
+fn main() {
+    let quick = std::env::var_os("BENCH_ARTIFACT_QUICK").is_some();
+    let loads = if quick { 20 } else { 200 };
+
+    eprintln!("building tiny MNIST pipeline...");
+    let mut rng = SeededRng::new(42);
+    let report = Pipeline::new(PipelineConfig::tiny_for_tests())
+        .run(&mut rng)
+        .expect("tiny pipeline runs");
+    let model = report.compile().expect("tiny model compiles");
+    let features = model.input_features();
+    let input: Vec<f32> = (0..features).map(|_| rng.uniform(-1.0, 1.0)).collect();
+
+    let v1 = model.to_bytes_v1();
+    let v2 = model.to_bytes();
+    let ratio = v1.len() as f64 / v2.len() as f64;
+
+    // Both loaders must agree bit-for-bit before timing anything.
+    let out_v1 = CompiledModel::from_bytes(&v1)
+        .unwrap()
+        .infer(&input)
+        .unwrap();
+    let out_v2 = CompiledModel::from_bytes(&v2)
+        .unwrap()
+        .infer(&input)
+        .unwrap();
+    assert_eq!(out_v1, out_v2, "v1/v2 inference diverged");
+
+    let cold_v1 = cold_start_us(&v1, &input, loads);
+    let cold_v2 = cold_start_us(&v2, &input, loads);
+
+    println!("artifact v1 (wide)    {:>10} bytes", v1.len());
+    println!(
+        "artifact v2 (packed)  {:>10} bytes  ({ratio:.2}x smaller)",
+        v2.len()
+    );
+    println!("load+first-infer v1   {cold_v1:>10.1} us");
+    println!("load+first-infer v2   {cold_v2:>10.1} us");
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"benchmark\": \"artifact\",\n",
+            "  \"pipeline\": \"mnist-tiny\",\n",
+            "  \"v1_bytes\": {v1_bytes},\n",
+            "  \"v2_bytes\": {v2_bytes},\n",
+            "  \"size_ratio\": {ratio:.3},\n",
+            "  \"v1_load_first_infer_us\": {cold_v1:.1},\n",
+            "  \"v2_load_first_infer_us\": {cold_v2:.1}\n",
+            "}}\n"
+        ),
+        v1_bytes = v1.len(),
+        v2_bytes = v2.len(),
+        ratio = ratio,
+        cold_v1 = cold_v1,
+        cold_v2 = cold_v2,
+    );
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_artifact.json");
+    std::fs::write(&path, json).expect("write BENCH_artifact.json");
+    eprintln!("wrote {}", path.display());
+}
+
+/// Mean microseconds from raw bytes to the first inference result:
+/// the latency a cold worker pays before serving its first request.
+fn cold_start_us(bytes: &[u8], input: &[f32], loads: usize) -> f64 {
+    let start = Instant::now();
+    for _ in 0..loads {
+        let model = CompiledModel::from_bytes(std::hint::black_box(bytes)).unwrap();
+        std::hint::black_box(model.infer(input).unwrap());
+    }
+    start.elapsed().as_secs_f64() * 1e6 / loads as f64
+}

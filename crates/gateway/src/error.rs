@@ -1,7 +1,7 @@
 //! Gateway error taxonomy, each variant carrying its HTTP mapping.
 
 use rapidnn_analyze::Report;
-use rapidnn_serve::ServeError;
+use rapidnn_serve::{ArtifactError, ServeError};
 use std::fmt;
 use std::time::Duration;
 
@@ -27,6 +27,16 @@ pub enum GatewayError {
     /// The artifact failed decode or static verification; the report
     /// carries the full diagnostics (422).
     Rejected(Box<Report>),
+    /// The artifact is well-framed but stamped with a format version
+    /// this build does not read — "from the future", not corrupt
+    /// bytes, so operators know to upgrade the gateway rather than
+    /// rebuild the artifact (422).
+    UnsupportedArtifactVersion {
+        /// Version stamped in the uploaded artifact.
+        found: u32,
+        /// Newest version this gateway reads.
+        supported: u32,
+    },
     /// A replacement artifact changed the model's I/O shape (422).
     WidthMismatch {
         /// Model whose contract was violated.
@@ -56,6 +66,7 @@ impl GatewayError {
             GatewayError::AlreadyExists(_) | GatewayError::SwapInProgress(_) => 409,
             GatewayError::Shed { .. } => 429,
             GatewayError::Rejected(_)
+            | GatewayError::UnsupportedArtifactVersion { .. }
             | GatewayError::WidthMismatch { .. }
             | GatewayError::WarmupFailed(_) => 422,
             GatewayError::ShuttingDown => 503,
@@ -80,6 +91,13 @@ impl GatewayError {
     pub(crate) fn from_artifact_failure(bytes: &[u8], e: ServeError) -> GatewayError {
         match e {
             ServeError::Rejected(report) => GatewayError::Rejected(report),
+            // A version from the future is an operator problem (upgrade
+            // the gateway), not an artifact problem — keep it out of
+            // the corrupt-bytes lint fold so the 422 reason stays
+            // honest and actionable.
+            ServeError::Artifact(ArtifactError::UnsupportedVersion { found, supported }) => {
+                GatewayError::UnsupportedArtifactVersion { found, supported }
+            }
             ServeError::Artifact(_) => {
                 GatewayError::Rejected(Box::new(rapidnn_serve::lint_bytes(bytes)))
             }
@@ -110,6 +128,10 @@ impl fmt::Display for GatewayError {
                     report.summary()
                 )
             }
+            GatewayError::UnsupportedArtifactVersion { found, supported } => write!(
+                f,
+                "artifact format version {found} is newer than this gateway reads (up to {supported}); upgrade the gateway or re-export the artifact"
+            ),
             GatewayError::WidthMismatch {
                 name,
                 expected,

@@ -288,9 +288,7 @@ fn parse_head(head: &[u8]) -> Result<(Request, u64), ParseError> {
     let mut body_len: Option<u64> = None;
     for (name, value) in &headers {
         if name == "content-length" {
-            let parsed: u64 = value
-                .parse()
-                .map_err(|_| ParseError::Malformed("content-length value"))?;
+            let parsed = parse_content_length(value)?;
             if let Some(prev) = body_len {
                 if prev != parsed {
                     return Err(ParseError::Malformed("conflicting content-length"));
@@ -327,6 +325,25 @@ fn parse_head(head: &[u8]) -> Result<(Request, u64), ParseError> {
         },
         body_len,
     ))
+}
+
+/// Parses a `Content-Length` value in its single canonical form:
+/// non-empty, ASCII digits only, no leading zeros (except exactly
+/// `"0"`). `str::parse::<u64>` also accepts `+4` and `007` — forms
+/// that intermediaries are known to normalize inconsistently, the seed
+/// of request-smuggling desyncs — so the gateway refuses anything but
+/// the one spelling every party agrees on.
+fn parse_content_length(value: &str) -> Result<u64, ParseError> {
+    let canonical = !value.is_empty()
+        && value.bytes().all(|b| b.is_ascii_digit())
+        && (value == "0" || !value.starts_with('0'));
+    if !canonical {
+        return Err(ParseError::Malformed("content-length value"));
+    }
+    // Still fallible: a 20+-digit value overflows u64.
+    value
+        .parse()
+        .map_err(|_| ParseError::Malformed("content-length value"))
 }
 
 /// An HTTP response under construction.
@@ -503,6 +520,15 @@ mod tests {
     }
 
     #[test]
+    fn canonical_zero_content_length_is_accepted() {
+        let out = parse(b"POST /x HTTP/1.1\r\ncontent-length: 0\r\n\r\n");
+        let ReadOutcome::Request(req) = out else {
+            panic!("expected request");
+        };
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
     fn pipelined_requests_survive_buffering() {
         let two = b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\nConnection: close\r\n\r\n";
         let mut reader = HttpReader::new(FakeStream::new(two));
@@ -530,6 +556,20 @@ mod tests {
             (b"GET /x HTTP/1.1\r\nbroken header\r\n\r\n", 400),
             (b"POST /x HTTP/1.1\r\n\r\n", 411),
             (b"POST /x HTTP/1.1\r\ncontent-length: nope\r\n\r\n", 400),
+            // Non-canonical lengths `u64::parse` would accept: a sign,
+            // leading zeros, an inner space, an overflowing value.
+            (b"POST /x HTTP/1.1\r\ncontent-length: +4\r\n\r\nabcd", 400),
+            (
+                b"POST /x HTTP/1.1\r\ncontent-length: 007\r\n\r\nabcdefg",
+                400,
+            ),
+            (b"POST /x HTTP/1.1\r\ncontent-length: 4 2\r\n\r\nabcd", 400),
+            (b"POST /x HTTP/1.1\r\ncontent-length: -0\r\n\r\n", 400),
+            (
+                b"POST /x HTTP/1.1\r\ncontent-length: 99999999999999999999\r\n\r\n",
+                400,
+            ),
+            (b"POST /x HTTP/1.1\r\ncontent-length:\r\n\r\n", 400),
             (
                 b"POST /x HTTP/1.1\r\ncontent-length: 1\r\ncontent-length: 2\r\n\r\n",
                 400,

@@ -399,6 +399,7 @@ fn stats_json(stats: &ModelStats) -> String {
             "\"queue_depth\":{qd},\"peak_queue_depth\":{pqd},",
             "\"mean_latency_ns\":{mean_ns},\"p50_latency_ns\":{p50},",
             "\"p90_latency_ns\":{p90},\"p99_latency_ns\":{p99},",
+            "\"latency_overflows\":{overflows},",
             "\"throughput_rps\":{rps},\"uptime_ms\":{uptime}}}}}",
         ),
         name = json_string(&stats.name),
@@ -419,6 +420,7 @@ fn stats_json(stats: &ModelStats) -> String {
         p50 = s.p50_latency.as_nanos(),
         p90 = s.p90_latency.as_nanos(),
         p99 = s.p99_latency.as_nanos(),
+        overflows = s.latency_overflows,
         rps = s.throughput_rps,
         uptime = s.uptime.as_millis(),
     )

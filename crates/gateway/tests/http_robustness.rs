@@ -170,6 +170,29 @@ fn malformed_traffic_never_panics_a_worker() {
     gateway.shutdown();
 }
 
+/// Leftover buffered bytes after a `connection: close` request must be
+/// discarded with the connection, never reparsed as a phantom request:
+/// the peer pipelines a second request behind the close, and gets
+/// exactly one response followed by EOF.
+#[test]
+fn pipelined_bytes_after_close_are_discarded() {
+    let gateway = hardened_gateway();
+    let addr = gateway.local_addr();
+    let response = send_raw(
+        addr,
+        b"GET /health HTTP/1.1\r\nconnection: close\r\n\r\nGET /health HTTP/1.1\r\n\r\n",
+    );
+    let text = String::from_utf8(response).unwrap();
+    assert_eq!(
+        text.matches("HTTP/1.1 ").count(),
+        1,
+        "phantom second response:\n{text}"
+    );
+    assert!(text.starts_with("HTTP/1.1 200"), "{text}");
+    assert!(text.contains("connection: close"), "{text}");
+    gateway.shutdown();
+}
+
 #[test]
 fn oversized_body_is_413_and_misaligned_body_is_400() {
     let gateway = hardened_gateway();

@@ -244,6 +244,24 @@ fn rejected_artifacts_leave_the_old_model_serving() {
         rejected.body_text()
     );
 
+    // An artifact stamped with a future format version: a *distinct*
+    // 422 telling the operator to upgrade the gateway, not the generic
+    // corrupt-bytes lint report.
+    let mut future = model.to_bytes();
+    future[4..8].copy_from_slice(&(rapidnn_serve::FORMAT_VERSION + 1).to_le_bytes());
+    let versioned = request(addr, "PUT", "/models/m", None, &future).unwrap();
+    assert_eq!(versioned.status, 422, "{}", versioned.body_text());
+    assert!(
+        versioned.body_text().contains("newer than this gateway"),
+        "{}",
+        versioned.body_text()
+    );
+    assert!(
+        !versioned.body_text().contains("RNA0001"),
+        "future version misreported as corruption: {}",
+        versioned.body_text()
+    );
+
     // A clean artifact with the wrong shape: contract violation, 422.
     let wide = request(addr, "PUT", "/models/m", None, &wider_model(32).to_bytes()).unwrap();
     assert_eq!(wide.status, 422);

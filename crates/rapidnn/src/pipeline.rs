@@ -85,6 +85,11 @@ impl PipelineReport {
     /// Flattens the composed model into a deployable serving artifact
     /// (see [`rapidnn_serve::CompiledModel`]).
     ///
+    /// `CompiledModel::to_bytes` serializes in format v2 — weight codes
+    /// bit-packed at their cluster width, float pool laid out for
+    /// zero-copy loading; `to_bytes_v1` remains for the legacy wide
+    /// format, and loading accepts both.
+    ///
     /// # Errors
     ///
     /// Propagates [`rapidnn_serve::ArtifactError`] when the model uses a

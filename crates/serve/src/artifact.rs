@@ -7,6 +7,31 @@
 //! binary format is a hand-rolled, versioned, checksummed little-endian
 //! encoding with no dependencies beyond `std`.
 //!
+//! # Wire format
+//!
+//! Both versions share the outer framing — `RNNA` magic, `u32` version,
+//! `u64` payload length, payload, FNV-1a 64 checksum of the payload —
+//! and the op-table encoding. They differ in how the pools travel:
+//!
+//! * **v1** stores every float as 4 LE bytes and every code as a wide
+//!   2-byte `u16`, inline, length-prefixed.
+//! * **v2** (current; see `DESIGN.md` §12) front-loads a fixed header of
+//!   nine `u64`s (widths, pool lengths, op/section counts, and the byte
+//!   offsets of the float section, packed region, and tail directory),
+//!   then the ops, zero padding to the next 8-byte boundary, the raw LE
+//!   `f32` float section, per-op code sections bit-packed at
+//!   `ceil(log2(codebook_len))` bits each, and finally a tail directory
+//!   locating every section. Because the payload begins 8 bytes into a
+//!   16-byte outer header, an 8-aligned payload offset is 8-aligned in
+//!   the whole buffer, and the loader can borrow the float section (and
+//!   read codes through a bounded bit cursor) directly out of one
+//!   aligned copy of the artifact — validate-then-borrow instead of
+//!   parse-then-copy.
+//!
+//! [`CompiledModel::from_bytes`] accepts both versions;
+//! [`CompiledModel::to_bytes`] emits v2 ([`CompiledModel::to_bytes_v1`]
+//! keeps the legacy writer for compatibility tooling and benchmarks).
+//!
 //! Loading performs *full static validation* (span bounds, code-domain
 //! chaining, flow-kind state machine, width tracking), so
 //! [`CompiledModel::infer`] never panics on any artifact that decoded
@@ -22,14 +47,29 @@
 
 use crate::error::{ArtifactError, Result, ServeError};
 use crate::kernels::BatchRunner;
+use crate::pod::{self, AlignedBytes};
 use rapidnn_core::{ActivationTable, ReinterpretedNetwork, Stage, StageKind};
 use rapidnn_nn::Activation;
 use std::path::Path;
+use std::sync::Arc;
 
 /// File magic: `RNNA` ("RapidNN Artifact").
 pub const MAGIC: [u8; 4] = *b"RNNA";
-/// Current artifact format version.
-pub const FORMAT_VERSION: u32 = 1;
+/// Current artifact format version (bit-packed code sections with a
+/// tail directory and a zero-copy float section).
+pub const FORMAT_VERSION: u32 = 2;
+/// The legacy wide-code format, still accepted by
+/// [`CompiledModel::from_bytes`] and written by
+/// [`CompiledModel::to_bytes_v1`].
+const FORMAT_VERSION_V1: u32 = 1;
+/// Byte length of the outer framing before the payload (magic, version,
+/// payload length). The payload therefore starts 8-aligned inside the
+/// buffer, which the v2 zero-copy float view relies on.
+const OUTER_HEADER_LEN: usize = 16;
+/// Byte length of the fixed v2 payload header (nine `u64` fields).
+const V2_HEADER_LEN: usize = 72;
+/// Byte length of one v2 tail-directory entry (four `u64` fields).
+const V2_DIR_ENTRY_LEN: usize = 32;
 /// Upper bound on any single dimension/extent, keeping index arithmetic
 /// far away from overflow on 32-bit-and-up targets.
 const MAX_EXTENT: u64 = 1 << 31;
@@ -199,6 +239,234 @@ pub(crate) enum Op {
     },
 }
 
+/// Number of bits v2 packs each code of a section with `rows`
+/// addressable codebook entries into: enough to represent `rows - 1`,
+/// minimum 1. `rows` is capped at [`MAX_CODEBOOK_LEN`], so the result
+/// never exceeds 16.
+pub(crate) fn bits_for(rows: usize) -> u32 {
+    let top = rows.max(2) - 1;
+    // Codes are u16, so 16 bits always suffice even for a (degenerate)
+    // table claiming more than 2^16 rows.
+    (usize::BITS - top.leading_zeros()).min(16)
+}
+
+/// Smallest width that can represent every code in `values` (minimum 1).
+fn bits_needed(values: &[u16]) -> u32 {
+    bits_for(values.iter().copied().max().unwrap_or(0) as usize + 1)
+}
+
+/// The model's float pool: every codebook, product table, LUT, and bias.
+///
+/// `Owned` is the classic materialized pool (compiler output and v1
+/// artifacts); `View` borrows the raw LE float section of a v2 artifact
+/// buffer without copying. Construction of a `View` goes through the
+/// single [`pod::f32s`] gate, so on targets where the reinterpretation
+/// would be wrong (big-endian) the loader falls back to `Owned`.
+#[derive(Debug, Clone)]
+pub(crate) enum FloatPool {
+    /// Materialized values.
+    Owned(Vec<f32>),
+    /// Borrowed view over an aligned artifact buffer.
+    View {
+        /// The artifact image the floats live in.
+        buf: Arc<AlignedBytes>,
+        /// Absolute byte offset of the float section (4-aligned).
+        byte_off: usize,
+        /// Number of `f32` values.
+        len: usize,
+    },
+}
+
+impl FloatPool {
+    pub(crate) fn as_slice(&self) -> &[f32] {
+        match self {
+            FloatPool::Owned(v) => v,
+            FloatPool::View { buf, byte_off, len } => {
+                pod::f32s(&buf.bytes()[*byte_off..*byte_off + *len * 4])
+                    .expect("View is only constructed after pod::f32s succeeded on these bytes")
+            }
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        match self {
+            FloatPool::Owned(v) => v.len(),
+            FloatPool::View { len, .. } => *len,
+        }
+    }
+}
+
+impl PartialEq for FloatPool {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+/// One bit-packed code section of a v2 artifact: `len` codes starting
+/// at pool index `start`, packed LSB-first at `width_bits` bits each.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct PackedSection {
+    /// First code-pool index this section holds.
+    pub(crate) start: usize,
+    /// Number of codes in the section.
+    pub(crate) len: usize,
+    /// Absolute byte offset of the section's bit stream in the buffer.
+    pub(crate) byte_off: usize,
+    /// Bits per code, `1..=16`.
+    pub(crate) width_bits: u32,
+    /// Whether the unused high bits of the section's final byte are
+    /// zero. Recorded at decode time; `validate` and the analyzer
+    /// reject sections with trailing garbage bits.
+    pub(crate) padding_clear: bool,
+}
+
+impl PackedSection {
+    /// Bytes the section's bit stream occupies.
+    fn byte_len(&self) -> usize {
+        packed_byte_len(self.len, self.width_bits)
+    }
+}
+
+/// Bytes needed to pack `len` codes at `width` bits each.
+fn packed_byte_len(len: usize, width: u32) -> usize {
+    (len * width as usize).div_ceil(8)
+}
+
+/// The model's code pool: every encoded weight.
+///
+/// `Wide` is the classic materialized `u16` pool; `Packed` keeps the
+/// bit-packed sections of a v2 artifact in place and decodes spans on
+/// demand through a bounded bit cursor ([`CompiledModel::codes_for`]).
+#[derive(Debug, Clone)]
+pub(crate) enum CodePool {
+    /// Materialized wide codes.
+    Wide(Vec<u16>),
+    /// Bit-packed sections borrowed from an aligned artifact buffer.
+    Packed {
+        /// The artifact image the sections live in.
+        buf: Arc<AlignedBytes>,
+        /// Sections in ascending `start` order, tiling `0..total`.
+        sections: Vec<PackedSection>,
+        /// Total number of codes across all sections.
+        total: usize,
+    },
+}
+
+impl CodePool {
+    pub(crate) fn len(&self) -> usize {
+        match self {
+            CodePool::Wide(v) => v.len(),
+            CodePool::Packed { total, .. } => *total,
+        }
+    }
+
+    /// Appends the codes of pool range `start..start + len` to `out`,
+    /// reading each packed section through a bounded bit cursor. The
+    /// range must be in bounds (callers bounds-check first).
+    fn decode_range_into(&self, start: usize, len: usize, out: &mut Vec<u16>) {
+        match self {
+            CodePool::Wide(v) => out.extend_from_slice(&v[start..start + len]),
+            CodePool::Packed { buf, sections, .. } => {
+                let bytes = buf.bytes();
+                let end = start + len;
+                // Sections are sorted and tile the pool; find the first
+                // one overlapping the range, then walk forward.
+                let first = sections.partition_point(|s| s.start + s.len <= start);
+                for s in &sections[first..] {
+                    if s.start >= end {
+                        break;
+                    }
+                    let lo = start.max(s.start);
+                    let hi = end.min(s.start + s.len);
+                    let stream = &bytes[s.byte_off..s.byte_off + s.byte_len()];
+                    let mask = (1u32 << s.width_bits) - 1;
+                    let mut bit = (lo - s.start) * s.width_bits as usize;
+                    for _ in lo..hi {
+                        out.push(read_bits(stream, bit, mask));
+                        bit += s.width_bits as usize;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Materializes the whole pool (serialization, analysis, equality —
+    /// never the inference hot path, which decodes per-op tiles).
+    pub(crate) fn to_wide(&self) -> Vec<u16> {
+        match self {
+            CodePool::Wide(v) => v.clone(),
+            CodePool::Packed { total, .. } => {
+                let mut out = Vec::with_capacity(*total);
+                self.decode_range_into(0, *total, &mut out);
+                out
+            }
+        }
+    }
+
+    /// The packed sections, empty for a wide pool.
+    pub(crate) fn sections(&self) -> &[PackedSection] {
+        match self {
+            CodePool::Wide(_) => &[],
+            CodePool::Packed { sections, .. } => sections,
+        }
+    }
+}
+
+impl PartialEq for CodePool {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (CodePool::Wide(a), CodePool::Wide(b)) => a == b,
+            (a, b) => a.len() == b.len() && a.to_wide() == b.to_wide(),
+        }
+    }
+}
+
+/// Reads the `mask`-wide value at bit offset `bit` of an LSB-first
+/// stream. Out-of-stream bytes read as zero, so a read that would run
+/// past the final byte (possible only while probing, never for codes a
+/// validated section owns) stays in bounds.
+#[inline]
+fn read_bits(stream: &[u8], bit: usize, mask: u32) -> u16 {
+    let byte = bit / 8;
+    let shift = bit % 8;
+    let mut acc = 0u32;
+    for i in 0..3 {
+        if let Some(&b) = stream.get(byte + i) {
+            acc |= u32::from(b) << (8 * i);
+        }
+    }
+    ((acc >> shift) & mask) as u16
+}
+
+/// LSB-first bit packer for one v2 code section.
+#[derive(Default)]
+struct BitWriter {
+    out: Vec<u8>,
+    acc: u64,
+    nbits: u32,
+}
+
+impl BitWriter {
+    fn put(&mut self, v: u16, width: u32) {
+        self.acc |= u64::from(v) << self.nbits;
+        self.nbits += width;
+        while self.nbits >= 8 {
+            self.out.push(self.acc as u8);
+            self.acc >>= 8;
+            self.nbits -= 8;
+        }
+    }
+
+    /// Flushes the final partial byte (its unused high bits are zero)
+    /// and returns the section's byte stream.
+    fn finish(mut self) -> Vec<u8> {
+        if self.nbits > 0 {
+            self.out.push(self.acc as u8);
+        }
+        self.out
+    }
+}
+
 /// A [`ReinterpretedNetwork`] flattened into contiguous pools plus a
 /// linear op program — the deployable, serializable serving artifact.
 #[derive(Debug, Clone, PartialEq)]
@@ -209,9 +477,9 @@ pub struct CompiledModel {
     pub(crate) virtual_encoder: Span,
     pub(crate) ops: Vec<Op>,
     /// All f32 data: codebooks, product tables, LUTs, biases.
-    pub(crate) floats: Vec<f32>,
+    pub(crate) floats: FloatPool,
     /// All encoded weights.
-    pub(crate) codes: Vec<u16>,
+    pub(crate) codes: CodePool,
     /// Set by [`CompiledModel::verify`] when the static analyzer proved
     /// the program error-free; lets [`BatchRunner`] drop its defensive
     /// per-gather index clamps. Never serialized — a loaded artifact
@@ -240,8 +508,8 @@ impl CompiledModel {
             output_features: network.output_features(),
             virtual_encoder,
             ops: fl.ops,
-            floats: fl.floats,
-            codes: fl.codes,
+            floats: FloatPool::Owned(fl.floats),
+            codes: CodePool::Wide(fl.codes),
             verified: false,
         };
         model.validate()?;
@@ -251,6 +519,60 @@ impl CompiledModel {
     /// Input feature width.
     pub fn input_features(&self) -> usize {
         self.input_features
+    }
+
+    /// The float pool as a contiguous slice — materialized values for
+    /// owned pools, a zero-copy borrow of the artifact buffer for v2
+    /// views.
+    pub(crate) fn float_pool(&self) -> &[f32] {
+        self.floats.as_slice()
+    }
+
+    /// The codes of `span`, borrowing the wide pool directly or bit-
+    /// decoding the packed sections into `scratch` (cleared first). The
+    /// span must be in bounds — `validate` establishes that before any
+    /// caller reads through this.
+    pub(crate) fn codes_for<'a>(&'a self, span: Span, scratch: &'a mut Vec<u16>) -> &'a [u16] {
+        match &self.codes {
+            CodePool::Wide(v) => span.slice(v),
+            packed => {
+                scratch.clear();
+                packed.decode_range_into(span.start, span.len, scratch);
+                scratch
+            }
+        }
+    }
+
+    /// For packed pools, checks that a neuron op's weight-code span is
+    /// exactly one packed section and that the section's bit width is
+    /// the canonical `ceil(log2(rows))` for the op's product table(s).
+    /// No-op for wide pools and empty spans. Mirrored by the analyzer
+    /// as `PackedWidthMismatch` (RNA0013).
+    fn check_packed_op(&self, i: usize, span: Span, rows: usize) -> Result<(), ArtifactError> {
+        let sections = self.codes.sections();
+        if sections.is_empty() || span.len == 0 {
+            return Ok(());
+        }
+        let matched = sections
+            .binary_search_by_key(&span.start, |s| s.start)
+            .ok()
+            .map(|idx| sections[idx])
+            .filter(|s| s.len == span.len);
+        let Some(section) = matched else {
+            return Err(malformed(format!(
+                "op {i}: weight-code span {}+{} does not match a packed section",
+                span.start, span.len
+            )));
+        };
+        let expected = bits_for(rows);
+        if section.width_bits != expected {
+            return Err(malformed(format!(
+                "op {i}: packed section at code {} holds {} bits per code, \
+                 {}-row table expects {expected}",
+                span.start, section.width_bits, rows
+            )));
+        }
+        Ok(())
     }
 
     /// A deliberately inconsistent model (built without `validate`) whose
@@ -273,8 +595,8 @@ impl CompiledModel {
                 out_height: 1,
                 out_width: 1,
             })],
-            floats: vec![0.0, 1.0],
-            codes: vec![],
+            floats: FloatPool::Owned(vec![0.0, 1.0]),
+            codes: CodePool::Wide(vec![]),
             verified: false,
         }
     }
@@ -289,9 +611,15 @@ impl CompiledModel {
         self.ops.len()
     }
 
-    /// Total bytes held by the two pools (the dominant footprint).
+    /// Total bytes held by the two pools (the dominant footprint):
+    /// 4 per float, and 2 per code for wide pools or the bit-packed
+    /// section bytes for packed pools.
     pub fn pool_bytes(&self) -> usize {
-        self.floats.len() * 4 + self.codes.len() * 2
+        let code_bytes = match &self.codes {
+            CodePool::Wide(v) => v.len() * 2,
+            CodePool::Packed { sections, .. } => sections.iter().map(PackedSection::byte_len).sum(),
+        };
+        self.floats.len() * 4 + code_bytes
     }
 
     /// Runs encoded inference on one sample, returning the output logits.
@@ -342,18 +670,89 @@ impl CompiledModel {
     // Serialization
     // ------------------------------------------------------------------
 
-    /// Serializes the model: `RNNA` magic, format version, payload length,
-    /// payload, FNV-1a 64 checksum — all little-endian.
+    /// Serializes the model in the current (v2) format: `RNNA` magic,
+    /// format version, payload length, payload, FNV-1a 64 checksum —
+    /// all little-endian. The payload carries the float pool as raw LE
+    /// `f32` bytes at an 8-aligned offset and the code pool as per-op
+    /// bit-packed sections located by a tail directory, so a loader can
+    /// borrow both without materializing them.
     pub fn to_bytes(&self) -> Vec<u8> {
+        let floats = self.float_pool();
+        let codes = self.codes.to_wide();
+        let sections = self.plan_sections(&codes);
+
+        // Ops first (variable length), so the header can record where
+        // the aligned float section starts.
+        let mut ops_bytes = Vec::new();
+        write_span(&mut ops_bytes, self.virtual_encoder);
+        for op in &self.ops {
+            write_op(&mut ops_bytes, op);
+        }
+        let ops_end = V2_HEADER_LEN + ops_bytes.len();
+        let float_byte_off = ops_end.next_multiple_of(8);
+        let packed_byte_off = float_byte_off + floats.len() * 4;
+
+        let mut streams: Vec<Vec<u8>> = Vec::with_capacity(sections.len());
+        for &(start, len, width) in &sections {
+            let mut w = BitWriter::default();
+            for &c in &codes[start..start + len] {
+                w.put(c, width);
+            }
+            streams.push(w.finish());
+        }
+        let packed_len: usize = streams.iter().map(Vec::len).sum();
+        let dir_byte_off = packed_byte_off + packed_len;
+
+        let payload_len = dir_byte_off + sections.len() * V2_DIR_ENTRY_LEN;
+        let mut payload = Vec::with_capacity(payload_len);
+        for v in [
+            self.input_features as u64,
+            self.output_features as u64,
+            floats.len() as u64,
+            codes.len() as u64,
+            self.ops.len() as u64,
+            sections.len() as u64,
+            float_byte_off as u64,
+            packed_byte_off as u64,
+            dir_byte_off as u64,
+        ] {
+            write_u64(&mut payload, v);
+        }
+        payload.extend_from_slice(&ops_bytes);
+        payload.resize(float_byte_off, 0); // alignment padding, must be zero
+        for &f in floats {
+            payload.extend_from_slice(&f.to_le_bytes());
+        }
+        for stream in &streams {
+            payload.extend_from_slice(stream);
+        }
+        let mut byte_off = packed_byte_off;
+        for (&(start, len, width), stream) in sections.iter().zip(&streams) {
+            write_u64(&mut payload, start as u64);
+            write_u64(&mut payload, len as u64);
+            write_u64(&mut payload, byte_off as u64);
+            write_u64(&mut payload, u64::from(width));
+            byte_off += stream.len();
+        }
+        debug_assert_eq!(payload.len(), payload_len);
+
+        frame(FORMAT_VERSION, payload)
+    }
+
+    /// Serializes the model in the legacy v1 format (wide `u16` codes,
+    /// length-prefixed inline pools). Kept so compatibility tests and
+    /// benchmarks can produce v1 artifacts; [`Self::from_bytes`] accepts
+    /// both versions.
+    pub fn to_bytes_v1(&self) -> Vec<u8> {
         let mut payload = Vec::new();
         write_u64(&mut payload, self.input_features as u64);
         write_u64(&mut payload, self.output_features as u64);
         write_u64(&mut payload, self.floats.len() as u64);
-        for &f in &self.floats {
+        for &f in self.float_pool() {
             payload.extend_from_slice(&f.to_le_bytes());
         }
         write_u64(&mut payload, self.codes.len() as u64);
-        for &c in &self.codes {
+        for c in self.codes.to_wide() {
             payload.extend_from_slice(&c.to_le_bytes());
         }
         write_span(&mut payload, self.virtual_encoder);
@@ -361,14 +760,68 @@ impl CompiledModel {
         for op in &self.ops {
             write_op(&mut payload, op);
         }
+        frame(FORMAT_VERSION_V1, payload)
+    }
 
-        let mut out = Vec::with_capacity(4 + 4 + 8 + payload.len() + 8);
-        out.extend_from_slice(&MAGIC);
-        out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
-        write_u64(&mut out, payload.len() as u64);
-        out.extend_from_slice(&payload);
-        write_u64(&mut out, fnv1a64(&payload));
-        out
+    /// Plans the v2 code sections as `(start, len, width_bits)` triples
+    /// tiling `0..codes.len()` in ascending order.
+    ///
+    /// Sections come from the ops' weight-code spans (the flattener
+    /// lays codes out in op order, so for compiler-built models they
+    /// tile the pool exactly); each op section is packed at
+    /// `ceil(log2(table rows))` bits. Code ranges no op claims — which
+    /// only hand-built or malformed models have — become filler
+    /// sections, and every width is widened if needed to hold the
+    /// largest value actually present, so serialization round-trips the
+    /// pool bit-for-bit even for models `validate` will reject.
+    fn plan_sections(&self, codes: &[u16]) -> Vec<(usize, usize, u32)> {
+        let total = codes.len();
+        let mut claims: Vec<(Span, u32)> = Vec::new();
+        for op in &self.ops {
+            let claim = match op {
+                Op::Dense {
+                    weight_codes,
+                    table,
+                    ..
+                } => Some((*weight_codes, bits_for(table.weight_count))),
+                Op::Conv {
+                    weight_codes,
+                    tables,
+                    ..
+                } => {
+                    let rows = tables.iter().map(|t| t.weight_count).max().unwrap_or(0);
+                    Some((*weight_codes, bits_for(rows)))
+                }
+                _ => None,
+            };
+            if let Some((span, width)) = claim {
+                if span.len > 0 && span.start < total && span.start + span.len <= total {
+                    claims.push((span, width));
+                }
+            }
+        }
+        claims.sort_by_key(|(s, _)| s.start);
+
+        let mut sections = Vec::new();
+        let mut push = |start: usize, len: usize, width: u32| {
+            let width = width.max(bits_needed(&codes[start..start + len]));
+            sections.push((start, len, width));
+        };
+        let mut cursor = 0usize;
+        for (span, width) in claims {
+            if span.start < cursor {
+                continue; // overlap: the earlier section already covers it
+            }
+            if span.start > cursor {
+                push(cursor, span.start - cursor, 1);
+            }
+            push(span.start, span.len, width);
+            cursor = span.start + span.len;
+        }
+        if cursor < total {
+            push(cursor, total - cursor, 1);
+        }
+        sections
     }
 
     /// Decodes and fully validates an artifact.
@@ -395,11 +848,14 @@ impl CompiledModel {
             return Err(ArtifactError::BadMagic);
         }
         let version = r.u32()?;
-        if version != FORMAT_VERSION {
-            return Err(ArtifactError::UnsupportedVersion(version));
+        if version != FORMAT_VERSION_V1 && version != FORMAT_VERSION {
+            return Err(ArtifactError::UnsupportedVersion {
+                found: version,
+                supported: FORMAT_VERSION,
+            });
         }
         let payload_len = r.usize()?;
-        let payload = r.take(payload_len)?.to_vec();
+        let payload = r.take(payload_len)?;
         let stored = r.u64()?;
         if r.remaining() != 0 {
             return Err(ArtifactError::Malformed(format!(
@@ -407,7 +863,7 @@ impl CompiledModel {
                 r.remaining()
             )));
         }
-        let actual = fnv1a64(&payload);
+        let actual = fnv1a64(payload);
         if stored != actual {
             return Err(ArtifactError::ChecksumMismatch {
                 expected: stored,
@@ -415,7 +871,17 @@ impl CompiledModel {
             });
         }
 
-        let mut p = Reader::new(&payload);
+        if version == FORMAT_VERSION_V1 {
+            Self::decode_v1(payload)
+        } else {
+            Self::decode_v2(bytes, payload_len)
+        }
+    }
+
+    /// Decodes a v1 payload: length-prefixed inline pools, parse-then-
+    /// copy.
+    fn decode_v1(payload: &[u8]) -> Result<Self, ArtifactError> {
+        let mut p = Reader::new(payload);
         let input_features = p.extent()?;
         let output_features = p.extent()?;
         let nfloats = p.extent()?;
@@ -445,6 +911,168 @@ impl CompiledModel {
                 p.remaining()
             )));
         }
+
+        Ok(CompiledModel {
+            input_features,
+            output_features,
+            virtual_encoder,
+            ops,
+            floats: FloatPool::Owned(floats),
+            codes: CodePool::Wide(codes),
+            verified: false,
+        })
+    }
+
+    /// Decodes a v2 artifact: copies the whole image into one aligned
+    /// buffer (the only copy), parses the fixed header and ops, checks
+    /// the section directory's framing invariants, and builds borrowed
+    /// pool views over the buffer — validate-then-borrow.
+    fn decode_v2(bytes: &[u8], payload_len: usize) -> Result<Self, ArtifactError> {
+        let invalid = |msg: String| ArtifactError::PackedLayout(msg);
+        let buf = Arc::new(AlignedBytes::copy_from(bytes));
+        let payload = &buf.bytes()[OUTER_HEADER_LEN..OUTER_HEADER_LEN + payload_len];
+
+        let mut p = Reader::new(payload);
+        let input_features = p.extent()?;
+        let output_features = p.extent()?;
+        let nfloats = p.extent()?;
+        let ncodes = p.extent()?;
+        let nops = p.extent()?;
+        let nsections = p.extent()?;
+        let float_byte_off = p.usize()?;
+        let packed_byte_off = p.usize()?;
+        let dir_byte_off = p.usize()?;
+
+        let virtual_encoder = read_span(&mut p)?;
+        // Each op costs at least its 1-byte tag, and all ops must end
+        // before the float section.
+        p.ensure(nops)?;
+        let mut ops = Vec::with_capacity(nops);
+        for _ in 0..nops {
+            ops.push(read_op(&mut p)?);
+        }
+        let ops_end = p.pos();
+
+        // Framing invariants: the four regions (ops + padding, floats,
+        // packed streams, directory) must chain exactly through the
+        // recorded offsets and fill the payload.
+        if float_byte_off != ops_end.next_multiple_of(8) {
+            return Err(invalid(format!(
+                "float section at byte {float_byte_off}, ops end (8-aligned) at {}",
+                ops_end.next_multiple_of(8)
+            )));
+        }
+        let float_end = nfloats
+            .checked_mul(4)
+            .and_then(|n| float_byte_off.checked_add(n))
+            .ok_or_else(too_large)?;
+        if packed_byte_off != float_end {
+            return Err(invalid(format!(
+                "packed region at byte {packed_byte_off}, float section ends at {float_end}"
+            )));
+        }
+        let dir_len = nsections
+            .checked_mul(V2_DIR_ENTRY_LEN)
+            .ok_or_else(too_large)?;
+        if packed_byte_off > dir_byte_off || dir_byte_off.checked_add(dir_len) != Some(payload_len)
+        {
+            return Err(invalid(format!(
+                "directory of {nsections} sections at byte {dir_byte_off} does not \
+                 end the {payload_len}-byte payload"
+            )));
+        }
+        if payload[ops_end..float_byte_off].iter().any(|&b| b != 0) {
+            return Err(invalid("non-zero alignment padding after ops".into()));
+        }
+
+        // The tail directory: sections must tile 0..ncodes in order,
+        // with byte streams chaining exactly through the packed region.
+        let mut d = Reader::new(&payload[dir_byte_off..]);
+        let mut sections = Vec::with_capacity(nsections);
+        let mut code_cursor = 0usize;
+        let mut byte_cursor = packed_byte_off;
+        for i in 0..nsections {
+            let start = d.usize()?;
+            let len = d.extent()?;
+            let byte_off = d.usize()?;
+            let width_bits = u32::try_from(d.u64()?).map_err(|_| too_large())?;
+            if len == 0 {
+                return Err(invalid(format!("section {i} is empty")));
+            }
+            if !(1..=16).contains(&width_bits) {
+                return Err(invalid(format!(
+                    "section {i} packs {width_bits} bits per code, expected 1..=16"
+                )));
+            }
+            if start != code_cursor {
+                return Err(invalid(format!(
+                    "section {i} starts at code {start}, tiling cursor is {code_cursor}"
+                )));
+            }
+            if byte_off != byte_cursor {
+                return Err(invalid(format!(
+                    "section {i} stream at byte {byte_off}, chain cursor is {byte_cursor}"
+                )));
+            }
+            let byte_len = packed_byte_len(len, width_bits);
+            code_cursor = start.checked_add(len).ok_or_else(too_large)?;
+            byte_cursor = byte_cursor.checked_add(byte_len).ok_or_else(too_large)?;
+            if byte_cursor > dir_byte_off {
+                return Err(invalid(format!(
+                    "section {i} stream overruns the directory at byte {dir_byte_off}"
+                )));
+            }
+            // Unused high bits of the final byte must be zero; recorded
+            // here, enforced by `validate` and the analyzer so the
+            // mutation invariant ("flagged or infers without panic")
+            // has no third outcome.
+            let tail_bits = (len * width_bits as usize) % 8;
+            let padding_clear =
+                tail_bits == 0 || payload[byte_off + byte_len - 1] >> tail_bits == 0;
+            sections.push(PackedSection {
+                start,
+                len,
+                // Absolute offset in the artifact buffer.
+                byte_off: OUTER_HEADER_LEN + byte_off,
+                width_bits,
+                padding_clear,
+            });
+        }
+        if code_cursor != ncodes {
+            return Err(invalid(format!(
+                "sections cover {code_cursor} codes, header says {ncodes}"
+            )));
+        }
+        if byte_cursor != dir_byte_off {
+            return Err(invalid(format!(
+                "packed streams end at byte {byte_cursor}, directory starts at {dir_byte_off}"
+            )));
+        }
+
+        let float_bytes =
+            &buf.bytes()[OUTER_HEADER_LEN + float_byte_off..OUTER_HEADER_LEN + packed_byte_off];
+        let floats = match pod::f32s(float_bytes) {
+            // Zero-copy on little-endian targets: the section *is* the
+            // decoded values.
+            Some(_) => FloatPool::View {
+                buf: Arc::clone(&buf),
+                byte_off: OUTER_HEADER_LEN + float_byte_off,
+                len: nfloats,
+            },
+            // Big-endian (or a format drift that broke alignment):
+            // decode each lane instead of borrowing.
+            None => FloatPool::Owned(
+                float_bytes
+                    .chunks_exact(4)
+                    .map(|c| f32::from_le_bytes(c.try_into().expect("4-byte lane")))
+                    .collect(),
+            ),
+        };
+        let codes = CodePool::Packed {
+            buf,
+            sections,
+            total: ncodes,
+        };
 
         Ok(CompiledModel {
             input_features,
@@ -602,8 +1230,22 @@ impl CompiledModel {
             output_features: self.output_features,
             virtual_encoder: span(self.virtual_encoder),
             ops,
-            floats: Cow::Borrowed(&self.floats),
-            codes: Cow::Borrowed(&self.codes),
+            floats: Cow::Borrowed(self.float_pool()),
+            codes: match &self.codes {
+                CodePool::Wide(v) => Cow::Borrowed(&v[..]),
+                packed => Cow::Owned(packed.to_wide()),
+            },
+            packed: self
+                .codes
+                .sections()
+                .iter()
+                .map(|s| a::PackedSection {
+                    code_start: s.start,
+                    code_len: s.len,
+                    width_bits: s.width_bits,
+                    padding_clear: s.padding_clear,
+                })
+                .collect(),
         }
     }
 
@@ -727,6 +1369,20 @@ impl CompiledModel {
             return Err(malformed("zero input features"));
         }
         check_codebook(self.virtual_encoder)?;
+        // Packed pools: every section must have clean trailing padding;
+        // per-op width checks happen in the op walk below. The analyzer
+        // mirrors both (RNA0013/RNA0014), preserving the invariant that
+        // it rejects everything `validate` rejects.
+        for (i, s) in self.codes.sections().iter().enumerate() {
+            if !s.padding_clear {
+                return Err(malformed(format!(
+                    "packed section {i} has non-zero trailing pad bits"
+                )));
+            }
+        }
+        // Scratch for bit-decoding packed weight-code spans; borrows the
+        // wide pool directly when the codes are not packed.
+        let mut scratch: Vec<u16> = Vec::new();
 
         // Flow state machine: (width, Some(domain) while encoded).
         let mut width = self.input_features;
@@ -758,8 +1414,9 @@ impl CompiledModel {
                     check_table(table, d)?;
                     let expected = inputs.checked_mul(*outputs).ok_or_else(too_large)?;
                     check_weight_codes(*weight_codes, expected)?;
-                    if let Some(&bad) = weight_codes
-                        .slice(&self.codes)
+                    self.check_packed_op(i, *weight_codes, table.weight_count)?;
+                    if let Some(&bad) = self
+                        .codes_for(*weight_codes, &mut scratch)
                         .iter()
                         .find(|&&c| c as usize >= table.weight_count)
                     {
@@ -816,10 +1473,12 @@ impl CompiledModel {
                     let patch_len = geom.patch_len();
                     let expected = out_channels.checked_mul(patch_len).ok_or_else(too_large)?;
                     check_weight_codes(*weight_codes, expected)?;
+                    let max_rows = tables.iter().map(|t| t.weight_count).max().unwrap_or(0);
+                    self.check_packed_op(i, *weight_codes, max_rows)?;
+                    let wcodes = self.codes_for(*weight_codes, &mut scratch);
                     for (oc, table) in tables.iter().enumerate() {
                         check_table(table, d)?;
-                        let row =
-                            &weight_codes.slice(&self.codes)[oc * patch_len..(oc + 1) * patch_len];
+                        let row = &wcodes[oc * patch_len..(oc + 1) * patch_len];
                         if let Some(&bad) = row.iter().find(|&&c| c as usize >= table.weight_count)
                         {
                             return Err(at(format!(
@@ -1029,6 +1688,18 @@ fn too_large() -> ArtifactError {
     ArtifactError::Malformed("size overflow".into())
 }
 
+/// Wraps a payload in the outer framing shared by every format version:
+/// magic, version, payload length, payload, FNV-1a 64 checksum.
+fn frame(version: u32, payload: Vec<u8>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(OUTER_HEADER_LEN + payload.len() + 8);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&version.to_le_bytes());
+    write_u64(&mut out, payload.len() as u64);
+    out.extend_from_slice(&payload);
+    write_u64(&mut out, fnv1a64(&payload));
+    out
+}
+
 /// FNV-1a 64-bit hash — cheap, dependency-free corruption detection.
 fn fnv1a64(bytes: &[u8]) -> u64 {
     let mut hash = 0xcbf2_9ce4_8422_2325u64;
@@ -1172,6 +1843,10 @@ impl<'a> Reader<'a> {
 
     fn remaining(&self) -> usize {
         self.buf.len() - self.pos
+    }
+
+    fn pos(&self) -> usize {
+        self.pos
     }
 
     fn ensure(&self, needed: usize) -> Result<(), ArtifactError> {
@@ -1505,8 +2180,8 @@ mod tests {
                 output_features: 9,
                 virtual_encoder: Span { start: 0, len: 2 },
                 ops: vec![op],
-                floats: vec![0.0, 1.0],
-                codes: vec![],
+                floats: FloatPool::Owned(vec![0.0, 1.0]),
+                codes: CodePool::Wide(vec![]),
                 verified: false,
             };
             // Must be rejected at decode time; without the pad check this
@@ -1526,8 +2201,8 @@ mod tests {
             output_features: 1,
             virtual_encoder: Span { start: 0, len },
             ops: vec![],
-            floats: vec![0.0; len],
-            codes: vec![],
+            floats: FloatPool::Owned(vec![0.0; len]),
+            codes: CodePool::Wide(vec![]),
             verified: false,
         };
         // One past the cap: `nearest` would wrap this book's top index to
@@ -1577,7 +2252,71 @@ mod tests {
         bytes.extend_from_slice(&fnv1a64(&[]).to_le_bytes());
         assert!(matches!(
             CompiledModel::from_bytes(&bytes),
-            Err(ArtifactError::UnsupportedVersion(99))
+            Err(ArtifactError::UnsupportedVersion {
+                found: 99,
+                supported: FORMAT_VERSION
+            })
         ));
+    }
+
+    #[test]
+    fn bits_for_matches_ceil_log2() {
+        assert_eq!(bits_for(0), 1);
+        assert_eq!(bits_for(1), 1);
+        assert_eq!(bits_for(2), 1);
+        assert_eq!(bits_for(3), 2);
+        assert_eq!(bits_for(8), 3);
+        assert_eq!(bits_for(9), 4);
+        assert_eq!(bits_for(256), 8);
+        assert_eq!(bits_for(MAX_CODEBOOK_LEN), 16);
+        assert_eq!(bits_for(MAX_CODEBOOK_LEN + 7), 16);
+    }
+
+    #[test]
+    fn bit_streams_round_trip_every_width() {
+        for width in 1..=16u32 {
+            let mask = (1u32 << width) - 1;
+            let values: Vec<u16> = (0..41u32)
+                .map(|i| (i.wrapping_mul(0x9e37_79b9) & mask) as u16)
+                .collect();
+            let mut w = BitWriter::default();
+            for &v in &values {
+                w.put(v, width);
+            }
+            let stream = w.finish();
+            assert_eq!(stream.len(), packed_byte_len(values.len(), width));
+            for (i, &v) in values.iter().enumerate() {
+                assert_eq!(
+                    read_bits(&stream, i * width as usize, mask),
+                    v,
+                    "width {width}"
+                );
+            }
+        }
+    }
+
+    /// The v2 writer's alignment contract: the float section offset is
+    /// always a multiple of 8 in the payload, and the payload itself
+    /// starts 8 bytes into the outer header — so the float bytes are
+    /// 8-aligned in any 8-aligned buffer.
+    #[test]
+    fn v2_float_section_is_aligned() {
+        let model = CompiledModel {
+            input_features: 1,
+            output_features: 1,
+            virtual_encoder: Span { start: 0, len: 3 },
+            ops: vec![],
+            floats: FloatPool::Owned(vec![0.0, 1.0, 2.0]),
+            codes: CodePool::Wide(vec![]),
+            verified: false,
+        };
+        let bytes = model.to_bytes();
+        let float_off = u64::from_le_bytes(
+            bytes[OUTER_HEADER_LEN + 48..OUTER_HEADER_LEN + 56]
+                .try_into()
+                .expect("8 bytes"),
+        );
+        assert_eq!(float_off % 8, 0);
+        assert_eq!(OUTER_HEADER_LEN % 8, 0);
     }
 }

@@ -10,8 +10,16 @@ use std::fmt;
 pub enum ArtifactError {
     /// The buffer does not start with the `RNNA` magic.
     BadMagic,
-    /// The format version is newer than this build understands.
-    UnsupportedVersion(u32),
+    /// The format version is newer than this build understands. Carries
+    /// both sides so operators can tell "artifact from the future" apart
+    /// from corrupt bytes.
+    UnsupportedVersion {
+        /// Version stamped in the artifact header.
+        found: u32,
+        /// Newest version this build reads (it reads every version from
+        /// 1 through this one).
+        supported: u32,
+    },
     /// The buffer ended before a field could be read.
     Truncated {
         /// Bytes the decoder needed.
@@ -29,6 +37,12 @@ pub enum ArtifactError {
     /// The bytes decoded but describe an inconsistent model (bad spans,
     /// out-of-range codes, width mismatches, unbalanced residuals, ...).
     Malformed(String),
+    /// A format v2 packed-code layout is inconsistent: section directory
+    /// offsets out of bounds or out of order, sections not tiling the
+    /// code pool, a bit width outside `1..=16`, or non-zero alignment
+    /// padding. Kept distinct from [`ArtifactError::Malformed`] so the
+    /// analyzer can map it to its own diagnostic code.
+    PackedLayout(String),
     /// The in-memory model uses a construct the artifact format cannot
     /// express (raised at compile time, not load time).
     Unsupported(String),
@@ -38,8 +52,11 @@ impl fmt::Display for ArtifactError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ArtifactError::BadMagic => write!(f, "not a RAPIDNN artifact (bad magic)"),
-            ArtifactError::UnsupportedVersion(v) => {
-                write!(f, "unsupported artifact version {v}")
+            ArtifactError::UnsupportedVersion { found, supported } => {
+                write!(
+                    f,
+                    "unsupported artifact version {found} (this build reads versions 1..={supported})"
+                )
             }
             ArtifactError::Truncated { needed, available } => write!(
                 f,
@@ -50,6 +67,9 @@ impl fmt::Display for ArtifactError {
                 "artifact checksum mismatch: stored {expected:#018x}, computed {actual:#018x}"
             ),
             ArtifactError::Malformed(msg) => write!(f, "malformed artifact: {msg}"),
+            ArtifactError::PackedLayout(msg) => {
+                write!(f, "invalid packed-code layout: {msg}")
+            }
             ArtifactError::Unsupported(msg) => write!(f, "unsupported model: {msg}"),
         }
     }

@@ -114,6 +114,13 @@ pub struct BatchRunner {
     /// Decoded weight matrix (`outputs × inputs`) for the factored
     /// dense fast path, rebuilt once per op per batch.
     wdec: Vec<f32>,
+    /// Decoded weight-code tile for models whose code pool is
+    /// bit-packed (format v2): each neuron op's span is unpacked here
+    /// once per batch, so the gather loops read the same wide codes
+    /// they read for v1 models — bit-for-bit identical results, with
+    /// the unpack cost amortized across the whole batch. Wide pools
+    /// borrow their codes directly and leave this untouched.
+    wcodes: Vec<u16>,
 }
 
 impl BatchRunner {
@@ -142,6 +149,7 @@ impl BatchRunner {
         self.tile_f.reserve(max_width.saturating_mul(LANES));
         self.wvals.reserve(plan.max_wcount);
         self.wdec.reserve(plan.max_dense);
+        self.wcodes.reserve(plan.max_wcodes);
         let cap = max_rows.saturating_mul(max_width);
         self.codes.reserve(cap);
         self.codes_next.reserve(cap);
@@ -200,8 +208,9 @@ impl BatchRunner {
             tile_f,
             wvals,
             wdec,
+            wcodes: wcodes_scratch,
         } = self;
-        let pool_f: &[f32] = &model.floats;
+        let pool_f: &[f32] = model.float_pool();
         // Statically verified models (see `CompiledModel::verify`) have
         // proven every gather index in bounds, so the block kernels run
         // with an identity clamp instead of the defensive `min`/mask.
@@ -250,7 +259,7 @@ impl BatchRunner {
                         return Err(decoded_neuron());
                     }
                     let (nin, nout) = (*nin, *outputs);
-                    let wcodes = weight_codes.slice(&model.codes);
+                    let wcodes = model.codes_for(*weight_codes, wcodes_scratch);
                     let b = bias.slice(pool_f);
                     refill(floats_next, padded * nout);
                     // When the incoming codebook is known, try to factor
@@ -333,7 +342,7 @@ impl BatchRunner {
                     if domain != Domain::Codes {
                         return Err(decoded_neuron());
                     }
-                    let wcodes = weight_codes.slice(&model.codes);
+                    let wcodes = model.codes_for(*weight_codes, wcodes_scratch);
                     let b = bias.slice(pool_f);
                     let in_vol = g.in_volume();
                     let nout = out_channels * g.out_pixels();
@@ -532,6 +541,9 @@ struct Plan {
     max_wcount: usize,
     /// Largest dense weight matrix (`outputs × inputs`).
     max_dense: usize,
+    /// Longest weight-code span of any neuron op (the packed-pool
+    /// decode tile's high-water mark).
+    max_wcodes: usize,
 }
 
 /// Walks the op program like `validate` does, collecting the scratch
@@ -545,6 +557,7 @@ fn plan(model: &CompiledModel) -> Plan {
         max_act: 0,
         max_wcount: 0,
         max_dense: 0,
+        max_wcodes: 0,
     };
     let mut depth = 0usize;
     fn span_len(enc: &Option<Span>) -> usize {
@@ -561,6 +574,7 @@ fn plan(model: &CompiledModel) -> Plan {
             Op::Dense {
                 inputs,
                 outputs,
+                weight_codes,
                 encoder,
                 act,
                 table,
@@ -571,10 +585,12 @@ fn plan(model: &CompiledModel) -> Plan {
                 p.max_act = p.max_act.max(act_len(act));
                 p.max_wcount = p.max_wcount.max(table.weight_count);
                 p.max_dense = p.max_dense.max(inputs.saturating_mul(*outputs));
+                p.max_wcodes = p.max_wcodes.max(weight_codes.len);
             }
             Op::Conv {
                 geom,
                 out_channels,
+                weight_codes,
                 encoder,
                 act,
                 ..
@@ -582,6 +598,7 @@ fn plan(model: &CompiledModel) -> Plan {
                 width = out_channels * geom.out_pixels();
                 p.max_book = p.max_book.max(span_len(encoder));
                 p.max_act = p.max_act.max(act_len(act));
+                p.max_wcodes = p.max_wcodes.max(weight_codes.len);
             }
             Op::MaxPool(g) => width = g.in_channels * g.out_pixels(),
             Op::AvgPool { geom: g, codebook } => {

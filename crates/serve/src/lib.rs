@@ -55,7 +55,10 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the `pod` module opts back in for the
+// two checked reinterpretation casts behind the v2 zero-copy loader;
+// everything else in the crate stays safe code.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod artifact;
@@ -64,10 +67,11 @@ mod error;
 pub mod kernels;
 pub mod lint;
 pub mod metrics;
+mod pod;
 
 pub use artifact::{CompiledModel, FORMAT_VERSION, MAGIC};
 pub use engine::{DrainReport, Engine, EngineConfig, Ticket};
 pub use error::{ArtifactError, Result, ServeError};
 pub use kernels::BatchRunner;
 pub use lint::lint_bytes;
-pub use metrics::{Metrics, ServerStats};
+pub use metrics::{Metrics, ServerStats, LATENCY_OVERFLOW_NS};

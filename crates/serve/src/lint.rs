@@ -8,6 +8,7 @@
 //! CLI that exits nonzero when the report has errors.
 
 use crate::artifact::CompiledModel;
+use crate::error::ArtifactError;
 use rapidnn_analyze::{DiagCode, Diagnostic, Report};
 
 /// Statically analyzes a serialized artifact, folding decode failures
@@ -15,14 +16,20 @@ use rapidnn_analyze::{DiagCode, Diagnostic, Report};
 ///
 /// The report has no errors **iff** [`CompiledModel::from_bytes_strict`]
 /// would accept the same bytes; on top of the accept/reject verdict it
-/// carries every warning and note the analyzer produced.
+/// carries every warning and note the analyzer produced. Packed-layout
+/// framing failures (format v2 section directories) get their own
+/// `RNA0012` code; every other byte-level failure folds into `RNA0001`.
 pub fn lint_bytes(bytes: &[u8]) -> Report {
     match CompiledModel::decode(bytes) {
         Ok(model) => model.analyze(),
         Err(e) => {
+            let code = match e {
+                ArtifactError::PackedLayout(_) => DiagCode::PackedLayoutInvalid,
+                _ => DiagCode::DecodeFailed,
+            };
             let mut report = Report::new();
             report.push(Diagnostic::new(
-                DiagCode::DecodeFailed,
+                code,
                 None,
                 format!("artifact failed to decode: {e}"),
             ));
@@ -34,7 +41,7 @@ pub fn lint_bytes(bytes: &[u8]) -> Report {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::artifact::{Geom, Op, Span};
+    use crate::artifact::{CodePool, FloatPool, Geom, Op, Span};
     use rapidnn_analyze::Severity;
 
     fn padded_pool_model() -> CompiledModel {
@@ -56,8 +63,8 @@ mod tests {
                 out_height: 3,
                 out_width: 3,
             })],
-            floats: vec![0.0, 1.0],
-            codes: vec![],
+            floats: FloatPool::Owned(vec![0.0, 1.0]),
+            codes: CodePool::Wide(vec![]),
             verified: false,
         }
     }
@@ -83,8 +90,8 @@ mod tests {
             output_features: 1,
             virtual_encoder: Span { start: 0, len },
             ops: vec![],
-            floats: vec![0.0; len],
-            codes: vec![],
+            floats: FloatPool::Owned(vec![0.0; len]),
+            codes: CodePool::Wide(vec![]),
             verified: false,
         };
         let report = lint_bytes(&model.to_bytes());

@@ -9,8 +9,20 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 /// Number of power-of-two latency buckets; bucket `i` covers
-/// `[2^i, 2^(i+1))` nanoseconds, which spans nanoseconds to centuries.
-const BUCKETS: usize = 64;
+/// `[2^i, 2^(i+1))` nanoseconds. The last bucket is an explicit
+/// overflow bucket holding everything from `2^(BUCKETS-1)` ns
+/// (~9.2 minutes) up — any latency that long is an outage, not a
+/// percentile, so finer resolution past it buys nothing.
+const BUCKETS: usize = 40;
+
+/// Upper bound reported for the overflow bucket: `2^BUCKETS`
+/// nanoseconds (~18.3 minutes). A percentile landing in the overflow
+/// bucket saturates to this sentinel instead of the old
+/// `Duration::from_nanos(u64::MAX)` (~584 years), which used to poison
+/// p99 dashboards after a single stuck request. Check
+/// [`ServerStats::latency_overflows`] to see how many completions
+/// actually saturated.
+pub const LATENCY_OVERFLOW_NS: u64 = 1 << BUCKETS;
 
 /// Shared, thread-safe metrics sink for a serving engine.
 #[derive(Debug)]
@@ -136,6 +148,7 @@ impl Metrics {
             p50_latency: percentile(&buckets, finished, 0.50),
             p90_latency: percentile(&buckets, finished, 0.90),
             p99_latency: percentile(&buckets, finished, 0.99),
+            latency_overflows: buckets[BUCKETS - 1],
             throughput_rps: if uptime.as_secs_f64() > 0.0 {
                 finished as f64 / uptime.as_secs_f64()
             } else {
@@ -165,12 +178,11 @@ fn percentile(buckets: &[u64], total: u64, q: f64) -> Duration {
     for (i, &count) in buckets.iter().enumerate() {
         seen += count;
         if seen >= rank {
-            let bound = if i + 1 >= buckets.len() {
-                u64::MAX
-            } else {
-                1u64 << (i + 1)
-            };
-            return Duration::from_nanos(bound);
+            // A quantile in the overflow bucket saturates to the
+            // bucket's nominal bound (the next power of two) rather
+            // than `u64::MAX`: one stuck request used to report a
+            // ~584-year p99.
+            return Duration::from_nanos(1u64 << (i + 1).min(buckets.len()));
         }
     }
     Duration::ZERO
@@ -204,8 +216,14 @@ pub struct ServerStats {
     pub p50_latency: Duration,
     /// 90th-percentile latency.
     pub p90_latency: Duration,
-    /// 99th-percentile latency.
+    /// 99th-percentile latency. Saturates at
+    /// [`LATENCY_OVERFLOW_NS`] nanoseconds; when it reads exactly that
+    /// value, [`latency_overflows`](Self::latency_overflows) says how
+    /// many completions actually exceeded the histogram range.
     pub p99_latency: Duration,
+    /// Completions that landed in the histogram's overflow bucket
+    /// (latency at or above `2^39` ns, ~9.2 minutes).
+    pub latency_overflows: u64,
     /// Finished requests per second of uptime.
     pub throughput_rps: f64,
     /// Time since the metrics sink was created.
@@ -232,7 +250,11 @@ impl std::fmt::Display for ServerStats {
             self.p90_latency,
             self.p99_latency,
             self.throughput_rps,
-        )
+        )?;
+        if self.latency_overflows > 0 {
+            write!(f, " | {} latency overflow(s)", self.latency_overflows)?;
+        }
+        Ok(())
     }
 }
 
@@ -316,6 +338,32 @@ mod tests {
         assert!(percentile(&[4, 4], 1, 0.5) > Duration::ZERO);
         // Zero total short-circuits.
         assert_eq!(percentile(&[7, 7], 0, 0.5), Duration::ZERO);
+    }
+
+    /// One pathological completion must not poison the percentiles
+    /// with a ~584-year duration: it saturates to the overflow
+    /// sentinel and is counted honestly.
+    #[test]
+    fn huge_latency_saturates_instead_of_poisoning_p99() {
+        let m = Metrics::new();
+        // ~115 days: far past the overflow bucket's 2^39 ns lower bound.
+        m.record_completion(Duration::from_secs(10_000_000), true);
+        let s = m.snapshot();
+        assert_eq!(s.latency_overflows, 1);
+        assert_eq!(s.p99_latency, Duration::from_nanos(LATENCY_OVERFLOW_NS));
+        assert_eq!(s.p50_latency, Duration::from_nanos(LATENCY_OVERFLOW_NS));
+        // The sentinel is ~18 minutes, not centuries.
+        assert!(s.p99_latency < Duration::from_secs(60 * 60));
+        assert!(s.to_string().contains("1 latency overflow(s)"));
+
+        // Normal traffic keeps the overflow count at zero and its
+        // percentiles in real buckets.
+        let m = Metrics::new();
+        m.record_completion(Duration::from_micros(50), true);
+        let s = m.snapshot();
+        assert_eq!(s.latency_overflows, 0);
+        assert!(s.p99_latency < Duration::from_millis(1));
+        assert!(!s.to_string().contains("overflow"));
     }
 
     #[test]

@@ -164,7 +164,8 @@ fn bad_magic_and_future_version_are_typed() {
     bytes.extend_from_slice(&fnv(&[]).to_le_bytes());
     assert!(matches!(
         CompiledModel::from_bytes(&bytes),
-        Err(ArtifactError::UnsupportedVersion(v)) if v == FORMAT_VERSION + 1
+        Err(ArtifactError::UnsupportedVersion { found, supported })
+            if found == FORMAT_VERSION + 1 && supported == FORMAT_VERSION
     ));
 }
 

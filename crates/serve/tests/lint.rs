@@ -57,20 +57,22 @@ fn mutate(rng: &mut SeededRng, bytes: &mut [u8]) {
 #[test]
 fn corrupted_artifacts_are_flagged_or_harmless() {
     let mut rng = SeededRng::new(2024);
+    // Both wire formats of every topology: corruption of v2's packed
+    // section directory must obey the same two-outcome contract as
+    // v1's wide pools.
     let artifacts: Vec<Vec<u8>> = [
         common::mlp_model(&mut rng),
         common::cnn_model(&mut rng),
         common::residual_model(&mut rng),
     ]
     .iter()
-    .map(|net| {
-        CompiledModel::from_reinterpreted(net)
-            .expect("compile")
-            .to_bytes()
+    .flat_map(|net| {
+        let model = CompiledModel::from_reinterpreted(net).expect("compile");
+        [model.to_bytes(), model.to_bytes_v1()]
     })
     .collect();
 
-    // 3 artifacts x 200 seeds = 600 corrupted mutants.
+    // 3 topologies x 2 formats x 200 seeds = 1200 corrupted mutants.
     check(200, |rng| {
         for clean in &artifacts {
             let mut bytes = clean.clone();
