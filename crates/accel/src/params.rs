@@ -68,6 +68,13 @@ pub const ACCUMULATOR_BITS: u32 = 16;
 /// [`max_accumulator_magnitude`](Self::max_accumulator_magnitude) and
 /// reports exceedances as warnings.
 ///
+/// The served integer kernels mirror this datapath rather than merely
+/// simulating it: `rapidnn-analyze`'s quantization plan pins every
+/// licensed op's accumulator fraction to at least
+/// [`fraction_bits`](Self::fraction_bits) (Q8.8 under
+/// [`paper`](Self::paper)), so CPU-side requantization happens on (at
+/// least) the grid the simulated hardware accumulates on.
+///
 /// # Examples
 ///
 /// ```

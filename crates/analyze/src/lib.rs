@@ -62,11 +62,16 @@ mod checker;
 mod diag;
 mod interval;
 mod program;
+mod quant;
 
 pub use checker::{analyze, analyze_with};
 pub use diag::{DiagCode, Diagnostic, Report, Severity};
 pub use interval::Interval;
 pub use program::{Act, Geom, Op, PackedSection, Program, Span, TableRef};
+pub use quant::{
+    quantize_plan, quantize_plan_with, FallbackReason, FinishPlan, LicensedOp, OpQuant, QuantMode,
+    QuantPlan,
+};
 
 #[cfg(test)]
 mod tests {

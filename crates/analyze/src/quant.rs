@@ -1,0 +1,1043 @@
+//! Integer-lowering licenses: per-op quantization plans.
+//!
+//! The checker ([`crate::analyze`]) proves *hardware feasibility* —
+//! would the paper's Q8.8 datapath overflow? This module answers the
+//! adjacent *software* question: which ops of a program may the serving
+//! kernels lower from `f32` table gathers to `i16`-operand / `i32`-
+//! accumulator arithmetic without changing answers beyond a provable
+//! bound? The result is a [`QuantPlan`]: one [`OpQuant`] per op, either
+//! a [`LicensedOp`] carrying the chosen fixed-point formats, the proven
+//! accumulator interval, the requantization recipe and a sound error
+//! bound, or a [`FallbackReason`] explaining why the op must stay on
+//! the f32 path. Mixed plans are normal — the serving runtime executes
+//! licensed ops in integers and everything else unchanged.
+//!
+//! # How a dense op gets licensed
+//!
+//! A dense op reads codes, gathers `table[w][x]`, accumulates, applies
+//! bias + activation, and (except at the output) re-encodes. Two
+//! integer lowerings exist:
+//!
+//! * **Madd** — when every referenced table row factors back into
+//!   `fl(w · book[x])` (the compiled form; verified bitwise the same
+//!   way the f32 kernels' [`factor_table`] fast path does), weights and
+//!   book values are quantized separately to `i16` at `2^w_frac` /
+//!   `2^x_frac` and the kernel runs a pure `i16×i16 → i32` multiply-
+//!   accumulate stream.
+//! * **Gather** — otherwise, table entries themselves are quantized to
+//!   `i16` at `2^acc_frac` and gathered by code pair, accumulating in
+//!   `i32`.
+//!
+//! Headroom is proven, not hoped for: with `mag = max_o (|bias_o| +
+//! Σ_i max_x |table[w(o,i)][x]|)` bounding every partial sum over the
+//! *full* code domain (so late code flips cannot escape it), the plan
+//! only licenses a format when `mag · 2^acc_frac` plus worst-case
+//! per-term rounding stays within `2^30` — a quarter of the `i32`
+//! range. The accumulator fraction never drops below the accelerator
+//! datapath's fraction bits ([`rapidnn_accel::DatapathModel`], Q8.8 by
+//! default), so the served integer path requantizes at op boundaries
+//! exactly where the simulated hardware does.
+//!
+//! # The error-bound contract
+//!
+//! [`QuantPlan::output_error`] bounds `|integer-path output − f32-path
+//! output|` element-wise, for every input. It composes per op as a
+//! linear recursion `err_out = A · err_in + B`: quantization noise `B`
+//! from rounding operands to `i16` and finishing through a bucketed
+//! LUT, and propagation `A · err_in` through table reads (tables are
+//! Lipschitz along their sorted input codebook), activation lookups and
+//! re-encoders. Nearest-encode through a sorted book is *almost*
+//! contractive — `|enc(a) − enc(b)| ≤ |a − b| + 2·R` where `R` is the
+//! book's largest adjacent half-gap — which keeps the recursion sound
+//! even when integer noise flips a code at a cluster boundary. The
+//! property suite (`tests/quantized.rs`) holds measured deviations
+//! against this bound across random topologies.
+
+use crate::interval::Interval;
+use crate::program::{Act, Op, Program, Span, TableRef};
+use rapidnn_accel::DatapathModel;
+use std::fmt;
+
+/// Largest quantized operand magnitude we round to: one below
+/// `i16::MAX` so rounding can never overflow the word.
+const Q_MAX: f64 = 32766.0;
+/// Accumulator budget: worst-case `|acc|` must stay within `2^30`,
+/// leaving a 4× safety margin inside `i32`.
+const ACC_BUDGET: f64 = (1u64 << 30) as f64;
+/// Hard cap on materialized finish-LUT rows (u16-indexable).
+const MAX_LUT_LEN: usize = 1 << 16;
+
+/// How a licensed op multiplies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuantMode {
+    /// Factored multiply-accumulate: weights at `2^w_frac`, inputs at
+    /// `2^x_frac`, products accumulate at `2^(w_frac + x_frac)`.
+    Madd {
+        /// Fraction bits of the quantized weight factors.
+        w_frac: u32,
+        /// Fraction bits of the quantized input codebook.
+        x_frac: u32,
+    },
+    /// Direct product-table gather: entries quantized at the
+    /// accumulator scale.
+    Gather,
+}
+
+/// How a licensed op leaves the `i32` accumulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FinishPlan {
+    /// Dequantize (and clamp at zero for ReLU) straight to `f32`; only
+    /// for output-stage ops with exact activations.
+    Direct,
+    /// Requantize through a precomputed lookup table: bucket index
+    /// `(acc - lo_q) >> shift`, one finished output per bucket.
+    Lut {
+        /// Accumulator value (at `2^acc_frac`) of bucket 0's left edge.
+        lo_q: i64,
+        /// Right-shift from accumulator grid to bucket grid
+        /// (`acc_frac - datapath fraction bits`).
+        shift: u32,
+        /// Bucket count; at most [`2^16`](MAX_LUT_LEN).
+        len: usize,
+    },
+}
+
+/// Why an op stays on the f32 path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FallbackReason {
+    /// The op kind has no integer lowering (convolutions today).
+    UnsupportedOp,
+    /// The op consumes decoded floats, so there is no input codebook to
+    /// quantize against.
+    NotEncoded,
+    /// Structural problems — out-of-bounds spans, unsorted codebooks,
+    /// shape mismatches. Strict loading rejects such models anyway.
+    Invalid,
+    /// A value the lowering must quantize is NaN or infinite.
+    NonFinite,
+    /// Weights, codebook or table entries too large for `i16` even at
+    /// zero fraction bits.
+    ValueRangeTooWide,
+    /// The proven accumulator range (or the finish LUT it implies)
+    /// cannot fit the integer budget at the datapath's minimum
+    /// fraction.
+    AccumulatorRangeTooWide,
+}
+
+impl fmt::Display for FallbackReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let msg = match self {
+            FallbackReason::UnsupportedOp => "op kind has no integer lowering",
+            FallbackReason::NotEncoded => "op consumes decoded floats",
+            FallbackReason::Invalid => "op is structurally invalid",
+            FallbackReason::NonFinite => "quantization source values are not finite",
+            FallbackReason::ValueRangeTooWide => "operand range exceeds i16 at any fraction",
+            FallbackReason::AccumulatorRangeTooWide => "accumulator range exceeds the i32 budget",
+        };
+        f.write_str(msg)
+    }
+}
+
+/// A fully licensed integer lowering of one dense op.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LicensedOp {
+    /// Multiply strategy and operand formats.
+    pub mode: QuantMode,
+    /// Fraction bits of the `i32` accumulator grid.
+    pub acc_frac: u32,
+    /// The input codebook the op's codes decode through (float-pool
+    /// span), recorded so the runtime need not re-derive the book walk.
+    pub input_book: Span,
+    /// Recovered per-weight-code factors for [`QuantMode::Madd`]
+    /// (empty for [`QuantMode::Gather`]).
+    pub wvals: Vec<f32>,
+    /// Proven accumulator hull over the full input code domain.
+    pub acc: Interval,
+    /// Bound on `|integer accumulator · 2^-acc_frac − f32 accumulator|`
+    /// including propagated upstream deviation.
+    pub acc_error: f64,
+    /// How the accumulator is finished.
+    pub finish: FinishPlan,
+    /// Bound on the op's output deviation from the f32 path (after
+    /// activation and re-encode), fed forward to downstream ops.
+    pub error: f64,
+}
+
+/// The licensing verdict for one program op.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OpQuant {
+    /// The op carries no tables to quantize (pooling, residual
+    /// bookkeeping); it runs unchanged on either path.
+    NotApplicable,
+    /// Licensed for the integer path.
+    Licensed(Box<LicensedOp>),
+    /// Must stay on the f32 path.
+    Fallback(FallbackReason),
+}
+
+impl OpQuant {
+    /// `true` for [`OpQuant::Licensed`].
+    pub fn is_licensed(&self) -> bool {
+        matches!(self, OpQuant::Licensed(_))
+    }
+}
+
+/// Per-op integer-lowering licenses for a whole program, plus the
+/// composed output error bound. Produced by [`quantize_plan`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantPlan {
+    /// One verdict per program op, in op order.
+    pub ops: Vec<OpQuant>,
+    /// Sound bound on `|integer-path output − f32-path output|` for
+    /// every output element (infinite when deviation crosses an op the
+    /// plan cannot bound, e.g. a convolution downstream of a licensed
+    /// op).
+    pub output_error: f64,
+}
+
+impl QuantPlan {
+    /// Number of ops licensed for the integer path.
+    pub fn licensed(&self) -> usize {
+        self.ops.iter().filter(|o| o.is_licensed()).count()
+    }
+
+    /// Number of table-bearing ops that fell back to f32.
+    pub fn fallbacks(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|o| matches!(o, OpQuant::Fallback(_)))
+            .count()
+    }
+}
+
+/// Derives a [`QuantPlan`] against the paper's datapath
+/// ([`DatapathModel::paper`], Q8.8).
+pub fn quantize_plan(program: &Program<'_>) -> QuantPlan {
+    quantize_plan_with(program, DatapathModel::paper())
+}
+
+/// Derives a [`QuantPlan`] against an explicit datapath model: the
+/// accumulator fraction of every licensed op is at least
+/// `datapath.fraction_bits`, so requantization happens on (at least)
+/// the simulated hardware's grid.
+///
+/// Never panics, even on structurally broken programs — ops the walk
+/// cannot prove sound simply fall back
+/// ([`FallbackReason::Invalid`]).
+pub fn quantize_plan_with(program: &Program<'_>, datapath: DatapathModel) -> QuantPlan {
+    let mut walk = QuantWalk {
+        program,
+        lut_frac: datapath.fraction_bits.min(24),
+        cur_book: Some(program.virtual_encoder),
+        err: 0.0,
+        skip_errs: Vec::new(),
+        ops: Vec::with_capacity(program.ops.len()),
+    };
+    walk.run();
+    QuantPlan {
+        ops: walk.ops,
+        output_error: walk.err,
+    }
+}
+
+/// Per-table-row facts, memoized while scanning an op's weight codes.
+#[derive(Clone, Copy)]
+struct RowInfo {
+    /// Hull of the row over the input-book columns.
+    hull: Interval,
+    /// Max |entry| over the input-book columns.
+    mag: f64,
+    /// Max |Δentry| / Δbook over adjacent book columns (∞ when two
+    /// book entries collide at different table values).
+    lip: f64,
+}
+
+struct QuantWalk<'p, 'a> {
+    program: &'p Program<'a>,
+    lut_frac: u32,
+    cur_book: Option<Span>,
+    /// Deviation bound of the integer path vs f32 at this point.
+    err: f64,
+    skip_errs: Vec<f64>,
+    ops: Vec<OpQuant>,
+}
+
+impl<'p> QuantWalk<'p, '_> {
+    fn floats(&self, s: Span) -> Option<&'p [f32]> {
+        let end = s.start.checked_add(s.len)?;
+        self.program.floats.get(s.start..end)
+    }
+
+    /// A span that must hold a sorted, finite, non-empty codebook.
+    fn book(&self, s: Span) -> Option<&'p [f32]> {
+        let vals = self.floats(s)?;
+        if vals.is_empty() || vals.len() > MAX_LUT_LEN {
+            return None;
+        }
+        let sorted = vals.windows(2).all(|w| w[0] <= w[1]);
+        let finite = vals.iter().all(|v| v.is_finite());
+        (sorted && finite).then_some(vals)
+    }
+
+    fn codes(&self, s: Span) -> Option<&'p [u16]> {
+        let end = s.start.checked_add(s.len)?;
+        self.program.codes.get(s.start..end)
+    }
+
+    fn run(&mut self) {
+        let program = self.program;
+        for op in &program.ops {
+            let verdict = self.step(op);
+            self.ops.push(verdict);
+        }
+    }
+
+    fn step(&mut self, op: &Op) -> OpQuant {
+        match op {
+            Op::Dense {
+                inputs,
+                outputs,
+                weight_codes,
+                bias,
+                table,
+                act,
+                encoder,
+            } => {
+                let book = self.cur_book.take();
+                self.cur_book = *encoder;
+                self.dense(
+                    *inputs,
+                    *outputs,
+                    *weight_codes,
+                    *bias,
+                    table,
+                    act,
+                    encoder,
+                    book,
+                )
+            }
+            Op::Conv {
+                geom,
+                tables,
+                act,
+                encoder,
+                ..
+            } => {
+                let book = self.cur_book.take();
+                self.cur_book = *encoder;
+                // Convolutions stay on f32; if upstream deviation
+                // exists it still propagates through the taps.
+                if self.err > 0.0 {
+                    let lip = book.and_then(|b| self.book(b)).map_or(f64::INFINITY, |bk| {
+                        tables
+                            .iter()
+                            .map(|t| self.table_lip_all(t, bk))
+                            .fold(0.0, f64::max)
+                    });
+                    let acc_dev = geom.patch_len() as f64 * lip * self.err;
+                    self.err = self.finish_error(acc_dev, act, encoder);
+                }
+                OpQuant::Fallback(FallbackReason::UnsupportedOp)
+            }
+            Op::MaxPool(_) => OpQuant::NotApplicable,
+            Op::AvgPool { codebook, .. } => {
+                self.cur_book = Some(*codebook);
+                if self.err > 0.0 {
+                    let r = self.book(*codebook).map_or(f64::INFINITY, half_gap);
+                    self.err += 2.0 * r;
+                }
+                OpQuant::NotApplicable
+            }
+            Op::ResidualBegin { .. } => {
+                self.skip_errs.push(self.err);
+                OpQuant::NotApplicable
+            }
+            Op::ResidualEnd { encoder } => {
+                self.cur_book = *encoder;
+                let skip = self.skip_errs.pop().unwrap_or(0.0);
+                self.err += skip;
+                if self.err > 0.0 {
+                    if let Some(enc) = encoder {
+                        let r = self.book(*enc).map_or(f64::INFINITY, half_gap);
+                        self.err += 2.0 * r;
+                    }
+                }
+                OpQuant::NotApplicable
+            }
+        }
+    }
+
+    /// Dense licensing. On any failure the op falls back and upstream
+    /// deviation propagates as well as the structure allows (infinity
+    /// when it cannot be bounded — such models are also rejected by
+    /// strict loading).
+    #[allow(clippy::too_many_arguments)]
+    fn dense(
+        &mut self,
+        inputs: usize,
+        outputs: usize,
+        weight_codes: Span,
+        bias: Span,
+        table: &TableRef,
+        act: &Act,
+        encoder: &Option<Span>,
+        book_span: Option<Span>,
+    ) -> OpQuant {
+        let fallback = |w: &mut Self, reason: FallbackReason| {
+            if w.err > 0.0 {
+                // Bound the f32 fallback's own deviation when the
+                // structure is sound enough to measure; else give up.
+                let acc_dev = book_span
+                    .and_then(|bs| w.book(bs))
+                    .and_then(|bk| w.fallback_acc_dev(inputs, outputs, weight_codes, table, bk))
+                    .unwrap_or(f64::INFINITY);
+                w.err = w.finish_error(acc_dev, act, encoder);
+            }
+            OpQuant::Fallback(reason)
+        };
+
+        // --- Structural gate (mirrors what validate/verify prove, but
+        // must never panic on unvalidated programs).
+        let Some(book_span) = book_span else {
+            return fallback(self, FallbackReason::NotEncoded);
+        };
+        let Some(book) = self.book(book_span) else {
+            return fallback(self, FallbackReason::Invalid);
+        };
+        let pool_f: &[f32] = &self.program.floats;
+        let table_ok = table
+            .weight_count
+            .checked_mul(table.input_count)
+            .and_then(|n| table.offset.checked_add(n))
+            .is_some_and(|end| end <= pool_f.len());
+        let shape_ok = inputs >= 1
+            && outputs >= 1
+            && inputs.checked_mul(outputs) == Some(weight_codes.len)
+            && bias.len == outputs
+            && book.len() <= table.input_count
+            && table.weight_count >= 1;
+        if !table_ok || !shape_ok {
+            return fallback(self, FallbackReason::Invalid);
+        }
+        let (Some(wcodes), Some(bias_v)) = (self.codes(weight_codes), self.floats(bias)) else {
+            return fallback(self, FallbackReason::Invalid);
+        };
+        if wcodes.iter().any(|&c| (c as usize) >= table.weight_count) {
+            return fallback(self, FallbackReason::Invalid);
+        }
+        if bias_v.iter().any(|v| !v.is_finite()) {
+            return fallback(self, FallbackReason::NonFinite);
+        }
+        // Activation / encoder data the finish LUT will bake in.
+        let act_data = match act {
+            Act::Identity | Act::Relu => None,
+            Act::Lookup { inputs, outputs } => {
+                let (Some(xs), Some(ys)) = (self.book(*inputs), self.floats(*outputs)) else {
+                    return fallback(self, FallbackReason::Invalid);
+                };
+                if xs.len() != ys.len() {
+                    return fallback(self, FallbackReason::Invalid);
+                }
+                if ys.iter().any(|v| !v.is_finite()) {
+                    return fallback(self, FallbackReason::NonFinite);
+                }
+                Some((xs, ys))
+            }
+        };
+        let enc_book = match encoder {
+            None => None,
+            Some(e) => match self.book(*e) {
+                Some(b) => Some(b),
+                None => return fallback(self, FallbackReason::Invalid),
+            },
+        };
+
+        // --- Row scan: hull, magnitude, Lipschitz and factors.
+        let mut rows: Vec<Option<RowInfo>> = vec![None; table.weight_count];
+        let mut wvals = vec![0.0f32; table.weight_count];
+        let mut all_factored = true;
+        let mut acc = Interval::zero();
+        let mut mag_bound = 0.0f64;
+        let count = inputs as f64;
+        let mut lip_max = 0.0f64;
+        let mut first = true;
+        for (o, wrow) in wcodes.chunks_exact(inputs).enumerate() {
+            let mut hull_o = Interval::point(f64::from(bias_v[o]));
+            let mut mag_o = f64::from(bias_v[o]).abs();
+            for &c in wrow {
+                let c = c as usize;
+                let info = match rows[c] {
+                    Some(info) => info,
+                    None => {
+                        let Some(info) = self.row_info(table, c, book) else {
+                            return fallback(self, FallbackReason::NonFinite);
+                        };
+                        if all_factored {
+                            match factor_row(&table_row(pool_f, table, c)[..book.len()], book) {
+                                Some(v) => wvals[c] = v,
+                                None => all_factored = false,
+                            }
+                        }
+                        rows[c] = Some(info);
+                        info
+                    }
+                };
+                hull_o = hull_o + info.hull;
+                mag_o += info.mag;
+                lip_max = lip_max.max(info.lip);
+            }
+            acc = if first { hull_o } else { acc.hull(hull_o) };
+            first = false;
+            mag_bound = mag_bound.max(mag_o);
+        }
+
+        // --- Choose a mode and fraction split with proven headroom.
+        let lut_frac = self.lut_frac;
+        let fits =
+            |f: u32, term_slack: f64| mag_bound * exp2(f) + count * term_slack + 1.0 <= ACC_BUDGET;
+        let (mode, acc_frac, eps_acc) = if all_factored {
+            let wmax = wvals
+                .iter()
+                .zip(&rows)
+                .filter(|(_, info)| info.is_some())
+                .map(|(v, _)| f64::from(*v).abs())
+                .fold(0.0, f64::max);
+            let xmax = book.iter().map(|v| f64::from(*v).abs()).fold(0.0, f64::max);
+            let (Some(mut wf), Some(mut xf)) = (frac_cap(wmax), frac_cap(xmax)) else {
+                return fallback(self, FallbackReason::ValueRangeTooWide);
+            };
+            if wf + xf < lut_frac {
+                return fallback(self, FallbackReason::ValueRangeTooWide);
+            }
+            // Per-term rounding slack: |wq·xq - w·x·2^F| stays within
+            // (Wmax·2^wf + Xmax·2^xf)/2 + 1/4 ≤ 2^15.
+            while !fits(wf + xf, 32768.0) {
+                if wf + xf <= lut_frac {
+                    return fallback(self, FallbackReason::AccumulatorRangeTooWide);
+                }
+                if wf >= xf {
+                    wf -= 1;
+                } else {
+                    xf -= 1;
+                }
+            }
+            let f = wf + xf;
+            let eps = count * (wmax * exp2_neg(xf + 1) + xmax * exp2_neg(wf + 1) + exp2_neg(f + 2))
+                + exp2_neg(f + 1)
+                + (count + 3.0) * mag_bound * exp2_neg(23);
+            (
+                QuantMode::Madd {
+                    w_frac: wf,
+                    x_frac: xf,
+                },
+                f,
+                eps,
+            )
+        } else {
+            let tmax = rows
+                .iter()
+                .flatten()
+                .map(|info| info.mag)
+                .fold(0.0, f64::max);
+            let Some(mut f) = frac_cap(tmax) else {
+                return fallback(self, FallbackReason::ValueRangeTooWide);
+            };
+            if f < lut_frac {
+                return fallback(self, FallbackReason::ValueRangeTooWide);
+            }
+            while !fits(f, 0.5) {
+                if f <= lut_frac {
+                    return fallback(self, FallbackReason::AccumulatorRangeTooWide);
+                }
+                f -= 1;
+            }
+            wvals.clear();
+            let eps = (count + 1.0) * exp2_neg(f + 1) + (count + 3.0) * mag_bound * exp2_neg(23);
+            (QuantMode::Gather, f, eps)
+        };
+        let acc_error = eps_acc + flip_term(count, lip_max, self.err);
+
+        // --- Finish: direct dequantization when nothing follows the
+        // accumulator but an exact activation, else a bucketed LUT
+        // covering the proven range (flipped codes included — the hull
+        // is over the full code domain).
+        let direct = enc_book.is_none() && matches!(act, Act::Identity | Act::Relu);
+        let finish = if direct {
+            FinishPlan::Direct
+        } else {
+            let shift = acc_frac - lut_frac;
+            let margin = eps_acc + exp2_neg(lut_frac);
+            let lo_f = acc.lo - margin;
+            let hi_f = acc.hi + margin;
+            let step = 1i64 << shift;
+            let lo_q = (lo_f * exp2(acc_frac)).floor() as i64;
+            let lo_q = lo_q.div_euclid(step) * step;
+            let hi_q = (hi_f * exp2(acc_frac)).ceil() as i64;
+            let len = usize::try_from((hi_q - lo_q).div_euclid(step) + 1).unwrap_or(usize::MAX);
+            let bounded =
+                len <= MAX_LUT_LEN && i32::try_from(lo_q).is_ok() && i32::try_from(hi_q).is_ok();
+            if !bounded {
+                return fallback(self, FallbackReason::AccumulatorRangeTooWide);
+            }
+            FinishPlan::Lut { lo_q, shift, len }
+        };
+
+        // --- Output deviation through the finish.
+        let bucket = match finish {
+            FinishPlan::Direct => 0.0,
+            FinishPlan::Lut { .. } => exp2_neg(lut_frac + 1),
+        };
+        let delta = acc_error + bucket;
+        let act_err = match act_data {
+            None => delta,
+            Some((xs, ys)) => lut_lip(xs, ys) * (delta + 2.0 * half_gap(xs)),
+        };
+        let out_err = match enc_book {
+            None => act_err,
+            Some(eb) => act_err + 2.0 * half_gap(eb),
+        };
+        self.err = out_err;
+
+        OpQuant::Licensed(Box::new(LicensedOp {
+            mode,
+            acc_frac,
+            input_book: book_span,
+            wvals: if matches!(mode, QuantMode::Madd { .. }) {
+                wvals
+            } else {
+                Vec::new()
+            },
+            acc,
+            acc_error,
+            finish,
+            error: out_err,
+        }))
+    }
+
+    /// Hull / magnitude / Lipschitz facts of one table row over the
+    /// input-book columns; `None` when an entry is not finite.
+    fn row_info(&self, table: &TableRef, row: usize, book: &[f32]) -> Option<RowInfo> {
+        let pool_f: &[f32] = &self.program.floats;
+        let row = &table_row(pool_f, table, row)[..book.len()];
+        let hull = Interval::of_slice(row)?;
+        let mag = hull.magnitude();
+        Some(RowInfo {
+            hull,
+            mag,
+            lip: slice_lip(book, row),
+        })
+    }
+
+    /// Max Lipschitz constant of a table over *all* rows (used for
+    /// conv propagation, where per-row code tracking is not worth it).
+    fn table_lip_all(&self, table: &TableRef, book: &[f32]) -> f64 {
+        let pool_f: &[f32] = &self.program.floats;
+        let end = table
+            .weight_count
+            .checked_mul(table.input_count)
+            .and_then(|n| table.offset.checked_add(n));
+        if end.is_none_or(|e| e > pool_f.len()) || book.len() > table.input_count {
+            return f64::INFINITY;
+        }
+        (0..table.weight_count)
+            .map(|w| slice_lip(book, &table_row(pool_f, table, w)[..book.len()]))
+            .fold(0.0, f64::max)
+    }
+
+    /// Accumulator deviation of an *unlicensed* dense op fed deviated
+    /// inputs: upstream error through the table's Lipschitz constant.
+    fn fallback_acc_dev(
+        &self,
+        inputs: usize,
+        outputs: usize,
+        weight_codes: Span,
+        table: &TableRef,
+        book: &[f32],
+    ) -> Option<f64> {
+        let wcodes = self.codes(weight_codes)?;
+        if inputs.checked_mul(outputs) != Some(weight_codes.len) || book.len() > table.input_count {
+            return None;
+        }
+        let pool_f: &[f32] = &self.program.floats;
+        let end = table
+            .weight_count
+            .checked_mul(table.input_count)
+            .and_then(|n| table.offset.checked_add(n))?;
+        if end > pool_f.len() || wcodes.iter().any(|&c| (c as usize) >= table.weight_count) {
+            return None;
+        }
+        let mut lip = 0.0f64;
+        let mut mag = 0.0f64;
+        let mut seen = vec![false; table.weight_count];
+        for &c in wcodes {
+            let c = c as usize;
+            if !seen[c] {
+                seen[c] = true;
+                let row = &table_row(pool_f, table, c)[..book.len()];
+                lip = lip.max(slice_lip(book, row));
+                mag = mag.max(Interval::of_slice(row)?.magnitude());
+            }
+        }
+        let count = inputs as f64;
+        // The flip term plus the f32 re-accumulation's own rounding on
+        // the shifted values.
+        Some(flip_term(count, lip, self.err) + (count + 1.0) * count * mag * exp2_neg(23))
+    }
+
+    /// Propagates an accumulator deviation through activation and
+    /// re-encode of an f32-path op (shared by conv and dense
+    /// fallbacks).
+    fn finish_error(&self, acc_dev: f64, act: &Act, encoder: &Option<Span>) -> f64 {
+        let act_err = match act {
+            Act::Identity | Act::Relu => acc_dev,
+            Act::Lookup { inputs, outputs } => match (self.book(*inputs), self.floats(*outputs)) {
+                (Some(xs), Some(ys)) if xs.len() == ys.len() => {
+                    lut_lip(xs, ys) * (acc_dev + 2.0 * half_gap(xs))
+                }
+                _ => f64::INFINITY,
+            },
+        };
+        match encoder {
+            None => act_err,
+            Some(e) => {
+                let r = self.book(*e).map_or(f64::INFINITY, half_gap);
+                act_err + 2.0 * r
+            }
+        }
+    }
+}
+
+/// One product-table row (callers have already bounds-checked the
+/// whole table against the float pool).
+fn table_row<'a>(pool_f: &'a [f32], table: &TableRef, row: usize) -> &'a [f32] {
+    let start = table.offset + row * table.input_count;
+    &pool_f[start..start + table.input_count]
+}
+
+/// `count · lip · err` with the `∞ · 0` corner pinned to zero: no
+/// upstream deviation means nothing to amplify.
+fn flip_term(count: f64, lip: f64, err: f64) -> f64 {
+    if err == 0.0 {
+        0.0
+    } else {
+        count * lip * err
+    }
+}
+
+fn exp2(bits: u32) -> f64 {
+    (1u64 << bits.min(62)) as f64
+}
+
+fn exp2_neg(bits: u32) -> f64 {
+    1.0 / exp2(bits)
+}
+
+/// Largest fraction `f ≤ 15` with `v · 2^f ≤ Q_MAX`; `None` when even
+/// `f = 0` overflows `i16`.
+fn frac_cap(v: f64) -> Option<u32> {
+    if !v.is_finite() {
+        return None;
+    }
+    (0..=15u32).rev().find(|&f| v * exp2(f) <= Q_MAX)
+}
+
+/// Largest adjacent half-gap of a sorted book: the contraction defect
+/// of nearest-encode (`|enc(a) − enc(b)| ≤ |a − b| + 2 · half_gap`).
+fn half_gap(book: &[f32]) -> f64 {
+    book.windows(2)
+        .map(|w| (f64::from(w[1]) - f64::from(w[0])) / 2.0)
+        .fold(0.0, f64::max)
+}
+
+/// Max adjacent `|Δvalue| / Δkey` of a table row along its sorted key
+/// axis; `∞` when two equal keys map to different values. Telescoping
+/// over the sorted keys makes this a global Lipschitz constant.
+fn slice_lip(keys: &[f32], vals: &[f32]) -> f64 {
+    let mut lip = 0.0f64;
+    for i in 1..keys.len().min(vals.len()) {
+        let dk = f64::from(keys[i]) - f64::from(keys[i - 1]);
+        let dv = (f64::from(vals[i]) - f64::from(vals[i - 1])).abs();
+        if dv > 0.0 {
+            lip = lip.max(if dk > 0.0 { dv / dk } else { f64::INFINITY });
+        }
+    }
+    lip
+}
+
+/// Nearest-lookup output Lipschitz constant: max adjacent
+/// `|Δoutput| / Δinput` (∞ on duplicate inputs with distinct outputs).
+fn lut_lip(xs: &[f32], ys: &[f32]) -> f64 {
+    slice_lip(xs, ys)
+}
+
+/// Recovers the factor `w` of one product-table row, verified bitwise
+/// over every book column exactly like the serving kernels'
+/// `factor_table` fast path: on success `fl(w · book[x])` reproduces
+/// each entry.
+fn factor_row(row: &[f32], book: &[f32]) -> Option<f32> {
+    'candidate: for (x0, &b0) in book.iter().enumerate() {
+        if b0 == 0.0 || !b0.is_finite() {
+            continue;
+        }
+        let cand = row[x0] / b0;
+        if !cand.is_finite() {
+            continue;
+        }
+        for (&bx, &rx) in book.iter().zip(row) {
+            if (cand * bx).to_bits() != rx.to_bits() {
+                continue 'candidate;
+            }
+        }
+        return Some(cand);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::borrow::Cow;
+
+    /// Single factored dense layer: 2 inputs through a 4-entry book,
+    /// one output, relu, no encoder (mirrors the checker's `tiny`).
+    fn tiny(weights: &[f32]) -> Program<'static> {
+        let book = [-1.0f32, 0.0, 0.5, 2.0];
+        let mut floats = book.to_vec();
+        let table_offset = floats.len();
+        for &w in weights {
+            for &b in &book {
+                floats.push(w * b);
+            }
+        }
+        let bias_offset = floats.len();
+        floats.push(0.125);
+        Program {
+            input_features: 2,
+            output_features: 1,
+            virtual_encoder: Span { start: 0, len: 4 },
+            ops: vec![Op::Dense {
+                inputs: 2,
+                outputs: 1,
+                weight_codes: Span { start: 0, len: 2 },
+                bias: Span {
+                    start: bias_offset,
+                    len: 1,
+                },
+                table: TableRef {
+                    offset: table_offset,
+                    weight_count: weights.len(),
+                    input_count: 4,
+                },
+                act: Act::Relu,
+                encoder: None,
+            }],
+            floats: Cow::Owned(floats),
+            codes: Cow::Owned(vec![0, 1]),
+            packed: vec![],
+        }
+    }
+
+    #[test]
+    fn factored_dense_licenses_as_madd() {
+        let plan = quantize_plan(&tiny(&[-0.5, 1.0]));
+        assert_eq!(plan.licensed(), 1);
+        let OpQuant::Licensed(op) = &plan.ops[0] else {
+            panic!("expected license, got {:?}", plan.ops[0]);
+        };
+        let QuantMode::Madd { w_frac, x_frac } = op.mode else {
+            panic!("expected madd, got {:?}", op.mode);
+        };
+        assert!(w_frac + x_frac == op.acc_frac);
+        assert!(op.acc_frac >= 8, "acc_frac {} below Q8.8", op.acc_frac);
+        assert_eq!(op.finish, FinishPlan::Direct);
+        assert_eq!(op.wvals, vec![-0.5, 1.0]);
+        // Hull: 0.125 + [-1, 0.5] + [-1, 2] = [-1.875, 2.625].
+        assert!(
+            op.acc.contains(2.6) && op.acc.contains(-1.8),
+            "{:?}",
+            op.acc
+        );
+        assert!(!op.acc.contains(2.7), "{:?}", op.acc);
+        assert!(op.error > 0.0 && op.error < 1e-2, "error {}", op.error);
+        assert_eq!(plan.output_error, op.error);
+    }
+
+    #[test]
+    fn unfactorable_table_licenses_as_gather() {
+        // Corrupt one product so the row no longer factors.
+        let mut program = tiny(&[-0.5, 1.0]);
+        let floats = program.floats.to_mut();
+        floats[4] += 0.001; // row 0, column 0
+        let plan = quantize_plan(&program);
+        let OpQuant::Licensed(op) = &plan.ops[0] else {
+            panic!("expected license, got {:?}", plan.ops[0]);
+        };
+        assert_eq!(op.mode, QuantMode::Gather);
+        assert!(op.wvals.is_empty());
+    }
+
+    #[test]
+    fn huge_values_fall_back() {
+        let plan = quantize_plan(&tiny(&[1.0e9, 1.0]));
+        assert_eq!(plan.licensed(), 0);
+        assert_eq!(
+            plan.ops[0],
+            OpQuant::Fallback(FallbackReason::ValueRangeTooWide)
+        );
+        assert_eq!(plan.output_error, 0.0);
+    }
+
+    #[test]
+    fn non_finite_table_falls_back() {
+        let mut program = tiny(&[-0.5, 1.0]);
+        program.floats.to_mut()[5] = f32::NAN;
+        let plan = quantize_plan(&program);
+        assert_eq!(plan.ops[0], OpQuant::Fallback(FallbackReason::NonFinite));
+    }
+
+    #[test]
+    fn broken_spans_never_panic() {
+        let mut program = tiny(&[-0.5, 1.0]);
+        if let Op::Dense { weight_codes, .. } = &mut program.ops[0] {
+            weight_codes.len = usize::MAX;
+        }
+        let plan = quantize_plan(&program);
+        assert_eq!(plan.ops[0], OpQuant::Fallback(FallbackReason::Invalid));
+    }
+
+    #[test]
+    fn encoded_output_gets_a_lut_finish() {
+        let mut program = tiny(&[-0.5, 1.0]);
+        // Re-encode through the virtual book to force a LUT finish.
+        if let Op::Dense { encoder, .. } = &mut program.ops[0] {
+            *encoder = Some(Span { start: 0, len: 4 });
+        }
+        let plan = quantize_plan(&program);
+        let OpQuant::Licensed(op) = &plan.ops[0] else {
+            panic!("expected license, got {:?}", plan.ops[0]);
+        };
+        let FinishPlan::Lut { lo_q, shift, len } = op.finish else {
+            panic!("expected lut finish, got {:?}", op.finish);
+        };
+        assert_eq!(shift, op.acc_frac - 8);
+        assert!(len <= MAX_LUT_LEN && len > 0);
+        // The bucketed domain covers the proven accumulator hull.
+        let step = 1i64 << shift;
+        let hi_q = lo_q + step * (len as i64 - 1);
+        let scale = exp2(op.acc_frac);
+        assert!((lo_q as f64) / scale <= op.acc.lo);
+        assert!((hi_q as f64) / scale >= op.acc.hi);
+        // Encoding adds the book's contraction defect to the bound.
+        assert!(op.error >= 2.0 * 0.75, "error {}", op.error);
+    }
+
+    #[test]
+    fn error_bound_composes_across_ops() {
+        // Two stacked dense layers: the second op's bound must include
+        // the first op's deviation amplified by the fan-in.
+        let book = [-1.0f32, 0.0, 0.5, 2.0];
+        let mut floats = book.to_vec();
+        let t1 = floats.len();
+        for &w in &[-0.5f32, 1.0] {
+            for &b in &book {
+                floats.push(w * b);
+            }
+        }
+        let b1 = floats.len();
+        floats.extend_from_slice(&[0.0, 0.0]);
+        let t2 = floats.len();
+        for &w in &[0.25f32, 0.75] {
+            for &b in &book {
+                floats.push(w * b);
+            }
+        }
+        let b2 = floats.len();
+        floats.push(0.0);
+        let program = Program {
+            input_features: 2,
+            output_features: 1,
+            virtual_encoder: Span { start: 0, len: 4 },
+            ops: vec![
+                Op::Dense {
+                    inputs: 2,
+                    outputs: 2,
+                    weight_codes: Span { start: 0, len: 4 },
+                    bias: Span { start: b1, len: 2 },
+                    table: TableRef {
+                        offset: t1,
+                        weight_count: 2,
+                        input_count: 4,
+                    },
+                    act: Act::Relu,
+                    encoder: Some(Span { start: 0, len: 4 }),
+                },
+                Op::Dense {
+                    inputs: 2,
+                    outputs: 1,
+                    weight_codes: Span { start: 4, len: 2 },
+                    bias: Span { start: b2, len: 1 },
+                    table: TableRef {
+                        offset: t2,
+                        weight_count: 2,
+                        input_count: 4,
+                    },
+                    act: Act::Identity,
+                    encoder: None,
+                },
+            ],
+            floats: Cow::Owned(floats),
+            codes: Cow::Owned(vec![0, 1, 1, 0, 0, 1]),
+            packed: vec![],
+        };
+        let plan = quantize_plan(&program);
+        assert_eq!(plan.licensed(), 2, "{:?}", plan.ops);
+        let (OpQuant::Licensed(op1), OpQuant::Licensed(op2)) = (&plan.ops[0], &plan.ops[1]) else {
+            panic!("expected two licenses");
+        };
+        assert!(op1.error > 0.0);
+        // op2 sees op1's deviation: its bound strictly exceeds its own
+        // standalone quantization noise.
+        assert!(op2.error > op2.acc_error || op2.acc_error > op1.error);
+        assert!(plan.output_error.is_finite());
+        assert_eq!(plan.output_error, op2.error);
+    }
+
+    #[test]
+    fn conv_downstream_of_license_is_unbounded() {
+        use crate::program::Geom;
+        let mut program = tiny(&[-0.5, 1.0]);
+        if let Op::Dense { encoder, .. } = &mut program.ops[0] {
+            *encoder = Some(Span { start: 0, len: 4 });
+        }
+        program.ops.push(Op::Conv {
+            geom: Geom {
+                in_channels: 1,
+                in_height: 1,
+                in_width: 1,
+                kernel_h: 1,
+                kernel_w: 1,
+                stride: 1,
+                pad: 0,
+                out_height: 1,
+                out_width: 1,
+            },
+            out_channels: 1,
+            weight_codes: Span { start: 0, len: 1 },
+            bias: Span { start: 8, len: 1 },
+            tables: vec![TableRef {
+                offset: 40, // out of bounds on purpose: lip is unknowable
+                weight_count: 1,
+                input_count: 4,
+            }],
+            zero_code: 0,
+            act: Act::Identity,
+            encoder: None,
+        });
+        let plan = quantize_plan(&program);
+        assert_eq!(
+            plan.ops[1],
+            OpQuant::Fallback(FallbackReason::UnsupportedOp)
+        );
+        assert!(plan.output_error.is_infinite());
+    }
+}

@@ -1,0 +1,234 @@
+//! Executable dense f32 GEMM baseline.
+//!
+//! The analytic models in this crate score *closed* accelerators from
+//! published numbers; this module is the one baseline we can actually
+//! run: a plain dense-MLP forward pass over explicit f32 weight
+//! matrices — the computation a conventional CPU serving stack performs
+//! for the same layer shapes, with no codebooks, product tables or
+//! lookup steps anywhere.
+//!
+//! The serving benchmark uses it as the third leg of its kernel
+//! comparison (integer LUT vs f32 LUT vs dense GEMM): the layer shapes
+//! are taken from a compiled RAPIDNN model
+//! (`CompiledModel::dense_shapes`), the weights are random — throughput
+//! depends only on shapes, not values — and the inner loops use the
+//! same 8-row register-blocked layout as the serving kernels, so the
+//! comparison measures the *algorithms*, not unequal tuning effort.
+
+use rapidnn_tensor::SeededRng;
+
+/// Rows per register-resident accumulator block, matching the serving
+/// kernels' `LANES`.
+const LANES: usize = 8;
+
+/// Output neurons per pass over a row block, matching the serving
+/// kernels' `OBLOCK`.
+const OBLOCK: usize = 2;
+
+/// One dense layer: row-major `outputs × inputs` weights plus bias.
+struct GemmLayer {
+    inputs: usize,
+    outputs: usize,
+    weights: Vec<f32>,
+    bias: Vec<f32>,
+    relu: bool,
+}
+
+/// A dense f32 MLP executed as straight GEMMs — the conventional
+/// baseline the RAPIDNN kernels are measured against.
+pub struct GemmMlp {
+    layers: Vec<GemmLayer>,
+    /// Ping-pong activation buffers, reused across calls.
+    cur: Vec<f32>,
+    next: Vec<f32>,
+    /// Interleaved input tile for one row block.
+    tile: Vec<f32>,
+}
+
+impl GemmMlp {
+    /// Builds an MLP over the given `(inputs, outputs)` layer shapes
+    /// with seeded random weights; every layer but the last applies
+    /// ReLU. Shapes must chain (`outputs` of one layer == `inputs` of
+    /// the next) — they come from a compiled model's op program, which
+    /// guarantees it.
+    pub fn from_shapes(shapes: &[(usize, usize)], rng: &mut SeededRng) -> GemmMlp {
+        let layers = shapes
+            .iter()
+            .enumerate()
+            .map(|(i, &(inputs, outputs))| GemmLayer {
+                inputs,
+                outputs,
+                weights: (0..inputs * outputs)
+                    .map(|_| rng.uniform(-0.5, 0.5))
+                    .collect(),
+                bias: (0..outputs).map(|_| rng.uniform(-0.5, 0.5)).collect(),
+                relu: i + 1 < shapes.len(),
+            })
+            .collect();
+        GemmMlp {
+            layers,
+            cur: Vec::new(),
+            next: Vec::new(),
+            tile: Vec::new(),
+        }
+    }
+
+    /// Features consumed per sample row.
+    pub fn input_features(&self) -> usize {
+        self.layers.first().map_or(0, |l| l.inputs)
+    }
+
+    /// Features produced per sample row.
+    pub fn output_features(&self) -> usize {
+        self.layers.last().map_or(0, |l| l.outputs)
+    }
+
+    /// Runs the forward pass over `rows × input_features` row-major
+    /// `inputs`, appending the logits to `out` (cleared first) and
+    /// returning the number of rows executed. Scratch buffers are
+    /// reused across calls, so steady-state batches allocate nothing.
+    pub fn forward_batch(&mut self, inputs: &[f32], out: &mut Vec<f32>) -> usize {
+        let features = self.input_features();
+        out.clear();
+        if features == 0 || !inputs.len().is_multiple_of(features) {
+            return 0;
+        }
+        let rows = inputs.len() / features;
+        self.cur.clear();
+        self.cur.extend_from_slice(inputs);
+        for layer in &self.layers {
+            let (nin, nout) = (layer.inputs, layer.outputs);
+            self.next.clear();
+            self.next.resize(rows * nout, 0.0);
+            let mut r0 = 0usize;
+            while r0 + LANES <= rows {
+                interleave(&self.cur[r0 * nin..(r0 + LANES) * nin], nin, &mut self.tile);
+                gemm_block(
+                    &layer.weights,
+                    &layer.bias,
+                    &self.tile,
+                    &mut self.next[r0 * nout..(r0 + LANES) * nout],
+                    nout,
+                );
+                r0 += LANES;
+            }
+            for r in r0..rows {
+                gemm_row(
+                    &layer.weights,
+                    &layer.bias,
+                    &self.cur[r * nin..(r + 1) * nin],
+                    &mut self.next[r * nout..(r + 1) * nout],
+                );
+            }
+            if layer.relu {
+                for v in &mut self.next {
+                    *v = v.max(0.0);
+                }
+            }
+            std::mem::swap(&mut self.cur, &mut self.next);
+        }
+        out.extend_from_slice(&self.cur);
+        rows
+    }
+}
+
+/// Transposes a `LANES`-row block into the feature-major, lane-minor
+/// tile layout the block kernel streams.
+fn interleave(xblock: &[f32], width: usize, tile: &mut Vec<f32>) {
+    tile.clear();
+    tile.resize(width * LANES, 0.0);
+    for (l, xrow) in xblock.chunks_exact(width).enumerate() {
+        for (i, &x) in xrow.iter().enumerate() {
+            tile[i * LANES + l] = x;
+        }
+    }
+}
+
+/// One `LANES`-row GEMM block: register-resident accumulators, weights
+/// innermost, `OBLOCK` output neurons per pass — the same loop
+/// structure as the serving kernels' factored dense path.
+fn gemm_block(weights: &[f32], bias: &[f32], tile: &[f32], dst: &mut [f32], nout: usize) {
+    let nin = tile.len() / LANES;
+    let mut o = 0usize;
+    while o + OBLOCK <= nout {
+        let w0 = &weights[o * nin..(o + 1) * nin];
+        let w1 = &weights[(o + 1) * nin..(o + 2) * nin];
+        let mut acc0 = [bias[o]; LANES];
+        let mut acc1 = [bias[o + 1]; LANES];
+        for ((xs, &wa), &wb) in tile.chunks_exact(LANES).zip(w0).zip(w1) {
+            for l in 0..LANES {
+                acc0[l] += wa * xs[l];
+                acc1[l] += wb * xs[l];
+            }
+        }
+        for l in 0..LANES {
+            dst[l * nout + o] = acc0[l];
+            dst[l * nout + o + 1] = acc1[l];
+        }
+        o += OBLOCK;
+    }
+    while o < nout {
+        let wrow = &weights[o * nin..(o + 1) * nin];
+        let mut acc = [bias[o]; LANES];
+        for (xs, &wa) in tile.chunks_exact(LANES).zip(wrow) {
+            for (l, a) in acc.iter_mut().enumerate() {
+                *a += wa * xs[l];
+            }
+        }
+        for (l, &a) in acc.iter().enumerate() {
+            dst[l * nout + o] = a;
+        }
+        o += 1;
+    }
+}
+
+/// Serial single-row GEMM for block tails.
+fn gemm_row(weights: &[f32], bias: &[f32], xrow: &[f32], dst: &mut [f32]) {
+    let nin = xrow.len();
+    for (o, d) in dst.iter_mut().enumerate() {
+        let wrow = &weights[o * nin..(o + 1) * nin];
+        let mut acc = bias[o];
+        for (&w, &x) in wrow.iter().zip(xrow) {
+            acc += w * x;
+        }
+        *d = acc;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blocked_and_serial_rows_agree() {
+        let mut rng = SeededRng::new(9);
+        let mut mlp = GemmMlp::from_shapes(&[(6, 10), (10, 4)], &mut rng);
+        assert_eq!(mlp.input_features(), 6);
+        assert_eq!(mlp.output_features(), 4);
+        let inputs: Vec<f32> = (0..24 * 6).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let mut batched = Vec::new();
+        assert_eq!(mlp.forward_batch(&inputs, &mut batched), 24);
+        // Row-at-a-time execution takes the serial path everywhere; the
+        // fixed accumulation order makes the two bit-identical.
+        let mut serial = Vec::new();
+        let mut one = Vec::new();
+        for row in inputs.chunks(6) {
+            assert_eq!(mlp.forward_batch(row, &mut one), 1);
+            serial.extend_from_slice(&one);
+        }
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&batched), bits(&serial));
+    }
+
+    #[test]
+    fn degenerate_inputs_run_zero_rows() {
+        let mut rng = SeededRng::new(1);
+        let mut mlp = GemmMlp::from_shapes(&[(4, 2)], &mut rng);
+        let mut out = Vec::new();
+        assert_eq!(mlp.forward_batch(&[0.0; 3], &mut out), 0);
+        assert_eq!(
+            GemmMlp::from_shapes(&[], &mut rng).forward_batch(&[], &mut out),
+            0
+        );
+    }
+}

@@ -26,9 +26,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod gemm;
 mod model;
 mod workload;
 
+pub use gemm::GemmMlp;
 pub use model::{dadiannao, eyeriss, gpu_gtx1080, isaac, pipelayer, snapea, AcceleratorModel};
 pub use workload::{
     imagenet_layer_shapes, imagenet_workloads, workload_of, LayerShape, Workload, WorkloadKind,

@@ -1,11 +1,16 @@
 //! Serving throughput: single-sample vs. batched, at the kernel level
 //! (`CompiledModel::infer` per row vs. one reused [`BatchRunner`]) and at
 //! the engine level (round-trip clients against `max_batch_size = 1` vs.
-//! a real dynamic batch). Writes `BENCH_serve.json` at the repo root so
-//! successive PRs can track the serving-perf trajectory.
+//! a real dynamic batch), plus the three-way kernel comparison the
+//! integer path is judged by: analyzer-licensed integer LUT kernels vs.
+//! the f32 LUT kernels vs. a conventional dense f32 GEMM over the same
+//! layer shapes ([`rapidnn::baselines::GemmMlp`]). Writes
+//! `BENCH_serve.json` at the repo root so successive PRs can track the
+//! serving-perf trajectory.
 //!
 //! Set `BENCH_SERVE_QUICK=1` to shrink the workload for CI smoke runs.
 
+use rapidnn::baselines::GemmMlp;
 use rapidnn::serve::{BatchRunner, CompiledModel, Engine, EngineConfig};
 use rapidnn::tensor::SeededRng;
 use rapidnn::{Pipeline, PipelineConfig};
@@ -41,10 +46,33 @@ fn main() {
         .map(|_| rng.uniform(-1.0, 1.0))
         .collect();
 
+    // The integer-path contender: same artifact, quantized at load
+    // time. mnist-tiny is a pure MLP over real product tables, so the
+    // analyzer licenses every dense op.
+    let mut quantized = model.clone();
+    quantized.quantize().expect("tiny model quantizes");
+    eprintln!(
+        "kernel path: {} ({} licensed ops)",
+        quantized.kernel_path(),
+        quantized.licensed_ops()
+    );
+    assert!(
+        quantized.licensed_ops() > 0,
+        "benchmark model must license its dense ops"
+    );
+    // The conventional contender: a plain dense f32 GEMM stack over the
+    // same layer shapes (throughput depends on shapes, not weights).
+    let mut gemm = GemmMlp::from_shapes(&model.dense_shapes(), &mut rng);
+    assert_eq!(gemm.input_features(), features);
+
     // Best-of-N against scheduler noise on shared machines.
     let repeats = if quick { 1 } else { 3 };
     let kernel_single = best_of(repeats, || bench_kernel_single(&model, &inputs, features));
     let kernel_batched = best_of(repeats, || bench_kernel_batched(&model, &inputs, features));
+    let kernel_int = best_of(repeats, || {
+        bench_kernel_batched(&quantized, &inputs, features)
+    });
+    let kernel_gemm = best_of(repeats, || bench_kernel_gemm(&mut gemm, &inputs, features));
     let engine_single = best_of(repeats, || {
         bench_engine(&model, &inputs, features, 1, engine_requests)
     });
@@ -56,6 +84,14 @@ fn main() {
     println!(
         "kernel  batched x{BATCH:<4}   {kernel_batched:>12.0} rows/s  ({:.2}x)",
         kernel_batched / kernel_single
+    );
+    println!(
+        "kernel  int16 x{BATCH:<4}     {kernel_int:>12.0} rows/s  ({:.2}x vs f32 LUT)",
+        kernel_int / kernel_batched
+    );
+    println!(
+        "kernel  gemm  x{BATCH:<4}     {kernel_gemm:>12.0} rows/s  ({:.2}x vs f32 LUT)",
+        kernel_gemm / kernel_batched
     );
     println!("engine  max_batch=1     {engine_single:>12.0} req/s");
     println!(
@@ -76,10 +112,19 @@ fn main() {
             "  \"single_rps\": {kernel_single:.1},\n",
             "  \"batched_rps\": {kernel_batched:.1},\n",
             "  \"speedup\": {kernel_speedup:.3},\n",
+            "  \"int_rps\": {kernel_int:.1},\n",
+            "  \"gemm_rps\": {kernel_gemm:.1},\n",
+            "  \"int_speedup_vs_f32\": {int_speedup:.3},\n",
+            "  \"gemm_speedup_vs_f32\": {gemm_speedup:.3},\n",
+            "  \"licensed_ops\": {licensed},\n",
             "  \"kernel\": {{\n",
             "    \"single_rps\": {kernel_single:.1},\n",
             "    \"batched_rps\": {kernel_batched:.1},\n",
-            "    \"speedup\": {kernel_speedup:.3}\n",
+            "    \"speedup\": {kernel_speedup:.3},\n",
+            "    \"int_rps\": {kernel_int:.1},\n",
+            "    \"gemm_rps\": {kernel_gemm:.1},\n",
+            "    \"int_speedup_vs_f32\": {int_speedup:.3},\n",
+            "    \"gemm_speedup_vs_f32\": {gemm_speedup:.3}\n",
             "  }},\n",
             "  \"engine\": {{\n",
             "    \"single_rps\": {engine_single:.1},\n",
@@ -92,6 +137,11 @@ fn main() {
         kernel_single = kernel_single,
         kernel_batched = kernel_batched,
         kernel_speedup = kernel_batched / kernel_single,
+        kernel_int = kernel_int,
+        kernel_gemm = kernel_gemm,
+        int_speedup = kernel_int / kernel_batched,
+        gemm_speedup = kernel_gemm / kernel_batched,
+        licensed = quantized.licensed_ops(),
         engine_single = engine_single,
         engine_batched = engine_batched,
         engine_speedup = engine_batched / engine_single,
@@ -127,6 +177,20 @@ fn bench_kernel_batched(model: &CompiledModel, inputs: &[f32], features: usize) 
     let start = Instant::now();
     for chunk in inputs.chunks(BATCH * features) {
         runner.run(model, chunk, &mut out).unwrap();
+        std::hint::black_box(&out);
+    }
+    rows as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Rows/s through the dense f32 GEMM baseline fed `BATCH` rows per
+/// call — the same batching regime as [`bench_kernel_batched`], minus
+/// every RAPIDNN-specific structure.
+fn bench_kernel_gemm(gemm: &mut GemmMlp, inputs: &[f32], features: usize) -> f64 {
+    let rows = inputs.len() / features;
+    let mut out = Vec::new();
+    let start = Instant::now();
+    for chunk in inputs.chunks(BATCH * features) {
+        gemm.forward_batch(chunk, &mut out);
         std::hint::black_box(&out);
     }
     rows as f64 / start.elapsed().as_secs_f64()

@@ -53,6 +53,14 @@ pub fn nearest_index(book: &[f32], keys: &[i32], value: f32) -> usize {
     for &k in keys {
         ins += (k < kv) as usize;
     }
+    resolve(book, keys, ins, kv, value)
+}
+
+/// Turns an insertion point back into the nearest index: exact-match
+/// short-circuit (keeps `-0.0`/`0.0` neighbours bit-identical), then
+/// the boundary-clamped neighbour tie-break.
+#[inline]
+fn resolve(book: &[f32], keys: &[i32], ins: usize, kv: i32, value: f32) -> usize {
     if ins < keys.len() && keys[ins] == kv {
         return ins;
     }
@@ -61,6 +69,116 @@ pub fn nearest_index(book: &[f32], keys: &[i32], value: f32) -> usize {
     // At the ends lo == hi, so the select is a no-op either way.
     let take_lo = (value - book[lo]).abs() <= (book[hi] - value).abs();
     hi - (take_lo as usize) * (hi - lo)
+}
+
+/// Probes swept per inner pass of [`nearest_sorted_block`]: small
+/// enough that the key, count and probe working sets stay in L1, large
+/// enough that each per-key pass vectorizes over a full chunk.
+const SWEEP: usize = 256;
+
+/// Largest codebook the threshold tabulation of
+/// [`nearest_sorted_block`] applies to (bounds its stack array).
+const THRESH_BOOK: usize = 256;
+
+/// Batch form of [`nearest_sorted`]: encodes every probe in `values`
+/// into `out[..values.len()]`, bit-for-bit identical to calling the
+/// scalar search per element.
+///
+/// The scalar search counts all keys below one probe, then runs a
+/// neighbour tie-break per element. This form exploits that the whole
+/// nearest map is a *monotone step function of the total-order key*:
+/// for batches large enough to amortize it, the exact key of each
+/// code boundary is tabulated up front ([`build_thresholds`]), after
+/// which encoding one probe is a branch-free count of boundaries below
+/// its key — no per-element tie-break at all — swept key-outermost so
+/// every pass vectorizes over a whole chunk. Small batches (or books
+/// past [`THRESH_BOOK`]) skip the tabulation and sweep the insertion
+/// counts instead, finishing through the scalar resolver.
+///
+/// # Panics
+///
+/// Panics when `book` is empty or `out` is shorter than `values`.
+pub fn nearest_sorted_block(book: &[f32], keys: &[i32], values: &[f32], out: &mut [u16]) {
+    let out = &mut out[..values.len()];
+    // Tabulation costs ~32 scalar searches per boundary; counting then
+    // saves the per-element resolve, so it pays for itself once the
+    // batch clearly outweighs the boundary count.
+    if (2..=THRESH_BOOK).contains(&book.len()) && values.len() >= book.len() * book.len() / 2 {
+        let mut thr = [0i32; THRESH_BOOK - 1];
+        let thr = &mut thr[..book.len() - 1];
+        build_thresholds(book, keys, thr);
+        let mut kv = [0i32; SWEEP];
+        let mut ins = [0u32; SWEEP];
+        for (chunk, dst) in values.chunks(SWEEP).zip(out.chunks_mut(SWEEP)) {
+            let n = chunk.len();
+            for (d, &v) in kv[..n].iter_mut().zip(chunk) {
+                *d = total_key(v);
+            }
+            ins[..n].fill(0);
+            for &t in thr.iter() {
+                for (i, &c) in ins[..n].iter_mut().zip(&kv[..n]) {
+                    *i += u32::from(t < c);
+                }
+            }
+            for (d, &i) in dst.iter_mut().zip(&ins[..n]) {
+                *d = i as u16;
+            }
+        }
+        return;
+    }
+    let mut kv = [0i32; SWEEP];
+    let mut ins = [0u32; SWEEP];
+    for (chunk, dst) in values.chunks(SWEEP).zip(out.chunks_mut(SWEEP)) {
+        let n = chunk.len();
+        for (d, &v) in kv[..n].iter_mut().zip(chunk) {
+            *d = total_key(v);
+        }
+        ins[..n].fill(0);
+        for &k in keys {
+            for (i, &c) in ins[..n].iter_mut().zip(&kv[..n]) {
+                *i += u32::from(k < c);
+            }
+        }
+        for (((d, &i), &c), &v) in dst.iter_mut().zip(&ins[..n]).zip(&kv[..n]).zip(chunk) {
+            *d = resolve(book, keys, i as usize, c, v) as u16;
+        }
+    }
+}
+
+/// Tabulates the exact code boundaries of the nearest map in key
+/// space: `thr[i]` is the largest total-order key whose nearest index
+/// is `<= i`, so `nearest(v) == count of thr entries < total_key(v)`.
+///
+/// Each boundary is found by binary search over the whole key domain
+/// with the *scalar search itself* as the oracle, so the tabulation
+/// reproduces its semantics — tie-breaks, `-0.0`/`0.0` exact-match
+/// behaviour, boundary clamps — bit for bit by construction. The
+/// search is sound because the map is monotone in the key: the f32
+/// tie-break `(v - lo) <= (hi - v)` flips at most once as `v` rises,
+/// and the only equal-value subtlety (a book holding both zeros) sits
+/// on adjacent keys, which a key-space threshold separates exactly.
+fn build_thresholds(book: &[f32], keys: &[i32], thr: &mut [i32]) {
+    for (i, t) in thr.iter_mut().enumerate() {
+        // `total_key` is an involution, so it also maps keys back to
+        // value bits. oracle(i32::MIN) is the negative-NaN probe
+        // (index 0, always <= i); oracle(i32::MAX) is positive NaN
+        // (the last index, never <= i here) — the search stays framed.
+        let oracle = |k: i64| {
+            let k = k as i32;
+            let bits = total_key(f32::from_bits(k as u32)) as u32;
+            nearest_index(book, keys, f32::from_bits(bits))
+        };
+        let (mut lo, mut hi) = (i64::from(i32::MIN), i64::from(i32::MAX));
+        while lo < hi {
+            let mid = (lo + hi + 1) >> 1;
+            if oracle(mid) <= i {
+                lo = mid;
+            } else {
+                hi = mid - 1;
+            }
+        }
+        *t = lo as i32;
+    }
 }
 
 /// Inclusive index range of codebook entries reachable from any probe
@@ -162,6 +280,67 @@ mod tests {
                     hit_hi |= n == b;
                 }
                 assert!(hit_lo && hit_hi, "[{lo}, {hi}] -> [{a}, {b}] not tight");
+            }
+        }
+    }
+
+    #[test]
+    fn block_encode_matches_scalar_bitwise() {
+        let books: &[&[f32]] = &[
+            &[0.0],
+            &[-1.25, -0.5, 0.2, 0.45],
+            &[-0.0, 0.0, 1.0],
+            &[f32::MIN, -1.0, -0.0, 0.0, 1.0, f32::MAX],
+        ];
+        let mut keys = Vec::new();
+        for book in books {
+            load_keys(&mut keys, book);
+            // Cross chunk boundaries (> SWEEP probes), hit the special
+            // values the scalar search is tested against, and bracket
+            // every adjacent-pair midpoint by a few ulps — the exact
+            // keys where the tabulated thresholds could be off by one.
+            let mut probes: Vec<f32> = (0..700).map(|i| (i as f32).mul_add(0.013, -4.0)).collect();
+            probes.extend([
+                f32::NEG_INFINITY,
+                f32::INFINITY,
+                f32::NAN,
+                -0.0,
+                0.0,
+                f32::MIN_POSITIVE,
+                f32::MAX,
+                f32::MIN,
+            ]);
+            probes.extend_from_slice(book);
+            for pair in book.windows(2) {
+                let mid = ((f64::from(pair[0]) + f64::from(pair[1])) / 2.0) as f32;
+                let kv = total_key(mid);
+                for d in -3i32..=3 {
+                    let bits = total_key(f32::from_bits(kv.wrapping_add(d) as u32));
+                    probes.push(f32::from_bits(bits as u32));
+                }
+            }
+            // Large slice takes the threshold tabulation; tiny slices
+            // fall back to the per-element resolve. Both must agree
+            // with the scalar search bit for bit.
+            let mut block = vec![0u16; probes.len()];
+            nearest_sorted_block(book, &keys, &probes, &mut block);
+            for (&p, &got) in probes.iter().zip(&block) {
+                assert_eq!(
+                    got,
+                    nearest_sorted(book, &keys, p),
+                    "book={book:?} probe={p}"
+                );
+            }
+            let mut small = [0u16; 3];
+            for chunk in probes.chunks(3) {
+                nearest_sorted_block(book, &keys, chunk, &mut small);
+                for (&p, &got) in chunk.iter().zip(&small) {
+                    assert_eq!(
+                        got,
+                        nearest_sorted(book, &keys, p),
+                        "small chunk: book={book:?} probe={p}"
+                    );
+                }
             }
         }
     }

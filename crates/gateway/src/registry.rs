@@ -102,6 +102,13 @@ pub struct ModelStats {
     pub output_features: usize,
     /// Requests currently in flight (admission gauge).
     pub inflight: u64,
+    /// Kernel path the current generation serves on: `"f32"` (no
+    /// integer lowering), `"int16"` (every table op licensed) or
+    /// `"mixed"`.
+    pub kernel_path: &'static str,
+    /// Table ops the analyzer licensed for integer execution (0 on the
+    /// f32 path).
+    pub licensed_ops: usize,
     /// Engine counters for the *current* generation (reset on swap —
     /// `generation` says how many resets happened).
     pub server: ServerStats,
@@ -190,6 +197,11 @@ impl Registry {
     /// engine with a deadline. Any failure before cutover is a full
     /// rollback: the previous engine keeps serving untouched.
     ///
+    /// With `quantize` set (the HTTP layer's `x-kernels: int16`
+    /// opt-in), the verified model is additionally lowered onto the
+    /// analyzer-licensed integer kernels before warmup, so the swap
+    /// only completes if the quantized model actually serves.
+    ///
     /// # Errors
     ///
     /// [`GatewayError::Rejected`] for bytes the verifier refuses,
@@ -198,14 +210,24 @@ impl Registry {
     /// verified model cannot actually serve, and
     /// [`GatewayError::SwapInProgress`] when another swap of the same
     /// model is mid-flight.
-    pub fn put_artifact(&self, name: &str, bytes: &[u8]) -> Result<SwapReport, GatewayError> {
+    pub fn put_artifact(
+        &self,
+        name: &str,
+        bytes: &[u8],
+        quantize: bool,
+    ) -> Result<SwapReport, GatewayError> {
         validate_name(name)?;
         // Verification first — both paths need it, and a rejected
         // artifact must not disturb anything.
-        let model = match CompiledModel::from_bytes_strict(bytes) {
+        let mut model = match CompiledModel::from_bytes_strict(bytes) {
             Ok(model) => model,
             Err(e) => return Err(GatewayError::from_artifact_failure(bytes, e)),
         };
+        if quantize {
+            model
+                .quantize()
+                .map_err(|e| GatewayError::from_serve(name, e))?;
+        }
         let existing = self.read_models().get(name).cloned();
         match existing {
             None => {
@@ -370,6 +392,8 @@ impl Registry {
             input_features: slot.model().input_features(),
             output_features: slot.model().output_features(),
             inflight: entry.inflight.load(Ordering::Acquire),
+            kernel_path: slot.model().kernel_path(),
+            licensed_ops: slot.model().licensed_ops(),
             server: slot.stats(),
         })
     }

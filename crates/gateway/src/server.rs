@@ -239,7 +239,7 @@ fn route(registry: &Registry, request: &Request) -> Response {
     match (request.method.as_str(), path.as_slice()) {
         ("GET", ["health"]) => Response::text(200, "ok\n"),
         ("GET", ["models"]) => list_models(registry),
-        ("PUT", ["models", name]) => put_model(registry, name, &request.body),
+        ("PUT", ["models", name]) => put_model(registry, name, request),
         ("DELETE", ["models", name]) => delete_model(registry, name),
         ("GET", ["models", name, "stats"]) => model_stats(registry, name),
         ("POST", ["models", name, "infer"]) => infer(registry, name, request),
@@ -286,8 +286,21 @@ fn list_models(registry: &Registry) -> Response {
     Response::json(200, body)
 }
 
-fn put_model(registry: &Registry, name: &str, body: &[u8]) -> Response {
-    match registry.put_artifact(name, body) {
+fn put_model(registry: &Registry, name: &str, request: &Request) -> Response {
+    // `x-kernels: int16` opts the upload into analyzer-licensed integer
+    // lowering; absence means the plain f32 path. Anything else is a
+    // client error, not a silent fallback.
+    let quantize = match request.header("x-kernels") {
+        None => false,
+        Some("int16") => true,
+        Some(other) => {
+            return Response::text(
+                400,
+                format!("unknown x-kernels value {other:?}; try \"int16\"\n"),
+            )
+        }
+    };
+    match registry.put_artifact(name, &request.body, quantize) {
         Ok(report) => swap_response(name, &report),
         Err(e) => error_response(&e),
     }
@@ -392,7 +405,9 @@ fn stats_json(stats: &ModelStats) -> String {
         concat!(
             "{{\"name\":{name},\"generation\":{generation},",
             "\"input_features\":{in_f},\"output_features\":{out_f},",
-            "\"inflight\":{inflight},\"server\":{{",
+            "\"inflight\":{inflight},",
+            "\"kernel_path\":{kernel_path},\"licensed_ops\":{licensed_ops},",
+            "\"server\":{{",
             "\"submitted\":{submitted},\"completed\":{completed},",
             "\"failed\":{failed},\"rejected\":{rejected},\"shed\":{shed},",
             "\"batches\":{batches},\"mean_batch_size\":{mbs},",
@@ -407,6 +422,8 @@ fn stats_json(stats: &ModelStats) -> String {
         in_f = stats.input_features,
         out_f = stats.output_features,
         inflight = stats.inflight,
+        kernel_path = json_string(stats.kernel_path),
+        licensed_ops = stats.licensed_ops,
         submitted = s.submitted,
         completed = s.completed,
         failed = s.failed,

@@ -108,6 +108,31 @@ pub fn request(
     read_response(&mut stream)
 }
 
+/// One-shot request carrying extra headers (e.g. `x-kernels`) over a
+/// fresh connection (`Connection: close`).
+pub fn request_with_headers(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: &[u8],
+) -> std::io::Result<HttpResponse> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    let mut head = format!("{method} {path} HTTP/1.1\r\nhost: test\r\n");
+    for (name, value) in headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str(&format!(
+        "content-length: {}\r\nconnection: close\r\n\r\n",
+        body.len()
+    ));
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()?;
+    read_response(&mut stream)
+}
+
 /// Writes one request on an open stream (keep-alive unless `close`).
 pub fn write_request(
     stream: &mut TcpStream,

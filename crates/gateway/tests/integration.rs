@@ -6,7 +6,7 @@ mod common;
 
 use common::{
     analyzer_rejected_bytes, compiled_model, le_bytes, le_floats, read_response, request,
-    wider_model, write_request, FEATURES,
+    request_with_headers, wider_model, write_request, FEATURES,
 };
 use rapidnn_gateway::{Gateway, GatewayConfig, RegistryConfig};
 use rapidnn_prop::vec_f32;
@@ -374,6 +374,89 @@ fn registration_lifecycle_over_http() {
     assert!(wrong.header("allow").is_some());
     let health = request(addr, "GET", "/health", None, &[]).unwrap();
     assert_eq!(health.status, 200);
+
+    gateway.shutdown();
+}
+
+/// The `x-kernels: int16` upload opt-in lowers the artifact onto the
+/// analyzer-licensed integer kernels, the stats route reports which
+/// kernel path a model serves on, and the integer generation's served
+/// outputs are bit-identical to direct quantized inference.
+#[test]
+fn int16_opt_in_is_visible_in_stats_and_serves_bit_exactly() {
+    let model = compiled_model(33);
+    // The local reference for what the gateway should be serving.
+    let mut quantized = model.clone();
+    quantized.quantize().unwrap();
+    assert!(
+        quantized.licensed_ops() > 0,
+        "test model must license at least one op"
+    );
+
+    let gateway = Gateway::bind(test_config()).unwrap();
+    let addr = gateway.local_addr();
+
+    // Upload with the opt-in header: 201, and stats report the integer
+    // kernel path with the same licensed-op count the analyzer gave us.
+    let created = request_with_headers(
+        addr,
+        "PUT",
+        "/models/q",
+        &[("x-kernels", "int16")],
+        &model.to_bytes(),
+    )
+    .unwrap();
+    assert_eq!(created.status, 201, "{}", created.body_text());
+    let stats = request(addr, "GET", "/models/q/stats", None, &[]).unwrap();
+    assert_eq!(stats.status, 200);
+    let text = stats.body_text();
+    assert!(
+        text.contains(&format!("\"kernel_path\":\"{}\"", quantized.kernel_path())),
+        "{text}"
+    );
+    assert!(
+        text.contains(&format!("\"licensed_ops\":{}", quantized.licensed_ops())),
+        "{text}"
+    );
+
+    // Served outputs match direct quantized inference bit-for-bit —
+    // batch-size identity on the integer path is structural.
+    let mut rng = SeededRng::new(5);
+    for _ in 0..8 {
+        let input = vec_f32(&mut rng, FEATURES, -2.0, 2.0);
+        let response = request(
+            addr,
+            "POST",
+            "/models/q/infer",
+            Some("application/octet-stream"),
+            &le_bytes(&input),
+        )
+        .unwrap();
+        assert_eq!(response.status, 200, "{}", response.body_text());
+        assert_eq!(le_floats(&response.body), quantized.infer(&input).unwrap());
+    }
+
+    // A plain PUT (no header) swaps back to the f32 path; stats follow.
+    let swapped = request(addr, "PUT", "/models/q", None, &model.to_bytes()).unwrap();
+    assert_eq!(swapped.status, 200, "{}", swapped.body_text());
+    let stats = request(addr, "GET", "/models/q/stats", None, &[]).unwrap();
+    let text = stats.body_text();
+    assert!(text.contains("\"kernel_path\":\"f32\""), "{text}");
+    assert!(text.contains("\"licensed_ops\":0"), "{text}");
+
+    // An unknown header value is a client error, not a silent fallback,
+    // and leaves the serving generation untouched.
+    let bogus = request_with_headers(
+        addr,
+        "PUT",
+        "/models/q",
+        &[("x-kernels", "int8")],
+        &model.to_bytes(),
+    )
+    .unwrap();
+    assert_eq!(bogus.status, 400, "{}", bogus.body_text());
+    let stats = request(addr, "GET", "/models/q/stats", None, &[]).unwrap();
+    assert!(stats.body_text().contains("\"generation\":1"));
 
     gateway.shutdown();
 }

@@ -364,8 +364,18 @@ impl CodePool {
     /// reading each packed section through a bounded bit cursor. The
     /// range must be in bounds (callers bounds-check first).
     fn decode_range_into(&self, start: usize, len: usize, out: &mut Vec<u16>) {
+        self.map_range(start, len, |c| out.push(c));
+    }
+
+    /// Streams the codes of pool range `start..start + len` through `f`
+    /// in order, reading bit-packed sections directly — no intermediate
+    /// wide buffer. The quantized-table materializer consumes v2 code
+    /// sections through this exactly once at load time, which is what
+    /// lets the integer batch path skip per-op tile decodes entirely.
+    /// The range must be in bounds (callers bounds-check first).
+    pub(crate) fn map_range(&self, start: usize, len: usize, mut f: impl FnMut(u16)) {
         match self {
-            CodePool::Wide(v) => out.extend_from_slice(&v[start..start + len]),
+            CodePool::Wide(v) => v[start..start + len].iter().for_each(|&c| f(c)),
             CodePool::Packed { buf, sections, .. } => {
                 let bytes = buf.bytes();
                 let end = start + len;
@@ -382,7 +392,7 @@ impl CodePool {
                     let mask = (1u32 << s.width_bits) - 1;
                     let mut bit = (lo - s.start) * s.width_bits as usize;
                     for _ in lo..hi {
-                        out.push(read_bits(stream, bit, mask));
+                        f(read_bits(stream, bit, mask));
                         bit += s.width_bits as usize;
                     }
                 }
@@ -485,6 +495,10 @@ pub struct CompiledModel {
     /// per-gather index clamps. Never serialized — a loaded artifact
     /// must re-earn it.
     pub(crate) verified: bool,
+    /// Materialized integer-kernel state, populated by
+    /// [`CompiledModel::quantize`] for analyzer-licensed ops. Never
+    /// serialized — like `verified`, a loaded artifact re-earns it.
+    pub(crate) quant: Option<crate::quant::QuantState>,
 }
 
 impl CompiledModel {
@@ -511,6 +525,7 @@ impl CompiledModel {
             floats: FloatPool::Owned(fl.floats),
             codes: CodePool::Wide(fl.codes),
             verified: false,
+            quant: None,
         };
         model.validate()?;
         Ok(model)
@@ -598,6 +613,7 @@ impl CompiledModel {
             floats: FloatPool::Owned(vec![0.0, 1.0]),
             codes: CodePool::Wide(vec![]),
             verified: false,
+            quant: None,
         }
     }
 
@@ -920,6 +936,7 @@ impl CompiledModel {
             floats: FloatPool::Owned(floats),
             codes: CodePool::Wide(codes),
             verified: false,
+            quant: None,
         })
     }
 
@@ -1082,6 +1099,7 @@ impl CompiledModel {
             floats,
             codes,
             verified: false,
+            quant: None,
         })
     }
 
@@ -1279,6 +1297,84 @@ impl CompiledModel {
     /// Whether [`Self::verify`] has proven this model error-free.
     pub fn is_verified(&self) -> bool {
         self.verified
+    }
+
+    /// Verifies the model (as [`Self::verify`]) and then materializes
+    /// integer kernels for every op the analyzer licenses
+    /// ([`rapidnn_analyze::quantize_plan`]): `i16` weight/table tiles,
+    /// quantized biases and precomputed finish LUTs, with v2 bit-packed
+    /// code sections consumed directly — exactly once, here — so the
+    /// integer batch path never decodes weight tiles again.
+    ///
+    /// Quantization is opt-in: plain loading, [`Self::verify`] and
+    /// [`Self::from_bytes_strict`] never enable it, so the f32 path
+    /// stays bit-identical unless a caller asks for integers. Ops the
+    /// plan refuses stay on the f32 path; [`Self::kernel_path`] reports
+    /// the resulting mix.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Rejected`] carrying the report when static
+    /// analysis finds errors (the model is left unchanged).
+    pub fn quantize(&mut self) -> Result<rapidnn_analyze::Report> {
+        let report = self.verify()?;
+        let plan = rapidnn_analyze::quantize_plan(&self.to_program());
+        self.quant = Some(crate::quant::QuantState::materialize(self, plan));
+        Ok(report)
+    }
+
+    /// The quantization plan materialized by [`Self::quantize`], or
+    /// `None` for a pure-f32 model.
+    pub fn quant_plan(&self) -> Option<&rapidnn_analyze::QuantPlan> {
+        self.quant.as_ref().map(|q| &q.plan)
+    }
+
+    /// Derives the quantization plan without changing the model: which
+    /// ops the analyzer would license for the integer path and why the
+    /// rest fall back. Works on unverified (even invalid) models, so
+    /// lint tooling can explain artifacts it refuses to serve.
+    pub fn quant_plan_preview(&self) -> rapidnn_analyze::QuantPlan {
+        rapidnn_analyze::quantize_plan(&self.to_program())
+    }
+
+    /// Which kernels serve this model: `"f32"` (no quantization, or
+    /// nothing licensed), `"int16"` (every table op licensed), or
+    /// `"mixed"`.
+    pub fn kernel_path(&self) -> &'static str {
+        match &self.quant {
+            None => "f32",
+            Some(q) => {
+                let plan = &q.plan;
+                if plan.licensed() == 0 {
+                    "f32"
+                } else if plan.fallbacks() == 0 {
+                    "int16"
+                } else {
+                    "mixed"
+                }
+            }
+        }
+    }
+
+    /// Number of ops running on the integer path (0 unless
+    /// [`Self::quantize`] licensed some).
+    pub fn licensed_ops(&self) -> usize {
+        self.quant.as_ref().map_or(0, |q| q.plan.licensed())
+    }
+
+    /// `(inputs, outputs)` of every dense op, in program order — the
+    /// shapes an equivalent unquantized GEMM stack would multiply
+    /// (used by the benchmark's dense-baseline comparison).
+    pub fn dense_shapes(&self) -> Vec<(usize, usize)> {
+        self.ops
+            .iter()
+            .filter_map(|op| match op {
+                Op::Dense {
+                    inputs, outputs, ..
+                } => Some((*inputs, *outputs)),
+                _ => None,
+            })
+            .collect()
     }
 
     // ------------------------------------------------------------------
@@ -1602,9 +1698,10 @@ impl CompiledModel {
 /// returned index always fits a `u16` without wrapping.
 ///
 /// The hot paths use the branch-free equivalent in `kernels`; this
-/// binary-search form is kept as the readable reference the unit tests
-/// check both against.
-#[cfg(test)]
+/// binary-search form is the readable reference the unit tests check
+/// both against, and the quantized-LUT materializer (`crate::quant`)
+/// bakes finish codes through it so integer finishes encode exactly
+/// like the scalar path would.
 #[inline]
 pub(crate) fn nearest(values: &[f32], value: f32) -> u16 {
     let idx = match values.binary_search_by(|probe| probe.total_cmp(&value)) {
@@ -2183,6 +2280,7 @@ mod tests {
                 floats: FloatPool::Owned(vec![0.0, 1.0]),
                 codes: CodePool::Wide(vec![]),
                 verified: false,
+                quant: None,
             };
             // Must be rejected at decode time; without the pad check this
             // artifact passed validation and `infer` panicked out of
@@ -2204,6 +2302,7 @@ mod tests {
             floats: FloatPool::Owned(vec![0.0; len]),
             codes: CodePool::Wide(vec![]),
             verified: false,
+            quant: None,
         };
         // One past the cap: `nearest` would wrap this book's top index to
         // code 0 through the u16 cast.
@@ -2309,6 +2408,7 @@ mod tests {
             floats: FloatPool::Owned(vec![0.0, 1.0, 2.0]),
             codes: CodePool::Wide(vec![]),
             verified: false,
+            quant: None,
         };
         let bytes = model.to_bytes();
         let float_off = u64::from_le_bytes(

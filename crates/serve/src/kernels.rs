@@ -43,10 +43,11 @@
 
 use crate::artifact::{ActRef, CompiledModel, Geom, Op, Span, TableRef};
 use crate::error::{ArtifactError, Result, ServeError};
+use crate::quant::{QuantFinish, QuantKind, QuantOp};
 // The branch-free nearest-representative search originated here and now
 // lives in `rapidnn_core::nearest`, shared with the composer's encode
 // paths so both sides pay the same cost per encode.
-use rapidnn_core::nearest::{load_keys, nearest_index, nearest_sorted};
+use rapidnn_core::nearest::{load_keys, nearest_index, nearest_sorted, nearest_sorted_block};
 
 /// Domain of the data currently flowing between ops.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -108,6 +109,9 @@ pub struct BatchRunner {
     /// Interleaved *decoded* tile for the factored dense fast path (see
     /// [`interleave_decode`]).
     tile_f: Vec<f32>,
+    /// Row-major *quantized* input row for the integer Madd fast path
+    /// (see [`quantize_row`]).
+    tile_q: Vec<i16>,
     /// Recovered per-weight-code factors of the current product table
     /// (see [`factor_table`]).
     wvals: Vec<f32>,
@@ -147,6 +151,7 @@ impl BatchRunner {
         self.act_keys.reserve(plan.max_act);
         self.tile.reserve(max_width.saturating_mul(LANES));
         self.tile_f.reserve(max_width.saturating_mul(LANES));
+        self.tile_q.reserve(plan.max_tile_q);
         self.wvals.reserve(plan.max_wcount);
         self.wdec.reserve(plan.max_dense);
         self.wcodes.reserve(plan.max_wcodes);
@@ -161,6 +166,35 @@ impl BatchRunner {
         for skip in &mut self.skips {
             skip.reserve(cap.saturating_sub(skip.capacity()));
         }
+    }
+
+    /// Total bytes currently reserved across the scratch arena
+    /// (capacities, not live lengths).
+    ///
+    /// This is the runner's whole heap footprint, exposed so tests can
+    /// pin the high-water accounting — in particular that models whose
+    /// table ops all run the integer path stop paying for weight-code
+    /// decode tiles, so the arena no longer scales with the artifact's
+    /// code-section size.
+    pub fn scratch_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.codes.capacity() * size_of::<u16>()
+            + self.codes_next.capacity() * size_of::<u16>()
+            + self.floats.capacity() * size_of::<f32>()
+            + self.floats_next.capacity() * size_of::<f32>()
+            + self
+                .skips
+                .iter()
+                .map(|s| s.capacity() * size_of::<f32>())
+                .sum::<usize>()
+            + self.keys.capacity() * size_of::<i32>()
+            + self.act_keys.capacity() * size_of::<i32>()
+            + self.tile.capacity() * size_of::<u16>()
+            + self.tile_f.capacity() * size_of::<f32>()
+            + self.tile_q.capacity() * size_of::<i16>()
+            + self.wvals.capacity() * size_of::<f32>()
+            + self.wdec.capacity() * size_of::<f32>()
+            + self.wcodes.capacity() * size_of::<u16>()
     }
 
     /// Runs batched inference over `rows × features` row-major `inputs`,
@@ -206,6 +240,7 @@ impl BatchRunner {
             act_keys,
             tile,
             tile_f,
+            tile_q,
             wvals,
             wdec,
             wcodes: wcodes_scratch,
@@ -234,9 +269,7 @@ impl BatchRunner {
         let book = model.virtual_encoder.slice(pool_f);
         load_keys(keys, book);
         refill(codes, padded * features);
-        for (dst, &v) in codes.iter_mut().zip(inputs) {
-            *dst = nearest_sorted(book, keys, v);
-        }
+        nearest_sorted_block(book, keys, inputs, codes);
         let mut domain = Domain::Codes;
         let mut width = features;
         // The codebook the current codes index into, tracked so dense
@@ -244,7 +277,7 @@ impl BatchRunner {
         // `None` whenever the flow is decoded or the book is unknown.
         let mut cur_book: Option<&[f32]> = Some(book);
 
-        for op in &model.ops {
+        for (oi, op) in model.ops.iter().enumerate() {
             match op {
                 Op::Dense {
                     inputs: nin,
@@ -259,6 +292,94 @@ impl BatchRunner {
                         return Err(decoded_neuron());
                     }
                     let (nin, nout) = (*nin, *outputs);
+                    // Analyzer-licensed ops run the integer path on
+                    // tiles materialized once at load time, streamed
+                    // straight from the (possibly bit-packed) code
+                    // sections. This branch never calls `codes_for`:
+                    // no per-op weight tile is decoded into the arena,
+                    // and the activation + re-encode are baked into
+                    // the finish LUT, so the op is one pass.
+                    let quant_op = model
+                        .quant
+                        .as_ref()
+                        .and_then(|qs| qs.ops.get(oi))
+                        .and_then(Option::as_ref);
+                    if let Some(q) = quant_op {
+                        debug_assert_eq!(q.nin, nin);
+                        match &q.finish {
+                            QuantFinish::Dequant { inv } => {
+                                let inv = *inv;
+                                refill(floats_next, padded * nout);
+                                quant_dense_exec(
+                                    q,
+                                    codes,
+                                    floats_next,
+                                    padded,
+                                    tile,
+                                    tile_q,
+                                    move |a| a as f32 * inv,
+                                );
+                                std::mem::swap(floats, floats_next);
+                                domain = Domain::Floats;
+                            }
+                            QuantFinish::DequantRelu { inv } => {
+                                let inv = *inv;
+                                refill(floats_next, padded * nout);
+                                quant_dense_exec(
+                                    q,
+                                    codes,
+                                    floats_next,
+                                    padded,
+                                    tile,
+                                    tile_q,
+                                    move |a| (a as f32 * inv).max(0.0),
+                                );
+                                std::mem::swap(floats, floats_next);
+                                domain = Domain::Floats;
+                            }
+                            QuantFinish::Lut {
+                                lo_q,
+                                shift,
+                                codes: lut_codes,
+                                vals,
+                                encoded,
+                            } => {
+                                let (lo_q, shift) = (*lo_q, *shift);
+                                if *encoded {
+                                    let last = lut_codes.len().saturating_sub(1);
+                                    refill(codes_next, padded * nout);
+                                    quant_dense_exec(
+                                        q,
+                                        codes,
+                                        codes_next,
+                                        padded,
+                                        tile,
+                                        tile_q,
+                                        |a| lut_codes[lut_bucket(a, lo_q, shift, last)],
+                                    );
+                                    std::mem::swap(codes, codes_next);
+                                    domain = Domain::Codes;
+                                } else {
+                                    let last = vals.len().saturating_sub(1);
+                                    refill(floats_next, padded * nout);
+                                    quant_dense_exec(
+                                        q,
+                                        codes,
+                                        floats_next,
+                                        padded,
+                                        tile,
+                                        tile_q,
+                                        |a| vals[lut_bucket(a, lo_q, shift, last)],
+                                    );
+                                    std::mem::swap(floats, floats_next);
+                                    domain = Domain::Floats;
+                                }
+                            }
+                        }
+                        cur_book = encoder.as_ref().map(|e| e.slice(pool_f));
+                        width = nout;
+                        continue;
+                    }
                     let wcodes = model.codes_for(*weight_codes, wcodes_scratch);
                     let b = bias.slice(pool_f);
                     refill(floats_next, padded * nout);
@@ -433,16 +554,9 @@ impl BatchRunner {
                             let book = codebook.slice(pool_f);
                             load_keys(keys, book);
                             refill(codes_next, padded * out_w);
-                            for r in 0..padded {
-                                avg_pool_codes(
-                                    g,
-                                    book,
-                                    keys,
-                                    window,
-                                    &codes[r * in_vol..(r + 1) * in_vol],
-                                    &mut codes_next[r * out_w..(r + 1) * out_w],
-                                );
-                            }
+                            avg_pool_batch(
+                                g, book, keys, window, codes, codes_next, padded, verified,
+                            );
                             std::mem::swap(codes, codes_next);
                             cur_book = Some(book);
                         }
@@ -472,7 +586,17 @@ impl BatchRunner {
                     }
                     let buf = &mut skips[skip_depth];
                     buf.clear();
-                    buf.extend(codes[..padded * width].iter().map(|&c| book[c as usize]));
+                    // Same clamp specialization as the gather kernels:
+                    // identity on verified models, defensive otherwise.
+                    let src = &codes[..padded * width];
+                    let last = book.len().saturating_sub(1);
+                    if verified {
+                        buf.extend(src.iter().map(|&c| book[c as usize]));
+                    } else if book.len().is_power_of_two() {
+                        buf.extend(src.iter().map(|&c| book[c as usize & last]));
+                    } else {
+                        buf.extend(src.iter().map(|&c| book[(c as usize).min(last)]));
+                    }
                     skip_depth += 1;
                 }
                 Op::ResidualEnd { encoder } => {
@@ -544,10 +668,19 @@ struct Plan {
     /// Longest weight-code span of any neuron op (the packed-pool
     /// decode tile's high-water mark).
     max_wcodes: usize,
+    /// Widest quantized-input row of any integer Madd op.
+    max_tile_q: usize,
 }
 
 /// Walks the op program like `validate` does, collecting the scratch
 /// arena's high-water marks.
+///
+/// Quantized models reserve less: an analyzer-licensed dense op runs
+/// entirely on tiles materialized at load time, so it contributes no
+/// weight-decode, factored-matrix, activation-key or encode-book
+/// capacity — only its interleave tile. In particular `max_wcodes`
+/// (the packed-pool decode tile) skips licensed ops, so a fully
+/// licensed model's arena no longer grows with its code-section size.
 fn plan(model: &CompiledModel) -> Plan {
     let mut width = model.input_features;
     let mut p = Plan {
@@ -558,6 +691,7 @@ fn plan(model: &CompiledModel) -> Plan {
         max_wcount: 0,
         max_dense: 0,
         max_wcodes: 0,
+        max_tile_q: 0,
     };
     let mut depth = 0usize;
     fn span_len(enc: &Option<Span>) -> usize {
@@ -569,7 +703,12 @@ fn plan(model: &CompiledModel) -> Plan {
             _ => 0,
         }
     }
-    for op in &model.ops {
+    for (oi, op) in model.ops.iter().enumerate() {
+        let quant_op = model
+            .quant
+            .as_ref()
+            .and_then(|qs| qs.ops.get(oi))
+            .and_then(Option::as_ref);
         match op {
             Op::Dense {
                 inputs,
@@ -581,11 +720,17 @@ fn plan(model: &CompiledModel) -> Plan {
                 ..
             } => {
                 width = *outputs;
-                p.max_book = p.max_book.max(span_len(encoder));
-                p.max_act = p.max_act.max(act_len(act));
-                p.max_wcount = p.max_wcount.max(table.weight_count);
-                p.max_dense = p.max_dense.max(inputs.saturating_mul(*outputs));
-                p.max_wcodes = p.max_wcodes.max(weight_codes.len);
+                if let Some(q) = quant_op {
+                    if matches!(q.kind, QuantKind::Madd { .. }) {
+                        p.max_tile_q = p.max_tile_q.max(q.nin);
+                    }
+                } else {
+                    p.max_book = p.max_book.max(span_len(encoder));
+                    p.max_act = p.max_act.max(act_len(act));
+                    p.max_wcount = p.max_wcount.max(table.weight_count);
+                    p.max_dense = p.max_dense.max(inputs.saturating_mul(*outputs));
+                    p.max_wcodes = p.max_wcodes.max(weight_codes.len);
+                }
             }
             Op::Conv {
                 geom,
@@ -870,6 +1015,213 @@ fn dense_row(
     }
 }
 
+/// Runs one analyzer-licensed dense op over the whole padded batch on
+/// the integer path: quantized interleave, `i32` block accumulation,
+/// branch-free per-lane `finish` (dequantize or finish-LUT bucket).
+///
+/// `i32` addition is associative and exact, so the block and row
+/// variants produce identical accumulators and the batch path stays
+/// bit-for-bit identical to per-sample execution — the property the
+/// f32 kernels only get by fixing the summation order.
+fn quant_dense_exec<T: Copy + Default>(
+    q: &QuantOp,
+    codes: &[u16],
+    dst: &mut [T],
+    padded: usize,
+    tile: &mut Vec<u16>,
+    tile_q: &mut Vec<i16>,
+    finish: impl Fn(i32) -> T + Copy,
+) {
+    let (nin, nout) = (q.nin, q.nout);
+    let mut r0 = 0usize;
+    match &q.kind {
+        QuantKind::Madd { weights, xq } => {
+            // Every row — block or tail, any batch size — takes this
+            // exact path, so bit-identity across batch sizes is
+            // structural rather than argued.
+            for r in 0..padded {
+                quantize_row(&codes[r * nin..(r + 1) * nin], xq, tile_q);
+                madd_row(
+                    weights,
+                    &q.bias_q,
+                    tile_q,
+                    &mut dst[r * nout..(r + 1) * nout],
+                    finish,
+                );
+            }
+        }
+        QuantKind::Gather { rows, table_q } => {
+            while r0 + LANES <= padded {
+                interleave(&codes[r0 * nin..(r0 + LANES) * nin], nin, tile);
+                gather_i16_block(
+                    rows,
+                    table_q,
+                    &q.bias_q,
+                    tile,
+                    &mut dst[r0 * nout..(r0 + LANES) * nout],
+                    nout,
+                    finish,
+                );
+                r0 += LANES;
+            }
+            for r in r0..padded {
+                gather_i16_row(
+                    rows,
+                    table_q,
+                    &q.bias_q,
+                    &codes[r * nin..(r + 1) * nin],
+                    &mut dst[r * nout..(r + 1) * nout],
+                    finish,
+                );
+            }
+        }
+    }
+}
+
+/// Maps an integer accumulator to its finish-LUT bucket: offset from
+/// the domain floor, right-shift down to bucket granularity, clamp to
+/// the table. The subtraction runs in `i64` — the quant plan proves the
+/// *true* accumulator range lands inside the table, but the mapping
+/// must stay total for every `i32` bit pattern so the kernels carry no
+/// per-element branches (`max`/`min` lower to conditional moves).
+#[inline]
+fn lut_bucket(acc: i32, lo_q: i32, shift: u32, last: usize) -> usize {
+    (((i64::from(acc) - i64::from(lo_q)).max(0) >> shift) as usize).min(last)
+}
+
+/// Maps one row of input codes through the quantized input codebook
+/// into the row-major `i16` tile the integer Madd kernel streams. No
+/// transpose: the dot-product kernel reads the row contiguously.
+fn quantize_row(xrow: &[u16], xq: &[i16], tile_q: &mut Vec<i16>) {
+    tile_q.clear();
+    let last = xq.len() - 1;
+    tile_q.extend(xrow.iter().map(|&x| xq[(x as usize).min(last)]));
+}
+
+/// Eight-element `i16 × i16 → i32` dot step — the exact shape x86's
+/// `pmaddwd` (and the equivalent widening-multiply pairs elsewhere)
+/// accepts, which the autovectorizer reliably matches.
+#[inline]
+fn dot8(w: &[i16], x: &[i16]) -> i32 {
+    let mut acc = 0i32;
+    for k in 0..8 {
+        acc += i32::from(w[k]) * i32::from(x[k]);
+    }
+    acc
+}
+
+/// Integer Madd over one row: each output is a plain contiguous
+/// `i16` dot product, split into two independent accumulator chains so
+/// the vector multiply-adds pipeline instead of serialising on one
+/// accumulator's latency.
+///
+/// A single product cannot overflow `i32`, and the quant plan proved
+/// the sum of absolute products — over the *full* input code domain,
+/// rounding slack included — stays within the `2^30` accumulator
+/// budget, so every partial chain is exact in any association and all
+/// groupings produce the same bits (a wrong license would trip the
+/// debug overflow check).
+fn madd_row<T: Copy>(
+    weights: &[i16],
+    bias_q: &[i32],
+    xrow: &[i16],
+    dst: &mut [T],
+    finish: impl Fn(i32) -> T,
+) {
+    let nin = xrow.len();
+    for (o, d) in dst.iter_mut().enumerate() {
+        let w = &weights[o * nin..(o + 1) * nin];
+        let mut a0 = 0i32;
+        let mut a1 = 0i32;
+        let mut i = 0usize;
+        while i + 16 <= nin {
+            a0 += dot8(&w[i..i + 8], &xrow[i..i + 8]);
+            a1 += dot8(&w[i + 8..i + 16], &xrow[i + 8..i + 16]);
+            i += 16;
+        }
+        let mut acc = bias_q[o] + a0 + a1;
+        while i < nin {
+            acc += i32::from(w[i]) * i32::from(xrow[i]);
+            i += 1;
+        }
+        *d = finish(acc);
+    }
+}
+
+/// Integer table gather over one [`LANES`]-row block for unfactorable
+/// tables: `rows` holds each weight's precomputed base offset into the
+/// compacted `i16` table, so the inner loop is one add and one clamped
+/// load per product — the per-gather row-address arithmetic of the f32
+/// path is gone.
+fn gather_i16_block<T: Copy>(
+    rows: &[u32],
+    table_q: &[i16],
+    bias_q: &[i32],
+    tile: &[u16],
+    dst: &mut [T],
+    nout: usize,
+    finish: impl Fn(i32) -> T,
+) {
+    let nin = tile.len() / LANES;
+    let last = table_q.len().saturating_sub(1);
+    let mut o = 0usize;
+    while o + OBLOCK <= nout {
+        let r0 = &rows[o * nin..(o + 1) * nin];
+        let r1 = &rows[(o + 1) * nin..(o + 2) * nin];
+        let mut acc0 = [bias_q[o]; LANES];
+        let mut acc1 = [bias_q[o + 1]; LANES];
+        for ((xs, &ra), &rb) in tile.chunks_exact(LANES).zip(r0).zip(r1) {
+            let (ra, rb) = (ra as usize, rb as usize);
+            for l in 0..LANES {
+                let x = xs[l] as usize;
+                acc0[l] += i32::from(table_q[(ra + x).min(last)]);
+                acc1[l] += i32::from(table_q[(rb + x).min(last)]);
+            }
+        }
+        for l in 0..LANES {
+            dst[l * nout + o] = finish(acc0[l]);
+            dst[l * nout + o + 1] = finish(acc1[l]);
+        }
+        o += OBLOCK;
+    }
+    while o < nout {
+        let wrow = &rows[o * nin..(o + 1) * nin];
+        let mut acc = [bias_q[o]; LANES];
+        for (xs, &ra) in tile.chunks_exact(LANES).zip(wrow) {
+            let ra = ra as usize;
+            for (l, a) in acc.iter_mut().enumerate() {
+                *a += i32::from(table_q[(ra + xs[l] as usize).min(last)]);
+            }
+        }
+        for (l, &a) in acc.iter().enumerate() {
+            dst[l * nout + o] = finish(a);
+        }
+        o += 1;
+    }
+}
+
+/// Integer gather over a single row (`rows == 1` and block tails);
+/// bit-identical to [`gather_i16_block`] by `i32` exactness.
+fn gather_i16_row<T: Copy>(
+    rows: &[u32],
+    table_q: &[i16],
+    bias_q: &[i32],
+    xrow: &[u16],
+    dst: &mut [T],
+    finish: impl Fn(i32) -> T,
+) {
+    let nin = xrow.len();
+    let last = table_q.len().saturating_sub(1);
+    for (o, d) in dst.iter_mut().enumerate() {
+        let wrow = &rows[o * nin..(o + 1) * nin];
+        let mut acc = bias_q[o];
+        for (&r, &x) in wrow.iter().zip(xrow) {
+            acc += i32::from(table_q[(r as usize + x as usize).min(last)]);
+        }
+        *d = finish(acc);
+    }
+}
+
 /// Convolution over one [`LANES`]-row block, mirroring [`dense_block`]:
 /// per output pixel, the tap loop runs innermost over a register block
 /// of accumulators reading contiguous lane groups from the interleaved
@@ -953,6 +1305,10 @@ fn conv_channel_block(
 ) {
     let pixels = g.out_pixels();
     let (c, h, w) = (g.in_channels, g.in_height, g.in_width);
+    // The padding code is constant for the whole channel, so its clamp
+    // is hoisted out of the tap loops; each padding tap is then a
+    // single indexed load off its table row.
+    let zero_i = clamp(zero_code as usize);
     for oy in 0..g.out_height {
         for ox in 0..g.out_width {
             let mut acc = [bias; LANES];
@@ -974,7 +1330,7 @@ fn conv_channel_block(
                                 *a += trow[clamp(x)];
                             }
                         } else {
-                            let pad_v = trow[clamp(zero_code as usize)];
+                            let pad_v = trow[zero_i];
                             for a in acc.iter_mut() {
                                 *a += pad_v;
                             }
@@ -1122,25 +1478,90 @@ fn pool_into<T: Copy>(g: &Geom, src: &[T], dst: &mut [T], combine: impl Fn(T, T)
     }
 }
 
+/// Batched [`avg_pool_codes`] with the clamp chosen once per op —
+/// identity for statically verified models, mask for power-of-two
+/// codebooks, `min` otherwise — mirroring the dense path's
+/// verified-identity specialization (the clamp is an identity on all
+/// real data, so every variant is bit-identical).
+#[allow(clippy::too_many_arguments)]
+fn avg_pool_batch(
+    g: &Geom,
+    book: &[f32],
+    keys: &[i32],
+    window: f32,
+    codes: &[u16],
+    codes_next: &mut [u16],
+    padded: usize,
+    verified: bool,
+) {
+    #[allow(clippy::too_many_arguments)]
+    fn go(
+        g: &Geom,
+        book: &[f32],
+        keys: &[i32],
+        window: f32,
+        codes: &[u16],
+        codes_next: &mut [u16],
+        padded: usize,
+        clamp: impl Fn(usize) -> usize + Copy,
+    ) {
+        let in_vol = g.in_volume();
+        let out_w = g.in_channels * g.out_pixels();
+        for r in 0..padded {
+            avg_pool_codes(
+                g,
+                book,
+                keys,
+                window,
+                &codes[r * in_vol..(r + 1) * in_vol],
+                &mut codes_next[r * out_w..(r + 1) * out_w],
+                clamp,
+            );
+        }
+    }
+    let last = book.len().saturating_sub(1);
+    if verified {
+        go(g, book, keys, window, codes, codes_next, padded, |x| x);
+    } else if book.len().is_power_of_two() {
+        go(g, book, keys, window, codes, codes_next, padded, |x| {
+            x & last
+        });
+    } else {
+        go(g, book, keys, window, codes, codes_next, padded, |x| {
+            x.min(last)
+        });
+    }
+}
+
 /// Fused decode + average-pool + re-encode of one encoded sample:
 /// gathers codebook values straight out of the window (identical sum
 /// order to decoding the whole sample first), divides by the window
 /// size, and encodes each pooled value back through the codebook.
-fn avg_pool_codes(g: &Geom, book: &[f32], keys: &[i32], window: f32, src: &[u16], dst: &mut [u16]) {
+/// Generic over the in-bounds clamp like [`dense_block_gather`].
+fn avg_pool_codes(
+    g: &Geom,
+    book: &[f32],
+    keys: &[i32],
+    window: f32,
+    src: &[u16],
+    dst: &mut [u16],
+    clamp: impl Fn(usize) -> usize,
+) {
     let (c, h, w) = (g.in_channels, g.in_height, g.in_width);
     let mut i = 0usize;
     for ch in 0..c {
         let base = ch * h * w;
         for oy in 0..g.out_height {
             for ox in 0..g.out_width {
-                let mut acc = book[src[base + oy * g.stride * w + ox * g.stride] as usize];
+                let mut acc = book[clamp(src[base + oy * g.stride * w + ox * g.stride] as usize)];
                 for kh in 0..g.kernel_h {
                     for kw in 0..g.kernel_w {
                         if kh == 0 && kw == 0 {
                             continue;
                         }
-                        acc += book
-                            [src[base + (oy * g.stride + kh) * w + ox * g.stride + kw] as usize];
+                        acc += book[clamp(
+                            src[base + (oy * g.stride + kh) * w + ox * g.stride + kw] as usize,
+                        )];
                     }
                 }
                 dst[i] = nearest_sorted(book, keys, acc / window);

@@ -68,6 +68,7 @@ pub mod kernels;
 pub mod lint;
 pub mod metrics;
 mod pod;
+mod quant;
 
 pub use artifact::{CompiledModel, FORMAT_VERSION, MAGIC};
 pub use engine::{DrainReport, Engine, EngineConfig, Ticket};

@@ -66,6 +66,7 @@ mod tests {
             floats: FloatPool::Owned(vec![0.0, 1.0]),
             codes: CodePool::Wide(vec![]),
             verified: false,
+            quant: None,
         }
     }
 
@@ -93,6 +94,7 @@ mod tests {
             floats: FloatPool::Owned(vec![0.0; len]),
             codes: CodePool::Wide(vec![]),
             verified: false,
+            quant: None,
         };
         let report = lint_bytes(&model.to_bytes());
         let d = report

@@ -5,13 +5,23 @@
 //!
 //! * `cargo run --release --example lint_artifact -- model.rnna` —
 //!   lint an artifact file; exits nonzero when the report has errors.
+//! * `cargo run --release --example lint_artifact -- export model.rnna`
+//!   — compile the tiny-pipeline artifact and write it to the given
+//!   path, giving the other verbs (and CI) a real file to chew on.
+//! * `cargo run --release --example lint_artifact -- quant model.rnna`
+//!   — preview the integer-lowering plan: which table ops the analyzer
+//!   licenses for the i16/i32 kernel path and why the rest fall back.
+//!   Exit codes are stable for CI gating: `0` every table op licensed,
+//!   `1` the artifact cannot be loaded or analyzed, `2` a mix of
+//!   licensed and fallback ops, `3` nothing licensed.
 //! * `cargo run --release --example lint_artifact` (or `-- --demo`) —
 //!   self-contained demo: compiles a clean artifact from a tiny
 //!   pipeline, lints it, then corrupts a header field (repairing the
 //!   checksum so the damage reaches the analyzer rather than the
 //!   decoder) and lints the broken artifact.
 
-use rapidnn::serve::lint_bytes;
+use rapidnn::analyze::OpQuant;
+use rapidnn::serve::{lint_bytes, CompiledModel};
 use rapidnn::tensor::SeededRng;
 use rapidnn::{Pipeline, PipelineConfig};
 use std::process::ExitCode;
@@ -21,9 +31,27 @@ fn main() -> ExitCode {
     match arg.as_deref() {
         None | Some("--demo") => demo(),
         Some("--help" | "-h") => {
-            eprintln!("usage: lint_artifact [model.rnna | --demo]");
+            eprintln!(
+                "usage: lint_artifact [model.rnna | quant model.rnna | export model.rnna | --demo]"
+            );
+            eprintln!("  quant exit codes: 0 all table ops licensed, 1 load/analyze");
+            eprintln!("  error, 2 mixed licensed/fallback, 3 nothing licensed");
             ExitCode::SUCCESS
         }
+        Some("quant") => match std::env::args().nth(2) {
+            Some(path) => quant_file(&path),
+            None => {
+                eprintln!("usage: lint_artifact quant model.rnna");
+                ExitCode::FAILURE
+            }
+        },
+        Some("export") => match std::env::args().nth(2) {
+            Some(path) => export_file(&path),
+            None => {
+                eprintln!("usage: lint_artifact export model.rnna");
+                ExitCode::FAILURE
+            }
+        },
         Some(path) => lint_file(path),
     }
 }
@@ -43,6 +71,75 @@ fn lint_file(path: &str) -> ExitCode {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
+    }
+}
+
+/// Compiles the tiny-pipeline artifact and writes it to `path`.
+fn export_file(path: &str) -> ExitCode {
+    let mut rng = SeededRng::new(42);
+    let report = match Pipeline::new(PipelineConfig::tiny_for_tests()).run(&mut rng) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("error: pipeline failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let model = match report.compile() {
+        Ok(model) => model,
+        Err(e) => {
+            eprintln!("error: compile failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = std::fs::write(path, model.to_bytes()) {
+        eprintln!("error: cannot write {path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {path}");
+    ExitCode::SUCCESS
+}
+
+/// Previews the integer-lowering plan for one artifact file. The exit
+/// code is stable for CI gating: `0` every table op licensed, `1`
+/// load/analyze error, `2` mixed, `3` nothing licensed.
+fn quant_file(path: &str) -> ExitCode {
+    let bytes = match std::fs::read(path) {
+        Ok(bytes) => bytes,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Non-strict decode: the preview explains artifacts the verifier
+    // would refuse to serve, so decoding is the only hard gate.
+    let model = match CompiledModel::from_bytes(&bytes) {
+        Ok(model) => model,
+        Err(e) => {
+            eprintln!("error: cannot decode {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let plan = model.quant_plan_preview();
+    for (i, op) in plan.ops.iter().enumerate() {
+        match op {
+            OpQuant::NotApplicable => println!("op {i}: no tables (either path)"),
+            OpQuant::Licensed(l) => println!(
+                "op {i}: licensed ({:?}, acc_frac {}, |error| <= {:.3e})",
+                l.mode, l.acc_frac, l.error
+            ),
+            OpQuant::Fallback(reason) => println!("op {i}: f32 fallback — {reason}"),
+        }
+    }
+    println!(
+        "licensed {} / fallback {} — output error bound {:.3e}",
+        plan.licensed(),
+        plan.fallbacks(),
+        plan.output_error
+    );
+    match (plan.licensed(), plan.fallbacks()) {
+        (_, 0) => ExitCode::SUCCESS,
+        (0, _) => ExitCode::from(3),
+        (_, _) => ExitCode::from(2),
     }
 }
 
