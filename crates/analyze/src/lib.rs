@@ -59,12 +59,14 @@
 #![warn(missing_docs)]
 
 mod checker;
+mod cost;
 mod diag;
 mod interval;
 mod program;
 mod quant;
 
 pub use checker::{analyze, analyze_with};
+pub use cost::{op_costs, OpCost};
 pub use diag::{DiagCode, Diagnostic, Report, Severity};
 pub use interval::Interval;
 pub use program::{Act, Geom, Op, PackedSection, Program, Span, TableRef};

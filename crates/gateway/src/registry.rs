@@ -26,7 +26,7 @@
 //! `ShuttingDown` retries against the fresh slot.
 
 use crate::error::GatewayError;
-use rapidnn_serve::{CompiledModel, Engine, EngineConfig, ServeError, ServerStats};
+use rapidnn_serve::{CompiledModel, Engine, EngineConfig, PipelineStats, ServeError, ServerStats};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock, TryLockError};
@@ -77,6 +77,10 @@ struct ModelEntry {
     /// Serializes swaps per model; a contended lock is a 409, not a
     /// queue of competing artifact uploads.
     swapping: Mutex<()>,
+    /// Engine configuration this model's engines are built with: the
+    /// registry default, possibly with a per-model stage override from
+    /// `PUT`'s `x-stages`. Sticky across swaps until overridden again.
+    engine_config: Mutex<EngineConfig>,
 }
 
 /// Decrements the per-model in-flight gauge on every exit path.
@@ -102,6 +106,11 @@ pub struct ModelStats {
     pub output_features: usize,
     /// Requests currently in flight (admission gauge).
     pub inflight: u64,
+    /// Pipeline stages the current engine runs (`1` = unsharded).
+    pub stages: usize,
+    /// Per-stage op ranges, cost estimates, and queue occupancy when
+    /// the engine serves a sharded pipeline; `None` unsharded.
+    pub pipeline: Option<PipelineStats>,
     /// Kernel path the current generation serves on: `"f32"` (no
     /// integer lowering), `"int16"` (every table op licensed) or
     /// `"mixed"`.
@@ -124,6 +133,10 @@ pub struct SwapReport {
     pub generation: u64,
     /// Warmup inferences run through the new engine before cutover.
     pub warmed: usize,
+    /// Pipeline stages the now-serving engine actually runs (`1` =
+    /// unsharded; may be less than requested when the model has fewer
+    /// legal cut points).
+    pub stages: usize,
     /// `true` when the displaced engine finished all in-flight work and
     /// joined inside the drain deadline (`true` vacuously on create).
     /// `false` means it was detached mid-drain and finishes in the
@@ -179,6 +192,7 @@ impl Registry {
             inflight: AtomicU64::new(0),
             generation: AtomicU64::new(0),
             swapping: Mutex::new(()),
+            engine_config: Mutex::new(self.config.engine.clone()),
         });
         let mut models = self.write_models();
         if models.contains_key(name) {
@@ -202,6 +216,12 @@ impl Registry {
     /// analyzer-licensed integer kernels before warmup, so the swap
     /// only completes if the quantized model actually serves.
     ///
+    /// `stages` is the HTTP layer's `x-stages` opt-in: `Some(n)` builds
+    /// the new engine as an `n`-stage sharded pipeline (clamped to the
+    /// model's legal cut points; `0`/`1` turn sharding off) and the
+    /// setting sticks for later swaps of the same model; `None` keeps
+    /// the model's current configuration.
+    ///
     /// # Errors
     ///
     /// [`GatewayError::Rejected`] for bytes the verifier refuses,
@@ -215,6 +235,7 @@ impl Registry {
         name: &str,
         bytes: &[u8],
         quantize: bool,
+        stages: Option<usize>,
     ) -> Result<SwapReport, GatewayError> {
         validate_name(name)?;
         // Verification first — both paths need it, and a rejected
@@ -231,32 +252,39 @@ impl Registry {
         let existing = self.read_models().get(name).cloned();
         match existing {
             None => {
-                let warmed = {
-                    let engine = Engine::start(model, self.config.engine.clone());
+                let mut engine_config = self.config.engine.clone();
+                if let Some(stages) = stages {
+                    engine_config.stages = stages;
+                }
+                let (warmed, served_stages) = {
+                    let engine = Engine::start(model, engine_config.clone());
                     self.warm(&engine)?;
+                    let served_stages = engine.stage_count();
                     let entry = Arc::new(ModelEntry {
                         name: name.to_string(),
                         slot: RwLock::new(Arc::new(engine)),
                         inflight: AtomicU64::new(0),
                         generation: AtomicU64::new(0),
                         swapping: Mutex::new(()),
+                        engine_config: Mutex::new(engine_config),
                     });
                     let mut models = self.write_models();
                     if models.contains_key(name) {
                         return Err(GatewayError::SwapInProgress(name.to_string()));
                     }
                     models.insert(name.to_string(), entry);
-                    self.config.warmup_samples
+                    (self.config.warmup_samples, served_stages)
                 };
                 Ok(SwapReport {
                     created: true,
                     generation: 0,
                     warmed,
+                    stages: served_stages,
                     drained: true,
                     old_stats: None,
                 })
             }
-            Some(entry) => self.swap_entry(&entry, model),
+            Some(entry) => self.swap_entry(&entry, model, stages),
         }
     }
 
@@ -265,6 +293,7 @@ impl Registry {
         &self,
         entry: &ModelEntry,
         model: CompiledModel,
+        stages: Option<usize>,
     ) -> Result<SwapReport, GatewayError> {
         let _swap = match entry.swapping.try_lock() {
             Ok(guard) => guard,
@@ -289,24 +318,42 @@ impl Registry {
             });
         }
         // Build and warm the successor before touching traffic; any
-        // failure here is a rollback by construction.
-        let engine = Engine::start(model, self.config.engine.clone());
+        // failure here is a rollback by construction — including a
+        // requested stage-count change, which must not stick either.
+        let engine_config = {
+            let held = entry
+                .engine_config
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            let mut config = held.clone();
+            if let Some(stages) = stages {
+                config.stages = stages;
+            }
+            config
+        };
+        let engine = Engine::start(model, engine_config.clone());
         if let Err(e) = self.warm(&engine) {
             engine.drain(Duration::from_secs(1));
             return Err(e);
         }
+        let served_stages = engine.stage_count();
         // Atomic cutover: every submission after this write lock drops
         // lands on the new engine.
         let old = {
             let mut slot = write_slot(&entry.slot);
             std::mem::replace(&mut *slot, Arc::new(engine))
         };
+        *entry
+            .engine_config
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = engine_config;
         let generation = entry.generation.fetch_add(1, Ordering::AcqRel) + 1;
         let (old_stats, drained) = drain_displaced(old, self.config.drain_deadline);
         Ok(SwapReport {
             created: false,
             generation,
             warmed: self.config.warmup_samples,
+            stages: served_stages,
             drained,
             old_stats,
         })
@@ -392,6 +439,8 @@ impl Registry {
             input_features: slot.model().input_features(),
             output_features: slot.model().output_features(),
             inflight: entry.inflight.load(Ordering::Acquire),
+            stages: slot.stage_count(),
+            pipeline: slot.pipeline_stats(),
             kernel_path: slot.model().kernel_path(),
             licensed_ops: slot.model().licensed_ops(),
             server: slot.stats(),

@@ -300,7 +300,22 @@ fn put_model(registry: &Registry, name: &str, request: &Request) -> Response {
             )
         }
     };
-    match registry.put_artifact(name, &request.body, quantize) {
+    // `x-stages: N` serves this model as an N-stage sharded pipeline
+    // (0/1 = unsharded); the setting is per-model and sticks across
+    // later swaps. Garbage is a client error, not a silent default.
+    let stages = match request.header("x-stages") {
+        None => None,
+        Some(raw) => match raw.trim().parse::<usize>() {
+            Ok(n) => Some(n),
+            Err(_) => {
+                return Response::text(
+                    400,
+                    format!("x-stages must be a non-negative integer, got {raw:?}\n"),
+                )
+            }
+        },
+    };
+    match registry.put_artifact(name, &request.body, quantize, stages) {
         Ok(report) => swap_response(name, &report),
         Err(e) => error_response(&e),
     }
@@ -311,11 +326,12 @@ fn swap_response(name: &str, report: &SwapReport) -> Response {
     Response::json(
         status,
         format!(
-            "{{\"name\":{},\"created\":{},\"generation\":{},\"warmed\":{},\"drained\":{}}}",
+            "{{\"name\":{},\"created\":{},\"generation\":{},\"warmed\":{},\"stages\":{},\"drained\":{}}}",
             json_string(name),
             report.created,
             report.generation,
             report.warmed,
+            report.stages,
             report.drained,
         ),
     )
@@ -401,16 +417,41 @@ fn parse_csv_floats(body: &[u8]) -> Result<Vec<f32>, String> {
 /// integer nanoseconds, floats via shortest round-trip formatting.
 fn stats_json(stats: &ModelStats) -> String {
     let s = &stats.server;
+    let pipeline = stats.pipeline.as_ref().map_or_else(
+        || "null".to_string(),
+        |p| {
+            let stages: Vec<String> = p
+                .stages
+                .iter()
+                .map(|st| {
+                    format!(
+                        "{{\"ops_start\":{},\"ops_end\":{},\"cost_units\":{},\
+                         \"queue_depth\":{},\"queue_capacity\":{}}}",
+                        st.ops.start, st.ops.end, st.cost_units, st.queue_depth, st.queue_capacity,
+                    )
+                })
+                .collect();
+            format!("[{}]", stages.join(","))
+        },
+    );
+    let batch_buckets = s
+        .batch_size_buckets
+        .iter()
+        .map(u64::to_string)
+        .collect::<Vec<_>>()
+        .join(",");
     format!(
         concat!(
             "{{\"name\":{name},\"generation\":{generation},",
             "\"input_features\":{in_f},\"output_features\":{out_f},",
             "\"inflight\":{inflight},",
             "\"kernel_path\":{kernel_path},\"licensed_ops\":{licensed_ops},",
+            "\"stages\":{stages},\"pipeline\":{pipeline},",
             "\"server\":{{",
             "\"submitted\":{submitted},\"completed\":{completed},",
             "\"failed\":{failed},\"rejected\":{rejected},\"shed\":{shed},",
             "\"batches\":{batches},\"mean_batch_size\":{mbs},",
+            "\"batch_size_buckets\":[{batch_buckets}],",
             "\"queue_depth\":{qd},\"peak_queue_depth\":{pqd},",
             "\"mean_latency_ns\":{mean_ns},\"p50_latency_ns\":{p50},",
             "\"p90_latency_ns\":{p90},\"p99_latency_ns\":{p99},",
@@ -424,6 +465,8 @@ fn stats_json(stats: &ModelStats) -> String {
         inflight = stats.inflight,
         kernel_path = json_string(stats.kernel_path),
         licensed_ops = stats.licensed_ops,
+        stages = stats.stages,
+        pipeline = pipeline,
         submitted = s.submitted,
         completed = s.completed,
         failed = s.failed,
@@ -431,6 +474,7 @@ fn stats_json(stats: &ModelStats) -> String {
         shed = s.shed,
         batches = s.batches,
         mbs = s.mean_batch_size,
+        batch_buckets = batch_buckets,
         qd = s.queue_depth,
         pqd = s.peak_queue_depth,
         mean_ns = s.mean_latency.as_nanos(),

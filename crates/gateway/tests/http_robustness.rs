@@ -29,6 +29,7 @@ fn hardened_gateway() -> Gateway {
                 queue_capacity: 64,
                 max_batch_size: 4,
                 max_wait: Duration::from_micros(100),
+                ..EngineConfig::default()
             },
             warmup_samples: 2,
             ..RegistryConfig::default()

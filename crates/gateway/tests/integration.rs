@@ -29,6 +29,7 @@ fn test_config() -> GatewayConfig {
                 queue_capacity: 256,
                 max_batch_size: 8,
                 max_wait: Duration::from_micros(200),
+                ..EngineConfig::default()
             },
             max_inflight: 128,
             warmup_samples: 4,

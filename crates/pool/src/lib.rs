@@ -27,6 +27,7 @@
 
 #![warn(missing_docs)]
 
+pub mod spsc;
 pub mod workers;
 
 pub use workers::WorkerGroup;

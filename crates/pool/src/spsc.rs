@@ -1,0 +1,292 @@
+//! Bounded single-producer/single-consumer channel with backpressure.
+//!
+//! The pipeline-sharded serving engine connects adjacent stages with one
+//! of these channels: the producer stage blocks in [`Sender::send`] once
+//! `capacity` items are in flight (backpressure propagates upstream all
+//! the way to the engine's bounded request queue), the consumer stage
+//! blocks in [`Receiver::recv`] while the channel is empty, and both
+//! sides unblock promptly when the other half disconnects.
+//!
+//! Ordering is strict FIFO — the same in-order merge discipline the
+//! pool's `parallel_*` primitives use for partial results — so values
+//! handed stage-to-stage arrive exactly in send order and a pipelined
+//! consumer observes the same sequence a single-threaded loop would.
+//!
+//! A lock-free [`Gauge`] mirrors the channel's occupancy so an observer
+//! (engine stats, gateway JSON) can read per-stage queue depth without
+//! touching the channel lock.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Lock-free view of a channel's occupancy, updated on every send and
+/// receive. Cloning shares the underlying counter.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge {
+    len: Arc<AtomicUsize>,
+    capacity: usize,
+}
+
+impl Gauge {
+    /// Items currently buffered in the channel.
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Relaxed)
+    }
+
+    /// `true` when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The channel's bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+struct State<T> {
+    queue: VecDeque<T>,
+    /// The producer half was dropped; drain and stop.
+    producer_gone: bool,
+    /// The consumer half was dropped; sends can never complete.
+    consumer_gone: bool,
+}
+
+struct Shared<T> {
+    state: Mutex<State<T>>,
+    /// Signalled when an item arrives or the producer disconnects.
+    ready: Condvar,
+    /// Signalled when space frees up or the consumer disconnects.
+    space: Condvar,
+    len: Arc<AtomicUsize>,
+    capacity: usize,
+}
+
+fn lock<T>(shared: &Shared<T>) -> std::sync::MutexGuard<'_, State<T>> {
+    // Both halves only touch plain queue state under the lock; a panic
+    // elsewhere cannot leave it inconsistent.
+    shared
+        .state
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Producing half; dropping it disconnects the channel after the
+/// consumer drains what was already sent.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Consuming half; dropping it makes every later send fail fast.
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Creates a bounded FIFO channel holding at most `capacity` items
+/// (clamped to at least 1), plus a [`Gauge`] observing its occupancy.
+pub fn channel<T>(capacity: usize) -> (Sender<T>, Receiver<T>, Gauge) {
+    let capacity = capacity.max(1);
+    let len = Arc::new(AtomicUsize::new(0));
+    let shared = Arc::new(Shared {
+        state: Mutex::new(State {
+            queue: VecDeque::with_capacity(capacity),
+            producer_gone: false,
+            consumer_gone: false,
+        }),
+        ready: Condvar::new(),
+        space: Condvar::new(),
+        len: Arc::clone(&len),
+        capacity,
+    });
+    let gauge = Gauge { len, capacity };
+    (
+        Sender {
+            shared: Arc::clone(&shared),
+        },
+        Receiver { shared },
+        gauge,
+    )
+}
+
+impl<T> Sender<T> {
+    /// Enqueues `value`, blocking while the channel is full.
+    ///
+    /// Returns `Err` with the value when the consumer disconnected — the
+    /// caller gets its item back to dispose of (answer, reroute, drop).
+    pub fn send(&self, value: T) -> Result<(), T> {
+        let mut state = lock(&self.shared);
+        loop {
+            if state.consumer_gone {
+                return Err(value);
+            }
+            if state.queue.len() < self.shared.capacity {
+                state.queue.push_back(value);
+                self.shared.len.store(state.queue.len(), Ordering::Relaxed);
+                drop(state);
+                self.shared.ready.notify_one();
+                return Ok(());
+            }
+            state = self
+                .shared
+                .space
+                .wait(state)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut state = lock(&self.shared);
+        state.producer_gone = true;
+        drop(state);
+        self.shared.ready.notify_all();
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Dequeues the next item, blocking while the channel is empty.
+    ///
+    /// Returns `None` once the producer disconnected **and** everything
+    /// it sent has been drained — the draining-shutdown contract: no
+    /// accepted item is ever dropped by the channel itself.
+    pub fn recv(&self) -> Option<T> {
+        let mut state = lock(&self.shared);
+        loop {
+            if let Some(value) = state.queue.pop_front() {
+                self.shared.len.store(state.queue.len(), Ordering::Relaxed);
+                drop(state);
+                self.shared.space.notify_one();
+                return Some(value);
+            }
+            if state.producer_gone {
+                return None;
+            }
+            state = self
+                .shared
+                .ready
+                .wait(state)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut state = lock(&self.shared);
+        state.consumer_gone = true;
+        // Anything still buffered will never be consumed; report the
+        // channel as empty so gauges don't show phantom occupancy.
+        state.queue.clear();
+        self.shared.len.store(0, Ordering::Relaxed);
+        drop(state);
+        self.shared.space.notify_all();
+    }
+}
+
+impl<T> std::fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sender")
+            .field("capacity", &self.shared.capacity)
+            .finish()
+    }
+}
+
+impl<T> std::fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Receiver")
+            .field("capacity", &self.shared.capacity)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let (tx, rx, _) = channel(4);
+        let producer = std::thread::spawn(move || {
+            for i in 0..1000u32 {
+                tx.send(i).unwrap();
+            }
+        });
+        for i in 0..1000u32 {
+            assert_eq!(rx.recv(), Some(i));
+        }
+        assert_eq!(rx.recv(), None);
+        producer.join().unwrap();
+    }
+
+    #[test]
+    fn send_blocks_at_capacity_until_recv() {
+        let (tx, rx, gauge) = channel(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(gauge.len(), 2);
+        let blocked = std::thread::spawn(move || {
+            tx.send(3).unwrap();
+            3
+        });
+        // The producer is stuck until we make room.
+        std::thread::sleep(Duration::from_millis(10));
+        assert!(!blocked.is_finished());
+        assert_eq!(rx.recv(), Some(1));
+        assert_eq!(blocked.join().unwrap(), 3);
+        assert_eq!(rx.recv(), Some(2));
+        assert_eq!(rx.recv(), Some(3));
+    }
+
+    #[test]
+    fn drop_producer_drains_then_disconnects() {
+        let (tx, rx, _) = channel(8);
+        tx.send("a").unwrap();
+        tx.send("b").unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Some("a"));
+        assert_eq!(rx.recv(), Some("b"));
+        assert_eq!(rx.recv(), None);
+    }
+
+    #[test]
+    fn drop_consumer_fails_sends_and_returns_value() {
+        let (tx, rx, gauge) = channel(1);
+        tx.send(7).unwrap();
+        drop(rx);
+        assert_eq!(tx.send(8), Err(8));
+        assert_eq!(gauge.len(), 0);
+    }
+
+    #[test]
+    fn drop_consumer_wakes_blocked_sender() {
+        let (tx, rx, _) = channel(1);
+        tx.send(0).unwrap();
+        let blocked = std::thread::spawn(move || tx.send(1));
+        std::thread::sleep(Duration::from_millis(10));
+        drop(rx);
+        assert_eq!(blocked.join().unwrap(), Err(1));
+    }
+
+    #[test]
+    fn gauge_tracks_occupancy() {
+        let (tx, rx, gauge) = channel(4);
+        assert!(gauge.is_empty());
+        assert_eq!(gauge.capacity(), 4);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(gauge.len(), 2);
+        rx.recv();
+        assert_eq!(gauge.len(), 1);
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let (tx, rx, gauge) = channel(0);
+        assert_eq!(gauge.capacity(), 1);
+        tx.send(1).unwrap();
+        assert_eq!(rx.recv(), Some(1));
+    }
+}

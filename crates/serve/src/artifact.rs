@@ -617,6 +617,72 @@ impl CompiledModel {
         }
     }
 
+    /// Hand-built `layers`-deep dense chain (4 features wide throughout)
+    /// for exercising the pipeline shard planner without composing a
+    /// network: every interior layer re-encodes through the shared
+    /// 4-entry codebook, the last decodes. All layers alias the same
+    /// table/bias/weight spans, so the model stays a few dozen floats.
+    #[cfg(test)]
+    pub(crate) fn deep_for_tests(layers: usize) -> CompiledModel {
+        let book = Span { start: 0, len: 4 };
+        let table = TableRef {
+            offset: 4,
+            weight_count: 2,
+            input_count: 4,
+        };
+        let bias = Span { start: 12, len: 4 };
+        let weight_codes = Span { start: 0, len: 16 };
+        let mut floats = vec![-1.0f32, -0.25, 0.5, 1.0];
+        for &w in &[0.5f32, -1.0] {
+            floats.extend([-1.0f32, -0.25, 0.5, 1.0].iter().map(|x| w * x));
+        }
+        floats.extend([0.01, 0.02, 0.03, 0.04]);
+        let ops = (0..layers.max(1))
+            .map(|l| Op::Dense {
+                inputs: 4,
+                outputs: 4,
+                weight_codes,
+                bias,
+                table,
+                act: ActRef::Relu,
+                encoder: (l + 1 < layers.max(1)).then_some(book),
+            })
+            .collect();
+        CompiledModel {
+            input_features: 4,
+            output_features: 4,
+            virtual_encoder: book,
+            ops,
+            floats: FloatPool::Owned(floats),
+            codes: CodePool::Wide(vec![0, 1, 0, 1, 1, 0, 1, 0, 0, 0, 1, 1, 1, 1, 0, 0]),
+            verified: false,
+            quant: None,
+        }
+    }
+
+    /// [`deep_for_tests`](Self::deep_for_tests) with a deliberately
+    /// inconsistent pool op appended: the healthy dense prefix executes
+    /// fine, then the tail op panics out of bounds — for proving that a
+    /// panic in a *late* pipeline stage fails only the affected
+    /// requests while the stages keep serving.
+    #[cfg(test)]
+    pub(crate) fn deep_broken_tail_for_tests(layers: usize) -> CompiledModel {
+        let mut model = Self::deep_for_tests(layers);
+        model.ops.push(Op::MaxPool(Geom {
+            in_channels: 4,
+            in_height: 4,
+            in_width: 4,
+            kernel_h: 2,
+            kernel_w: 2,
+            stride: 1,
+            pad: 0,
+            out_height: 3,
+            out_width: 3,
+        }));
+        model.output_features = 4 * 9;
+        model
+    }
+
     /// Output feature width (class count).
     pub fn output_features(&self) -> usize {
         self.output_features

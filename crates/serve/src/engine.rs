@@ -25,8 +25,10 @@
 
 use crate::artifact::CompiledModel;
 use crate::error::{ArtifactError, Result, ServeError};
-use crate::kernels::BatchRunner;
+use crate::kernels::{pad_rows, BatchRunner, FlowData, FlowState};
 use crate::metrics::{Metrics, ServerStats};
+use crate::pipeline::{self, PipelineStats, StageStats};
+use rapidnn_pool::spsc;
 use std::collections::VecDeque;
 use std::panic::AssertUnwindSafe;
 use std::sync::mpsc;
@@ -34,17 +36,32 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+/// Micro-batches each inter-stage channel buffers: enough for adjacent
+/// stages to overlap, small enough that backpressure reaches the
+/// request queue after a couple of batches rather than after a pile.
+const STAGE_CHANNEL_CAP: usize = 2;
+
 /// Tuning knobs for [`Engine::start`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EngineConfig {
     /// Worker threads; `0` sizes the pool to available parallelism.
+    /// Ignored when [`stages`](Self::stages) shards the model — the
+    /// stage set is the worker set (one thread per stage).
     pub workers: usize,
     /// Maximum queued (accepted but unserved) requests.
     pub queue_capacity: usize,
-    /// Most requests a worker executes per batch.
+    /// Most *rows* a worker executes per batch. A single
+    /// [`Engine::submit_batch`] request carrying more rows than this
+    /// still runs (alone, in one kernel call).
     pub max_batch_size: usize,
     /// Longest a worker holds a partial batch waiting for more work.
     pub max_wait: Duration,
+    /// Pipeline stages to shard the op program into: `0` or `1` serves
+    /// unsharded; `2+` splits the model into that many contiguous op
+    /// ranges (clamped to the number of legal cut points), each with
+    /// its own worker and scratch arena, connected by bounded channels.
+    /// Outputs are bit-identical either way.
+    pub stages: usize,
 }
 
 impl Default for EngineConfig {
@@ -54,6 +71,7 @@ impl Default for EngineConfig {
             queue_capacity: 1024,
             max_batch_size: 32,
             max_wait: Duration::from_millis(1),
+            stages: 0,
         }
     }
 }
@@ -83,9 +101,12 @@ impl ReplySlice {
     }
 }
 
-/// One queued request.
+/// One queued request: `rows` feature rows flattened into `input`
+/// (`rows == 1` for plain [`Engine::submit`]; [`Engine::submit_batch`]
+/// carries a whole pre-batched block in one job).
 struct Job {
     input: Vec<f32>,
+    rows: usize,
     reply: mpsc::Sender<Result<ReplySlice>>,
     enqueued: Instant,
 }
@@ -147,6 +168,20 @@ pub struct DrainReport {
     /// answering the remaining accepted requests, and exit once the
     /// queue empties — the engine just stopped waiting for them.
     pub joined: bool,
+    /// Requests accepted but not yet answered when the drain returned:
+    /// `0` after a clean join, and the actual stranded-work count when
+    /// the deadline fired first. Before this field a deadline expiry
+    /// with a full queue was indistinguishable from a clean drain that
+    /// merely joined slowly.
+    pub in_flight_at_deadline: u64,
+}
+
+/// Per-stage plumbing a pipelined engine keeps for stats: the plan plus
+/// each inter-stage channel's occupancy gauge.
+struct PipelineShape {
+    ranges: Vec<std::ops::Range<usize>>,
+    costs: Vec<u64>,
+    gauges: Vec<rapidnn_pool::spsc::Gauge>,
 }
 
 /// A running inference server over one [`CompiledModel`].
@@ -156,12 +191,20 @@ pub struct Engine {
     model: Arc<CompiledModel>,
     workers: Vec<JoinHandle<()>>,
     queue_capacity: usize,
+    pipeline: Option<PipelineShape>,
 }
 
 impl Engine {
     /// Starts the worker pool and returns the serving handle.
+    ///
+    /// With [`EngineConfig::stages`] ≥ 2 (and a model with at least one
+    /// legal cut point) the op program is sharded into balanced
+    /// contiguous ranges: stage 0 gathers batches from the request
+    /// queue, every stage runs its range on its own thread and scratch
+    /// arena, and micro-batches stream stage-to-stage through bounded
+    /// FIFO channels — outputs stay bit-identical to the unsharded
+    /// engine at any stage count.
     pub fn start(model: CompiledModel, config: EngineConfig) -> Engine {
-        let worker_count = config.resolved_workers();
         let queue_capacity = config.queue_capacity.max(1);
         let max_batch = config.max_batch_size.max(1);
         let shared = Arc::new(Shared {
@@ -174,6 +217,62 @@ impl Engine {
         });
         let metrics = Arc::new(Metrics::new());
         let model = Arc::new(model);
+        if let Some(plan) = pipeline::plan_stages(&model, config.stages) {
+            let n = plan.ranges.len();
+            // Channel s connects stage s to stage s+1; each link buffers
+            // a couple of micro-batches so adjacent stages overlap
+            // without letting a slow stage hoard unbounded work —
+            // backpressure runs from the last stage back to the queue.
+            let mut txs = Vec::with_capacity(n - 1);
+            let mut rxs = Vec::with_capacity(n - 1);
+            let mut gauges = Vec::with_capacity(n - 1);
+            for _ in 1..n {
+                let (tx, rx, gauge) = spsc::channel::<Micro>(STAGE_CHANNEL_CAP);
+                txs.push(tx);
+                rxs.push(rx);
+                gauges.push(gauge);
+            }
+            let mut txs = txs.into_iter();
+            let mut rxs = rxs.into_iter();
+            let mut workers = Vec::with_capacity(n);
+            for (s, (range, entry)) in plan
+                .ranges
+                .iter()
+                .cloned()
+                .zip(plan.entries.iter().copied())
+                .enumerate()
+            {
+                let model = Arc::clone(&model);
+                let metrics = Arc::clone(&metrics);
+                if s == 0 {
+                    let shared = Arc::clone(&shared);
+                    let tx = txs.next().expect("a pipeline has at least two stages");
+                    let max_wait = config.max_wait;
+                    workers.push(std::thread::spawn(move || {
+                        stage0_loop(&shared, &metrics, &model, range, max_batch, max_wait, &tx);
+                    }));
+                } else {
+                    let rx = rxs.next().expect("every later stage has an input link");
+                    let tx = txs.next();
+                    workers.push(std::thread::spawn(move || {
+                        stage_loop(&metrics, &model, range, entry, &rx, tx.as_ref());
+                    }));
+                }
+            }
+            return Engine {
+                shared,
+                metrics,
+                model,
+                workers,
+                queue_capacity,
+                pipeline: Some(PipelineShape {
+                    ranges: plan.ranges,
+                    costs: plan.costs,
+                    gauges,
+                }),
+            };
+        }
+        let worker_count = config.resolved_workers();
         let workers = (0..worker_count)
             .map(|_| {
                 let shared = Arc::clone(&shared);
@@ -189,6 +288,7 @@ impl Engine {
             model,
             workers,
             queue_capacity,
+            pipeline: None,
         }
     }
 
@@ -238,7 +338,7 @@ impl Engine {
             self.metrics.record_rejected();
             return Err(ServeError::QueueFull);
         }
-        Ok(self.enqueue(&mut state, input))
+        Ok(self.enqueue(&mut state, input, 1))
     }
 
     /// Submits a request, blocking while the queue is full.
@@ -255,7 +355,58 @@ impl Engine {
                 return Err(ServeError::ShuttingDown);
             }
             if state.jobs.len() < self.queue_capacity {
-                return Ok(self.enqueue(&mut state, input));
+                return Ok(self.enqueue(&mut state, input, 1));
+            }
+            state = self
+                .shared
+                .space_ready
+                .wait(state)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Submits a pre-batched request — `rows × input_features` values
+    /// flattened row-major — without blocking. The whole block runs as
+    /// one unit and the ticket resolves to `rows × output_features`
+    /// values. Because the block is already flat, a worker serving it
+    /// alone skips the gather copy entirely and runs the kernel
+    /// straight off the request buffer.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidInput`] when `input` is empty or not a whole
+    /// number of feature rows; [`ServeError::QueueFull`] /
+    /// [`ServeError::ShuttingDown`] as for [`try_submit`](Self::try_submit).
+    pub fn try_submit_batch(&self, input: Vec<f32>) -> Result<Ticket> {
+        let rows = self.check_batch_width(&input)?;
+        let mut state = lock_state(&self.shared);
+        if state.shutting_down {
+            return Err(ServeError::ShuttingDown);
+        }
+        if state.jobs.len() >= self.queue_capacity {
+            self.metrics.record_rejected();
+            return Err(ServeError::QueueFull);
+        }
+        Ok(self.enqueue(&mut state, input, rows))
+    }
+
+    /// Blocking variant of [`try_submit_batch`](Self::try_submit_batch):
+    /// waits for queue space instead of returning
+    /// [`ServeError::QueueFull`].
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidInput`] for a shape mismatch,
+    /// [`ServeError::ShuttingDown`] after shutdown began.
+    pub fn submit_batch(&self, input: Vec<f32>) -> Result<Ticket> {
+        let rows = self.check_batch_width(&input)?;
+        let mut state = lock_state(&self.shared);
+        loop {
+            if state.shutting_down {
+                return Err(ServeError::ShuttingDown);
+            }
+            if state.jobs.len() < self.queue_capacity {
+                return Ok(self.enqueue(&mut state, input, rows));
             }
             state = self
                 .shared
@@ -276,10 +427,22 @@ impl Engine {
         Ok(())
     }
 
-    fn enqueue(&self, state: &mut QueueState, input: Vec<f32>) -> Ticket {
+    fn check_batch_width(&self, input: &[f32]) -> Result<usize> {
+        let features = self.model.input_features();
+        if input.is_empty() || !input.len().is_multiple_of(features) {
+            return Err(ServeError::InvalidInput(format!(
+                "batch of {} values is not a non-empty whole number of {features}-feature rows",
+                input.len()
+            )));
+        }
+        Ok(input.len() / features)
+    }
+
+    fn enqueue(&self, state: &mut QueueState, input: Vec<f32>, rows: usize) -> Ticket {
         let (tx, rx) = mpsc::channel();
         state.jobs.push_back(Job {
             input,
+            rows,
             reply: tx,
             enqueued: Instant::now(),
         });
@@ -329,21 +492,62 @@ impl Engine {
         loop {
             workers.retain(|w| !w.is_finished());
             if workers.is_empty() {
-                return DrainReport {
-                    stats: self.metrics.snapshot(),
-                    joined: true,
-                };
+                return Self::drain_report(&self.metrics, true);
             }
             if Instant::now() >= end {
                 // Dropping the handles detaches the stragglers; they own
                 // Arcs to everything they touch, so this is safe.
-                return DrainReport {
-                    stats: self.metrics.snapshot(),
-                    joined: false,
-                };
+                return Self::drain_report(&self.metrics, false);
             }
             std::thread::sleep(Duration::from_micros(200));
         }
+    }
+
+    fn drain_report(metrics: &Metrics, joined: bool) -> DrainReport {
+        let stats = metrics.snapshot();
+        // Accepted minus answered (either way) is exactly the work the
+        // detached workers still hold; counters only ever grow, so a
+        // torn read can only momentarily overstate it — saturate.
+        let in_flight_at_deadline = stats
+            .submitted
+            .saturating_sub(stats.completed)
+            .saturating_sub(stats.failed);
+        DrainReport {
+            stats,
+            joined,
+            in_flight_at_deadline,
+        }
+    }
+
+    /// Stage topology and queue occupancy when this engine serves a
+    /// sharded pipeline; `None` for the classic worker pool.
+    pub fn pipeline_stats(&self) -> Option<PipelineStats> {
+        let shape = self.pipeline.as_ref()?;
+        let stages = shape
+            .ranges
+            .iter()
+            .enumerate()
+            .map(|(s, range)| {
+                let (queue_depth, queue_capacity) = if s == 0 {
+                    (lock_state(&self.shared).jobs.len(), self.queue_capacity)
+                } else {
+                    let gauge = &shape.gauges[s - 1];
+                    (gauge.len(), gauge.capacity())
+                };
+                StageStats {
+                    ops: range.clone(),
+                    cost_units: shape.costs[s],
+                    queue_depth,
+                    queue_capacity,
+                }
+            })
+            .collect();
+        Some(PipelineStats { stages })
+    }
+
+    /// Pipeline stages this engine runs (`1` when serving unsharded).
+    pub fn stage_count(&self) -> usize {
+        self.pipeline.as_ref().map_or(1, |p| p.ranges.len())
     }
 
     fn begin_shutdown(&self) {
@@ -386,6 +590,120 @@ fn lock_state(shared: &Shared) -> std::sync::MutexGuard<'_, QueueState> {
         .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
+/// Gathers a dynamic batch from the request queue into `batch`,
+/// row-aware: jobs join until their summed rows would exceed
+/// `max_rows` (a single job bigger than `max_rows` still runs, alone).
+/// The straggler wait runs from the first pop and ends at the earliest
+/// of: batch full, shutdown, or `max_wait` elapsed — a partial batch is
+/// never held past the deadline.
+///
+/// Returns `false` only when the engine is shutting down and the queue
+/// has drained (the caller should exit); on `true` the batch is
+/// non-empty.
+fn gather_batch(
+    shared: &Shared,
+    metrics: &Metrics,
+    batch: &mut Vec<Job>,
+    max_rows: usize,
+    max_wait: Duration,
+) -> bool {
+    batch.clear();
+    let mut rows = 0usize;
+    let mut state = lock_state(shared);
+    // Sleep until there is work; exit only once the queue has drained
+    // after shutdown.
+    loop {
+        if !state.jobs.is_empty() {
+            break;
+        }
+        if state.shutting_down {
+            return false;
+        }
+        state = shared
+            .work_ready
+            .wait(state)
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+    }
+    let deadline = Instant::now() + max_wait;
+    loop {
+        // `full` means the *next* queued job no longer fits by rows —
+        // stop waiting for stragglers, there is no room for them.
+        let mut full = false;
+        while let Some(front) = state.jobs.front() {
+            if !batch.is_empty() && rows + front.rows > max_rows {
+                full = true;
+                break;
+            }
+            let job = state
+                .jobs
+                .pop_front()
+                .expect("front existed under the lock");
+            rows += job.rows;
+            batch.push(job);
+        }
+        if full || rows >= max_rows || state.shutting_down {
+            break;
+        }
+        let now = Instant::now();
+        if now >= deadline {
+            break;
+        }
+        let (next, timeout) = shared
+            .work_ready
+            .wait_timeout(state, deadline - now)
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        state = next;
+        if timeout.timed_out() && state.jobs.is_empty() {
+            break;
+        }
+    }
+    metrics.set_queue_depth(state.jobs.len());
+    drop(state);
+    // Queue space was freed by the pops above; wake blocked submitters
+    // only now that there is actually room.
+    shared.space_ready.notify_all();
+    true
+}
+
+/// The batch's flat inputs: a lone pre-batched job is already flat, so
+/// serve the kernel straight off its buffer and skip the gather copy.
+fn flatten<'a>(batch: &'a [Job], flat: &'a mut Vec<f32>) -> &'a [f32] {
+    if let [only] = batch {
+        return &only.input;
+    }
+    flat.clear();
+    for job in batch {
+        flat.extend_from_slice(&job.input);
+    }
+    flat
+}
+
+/// Answers every job in `batch` out of one shared output allocation;
+/// each requester copies its rows out on its own thread when it
+/// redeems the ticket.
+fn answer_ok(metrics: &Metrics, batch: &[Job], data: &Arc<[f32]>, width: usize) {
+    let mut start = 0;
+    for job in batch {
+        metrics.record_completion(job.enqueued.elapsed(), true);
+        let len = job.rows * width;
+        // The requester may have dropped its ticket; fine.
+        let _ = job.reply.send(Ok(ReplySlice {
+            data: Arc::clone(data),
+            start,
+            len,
+        }));
+        start += len;
+    }
+}
+
+/// Fails every job in `batch` with (a replica of) `err`.
+fn answer_err(metrics: &Metrics, batch: &[Job], err: &ServeError) {
+    for job in batch {
+        metrics.record_completion(job.enqueued.elapsed(), false);
+        let _ = job.reply.send(Err(replicate(err)));
+    }
+}
+
 fn worker_loop(
     shared: Arc<Shared>,
     metrics: Arc<Metrics>,
@@ -400,100 +718,162 @@ fn worker_loop(
     let mut flat: Vec<f32> = Vec::with_capacity(max_batch * model.input_features());
     let mut outputs: Vec<f32> = Vec::with_capacity(max_batch * model.output_features());
     let mut batch: Vec<Job> = Vec::with_capacity(max_batch);
-    loop {
-        batch.clear();
-        {
-            let mut state = lock_state(&shared);
-            // Sleep until there is work; exit only once the queue has
-            // drained after shutdown.
-            loop {
-                if !state.jobs.is_empty() {
-                    break;
-                }
-                if state.shutting_down {
-                    return;
-                }
-                state = shared
-                    .work_ready
-                    .wait(state)
-                    .unwrap_or_else(std::sync::PoisonError::into_inner);
-            }
-            // Gather a dynamic batch. The straggler wait runs from the
-            // first drain and ends at the earliest of: batch full,
-            // shutdown, or `max_wait` elapsed — whatever raced in by
-            // the deadline still joins the batch, but a partial batch
-            // is never held past it. Each pass moves everything the
-            // queue holds in one bulk drain rather than popping (and
-            // bounds-checking) per request.
-            let deadline = Instant::now() + max_wait;
-            loop {
-                let take = (max_batch - batch.len()).min(state.jobs.len());
-                batch.extend(state.jobs.drain(..take));
-                if batch.len() >= max_batch || state.shutting_down {
-                    break;
-                }
-                let now = Instant::now();
-                if now >= deadline {
-                    break;
-                }
-                let (next, timeout) = shared
-                    .work_ready
-                    .wait_timeout(state, deadline - now)
-                    .unwrap_or_else(std::sync::PoisonError::into_inner);
-                state = next;
-                if timeout.timed_out() && state.jobs.is_empty() {
-                    break;
-                }
-            }
-            metrics.set_queue_depth(state.jobs.len());
-        }
-        if batch.is_empty() {
-            continue;
-        }
-        // Queue space was freed by the pops above; wake blocked
-        // submitters only now that there is actually room.
-        shared.space_ready.notify_all();
-        metrics.record_batch(batch.len());
-        flat.clear();
-        for job in &batch {
-            flat.extend_from_slice(&job.input);
-        }
+    let width = model.output_features();
+    while gather_batch(&shared, &metrics, &mut batch, max_batch, max_wait) {
+        let rows: usize = batch.iter().map(|job| job.rows).sum();
+        metrics.record_batch(rows);
+        let inputs = flatten(&batch, &mut flat);
         // Contain panics so a bad batch cannot kill the worker: a dead
         // worker would shrink the pool silently, and with no workers
         // left queued tickets would wait forever. The runner resets its
         // scratch on every call, so reuse after a panic is safe.
-        let run =
-            std::panic::catch_unwind(AssertUnwindSafe(|| runner.run(&model, &flat, &mut outputs)));
-        let width = model.output_features();
+        let run = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            runner.run(&model, inputs, &mut outputs)
+        }));
         match run {
             Ok(Ok(_)) => {
-                // One shared allocation carries the whole batch's
-                // outputs; each requester copies its row out on its own
-                // thread when it redeems the ticket.
-                let data: Arc<[f32]> = Arc::from(&outputs[..batch.len() * width]);
-                for (i, job) in batch.iter().enumerate() {
-                    metrics.record_completion(job.enqueued.elapsed(), true);
-                    // The requester may have dropped its ticket; fine.
-                    let _ = job.reply.send(Ok(ReplySlice {
-                        data: Arc::clone(&data),
-                        start: i * width,
-                        len: width,
-                    }));
+                let data: Arc<[f32]> = Arc::from(&outputs[..rows * width]);
+                answer_ok(&metrics, &batch, &data, width);
+            }
+            Ok(Err(err)) => answer_err(&metrics, &batch, &err),
+            Err(payload) => answer_err(
+                &metrics,
+                &batch,
+                &ServeError::WorkerPanic(panic_message(&payload)),
+            ),
+        }
+    }
+}
+
+/// One micro-batch in flight between pipeline stages: the jobs it will
+/// answer, its row counts, and the flow buffer being transformed. The
+/// buffer *moves* stage to stage — rows are never copied or reordered,
+/// which is half of the bit-identity argument (the other half is that
+/// channels are FIFO and stages run disjoint op ranges in order).
+struct Micro {
+    jobs: Vec<Job>,
+    rows: usize,
+    padded: usize,
+    data: FlowData,
+}
+
+/// First pipeline stage: owns the request queue end — gathers dynamic
+/// batches exactly like a classic worker, encodes them, runs its op
+/// range, and streams the resulting flow downstream.
+fn stage0_loop(
+    shared: &Shared,
+    metrics: &Metrics,
+    model: &CompiledModel,
+    range: std::ops::Range<usize>,
+    max_batch: usize,
+    max_wait: Duration,
+    tx: &spsc::Sender<Micro>,
+) {
+    let mut runner = BatchRunner::for_model(model, max_batch);
+    let mut flat: Vec<f32> = Vec::with_capacity(max_batch * model.input_features());
+    let mut batch: Vec<Job> = Vec::with_capacity(max_batch);
+    while gather_batch(shared, metrics, &mut batch, max_batch, max_wait) {
+        let rows: usize = batch.iter().map(|job| job.rows).sum();
+        metrics.record_batch(rows);
+        let padded = pad_rows(rows);
+        let inputs = flatten(&batch, &mut flat);
+        let run = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let entry = runner.encode_batch(model, inputs, padded);
+            let data = runner.take_flow(entry.domain);
+            runner.run_segment(model, range.clone(), entry, data, padded)
+        }));
+        match run {
+            Ok(Ok((_, data))) => {
+                let micro = Micro {
+                    jobs: std::mem::take(&mut batch),
+                    rows,
+                    padded,
+                    data,
+                };
+                // Blocks while downstream is busy — this is the
+                // backpressure path. `Err` means the next stage is gone,
+                // which only happens when the engine is tearing down.
+                if let Err(micro) = tx.send(micro) {
+                    answer_err(metrics, &micro.jobs, &ServeError::ShuttingDown);
+                    return;
                 }
             }
-            Ok(Err(err)) => {
-                for job in &batch {
-                    metrics.record_completion(job.enqueued.elapsed(), false);
-                    let _ = job.reply.send(Err(replicate(&err)));
+            Ok(Err(err)) => answer_err(metrics, &batch, &err),
+            Err(payload) => answer_err(
+                metrics,
+                &batch,
+                &ServeError::WorkerPanic(panic_message(&payload)),
+            ),
+        }
+    }
+}
+
+/// A non-first pipeline stage: receives micro-batches in FIFO order,
+/// runs its op range over the moved-in flow buffer, and either forwards
+/// downstream or (last stage) answers every job. Exits when the
+/// upstream sender drops *and* the channel has drained — shutdown is a
+/// cascade from stage 0.
+///
+/// A panic while executing one micro-batch fails exactly that batch's
+/// jobs as [`ServeError::WorkerPanic`]; the stage keeps serving — the
+/// same containment contract as the classic pool.
+fn stage_loop(
+    metrics: &Metrics,
+    model: &CompiledModel,
+    range: std::ops::Range<usize>,
+    entry: FlowState,
+    rx: &spsc::Receiver<Micro>,
+    tx: Option<&spsc::Sender<Micro>>,
+) {
+    // The arena resizes to the first micro-batch; sizing it up front
+    // would need max_batch plumbing for no steady-state difference.
+    let mut runner = BatchRunner::for_model(model, 1);
+    while let Some(micro) = rx.recv() {
+        let Micro {
+            jobs,
+            rows,
+            padded,
+            data,
+        } = micro;
+        let run = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            runner.run_segment(model, range.clone(), entry, data, padded)
+        }));
+        match run {
+            Ok(Ok((exit, data))) => {
+                if let Some(tx) = tx {
+                    if tx
+                        .send(Micro {
+                            jobs,
+                            rows,
+                            padded,
+                            data,
+                        })
+                        .is_err()
+                    {
+                        return;
+                    }
+                } else {
+                    match data {
+                        FlowData::Floats(values) => {
+                            let data: Arc<[f32]> = Arc::from(&values[..rows * exit.width]);
+                            answer_ok(metrics, &jobs, &data, exit.width);
+                        }
+                        FlowData::Codes(_) => answer_err(
+                            metrics,
+                            &jobs,
+                            &ServeError::Artifact(ArtifactError::Malformed(
+                                "program ended in encoded domain".into(),
+                            )),
+                        ),
+                    }
                 }
             }
-            Err(payload) => {
-                let msg = panic_message(&payload);
-                for job in &batch {
-                    metrics.record_completion(job.enqueued.elapsed(), false);
-                    let _ = job.reply.send(Err(ServeError::WorkerPanic(msg.clone())));
-                }
-            }
+            Ok(Err(err)) => answer_err(metrics, &jobs, &err),
+            Err(payload) => answer_err(
+                metrics,
+                &jobs,
+                &ServeError::WorkerPanic(panic_message(&payload)),
+            ),
         }
     }
 }
@@ -544,6 +924,47 @@ mod tests {
         }
         let stats = engine.shutdown();
         assert_eq!(stats.failed, 2);
+        assert_eq!(stats.completed, 0);
+    }
+
+    /// A panic in a *late* pipeline stage (mid-stream, after stage 0
+    /// already encoded and forwarded the micro-batch) must fail exactly
+    /// the affected requests with a typed [`ServeError::WorkerPanic`]
+    /// while every stage keeps serving later traffic, and shutdown must
+    /// still drain cleanly.
+    #[test]
+    fn late_stage_panic_fails_typed_while_pipeline_keeps_serving() {
+        let model = CompiledModel::deep_broken_tail_for_tests(4);
+        // One op per stage: the healthy dense prefix spreads over the
+        // early stages and the broken pool op lands alone in the last.
+        let stages = model.op_count();
+        let engine = Engine::start(
+            model,
+            EngineConfig {
+                stages,
+                max_batch_size: 2,
+                max_wait: Duration::ZERO,
+                ..EngineConfig::default()
+            },
+        );
+        assert_eq!(engine.stage_count(), stages);
+        assert!(engine.pipeline_stats().is_some());
+        for round in 0..3 {
+            let tickets: Vec<Ticket> = (0..4)
+                .map(|_| engine.try_submit(vec![0.1, 0.2, 0.3, 0.4]).unwrap())
+                .collect();
+            for ticket in tickets {
+                assert!(
+                    matches!(ticket.wait(), Err(ServeError::WorkerPanic(_))),
+                    "round {round}: expected a typed panic failure"
+                );
+            }
+        }
+        // The pre-batched path crosses the same broken stage.
+        let ticket = engine.try_submit_batch(vec![0.0; 8]).unwrap();
+        assert!(matches!(ticket.wait(), Err(ServeError::WorkerPanic(_))));
+        let stats = engine.shutdown();
+        assert_eq!(stats.failed, 13);
         assert_eq!(stats.completed, 0);
     }
 }

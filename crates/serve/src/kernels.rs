@@ -51,11 +51,42 @@ use rapidnn_core::nearest::{load_keys, nearest_index, nearest_sorted, nearest_so
 
 /// Domain of the data currently flowing between ops.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Domain {
+pub(crate) enum Domain {
     /// Encoded `u16` cluster codes.
     Codes,
     /// Decoded `f32` values.
     Floats,
+}
+
+/// Where the flow stands between two ops: which domain it is in, how
+/// wide a row is, and (in the encoded domain) which codebook the codes
+/// index into. A pipeline stage boundary is exactly one of these — the
+/// shard planner derives the entry state of every legal cut point
+/// statically, and [`BatchRunner::exec_ops`] resumes execution from it
+/// bit-identically to an uncut run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct FlowState {
+    /// Current flow domain.
+    pub(crate) domain: Domain,
+    /// Values per row.
+    pub(crate) width: usize,
+    /// Codebook the current codes index into (`None` when decoded or
+    /// unknown); lets a downstream dense op take the factored fast path.
+    pub(crate) book: Option<Span>,
+}
+
+/// Owned batch buffer handed between pipeline stages. Buffers are
+/// swapped in and out of the runner's arena, so a handoff moves one
+/// allocation downstream instead of copying `rows × width` values; in
+/// steady state each stage keeps recycling the buffers that arrive from
+/// upstream and only stage 0 allocates (one codes buffer per
+/// micro-batch).
+#[derive(Debug)]
+pub(crate) enum FlowData {
+    /// Encoded flow (`padded × width` codes, row-major).
+    Codes(Vec<u16>),
+    /// Decoded flow (`padded × width` floats, row-major).
+    Floats(Vec<f32>),
 }
 
 /// Rows per register-resident accumulator block in the dense/conv
@@ -229,7 +260,106 @@ impl BatchRunner {
         if rows == 0 {
             return Ok(0);
         }
+        let padded = pad_rows(rows);
+        let entry = self.encode_batch(model, inputs, padded);
+        let exit = self.exec_ops(model, 0..model.ops.len(), entry, padded)?;
+        match exit.domain {
+            Domain::Floats => {
+                out.extend_from_slice(&self.floats[..rows * exit.width]);
+                Ok(rows)
+            }
+            Domain::Codes => Err(ServeError::Artifact(ArtifactError::Malformed(
+                "program ended in encoded domain".into(),
+            ))),
+        }
+    }
 
+    /// Encodes a `padded`-row batch through the model's virtual input
+    /// codebook into the arena's `codes` buffer and returns the flow
+    /// state the op program starts from. `inputs` may hold fewer than
+    /// `padded` rows; pad rows keep code 0 — valid for every non-empty
+    /// codebook — and their results are computed but never copied out.
+    pub(crate) fn encode_batch(
+        &mut self,
+        model: &CompiledModel,
+        inputs: &[f32],
+        padded: usize,
+    ) -> FlowState {
+        let features = model.input_features;
+        let pool_f = model.float_pool();
+        let book = model.virtual_encoder.slice(pool_f);
+        load_keys(&mut self.keys, book);
+        refill(&mut self.codes, padded * features);
+        nearest_sorted_block(book, &self.keys, inputs, &mut self.codes);
+        FlowState {
+            domain: Domain::Codes,
+            width: features,
+            book: Some(model.virtual_encoder),
+        }
+    }
+
+    /// Takes the current flow out of the arena as an owned buffer for a
+    /// cross-stage handoff (the arena keeps its other scratch; the next
+    /// [`run_segment`](Self::run_segment) swaps an incoming buffer back
+    /// in).
+    pub(crate) fn take_flow(&mut self, domain: Domain) -> FlowData {
+        match domain {
+            Domain::Codes => FlowData::Codes(std::mem::take(&mut self.codes)),
+            Domain::Floats => FlowData::Floats(std::mem::take(&mut self.floats)),
+        }
+    }
+
+    /// Runs the contiguous op range of one pipeline stage: installs the
+    /// handed-off `data` as the current flow, executes `range` from
+    /// `entry`, and extracts the resulting flow for the next stage.
+    ///
+    /// The planner guarantees `entry` matches the upstream stage's exit
+    /// state and that `range` never cuts a residual region; under those
+    /// invariants the concatenation of all stages' `run_segment` calls
+    /// performs exactly the op sequence (and arithmetic order) of an
+    /// uncut [`run`](Self::run), so outputs are bit-identical.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Artifact`] when `data`'s domain contradicts
+    /// `entry` (a planner/handoff bug, never input-dependent) or the
+    /// range itself is malformed.
+    pub(crate) fn run_segment(
+        &mut self,
+        model: &CompiledModel,
+        range: std::ops::Range<usize>,
+        entry: FlowState,
+        data: FlowData,
+        padded: usize,
+    ) -> Result<(FlowState, FlowData)> {
+        match (entry.domain, data) {
+            (Domain::Codes, FlowData::Codes(v)) => self.codes = v,
+            (Domain::Floats, FlowData::Floats(v)) => self.floats = v,
+            _ => {
+                return Err(ServeError::Artifact(ArtifactError::Malformed(
+                    "stage handoff domain mismatch".into(),
+                )))
+            }
+        }
+        let exit = self.exec_ops(model, range, entry, padded)?;
+        let out = self.take_flow(exit.domain);
+        Ok((exit, out))
+    }
+
+    /// Executes the ops in `range` (global op indices) over the current
+    /// arena flow, starting from `entry`. This is the op loop shared by
+    /// the whole-model [`run`](Self::run) (`0..ops.len()`) and the
+    /// pipeline stages (one contiguous sub-range each).
+    ///
+    /// Quantization state is looked up by *global* op index, so a stage
+    /// executes exactly the kernels the unsharded run would.
+    fn exec_ops(
+        &mut self,
+        model: &CompiledModel,
+        range: std::ops::Range<usize>,
+        entry: FlowState,
+        padded: usize,
+    ) -> Result<FlowState> {
         let BatchRunner {
             codes,
             codes_next,
@@ -250,34 +380,19 @@ impl BatchRunner {
         // proven every gather index in bounds, so the block kernels run
         // with an identity clamp instead of the defensive `min`/mask.
         let verified = model.verified;
+        // Residual nesting is stage-local: the planner only cuts at
+        // depth 0, so every range starts and ends outside all regions.
         let mut skip_depth = 0usize;
 
-        // Pad the batch to a whole number of LANES-row blocks so the
-        // final partial block of a large batch runs through the block
-        // kernels instead of falling back to the serial row path. Pad
-        // rows carry code 0 — valid for every (non-empty) codebook —
-        // and their results are computed but never copied out. Small
-        // batches stay unpadded: below a block the serial path is
-        // cheaper than a padded block.
-        let padded = if rows >= LANES {
-            rows.next_multiple_of(LANES)
-        } else {
-            rows
-        };
-
-        // Encode the whole batch through the virtual input codebook.
-        let book = model.virtual_encoder.slice(pool_f);
-        load_keys(keys, book);
-        refill(codes, padded * features);
-        nearest_sorted_block(book, keys, inputs, codes);
-        let mut domain = Domain::Codes;
-        let mut width = features;
+        let mut domain = entry.domain;
+        let mut width = entry.width;
         // The codebook the current codes index into, tracked so dense
         // ops can try the factored multiply path (see [`factor_table`]).
         // `None` whenever the flow is decoded or the book is unknown.
-        let mut cur_book: Option<&[f32]> = Some(book);
+        let mut cur_book: Option<Span> = entry.book;
 
-        for (oi, op) in model.ops.iter().enumerate() {
+        for oi in range {
+            let op = &model.ops[oi];
             match op {
                 Op::Dense {
                     inputs: nin,
@@ -376,7 +491,7 @@ impl BatchRunner {
                                 }
                             }
                         }
-                        cur_book = encoder.as_ref().map(|e| e.slice(pool_f));
+                        cur_book = *encoder;
                         width = nout;
                         continue;
                     }
@@ -388,10 +503,11 @@ impl BatchRunner {
                     // (verified bitwise) and run the op as a packed
                     // multiply instead of a table gather.
                     let factored = padded >= LANES
-                        && cur_book.is_some_and(|bk| factor_table(pool_f, table, bk, wvals));
+                        && cur_book
+                            .is_some_and(|bk| factor_table(pool_f, table, bk.slice(pool_f), wvals));
                     let mut r0 = 0usize;
                     if factored {
-                        let bk = cur_book.unwrap_or_default();
+                        let bk = cur_book.map_or(&[] as &[f32], |s| s.slice(pool_f));
                         decode_weights(wvals, wcodes, wdec);
                         while r0 + LANES <= padded {
                             interleave_decode(
@@ -447,7 +563,7 @@ impl BatchRunner {
                         keys,
                         act_keys,
                     );
-                    cur_book = encoder.as_ref().map(|e| e.slice(pool_f));
+                    cur_book = *encoder;
                     width = nout;
                 }
                 Op::Conv {
@@ -511,7 +627,7 @@ impl BatchRunner {
                         keys,
                         act_keys,
                     );
-                    cur_book = encoder.as_ref().map(|e| e.slice(pool_f));
+                    cur_book = *encoder;
                     width = nout;
                 }
                 Op::MaxPool(g) => {
@@ -558,7 +674,7 @@ impl BatchRunner {
                                 g, book, keys, window, codes, codes_next, padded, verified,
                             );
                             std::mem::swap(codes, codes_next);
-                            cur_book = Some(book);
+                            cur_book = Some(*codebook);
                         }
                         Domain::Floats => {
                             refill(floats_next, padded * out_w);
@@ -623,7 +739,7 @@ impl BatchRunner {
                             }
                             std::mem::swap(codes, codes_next);
                             domain = Domain::Codes;
-                            cur_book = Some(book);
+                            cur_book = Some(*enc);
                         }
                         None => {
                             refill(floats_next, n);
@@ -639,15 +755,24 @@ impl BatchRunner {
             }
         }
 
-        match domain {
-            Domain::Floats => {
-                out.extend_from_slice(&floats[..rows * width]);
-                Ok(rows)
-            }
-            Domain::Codes => Err(ServeError::Artifact(ArtifactError::Malformed(
-                "program ended in encoded domain".into(),
-            ))),
-        }
+        Ok(FlowState {
+            domain,
+            width,
+            book: cur_book,
+        })
+    }
+}
+
+/// Rows the kernels actually execute for a `rows`-sample batch: padded
+/// to a whole number of [`LANES`]-row blocks so the final partial block
+/// runs through the block kernels instead of the serial row path. Pad
+/// rows carry code 0 and are computed but never copied out. Small
+/// batches stay unpadded: below a block the serial path is cheaper.
+pub(crate) fn pad_rows(rows: usize) -> usize {
+    if rows >= LANES {
+        rows.next_multiple_of(LANES)
+    } else {
+        rows
     }
 }
 

@@ -24,6 +24,12 @@
 //!   report; [`CompiledModel::from_bytes_strict`] makes a clean report
 //!   a load-time requirement, and verified models let the kernels drop
 //!   their defensive per-gather index clamps.
+//! * [`pipeline`] — stage planning for sharded serving:
+//!   [`EngineConfig::stages`] splits the op program into balanced
+//!   contiguous ranges (cost-weighted by the analyzer's per-op
+//!   estimates), each run by its own worker and scratch arena with
+//!   bounded channels between them — same bit-identical outputs,
+//!   pipelined throughput on deep models.
 //! * [`metrics`] — [`Metrics`]/[`ServerStats`]: throughput and
 //!   queue-depth counters plus a log-scale latency histogram.
 //!
@@ -67,6 +73,7 @@ mod error;
 pub mod kernels;
 pub mod lint;
 pub mod metrics;
+pub mod pipeline;
 mod pod;
 mod quant;
 
@@ -75,4 +82,5 @@ pub use engine::{DrainReport, Engine, EngineConfig, Ticket};
 pub use error::{ArtifactError, Result, ServeError};
 pub use kernels::BatchRunner;
 pub use lint::lint_bytes;
-pub use metrics::{Metrics, ServerStats, LATENCY_OVERFLOW_NS};
+pub use metrics::{Metrics, ServerStats, BATCH_BUCKETS, LATENCY_OVERFLOW_NS};
+pub use pipeline::{PipelineStats, StageStats};

@@ -24,6 +24,12 @@ const BUCKETS: usize = 40;
 /// actually saturated.
 pub const LATENCY_OVERFLOW_NS: u64 = 1 << BUCKETS;
 
+/// Power-of-two batch-size buckets: bucket `i` counts batches of
+/// `[2^i, 2^(i+1))` rows, with the last bucket holding everything from
+/// `2^(BATCH_BUCKETS-1)` rows up. 16 buckets reach 32k-row batches —
+/// far past any sane `max_batch_size`.
+pub const BATCH_BUCKETS: usize = 16;
+
 /// Shared, thread-safe metrics sink for a serving engine.
 #[derive(Debug)]
 pub struct Metrics {
@@ -35,6 +41,7 @@ pub struct Metrics {
     failed: AtomicU64,
     batches: AtomicU64,
     batched_requests: AtomicU64,
+    batch_buckets: [AtomicU64; BATCH_BUCKETS],
     queue_depth: AtomicU64,
     peak_queue_depth: AtomicU64,
     latency_sum_ns: AtomicU64,
@@ -59,6 +66,7 @@ impl Metrics {
             failed: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             batched_requests: AtomicU64::new(0),
+            batch_buckets: std::array::from_fn(|_| AtomicU64::new(0)),
             queue_depth: AtomicU64::new(0),
             peak_queue_depth: AtomicU64::new(0),
             latency_sum_ns: AtomicU64::new(0),
@@ -85,11 +93,17 @@ impl Metrics {
         self.shed.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Records one gathered batch of `size` requests.
+    /// Records one gathered batch of `size` rows, including its bucket
+    /// in the log-scale size distribution — the mean alone can't tell
+    /// "steady batches of 8" from "mostly singletons plus rare bursts",
+    /// and that difference is exactly what dynamic-batching tuning
+    /// (`max_wait`, `max_batch_size`) needs to see.
     pub fn record_batch(&self, size: usize) {
         self.batches.fetch_add(1, Ordering::Relaxed);
         self.batched_requests
             .fetch_add(size as u64, Ordering::Relaxed);
+        let bucket = ((size as u64).max(1).ilog2() as usize).min(BATCH_BUCKETS - 1);
+        self.batch_buckets[bucket].fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records a completed request with its end-to-end latency.
@@ -142,6 +156,9 @@ impl Metrics {
             } else {
                 batched as f64 / batches as f64
             },
+            batch_size_buckets: std::array::from_fn(|i| {
+                self.batch_buckets[i].load(Ordering::Relaxed)
+            }),
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
             peak_queue_depth: self.peak_queue_depth.load(Ordering::Relaxed),
             mean_latency,
@@ -206,6 +223,10 @@ pub struct ServerStats {
     pub batches: u64,
     /// Mean requests per executed batch.
     pub mean_batch_size: f64,
+    /// Log-scale batch-size distribution: `batch_size_buckets[i]`
+    /// counts executed batches of `[2^i, 2^(i+1))` rows (last bucket is
+    /// the overflow). Sums to [`batches`](Self::batches).
+    pub batch_size_buckets: [u64; BATCH_BUCKETS],
     /// Queue depth at the last submit/drain.
     pub queue_depth: u64,
     /// High-water mark of the queue depth.
@@ -280,6 +301,22 @@ mod tests {
         assert_eq!(s.mean_batch_size, 2.0);
         assert_eq!(s.peak_queue_depth, 7);
         assert!(s.mean_latency >= Duration::from_micros(10));
+    }
+
+    /// The batch-size histogram separates shapes the mean conflates.
+    #[test]
+    fn batch_size_distribution_buckets_by_rows() {
+        let m = Metrics::new();
+        m.record_batch(1); // bucket 0
+        m.record_batch(1); // bucket 0
+        m.record_batch(8); // bucket 3
+        m.record_batch(15); // bucket 3
+        m.record_batch(1 << 20); // clamps to the overflow bucket
+        let s = m.snapshot();
+        assert_eq!(s.batch_size_buckets[0], 2);
+        assert_eq!(s.batch_size_buckets[3], 2);
+        assert_eq!(s.batch_size_buckets[BATCH_BUCKETS - 1], 1);
+        assert_eq!(s.batch_size_buckets.iter().sum::<u64>(), s.batches);
     }
 
     #[test]

@@ -1,0 +1,436 @@
+//! Pipeline sharding: splitting one compiled model into balanced,
+//! contiguous op-range stages.
+//!
+//! The paper's chip pipelines layers across 32 tiles; once full, its
+//! throughput is set by the slowest stage (`pipeline_interval_ns`,
+//! §4.3), not end-to-end depth. This module mirrors that at software
+//! scale: [`plan_stages`] shards a [`CompiledModel`]'s op program into
+//! up to N contiguous ranges, balanced over the analyzer's per-op cost
+//! estimates ([`rapidnn_analyze::op_costs`]), so the engine can run one
+//! worker (and one `BatchRunner` arena) per stage with bounded SPSC
+//! channels between them ([`rapidnn_pool::spsc`]).
+//!
+//! # Legal cut points
+//!
+//! A stage boundary must be a point where the inter-op flow is
+//! self-describing: one row-major buffer in a known domain. That rules
+//! out cutting inside a residual region — the skip snapshot lives in
+//! the runner executing the region — so cuts are restricted to op
+//! indices at residual nesting depth zero. The flow walk here mirrors
+//! `BatchRunner::exec_ops`'s domain/width/codebook transitions exactly;
+//! a property test pins the two against each other by running every
+//! legal split.
+//!
+//! # Determinism
+//!
+//! Sharding preserves bit-identical outputs structurally: stages
+//! execute disjoint op ranges in program order over the same buffers a
+//! single runner would use (the handoff moves buffers, never reorders
+//! or re-accumulates rows), channels are strict FIFO so micro-batches
+//! stay in submission order, and every kernel treats rows
+//! independently. There is no cross-stage arithmetic to merge — the
+//! in-order channel discipline is the whole contract.
+
+use crate::artifact::{CompiledModel, Op};
+use crate::kernels::{Domain, FlowState};
+use std::ops::Range;
+
+/// How a model is sharded: `ranges[s]` is stage `s`'s contiguous op
+/// range, `entries[s]` the flow state it resumes from, `costs[s]` its
+/// per-sample cost estimate in analyzer units.
+#[derive(Debug, Clone)]
+pub(crate) struct StagePlan {
+    pub(crate) ranges: Vec<Range<usize>>,
+    pub(crate) entries: Vec<FlowState>,
+    pub(crate) costs: Vec<u64>,
+}
+
+/// Per-stage view reported by a pipelined engine.
+#[derive(Debug, Clone)]
+pub struct StageStats {
+    /// Global op-index range this stage executes.
+    pub ops: Range<usize>,
+    /// Planner's per-sample cost estimate for the range
+    /// (analyzer work units; see [`rapidnn_analyze::OpCost`]).
+    pub cost_units: u64,
+    /// Micro-batches currently queued at this stage's input (requests
+    /// for stage 0, channel occupancy for later stages).
+    pub queue_depth: usize,
+    /// Bound of that input queue.
+    pub queue_capacity: usize,
+}
+
+/// Snapshot of a pipelined engine's stage topology and occupancy,
+/// from [`Engine::pipeline_stats`](crate::Engine::pipeline_stats).
+#[derive(Debug, Clone)]
+pub struct PipelineStats {
+    /// One entry per stage, in flow order.
+    pub stages: Vec<StageStats>,
+}
+
+/// Walks the op program computing the flow state *before* each op (and
+/// after the last) plus the residual nesting depth at each point.
+/// `states[i]` / `depths[i]` describe the boundary before op `i`;
+/// index `ops.len()` is the program's exit state.
+///
+/// The transitions mirror `BatchRunner::exec_ops` — the property suite
+/// keeps them honest by executing every legal split.
+pub(crate) fn flow_states(model: &CompiledModel) -> (Vec<FlowState>, Vec<usize>) {
+    let n = model.ops.len();
+    let mut states = Vec::with_capacity(n + 1);
+    let mut depths = Vec::with_capacity(n + 1);
+    let mut st = FlowState {
+        domain: Domain::Codes,
+        width: model.input_features,
+        book: Some(model.virtual_encoder),
+    };
+    let mut depth = 0usize;
+    states.push(st);
+    depths.push(depth);
+    for op in &model.ops {
+        match op {
+            Op::Dense {
+                outputs, encoder, ..
+            } => {
+                st.width = *outputs;
+                st.domain = if encoder.is_some() {
+                    Domain::Codes
+                } else {
+                    Domain::Floats
+                };
+                st.book = *encoder;
+            }
+            Op::Conv {
+                geom,
+                out_channels,
+                encoder,
+                ..
+            } => {
+                st.width = out_channels * geom.out_pixels();
+                st.domain = if encoder.is_some() {
+                    Domain::Codes
+                } else {
+                    Domain::Floats
+                };
+                st.book = *encoder;
+            }
+            Op::MaxPool(g) => {
+                st.width = g.in_channels * g.out_pixels();
+            }
+            Op::AvgPool { geom: g, codebook } => {
+                st.width = g.in_channels * g.out_pixels();
+                if st.domain == Domain::Codes {
+                    st.book = Some(*codebook);
+                }
+            }
+            Op::ResidualBegin { .. } => {
+                depth += 1;
+            }
+            Op::ResidualEnd { encoder } => {
+                depth = depth.saturating_sub(1);
+                st.domain = if encoder.is_some() {
+                    Domain::Codes
+                } else {
+                    Domain::Floats
+                };
+                st.book = *encoder;
+            }
+        }
+        states.push(st);
+        depths.push(depth);
+    }
+    (states, depths)
+}
+
+/// Op indices where the program may be cut: strictly interior
+/// boundaries at residual nesting depth zero.
+pub(crate) fn cut_points(model: &CompiledModel) -> Vec<usize> {
+    let (_, depths) = flow_states(model);
+    (1..model.ops.len()).filter(|&i| depths[i] == 0).collect()
+}
+
+/// Shards `model` into at most `stages` contiguous op ranges, balanced
+/// to minimize the maximum per-stage cost (the pipeline's throughput
+/// bound). Returns `None` when fewer than two stages are possible or
+/// requested — the caller then serves unsharded.
+pub(crate) fn plan_stages(model: &CompiledModel, stages: usize) -> Option<StagePlan> {
+    if stages < 2 || model.ops.is_empty() {
+        return None;
+    }
+    let cuts = cut_points(model);
+    let k = stages.min(cuts.len() + 1);
+    if k < 2 {
+        return None;
+    }
+
+    let per_op: Vec<u64> = rapidnn_analyze::op_costs(&model.to_program())
+        .iter()
+        .map(rapidnn_analyze::OpCost::units)
+        .collect();
+
+    // Boundaries the partition may use, including both ends; the ops
+    // between adjacent boundaries form indivisible segments.
+    let mut bounds = Vec::with_capacity(cuts.len() + 2);
+    bounds.push(0);
+    bounds.extend(&cuts);
+    bounds.push(model.ops.len());
+    let m = bounds.len() - 1;
+    let seg: Vec<u64> = (0..m)
+        .map(|j| per_op[bounds[j]..bounds[j + 1]].iter().sum())
+        .collect();
+    // Prefix sums make segment-run sums O(1) in the partition DP.
+    let mut prefix = vec![0u64; m + 1];
+    for (j, &s) in seg.iter().enumerate() {
+        prefix[j + 1] = prefix[j] + s;
+    }
+    let run = |a: usize, b: usize| prefix[b] - prefix[a];
+
+    // Classic linear-partition DP: best[p][j] = minimal possible
+    // maximum stage cost splitting the first j segments into p stages.
+    let mut best: Vec<u64> = (0..=m)
+        .map(|j| if j == 0 { u64::MAX } else { run(0, j) })
+        .collect();
+    let mut choice = vec![vec![0usize; m + 1]; k + 1];
+    for (p, choice_row) in choice.iter_mut().enumerate().take(k + 1).skip(2) {
+        // Each stage needs at least one segment, so only j >= p are
+        // reachable; walk j downward so `best` still holds p-1 values.
+        for j in (p..=m).rev() {
+            let mut opt = u64::MAX;
+            let mut at = p - 1;
+            for (t, &through) in best.iter().enumerate().take(j).skip(p - 1) {
+                let cand = through.max(run(t, j));
+                if cand < opt {
+                    opt = cand;
+                    at = t;
+                }
+            }
+            best[j] = opt;
+            choice_row[j] = at;
+        }
+        for unreachable in best.iter_mut().take(p.min(m + 1)) {
+            *unreachable = u64::MAX;
+        }
+    }
+
+    // Recover the chosen boundaries.
+    let mut splits = vec![m];
+    let mut j = m;
+    for p in (2..=k).rev() {
+        j = choice[p][j];
+        splits.push(j);
+    }
+    splits.push(0);
+    splits.reverse();
+
+    let (states, _) = flow_states(model);
+    let mut ranges = Vec::with_capacity(k);
+    let mut entries = Vec::with_capacity(k);
+    let mut costs = Vec::with_capacity(k);
+    for w in splits.windows(2) {
+        let (a, b) = (bounds[w[0]], bounds[w[1]]);
+        ranges.push(a..b);
+        entries.push(states[a]);
+        costs.push(run(w[0], w[1]));
+    }
+    debug_assert_eq!(ranges.len(), k);
+    Some(StagePlan {
+        ranges,
+        entries,
+        costs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::{pad_rows, BatchRunner, FlowData};
+
+    /// Executes `model` as the staged pipeline described by `bounds`
+    /// (op-index boundaries including both ends), one fresh runner per
+    /// stage, asserting along the way that the static flow walk matches
+    /// every dynamic stage exit. Returns the final decoded rows.
+    fn run_split(
+        model: &CompiledModel,
+        bounds: &[usize],
+        states: &[FlowState],
+        inputs: &[f32],
+        rows: usize,
+    ) -> Vec<f32> {
+        let padded = pad_rows(rows);
+        let mut runners: Vec<BatchRunner> = (1..bounds.len()).map(|_| BatchRunner::new()).collect();
+        let mut entry = runners[0].encode_batch(model, inputs, padded);
+        let mut data = runners[0].take_flow(entry.domain);
+        for (s, w) in bounds.windows(2).enumerate() {
+            assert_eq!(
+                states[w[0]], entry,
+                "static flow state before op {} diverges from the dynamic exit",
+                w[0]
+            );
+            let (exit, out) = runners[s]
+                .run_segment(model, w[0]..w[1], entry, data, padded)
+                .unwrap();
+            entry = exit;
+            data = out;
+        }
+        match data {
+            FlowData::Floats(v) => v[..rows * entry.width].to_vec(),
+            FlowData::Codes(_) => panic!("program ended in encoded domain"),
+        }
+    }
+
+    fn bits(v: &[f32]) -> Vec<u32> {
+        v.iter().map(|x| x.to_bits()).collect()
+    }
+
+    /// The determinism contract, exhaustively: every legal 2-stage and
+    /// 3-stage split of a deep model reproduces the uncut run bit for
+    /// bit, and the static flow walk agrees with every dynamic stage
+    /// boundary along the way.
+    #[test]
+    fn every_legal_split_reproduces_run_bit_for_bit() {
+        let model = CompiledModel::deep_for_tests(6);
+        let rows = 5;
+        let inputs: Vec<f32> = (0..rows * model.input_features())
+            .map(|i| (i as f32 * 0.7).sin() * 2.0)
+            .collect();
+        let mut reference = Vec::new();
+        BatchRunner::new()
+            .run(&model, &inputs, &mut reference)
+            .unwrap();
+
+        let (states, _) = flow_states(&model);
+        let cuts = cut_points(&model);
+        let n = model.ops.len();
+        assert!(!cuts.is_empty());
+        for &c in &cuts {
+            let out = run_split(&model, &[0, c, n], &states, &inputs, rows);
+            assert_eq!(bits(&out), bits(&reference), "2-stage split at {c}");
+        }
+        for (i, &a) in cuts.iter().enumerate() {
+            for &b in &cuts[i + 1..] {
+                let out = run_split(&model, &[0, a, b, n], &states, &inputs, rows);
+                assert_eq!(bits(&out), bits(&reference), "3-stage split at {a},{b}");
+            }
+        }
+    }
+
+    /// Residual regions are indivisible: no cut point may land strictly
+    /// inside one (the skip snapshot lives in the executing runner),
+    /// and every split of a residual model still reproduces the uncut
+    /// run bit for bit.
+    #[test]
+    fn residual_regions_are_never_cut() {
+        use rapidnn_core::{ReinterpretOptions, ReinterpretedNetwork};
+        use rapidnn_data::SyntheticSpec;
+        use rapidnn_nn::{Activation, ActivationLayer, Dense, Network, Residual};
+        use rapidnn_tensor::SeededRng;
+
+        let mut rng = SeededRng::new(23);
+        let mut net = Network::new(6);
+        net.push(Dense::new(6, 5, &mut rng));
+        net.push(ActivationLayer::new(Activation::Relu));
+        net.push(Residual::new(vec![
+            Box::new(Dense::new(5, 5, &mut rng)),
+            Box::new(ActivationLayer::new(Activation::Relu)),
+        ]));
+        net.push(Dense::new(5, 2, &mut rng));
+        let data = SyntheticSpec::new(6, 2, 2.0)
+            .generate(40, &mut rng)
+            .unwrap();
+        let opts = ReinterpretOptions {
+            weight_clusters: 8,
+            input_clusters: 8,
+            ..ReinterpretOptions::default()
+        };
+        let network =
+            ReinterpretedNetwork::build(&mut net, data.inputs(), &opts, &mut rng).unwrap();
+        let model = CompiledModel::from_reinterpreted(&network).unwrap();
+
+        let begin = model
+            .ops
+            .iter()
+            .position(|op| matches!(op, Op::ResidualBegin { .. }))
+            .expect("residual compiled in");
+        let end = model
+            .ops
+            .iter()
+            .position(|op| matches!(op, Op::ResidualEnd { .. }))
+            .expect("residual compiled in");
+        let cuts = cut_points(&model);
+        assert!(!cuts.is_empty());
+        for &c in &cuts {
+            assert!(
+                c <= begin || c > end,
+                "cut {c} lands inside the residual region {begin}..={end}"
+            );
+        }
+
+        let rows = 4;
+        let inputs: Vec<f32> = (0..rows * model.input_features())
+            .map(|i| (i as f32 * 0.3).cos() * 1.5)
+            .collect();
+        let mut reference = Vec::new();
+        BatchRunner::new()
+            .run(&model, &inputs, &mut reference)
+            .unwrap();
+        let (states, _) = flow_states(&model);
+        let n = model.ops.len();
+        for &c in &cuts {
+            let out = run_split(&model, &[0, c, n], &states, &inputs, rows);
+            assert_eq!(bits(&out), bits(&reference), "residual split at {c}");
+        }
+    }
+
+    /// A no-op-cut model (single op) cannot be sharded.
+    #[test]
+    fn single_op_model_refuses_to_shard() {
+        let model = CompiledModel::broken_for_tests();
+        assert_eq!(model.ops.len(), 1);
+        assert!(plan_stages(&model, 4).is_none());
+        assert!(plan_stages(&model, 1).is_none());
+    }
+
+    /// Ranges must tile the program contiguously and enter at depth 0.
+    #[test]
+    fn plan_tiles_the_program() {
+        let model = CompiledModel::deep_for_tests(6);
+        for stages in 2..=4 {
+            let plan = plan_stages(&model, stages).expect("shardable");
+            assert!(plan.ranges.len() >= 2 && plan.ranges.len() <= stages);
+            assert_eq!(plan.ranges[0].start, 0);
+            assert_eq!(plan.ranges.last().unwrap().end, model.ops.len());
+            for w in plan.ranges.windows(2) {
+                assert_eq!(w[0].end, w[1].start);
+            }
+            assert_eq!(plan.entries.len(), plan.ranges.len());
+            assert_eq!(plan.costs.len(), plan.ranges.len());
+            assert!(plan.costs.iter().all(|&c| c > 0));
+        }
+    }
+
+    /// More stages than cut points clamps instead of failing.
+    #[test]
+    fn stage_count_clamps_to_cut_points() {
+        let model = CompiledModel::deep_for_tests(3);
+        let plan = plan_stages(&model, 64).expect("shardable");
+        assert_eq!(plan.ranges.len(), model.ops.len());
+    }
+
+    /// The balance heuristic never does worse than the trivial "one
+    /// giant stage plus crumbs" split: the max stage cost is bounded
+    /// by total cost, and with 2 stages it is strictly below it.
+    #[test]
+    fn balance_reduces_the_bottleneck() {
+        let model = CompiledModel::deep_for_tests(8);
+        let total: u64 = plan_stages(&model, 2)
+            .expect("shardable")
+            .costs
+            .iter()
+            .sum();
+        for stages in 2..=4 {
+            let plan = plan_stages(&model, stages).expect("shardable");
+            let max = *plan.costs.iter().max().unwrap();
+            assert!(max < total, "stage {stages}: {max} vs {total}");
+        }
+    }
+}

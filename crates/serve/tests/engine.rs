@@ -44,6 +44,7 @@ fn concurrent_load_is_exact_and_complete() {
             queue_capacity: 64,
             max_batch_size: 8,
             max_wait: Duration::from_micros(200),
+            ..EngineConfig::default()
         },
     ));
 
@@ -98,6 +99,7 @@ fn try_submit_applies_backpressure() {
             queue_capacity: 1,
             max_batch_size: 1,
             max_wait: Duration::ZERO,
+            ..EngineConfig::default()
         },
     );
 
@@ -136,6 +138,7 @@ fn shutdown_drains_accepted_requests() {
             queue_capacity: 256,
             max_batch_size: 16,
             max_wait: Duration::from_millis(1),
+            ..EngineConfig::default()
         },
     );
     let tickets: Vec<_> = (0..100)
@@ -163,6 +166,7 @@ fn drain_answers_every_accepted_request() {
             queue_capacity: 256,
             max_batch_size: 16,
             max_wait: Duration::from_millis(1),
+            ..EngineConfig::default()
         },
     );
     let tickets: Vec<_> = (0..120)
@@ -191,6 +195,7 @@ fn drain_with_zero_deadline_never_blocks_and_still_answers() {
             queue_capacity: 256,
             max_batch_size: 4,
             max_wait: Duration::ZERO,
+            ..EngineConfig::default()
         },
     );
     let tickets: Vec<_> = (0..64)
@@ -213,6 +218,52 @@ fn drain_with_zero_deadline_never_blocks_and_still_answers() {
 }
 
 #[test]
+fn drain_report_counts_in_flight_at_deadline() {
+    let mut rng = SeededRng::new(10);
+    let engine = Engine::start(
+        compiled_model(&mut rng),
+        EngineConfig {
+            workers: 1,
+            queue_capacity: 64,
+            max_batch_size: 4,
+            max_wait: Duration::ZERO,
+            ..EngineConfig::default()
+        },
+    );
+    // One oversized pre-batched job pins the single worker for several
+    // milliseconds...
+    let rows = 16 * 1024;
+    let big = engine
+        .submit_batch(vec_f32(&mut rng, rows * FEATURES, -2.0, 2.0))
+        .unwrap();
+    // ...while a few singles queue up behind it.
+    let singles: Vec<_> = (0..8)
+        .map(|_| {
+            engine
+                .submit(vec_f32(&mut rng, FEATURES, -2.0, 2.0))
+                .unwrap()
+        })
+        .collect();
+    let report = engine.drain(Duration::ZERO);
+    assert!(
+        !report.joined,
+        "a 16k-row job cannot finish inside a zero deadline"
+    );
+    assert!(report.in_flight_at_deadline > 0);
+    assert_eq!(
+        report.in_flight_at_deadline,
+        report.stats.submitted - report.stats.completed - report.stats.failed,
+        "in-flight must be the gap between accepted and answered work"
+    );
+    // The detached worker keeps draining, so every accepted ticket is
+    // still redeemable after the deadline expired.
+    assert_eq!(big.wait().unwrap().len(), rows * 3);
+    for ticket in singles {
+        assert_eq!(ticket.wait().unwrap().len(), 3);
+    }
+}
+
+#[test]
 fn drain_on_idle_engine_joins_immediately() {
     let mut rng = SeededRng::new(9);
     let engine = Engine::start(
@@ -224,6 +275,7 @@ fn drain_on_idle_engine_joins_immediately() {
     );
     let report = engine.drain(Duration::from_secs(10));
     assert!(report.joined);
+    assert_eq!(report.in_flight_at_deadline, 0);
     assert_eq!(report.stats.submitted, 0);
     assert_eq!(report.stats.p99_latency, Duration::ZERO);
 }

@@ -86,6 +86,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             queue_capacity: 512,
             max_batch_size: 16,
             max_wait: Duration::from_micros(200),
+            ..EngineConfig::default()
         },
     ));
     println!("engine started with {} workers", engine.worker_count());
