@@ -24,7 +24,7 @@
 //! against a flow state the error already invalidated.
 
 use crate::diag::{DiagCode, Diagnostic, Report};
-use crate::interval::Interval;
+use crate::interval::{f32_sum_slack, Interval};
 use crate::program::{Act, Geom, Op, PackedSection, Program, Span, TableRef};
 use rapidnn_accel::DatapathModel;
 use rapidnn_core::nearest::{load_keys, nearest_range};
@@ -51,6 +51,36 @@ pub fn analyze(program: &Program<'_>) -> Report {
 
 /// Analyzes `program` against an explicit hardware datapath model.
 pub fn analyze_with(program: &Program<'_>, datapath: DatapathModel) -> Report {
+    analyze_collect(program, datapath).0
+}
+
+/// Per-op liveness facts recorded during the walk — the data behind
+/// the liveness diagnostics, in machine-usable form. The optimizer
+/// (`crate::optimize`) consumes these to license its rewrites; they
+/// are only meaningful when the accompanying report has no errors
+/// (the walk stops at the first error).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub(crate) struct OpFacts {
+    /// Per product table of the op (dense: one, conv: one per output
+    /// channel): `used[w]` iff some weight code references row `w`.
+    pub used_rows: Vec<Vec<bool>>,
+    /// Inclusive reachable row range of the op's activation LUT.
+    pub lut_reach: Option<(usize, usize)>,
+    /// Inclusive reachable entry range of the codebook this op encodes
+    /// its outputs through (dense/conv/residual-join encoder, or the
+    /// avgpool book's re-encode).
+    pub encoder_reach: Option<(usize, usize)>,
+}
+
+/// Facts for every op of one analysis run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub(crate) struct Facts {
+    pub ops: Vec<OpFacts>,
+}
+
+/// Analysis entry point that also returns the liveness facts the
+/// optimizer builds its rewrites from.
+pub(crate) fn analyze_collect(program: &Program<'_>, datapath: DatapathModel) -> (Report, Facts) {
     let mut checker = Checker {
         input_features: program.input_features,
         output_features: program.output_features,
@@ -61,11 +91,63 @@ pub fn analyze_with(program: &Program<'_>, datapath: DatapathModel) -> Report {
         packed: &program.packed,
         datapath,
         report: Report::new(),
+        facts: Facts {
+            ops: vec![OpFacts::default(); program.ops.len()],
+        },
     };
     // The Err case carries no data: the fatal diagnostic is already in
     // the report when the walk unwinds.
     let _ = checker.run();
-    checker.report
+    (checker.report, checker.facts)
+}
+
+/// Largest `f32` not above `x`: `as f32` rounds to nearest, which may
+/// round *up* past a concrete value; reachability probes must round
+/// outward instead.
+fn f32_down(x: f64) -> f32 {
+    let r = x as f32;
+    if f64::from(r) > x {
+        ulp_prev(r)
+    } else {
+        r
+    }
+}
+
+/// Smallest `f32` not below `x`.
+fn f32_up(x: f64) -> f32 {
+    let r = x as f32;
+    if f64::from(r) < x {
+        ulp_next(r)
+    } else {
+        r
+    }
+}
+
+/// One representable step toward `-inf` (finite input, `next_down`
+/// without an MSRV requirement).
+fn ulp_prev(v: f32) -> f32 {
+    if v == 0.0 {
+        return -f32::from_bits(1); // smallest negative subnormal
+    }
+    let bits = v.to_bits();
+    if v > 0.0 {
+        f32::from_bits(bits - 1)
+    } else {
+        f32::from_bits(bits + 1)
+    }
+}
+
+/// One representable step toward `+inf`.
+fn ulp_next(v: f32) -> f32 {
+    if v == 0.0 {
+        return f32::from_bits(1);
+    }
+    let bits = v.to_bits();
+    if v > 0.0 {
+        f32::from_bits(bits + 1)
+    } else {
+        f32::from_bits(bits - 1)
+    }
 }
 
 /// A checked codebook: bounds-valid, non-empty, addressable, finite.
@@ -90,14 +172,20 @@ impl Book {
 #[derive(Clone, Copy)]
 enum Flow {
     /// Encoded: codes in `reach` (inclusive) over a `domain`-entry
-    /// book, decoding into `interval`.
+    /// book, decoding into `interval`. Decoded representatives are
+    /// exact stored `f32`s, so encoded flows carry no rounding slack.
     Codes {
         domain: usize,
         reach: (usize, usize),
         interval: Interval,
     },
-    /// Decoded floats bounded by `interval`.
-    Floats { interval: Interval },
+    /// Decoded floats bounded by `interval` up to `slack`: a proven
+    /// bound ([`f32_sum_slack`]) on how far the concrete `f32`
+    /// evaluation can drift from the real-valued quantity the interval
+    /// hulls. Reachability queries widen by exactly this much, which
+    /// makes liveness findings sound for deletion (no spurious dead
+    /// entries) without the old fixed `1e-4` heuristic margin.
+    Floats { interval: Interval, slack: f64 },
 }
 
 struct Checker<'p> {
@@ -110,6 +198,7 @@ struct Checker<'p> {
     packed: &'p [PackedSection],
     datapath: DatapathModel,
     report: Report,
+    facts: Facts,
 }
 
 /// Fatal-error sentinel: the diagnostic is already reported.
@@ -385,15 +474,18 @@ impl<'p> Checker<'p> {
             ));
         }
         if t.input_count > domain {
-            self.report.push(Diagnostic::new(
-                DiagCode::DeadTableColumns,
-                Some(op),
-                format!(
-                    "{label}: {} of {} product-table columns lie beyond the {domain}-entry input codebook",
-                    t.input_count - domain,
-                    t.input_count
+            self.report.push_liveness(
+                Diagnostic::new(
+                    DiagCode::DeadTableColumns,
+                    Some(op),
+                    format!(
+                        "{label}: {} of {} product-table columns lie beyond the {domain}-entry input codebook",
+                        t.input_count - domain,
+                        t.input_count
+                    ),
                 ),
-            ));
+                t.input_count - domain,
+            );
         }
         Ok(())
     }
@@ -429,33 +521,53 @@ impl<'p> Checker<'p> {
     // ------------------------------------------------------------------
 
     /// Inclusive code range reachable when `interval` is nearest-encoded
-    /// through `book`. Widened first so `f32` summation order cannot
-    /// push a concrete value just past the analytic hull.
-    fn reach_of(&self, book: &Book, interval: Interval) -> (usize, usize) {
+    /// through `book`.
+    ///
+    /// Exactness argument: every concrete probe is an `f32` within
+    /// `slack` of the real-valued quantity `interval` hulls, so it lies
+    /// in `interval.widened_by(slack)`; the `f64 -> f32` probe bounds
+    /// round *outward* (`f32_down`/`f32_up`), and `nearest_index` is
+    /// monotone over a sorted book, so the returned range contains the
+    /// code of every concrete probe. Entries outside it are dead on
+    /// every execution — safe to delete, not just to note.
+    fn reach_of(&self, book: &Book, interval: Interval, slack: f64) -> (usize, usize) {
         if !book.sorted {
             return (0, book.len() - 1);
         }
         let values = &self.floats[book.span.start..book.span.start + book.span.len];
-        let w = interval.widened();
-        nearest_range(values, &book.keys, w.lo as f32, w.hi as f32)
+        let w = interval.widened_by(slack);
+        nearest_range(values, &book.keys, f32_down(w.lo), f32_up(w.hi))
     }
 
-    /// Encode step: maps a decoded interval through `book`, reporting
-    /// entries that can never be selected.
-    fn encode(&mut self, op: Option<usize>, book: &Book, interval: Interval, what: &str) -> Flow {
-        let reach = self.reach_of(book, interval);
+    /// Encode step: maps a decoded interval (with its rounding slack)
+    /// through `book`, reporting entries that can never be selected.
+    fn encode(
+        &mut self,
+        op: Option<usize>,
+        book: &Book,
+        interval: Interval,
+        slack: f64,
+        what: &str,
+    ) -> Flow {
+        let reach = self.reach_of(book, interval, slack);
+        if let Some(i) = op {
+            self.facts.ops[i].encoder_reach = Some(reach);
+        }
         let live = reach.1 - reach.0 + 1;
         if live < book.len() {
-            self.warn(
-                DiagCode::DeadCodebookEntries,
-                op,
-                format!(
-                    "{what}: {} of {} codebook entries can never be selected (reachable codes {}..={})",
-                    book.len() - live,
-                    book.len(),
-                    reach.0,
-                    reach.1
+            self.report.push_liveness(
+                Diagnostic::new(
+                    DiagCode::DeadCodebookEntries,
+                    op,
+                    format!(
+                        "{what}: {} of {} codebook entries can never be selected (reachable codes {}..={})",
+                        book.len() - live,
+                        book.len(),
+                        reach.0,
+                        reach.1
+                    ),
                 ),
+                book.len() - live,
             );
         }
         let values = &self.floats[book.span.start + reach.0..=book.span.start + reach.1];
@@ -467,17 +579,23 @@ impl<'p> Checker<'p> {
         }
     }
 
-    /// Applies an activation step to a pre-activation interval.
+    /// Applies an activation step to a pre-activation interval carrying
+    /// `slack` rounding drift, returning the post-activation interval
+    /// and its slack. Identity and ReLU are exact maps, so drift passes
+    /// through unchanged (`|relu(a) − relu(b)| ≤ |a − b|`); a lookup's
+    /// outputs are exact stored `f32`s drawn from the reachable rows,
+    /// so its output slack collapses to zero.
     fn apply_act(
         &mut self,
         op: usize,
         act: &Act,
         pre: Interval,
+        slack: f64,
         label: &str,
-    ) -> Result<Interval, Halt> {
+    ) -> Result<(Interval, f64), Halt> {
         match act {
-            Act::Identity => Ok(pre),
-            Act::Relu => Ok(pre.relu()),
+            Act::Identity => Ok((pre, slack)),
+            Act::Relu => Ok((pre.relu(), slack)),
             Act::Lookup { inputs, outputs } => {
                 let xs = self.floats_span(Some(op), *inputs, &format!("{label}: LUT inputs"))?;
                 let ys = self.floats_span(Some(op), *outputs, &format!("{label}: LUT outputs"))?;
@@ -505,8 +623,11 @@ impl<'p> Checker<'p> {
                 let (lo, hi) = if sorted {
                     let mut keys = Vec::new();
                     load_keys(&mut keys, xs);
-                    let w = pre.widened();
-                    nearest_range(xs, &keys, w.lo as f32, w.hi as f32)
+                    // Same outward-rounded, slack-widened probe rule as
+                    // `reach_of`: the range contains every concrete
+                    // probe's row.
+                    let w = pre.widened_by(slack);
+                    nearest_range(xs, &keys, f32_down(w.lo), f32_up(w.hi))
                 } else {
                     self.warn(
                         DiagCode::UnsortedCodebook,
@@ -515,21 +636,25 @@ impl<'p> Checker<'p> {
                     );
                     (0, xs.len() - 1)
                 };
+                self.facts.ops[op].lut_reach = Some((lo, hi));
                 if hi - lo + 1 < xs.len() {
-                    self.report.push(Diagnostic::new(
-                        DiagCode::DeadLutRows,
-                        Some(op),
-                        format!(
-                            "{label}: {} of {} activation LUT rows lie outside the reachable pre-activation range [{:.4}, {:.4}]",
-                            xs.len() - (hi - lo + 1),
-                            xs.len(),
-                            pre.lo,
-                            pre.hi
+                    self.report.push_liveness(
+                        Diagnostic::new(
+                            DiagCode::DeadLutRows,
+                            Some(op),
+                            format!(
+                                "{label}: {} of {} activation LUT rows lie outside the reachable pre-activation range [{:.4}, {:.4}]",
+                                xs.len() - (hi - lo + 1),
+                                xs.len(),
+                                pre.lo,
+                                pre.hi
+                            ),
                         ),
-                    ));
+                        xs.len() - (hi - lo + 1),
+                    );
                 }
                 match Interval::of_slice(&ys[lo..=hi]) {
-                    Some(iv) => Ok(iv),
+                    Some(iv) => Ok((iv, 0.0)),
                     None => Err(self.error(
                         DiagCode::NonFinite,
                         Some(op),
@@ -663,25 +788,36 @@ impl<'p> Checker<'p> {
     }
 
     /// Activation + optional re-encode shared by dense/conv/residual
-    /// joins.
+    /// joins. `slack` bounds the concrete `f32` drift of the
+    /// pre-activation values.
     fn finish_neuron(
         &mut self,
         op: usize,
         act: Option<&Act>,
         encoder: Option<Span>,
         pre: Interval,
+        slack: f64,
         label: &str,
     ) -> Result<Flow, Halt> {
-        let post = match act {
-            Some(act) => self.apply_act(op, act, pre, label)?,
-            None => pre,
+        let (post, post_slack) = match act {
+            Some(act) => self.apply_act(op, act, pre, slack, label)?,
+            None => (pre, slack),
         };
         match encoder {
             Some(span) => {
                 let book = self.codebook(Some(op), span, &format!("{label}: encoder"))?;
-                Ok(self.encode(Some(op), &book, post, &format!("{label}: encoder")))
+                Ok(self.encode(
+                    Some(op),
+                    &book,
+                    post,
+                    post_slack,
+                    &format!("{label}: encoder"),
+                ))
             }
-            None => Ok(Flow::Floats { interval: post }),
+            None => Ok(Flow::Floats {
+                interval: post,
+                slack: post_slack,
+            }),
         }
     }
 
@@ -800,15 +936,19 @@ impl<'p> Checker<'p> {
                     }
                     let unused = used.iter().filter(|u| !**u).count();
                     if unused > 0 {
-                        self.report.push(Diagnostic::new(
-                            DiagCode::DeadTableRows,
-                            Some(i),
-                            format!(
-                                "dense: {unused} of {} product-table rows are referenced by no weight code",
-                                table.weight_count
+                        self.report.push_liveness(
+                            Diagnostic::new(
+                                DiagCode::DeadTableRows,
+                                Some(i),
+                                format!(
+                                    "dense: {unused} of {} product-table rows are referenced by no weight code",
+                                    table.weight_count
+                                ),
                             ),
-                        ));
+                            unused,
+                        );
                     }
+                    self.facts.ops[i].used_rows = vec![used.clone()];
                     let bias = self.check_bias(i, *bias, *outputs, "dense")?;
                     let rows = self.row_intervals(i, table, &used, domain, reach, None, "dense")?;
                     let mut pre: Option<Interval> = None;
@@ -828,7 +968,11 @@ impl<'p> Checker<'p> {
                     }
                     let pre = pre.unwrap_or(Interval::zero());
                     self.check_datapath(i, *inputs, worst, "dense");
-                    flow = self.finish_neuron(i, Some(act), *encoder, pre, "dense")?;
+                    // The kernel evaluates bias + `inputs` products as
+                    // one left-to-right f32 sum; `worst` bounds the
+                    // magnitude sum of every neuron's terms.
+                    let slack = f32_sum_slack(*inputs + 1, worst);
+                    flow = self.finish_neuron(i, Some(act), *encoder, pre, slack, "dense")?;
                     width = *outputs;
                 }
                 Op::Conv {
@@ -905,6 +1049,8 @@ impl<'p> Checker<'p> {
                     let bias = self.check_bias(i, *bias, *out_channels, "conv")?;
                     let mut pre: Option<Interval> = None;
                     let mut worst = 0.0f64;
+                    let mut unused_rows = 0usize;
+                    let mut total_rows = 0usize;
                     for (oc, table) in tables.iter().enumerate() {
                         let label = format!("conv channel {oc}");
                         self.check_table(i, table, domain, &label)?;
@@ -923,8 +1069,11 @@ impl<'p> Checker<'p> {
                             }
                             used[c as usize] = true;
                         }
+                        unused_rows += used.iter().filter(|u| !**u).count();
+                        total_rows += table.weight_count;
                         let rows =
                             self.row_intervals(i, table, &used, domain, reach, extra_col, &label)?;
+                        self.facts.ops[i].used_rows.push(used);
                         let mut acc = Interval::point(f64::from(bias[oc]));
                         let mut mag = f64::from(bias[oc]).abs();
                         for &w in patch {
@@ -939,6 +1088,18 @@ impl<'p> Checker<'p> {
                         // column's value when pad > 0.
                         worst = worst.max(mag);
                         pre = Some(pre.map_or(acc, |p| p.hull(acc)));
+                    }
+                    if unused_rows > 0 {
+                        self.report.push_liveness(
+                            Diagnostic::new(
+                                DiagCode::DeadTableRows,
+                                Some(i),
+                                format!(
+                                    "conv: {unused_rows} of {total_rows} product-table rows (across {out_channels} channels) are referenced by no weight code",
+                                ),
+                            ),
+                            unused_rows,
+                        );
                     }
                     let pre = pre.unwrap_or(Interval::zero());
                     self.check_datapath(i, patch_len, worst, "conv");
@@ -957,7 +1118,10 @@ impl<'p> Checker<'p> {
                         ));
                     }
                     width = w;
-                    flow = self.finish_neuron(i, Some(act), *encoder, pre, "conv")?;
+                    // One f32 sum of bias + `patch_len` products per
+                    // output pixel.
+                    let slack = f32_sum_slack(patch_len + 1, worst);
+                    flow = self.finish_neuron(i, Some(act), *encoder, pre, slack, "conv")?;
                 }
                 Op::MaxPool(geom) => {
                     width = self.check_pool_geom(i, geom, width, "maxpool")?;
@@ -967,6 +1131,8 @@ impl<'p> Checker<'p> {
                 Op::AvgPool { geom, codebook } => {
                     width = self.check_pool_geom(i, geom, width, "avgpool")?;
                     let book = self.codebook(Some(i), *codebook, "avgpool")?;
+                    // One f32 sum over the window plus the final scale.
+                    let window = geom.kernel_h * geom.kernel_w;
                     match flow {
                         Flow::Codes {
                             domain, interval, ..
@@ -982,12 +1148,21 @@ impl<'p> Checker<'p> {
                                 ));
                             }
                             // Window averages stay inside the decoded
-                            // hull, then re-encode through the book.
-                            flow = self.encode(Some(i), &book, interval, "avgpool");
+                            // hull (exact representatives, so only the
+                            // averaging itself rounds), then re-encode
+                            // through the book.
+                            let slack = f32_sum_slack(window + 1, interval.magnitude());
+                            flow = self.encode(Some(i), &book, interval, slack, "avgpool");
                         }
-                        Flow::Floats { .. } => {
+                        Flow::Floats { interval, slack } => {
                             // Decoded-domain average stays in the hull;
-                            // the runtime does not re-encode here.
+                            // the runtime does not re-encode here, but
+                            // the averaging adds its own rounding drift.
+                            flow = Flow::Floats {
+                                interval,
+                                slack: slack
+                                    + f32_sum_slack(window + 1, interval.magnitude() + slack),
+                            };
                         }
                     }
                 }
@@ -1019,7 +1194,7 @@ impl<'p> Checker<'p> {
                     residuals.push((width, skip_interval));
                 }
                 Op::ResidualEnd { encoder } => {
-                    let Flow::Floats { interval } = flow else {
+                    let Flow::Floats { interval, slack } = flow else {
                         return Err(self.error(
                             DiagCode::DomainMismatch,
                             Some(i),
@@ -1043,7 +1218,10 @@ impl<'p> Checker<'p> {
                         ));
                     }
                     let joined = interval + skip_interval;
-                    flow = self.finish_neuron(i, None, *encoder, joined, "residual join")?;
+                    // One f32 add of the branch value (drift `slack`)
+                    // and an exact skip representative.
+                    let slack = slack + f32_sum_slack(2, joined.magnitude() + slack);
+                    flow = self.finish_neuron(i, None, *encoder, joined, slack, "residual join")?;
                 }
             }
         }
@@ -1073,5 +1251,180 @@ impl<'p> Checker<'p> {
             ));
         }
         Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rapidnn_core::nearest::nearest_index;
+    use std::borrow::Cow;
+
+    /// Two-layer dense program with adversarial product magnitudes
+    /// (1e7-scale cancellation) so `f32` accumulation error is far
+    /// above one ulp of the true sums, a lookup activation, and a
+    /// re-encoder whose outer entries are unreachable.
+    fn adversarial() -> Program<'static> {
+        let mut floats = vec![-2.5, -1.0, -0.25, 0.5, 1.5, 3.0]; // virtual book (6)
+        let table = floats.len();
+        #[rustfmt::skip]
+        floats.extend_from_slice(&[
+            // 4 weight rows x 6 input columns.
+            1.0e7, -1.0e7, 3.25, -7.5, 0.125, 2.0e6,
+            -9.999e6, 1.0e7, -3.25, 7.75, 0.5, -2.0e6,
+            11.0, -2.0, 0.75, -0.125, 4.5, -6.0,
+            -3.5, 8.0, -0.25, 2.25, -1.75, 0.5,
+        ]);
+        let bias = floats.len();
+        floats.extend_from_slice(&[0.5, -0.25]);
+        let lut_x = floats.len();
+        floats.extend_from_slice(&[-3.0e7, -5.0e5, -10.0, 0.0, 10.0, 5.0e5, 3.0e7]);
+        let lut_y = floats.len();
+        floats.extend_from_slice(&[-1.5, -0.5, 0.0, 0.25, 0.75, 1.25, 2.0]);
+        let enc = floats.len();
+        // LUT outputs span [-1.5, 2.0]: the -4.0 and 5.0 entries are dead.
+        floats.extend_from_slice(&[-4.0, -2.0, -1.0, 0.0, 0.5, 1.0, 2.5, 5.0]);
+        let table2 = floats.len();
+        #[rustfmt::skip]
+        floats.extend_from_slice(&[
+            // 2 rows x 8 columns for the head layer.
+            0.5, -0.5, 1.0, -1.0, 0.25, -0.25, 2.0, -2.0,
+            -1.5, 1.5, 0.75, -0.75, 3.0, -3.0, 0.125, -0.125,
+        ]);
+        let bias2 = floats.len();
+        floats.push(0.0625);
+        Program {
+            input_features: 3,
+            output_features: 1,
+            virtual_encoder: Span { start: 0, len: 6 },
+            ops: vec![
+                Op::Dense {
+                    inputs: 3,
+                    outputs: 2,
+                    weight_codes: Span { start: 0, len: 6 },
+                    bias: Span {
+                        start: bias,
+                        len: 2,
+                    },
+                    table: TableRef {
+                        offset: table,
+                        weight_count: 4,
+                        input_count: 6,
+                    },
+                    act: Act::Lookup {
+                        inputs: Span {
+                            start: lut_x,
+                            len: 7,
+                        },
+                        outputs: Span {
+                            start: lut_y,
+                            len: 7,
+                        },
+                    },
+                    encoder: Some(Span { start: enc, len: 8 }),
+                },
+                Op::Dense {
+                    inputs: 2,
+                    outputs: 1,
+                    weight_codes: Span { start: 6, len: 2 },
+                    bias: Span {
+                        start: bias2,
+                        len: 1,
+                    },
+                    table: TableRef {
+                        offset: table2,
+                        weight_count: 2,
+                        input_count: 8,
+                    },
+                    act: Act::Identity,
+                    encoder: None,
+                },
+            ],
+            floats: Cow::Owned(floats),
+            codes: Cow::Owned(vec![0, 1, 2, 3, 1, 0, 0, 1]),
+            packed: vec![],
+        }
+    }
+
+    /// The exactness pin behind deletion-grade liveness: enumerate
+    /// every concrete input (all 6^3 virtual-code combinations), run
+    /// the kernel's exact f32 arithmetic, and check that every
+    /// concrete LUT row and encoder code lands inside the analyzer's
+    /// reachable ranges — so entries *outside* those ranges are dead on
+    /// every execution, even under 1e7-scale catastrophic cancellation
+    /// where f32 rounding error dwarfs the true sums.
+    #[test]
+    fn reach_contains_every_concrete_f32_sum() {
+        let p = adversarial();
+        let (report, facts) = analyze_collect(&p, DatapathModel::paper());
+        assert!(!report.has_errors(), "{report}");
+        let (llo, lhi) = facts.ops[0].lut_reach.expect("lut analyzed");
+        let (elo, ehi) = facts.ops[0].encoder_reach.expect("encoder analyzed");
+
+        let floats = &p.floats;
+        // Pool layout: book 0..6, table 6..30, bias 30..32, then the
+        // LUT pair and the encoder book.
+        let lut_x = &floats[32..39];
+        let lut_y = &floats[39..46];
+        let enc = &floats[46..54];
+        let mut lut_keys = Vec::new();
+        load_keys(&mut lut_keys, lut_x);
+        let mut enc_keys = Vec::new();
+        load_keys(&mut enc_keys, enc);
+
+        let table = |w: usize, x: usize| floats[6 + w * 6 + x];
+        let wcodes: [usize; 6] = [0, 1, 2, 3, 1, 0];
+        let bias = [floats[30], floats[31]];
+        let mut seen_codes = [false; 8];
+        for a in 0..6 {
+            for b in 0..6 {
+                for c in 0..6 {
+                    for o in 0..2 {
+                        // Kernel-order f32 accumulation: bias first,
+                        // then one product per input.
+                        let mut acc: f32 = bias[o];
+                        for (j, &x) in [a, b, c].iter().enumerate() {
+                            acc += table(wcodes[o * 3 + j], x);
+                        }
+                        let row = nearest_index(lut_x, &lut_keys, acc);
+                        assert!(
+                            (llo..=lhi).contains(&row),
+                            "concrete LUT row {row} outside analyzed reach {llo}..={lhi}"
+                        );
+                        let code = nearest_index(enc, &enc_keys, lut_y[row]);
+                        assert!(
+                            (elo..=ehi).contains(&code),
+                            "concrete code {code} outside analyzed reach {elo}..={ehi}"
+                        );
+                        seen_codes[code] = true;
+                    }
+                }
+            }
+        }
+        // The finding is real: the analyzer proves entries dead, and
+        // the exhaustive run confirms some truly are (the book has 8
+        // entries, the LUT can only output [-1.5, 2.0]).
+        assert!(ehi - elo + 1 < 8, "expected a strict reach subset");
+        assert_eq!(report.liveness().dead_codebook_entries, 8 - (ehi - elo + 1));
+        for (code, seen) in seen_codes.iter().enumerate() {
+            if !(elo..=ehi).contains(&code) {
+                assert!(
+                    !seen,
+                    "analyzer called code {code} dead but it was selected"
+                );
+            }
+        }
+    }
+
+    /// Probe-rounding helpers round outward, never inward.
+    #[test]
+    fn f32_probe_rounding_is_outward() {
+        for &x in &[0.1f64, -0.1, 1.0e-30, 3.3333333333333337, -7.7e18, 0.0] {
+            assert!(f64::from(f32_down(x)) <= x);
+            assert!(f64::from(f32_up(x)) >= x);
+        }
+        let exact = 0.25f64; // representable: conversions stay exact
+        assert_eq!(f32_down(exact), 0.25);
+        assert_eq!(f32_up(exact), 0.25);
     }
 }

@@ -89,6 +89,21 @@ pub enum DiagCode {
     /// the last code — trailing garbage a bit-exact round-trip would
     /// silently preserve.
     PackedTrailingBits,
+    /// An optimizer certificate is structurally malformed: op/remap
+    /// counts disagree, a row map is not an order-preserving injection
+    /// onto a prefix of the new row indices, or a kept range is out of
+    /// bounds for the table it describes.
+    CertificateInvalid,
+    /// An optimized program is not the certificate's image of its
+    /// input: a kept table/codebook/LUT entry changed bits, a weight
+    /// code was not remapped as stated, or op shapes diverge from the
+    /// declared compaction.
+    RewriteMismatch,
+    /// The translation validator could not re-prove a rewrite: the
+    /// certificate deletes data the input analysis shows live (kept
+    /// ranges fail to cover a reachable code range or referenced row),
+    /// or re-analysis of the optimized program reports errors.
+    RewriteUnproven,
     /// A codebook is not sorted by `total_cmp`; nearest-search
     /// monotonicity no longer holds (analysis falls back to the full
     /// range).
@@ -127,6 +142,9 @@ impl DiagCode {
             DiagCode::PackedLayoutInvalid => "RNA0012",
             DiagCode::PackedWidthMismatch => "RNA0013",
             DiagCode::PackedTrailingBits => "RNA0014",
+            DiagCode::CertificateInvalid => "RNA0015",
+            DiagCode::RewriteMismatch => "RNA0016",
+            DiagCode::RewriteUnproven => "RNA0017",
             DiagCode::UnsortedCodebook => "RNA0101",
             DiagCode::AccumulatorOverflow => "RNA0102",
             DiagCode::CounterOverflow => "RNA0103",
@@ -153,7 +171,10 @@ impl DiagCode {
             | DiagCode::NonFinite
             | DiagCode::PackedLayoutInvalid
             | DiagCode::PackedWidthMismatch
-            | DiagCode::PackedTrailingBits => Severity::Error,
+            | DiagCode::PackedTrailingBits
+            | DiagCode::CertificateInvalid
+            | DiagCode::RewriteMismatch
+            | DiagCode::RewriteUnproven => Severity::Error,
             DiagCode::UnsortedCodebook
             | DiagCode::AccumulatorOverflow
             | DiagCode::CounterOverflow
@@ -216,6 +237,32 @@ impl fmt::Display for Diagnostic {
     }
 }
 
+/// Machine-readable liveness totals accumulated alongside the prose
+/// liveness diagnostics (RNA0104, RNA0201–0203), so consumers — the
+/// optimizer deciding whether any pass can fire, gateway stats JSON,
+/// tests — read numbers instead of parsing diagnostic strings.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LivenessCounts {
+    /// Encoder codebook entries no reachable value can select (RNA0104).
+    pub dead_codebook_entries: usize,
+    /// Product-table rows referenced by no weight code (RNA0201).
+    pub dead_table_rows: usize,
+    /// Product-table columns beyond the input codebook (RNA0202).
+    pub dead_table_columns: usize,
+    /// Activation-LUT rows outside the reachable range (RNA0203).
+    pub dead_lut_rows: usize,
+}
+
+impl LivenessCounts {
+    /// Total dead elements across all four liveness classes.
+    pub fn total(&self) -> usize {
+        self.dead_codebook_entries
+            + self.dead_table_rows
+            + self.dead_table_columns
+            + self.dead_lut_rows
+    }
+}
+
 /// Ordered collection of [`Diagnostic`]s produced by one analysis run.
 ///
 /// `Display` renders each diagnostic followed by a one-line summary,
@@ -223,6 +270,7 @@ impl fmt::Display for Diagnostic {
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Report {
     diagnostics: Vec<Diagnostic>,
+    liveness: LivenessCounts,
 }
 
 impl Report {
@@ -234,6 +282,25 @@ impl Report {
     /// Appends a diagnostic.
     pub fn push(&mut self, diag: Diagnostic) {
         self.diagnostics.push(diag);
+    }
+
+    /// Appends a liveness diagnostic and adds `count` dead elements to
+    /// the machine-readable total for its class. `code` must be one of
+    /// the four liveness codes.
+    pub fn push_liveness(&mut self, diag: Diagnostic, count: usize) {
+        match diag.code {
+            DiagCode::DeadCodebookEntries => self.liveness.dead_codebook_entries += count,
+            DiagCode::DeadTableRows => self.liveness.dead_table_rows += count,
+            DiagCode::DeadTableColumns => self.liveness.dead_table_columns += count,
+            DiagCode::DeadLutRows => self.liveness.dead_lut_rows += count,
+            other => debug_assert!(false, "{other:?} is not a liveness code"),
+        }
+        self.diagnostics.push(diag);
+    }
+
+    /// Machine-readable dead-element totals for this run.
+    pub fn liveness(&self) -> LivenessCounts {
+        self.liveness
     }
 
     /// All findings in emission order.
@@ -310,6 +377,33 @@ mod tests {
         assert!(!report.is_clean());
         assert!(report.find(DiagCode::PaddedPool).is_some());
         assert!(report.find(DiagCode::NonFinite).is_none());
+    }
+
+    #[test]
+    fn liveness_counts_accumulate_per_class() {
+        let mut report = Report::new();
+        assert_eq!(report.liveness(), LivenessCounts::default());
+        report.push_liveness(
+            Diagnostic::new(DiagCode::DeadTableRows, Some(0), "3 unused rows"),
+            3,
+        );
+        report.push_liveness(
+            Diagnostic::new(DiagCode::DeadTableRows, Some(1), "2 unused rows"),
+            2,
+        );
+        report.push_liveness(
+            Diagnostic::new(DiagCode::DeadCodebookEntries, Some(1), "1 dead entry"),
+            1,
+        );
+        let counts = report.liveness();
+        assert_eq!(counts.dead_table_rows, 5);
+        assert_eq!(counts.dead_codebook_entries, 1);
+        assert_eq!(counts.dead_table_columns, 0);
+        assert_eq!(counts.dead_lut_rows, 0);
+        assert_eq!(counts.total(), 6);
+        // The prose diagnostics ride along unchanged.
+        assert_eq!(report.count(Severity::Note), 2);
+        assert_eq!(report.count(Severity::Warning), 1);
     }
 
     #[test]

@@ -62,13 +62,18 @@ mod checker;
 mod cost;
 mod diag;
 mod interval;
+mod optimize;
 mod program;
 mod quant;
 
 pub use checker::{analyze, analyze_with};
 pub use cost::{op_costs, OpCost};
-pub use diag::{DiagCode, Diagnostic, Report, Severity};
-pub use interval::Interval;
+pub use diag::{DiagCode, Diagnostic, LivenessCounts, Report, Severity};
+pub use interval::{f32_sum_slack, Interval};
+pub use optimize::{
+    inject_dead_rows, optimize, validate_certificate, Certificate, OpRemap, Optimized, Pass,
+    PassRecord,
+};
 pub use program::{Act, Geom, Op, PackedSection, Program, Span, TableRef};
 pub use quant::{
     quantize_plan, quantize_plan_with, FallbackReason, FinishPlan, LicensedOp, OpQuant, QuantMode,

@@ -1,12 +1,17 @@
 //! Artifact format comparison: v1 (wide 16-bit code lanes) vs v2
 //! (bit-packed zero-copy code streams). Measures serialized size and
 //! cold-start cost — decode (`from_bytes`) plus the first inference —
-//! for both formats and writes `BENCH_artifact.json` at the repo root
-//! so successive PRs can track the format's size/latency trajectory.
+//! for both formats, then runs the certified optimizer over a
+//! dead-row-injected copy of the model and records how many bytes the
+//! translation-validated compaction wins back plus the table-gather
+//! throughput before/after. Writes `BENCH_artifact.json` at the repo
+//! root so successive PRs can track the format's size/latency
+//! trajectory.
 //!
 //! Set `BENCH_ARTIFACT_QUICK=1` to shrink the workload for CI smoke
 //! runs.
 
+use rapidnn::analyze::{inject_dead_rows, Pass, Program};
 use rapidnn::serve::CompiledModel;
 use rapidnn::tensor::SeededRng;
 use rapidnn::{Pipeline, PipelineConfig};
@@ -44,6 +49,34 @@ fn main() {
     let cold_v1 = cold_start_us(&v1, &input, loads);
     let cold_v2 = cold_start_us(&v2, &input, loads);
 
+    // Certified optimizer: pad the model with provably dead table rows
+    // (forcing the packed code width up), then measure what the
+    // translation-validated compaction wins back and what the smaller
+    // tables do to gather throughput.
+    eprintln!("running the certified optimizer over a dead-padded model...");
+    let program = Program::from_reinterpreted(&report.compose.reinterpreted);
+    let padded = inject_dead_rows(&program, 9);
+    let padded_model = CompiledModel::from_program(&padded).expect("padded model compiles");
+    let (opt_model, cert) = padded_model.optimize().expect("optimizer certifies");
+    let padded_bytes = padded_model.to_bytes();
+    let opt_bytes = opt_model.to_bytes();
+    assert!(
+        opt_bytes.len() < padded_bytes.len(),
+        "optimizer must shrink"
+    );
+    assert_eq!(
+        model.infer(&input).unwrap(),
+        CompiledModel::from_bytes(&opt_bytes)
+            .unwrap()
+            .infer(&input)
+            .unwrap(),
+        "optimized model diverged from the unpadded source"
+    );
+    let opt_ratio = padded_bytes.len() as f64 / opt_bytes.len() as f64;
+    let infers = if quick { 200 } else { 2000 };
+    let gather_before = infer_us(&padded_model, &input, infers);
+    let gather_after = infer_us(&opt_model, &input, infers);
+
     println!("artifact v1 (wide)    {:>10} bytes", v1.len());
     println!(
         "artifact v2 (packed)  {:>10} bytes  ({ratio:.2}x smaller)",
@@ -51,6 +84,13 @@ fn main() {
     );
     println!("load+first-infer v1   {cold_v1:>10.1} us");
     println!("load+first-infer v2   {cold_v2:>10.1} us");
+    println!("dead-padded v2        {:>10} bytes", padded_bytes.len());
+    println!(
+        "optimized v2          {:>10} bytes  ({opt_ratio:.2}x smaller, {} rows removed)",
+        opt_bytes.len(),
+        cert.removed(Pass::RowCompaction)
+    );
+    println!("gather before/after   {gather_before:>10.1} / {gather_after:.1} us per infer");
 
     let json = format!(
         concat!(
@@ -61,7 +101,18 @@ fn main() {
             "  \"v2_bytes\": {v2_bytes},\n",
             "  \"size_ratio\": {ratio:.3},\n",
             "  \"v1_load_first_infer_us\": {cold_v1:.1},\n",
-            "  \"v2_load_first_infer_us\": {cold_v2:.1}\n",
+            "  \"v2_load_first_infer_us\": {cold_v2:.1},\n",
+            "  \"optimizer\": {{\n",
+            "    \"padded_v2_bytes\": {padded_bytes},\n",
+            "    \"optimized_v2_bytes\": {opt_bytes},\n",
+            "    \"size_ratio\": {opt_ratio:.3},\n",
+            "    \"dead_entries_removed\": {dead_entries},\n",
+            "    \"rows_removed\": {rows},\n",
+            "    \"columns_removed\": {cols},\n",
+            "    \"lut_rows_removed\": {lut_rows},\n",
+            "    \"gather_before_us\": {gather_before:.2},\n",
+            "    \"gather_after_us\": {gather_after:.2}\n",
+            "  }}\n",
             "}}\n"
         ),
         v1_bytes = v1.len(),
@@ -69,6 +120,15 @@ fn main() {
         ratio = ratio,
         cold_v1 = cold_v1,
         cold_v2 = cold_v2,
+        padded_bytes = padded_bytes.len(),
+        opt_bytes = opt_bytes.len(),
+        opt_ratio = opt_ratio,
+        dead_entries = cert.removed(Pass::DeadEntryElimination),
+        rows = cert.removed(Pass::RowCompaction),
+        cols = cert.removed(Pass::ColumnCompaction),
+        lut_rows = cert.removed(Pass::LutPruning),
+        gather_before = gather_before,
+        gather_after = gather_after,
     );
     let path = Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("../..")
@@ -86,4 +146,15 @@ fn cold_start_us(bytes: &[u8], input: &[f32], loads: usize) -> f64 {
         std::hint::black_box(model.infer(input).unwrap());
     }
     start.elapsed().as_secs_f64() * 1e6 / loads as f64
+}
+
+/// Mean microseconds per warm inference: dominated by the table-gather
+/// kernels, so table size shows up directly.
+fn infer_us(model: &CompiledModel, input: &[f32], infers: usize) -> f64 {
+    std::hint::black_box(model.infer(input).unwrap());
+    let start = Instant::now();
+    for _ in 0..infers {
+        std::hint::black_box(model.infer(std::hint::black_box(input)).unwrap());
+    }
+    start.elapsed().as_secs_f64() * 1e6 / infers as f64
 }

@@ -187,7 +187,6 @@ fn engine_for(model: &CompiledModel, config: &Config) -> Engine {
             queue_capacity: QUEUE_CAPACITY,
             max_batch_size: MAX_BATCH,
             max_wait: Duration::from_micros(200),
-            ..EngineConfig::default()
         },
     )
 }

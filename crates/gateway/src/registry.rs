@@ -26,6 +26,7 @@
 //! `ShuttingDown` retries against the fresh slot.
 
 use crate::error::GatewayError;
+use rapidnn_analyze::Pass;
 use rapidnn_serve::{CompiledModel, Engine, EngineConfig, PipelineStats, ServeError, ServerStats};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -81,6 +82,28 @@ struct ModelEntry {
     /// registry default, possibly with a per-model stage override from
     /// `PUT`'s `x-stages`. Sticky across swaps until overridden again.
     engine_config: Mutex<EngineConfig>,
+    /// What the certified optimizer did to the *currently serving*
+    /// generation's artifact (`PUT`'s `x-optimize` opt-in); `None` when
+    /// this generation was served as uploaded.
+    optimized: Mutex<Option<OptimizeStats>>,
+}
+
+/// What [`CompiledModel::optimize`] removed from an uploaded artifact,
+/// surfaced in swap responses and per-model stats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OptimizeStats {
+    /// Serialized size of the uploaded artifact.
+    pub bytes_before: usize,
+    /// Serialized size of the optimized artifact actually served.
+    pub bytes_after: usize,
+    /// Dead codebook entries eliminated.
+    pub dead_entries_removed: usize,
+    /// Unreferenced product-table rows compacted away.
+    pub rows_removed: usize,
+    /// Dead product-table columns / decode-book entries dropped.
+    pub columns_removed: usize,
+    /// Dead activation-LUT rows pruned.
+    pub lut_rows_removed: usize,
 }
 
 /// Decrements the per-model in-flight gauge on every exit path.
@@ -115,6 +138,9 @@ pub struct ModelStats {
     /// integer lowering), `"int16"` (every table op licensed) or
     /// `"mixed"`.
     pub kernel_path: &'static str,
+    /// Certified-optimizer outcome for this generation's artifact, when
+    /// the upload opted in via `x-optimize`.
+    pub optimized: Option<OptimizeStats>,
     /// Table ops the analyzer licensed for integer execution (0 on the
     /// f32 path).
     pub licensed_ops: usize,
@@ -142,6 +168,8 @@ pub struct SwapReport {
     /// `false` means it was detached mid-drain and finishes in the
     /// background — accepted requests are still answered.
     pub drained: bool,
+    /// Certified-optimizer outcome, when the upload opted in.
+    pub optimized: Option<OptimizeStats>,
     /// Final stats of the displaced engine, when it drained in time.
     pub old_stats: Option<ServerStats>,
 }
@@ -193,6 +221,7 @@ impl Registry {
             generation: AtomicU64::new(0),
             swapping: Mutex::new(()),
             engine_config: Mutex::new(self.config.engine.clone()),
+            optimized: Mutex::new(None),
         });
         let mut models = self.write_models();
         if models.contains_key(name) {
@@ -222,6 +251,15 @@ impl Registry {
     /// setting sticks for later swaps of the same model; `None` keeps
     /// the model's current configuration.
     ///
+    /// With `optimize` set (the HTTP layer's `x-optimize` opt-in), the
+    /// verified model is run through the certified optimizer
+    /// ([`CompiledModel::optimize`]) before any quantization: dead
+    /// codebook entries, table rows/columns and LUT rows are removed
+    /// under a translation-validated certificate, and the before/after
+    /// byte sizes plus per-pass removal counts are reported in the
+    /// [`SwapReport`] and the model's stats. A rewrite whose certificate
+    /// fails validation is a rejection, not a silent fallback.
+    ///
     /// # Errors
     ///
     /// [`GatewayError::Rejected`] for bytes the verifier refuses,
@@ -236,6 +274,7 @@ impl Registry {
         bytes: &[u8],
         quantize: bool,
         stages: Option<usize>,
+        optimize: bool,
     ) -> Result<SwapReport, GatewayError> {
         validate_name(name)?;
         // Verification first — both paths need it, and a rejected
@@ -243,6 +282,25 @@ impl Registry {
         let mut model = match CompiledModel::from_bytes_strict(bytes) {
             Ok(model) => model,
             Err(e) => return Err(GatewayError::from_artifact_failure(bytes, e)),
+        };
+        // Optimize before quantize: the integer lowering plan is built
+        // for (and licensed against) the compacted tables it will serve.
+        let optimized = if optimize {
+            let (opt, cert) = model
+                .optimize()
+                .map_err(|e| GatewayError::from_serve(name, e))?;
+            let stats = OptimizeStats {
+                bytes_before: bytes.len(),
+                bytes_after: opt.to_bytes().len(),
+                dead_entries_removed: cert.removed(Pass::DeadEntryElimination),
+                rows_removed: cert.removed(Pass::RowCompaction),
+                columns_removed: cert.removed(Pass::ColumnCompaction),
+                lut_rows_removed: cert.removed(Pass::LutPruning),
+            };
+            model = opt;
+            Some(stats)
+        } else {
+            None
         };
         if quantize {
             model
@@ -267,6 +325,7 @@ impl Registry {
                         generation: AtomicU64::new(0),
                         swapping: Mutex::new(()),
                         engine_config: Mutex::new(engine_config),
+                        optimized: Mutex::new(optimized),
                     });
                     let mut models = self.write_models();
                     if models.contains_key(name) {
@@ -281,10 +340,11 @@ impl Registry {
                     warmed,
                     stages: served_stages,
                     drained: true,
+                    optimized,
                     old_stats: None,
                 })
             }
-            Some(entry) => self.swap_entry(&entry, model, stages),
+            Some(entry) => self.swap_entry(&entry, model, stages, optimized),
         }
     }
 
@@ -294,6 +354,7 @@ impl Registry {
         entry: &ModelEntry,
         model: CompiledModel,
         stages: Option<usize>,
+        optimized: Option<OptimizeStats>,
     ) -> Result<SwapReport, GatewayError> {
         let _swap = match entry.swapping.try_lock() {
             Ok(guard) => guard,
@@ -347,6 +408,10 @@ impl Registry {
             .engine_config
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner) = engine_config;
+        *entry
+            .optimized
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = optimized;
         let generation = entry.generation.fetch_add(1, Ordering::AcqRel) + 1;
         let (old_stats, drained) = drain_displaced(old, self.config.drain_deadline);
         Ok(SwapReport {
@@ -355,6 +420,7 @@ impl Registry {
             warmed: self.config.warmup_samples,
             stages: served_stages,
             drained,
+            optimized,
             old_stats,
         })
     }
@@ -433,6 +499,10 @@ impl Registry {
     pub fn stats(&self, name: &str) -> Result<ModelStats, GatewayError> {
         let entry = self.entry(name)?;
         let slot = read_slot(&entry.slot);
+        let optimized = *entry
+            .optimized
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         Ok(ModelStats {
             name: entry.name.clone(),
             generation: entry.generation.load(Ordering::Acquire),
@@ -442,6 +512,7 @@ impl Registry {
             stages: slot.stage_count(),
             pipeline: slot.pipeline_stats(),
             kernel_path: slot.model().kernel_path(),
+            optimized,
             licensed_ops: slot.model().licensed_ops(),
             server: slot.stats(),
         })

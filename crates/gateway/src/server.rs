@@ -32,7 +32,7 @@
 
 use crate::error::GatewayError;
 use crate::http::{HttpReader, Limits, ReadOutcome, Request, Response};
-use crate::registry::{ModelStats, Registry, RegistryConfig, SwapReport};
+use crate::registry::{ModelStats, OptimizeStats, Registry, RegistryConfig, SwapReport};
 use rapidnn_pool::WorkerGroup;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -315,7 +315,21 @@ fn put_model(registry: &Registry, name: &str, request: &Request) -> Response {
             }
         },
     };
-    match registry.put_artifact(name, &request.body, quantize, stages) {
+    // `x-optimize: 1`/`true` runs the upload through the certified
+    // optimizer (translation-validated dead-data elimination) before it
+    // serves; absence means the artifact serves as uploaded. Anything
+    // else is a client error, not a silent fallback.
+    let optimize = match request.header("x-optimize") {
+        None => false,
+        Some("1" | "true") => true,
+        Some(other) => {
+            return Response::text(
+                400,
+                format!("unknown x-optimize value {other:?}; try \"1\"\n"),
+            )
+        }
+    };
+    match registry.put_artifact(name, &request.body, quantize, stages, optimize) {
         Ok(report) => swap_response(name, &report),
         Err(e) => error_response(&e),
     }
@@ -326,14 +340,36 @@ fn swap_response(name: &str, report: &SwapReport) -> Response {
     Response::json(
         status,
         format!(
-            "{{\"name\":{},\"created\":{},\"generation\":{},\"warmed\":{},\"stages\":{},\"drained\":{}}}",
+            "{{\"name\":{},\"created\":{},\"generation\":{},\"warmed\":{},\"stages\":{},\"drained\":{},\"optimized\":{}}}",
             json_string(name),
             report.created,
             report.generation,
             report.warmed,
             report.stages,
             report.drained,
+            optimize_json(report.optimized.as_ref()),
         ),
+    )
+}
+
+/// Serializes the certified-optimizer outcome (`null` when the upload
+/// did not opt in).
+fn optimize_json(stats: Option<&OptimizeStats>) -> String {
+    stats.map_or_else(
+        || "null".to_string(),
+        |o| {
+            format!(
+                "{{\"bytes_before\":{},\"bytes_after\":{},\
+                 \"dead_entries_removed\":{},\"rows_removed\":{},\
+                 \"columns_removed\":{},\"lut_rows_removed\":{}}}",
+                o.bytes_before,
+                o.bytes_after,
+                o.dead_entries_removed,
+                o.rows_removed,
+                o.columns_removed,
+                o.lut_rows_removed,
+            )
+        },
     )
 }
 
@@ -446,6 +482,7 @@ fn stats_json(stats: &ModelStats) -> String {
             "\"input_features\":{in_f},\"output_features\":{out_f},",
             "\"inflight\":{inflight},",
             "\"kernel_path\":{kernel_path},\"licensed_ops\":{licensed_ops},",
+            "\"optimized\":{optimized},",
             "\"stages\":{stages},\"pipeline\":{pipeline},",
             "\"server\":{{",
             "\"submitted\":{submitted},\"completed\":{completed},",
@@ -465,6 +502,7 @@ fn stats_json(stats: &ModelStats) -> String {
         inflight = stats.inflight,
         kernel_path = json_string(stats.kernel_path),
         licensed_ops = stats.licensed_ops,
+        optimized = optimize_json(stats.optimized.as_ref()),
         stages = stats.stages,
         pipeline = pipeline,
         submitted = s.submitted,

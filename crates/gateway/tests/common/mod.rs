@@ -18,6 +18,10 @@ pub const CLASSES: usize = 3;
 /// A small dense model; different seeds give identically-shaped models
 /// with different weights (and therefore different outputs).
 pub fn compiled_model(seed: u64) -> CompiledModel {
+    CompiledModel::from_reinterpreted(&reinterpreted(seed)).unwrap()
+}
+
+fn reinterpreted(seed: u64) -> ReinterpretedNetwork {
     let mut rng = SeededRng::new(seed);
     let mut net = Network::new(FEATURES);
     net.push(Dense::new(FEATURES, 12, &mut rng));
@@ -31,8 +35,17 @@ pub fn compiled_model(seed: u64) -> CompiledModel {
         input_clusters: 8,
         ..ReinterpretOptions::default()
     };
-    let model = ReinterpretedNetwork::build(&mut net, data.inputs(), &options, &mut rng).unwrap();
-    CompiledModel::from_reinterpreted(&model).unwrap()
+    ReinterpretedNetwork::build(&mut net, data.inputs(), &options, &mut rng).unwrap()
+}
+
+/// `compiled_model(seed)` padded with `extra` provably dead product-
+/// table rows per dense table: semantically identical, strictly larger
+/// on the wire, and exactly what the certified optimizer must win back.
+pub fn dead_padded_model(seed: u64, extra: usize) -> CompiledModel {
+    let net = reinterpreted(seed);
+    let program = rapidnn_analyze::Program::from_reinterpreted(&net);
+    let padded = rapidnn_analyze::inject_dead_rows(&program, extra);
+    CompiledModel::from_program(&padded).unwrap()
 }
 
 /// A model with a different input width — a hot-swap contract breaker.

@@ -5,8 +5,8 @@
 mod common;
 
 use common::{
-    analyzer_rejected_bytes, compiled_model, le_bytes, le_floats, read_response, request,
-    request_with_headers, wider_model, write_request, FEATURES,
+    analyzer_rejected_bytes, compiled_model, dead_padded_model, le_bytes, le_floats, read_response,
+    request, request_with_headers, wider_model, write_request, FEATURES,
 };
 use rapidnn_gateway::{Gateway, GatewayConfig, RegistryConfig};
 use rapidnn_prop::vec_f32;
@@ -457,6 +457,91 @@ fn int16_opt_in_is_visible_in_stats_and_serves_bit_exactly() {
     .unwrap();
     assert_eq!(bogus.status, 400, "{}", bogus.body_text());
     let stats = request(addr, "GET", "/models/q/stats", None, &[]).unwrap();
+    assert!(stats.body_text().contains("\"generation\":1"));
+
+    gateway.shutdown();
+}
+
+/// The `x-optimize` upload opt-in runs the certified optimizer before
+/// serving: a dead-padded artifact provably shrinks (before/after bytes
+/// in the swap response and stats), served outputs stay bit-identical
+/// to the unpadded source, an unknown header value is a 400, and a plain
+/// swap clears the optimizer stats.
+#[test]
+fn optimize_opt_in_shrinks_and_reports_sizes() {
+    let base = compiled_model(44);
+    // 9 dead rows per dense table widen the packed v2 code width; the
+    // optimizer must win back strictly more bytes than it leaves.
+    let padded = dead_padded_model(44, 9);
+    let upload = padded.to_bytes();
+    assert!(upload.len() > base.to_bytes().len());
+
+    let gateway = Gateway::bind(test_config()).unwrap();
+    let addr = gateway.local_addr();
+
+    let created =
+        request_with_headers(addr, "PUT", "/models/opt", &[("x-optimize", "1")], &upload).unwrap();
+    assert_eq!(created.status, 201, "{}", created.body_text());
+    let body = created.body_text();
+    assert!(
+        body.contains(&format!("\"bytes_before\":{}", upload.len())),
+        "{body}"
+    );
+    assert!(body.contains("\"rows_removed\":18"), "{body}");
+
+    // Stats carry the same before/after sizes, and `bytes_after` is a
+    // real shrink.
+    let stats = request(addr, "GET", "/models/opt/stats", None, &[]).unwrap();
+    let text = stats.body_text();
+    let after: usize = text
+        .split("\"bytes_after\":")
+        .nth(1)
+        .and_then(|t| t.split(&[',', '}'][..]).next())
+        .and_then(|t| t.parse().ok())
+        .unwrap_or_else(|| panic!("stats missing bytes_after: {text}"));
+    assert!(
+        after < upload.len(),
+        "{after} vs {} in {text}",
+        upload.len()
+    );
+    assert!(
+        text.contains(&format!("\"bytes_before\":{}", upload.len())),
+        "{text}"
+    );
+
+    // The optimized generation answers with the unpadded source's bits.
+    let mut rng = SeededRng::new(9);
+    for _ in 0..8 {
+        let input = vec_f32(&mut rng, FEATURES, -2.0, 2.0);
+        let response = request(
+            addr,
+            "POST",
+            "/models/opt/infer",
+            Some("application/octet-stream"),
+            &le_bytes(&input),
+        )
+        .unwrap();
+        assert_eq!(response.status, 200, "{}", response.body_text());
+        assert_eq!(le_floats(&response.body), base.infer(&input).unwrap());
+    }
+
+    // Unknown opt-in value: client error, generation untouched.
+    let bogus = request_with_headers(
+        addr,
+        "PUT",
+        "/models/opt",
+        &[("x-optimize", "yes")],
+        &upload,
+    )
+    .unwrap();
+    assert_eq!(bogus.status, 400, "{}", bogus.body_text());
+
+    // A plain swap serves the artifact as uploaded: stats go back to
+    // `"optimized":null`.
+    let swapped = request(addr, "PUT", "/models/opt", None, &upload).unwrap();
+    assert_eq!(swapped.status, 200, "{}", swapped.body_text());
+    let stats = request(addr, "GET", "/models/opt/stats", None, &[]).unwrap();
+    assert!(stats.body_text().contains("\"optimized\":null"));
     assert!(stats.body_text().contains("\"generation\":1"));
 
     gateway.shutdown();

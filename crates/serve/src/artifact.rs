@@ -1333,6 +1333,155 @@ impl CompiledModel {
         }
     }
 
+    /// Builds a model from the analyzer's program IR — the inverse of
+    /// the lowering behind [`Self::analyze`], used to realize optimized
+    /// programs (and, in tests and benches, hand-built ones) as
+    /// servable artifacts. Pools are materialized owned/wide; writing
+    /// the model back out re-packs v2 code sections at the width the
+    /// (possibly compacted) tables now imply.
+    ///
+    /// # Errors
+    ///
+    /// [`ArtifactError::Malformed`] when the program fails the same
+    /// structural validation every decoded artifact passes.
+    pub fn from_program(program: &rapidnn_analyze::Program<'_>) -> Result<Self, ArtifactError> {
+        use rapidnn_analyze as a;
+
+        let span = |s: a::Span| Span {
+            start: s.start,
+            len: s.len,
+        };
+        let table = |t: &a::TableRef| TableRef {
+            offset: t.offset,
+            weight_count: t.weight_count,
+            input_count: t.input_count,
+        };
+        let act = |x: &a::Act| match x {
+            a::Act::Identity => ActRef::Identity,
+            a::Act::Relu => ActRef::Relu,
+            a::Act::Lookup { inputs, outputs } => ActRef::Lookup {
+                inputs: span(*inputs),
+                outputs: span(*outputs),
+            },
+        };
+        let geom = |g: &a::Geom| Geom {
+            in_channels: g.in_channels,
+            in_height: g.in_height,
+            in_width: g.in_width,
+            kernel_h: g.kernel_h,
+            kernel_w: g.kernel_w,
+            stride: g.stride,
+            pad: g.pad,
+            out_height: g.out_height,
+            out_width: g.out_width,
+        };
+        let ops = program
+            .ops
+            .iter()
+            .map(|op| match op {
+                a::Op::Dense {
+                    inputs,
+                    outputs,
+                    weight_codes,
+                    bias,
+                    table: t,
+                    act: x,
+                    encoder,
+                } => Op::Dense {
+                    inputs: *inputs,
+                    outputs: *outputs,
+                    weight_codes: span(*weight_codes),
+                    bias: span(*bias),
+                    table: table(t),
+                    act: act(x),
+                    encoder: encoder.map(span),
+                },
+                a::Op::Conv {
+                    geom: g,
+                    out_channels,
+                    weight_codes,
+                    bias,
+                    tables,
+                    zero_code,
+                    act: x,
+                    encoder,
+                } => Op::Conv {
+                    geom: geom(g),
+                    out_channels: *out_channels,
+                    weight_codes: span(*weight_codes),
+                    bias: span(*bias),
+                    tables: tables.iter().map(table).collect(),
+                    zero_code: *zero_code,
+                    act: act(x),
+                    encoder: encoder.map(span),
+                },
+                a::Op::MaxPool(g) => Op::MaxPool(geom(g)),
+                a::Op::AvgPool { geom: g, codebook } => Op::AvgPool {
+                    geom: geom(g),
+                    codebook: span(*codebook),
+                },
+                a::Op::ResidualBegin { skip_codebook } => Op::ResidualBegin {
+                    skip_codebook: span(*skip_codebook),
+                },
+                a::Op::ResidualEnd { encoder } => Op::ResidualEnd {
+                    encoder: encoder.map(span),
+                },
+            })
+            .collect();
+        let model = CompiledModel {
+            input_features: program.input_features,
+            output_features: program.output_features,
+            virtual_encoder: span(program.virtual_encoder),
+            ops,
+            floats: FloatPool::Owned(program.floats.to_vec()),
+            codes: CodePool::Wide(program.codes.to_vec()),
+            verified: false,
+            quant: None,
+        };
+        model.validate()?;
+        Ok(model)
+    }
+
+    /// Runs the certified optimizer ([`rapidnn_analyze::optimize`])
+    /// over the compiled program and translation-validates the result
+    /// before returning it: the rewrite's certificate is re-proven by
+    /// [`rapidnn_analyze::validate_certificate`] against both programs,
+    /// so a rewrite that cannot be re-proven is never handed back. The
+    /// returned model is verified (the validator re-ran the analyzer
+    /// over it) and carries no quantization state — callers opt back in
+    /// with [`Self::quantize`], exactly as after a strict load.
+    ///
+    /// Inference is bit-identical to the source model on both the f32
+    /// and the int16 path; what changes is the footprint: dead
+    /// codebook entries, unreferenced product-table rows, dead columns
+    /// and LUT rows are gone, and [`Self::to_bytes`] re-packs v2 code
+    /// sections at the narrower width the compacted tables imply.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Rejected`] carrying the diagnostic report when the
+    /// input fails analysis, when the optimized program is structurally
+    /// unrealizable, or when the certificate does not validate
+    /// (RNA0015/RNA0016/RNA0017).
+    pub fn optimize(&self) -> Result<(CompiledModel, rapidnn_analyze::Certificate)> {
+        let input = self.to_program();
+        let optimized = rapidnn_analyze::optimize(&input).map_err(ServeError::Rejected)?;
+        let check = rapidnn_analyze::validate_certificate(
+            &input,
+            &optimized.program,
+            &optimized.certificate,
+        );
+        if check.has_errors() {
+            return Err(ServeError::Rejected(Box::new(check)));
+        }
+        let mut model = Self::from_program(&optimized.program)?;
+        // The validator just re-ran the analyzer over the optimized
+        // program with no errors: the model has earned `verified` the
+        // same way `verify()` grants it.
+        model.verified = true;
+        Ok((model, optimized.certificate))
+    }
+
     /// Runs the static analyzer over the compiled program and returns
     /// the full diagnostic report (errors, warnings, and notes) without
     /// changing the model's verified status.

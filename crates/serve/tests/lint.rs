@@ -97,6 +97,41 @@ fn corrupted_artifacts_are_flagged_or_harmless() {
                 let sample = vec![0.25f32; model.input_features()];
                 let run = std::panic::catch_unwind(|| model.infer(&sample).map(|_| ()));
                 assert!(run.is_ok(), "analyzer-clean mutant panicked in infer");
+
+                // The same two-outcome contract extends through the
+                // optimizer: an analyzer-clean mutant optimizes (its
+                // certificate re-proven inside `optimize`), and the
+                // result loads and infers mutant-identically without
+                // panicking — certificates over mutants never validate
+                // incorrectly, and there is still no third outcome.
+                let run = std::panic::catch_unwind(|| {
+                    let (opt, _cert) = model.optimize()?;
+                    let reloaded = CompiledModel::from_bytes_strict(&opt.to_bytes())?;
+                    let expect: Vec<u32> =
+                        model.infer(&sample)?.iter().map(|x| x.to_bits()).collect();
+                    let got: Vec<u32> = reloaded
+                        .infer(&sample)?
+                        .iter()
+                        .map(|x| x.to_bits())
+                        .collect();
+                    assert_eq!(expect, got, "optimized mutant diverged from its source");
+                    Ok::<(), ServeError>(())
+                });
+                assert!(
+                    run.expect("optimizing an analyzer-clean mutant panicked")
+                        .is_ok(),
+                    "analyzer-clean mutant failed to optimize + reload"
+                );
+            } else if let Ok(model) = loaded {
+                // Analyzer-rejected but decodable mutants must be
+                // refused by `optimize` with a typed report — never
+                // silently rewritten, never a panic.
+                let run = std::panic::catch_unwind(|| match model.optimize() {
+                    Err(ServeError::Rejected(r)) => assert!(r.has_errors()),
+                    Ok(_) => panic!("optimize accepted an analyzer-rejected mutant"),
+                    Err(e) => panic!("optimize failed untypedly: {e}"),
+                });
+                assert!(run.is_ok(), "optimize panicked on a flagged mutant");
             }
         }
     });
